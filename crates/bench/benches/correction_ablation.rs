@@ -1,0 +1,55 @@
+//! Fig. 15 — the stroke-correction ablation.
+//!
+//! Benchmarks Algorithm-2 decoding with the paper's correction rules, with
+//! confusion-derived rules, and with correction disabled, over stroke
+//! sequences containing one injected substitution error. The cost of
+//! correction is the extra dictionary probes per corrected variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use echowrite_bench::engine;
+use echowrite_corpus::Lexicon;
+use echowrite_gesture::{InputScheme, Stroke};
+use echowrite_lang::{CorrectionRules, Dictionary, WordDecoder};
+use std::hint::black_box;
+
+fn bench_rules(c: &mut Criterion) {
+    let scheme = InputScheme::paper();
+    let dict = Dictionary::build(Lexicon::embedded(), &scheme);
+
+    // "because" with its third stroke (C = S5) misread as S6 — one of the
+    // paper's covered confusion modes (observed S6 may really be S5).
+    let mut observed = scheme.encode_word("because").unwrap();
+    assert_eq!(observed[2], Stroke::S5);
+    observed[2] = Stroke::S6;
+
+    let variants: Vec<(&str, WordDecoder)> = vec![
+        ("none", WordDecoder::new(dict.clone()).with_rules(CorrectionRules::none())),
+        ("paper", WordDecoder::new(dict.clone()).with_rules(CorrectionRules::paper())),
+    ];
+
+    let mut g = c.benchmark_group("fig15_correction_ablation");
+    for (name, decoder) in &variants {
+        g.bench_with_input(BenchmarkId::new("decode_with_rules", name), &observed, |b, o| {
+            b.iter(|| decoder.decode(black_box(o)))
+        });
+    }
+    g.finish();
+
+    // Sanity: correction recovers the word, no-correction cannot.
+    let with = variants[1].1.decode(&observed);
+    assert!(with.iter().any(|c| c.word == "because"));
+    let without = variants[0].1.decode(&observed);
+    assert!(!without.iter().any(|c| c.word == "because"));
+}
+
+fn bench_correction_expansion(c: &mut Criterion) {
+    let e = engine();
+    let rules = CorrectionRules::paper();
+    let seq = e.scheme().encode_word("question").unwrap();
+    c.bench_function("fig15_variant_expansion", |b| {
+        b.iter(|| rules.corrected_sequences(black_box(&seq)))
+    });
+}
+
+criterion_group!(benches, bench_rules, bench_correction_expansion);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Sec. VII-A ablation — full-rate STFT versus the down-converted
+//! front-end.
+//!
+//! The paper proposes decimation to cut the dominant STFT cost; this bench
+//! quantifies the saving on identical audio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use echowrite::{EchoWrite, EchoWriteConfig, Pipeline};
+use echowrite_bench::stroke_trace;
+use echowrite_gesture::Stroke;
+use echowrite_synth::EnvironmentProfile;
+use std::hint::black_box;
+
+fn bench_frontends(c: &mut Criterion) {
+    let audio = stroke_trace(Stroke::S3, EnvironmentProfile::meeting_room(), 7);
+
+    let mut g = c.benchmark_group("ablation_frontend");
+    g.sample_size(10);
+    let full = Pipeline::new(EchoWriteConfig::paper());
+    g.bench_function(BenchmarkId::new("roi_spectrogram", "full"), |b| {
+        b.iter(|| full.roi_spectrogram(black_box(&audio)))
+    });
+    for factor in [8usize, 16, 32] {
+        let p = Pipeline::new(EchoWriteConfig::downsampled(factor));
+        g.bench_with_input(
+            BenchmarkId::new("roi_spectrogram", format!("div{factor}")),
+            &p,
+            |b, p| b.iter(|| p.roi_spectrogram(black_box(&audio))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let audio = stroke_trace(Stroke::S3, EnvironmentProfile::meeting_room(), 7);
+    let mut g = c.benchmark_group("ablation_frontend_end_to_end");
+    g.sample_size(10);
+    let full = EchoWrite::new();
+    g.bench_function(BenchmarkId::new("recognize", "full"), |b| {
+        b.iter(|| full.recognize_strokes(black_box(&audio)))
+    });
+    let fast = EchoWrite::with_config(EchoWriteConfig::downsampled(32));
+    g.bench_function(BenchmarkId::new("recognize", "div32"), |b| {
+        b.iter(|| fast.recognize_strokes(black_box(&audio)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_frontends, bench_end_to_end);
+criterion_main!(benches);

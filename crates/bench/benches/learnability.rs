@@ -1,0 +1,25 @@
+//! Figs. 4–6 — the learnability-study workload.
+//!
+//! One iteration = simulating the full 6-participant, 15-minute
+//! input-scheme study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use echowrite_sim::experiments::{learnability, Scale};
+use std::hint::black_box;
+
+fn bench_study(c: &mut Criterion) {
+    c.bench_function("fig4_6_learnability_study", |b| {
+        b.iter(|| learnability::study(black_box(Scale::quick())))
+    });
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_6_tables");
+    g.bench_function("fig4", |b| b.iter(|| learnability::fig4(black_box(Scale::quick()))));
+    g.bench_function("fig5", |b| b.iter(|| learnability::fig5(black_box(Scale::quick()))));
+    g.bench_function("fig6", |b| b.iter(|| learnability::fig6(black_box(Scale::quick()))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_study, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Fig. 19 — running time of each processing part.
+//!
+//! Benchmarks every pipeline stage in isolation on a fixed single-stroke
+//! trace: STFT+ROI, enhancement, MVCE, segmentation, DTW classification,
+//! and word decoding. The paper's claims: the total stays well inside the
+//! real-time budget and signal processing dominates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use echowrite_bench::{engine, stroke_trace};
+use echowrite_dsp::Stft;
+use echowrite_gesture::Stroke;
+use echowrite_profile::mvce::extract_profile_with_guard;
+use echowrite_profile::Segmenter;
+use echowrite_spectro::{Enhancer, Spectrogram};
+use echowrite_synth::EnvironmentProfile;
+use std::hint::black_box;
+
+fn bench_stages(c: &mut Criterion) {
+    let e = engine();
+    let cfg = e.config().clone();
+    let audio = stroke_trace(Stroke::S5, EnvironmentProfile::meeting_room(), 7);
+
+    let stft = Stft::new(cfg.stft);
+    let frames = stft.process(&audio);
+    let spec = Spectrogram::roi_from_stft(&frames, stft.config(), cfg.carrier_hz, cfg.roi_span_hz);
+    let enhancer = Enhancer::new(cfg.enhance);
+    let binary = enhancer.enhance(&spec);
+    let profile = extract_profile_with_guard(&binary, cfg.guard_bins);
+    let segmenter = Segmenter::new(cfg.segment);
+    let segments = segmenter.segment(&profile);
+    let seg = segments.first().copied().expect("one stroke segment");
+    let sub = profile.slice(seg.start, seg.end);
+    let observed = vec![e.classifier().classify(sub.shifts()).stroke];
+
+    let mut g = c.benchmark_group("fig19_pipeline_stages");
+    g.sample_size(20);
+    g.bench_function("stft_roi", |b| {
+        b.iter(|| {
+            let frames = stft.process(black_box(&audio));
+            Spectrogram::roi_from_stft(&frames, stft.config(), cfg.carrier_hz, cfg.roi_span_hz)
+        })
+    });
+    g.bench_function("enhance", |b| b.iter(|| enhancer.enhance(black_box(&spec))));
+    g.bench_function("mvce_profile", |b| {
+        b.iter(|| extract_profile_with_guard(black_box(&binary), cfg.guard_bins))
+    });
+    g.bench_function("segment", |b| b.iter(|| segmenter.segment(black_box(&profile))));
+    g.bench_function("dtw_classify", |b| {
+        b.iter(|| e.classifier().classify(black_box(sub.shifts())))
+    });
+    g.bench_function("decode", |b| b.iter(|| e.decoder().decode(black_box(&observed))));
+    g.bench_function("end_to_end_word", |b| {
+        b.iter(|| e.recognize_word(black_box(&audio)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

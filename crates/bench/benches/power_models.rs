@@ -1,0 +1,23 @@
+//! Figs. 20–21 — the battery and CPU model evaluations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use echowrite_sim::power::{BatteryModel, CpuModel};
+use std::hint::black_box;
+
+fn bench_battery(c: &mut Criterion) {
+    let battery = BatteryModel::mate9();
+    c.bench_function("fig20_battery_series", |b| {
+        b.iter(|| battery.series(black_box(30.0), 5.0, 0.152))
+    });
+}
+
+fn bench_cpu(c: &mut Criterion) {
+    let cpu = CpuModel::mate9();
+    let fractions = vec![0.01; 360];
+    c.bench_function("fig21_cpu_series", |b| {
+        b.iter(|| cpu.series(black_box(&fractions), 7))
+    });
+}
+
+criterion_group!(benches, bench_battery, bench_cpu);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figs. 11–13 — the stroke-recognition workload unit.
+//!
+//! One iteration = recognizing a single written stroke from raw audio,
+//! parameterised by stroke, environment (Fig. 12), and device (Fig. 11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use echowrite_bench::{engine, stroke_trace};
+use echowrite_gesture::{Stroke, Writer, WriterParams};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+use std::hint::black_box;
+
+fn bench_per_stroke(c: &mut Criterion) {
+    let e = engine();
+    let mut g = c.benchmark_group("fig12_stroke_recognition");
+    g.sample_size(10);
+    for stroke in [Stroke::S1, Stroke::S3, Stroke::S5] {
+        let audio = stroke_trace(stroke, EnvironmentProfile::meeting_room(), 3);
+        g.bench_with_input(BenchmarkId::new("recognize", stroke), &audio, |b, a| {
+            b.iter(|| e.recognize_strokes(black_box(a)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_per_environment(c: &mut Criterion) {
+    let e = engine();
+    let mut g = c.benchmark_group("fig12_environments");
+    g.sample_size(10);
+    for env in EnvironmentProfile::all_paper_rooms() {
+        let audio = stroke_trace(Stroke::S2, env.clone(), 5);
+        g.bench_with_input(BenchmarkId::new("recognize", &env.name), &audio, |b, a| {
+            b.iter(|| e.recognize_strokes(black_box(a)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_per_device(c: &mut Criterion) {
+    let e = engine();
+    let mut g = c.benchmark_group("fig11_devices");
+    g.sample_size(10);
+    for device in [DeviceProfile::mate9(), DeviceProfile::watch2()] {
+        let perf = Writer::new(WriterParams::nominal(), 9).write_stroke(Stroke::S2);
+        let audio = Scene::new(device.clone(), EnvironmentProfile::meeting_room(), 9)
+            .render(&perf.trajectory);
+        g.bench_with_input(BenchmarkId::new("recognize", &device.name), &audio, |b, a| {
+            b.iter(|| e.recognize_strokes(black_box(a)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_per_stroke, bench_per_environment, bench_per_device);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Substrate benchmarks: the acoustic channel, kinematics, and DSP
+//! primitives everything else stands on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use echowrite_dsp::{Fft, Stft, StftConfig};
+use echowrite_gesture::{Stroke, Writer, WriterParams};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+use std::hint::black_box;
+
+fn bench_writer(c: &mut Criterion) {
+    c.bench_function("substrate_writer_sequence", |b| {
+        b.iter(|| {
+            Writer::new(WriterParams::nominal(), 3)
+                .write_sequence(black_box(&[Stroke::S5, Stroke::S3, Stroke::S6]))
+        })
+    });
+}
+
+fn bench_scene_render(c: &mut Criterion) {
+    let perf = Writer::new(WriterParams::nominal(), 5).write_stroke(Stroke::S2);
+    let mut g = c.benchmark_group("substrate_scene_render");
+    g.sample_size(10);
+    for env in EnvironmentProfile::all_paper_rooms() {
+        let scene = Scene::new(DeviceProfile::mate9(), env.clone(), 5);
+        g.bench_with_input(BenchmarkId::new("render", &env.name), &scene, |b, s| {
+            b.iter(|| s.render(black_box(&perf.trajectory)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_fft");
+    for size in [1024usize, 8192] {
+        let fft = Fft::new(size);
+        let signal: Vec<f64> = (0..size).map(|i| (i as f64 * 0.1).sin()).collect();
+        g.bench_with_input(BenchmarkId::new("forward_real", size), &signal, |b, s| {
+            b.iter(|| fft.forward_real(black_box(s)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_stft(c: &mut Criterion) {
+    let stft = Stft::new(StftConfig::paper());
+    let audio: Vec<f64> = (0..44_100)
+        .map(|i| (2.0 * std::f64::consts::PI * 20_000.0 * i as f64 / 44_100.0).sin())
+        .collect();
+    c.bench_function("substrate_stft_1s_audio", |b| {
+        b.iter(|| stft.process(black_box(&audio)))
+    });
+}
+
+criterion_group!(benches, bench_writer, bench_scene_render, bench_fft, bench_stft);
+criterion_main!(benches);

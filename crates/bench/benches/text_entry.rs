@@ -1,0 +1,74 @@
+//! Figs. 16–18 — text-entry session throughput.
+//!
+//! One iteration = a participant entering a full phrase block with
+//! EchoWrite (session simulation over the real decoder), or typing it on
+//! the smartwatch-keyboard baseline, at unpractised and practised levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use echowrite_bench::engine;
+use echowrite_corpus::phrases;
+use echowrite_dtw::ConfusionMatrix;
+use echowrite_gesture::Stroke;
+use echowrite_lang::NextWordPredictor;
+use echowrite_sim::baseline::SmartwatchKeyboard;
+use echowrite_sim::participant::Participant;
+use echowrite_sim::session::{SessionConfig, TextEntrySession};
+use std::hint::black_box;
+
+fn reliable_confusion() -> ConfusionMatrix {
+    let mut m = ConfusionMatrix::new();
+    for t in Stroke::ALL {
+        for _ in 0..94 {
+            m.record(t, t);
+        }
+        for o in Stroke::ALL {
+            if o != t {
+                m.record(t, o);
+            }
+        }
+        m.record(t, Stroke::ALL[(t.index() + 1) % 6]);
+    }
+    m
+}
+
+fn bench_echowrite_sessions(c: &mut Criterion) {
+    let e = engine();
+    let confusion = reliable_confusion();
+    let predictor = NextWordPredictor::embedded();
+    let participant = Participant::new(1, 2019);
+    let block = &phrases::blocks()[0];
+    let words = block.words();
+
+    let mut g = c.benchmark_group("fig16_18_text_entry");
+    for session_no in [1usize, 13] {
+        g.bench_with_input(
+            BenchmarkId::new("echowrite_block_session", session_no),
+            &session_no,
+            |b, &s| {
+                b.iter(|| {
+                    let mut sess = TextEntrySession::new(
+                        e.decoder(),
+                        &confusion,
+                        &predictor,
+                        SessionConfig::paper(),
+                        9,
+                    );
+                    sess.enter_words(black_box(&words), &participant, s)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_keyboard_baseline(c: &mut Criterion) {
+    let kb = SmartwatchKeyboard::typical();
+    let block = &phrases::blocks()[0];
+    let words = block.words();
+    c.bench_function("fig16_keyboard_block", |b| {
+        b.iter(|| kb.type_words(black_box(&words), 5))
+    });
+}
+
+criterion_group!(benches, bench_echowrite_sessions, bench_keyboard_baseline);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table I / Fig. 14 — the word-recognition workload unit.
+//!
+//! One iteration = recognizing a whole Table-I word (audio → strokes →
+//! Bayesian top-5 candidates), for a short, a medium, and a long word.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use echowrite_bench::{engine, word_trace};
+use std::hint::black_box;
+
+fn bench_words(c: &mut Criterion) {
+    let e = engine();
+    let mut g = c.benchmark_group("fig14_word_recognition");
+    g.sample_size(10);
+    for word in ["me", "water", "question"] {
+        let audio = word_trace(word, 11);
+        g.bench_with_input(BenchmarkId::new("recognize_word", word), &audio, |b, a| {
+            b.iter(|| e.recognize_word(black_box(a)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode_only(c: &mut Criterion) {
+    let e = engine();
+    let mut g = c.benchmark_group("fig14_decode_only");
+    for word in ["me", "water", "question"] {
+        let seq = e.scheme().encode_word(word).unwrap();
+        g.bench_with_input(BenchmarkId::new("decode", word), &seq, |b, s| {
+            b.iter(|| e.decoder().decode(black_box(s)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_words, bench_decode_only);
+criterion_main!(benches);

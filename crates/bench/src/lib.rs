@@ -1,0 +1,48 @@
+//! Shared fixtures for the EchoWrite benchmarks.
+//!
+//! Each bench target regenerates the workload behind one paper table or
+//! figure (see `DESIGN.md` §5 for the experiment index). The fixtures here
+//! render deterministic audio traces once so the benches measure the
+//! pipeline, not the synthesizer.
+
+use echowrite::EchoWrite;
+use echowrite_gesture::{Stroke, Writer, WriterParams};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+use std::sync::OnceLock;
+
+/// A process-wide engine (template generation costs a few hundred ms).
+pub fn engine() -> &'static EchoWrite {
+    static E: OnceLock<EchoWrite> = OnceLock::new();
+    E.get_or_init(EchoWrite::new)
+}
+
+/// Renders a single-stroke trace in the given environment.
+pub fn stroke_trace(stroke: Stroke, env: EnvironmentProfile, seed: u64) -> Vec<f64> {
+    let perf = Writer::new(WriterParams::nominal(), seed).write_stroke(stroke);
+    Scene::new(DeviceProfile::mate9(), env, seed).render(&perf.trajectory)
+}
+
+/// Renders a word trace (stroke sequence of `word`) in the meeting room.
+pub fn word_trace(word: &str, seed: u64) -> Vec<f64> {
+    let seq = engine().scheme().encode_word(word).expect("letters only");
+    let perf = Writer::new(WriterParams::nominal(), seed).write_sequence(&seq);
+    Scene::new(
+        DeviceProfile::mate9(),
+        EnvironmentProfile::meeting_room(),
+        seed,
+    )
+    .render(&perf.trajectory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_render() {
+        let t = stroke_trace(Stroke::S2, EnvironmentProfile::meeting_room(), 1);
+        assert!(t.len() > 44_100);
+        let w = word_trace("me", 1);
+        assert!(w.len() > t.len() / 2);
+    }
+}

@@ -1,0 +1,288 @@
+//! Streaming (chunked) recognition, mirroring the Android app's buffer
+//! loop: "a process … stores collected data in buffer with a size of
+//! 5 frames. When the buffer is full, data are fed to the following
+//! processing flowchart" (Sec. IV-A).
+//!
+//! The recognizer accepts arbitrary audio chunks, reprocesses the buffered
+//! window as frames complete, and emits a stroke as soon as its segment has
+//! been stable for a safety margin (the segmenter's own nine-quiet-frames
+//! rule plus a couple of frames). Consumed audio is eventually discarded so
+//! memory stays bounded during long sessions.
+
+use crate::engine::EchoWrite;
+use echowrite_dtw::Classification;
+
+/// An emitted streaming event: one recognized stroke.
+#[derive(Debug, Clone)]
+pub struct StrokeEvent {
+    /// Classification of the stroke.
+    pub classification: Classification,
+    /// Segment start, in frames since the session began.
+    pub start_frame: usize,
+    /// Segment end, in frames since the session began.
+    pub end_frame: usize,
+}
+
+/// A streaming wrapper around an [`EchoWrite`] engine.
+///
+/// # Example
+///
+/// ```
+/// use echowrite::{EchoWrite, StreamingRecognizer};
+/// let engine = EchoWrite::new();
+/// let mut stream = StreamingRecognizer::new(&engine);
+/// // Feeding silence produces no events.
+/// let events = stream.push(&vec![0.0; 44_100]);
+/// assert!(events.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct StreamingRecognizer<'a> {
+    engine: &'a EchoWrite,
+    buffer: Vec<f64>,
+    /// Frozen static background captured from the session's opening frames.
+    background: Option<Vec<f64>>,
+    /// Frames already dropped from the front of the buffer.
+    dropped_frames: usize,
+    /// End frame (absolute) of the last emitted stroke.
+    emitted_until: usize,
+    /// Frames a segment must precede the buffer tail by to be stable.
+    stability_margin: usize,
+    /// Maximum buffered duration in samples before old audio is trimmed.
+    max_samples: usize,
+}
+
+impl<'a> StreamingRecognizer<'a> {
+    /// Creates a streaming recognizer over an engine.
+    pub fn new(engine: &'a EchoWrite) -> Self {
+        let cfg = engine.config();
+        let margin = cfg.segment.end_run + 2;
+        StreamingRecognizer {
+            engine,
+            buffer: Vec::new(),
+            background: None,
+            dropped_frames: 0,
+            emitted_until: 0,
+            stability_margin: margin,
+            // Default window: 12 s of audio.
+            max_samples: (12.0 * cfg.stft.sample_rate) as usize,
+        }
+    }
+
+    /// Overrides the maximum buffered window (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is shorter than one STFT frame.
+    pub fn with_window_seconds(mut self, seconds: f64) -> Self {
+        let cfg = self.engine.config();
+        let samples = (seconds * cfg.stft.sample_rate) as usize;
+        assert!(samples >= cfg.stft.fft_size, "window shorter than one frame");
+        self.max_samples = samples;
+        self
+    }
+
+    /// Appends audio and returns any newly stabilized strokes.
+    pub fn push(&mut self, chunk: &[f64]) -> Vec<StrokeEvent> {
+        self.buffer.extend_from_slice(chunk);
+        let cfg = self.engine.config();
+        // Freeze the static background from the session's opening frames
+        // (only while the front of the buffer still *is* the opening).
+        if self.background.is_none() && self.dropped_frames == 0 {
+            let needed = cfg.stft.fft_size + (cfg.enhance.static_frames - 1) * cfg.stft.hop;
+            if self.buffer.len() >= needed {
+                self.background = self.engine.pipeline().estimate_background(&self.buffer);
+            }
+        }
+        let analysis = self
+            .engine
+            .pipeline()
+            .analyze_with_background(&self.buffer, self.background.as_deref());
+        let total_frames = analysis.profile.len();
+
+        let mut events = Vec::new();
+        for seg in &analysis.segments {
+            let abs_start = seg.start + self.dropped_frames;
+            let abs_end = seg.end + self.dropped_frames;
+            if abs_start < self.emitted_until {
+                continue; // already emitted
+            }
+            if seg.end + self.stability_margin > total_frames {
+                continue; // may still grow
+            }
+            let sub = analysis.profile.slice(seg.start, seg.end);
+            let classification = self.engine.classifier().classify(sub.shifts());
+            events.push(StrokeEvent {
+                classification,
+                start_frame: abs_start,
+                end_frame: abs_end,
+            });
+            self.emitted_until = abs_end;
+        }
+
+        // Trim the front if the buffer outgrew the window, keeping frame
+        // alignment (whole hops only) and never cutting into a segment that
+        // has not been emitted yet (including its backtrack slack).
+        if self.buffer.len() > self.max_samples && self.background.is_some() {
+            let hop = cfg.stft.hop;
+            let excess = self.buffer.len() - self.max_samples;
+            let mut limit = total_frames.saturating_sub(self.stability_margin);
+            for seg in &analysis.segments {
+                let abs_end = seg.end + self.dropped_frames;
+                if abs_end > self.emitted_until {
+                    limit = limit.min(seg.start.saturating_sub(cfg.segment.max_backtrack));
+                }
+            }
+            let drop_frames = (excess / hop).min(limit);
+            if drop_frames > 0 {
+                self.buffer.drain(..drop_frames * hop);
+                self.dropped_frames += drop_frames;
+            }
+        }
+        events
+    }
+
+    /// Recognized stroke count so far is implicit in the events returned by
+    /// [`StreamingRecognizer::push`]; this returns the absolute frame up to
+    /// which strokes have been emitted.
+    pub fn emitted_until(&self) -> usize {
+        self.emitted_until
+    }
+
+    /// Buffered samples not yet trimmed.
+    pub fn buffered_samples(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Total frames of the session processed so far (absolute frame clock).
+    pub fn frames_processed(&self) -> usize {
+        let cfg = self.engine.config();
+        let fft = cfg.stft.fft_size;
+        let hop = cfg.stft.hop;
+        let in_buffer = if self.buffer.len() < fft {
+            0
+        } else {
+            (self.buffer.len() - fft) / hop + 1
+        };
+        self.dropped_frames + in_buffer
+    }
+
+    /// Clears all state for a new session.
+    pub fn reset(&mut self) {
+        self.buffer.clear();
+        self.background = None;
+        self.dropped_frames = 0;
+        self.emitted_until = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use echowrite_gesture::{Stroke, Writer, WriterParams};
+    use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+    use std::sync::OnceLock;
+
+    fn engine() -> &'static EchoWrite {
+        static E: OnceLock<EchoWrite> = OnceLock::new();
+        E.get_or_init(EchoWrite::new)
+    }
+
+    fn render(strokes: &[Stroke], seed: u64) -> Vec<f64> {
+        let perf = Writer::new(WriterParams::nominal(), seed).write_sequence(strokes);
+        Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), seed)
+            .render(&perf.trajectory)
+    }
+
+    /// Renders a stroke sequence followed by `tail` seconds of rest (finger
+    /// held still, carrier still on — digital zeros would be an unphysical
+    /// carrier cutoff).
+    fn render_with_tail(strokes: &[Stroke], seed: u64, tail: f64) -> Vec<f64> {
+        let perf = Writer::new(WriterParams::nominal(), seed).write_sequence(strokes);
+        let mut traj = perf.trajectory.clone();
+        let last = *traj.points().last().expect("non-empty");
+        traj.hold(last, tail);
+        Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), seed)
+            .render(&traj)
+    }
+
+    #[test]
+    fn streaming_matches_offline_for_a_sequence() {
+        let e = engine();
+        let strokes = [Stroke::S2, Stroke::S5, Stroke::S1];
+        let audio = render_with_tail(&strokes, 21, 1.2);
+        let offline = e.recognize_strokes(&audio);
+
+        let mut stream = StreamingRecognizer::new(e);
+        let mut streamed: Vec<Stroke> = Vec::new();
+        // The Android app reads 5-frame buffers = 5 × 1024 samples.
+        for chunk in audio.chunks(5 * 1024) {
+            for ev in stream.push(chunk) {
+                streamed.push(ev.classification.stroke);
+            }
+        }
+        assert_eq!(streamed, offline.strokes(), "streaming vs offline mismatch");
+    }
+
+    #[test]
+    fn events_carry_monotone_frames() {
+        let e = engine();
+        let audio = render_with_tail(&[Stroke::S3, Stroke::S6], 5, 1.2);
+        let mut stream = StreamingRecognizer::new(e);
+        let mut last_end = 0;
+        let mut all = Vec::new();
+        for chunk in audio.chunks(4096) {
+            all.extend(stream.push(chunk));
+        }
+        assert!(!all.is_empty());
+        for ev in &all {
+            assert!(ev.start_frame >= last_end);
+            assert!(ev.end_frame > ev.start_frame);
+            last_end = ev.end_frame;
+        }
+        assert_eq!(stream.emitted_until(), last_end);
+    }
+
+    #[test]
+    fn silence_emits_nothing() {
+        let e = engine();
+        let mut stream = StreamingRecognizer::new(e);
+        assert!(stream.push(&vec![0.0; 88_200]).is_empty());
+    }
+
+    #[test]
+    fn buffer_stays_bounded() {
+        let e = engine();
+        let mut stream = StreamingRecognizer::new(e).with_window_seconds(2.0);
+        let audio = render(&[Stroke::S2], 13);
+        for chunk in audio.chunks(8192) {
+            stream.push(chunk);
+        }
+        // Push a long silent tail; the buffer must not grow unboundedly.
+        for _ in 0..20 {
+            stream.push(&vec![0.0; 22_050]);
+        }
+        assert!(
+            stream.buffered_samples() <= (2.5 * 44_100.0) as usize,
+            "buffer grew to {}",
+            stream.buffered_samples()
+        );
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let e = engine();
+        let mut stream = StreamingRecognizer::new(e);
+        stream.push(&render(&[Stroke::S2], 3));
+        stream.push(&vec![0.0; 44_100]);
+        stream.reset();
+        assert_eq!(stream.buffered_samples(), 0);
+        assert_eq!(stream.emitted_until(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window shorter than one frame")]
+    fn rejects_tiny_window() {
+        let e = engine();
+        let _ = StreamingRecognizer::new(e).with_window_seconds(0.01);
+    }
+}

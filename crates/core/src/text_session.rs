@@ -1,0 +1,267 @@
+//! A streaming text-entry session: audio chunks in, committed words out.
+//!
+//! Builds the full interaction loop the paper's Android app implements on
+//! top of stroke recognition: strokes accumulate into a pending word, a
+//! sufficiently long writing pause (the user dropping their hand) commits
+//! the word through the Bayesian decoder, and the next-word predictor keeps
+//! conversational context (the paper's "automatic successive
+//! associations").
+
+use crate::engine::EchoWrite;
+use crate::streaming::{StreamingRecognizer, StrokeEvent};
+use echowrite_dtw::Classification;
+use echowrite_lang::Candidate;
+
+/// Events emitted by a [`TextSession`].
+#[derive(Debug, Clone)]
+pub enum SessionEvent {
+    /// A stroke stabilized and joined the pending word.
+    Stroke(StrokeEvent),
+    /// A word boundary was reached and the pending strokes decoded.
+    Word {
+        /// The committed (top-1) word, if any candidate matched.
+        word: Option<String>,
+        /// The full candidate list offered to the user.
+        candidates: Vec<Candidate>,
+        /// Next-word suggestions given the committed word.
+        suggestions: Vec<String>,
+    },
+}
+
+/// A streaming text-entry session over an [`EchoWrite`] engine.
+///
+/// # Example
+///
+/// ```
+/// use echowrite::{EchoWrite, TextSession};
+/// let engine = EchoWrite::new();
+/// let mut session = TextSession::new(&engine);
+/// // Silence produces no events and no text.
+/// assert!(session.push(&vec![0.0; 44_100]).is_empty());
+/// assert_eq!(session.text(), "");
+/// ```
+#[derive(Debug)]
+pub struct TextSession<'a> {
+    engine: &'a EchoWrite,
+    stream: StreamingRecognizer<'a>,
+    /// Stabilized classifications of the pending word.
+    pending: Vec<Classification>,
+    /// End frame of the most recent stroke.
+    last_stroke_end: usize,
+    /// Inter-stroke gap (frames) that commits a word.
+    word_gap_frames: usize,
+    committed: Vec<String>,
+}
+
+impl<'a> TextSession<'a> {
+    /// Creates a session with a 2.6 s word-boundary pause — above the
+    /// worst-case intra-word stroke gap (a long withdraw plus the
+    /// segment-trimming slack approaches 2.2 s).
+    pub fn new(engine: &'a EchoWrite) -> Self {
+        let hop_s = engine.config().stft.hop_seconds();
+        TextSession {
+            engine,
+            stream: StreamingRecognizer::new(engine),
+            pending: Vec::new(),
+            last_stroke_end: 0,
+            word_gap_frames: (2.6 / hop_s).round() as usize,
+            committed: Vec::new(),
+        }
+    }
+
+    /// Overrides the word-boundary pause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gap is not positive.
+    pub fn with_word_gap(mut self, seconds: f64) -> Self {
+        assert!(seconds > 0.0, "word gap must be positive");
+        let hop_s = self.engine.config().stft.hop_seconds();
+        self.word_gap_frames = (seconds / hop_s).round().max(1.0) as usize;
+        self
+    }
+
+    /// Feeds audio; returns stroke and word events in order.
+    pub fn push(&mut self, chunk: &[f64]) -> Vec<SessionEvent> {
+        let mut events = Vec::new();
+        for ev in self.stream.push(chunk) {
+            // A long gap before this stroke commits the previous word.
+            if !self.pending.is_empty()
+                && ev.start_frame.saturating_sub(self.last_stroke_end) >= self.word_gap_frames
+            {
+                events.push(self.commit());
+            }
+            self.last_stroke_end = ev.end_frame;
+            self.pending.push(ev.classification.clone());
+            events.push(SessionEvent::Stroke(ev));
+        }
+        // Silence long enough after the last stroke also commits.
+        if !self.pending.is_empty()
+            && self
+                .stream
+                .frames_processed()
+                .saturating_sub(self.last_stroke_end)
+                >= self.word_gap_frames
+        {
+            events.push(self.commit());
+        }
+        events
+    }
+
+    /// Commits the pending strokes immediately (e.g. at end of input).
+    ///
+    /// Returns `None` when no strokes are pending.
+    pub fn flush(&mut self) -> Option<SessionEvent> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.commit())
+        }
+    }
+
+    fn commit(&mut self) -> SessionEvent {
+        let observed: Vec<_> = self.pending.iter().map(|c| c.stroke).collect();
+        let scores: Vec<[f64; 6]> = self.pending.iter().map(|c| c.scores).collect();
+        self.pending.clear();
+        let candidates = self.engine.decoder().decode_soft(&observed, &scores);
+        let word = candidates.first().map(|c| c.word.clone());
+        let suggestions = match &word {
+            Some(w) => {
+                self.committed.push(w.clone());
+                self.engine.predictor().predict(w, 3)
+            }
+            None => Vec::new(),
+        };
+        SessionEvent::Word { word, candidates, suggestions }
+    }
+
+    /// The text committed so far, space-separated.
+    pub fn text(&self) -> String {
+        self.committed.join(" ")
+    }
+
+    /// Number of strokes waiting for a word boundary.
+    pub fn pending_strokes(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use echowrite_gesture::{Writer, WriterParams};
+    use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+    use std::sync::OnceLock;
+
+    fn engine() -> &'static EchoWrite {
+        static E: OnceLock<EchoWrite> = OnceLock::new();
+        E.get_or_init(EchoWrite::new)
+    }
+
+    /// Renders a phrase continuously (smooth inter-word repositioning),
+    /// with `gap` seconds of rest between and after words.
+    fn render_phrase(words: &[&str], gap: f64, seed: u64) -> Vec<f64> {
+        let e = engine();
+        let mut writer = Writer::new(WriterParams::nominal(), seed);
+        let seqs: Vec<_> = words
+            .iter()
+            .map(|w| e.scheme().encode_word(w).expect("letters only"))
+            .collect();
+        let perf = writer.write_phrase(&seqs, gap);
+        let mut traj = perf.trajectory.clone();
+        let rest = *traj.points().last().expect("non-empty");
+        traj.hold(rest, gap + 0.8);
+        Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), seed)
+            .render(&traj)
+    }
+
+    #[test]
+    fn commits_words_at_pauses() {
+        let e = engine();
+        let audio = render_phrase(&["the", "me"], 3.2, 3);
+        let mut session = TextSession::new(e);
+        let mut words = Vec::new();
+        for chunk in audio.chunks(5 * 1024) {
+            for ev in session.push(chunk) {
+                if let SessionEvent::Word { word, candidates, .. } = ev {
+                    assert!(!candidates.is_empty(), "empty candidate list");
+                    words.push(word.unwrap_or_default());
+                }
+            }
+        }
+        if let Some(SessionEvent::Word { word, .. }) = session.flush() {
+            words.push(word.unwrap_or_default());
+        }
+        assert_eq!(words.len(), 2, "expected two committed words: {words:?}");
+        // The decoded words are drawn from each stroke-sequence's collision
+        // group; "the" is the most frequent in its group so top-1 holds.
+        assert_eq!(words[0], "the");
+        assert_eq!(session.text().split_whitespace().count(), 2);
+    }
+
+    #[test]
+    fn no_pause_means_one_word() {
+        let e = engine();
+        let audio = render_phrase(&["and"], 3.0, 5);
+        let mut session = TextSession::new(e);
+        let mut word_events = 0;
+        let mut strokes = 0;
+        for chunk in audio.chunks(4096) {
+            for ev in session.push(chunk) {
+                match ev {
+                    SessionEvent::Stroke(_) => strokes += 1,
+                    SessionEvent::Word { .. } => word_events += 1,
+                }
+            }
+        }
+        assert_eq!(strokes, 3, "'and' has three strokes");
+        assert_eq!(word_events, 1, "a single word must commit once");
+        assert_eq!(session.pending_strokes(), 0);
+    }
+
+    #[test]
+    fn flush_commits_remainder() {
+        let e = engine();
+        // Short tail: the trailing pause is below the word gap, so the
+        // word only commits on flush.
+        let audio = render_phrase(&["me"], 0.1, 9);
+        let mut session = TextSession::new(e).with_word_gap(3.0);
+        for chunk in audio.chunks(4096) {
+            for ev in session.push(chunk) {
+                assert!(matches!(ev, SessionEvent::Stroke(_)), "premature commit");
+            }
+        }
+        let flushed = session.flush().expect("pending word");
+        match flushed {
+            SessionEvent::Word { candidates, .. } => assert!(!candidates.is_empty()),
+            other => panic!("expected word event, got {other:?}"),
+        }
+        assert!(session.flush().is_none(), "second flush must be empty");
+    }
+
+    #[test]
+    fn suggestions_follow_commits() {
+        let e = engine();
+        let audio = render_phrase(&["of"], 3.0, 11);
+        let mut session = TextSession::new(e);
+        let mut suggestions = Vec::new();
+        for chunk in audio.chunks(5 * 1024) {
+            for ev in session.push(chunk) {
+                if let SessionEvent::Word { word: Some(w), suggestions: s, .. } = ev {
+                    if w == "of" {
+                        suggestions = s;
+                    }
+                }
+            }
+        }
+        if !suggestions.is_empty() {
+            assert_eq!(suggestions[0], "the", "bigram successor of 'of'");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "word gap must be positive")]
+    fn rejects_zero_gap() {
+        let _ = TextSession::new(engine()).with_word_gap(0.0);
+    }
+}

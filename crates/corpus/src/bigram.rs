@@ -1,0 +1,302 @@
+//! Word-bigram successor model for next-word prediction.
+//!
+//! After a word is committed, EchoWrite "predict\[s\] following words by
+//! automatic successive associations by using the 2-gram data of COCA"
+//! (Sec. III-C). This model embeds a seed table of common English bigrams
+//! and falls back to unigram frequency for unseen predecessors.
+
+use crate::lexicon::Lexicon;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Seed bigrams `(previous, next, weight)` — higher weight = more likely.
+const SEED_BIGRAMS: &[(&str, &str, f64)] = &[
+    ("of", "the", 100.0),
+    ("in", "the", 95.0),
+    ("to", "the", 80.0),
+    ("on", "the", 70.0),
+    ("to", "be", 68.0),
+    ("at", "the", 60.0),
+    ("and", "the", 55.0),
+    ("for", "the", 52.0),
+    ("with", "the", 50.0),
+    ("from", "the", 45.0),
+    ("by", "the", 42.0),
+    ("it", "is", 40.0),
+    ("it", "was", 38.0),
+    ("i", "am", 36.0),
+    ("i", "have", 35.0),
+    ("i", "was", 34.0),
+    ("i", "think", 30.0),
+    ("i", "know", 28.0),
+    ("you", "are", 32.0),
+    ("you", "can", 30.0),
+    ("you", "know", 29.0),
+    ("he", "was", 30.0),
+    ("he", "said", 28.0),
+    ("she", "was", 28.0),
+    ("she", "said", 26.0),
+    ("they", "are", 26.0),
+    ("they", "were", 24.0),
+    ("we", "are", 25.0),
+    ("we", "have", 23.0),
+    ("this", "is", 30.0),
+    ("that", "is", 26.0),
+    ("there", "is", 25.0),
+    ("there", "was", 23.0),
+    ("there", "are", 22.0),
+    ("the", "first", 20.0),
+    ("the", "same", 19.0),
+    ("the", "other", 18.0),
+    ("the", "world", 17.0),
+    ("the", "people", 16.0),
+    ("the", "time", 15.0),
+    ("the", "water", 12.0),
+    ("a", "little", 18.0),
+    ("a", "good", 17.0),
+    ("a", "few", 16.0),
+    ("a", "long", 15.0),
+    ("a", "new", 14.0),
+    ("one", "of", 25.0),
+    ("some", "of", 20.0),
+    ("all", "of", 19.0),
+    ("out", "of", 24.0),
+    ("part", "of", 18.0),
+    ("most", "of", 16.0),
+    ("because", "of", 15.0),
+    ("would", "be", 20.0),
+    ("will", "be", 22.0),
+    ("can", "be", 18.0),
+    ("could", "be", 16.0),
+    ("should", "be", 14.0),
+    ("have", "been", 20.0),
+    ("has", "been", 18.0),
+    ("had", "been", 16.0),
+    ("do", "not", 22.0),
+    ("did", "not", 18.0),
+    ("does", "not", 15.0),
+    ("is", "not", 14.0),
+    ("was", "not", 13.0),
+    ("going", "to", 22.0),
+    ("want", "to", 20.0),
+    ("have", "to", 19.0),
+    ("need", "to", 16.0),
+    ("like", "to", 14.0),
+    ("able", "to", 12.0),
+    ("said", "that", 15.0),
+    ("so", "that", 12.0),
+    ("more", "than", 18.0),
+    ("less", "than", 10.0),
+    ("as", "well", 14.0),
+    ("well", "as", 12.0),
+    ("such", "as", 13.0),
+    ("each", "other", 12.0),
+    ("every", "day", 10.0),
+    ("last", "year", 12.0),
+    ("next", "year", 10.0),
+    ("first", "time", 12.0),
+    ("long", "time", 11.0),
+    ("right", "now", 12.0),
+    ("come", "back", 10.0),
+    ("go", "back", 9.0),
+    ("look", "at", 14.0),
+    ("looked", "at", 9.0),
+    ("thank", "you", 12.0),
+    ("good", "morning", 8.0),
+    ("high", "school", 10.0),
+    ("united", "states", 9.0),
+    ("new", "york", 8.0),
+    ("years", "ago", 10.0),
+    ("per", "cent", 6.0),
+    ("make", "sure", 9.0),
+    ("in", "fact", 9.0),
+    ("of", "course", 11.0),
+    ("a", "lot", 16.0),
+    ("lot", "of", 15.0),
+    ("kind", "of", 13.0),
+    ("sort", "of", 10.0),
+    ("the", "way", 13.0),
+    ("by", "way", 4.0),
+    ("in", "order", 8.0),
+    ("order", "to", 8.0),
+    ("at", "least", 10.0),
+    ("at", "all", 9.0),
+    ("after", "all", 6.0),
+    ("and", "then", 11.0),
+    ("and", "so", 8.0),
+    ("but", "not", 7.0),
+    ("or", "not", 6.0),
+    ("not", "only", 8.0),
+    ("only", "one", 6.0),
+    ("no", "one", 9.0),
+    ("every", "one", 4.0),
+    ("each", "of", 7.0),
+    ("both", "of", 5.0),
+    ("many", "of", 7.0),
+    ("much", "of", 6.0),
+    ("about", "the", 20.0),
+    ("into", "the", 18.0),
+    ("over", "the", 16.0),
+    ("through", "the", 12.0),
+    ("around", "the", 11.0),
+    ("under", "the", 9.0),
+    ("between", "the", 8.0),
+];
+
+/// A bigram successor model.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_corpus::BigramModel;
+/// let model = BigramModel::embedded();
+/// let next = model.predict("of", 3);
+/// assert_eq!(next[0], "the");
+/// ```
+#[derive(Debug, Clone)]
+pub struct BigramModel {
+    successors: HashMap<String, Vec<(String, f64)>>,
+}
+
+impl BigramModel {
+    /// The embedded seed model (singleton).
+    pub fn embedded() -> &'static BigramModel {
+        static INSTANCE: OnceLock<BigramModel> = OnceLock::new();
+        INSTANCE.get_or_init(|| {
+            BigramModel::from_counts(
+                SEED_BIGRAMS
+                    .iter()
+                    .map(|&(a, b, w)| ((a.to_string(), b.to_string()), w)),
+            )
+        })
+    }
+
+    /// Builds a model from `((previous, next), weight)` counts.
+    pub fn from_counts<I>(counts: I) -> Self
+    where
+        I: IntoIterator<Item = ((String, String), f64)>,
+    {
+        let mut successors: HashMap<String, Vec<(String, f64)>> = HashMap::new();
+        for ((prev, next), w) in counts {
+            successors
+                .entry(prev.to_ascii_lowercase())
+                .or_default()
+                .push((next.to_ascii_lowercase(), w));
+        }
+        for list in successors.values_mut() {
+            list.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        }
+        BigramModel { successors }
+    }
+
+    /// Ranked successors of `prev` from the bigram table only.
+    pub fn successors(&self, prev: &str) -> &[(String, f64)] {
+        self.successors
+            .get(&prev.to_ascii_lowercase())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Predicts the `k` most likely next words after `prev`: bigram
+    /// successors first, padded with the embedded lexicon's most frequent
+    /// words (skipping duplicates and `prev` itself).
+    pub fn predict(&self, prev: &str, k: usize) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .successors(prev)
+            .iter()
+            .take(k)
+            .map(|(w, _)| w.clone())
+            .collect();
+        if out.len() < k {
+            let prev_lc = prev.to_ascii_lowercase();
+            for e in Lexicon::embedded().iter() {
+                if out.len() >= k {
+                    break;
+                }
+                if e.word != prev_lc && !out.contains(&e.word) {
+                    out.push(e.word.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of distinct predecessor words in the table.
+    pub fn predecessor_count(&self) -> usize {
+        self.successors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedded_model_has_seed_pairs() {
+        let m = BigramModel::embedded();
+        assert!(m.predecessor_count() > 40);
+        let of = m.successors("of");
+        assert_eq!(of[0].0, "the");
+    }
+
+    #[test]
+    fn successors_sorted_by_weight() {
+        let m = BigramModel::embedded();
+        for prev in ["i", "the", "a", "you"] {
+            let s = m.successors(prev);
+            for w in s.windows(2) {
+                assert!(w[0].1 >= w[1].1, "{prev} successors out of order");
+            }
+        }
+    }
+
+    #[test]
+    fn predict_pads_with_unigrams() {
+        let m = BigramModel::embedded();
+        let preds = m.predict("xylophoneish", 5);
+        assert_eq!(preds.len(), 5);
+        // Falls back to most frequent words.
+        assert_eq!(preds[0], "the");
+    }
+
+    #[test]
+    fn predict_excludes_prev_and_duplicates() {
+        let m = BigramModel::embedded();
+        let preds = m.predict("the", 10);
+        assert_eq!(preds.len(), 10);
+        assert!(!preds.contains(&"the".to_string()));
+        let mut dedup = preds.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), preds.len());
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let m = BigramModel::embedded();
+        assert_eq!(m.predict("OF", 1), vec!["the".to_string()]);
+    }
+
+    #[test]
+    fn custom_counts() {
+        let m = BigramModel::from_counts(vec![
+            (("hello".to_string(), "world".to_string()), 5.0),
+            (("hello".to_string(), "there".to_string()), 9.0),
+        ]);
+        let s = m.successors("hello");
+        assert_eq!(s[0].0, "there");
+        assert_eq!(s[1].0, "world");
+    }
+
+    #[test]
+    fn seed_bigram_words_are_mostly_in_lexicon() {
+        let lex = Lexicon::embedded();
+        let missing: Vec<&str> = SEED_BIGRAMS
+            .iter()
+            .flat_map(|&(a, b, _)| [a, b])
+            .filter(|w| !lex.contains(w))
+            .collect();
+        // A couple of proper nouns are allowed to be absent.
+        assert!(missing.len() <= 8, "too many bigram words missing: {missing:?}");
+    }
+}

@@ -1,0 +1,239 @@
+//! The frequency-ranked word list.
+
+use crate::lexicon_data::WORDS;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// One dictionary word with its frequency statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WordEntry {
+    /// The word, lowercase ASCII letters only.
+    pub word: String,
+    /// Zero-based frequency rank (0 = most frequent).
+    pub rank: usize,
+    /// Occurrences per million words (Zipf-law synthetic for the embedded
+    /// list; real counts if loaded from a corpus export).
+    pub frequency: f64,
+}
+
+/// A frequency-ranked lexicon.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_corpus::Lexicon;
+/// let lex = Lexicon::embedded();
+/// assert!(lex.contains("the"));
+/// assert!(lex.frequency("the").unwrap() > lex.frequency("water").unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lexicon {
+    entries: Vec<WordEntry>,
+    index: HashMap<String, usize>,
+}
+
+impl Lexicon {
+    /// The embedded ~1,000-word lexicon (singleton).
+    ///
+    /// Frequencies follow a Zipf law over the rank, `f(r) ∝ 1/(r+2)^1.07`,
+    /// scaled so the most frequent word has ~50,000 occurrences per million
+    /// — close to English "the".
+    pub fn embedded() -> &'static Lexicon {
+        static INSTANCE: OnceLock<Lexicon> = OnceLock::new();
+        INSTANCE.get_or_init(|| {
+            Lexicon::from_ranked_words(WORDS.iter().map(|w| w.to_string()))
+                .expect("embedded word list is valid")
+        })
+    }
+
+    /// Builds a lexicon from words already in descending frequency order,
+    /// assigning Zipf-law frequencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending word if any word is empty,
+    /// contains non-ASCII-alphabetic characters, or repeats.
+    pub fn from_ranked_words<I>(words: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut entries = Vec::new();
+        let mut index = HashMap::new();
+        for (rank, raw) in words.into_iter().enumerate() {
+            let word = raw.to_ascii_lowercase();
+            if word.is_empty() || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+                return Err(format!("invalid word {raw:?} at rank {rank}"));
+            }
+            if index.contains_key(&word) {
+                return Err(format!("duplicate word {word:?} at rank {rank}"));
+            }
+            let frequency = 152_000.0 / ((rank as f64 + 2.0).powf(1.07));
+            index.insert(word.clone(), rank);
+            entries.push(WordEntry { word, rank, frequency });
+        }
+        if entries.is_empty() {
+            return Err("lexicon must contain at least one word".to_string());
+        }
+        Ok(Lexicon { entries, index })
+    }
+
+    /// Builds a lexicon from explicit `(word, frequency)` pairs — the entry
+    /// point for loading a real COCA export. Pairs are sorted by descending
+    /// frequency.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Lexicon::from_ranked_words`], plus non-finite or
+    /// non-positive frequencies.
+    pub fn from_frequencies<I>(pairs: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = (String, f64)>,
+    {
+        let mut pairs: Vec<(String, f64)> = pairs.into_iter().collect();
+        for (w, f) in &pairs {
+            if !f.is_finite() || *f <= 0.0 {
+                return Err(format!("invalid frequency {f} for word {w:?}"));
+            }
+        }
+        pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut entries = Vec::new();
+        let mut index = HashMap::new();
+        for (rank, (raw, frequency)) in pairs.into_iter().enumerate() {
+            let word = raw.to_ascii_lowercase();
+            if word.is_empty() || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+                return Err(format!("invalid word {raw:?}"));
+            }
+            if index.contains_key(&word) {
+                return Err(format!("duplicate word {word:?}"));
+            }
+            index.insert(word.clone(), rank);
+            entries.push(WordEntry { word, rank, frequency });
+        }
+        if entries.is_empty() {
+            return Err("lexicon must contain at least one word".to_string());
+        }
+        Ok(Lexicon { entries, index })
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the lexicon is empty (never true for a constructed lexicon).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `word` is present (case-insensitive).
+    pub fn contains(&self, word: &str) -> bool {
+        self.index.contains_key(&word.to_ascii_lowercase())
+    }
+
+    /// The entry for `word`, if present.
+    pub fn entry(&self, word: &str) -> Option<&WordEntry> {
+        self.index
+            .get(&word.to_ascii_lowercase())
+            .map(|&i| &self.entries[i])
+    }
+
+    /// Frequency (per million) of `word`, if present.
+    pub fn frequency(&self, word: &str) -> Option<f64> {
+        self.entry(word).map(|e| e.frequency)
+    }
+
+    /// The `n` most frequent words.
+    pub fn top(&self, n: usize) -> &[WordEntry] {
+        &self.entries[..n.min(self.entries.len())]
+    }
+
+    /// Iterates entries in descending frequency order.
+    pub fn iter(&self) -> impl Iterator<Item = &WordEntry> {
+        self.entries.iter()
+    }
+
+    /// Mean word length in letters.
+    pub fn mean_word_length(&self) -> f64 {
+        self.entries.iter().map(|e| e.word.len()).sum::<usize>() as f64
+            / self.entries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedded_lexicon_is_large_and_clean() {
+        let lex = Lexicon::embedded();
+        assert!(lex.len() >= 1000, "only {} words", lex.len());
+        for e in lex.iter() {
+            assert!(e.word.bytes().all(|b| b.is_ascii_lowercase()));
+            assert!(e.frequency > 0.0);
+        }
+    }
+
+    #[test]
+    fn frequencies_decrease_with_rank() {
+        let lex = Lexicon::embedded();
+        let mut prev = f64::INFINITY;
+        for e in lex.iter() {
+            assert!(e.frequency <= prev);
+            prev = e.frequency;
+        }
+    }
+
+    #[test]
+    fn common_words_present_and_ranked_sensibly() {
+        let lex = Lexicon::embedded();
+        for w in ["the", "be", "and", "have", "water", "people", "question"] {
+            assert!(lex.contains(w), "{w} missing");
+        }
+        assert!(lex.entry("the").unwrap().rank < lex.entry("water").unwrap().rank);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let lex = Lexicon::embedded();
+        assert!(lex.contains("The"));
+        assert_eq!(lex.frequency("THE"), lex.frequency("the"));
+    }
+
+    #[test]
+    fn top_returns_prefix() {
+        let lex = Lexicon::embedded();
+        let top = lex.top(5);
+        assert_eq!(top.len(), 5);
+        assert_eq!(top[0].word, "the");
+        assert_eq!(lex.top(1_000_000).len(), lex.len());
+    }
+
+    #[test]
+    fn from_ranked_words_validates() {
+        assert!(Lexicon::from_ranked_words(vec!["ok".into(), "it's".into()]).is_err());
+        assert!(Lexicon::from_ranked_words(vec!["a".into(), "a".into()]).is_err());
+        assert!(Lexicon::from_ranked_words(Vec::<String>::new()).is_err());
+        let lex = Lexicon::from_ranked_words(vec!["Cat".into(), "dog".into()]).unwrap();
+        assert!(lex.contains("cat"));
+        assert_eq!(lex.entry("cat").unwrap().rank, 0);
+    }
+
+    #[test]
+    fn from_frequencies_sorts_and_validates() {
+        let lex = Lexicon::from_frequencies(vec![
+            ("low".to_string(), 1.0),
+            ("high".to_string(), 100.0),
+        ])
+        .unwrap();
+        assert_eq!(lex.entry("high").unwrap().rank, 0);
+        assert_eq!(lex.entry("low").unwrap().rank, 1);
+        assert!(Lexicon::from_frequencies(vec![("x".to_string(), -1.0)]).is_err());
+        assert!(Lexicon::from_frequencies(vec![("x".to_string(), f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn mean_word_length_plausible() {
+        let m = Lexicon::embedded().mean_word_length();
+        assert!(m > 3.5 && m < 7.5, "mean length {m}");
+    }
+}

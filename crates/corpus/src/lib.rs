@@ -1,0 +1,67 @@
+//! Corpus data for the EchoWrite reproduction.
+//!
+//! The paper builds its dictionary from the Corpus of Contemporary American
+//! English (COCA): the 5,000 most frequent words with frequency attributes,
+//! 2-gram data for next-word prediction, and Fry Instant Phrases for the
+//! text-entry speed studies. COCA and the Fry sheets are proprietary /
+//! external resources, so this crate embeds functional substitutes:
+//!
+//! - [`Lexicon`]: ~1,000 common English words in frequency order with
+//!   Zipf-law frequencies (any word/frequency list can be loaded instead),
+//! - [`BigramModel`]: a successor table seeded with common English bigrams,
+//!   falling back to unigram frequency,
+//! - [`phrases`]: short everyday phrase blocks with the same length
+//!   statistics as Fry Instant Phrases, grouped like the paper's five
+//!   two-paragraph blocks (Fig. 16),
+//! - [`table1_words`]: the ten test words of Table I — short, medium, and
+//!   long words that jointly cover all six strokes.
+
+pub mod bigram;
+pub mod lexicon;
+mod lexicon_data;
+pub mod phrases;
+
+pub use bigram::BigramModel;
+pub use lexicon::{Lexicon, WordEntry};
+
+/// The ten evaluation words of Table I (reconstructed: the paper's table
+/// image is not in the text; these satisfy its stated constraints — short,
+/// medium and long common words that jointly cover all six strokes).
+pub const TABLE1_WORDS: [&str; 10] = [
+    "me", "can", "the", "and", "time", "water", "people", "because", "morning", "question",
+];
+
+/// Returns the Table I words as owned strings.
+pub fn table1_words() -> Vec<String> {
+    TABLE1_WORDS.iter().map(|w| w.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use echowrite_gesture::InputScheme;
+
+    #[test]
+    fn table1_words_exist_in_lexicon() {
+        let lex = Lexicon::embedded();
+        for w in TABLE1_WORDS {
+            assert!(lex.contains(w), "table-1 word {w:?} missing from lexicon");
+        }
+    }
+
+    #[test]
+    fn table1_covers_all_strokes_and_lengths() {
+        let scheme = InputScheme::paper();
+        let mut seen = [false; 6];
+        for w in TABLE1_WORDS {
+            for s in scheme.encode_word(w).unwrap() {
+                seen[s.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "stroke coverage {seen:?}");
+        let lens: Vec<usize> = TABLE1_WORDS.iter().map(|w| w.len()).collect();
+        assert!(lens.iter().any(|&l| l <= 3), "needs short words");
+        assert!(lens.iter().any(|&l| (4..=5).contains(&l)), "needs medium words");
+        assert!(lens.iter().any(|&l| l >= 7), "needs long words");
+    }
+}

@@ -1,0 +1,154 @@
+//! Short everyday phrases for text-entry speed studies.
+//!
+//! The paper's Figs. 16–18 measure entry speed on "given paragraphs
+//! randomly selected in Fry Instant Phrases … grouped in five blocks, each
+//! of which contains two paragraphs". The Fry sheets are an external
+//! teaching resource; these embedded phrases match their style (2–6 common
+//! words, everyday register) and are grouped the same way.
+
+/// A paragraph: a list of short phrases entered in sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Paragraph {
+    /// The phrases, already lowercase with no punctuation.
+    pub phrases: Vec<&'static str>,
+}
+
+impl Paragraph {
+    /// All words of the paragraph in order.
+    pub fn words(&self) -> Vec<&'static str> {
+        self.phrases.iter().flat_map(|p| p.split_whitespace()).collect()
+    }
+
+    /// Total letter count (excluding spaces).
+    pub fn letter_count(&self) -> usize {
+        self.words().iter().map(|w| w.len()).sum()
+    }
+}
+
+/// A block of two paragraphs, as grouped in Fig. 16.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Block label (`B1`..`B5`).
+    pub name: &'static str,
+    /// The two paragraphs.
+    pub paragraphs: [Paragraph; 2],
+}
+
+impl Block {
+    /// All words across both paragraphs.
+    pub fn words(&self) -> Vec<&'static str> {
+        let mut out = self.paragraphs[0].words();
+        out.extend(self.paragraphs[1].words());
+        out
+    }
+}
+
+/// The five two-paragraph phrase blocks.
+pub fn blocks() -> Vec<Block> {
+    fn para(phrases: &[&'static str]) -> Paragraph {
+        Paragraph { phrases: phrases.to_vec() }
+    }
+    vec![
+        Block {
+            name: "B1",
+            paragraphs: [
+                para(&["the people", "by the water", "you and i", "a long time"]),
+                para(&["come and get it", "sit down", "now and then", "but not me"]),
+            ],
+        },
+        Block {
+            name: "B2",
+            paragraphs: [
+                para(&["out of the water", "we were here", "one more time", "all day long"]),
+                para(&["how many words", "part of the time", "can you see", "not now"]),
+            ],
+        },
+        Block {
+            name: "B3",
+            paragraphs: [
+                para(&["what did they say", "when would you go", "no way", "one or two"]),
+                para(&["a number of people", "this is a good day", "i like him", "so there you are"]),
+            ],
+        },
+        Block {
+            name: "B4",
+            paragraphs: [
+                para(&["into the water", "it is about time", "the other people", "up in the air"]),
+                para(&["she said to go", "which way", "each of us", "he has it"]),
+            ],
+        },
+        Block {
+            name: "B5",
+            paragraphs: [
+                para(&["what are these", "if we were older", "the little things", "write your name"]),
+                para(&["we like to write", "have you seen it", "could you go", "more than the other"]),
+            ],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::Lexicon;
+
+    #[test]
+    fn five_blocks_of_two_paragraphs() {
+        let bs = blocks();
+        assert_eq!(bs.len(), 5);
+        for b in &bs {
+            assert_eq!(b.paragraphs.len(), 2);
+            for p in &b.paragraphs {
+                assert!(!p.phrases.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn phrases_are_clean_lowercase() {
+        for b in blocks() {
+            for p in &b.paragraphs {
+                for phrase in &p.phrases {
+                    assert!(phrase
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c == ' '), "{phrase:?}");
+                    assert!(!phrase.trim().is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phrase_lengths_match_fry_style() {
+        for b in blocks() {
+            for p in &b.paragraphs {
+                for phrase in &p.phrases {
+                    let n = phrase.split_whitespace().count();
+                    assert!((2..=6).contains(&n), "{phrase:?} has {n} words");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_phrase_words_are_in_lexicon() {
+        let lex = Lexicon::embedded();
+        for b in blocks() {
+            for w in b.words() {
+                assert!(lex.contains(w), "phrase word {w:?} missing from lexicon");
+            }
+        }
+    }
+
+    #[test]
+    fn word_and_letter_counts() {
+        let bs = blocks();
+        let p = &bs[0].paragraphs[0];
+        assert_eq!(p.words().len(), 11);
+        assert_eq!(p.letter_count(), "thepeoplebythewateryouandialongtime".len());
+        // Each block offers a reasonable amount of text for a session.
+        for b in &bs {
+            assert!(b.words().len() >= 20, "block {} too short", b.name);
+        }
+    }
+}

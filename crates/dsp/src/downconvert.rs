@@ -1,0 +1,350 @@
+//! Complex down-conversion front-end — the paper's Sec. VII-A optimization.
+//!
+//! "Obtaining the spectrogram by continuous STFT costs a high percentage of
+//! CPU resources. To decrease computing overhead, a possible approach is to
+//! utilize down-sampling technique to reduce the number of FFT points,
+//! according to bandpass sampling theorem. More importantly, this operation
+//! does not need to modify main methods proposed in this work."
+//!
+//! Exactly that: the 44.1 kHz stream is multiplied by `e^(−j2πf₀t)` to move
+//! the 20 kHz carrier to 0 Hz, low-pass filtered, and decimated by `D`
+//! (polyphase — the filter runs at the *output* rate). A small complex FFT
+//! (8192/D points at a hop of 1024/D) then yields a spectrogram with the
+//! same 5.38 Hz bin width and 23.2 ms hop as the full pipeline, so every
+//! downstream stage — enhancement, MVCE, segmentation, the stored DTW
+//! templates — is reused unchanged. Arithmetic drops by roughly the
+//! decimation factor.
+
+use crate::complex::Complex;
+use crate::fft::Fft;
+use crate::window::WindowKind;
+
+/// A polyphase down-converting decimator: real pass-band in, complex
+/// baseband out at `sample_rate / factor`.
+#[derive(Debug, Clone)]
+pub struct Downconverter {
+    carrier_hz: f64,
+    sample_rate: f64,
+    factor: usize,
+    /// FIR taps pre-rotated by the mixer phase relative to the tap centre:
+    /// `h[t]·e^(−jω(t−half))`. The per-output absolute phase is applied by a
+    /// single rotator recurrence, so no trigonometry runs in the inner loop.
+    ctaps: Vec<Complex>,
+    half: usize,
+}
+
+impl Downconverter {
+    /// Creates a down-converter.
+    ///
+    /// `num_taps` sets the anti-alias FIR length (windowed sinc with a Hann
+    /// window, cutoff at 80 % of the output Nyquist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` < 2, `num_taps` is zero, or the carrier is not
+    /// below Nyquist.
+    pub fn new(carrier_hz: f64, sample_rate: f64, factor: usize, num_taps: usize) -> Self {
+        assert!(factor >= 2, "decimation factor must be at least 2, got {factor}");
+        assert!(num_taps > 0, "FIR needs at least one tap");
+        assert!(
+            carrier_hz > 0.0 && carrier_hz < sample_rate / 2.0,
+            "carrier {carrier_hz} Hz outside (0, Nyquist)"
+        );
+        let out_rate = sample_rate / factor as f64;
+        let cutoff = 0.4 * out_rate; // 80 % of the output Nyquist
+        let taps = lowpass_taps(num_taps, cutoff / sample_rate);
+        let w = std::f64::consts::TAU * carrier_hz / sample_rate;
+        let half = num_taps / 2;
+        let ctaps = taps
+            .iter()
+            .enumerate()
+            .map(|(t, &h)| Complex::from_angle(-w * (t as f64 - half as f64)).scale(h))
+            .collect();
+        Downconverter { carrier_hz, sample_rate, factor, ctaps, half }
+    }
+
+    /// The paper-parameter front-end: 20 kHz carrier at 44.1 kHz decimated
+    /// by 32 → 1 378 Hz complex baseband (covering ±689 Hz, comfortably
+    /// containing the ±470 Hz ROI).
+    pub fn paper(factor: usize) -> Self {
+        Downconverter::new(20_000.0, 44_100.0, factor, 129)
+    }
+
+    /// Output (baseband) sample rate in Hz.
+    pub fn output_rate(&self) -> f64 {
+        self.sample_rate / self.factor as f64
+    }
+
+    /// The decimation factor.
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+
+    /// Down-converts and decimates `audio`, returning complex baseband
+    /// samples at [`Downconverter::output_rate`].
+    ///
+    /// Polyphase evaluation: the FIR is only evaluated at output instants,
+    /// so the cost is `num_taps × len/factor` multiply-accumulates.
+    pub fn process(&self, audio: &[f64]) -> Vec<Complex> {
+        let n_out = audio.len() / self.factor;
+        let mut out = Vec::with_capacity(n_out);
+        let w = std::f64::consts::TAU * self.carrier_hz / self.sample_rate;
+        // Rotator recurrence: absolute mixer phase at each output centre,
+        // advanced by one complex multiply per output (periodically
+        // re-seeded exactly to stop drift).
+        let step = Complex::from_angle(-w * self.factor as f64);
+        let mut rotator = Complex::ONE;
+        for k in 0..n_out {
+            let centre = k * self.factor;
+            if k % 1024 == 0 {
+                rotator = Complex::from_angle(-w * centre as f64);
+            }
+            let mut acc = Complex::ZERO;
+            // Causal-centred FIR evaluated at the output instant only.
+            let lo = centre as isize - self.half as isize;
+            for (t, &ct) in self.ctaps.iter().enumerate() {
+                let idx = lo + t as isize;
+                if idx < 0 || idx as usize >= audio.len() {
+                    continue;
+                }
+                acc += ct.scale(audio[idx as usize]);
+            }
+            out.push(acc * rotator);
+            rotator *= step;
+        }
+        out
+    }
+}
+
+/// Windowed-sinc (Hann) low-pass taps with normalized cutoff `fc` (cycles
+/// per input sample), unity DC gain.
+fn lowpass_taps(num_taps: usize, fc: f64) -> Vec<f64> {
+    let m = (num_taps - 1) as f64;
+    let window = WindowKind::Hann.coefficients(num_taps);
+    let mut taps: Vec<f64> = (0..num_taps)
+        .map(|i| {
+            let x = i as f64 - m / 2.0;
+            let sinc = if x.abs() < 1e-12 {
+                2.0 * fc
+            } else {
+                (std::f64::consts::TAU * fc * x).sin() / (std::f64::consts::PI * x)
+            };
+            sinc * window[i]
+        })
+        .collect();
+    let sum: f64 = taps.iter().sum();
+    for t in &mut taps {
+        *t /= sum;
+    }
+    taps
+}
+
+/// Short-time spectra of a complex baseband stream, producing magnitude
+/// columns compatible with the full-rate pipeline.
+///
+/// Each column is `fft_size` bins **fft-shifted** so that row 0 is the most
+/// negative frequency and the carrier (0 Hz baseband) sits at row
+/// `fft_size/2`. Magnitudes are scaled by `scale` so they match the
+/// full-rate STFT's absolute levels (the enhancement threshold α is
+/// calibrated on those levels).
+#[derive(Debug, Clone)]
+pub struct BasebandStft {
+    fft: Fft,
+    window: Vec<f64>,
+    hop: usize,
+    scale: f64,
+}
+
+impl BasebandStft {
+    /// Plans a baseband STFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fft_size` is not a power of two or `hop` is zero.
+    pub fn new(fft_size: usize, hop: usize, scale: f64) -> Self {
+        assert!(hop > 0, "hop must be positive");
+        BasebandStft {
+            fft: Fft::new(fft_size),
+            window: WindowKind::Hann.coefficients(fft_size),
+            hop,
+            scale,
+        }
+    }
+
+    /// FFT size.
+    pub fn fft_size(&self) -> usize {
+        self.fft.size()
+    }
+
+    /// Processes baseband samples into fft-shifted magnitude columns.
+    pub fn process(&self, baseband: &[Complex]) -> Vec<Vec<f64>> {
+        let size = self.fft.size();
+        if baseband.len() < size {
+            return Vec::new();
+        }
+        let frames = (baseband.len() - size) / self.hop + 1;
+        let mut out = Vec::with_capacity(frames);
+        let mut buf = vec![Complex::ZERO; size];
+        for f in 0..frames {
+            let start = f * self.hop;
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = baseband[start + i].scale(self.window[i]);
+            }
+            self.fft.forward(&mut buf);
+            // fft-shift: negative frequencies (upper half) first.
+            let col: Vec<f64> = buf[size / 2..]
+                .iter()
+                .chain(&buf[..size / 2])
+                .map(|z| z.norm() * self.scale)
+                .collect();
+            out.push(col);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A pass-band tone offset from the carrier must appear as a baseband
+    /// complex exponential at the offset frequency.
+    #[test]
+    fn tone_moves_to_baseband_offset() {
+        let dc = Downconverter::paper(32);
+        let fs = 44_100.0;
+        let offset = 100.0; // Hz above the carrier
+        let n = 44_100;
+        let audio: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * (20_000.0 + offset) * i as f64 / fs).sin())
+            .collect();
+        let bb = dc.process(&audio);
+        assert_eq!(bb.len(), n / 32);
+        // Measure the baseband frequency via phase advance per sample.
+        let mid = bb.len() / 2;
+        let dphi = (bb[mid + 1] * bb[mid].conj()).arg();
+        let f_meas = dphi / std::f64::consts::TAU * dc.output_rate();
+        assert!(
+            (f_meas - offset).abs() < 2.0,
+            "baseband frequency {f_meas} Hz, expected {offset}"
+        );
+        // Amplitude ≈ a/2 after mixing.
+        let amp = bb[mid].norm();
+        assert!((amp - 0.5).abs() < 0.05, "baseband amplitude {amp}");
+    }
+
+    #[test]
+    fn negative_offset_has_negative_frequency() {
+        let dc = Downconverter::paper(32);
+        let fs = 44_100.0;
+        let audio: Vec<f64> = (0..44_100)
+            .map(|i| (std::f64::consts::TAU * (20_000.0 - 150.0) * i as f64 / fs).sin())
+            .collect();
+        let bb = dc.process(&audio);
+        let mid = bb.len() / 2;
+        let dphi = (bb[mid + 1] * bb[mid].conj()).arg();
+        let f_meas = dphi / std::f64::consts::TAU * dc.output_rate();
+        assert!((f_meas + 150.0).abs() < 2.0, "got {f_meas} Hz");
+    }
+
+    #[test]
+    fn out_of_band_noise_is_attenuated() {
+        let dc = Downconverter::paper(32);
+        let fs = 44_100.0;
+        // A strong 5 kHz audible tone, far outside the probe band.
+        let audio: Vec<f64> = (0..44_100)
+            .map(|i| (std::f64::consts::TAU * 5_000.0 * i as f64 / fs).sin())
+            .collect();
+        let bb = dc.process(&audio);
+        let rms = (bb.iter().map(|z| z.norm_sqr()).sum::<f64>() / bb.len() as f64).sqrt();
+        assert!(rms < 0.02, "out-of-band leakage rms {rms}");
+    }
+
+    #[test]
+    fn lowpass_taps_normalized_and_symmetric() {
+        let taps = lowpass_taps(65, 0.01);
+        assert!((taps.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for i in 0..32 {
+            assert!((taps[i] - taps[64 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn baseband_stft_centres_carrier() {
+        let dc = Downconverter::paper(32);
+        let fs = 44_100.0;
+        let audio: Vec<f64> = (0..88_200)
+            .map(|i| (std::f64::consts::TAU * 20_000.0 * i as f64 / fs).sin())
+            .collect();
+        let bb = dc.process(&audio);
+        let stft = BasebandStft::new(256, 32, 32.0);
+        let cols = stft.process(&bb);
+        assert!(!cols.is_empty());
+        for col in &cols {
+            assert_eq!(col.len(), 256);
+            let peak = col
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            assert_eq!(peak, 128, "carrier must land at the centre row");
+        }
+    }
+
+    #[test]
+    fn magnitude_scale_matches_full_rate_stft() {
+        use crate::stft::{Stft, StftConfig};
+        // A tone 100 Hz above the carrier with amplitude 0.02 (echo-like):
+        // both front-ends should report comparable peak magnitudes.
+        let fs = 44_100.0;
+        let audio: Vec<f64> = (0..88_200)
+            .map(|i| 0.02 * (std::f64::consts::TAU * 20_100.0 * i as f64 / fs).sin())
+            .collect();
+
+        let full = Stft::new(StftConfig::paper());
+        let frames = full.process(&audio);
+        let full_peak = frames[2].iter().cloned().fold(0.0f64, f64::max);
+
+        let dc = Downconverter::paper(32);
+        let bb = dc.process(&audio);
+        let stft = BasebandStft::new(256, 32, 32.0);
+        let cols = stft.process(&bb);
+        let bb_peak = cols[2].iter().cloned().fold(0.0f64, f64::max);
+
+        let ratio = bb_peak / full_peak;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "magnitude mismatch: full {full_peak}, baseband {bb_peak}"
+        );
+    }
+
+    #[test]
+    fn hop_alignment_matches_full_rate() {
+        // 1024 input samples per hop = 32 baseband samples per hop at D=32:
+        // frame counts should match the full-rate STFT.
+        use crate::stft::{Stft, StftConfig};
+        let audio = vec![0.0; 44_100];
+        let full = Stft::new(StftConfig::paper());
+        let n_full = full.process(&audio).len();
+        let dc = Downconverter::paper(32);
+        let bb = dc.process(&audio);
+        let n_bb = BasebandStft::new(256, 32, 32.0).process(&bb).len();
+        assert!(
+            (n_full as i64 - n_bb as i64).abs() <= 1,
+            "frame counts diverge: {n_full} vs {n_bb}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be at least 2")]
+    fn rejects_unit_factor() {
+        Downconverter::new(20_000.0, 44_100.0, 1, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_super_nyquist_carrier() {
+        Downconverter::new(30_000.0, 44_100.0, 8, 9);
+    }
+}

@@ -1,0 +1,293 @@
+//! One-dimensional filters and differentiators.
+//!
+//! The EchoWrite pipeline uses:
+//! - a simple moving average with window 3 to smooth the raw Doppler profile
+//!   (Sec. III-B, Fig. 8(d)),
+//! - Holoborodko's noise-robust first-difference (paper Eq. 2) to estimate
+//!   Doppler-shift acceleration for stroke segmentation,
+//! - median and Gaussian filtering (their 2-D counterparts live in
+//!   `echowrite-spectro`; the 1-D versions here are used on profiles and as
+//!   reference implementations).
+
+/// Applies a centred simple moving average of the given odd `window` size.
+///
+/// Edges are handled by shrinking the window to the available samples, so the
+/// output has the same length as the input and no phase shift.
+///
+/// # Panics
+///
+/// Panics if `window` is even or zero.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_dsp::filters::moving_average;
+/// let y = moving_average(&[0.0, 3.0, 0.0], 3);
+/// assert_eq!(y[1], 1.0);
+/// ```
+pub fn moving_average(x: &[f64], window: usize) -> Vec<f64> {
+    assert!(window % 2 == 1 && window > 0, "window must be odd and positive, got {window}");
+    let half = window / 2;
+    let n = x.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        let sum: f64 = x[lo..hi].iter().sum();
+        out.push(sum / (hi - lo) as f64);
+    }
+    out
+}
+
+/// Applies a centred median filter of the given odd `window` size.
+///
+/// Edges shrink the window like [`moving_average`].
+///
+/// # Panics
+///
+/// Panics if `window` is even or zero.
+pub fn median_filter(x: &[f64], window: usize) -> Vec<f64> {
+    assert!(window % 2 == 1 && window > 0, "window must be odd and positive, got {window}");
+    let half = window / 2;
+    let n = x.len();
+    let mut out = Vec::with_capacity(n);
+    let mut scratch: Vec<f64> = Vec::with_capacity(window);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        scratch.clear();
+        scratch.extend_from_slice(&x[lo..hi]);
+        scratch.sort_by(|a, b| a.total_cmp(b));
+        out.push(median_of_sorted(&scratch));
+    }
+    out
+}
+
+fn median_of_sorted(s: &[f64]) -> f64 {
+    let m = s.len();
+    if m % 2 == 1 {
+        s[m / 2]
+    } else {
+        0.5 * (s[m / 2 - 1] + s[m / 2])
+    }
+}
+
+/// Builds a normalized 1-D Gaussian kernel of the given odd size.
+///
+/// `sigma` defaults to `size as f64 / 6.0` when `None`, matching the common
+/// "kernel spans ±3σ" convention.
+///
+/// # Panics
+///
+/// Panics if `size` is even or zero, or `sigma` is non-positive.
+pub fn gaussian_kernel(size: usize, sigma: Option<f64>) -> Vec<f64> {
+    assert!(size % 2 == 1 && size > 0, "kernel size must be odd and positive, got {size}");
+    let sigma = sigma.unwrap_or(size as f64 / 6.0);
+    assert!(sigma > 0.0, "sigma must be positive, got {sigma}");
+    let half = (size / 2) as isize;
+    let mut k: Vec<f64> = (-half..=half)
+        .map(|i| (-(i as f64).powi(2) / (2.0 * sigma * sigma)).exp())
+        .collect();
+    let sum: f64 = k.iter().sum();
+    for v in &mut k {
+        *v /= sum;
+    }
+    k
+}
+
+/// Convolves `x` with a centred kernel, clamping indices at the edges
+/// (replicate padding). Output length equals input length.
+///
+/// # Panics
+///
+/// Panics if the kernel is empty or of even length.
+pub fn convolve_same(x: &[f64], kernel: &[f64]) -> Vec<f64> {
+    assert!(
+        !kernel.is_empty() && kernel.len() % 2 == 1,
+        "kernel must be odd-length and non-empty"
+    );
+    let half = (kernel.len() / 2) as isize;
+    let n = x.len() as isize;
+    let mut out = Vec::with_capacity(x.len());
+    for i in 0..n {
+        let mut acc = 0.0;
+        for (j, &kv) in kernel.iter().enumerate() {
+            let idx = (i + j as isize - half).clamp(0, n - 1);
+            acc += kv * x[idx as usize];
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Smooths `x` with a Gaussian of the given odd `size` (σ = size/6).
+pub fn gaussian_smooth(x: &[f64], size: usize) -> Vec<f64> {
+    convolve_same(x, &gaussian_kernel(size, None))
+}
+
+/// Holoborodko's smooth noise-robust first-order differentiator (N = 5),
+/// exactly the paper's Eq. 2:
+///
+/// `acc(i) = (2·[y(i+1) − y(i−1)] + [y(i+2) − y(i−2)]) / 8`
+///
+/// Values within two samples of either edge replicate the nearest interior
+/// estimate so the output has the same length as the input. For inputs
+/// shorter than 5 samples the result is all zeros (no reliable derivative).
+pub fn holoborodko_diff(y: &[f64]) -> Vec<f64> {
+    let n = y.len();
+    if n < 5 {
+        return vec![0.0; n];
+    }
+    let mut out = vec![0.0; n];
+    for i in 2..n - 2 {
+        out[i] = (2.0 * (y[i + 1] - y[i - 1]) + (y[i + 2] - y[i - 2])) / 8.0;
+    }
+    out[0] = out[2];
+    out[1] = out[2];
+    out[n - 1] = out[n - 3];
+    out[n - 2] = out[n - 3];
+    out
+}
+
+/// Central first difference `(y[i+1] − y[i−1]) / 2`, the noisy baseline the
+/// Holoborodko filter improves upon. Edges replicate the nearest estimate.
+pub fn central_diff(y: &[f64]) -> Vec<f64> {
+    let n = y.len();
+    if n < 3 {
+        return vec![0.0; n];
+    }
+    let mut out = vec![0.0; n];
+    for i in 1..n - 1 {
+        out[i] = (y[i + 1] - y[i - 1]) / 2.0;
+    }
+    out[0] = out[1];
+    out[n - 1] = out[n - 2];
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_flat_is_identity() {
+        let x = vec![2.0; 10];
+        assert_eq!(moving_average(&x, 3), x);
+        assert_eq!(moving_average(&x, 5), x);
+    }
+
+    #[test]
+    fn moving_average_smooths_spike() {
+        let y = moving_average(&[0.0, 0.0, 9.0, 0.0, 0.0], 3);
+        assert_eq!(y, vec![0.0, 3.0, 3.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn moving_average_edges_shrink() {
+        let y = moving_average(&[1.0, 2.0, 3.0], 5);
+        // First output averages elements 0..=2 (window clipped).
+        assert!((y[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn moving_average_rejects_even_window() {
+        moving_average(&[1.0], 2);
+    }
+
+    #[test]
+    fn median_removes_impulse_noise() {
+        let y = median_filter(&[1.0, 1.0, 99.0, 1.0, 1.0], 3);
+        assert_eq!(y, vec![1.0, 1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn median_preserves_step_edge() {
+        let y = median_filter(&[0.0, 0.0, 0.0, 5.0, 5.0, 5.0], 3);
+        assert_eq!(y, vec![0.0, 0.0, 0.0, 5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn median_even_window_at_edges_interpolates() {
+        // Window of 3 at index 0 covers two samples -> mean of the two middles.
+        let y = median_filter(&[0.0, 2.0], 3);
+        assert_eq!(y, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn gaussian_kernel_normalized_and_symmetric() {
+        let k = gaussian_kernel(5, None);
+        assert!((k.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((k[0] - k[4]).abs() < 1e-12);
+        assert!((k[1] - k[3]).abs() < 1e-12);
+        assert!(k[2] > k[1] && k[1] > k[0]);
+    }
+
+    #[test]
+    fn gaussian_smooth_preserves_mean_of_flat() {
+        let y = gaussian_smooth(&[4.0; 20], 5);
+        for v in y {
+            assert!((v - 4.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn convolve_identity_kernel() {
+        let x = vec![1.0, -2.0, 3.0];
+        assert_eq!(convolve_same(&x, &[1.0]), x);
+    }
+
+    #[test]
+    fn convolve_replicates_edges() {
+        // Averaging kernel at the left edge sees x[0] twice.
+        let y = convolve_same(&[0.0, 3.0, 3.0], &[1.0 / 3.0; 3]);
+        assert!((y[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn holoborodko_exact_on_linear_ramp() {
+        // d/di of y = 3i is exactly 3 for the N=5 noise-robust kernel.
+        let y: Vec<f64> = (0..20).map(|i| 3.0 * i as f64).collect();
+        let d = holoborodko_diff(&y);
+        for v in d {
+            assert!((v - 3.0).abs() < 1e-12, "{v}");
+        }
+    }
+
+    #[test]
+    fn holoborodko_zero_on_constant() {
+        let d = holoborodko_diff(&[7.0; 12]);
+        assert!(d.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn holoborodko_short_input_is_zero() {
+        assert_eq!(holoborodko_diff(&[1.0, 2.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn holoborodko_suppresses_alternating_noise_vs_central_diff() {
+        // y = ramp + period-4 noise (frequency π/2). The Holoborodko kernel's
+        // response at π/2 is 0.5 vs 1.0 for the central difference, so its
+        // derivative estimate must be closer to the true slope.
+        let y: Vec<f64> = (0..52)
+            .map(|i| i as f64 + 0.5 * (std::f64::consts::FRAC_PI_2 * i as f64).sin())
+            .collect();
+        let robust = holoborodko_diff(&y);
+        let central = central_diff(&y);
+        let err = |d: &[f64]| d[5..45].iter().map(|v| (v - 1.0).abs()).sum::<f64>() / 40.0;
+        assert!(
+            err(&robust) < 0.6 * err(&central),
+            "robust {} not clearly below central {}",
+            err(&robust),
+            err(&central)
+        );
+    }
+
+    #[test]
+    fn central_diff_on_ramp() {
+        let y: Vec<f64> = (0..10).map(|i| 2.0 * i as f64).collect();
+        let d = central_diff(&y);
+        assert!(d.iter().all(|&v| (v - 2.0).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,40 @@
+//! Digital signal processing primitives for the EchoWrite reproduction.
+//!
+//! This crate provides everything the EchoWrite pipeline needs from a DSP
+//! toolbox, implemented from scratch so the workspace has no numeric
+//! dependencies:
+//!
+//! - [`Complex`] arithmetic and an iterative radix-2 [`Fft`] planner,
+//! - [`window`] functions (Hann, Hamming, Blackman, rectangular),
+//! - a short-time Fourier transform ([`stft::Stft`]) with the paper's
+//!   8192-sample frames and 1024-sample hop,
+//! - one-dimensional [`filters`] (median, Gaussian, simple moving average)
+//!   and the Holoborodko noise-robust differentiator used by the paper's
+//!   acceleration-based stroke segmentation (Eq. 2),
+//! - small numeric [`util`] helpers (dB conversion, normalization, argmax).
+//!
+//! # Example
+//!
+//! ```
+//! use echowrite_dsp::{Fft, Complex};
+//!
+//! let fft = Fft::new(8);
+//! let mut buf: Vec<Complex> = (0..8).map(|i| Complex::new(i as f64, 0.0)).collect();
+//! fft.forward(&mut buf);
+//! fft.inverse(&mut buf);
+//! assert!((buf[3].re - 3.0).abs() < 1e-9);
+//! ```
+
+pub mod complex;
+pub mod downconvert;
+pub mod fft;
+pub mod filters;
+pub mod stft;
+pub mod util;
+pub mod wav;
+pub mod window;
+
+pub use complex::Complex;
+pub use fft::Fft;
+pub use stft::{Stft, StftConfig};
+pub use window::WindowKind;

@@ -1,0 +1,359 @@
+//! Short-time Fourier transform.
+//!
+//! EchoWrite frames the 44.1 kHz echo stream into 8192-sample FFT frames
+//! advanced by a 1024-sample hop (0.186 s frames every 0.023 s), windowed
+//! with Hann, and concatenates the per-frame magnitude spectra of every
+//! 5 frames into a spectrogram (paper Sec. III-A).
+
+use crate::complex::Complex;
+use crate::fft::Fft;
+use crate::window::WindowKind;
+
+/// Configuration of an STFT analysis.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_dsp::{StftConfig, WindowKind};
+/// let cfg = StftConfig::paper();
+/// assert_eq!(cfg.fft_size, 8192);
+/// assert_eq!(cfg.hop, 1024);
+/// assert_eq!(cfg.window, WindowKind::Hann);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StftConfig {
+    /// FFT frame length in samples; must be a power of two.
+    pub fft_size: usize,
+    /// Hop (window step) between successive frames, in samples.
+    pub hop: usize,
+    /// Analysis window applied to each frame.
+    pub window: WindowKind,
+    /// Sample rate in Hz, used only to translate bins to frequencies.
+    pub sample_rate: f64,
+}
+
+impl StftConfig {
+    /// The exact parameters used by the paper: 8192-sample Hann frames at a
+    /// 1024-sample hop over 44.1 kHz audio.
+    pub fn paper() -> Self {
+        StftConfig {
+            fft_size: 8192,
+            hop: 1024,
+            window: WindowKind::Hann,
+            sample_rate: 44_100.0,
+        }
+    }
+
+    /// Frequency in Hz of a given bin index.
+    pub fn bin_frequency(&self, bin: usize) -> f64 {
+        bin as f64 * self.sample_rate / self.fft_size as f64
+    }
+
+    /// The bin index whose centre frequency is closest to `freq_hz`.
+    pub fn frequency_bin(&self, freq_hz: f64) -> usize {
+        (freq_hz * self.fft_size as f64 / self.sample_rate).round() as usize
+    }
+
+    /// Frame duration in seconds.
+    pub fn frame_seconds(&self) -> f64 {
+        self.fft_size as f64 / self.sample_rate
+    }
+
+    /// Hop duration in seconds (the spectrogram's column period).
+    pub fn hop_seconds(&self) -> f64 {
+        self.hop as f64 / self.sample_rate
+    }
+}
+
+impl Default for StftConfig {
+    fn default() -> Self {
+        StftConfig::paper()
+    }
+}
+
+/// A planned short-time Fourier transform.
+///
+/// Holds a planned [`Fft`] and window coefficients; reusable across frames
+/// without reallocation of the plan.
+#[derive(Debug, Clone)]
+pub struct Stft {
+    config: StftConfig,
+    fft: Fft,
+    window: Vec<f64>,
+}
+
+impl Stft {
+    /// Plans an STFT with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fft_size` is not a power of two or `hop` is zero.
+    pub fn new(config: StftConfig) -> Self {
+        assert!(config.hop > 0, "hop must be positive");
+        let fft = Fft::new(config.fft_size);
+        let window = config.window.coefficients(config.fft_size);
+        Stft { config, fft, window }
+    }
+
+    /// Returns the configuration this plan was built with.
+    pub fn config(&self) -> &StftConfig {
+        &self.config
+    }
+
+    /// Number of complete frames available in a signal of `len` samples.
+    pub fn frame_count(&self, len: usize) -> usize {
+        if len < self.config.fft_size {
+            0
+        } else {
+            (len - self.config.fft_size) / self.config.hop + 1
+        }
+    }
+
+    /// Computes the magnitude spectrum of a single frame starting at sample 0
+    /// of `frame` (which must be exactly `fft_size` samples long).
+    ///
+    /// Returns `fft_size / 2 + 1` magnitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame.len() != fft_size`.
+    pub fn frame_magnitudes(&self, frame: &[f64]) -> Vec<f64> {
+        assert_eq!(frame.len(), self.config.fft_size, "frame length mismatch");
+        let mut buf: Vec<Complex> = frame
+            .iter()
+            .zip(&self.window)
+            .map(|(&s, &w)| Complex::new(s * w, 0.0))
+            .collect();
+        self.fft.forward(&mut buf);
+        buf[..self.config.fft_size / 2 + 1]
+            .iter()
+            .map(|z| z.norm())
+            .collect()
+    }
+
+    /// Computes magnitude spectra for all complete frames of `signal`.
+    ///
+    /// Returns one `Vec` of `fft_size/2 + 1` magnitudes per frame; an empty
+    /// vector if the signal is shorter than one frame.
+    pub fn process(&self, signal: &[f64]) -> Vec<Vec<f64>> {
+        let frames = self.frame_count(signal.len());
+        let mut out = Vec::with_capacity(frames);
+        for f in 0..frames {
+            let start = f * self.config.hop;
+            out.push(self.frame_magnitudes(&signal[start..start + self.config.fft_size]));
+        }
+        out
+    }
+
+    /// Computes magnitude spectra restricted to the bin range
+    /// `[lo_bin, hi_bin]` inclusive — the paper's region-of-interest
+    /// optimization that cuts the processed column height from 8192 to 350.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo_bin > hi_bin` or `hi_bin` exceeds `fft_size/2`.
+    pub fn process_band(&self, signal: &[f64], lo_bin: usize, hi_bin: usize) -> Vec<Vec<f64>> {
+        assert!(lo_bin <= hi_bin, "lo_bin {lo_bin} > hi_bin {hi_bin}");
+        assert!(
+            hi_bin <= self.config.fft_size / 2,
+            "hi_bin {hi_bin} beyond Nyquist bin {}",
+            self.config.fft_size / 2
+        );
+        self.process(signal)
+            .into_iter()
+            .map(|col| col[lo_bin..=hi_bin].to_vec())
+            .collect()
+    }
+}
+
+/// A streaming STFT that accepts arbitrary audio chunks and yields frames as
+/// soon as they complete, mirroring the Android app's 5-frame ring buffer.
+#[derive(Debug, Clone)]
+pub struct StreamingStft {
+    stft: Stft,
+    buffer: Vec<f64>,
+}
+
+impl StreamingStft {
+    /// Creates a streaming wrapper around a planned STFT.
+    pub fn new(stft: Stft) -> Self {
+        StreamingStft {
+            stft,
+            buffer: Vec::new(),
+        }
+    }
+
+    /// Appends samples and returns magnitude spectra for every frame that
+    /// became complete.
+    pub fn push(&mut self, samples: &[f64]) -> Vec<Vec<f64>> {
+        self.buffer.extend_from_slice(samples);
+        let mut out = Vec::new();
+        let (size, hop) = (self.stft.config.fft_size, self.stft.config.hop);
+        while self.buffer.len() >= size {
+            out.push(self.stft.frame_magnitudes(&self.buffer[..size]));
+            self.buffer.drain(..hop);
+        }
+        out
+    }
+
+    /// Number of samples buffered but not yet emitted as a frame.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Clears the internal buffer (e.g. between text-entry sessions).
+    pub fn reset(&mut self) {
+        self.buffer.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, rate: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / rate).sin())
+            .collect()
+    }
+
+    #[test]
+    fn paper_config_values() {
+        let c = StftConfig::paper();
+        assert!((c.frame_seconds() - 0.1857).abs() < 1e-3);
+        assert!((c.hop_seconds() - 0.02322).abs() < 1e-4);
+        // 20 kHz lands at bin 3715 and the paper's ROI is ~350 bins wide.
+        assert_eq!(c.frequency_bin(20_000.0), 3715);
+        let lo = c.frequency_bin(19_530.0);
+        let hi = c.frequency_bin(20_470.0);
+        assert!((hi - lo + 1) as i64 - 350 <= 3 && (hi - lo + 1) >= 170, "roi width {}", hi - lo + 1);
+    }
+
+    #[test]
+    fn bin_frequency_roundtrip() {
+        let c = StftConfig::paper();
+        for f in [1000.0, 5000.0, 19_530.0, 20_470.0] {
+            let b = c.frequency_bin(f);
+            assert!((c.bin_frequency(b) - f).abs() < c.sample_rate / c.fft_size as f64);
+        }
+    }
+
+    #[test]
+    fn frame_count_matches_definition() {
+        let stft = Stft::new(StftConfig {
+            fft_size: 8,
+            hop: 4,
+            window: WindowKind::Rectangular,
+            sample_rate: 100.0,
+        });
+        assert_eq!(stft.frame_count(7), 0);
+        assert_eq!(stft.frame_count(8), 1);
+        assert_eq!(stft.frame_count(11), 1);
+        assert_eq!(stft.frame_count(12), 2);
+        assert_eq!(stft.frame_count(16), 3);
+    }
+
+    #[test]
+    fn tone_peaks_in_expected_bin() {
+        let cfg = StftConfig {
+            fft_size: 1024,
+            hop: 256,
+            window: WindowKind::Hann,
+            sample_rate: 44_100.0,
+        };
+        let stft = Stft::new(cfg);
+        let sig = tone(20_000.0, 44_100.0, 4096);
+        let frames = stft.process(&sig);
+        assert!(!frames.is_empty());
+        for frame in &frames {
+            let peak = frame
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            assert_eq!(peak, cfg.frequency_bin(20_000.0));
+        }
+    }
+
+    #[test]
+    fn band_processing_equals_slice_of_full() {
+        let cfg = StftConfig {
+            fft_size: 512,
+            hop: 128,
+            window: WindowKind::Hann,
+            sample_rate: 44_100.0,
+        };
+        let stft = Stft::new(cfg);
+        let sig = tone(10_000.0, 44_100.0, 2048);
+        let full = stft.process(&sig);
+        let band = stft.process_band(&sig, 100, 150);
+        for (f, b) in full.iter().zip(&band) {
+            assert_eq!(&f[100..=150], b.as_slice());
+        }
+    }
+
+    #[test]
+    fn streaming_matches_offline() {
+        let cfg = StftConfig {
+            fft_size: 256,
+            hop: 64,
+            window: WindowKind::Hann,
+            sample_rate: 8000.0,
+        };
+        let stft = Stft::new(cfg);
+        let sig = tone(1000.0, 8000.0, 2000);
+        let offline = stft.process(&sig);
+
+        let mut streaming = StreamingStft::new(Stft::new(cfg));
+        let mut collected = Vec::new();
+        for chunk in sig.chunks(97) {
+            collected.extend(streaming.push(chunk));
+        }
+        assert_eq!(collected.len(), offline.len());
+        for (a, b) in collected.iter().zip(&offline) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_reset_discards_partial_frame() {
+        let cfg = StftConfig {
+            fft_size: 128,
+            hop: 32,
+            window: WindowKind::Hann,
+            sample_rate: 8000.0,
+        };
+        let mut s = StreamingStft::new(Stft::new(cfg));
+        s.push(&vec![0.1; 100]);
+        assert_eq!(s.pending(), 100);
+        s.reset();
+        assert_eq!(s.pending(), 0);
+        assert!(s.push(&vec![0.1; 100]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "hop must be positive")]
+    fn zero_hop_rejected() {
+        Stft::new(StftConfig {
+            fft_size: 64,
+            hop: 0,
+            window: WindowKind::Hann,
+            sample_rate: 8000.0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond Nyquist")]
+    fn band_beyond_nyquist_rejected() {
+        let stft = Stft::new(StftConfig {
+            fft_size: 64,
+            hop: 16,
+            window: WindowKind::Hann,
+            sample_rate: 8000.0,
+        });
+        stft.process_band(&[0.0; 64], 0, 64);
+    }
+}

@@ -1,0 +1,202 @@
+//! Small numeric helpers shared across the pipeline.
+
+/// Converts a linear amplitude ratio to decibels (`20·log10`).
+///
+/// Returns negative infinity for non-positive input.
+pub fn amplitude_to_db(a: f64) -> f64 {
+    if a <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        20.0 * a.log10()
+    }
+}
+
+/// Converts decibels to a linear amplitude ratio.
+pub fn db_to_amplitude(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+/// Converts a linear power ratio to decibels (`10·log10`).
+pub fn power_to_db(p: f64) -> f64 {
+    if p <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        10.0 * p.log10()
+    }
+}
+
+/// Mean of a slice; 0.0 for an empty slice.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f64>() / x.len() as f64
+    }
+}
+
+/// Population standard deviation of a slice; 0.0 for fewer than 2 samples.
+pub fn std_dev(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    (x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64).sqrt()
+}
+
+/// Root-mean-square of a slice; 0.0 for an empty slice.
+pub fn rms(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        (x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64).sqrt()
+    }
+}
+
+/// Index of the maximum element (ties broken toward the lower index).
+///
+/// Returns `None` for an empty slice.
+pub fn argmax(x: &[f64]) -> Option<usize> {
+    x.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+}
+
+/// Index of the minimum element (ties broken toward the lower index).
+pub fn argmin(x: &[f64]) -> Option<usize> {
+    x.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+        .map(|(i, _)| i)
+}
+
+/// Rescales a slice into `[0, 1]` in place (the paper's "zero-one
+/// normalization"). A constant slice becomes all zeros.
+pub fn normalize_zero_one(x: &mut [f64]) {
+    if x.is_empty() {
+        return;
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in x.iter() {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = hi - lo;
+    if span <= 0.0 {
+        x.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    for v in x.iter_mut() {
+        *v = (*v - lo) / span;
+    }
+}
+
+/// Linearly interpolates `x` onto `n` evenly spaced points, used for
+/// resampling Doppler profiles to comparable lengths.
+///
+/// # Panics
+///
+/// Panics if `x` is empty or `n == 0`.
+pub fn resample_linear(x: &[f64], n: usize) -> Vec<f64> {
+    assert!(!x.is_empty(), "cannot resample an empty profile");
+    assert!(n > 0, "target length must be positive");
+    if x.len() == 1 {
+        return vec![x[0]; n];
+    }
+    if n == 1 {
+        return vec![x[x.len() / 2]];
+    }
+    let scale = (x.len() - 1) as f64 / (n - 1) as f64;
+    (0..n)
+        .map(|i| {
+            let pos = i as f64 * scale;
+            let lo = pos.floor() as usize;
+            let hi = (lo + 1).min(x.len() - 1);
+            let frac = pos - lo as f64;
+            x[lo] * (1.0 - frac) + x[hi] * frac
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_conversions_roundtrip() {
+        for a in [0.001, 0.5, 1.0, 3.7, 100.0] {
+            assert!((db_to_amplitude(amplitude_to_db(a)) - a).abs() < 1e-9 * a);
+        }
+        assert_eq!(amplitude_to_db(1.0), 0.0);
+        assert!((amplitude_to_db(10.0) - 20.0).abs() < 1e-12);
+        assert!((power_to_db(10.0) - 10.0).abs() < 1e-12);
+        assert_eq!(amplitude_to_db(0.0), f64::NEG_INFINITY);
+        assert_eq!(power_to_db(-1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn stats_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert!((rms(&[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(rms(&[]), 0.0);
+    }
+
+    #[test]
+    fn argmax_argmin() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[1.0, 5.0, 3.0]), Some(1));
+        assert_eq!(argmin(&[1.0, 5.0, -3.0]), Some(2));
+        // Ties resolve to the lowest index.
+        assert_eq!(argmax(&[2.0, 2.0]), Some(0));
+        assert_eq!(argmin(&[2.0, 2.0]), Some(0));
+    }
+
+    #[test]
+    fn normalize_zero_one_bounds() {
+        let mut x = vec![2.0, 4.0, 6.0];
+        normalize_zero_one(&mut x);
+        assert_eq!(x, vec![0.0, 0.5, 1.0]);
+        let mut flat = vec![3.0; 4];
+        normalize_zero_one(&mut flat);
+        assert!(flat.iter().all(|&v| v == 0.0));
+        let mut empty: Vec<f64> = vec![];
+        normalize_zero_one(&mut empty);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn resample_identity_when_same_length() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(resample_linear(&x, 4), x);
+    }
+
+    #[test]
+    fn resample_upsamples_linearly() {
+        let y = resample_linear(&[0.0, 2.0], 5);
+        assert_eq!(y, vec![0.0, 0.5, 1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn resample_downsamples_keeping_endpoints() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y = resample_linear(&x, 10);
+        assert_eq!(y[0], 0.0);
+        assert_eq!(y[9], 99.0);
+        assert_eq!(y.len(), 10);
+    }
+
+    #[test]
+    fn resample_degenerate_cases() {
+        assert_eq!(resample_linear(&[7.0], 3), vec![7.0, 7.0, 7.0]);
+        assert_eq!(resample_linear(&[1.0, 2.0, 3.0], 1), vec![2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn resample_rejects_empty() {
+        resample_linear(&[], 3);
+    }
+}

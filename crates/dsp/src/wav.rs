@@ -1,0 +1,286 @@
+//! Minimal WAV (RIFF PCM) reading and writing.
+//!
+//! Lets simulated microphone traces be exported for listening/inspection
+//! and real recordings be pulled into the pipeline, without an external
+//! audio dependency. Supports the formats EchoWrite needs: mono or stereo,
+//! 16-bit PCM at any sample rate (the pipeline expects 44.1 kHz).
+
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Errors from WAV parsing.
+#[derive(Debug)]
+pub enum WavError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a RIFF/WAVE stream or a chunk is malformed.
+    Malformed(&'static str),
+    /// The encoding is valid WAV but not supported here.
+    Unsupported(String),
+}
+
+impl fmt::Display for WavError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WavError::Io(e) => write!(f, "i/o error: {e}"),
+            WavError::Malformed(what) => write!(f, "malformed wav: {what}"),
+            WavError::Unsupported(what) => write!(f, "unsupported wav: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WavError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WavError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WavError {
+    fn from(e: std::io::Error) -> Self {
+        WavError::Io(e)
+    }
+}
+
+/// Decoded WAV audio: normalized `[-1, 1]` samples per channel-interleaved
+/// frame, flattened to mono by averaging channels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WavAudio {
+    /// Mono samples in `[-1, 1]`.
+    pub samples: Vec<f64>,
+    /// Sample rate in Hz.
+    pub sample_rate: u32,
+}
+
+/// Writes mono `samples` (clamped to `[-1, 1]`) as 16-bit PCM.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_wav<W: Write>(mut w: W, samples: &[f64], sample_rate: u32) -> Result<(), WavError> {
+    let data_len = (samples.len() * 2) as u32;
+    w.write_all(b"RIFF")?;
+    w.write_all(&(36 + data_len).to_le_bytes())?;
+    w.write_all(b"WAVE")?;
+    // fmt chunk: PCM, mono, 16-bit.
+    w.write_all(b"fmt ")?;
+    w.write_all(&16u32.to_le_bytes())?;
+    w.write_all(&1u16.to_le_bytes())?; // PCM
+    w.write_all(&1u16.to_le_bytes())?; // mono
+    w.write_all(&sample_rate.to_le_bytes())?;
+    w.write_all(&(sample_rate * 2).to_le_bytes())?; // byte rate
+    w.write_all(&2u16.to_le_bytes())?; // block align
+    w.write_all(&16u16.to_le_bytes())?; // bits per sample
+    w.write_all(b"data")?;
+    w.write_all(&data_len.to_le_bytes())?;
+    for &s in samples {
+        let v = (s.clamp(-1.0, 1.0) * i16::MAX as f64).round() as i16;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Convenience: writes a mono WAV file to `path`.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn write_wav_file(
+    path: impl AsRef<std::path::Path>,
+    samples: &[f64],
+    sample_rate: u32,
+) -> Result<(), WavError> {
+    let file = std::fs::File::create(path)?;
+    write_wav(std::io::BufWriter::new(file), samples, sample_rate)
+}
+
+/// Reads a 16-bit PCM WAV stream, averaging channels to mono.
+///
+/// # Errors
+///
+/// Returns [`WavError::Malformed`] for structural problems and
+/// [`WavError::Unsupported`] for valid-but-unhandled encodings
+/// (non-PCM, not 16-bit).
+pub fn read_wav<R: Read>(mut r: R) -> Result<WavAudio, WavError> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    if bytes.len() < 12 || &bytes[0..4] != b"RIFF" || &bytes[8..12] != b"WAVE" {
+        return Err(WavError::Malformed("missing RIFF/WAVE header"));
+    }
+    let mut pos = 12usize;
+    let mut fmt: Option<(u16, u16, u32, u16)> = None; // format, channels, rate, bits
+    let mut data: Option<&[u8]> = None;
+    while pos + 8 <= bytes.len() {
+        let id = &bytes[pos..pos + 4];
+        let len = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes")) as usize;
+        let body_start = pos + 8;
+        let body_end = body_start.checked_add(len).ok_or(WavError::Malformed("chunk overflow"))?;
+        if body_end > bytes.len() {
+            return Err(WavError::Malformed("chunk extends past end of file"));
+        }
+        match id {
+            b"fmt " => {
+                if len < 16 {
+                    return Err(WavError::Malformed("fmt chunk too short"));
+                }
+                let b = &bytes[body_start..body_end];
+                fmt = Some((
+                    u16::from_le_bytes(b[0..2].try_into().expect("2")),
+                    u16::from_le_bytes(b[2..4].try_into().expect("2")),
+                    u32::from_le_bytes(b[4..8].try_into().expect("4")),
+                    u16::from_le_bytes(b[14..16].try_into().expect("2")),
+                ));
+            }
+            b"data" => data = Some(&bytes[body_start..body_end]),
+            _ => {}
+        }
+        // Chunks are word-aligned.
+        pos = body_end + (len & 1);
+    }
+    let (format, channels, sample_rate, bits) =
+        fmt.ok_or(WavError::Malformed("missing fmt chunk"))?;
+    let data = data.ok_or(WavError::Malformed("missing data chunk"))?;
+    if format != 1 {
+        return Err(WavError::Unsupported(format!("format tag {format} (want PCM=1)")));
+    }
+    if bits != 16 {
+        return Err(WavError::Unsupported(format!("{bits}-bit samples (want 16)")));
+    }
+    if channels == 0 {
+        return Err(WavError::Malformed("zero channels"));
+    }
+    let frame_bytes = 2 * channels as usize;
+    let frames = data.len() / frame_bytes;
+    let mut samples = Vec::with_capacity(frames);
+    for f in 0..frames {
+        let mut acc = 0.0;
+        for c in 0..channels as usize {
+            let off = f * frame_bytes + c * 2;
+            let v = i16::from_le_bytes(data[off..off + 2].try_into().expect("2 bytes"));
+            acc += v as f64 / i16::MAX as f64;
+        }
+        samples.push(acc / channels as f64);
+    }
+    Ok(WavAudio { samples, sample_rate })
+}
+
+/// Convenience: reads a WAV file from `path`.
+///
+/// # Errors
+///
+/// Propagates file-open and parse errors.
+pub fn read_wav_file(path: impl AsRef<std::path::Path>) -> Result<WavAudio, WavError> {
+    let file = std::fs::File::open(path)?;
+    read_wav(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_samples() {
+        let samples: Vec<f64> = (0..1000)
+            .map(|i| (std::f64::consts::TAU * 440.0 * i as f64 / 44_100.0).sin() * 0.8)
+            .collect();
+        let mut buf = Vec::new();
+        write_wav(&mut buf, &samples, 44_100).unwrap();
+        let audio = read_wav(buf.as_slice()).unwrap();
+        assert_eq!(audio.sample_rate, 44_100);
+        assert_eq!(audio.samples.len(), samples.len());
+        for (a, b) in audio.samples.iter().zip(&samples) {
+            assert!((a - b).abs() < 1.0 / 16_000.0, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let mut buf = Vec::new();
+        write_wav(&mut buf, &[2.0, -2.0], 8000).unwrap();
+        let audio = read_wav(buf.as_slice()).unwrap();
+        assert!((audio.samples[0] - 1.0).abs() < 1e-3);
+        assert!((audio.samples[1] + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            read_wav(&b"not a wav file at all"[..]),
+            Err(WavError::Malformed(_))
+        ));
+        assert!(matches!(read_wav(&b""[..]), Err(WavError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_unsupported_format() {
+        // Hand-build a float-format (3) WAV header.
+        let mut buf = Vec::new();
+        write_wav(&mut buf, &[0.0; 4], 8000).unwrap();
+        buf[20] = 3; // format tag → IEEE float
+        assert!(matches!(read_wav(buf.as_slice()), Err(WavError::Unsupported(_))));
+    }
+
+    #[test]
+    fn stereo_is_averaged_to_mono() {
+        // Build a stereo file manually: L=0.5, R=-0.5 → mono 0.
+        let mut buf = Vec::new();
+        let n_frames = 4u32;
+        let data_len = n_frames * 4;
+        buf.extend_from_slice(b"RIFF");
+        buf.extend_from_slice(&(36 + data_len).to_le_bytes());
+        buf.extend_from_slice(b"WAVE");
+        buf.extend_from_slice(b"fmt ");
+        buf.extend_from_slice(&16u32.to_le_bytes());
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes()); // stereo
+        buf.extend_from_slice(&44_100u32.to_le_bytes());
+        buf.extend_from_slice(&(44_100u32 * 4).to_le_bytes());
+        buf.extend_from_slice(&4u16.to_le_bytes());
+        buf.extend_from_slice(&16u16.to_le_bytes());
+        buf.extend_from_slice(b"data");
+        buf.extend_from_slice(&data_len.to_le_bytes());
+        let half = i16::MAX / 2;
+        for _ in 0..n_frames {
+            buf.extend_from_slice(&half.to_le_bytes());
+            buf.extend_from_slice(&(-half).to_le_bytes());
+        }
+        let audio = read_wav(buf.as_slice()).unwrap();
+        assert_eq!(audio.samples.len(), 4);
+        for s in audio.samples {
+            assert!(s.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("echowrite_wav_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.wav");
+        write_wav_file(&path, &[0.1, -0.2, 0.3], 22_050).unwrap();
+        let audio = read_wav_file(&path).unwrap();
+        assert_eq!(audio.sample_rate, 22_050);
+        assert_eq!(audio.samples.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn skips_unknown_chunks() {
+        // Insert a LIST chunk before data.
+        let mut inner = Vec::new();
+        write_wav(&mut inner, &[0.5; 8], 44_100).unwrap();
+        // Reassemble: header + fmt + LIST + data.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&inner[..36]); // RIFF..fmt chunk end
+        buf.extend_from_slice(b"LIST");
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.extend_from_slice(b"INFO");
+        buf.extend_from_slice(&inner[36..]); // data chunk
+        // Fix RIFF size.
+        let riff_len = (buf.len() - 8) as u32;
+        buf[4..8].copy_from_slice(&riff_len.to_le_bytes());
+        let audio = read_wav(buf.as_slice()).unwrap();
+        assert_eq!(audio.samples.len(), 8);
+    }
+}

@@ -1,0 +1,167 @@
+//! Analysis window functions.
+//!
+//! EchoWrite frames its 44.1 kHz echo stream with a Hanning (Hann) window
+//! before each 8192-point FFT (paper Sec. III-A). Other common windows are
+//! provided for experimentation and ablation benches.
+
+/// The supported analysis window shapes.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_dsp::WindowKind;
+/// let w = WindowKind::Hann.coefficients(8);
+/// assert_eq!(w.len(), 8);
+/// assert!(w[0] < 1e-12); // Hann tapers to zero at the edges
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WindowKind {
+    /// Hann (a.k.a. Hanning) window — the paper's choice.
+    #[default]
+    Hann,
+    /// Hamming window.
+    Hamming,
+    /// Blackman window.
+    Blackman,
+    /// Rectangular (no-op) window.
+    Rectangular,
+}
+
+impl WindowKind {
+    /// Returns the symmetric window coefficients of length `n`.
+    ///
+    /// A length of 0 returns an empty vector; a length of 1 returns `[1.0]`.
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![1.0];
+        }
+        let m = (n - 1) as f64;
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / m;
+                match self {
+                    WindowKind::Hann => 0.5 - 0.5 * (2.0 * std::f64::consts::PI * x).cos(),
+                    WindowKind::Hamming => 0.54 - 0.46 * (2.0 * std::f64::consts::PI * x).cos(),
+                    WindowKind::Blackman => {
+                        0.42 - 0.5 * (2.0 * std::f64::consts::PI * x).cos()
+                            + 0.08 * (4.0 * std::f64::consts::PI * x).cos()
+                    }
+                    WindowKind::Rectangular => 1.0,
+                }
+            })
+            .collect()
+    }
+
+    /// Returns the coherent gain (mean coefficient) of the window, used to
+    /// compensate amplitude estimates.
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        self.coefficients(n).iter().sum::<f64>() / n as f64
+    }
+}
+
+/// Multiplies `signal` by the window in place.
+///
+/// # Panics
+///
+/// Panics if `signal.len() != window.len()`.
+pub fn apply(signal: &mut [f64], window: &[f64]) {
+    assert_eq!(
+        signal.len(),
+        window.len(),
+        "signal length {} does not match window length {}",
+        signal.len(),
+        window.len()
+    );
+    for (s, w) in signal.iter_mut().zip(window) {
+        *s *= w;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_lengths() {
+        for kind in [
+            WindowKind::Hann,
+            WindowKind::Hamming,
+            WindowKind::Blackman,
+            WindowKind::Rectangular,
+        ] {
+            assert!(kind.coefficients(0).is_empty());
+            assert_eq!(kind.coefficients(1), vec![1.0]);
+        }
+    }
+
+    #[test]
+    fn hann_endpoints_and_peak() {
+        let w = WindowKind::Hann.coefficients(9);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[8].abs() < 1e-12);
+        assert!((w[4] - 1.0).abs() < 1e-12); // symmetric peak at centre
+    }
+
+    #[test]
+    fn hamming_endpoints() {
+        let w = WindowKind::Hamming.coefficients(11);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+        assert!((w[10] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blackman_endpoints_near_zero() {
+        let w = WindowKind::Blackman.coefficients(7);
+        assert!(w[0].abs() < 1e-10);
+        assert!((w[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_windows_symmetric() {
+        for kind in [WindowKind::Hann, WindowKind::Hamming, WindowKind::Blackman] {
+            let w = kind.coefficients(64);
+            for i in 0..32 {
+                assert!(
+                    (w[i] - w[63 - i]).abs() < 1e-12,
+                    "{kind:?} asymmetric at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(WindowKind::Rectangular
+            .coefficients(16)
+            .iter()
+            .all(|&x| x == 1.0));
+        assert_eq!(WindowKind::Rectangular.coherent_gain(16), 1.0);
+    }
+
+    #[test]
+    fn hann_coherent_gain_near_half() {
+        // For large N the Hann coherent gain approaches 0.5.
+        let g = WindowKind::Hann.coherent_gain(4096);
+        assert!((g - 0.5).abs() < 1e-3, "gain {g}");
+    }
+
+    #[test]
+    fn apply_multiplies_elementwise() {
+        let mut s = vec![2.0, 2.0, 2.0];
+        apply(&mut s, &[0.0, 0.5, 1.0]);
+        assert_eq!(s, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn apply_rejects_mismatched_lengths() {
+        let mut s = vec![1.0; 4];
+        apply(&mut s, &[1.0; 3]);
+    }
+}

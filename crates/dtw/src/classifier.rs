@@ -1,0 +1,297 @@
+//! Nearest-template stroke classification.
+//!
+//! The matching distance is a weighted composite of three views of the
+//! profile, because strokes can share a coarse shape and differ in finer
+//! structure:
+//!
+//! - **raw** DTW on the Hz series (amplitude + shape),
+//! - **shape** DTW on z-normalized series (shape only — robust to the
+//!   per-performance amplitude jitter that otherwise blurs S2/S3/S6),
+//! - a **duration** penalty `|ln(len_probe/len_template)|` (DTW deliberately
+//!   forgives time warping, but the six strokes have genuinely different
+//!   nominal durations — arcs are longer than lines).
+
+use crate::dtw::{dtw_distance, z_normalize, DtwConfig};
+use crate::templates::TemplateLibrary;
+use echowrite_gesture::stroke::{Stroke, STROKE_COUNT};
+
+/// Weights of the composite matching distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchWeights {
+    /// Weight of the raw-series DTW distance (Hz units).
+    pub raw: f64,
+    /// Weight of the z-normalized shape DTW distance (unit variance).
+    pub shape: f64,
+    /// Weight of the |ln duration ratio| penalty.
+    pub duration: f64,
+}
+
+impl MatchWeights {
+    /// Balanced defaults calibrated on the simulator: raw DTW dominates,
+    /// with mild shape and duration terms that resolve the positive-bump
+    /// strokes (S2/S3/S6) the raw distance alone confuses.
+    pub fn stroke_matching() -> Self {
+        MatchWeights { raw: 1.0, shape: 20.0, duration: 25.0 }
+    }
+
+    /// Raw DTW only (the ablation baseline).
+    pub fn raw_only() -> Self {
+        MatchWeights { raw: 1.0, shape: 0.0, duration: 0.0 }
+    }
+}
+
+impl Default for MatchWeights {
+    fn default() -> Self {
+        MatchWeights::stroke_matching()
+    }
+}
+
+/// The result of classifying one segmented Doppler profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classification {
+    /// The nearest template's stroke.
+    pub stroke: Stroke,
+    /// DTW distance to each template, indexed by stroke.
+    pub distances: [f64; STROKE_COUNT],
+    /// Soft scores summing to 1, derived from distances by softmin; these
+    /// approximate `P(s|l)` for the Bayesian word decoder.
+    pub scores: [f64; STROKE_COUNT],
+}
+
+impl Classification {
+    /// Strokes ranked best-first by distance.
+    pub fn ranking(&self) -> Vec<Stroke> {
+        let mut order: Vec<usize> = (0..STROKE_COUNT).collect();
+        order.sort_by(|&a, &b| self.distances[a].total_cmp(&self.distances[b]));
+        order
+            .into_iter()
+            .map(|i| Stroke::from_index(i).expect("index < 6"))
+            .collect()
+    }
+
+    /// The margin between the best and second-best distance — a confidence
+    /// proxy.
+    pub fn margin(&self) -> f64 {
+        let ranked = self.ranking();
+        self.distances[ranked[1].index()] - self.distances[ranked[0].index()]
+    }
+}
+
+/// A DTW nearest-template classifier over the six strokes.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_dtw::{StrokeClassifier, TemplateLibrary};
+/// use echowrite_gesture::Stroke;
+/// let lib = TemplateLibrary::new(
+///     Stroke::ALL.iter().map(|&s| (s, vec![10.0 * s.index() as f64; 6])),
+/// ).unwrap();
+/// let clf = StrokeClassifier::new(lib);
+/// let c = clf.classify(&[29.0, 31.0, 30.0]);
+/// assert_eq!(c.stroke, Stroke::S4); // template value 30
+/// ```
+#[derive(Debug, Clone)]
+pub struct StrokeClassifier {
+    templates: TemplateLibrary,
+    /// Pre-computed z-normalized templates, indexed by stroke.
+    shape_templates: [Vec<f64>; STROKE_COUNT],
+    config: DtwConfig,
+    weights: MatchWeights,
+    /// Temperature of the softmin converting distances to scores.
+    temperature: f64,
+}
+
+impl StrokeClassifier {
+    /// Creates a classifier with stroke-matching DTW defaults.
+    pub fn new(templates: TemplateLibrary) -> Self {
+        let mut shape_templates: [Vec<f64>; STROKE_COUNT] = Default::default();
+        for (s, t) in templates.iter() {
+            shape_templates[s.index()] = z_normalize(t);
+        }
+        StrokeClassifier {
+            templates,
+            shape_templates,
+            config: DtwConfig::stroke_matching(),
+            weights: MatchWeights::stroke_matching(),
+            temperature: 10.0,
+        }
+    }
+
+    /// Overrides the DTW configuration.
+    pub fn with_config(mut self, config: DtwConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the composite-distance weights.
+    pub fn with_weights(mut self, weights: MatchWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Overrides the softmin temperature (higher = softer scores).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not positive.
+    pub fn with_temperature(mut self, t: f64) -> Self {
+        assert!(t > 0.0, "temperature must be positive, got {t}");
+        self.temperature = t;
+        self
+    }
+
+    /// The template library in use.
+    pub fn templates(&self) -> &TemplateLibrary {
+        &self.templates
+    }
+
+    /// Classifies a segmented Doppler profile (shift series in Hz).
+    pub fn classify(&self, profile: &[f64]) -> Classification {
+        let shape_probe = z_normalize(profile);
+        let mut distances = [f64::INFINITY; STROKE_COUNT];
+        for (stroke, template) in self.templates.iter() {
+            let w = self.weights;
+            let mut d = w.raw * dtw_distance(profile, template, self.config);
+            if w.shape > 0.0 {
+                d += w.shape
+                    * dtw_distance(
+                        &shape_probe,
+                        &self.shape_templates[stroke.index()],
+                        self.config,
+                    );
+            }
+            if w.duration > 0.0 && !profile.is_empty() && !template.is_empty() {
+                d += w.duration
+                    * (profile.len() as f64 / template.len() as f64).ln().abs();
+            }
+            distances[stroke.index()] = d;
+        }
+        let best = distances
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("six distances");
+        let scores = softmin(&distances, self.temperature);
+        Classification {
+            stroke: Stroke::from_index(best).expect("index < 6"),
+            distances,
+            scores,
+        }
+    }
+}
+
+/// Converts distances to a probability-like score vector with a softmin:
+/// `score_i ∝ exp(−d_i / t)`. Infinite distances score zero; if all are
+/// infinite the scores are uniform.
+fn softmin(distances: &[f64; STROKE_COUNT], temperature: f64) -> [f64; STROKE_COUNT] {
+    let finite_min = distances.iter().copied().filter(|d| d.is_finite()).fold(f64::INFINITY, f64::min);
+    if !finite_min.is_finite() {
+        return [1.0 / STROKE_COUNT as f64; STROKE_COUNT];
+    }
+    let mut scores = [0.0; STROKE_COUNT];
+    let mut total = 0.0;
+    for (i, &d) in distances.iter().enumerate() {
+        if d.is_finite() {
+            let s = (-(d - finite_min) / temperature).exp();
+            scores[i] = s;
+            total += s;
+        }
+    }
+    for s in &mut scores {
+        *s /= total;
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn library() -> TemplateLibrary {
+        // Six well-separated constant templates at 0, 20, 40, ... Hz.
+        TemplateLibrary::new(
+            Stroke::ALL
+                .iter()
+                .map(|&s| (s, vec![20.0 * s.index() as f64; 8])),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn classifies_to_nearest_template() {
+        let clf = StrokeClassifier::new(library());
+        for s in Stroke::ALL {
+            let probe = vec![20.0 * s.index() as f64 + 3.0; 5];
+            assert_eq!(clf.classify(&probe).stroke, s, "probe near {s}");
+        }
+    }
+
+    #[test]
+    fn distances_are_exact_for_constants() {
+        let clf = StrokeClassifier::new(library()).with_weights(MatchWeights::raw_only());
+        let c = clf.classify(&[10.0; 4]);
+        assert!((c.distances[0] - 10.0).abs() < 1e-12);
+        assert!((c.distances[1] - 10.0).abs() < 1e-12);
+        assert!((c.distances[2] - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scores_sum_to_one_and_rank_consistently() {
+        let clf = StrokeClassifier::new(library());
+        let c = clf.classify(&[5.0; 6]);
+        let sum: f64 = c.scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // Best stroke has the highest score.
+        let best = c.stroke.index();
+        for i in 0..STROKE_COUNT {
+            assert!(c.scores[best] >= c.scores[i]);
+        }
+    }
+
+    #[test]
+    fn ranking_sorted_by_distance() {
+        let clf = StrokeClassifier::new(library());
+        let c = clf.classify(&[42.0; 5]);
+        let ranked = c.ranking();
+        assert_eq!(ranked[0], Stroke::S3); // template 40 is nearest to 42
+        for w in ranked.windows(2) {
+            assert!(c.distances[w[0].index()] <= c.distances[w[1].index()]);
+        }
+    }
+
+    #[test]
+    fn margin_reflects_ambiguity() {
+        let clf = StrokeClassifier::new(library());
+        let confident = clf.classify(&[0.0; 5]); // dead on S1
+        let ambiguous = clf.classify(&[10.0; 5]); // between S1 and S2
+        assert!(confident.margin() > ambiguous.margin());
+        assert!(ambiguous.margin() < 1e-9);
+    }
+
+    #[test]
+    fn empty_profile_gives_uniform_scores() {
+        let clf = StrokeClassifier::new(library());
+        let c = clf.classify(&[]);
+        for s in c.scores {
+            assert!((s - 1.0 / 6.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn temperature_softens_scores() {
+        let sharp = StrokeClassifier::new(library()).with_temperature(1.0);
+        let soft = StrokeClassifier::new(library()).with_temperature(100.0);
+        let probe = vec![0.0; 5];
+        let cs = sharp.classify(&probe);
+        let cf = soft.classify(&probe);
+        assert!(cs.scores[0] > cf.scores[0], "low temperature should sharpen");
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature")]
+    fn rejects_bad_temperature() {
+        StrokeClassifier::new(library()).with_temperature(0.0);
+    }
+}

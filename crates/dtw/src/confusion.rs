@@ -1,0 +1,216 @@
+//! Stroke confusion statistics.
+//!
+//! The paper's word decoder needs `P(s|l)` — the probability that stroke
+//! `s` is observed when the letter's true stroke is written — "obtained
+//! from \[the\] confusion matrix in \[the\] stroke-recognition stage"
+//! (Sec. III-C). Its stroke-correction rules come from the same matrix's
+//! dominant error modes.
+
+use echowrite_gesture::stroke::{Stroke, STROKE_COUNT};
+use std::fmt;
+
+/// A 6×6 stroke confusion matrix: `counts[true][observed]`.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_dtw::ConfusionMatrix;
+/// use echowrite_gesture::Stroke;
+/// let mut m = ConfusionMatrix::new();
+/// m.record(Stroke::S2, Stroke::S2);
+/// m.record(Stroke::S2, Stroke::S1);
+/// assert_eq!(m.class_accuracy(Stroke::S2), Some(0.5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    counts: [[u64; STROKE_COUNT]; STROKE_COUNT],
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        ConfusionMatrix::default()
+    }
+
+    /// Records one trial: `truth` was written, `observed` was recognized.
+    pub fn record(&mut self, truth: Stroke, observed: Stroke) {
+        self.counts[truth.index()][observed.index()] += 1;
+    }
+
+    /// Raw count for a `(truth, observed)` cell.
+    pub fn count(&self, truth: Stroke, observed: Stroke) -> u64 {
+        self.counts[truth.index()][observed.index()]
+    }
+
+    /// Number of trials with this true stroke.
+    pub fn row_total(&self, truth: Stroke) -> u64 {
+        self.counts[truth.index()].iter().sum()
+    }
+
+    /// Total number of recorded trials.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Per-class accuracy `P(observed = truth | truth)`; `None` if the class
+    /// has no trials.
+    pub fn class_accuracy(&self, truth: Stroke) -> Option<f64> {
+        let total = self.row_total(truth);
+        if total == 0 {
+            None
+        } else {
+            Some(self.count(truth, truth) as f64 / total as f64)
+        }
+    }
+
+    /// Overall accuracy across all recorded trials; `None` when empty.
+    pub fn overall_accuracy(&self) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let correct: u64 = Stroke::ALL.iter().map(|&s| self.count(s, s)).sum();
+        Some(correct as f64 / total as f64)
+    }
+
+    /// `P(observed | truth)` with add-one (Laplace) smoothing so unseen
+    /// confusions keep non-zero probability — required by the Bayesian
+    /// decoder, which multiplies these terms.
+    pub fn likelihood(&self, observed: Stroke, truth: Stroke) -> f64 {
+        let row = self.row_total(truth);
+        (self.count(truth, observed) as f64 + 1.0) / (row as f64 + STROKE_COUNT as f64)
+    }
+
+    /// Raw empirical `P(observed | truth)` without smoothing — the correct
+    /// distribution to *sample* synthetic observations from (smoothing
+    /// would systematically understate the diagonal for small counts).
+    /// Uniform when the row has no trials.
+    pub fn rate(&self, observed: Stroke, truth: Stroke) -> f64 {
+        let row = self.row_total(truth);
+        if row == 0 {
+            1.0 / STROKE_COUNT as f64
+        } else {
+            self.count(truth, observed) as f64 / row as f64
+        }
+    }
+
+    /// Merges another matrix's counts into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        for t in 0..STROKE_COUNT {
+            for o in 0..STROKE_COUNT {
+                self.counts[t][o] += other.counts[t][o];
+            }
+        }
+    }
+
+    /// The most common misrecognition target for each stroke (excluding
+    /// itself), or `None` if the stroke was never confused. This is how the
+    /// paper identifies its substitution rules (S2/S4/S6 → S1, S5 → S2/S6).
+    pub fn dominant_confusion(&self, truth: Stroke) -> Option<Stroke> {
+        Stroke::ALL
+            .iter()
+            .filter(|&&o| o != truth)
+            .map(|&o| (o, self.count(truth, o)))
+            .filter(|&(_, c)| c > 0)
+            .max_by_key(|&(_, c)| c)
+            .map(|(o, _)| o)
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "truth\\obs")?;
+        for o in Stroke::ALL {
+            write!(f, "{o:>7}")?;
+        }
+        writeln!(f)?;
+        for t in Stroke::ALL {
+            write!(f, "{t:>9}")?;
+            for o in Stroke::ALL {
+                write!(f, "{:>7}", self.count(t, o))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut m = ConfusionMatrix::new();
+        m.record(Stroke::S1, Stroke::S1);
+        m.record(Stroke::S1, Stroke::S3);
+        m.record(Stroke::S3, Stroke::S3);
+        assert_eq!(m.count(Stroke::S1, Stroke::S1), 1);
+        assert_eq!(m.count(Stroke::S1, Stroke::S3), 1);
+        assert_eq!(m.row_total(Stroke::S1), 2);
+        assert_eq!(m.total(), 3);
+    }
+
+    #[test]
+    fn accuracies() {
+        let mut m = ConfusionMatrix::new();
+        for _ in 0..9 {
+            m.record(Stroke::S2, Stroke::S2);
+        }
+        m.record(Stroke::S2, Stroke::S1);
+        assert_eq!(m.class_accuracy(Stroke::S2), Some(0.9));
+        assert_eq!(m.class_accuracy(Stroke::S5), None);
+        assert_eq!(m.overall_accuracy(), Some(0.9));
+        assert_eq!(ConfusionMatrix::new().overall_accuracy(), None);
+    }
+
+    #[test]
+    fn likelihood_is_smoothed_and_normalized() {
+        let mut m = ConfusionMatrix::new();
+        for _ in 0..10 {
+            m.record(Stroke::S4, Stroke::S4);
+        }
+        // Unseen confusion still has positive probability.
+        assert!(m.likelihood(Stroke::S1, Stroke::S4) > 0.0);
+        // Likelihoods over observed strokes sum to 1 for a given truth.
+        let sum: f64 = Stroke::ALL.iter().map(|&o| m.likelihood(o, Stroke::S4)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // Empty rows are uniform.
+        assert!((m.likelihood(Stroke::S1, Stroke::S2) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ConfusionMatrix::new();
+        a.record(Stroke::S1, Stroke::S1);
+        let mut b = ConfusionMatrix::new();
+        b.record(Stroke::S1, Stroke::S2);
+        b.record(Stroke::S1, Stroke::S1);
+        a.merge(&b);
+        assert_eq!(a.count(Stroke::S1, Stroke::S1), 2);
+        assert_eq!(a.count(Stroke::S1, Stroke::S2), 1);
+    }
+
+    #[test]
+    fn dominant_confusion_finds_main_error_mode() {
+        let mut m = ConfusionMatrix::new();
+        for _ in 0..20 {
+            m.record(Stroke::S5, Stroke::S5);
+        }
+        for _ in 0..3 {
+            m.record(Stroke::S5, Stroke::S6);
+        }
+        m.record(Stroke::S5, Stroke::S2);
+        assert_eq!(m.dominant_confusion(Stroke::S5), Some(Stroke::S6));
+        assert_eq!(m.dominant_confusion(Stroke::S1), None);
+    }
+
+    #[test]
+    fn display_contains_all_labels() {
+        let m = ConfusionMatrix::new();
+        let text = m.to_string();
+        for s in Stroke::ALL {
+            assert!(text.contains(&s.to_string()));
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Dynamic time warping over one-dimensional series.
+
+/// Configuration for a DTW computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DtwConfig {
+    /// Sakoe-Chiba band half-width in samples; `None` runs unconstrained
+    /// DTW. A band speeds up matching and forbids pathological warps.
+    pub band: Option<usize>,
+    /// Divide the accumulated cost by the warping-path length, making
+    /// distances comparable across profile durations.
+    pub normalize: bool,
+}
+
+impl DtwConfig {
+    /// Unconstrained, path-normalized DTW — the configuration used for
+    /// stroke matching.
+    pub fn stroke_matching() -> Self {
+        DtwConfig { band: None, normalize: true }
+    }
+}
+
+impl Default for DtwConfig {
+    fn default() -> Self {
+        DtwConfig::stroke_matching()
+    }
+}
+
+/// Computes the DTW distance between two series with absolute-difference
+/// local cost.
+///
+/// Returns `f64::INFINITY` if either series is empty or the band is too
+/// narrow to connect the corners.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_dtw::{dtw_distance, DtwConfig};
+/// let a = [0.0, 1.0, 2.0, 1.0, 0.0];
+/// let b = [0.0, 0.0, 1.0, 2.0, 2.0, 1.0, 0.0]; // same shape, stretched
+/// let d = dtw_distance(&a, &b, DtwConfig::default());
+/// assert!(d < 0.2, "stretched copy should match closely: {d}");
+/// ```
+pub fn dtw_distance(a: &[f64], b: &[f64], config: DtwConfig) -> f64 {
+    match dtw_with_path(a, b, config) {
+        Some((d, _)) => d,
+        None => f64::INFINITY,
+    }
+}
+
+/// DTW distance together with the optimal alignment path (pairs of indices
+/// into `a` and `b`).
+///
+/// Returns `None` when no alignment exists (empty input or over-tight band).
+pub fn dtw_with_path(a: &[f64], b: &[f64], config: DtwConfig) -> Option<(f64, Vec<(usize, usize)>)> {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return None;
+    }
+    // Effective band: at least |n − m| so the corners connect.
+    let band = config
+        .band
+        .map(|w| w.max(n.abs_diff(m)))
+        .unwrap_or(usize::MAX);
+
+    let inf = f64::INFINITY;
+    // Accumulated-cost matrix, (n+1) × (m+1), row 0/col 0 as borders.
+    let mut cost = vec![inf; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    cost[idx(0, 0)] = 0.0;
+
+    for i in 1..=n {
+        let j_lo = if band == usize::MAX { 1 } else { i.saturating_sub(band).max(1) };
+        let j_hi = if band == usize::MAX { m } else { (i + band).min(m) };
+        for j in j_lo..=j_hi {
+            let local = (a[i - 1] - b[j - 1]).abs();
+            let best = cost[idx(i - 1, j)]
+                .min(cost[idx(i, j - 1)])
+                .min(cost[idx(i - 1, j - 1)]);
+            if best < inf {
+                cost[idx(i, j)] = local + best;
+            }
+        }
+    }
+    if cost[idx(n, m)] == inf {
+        return None;
+    }
+
+    // Backtrack the optimal path.
+    let mut path = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (n, m);
+    while i > 0 && j > 0 {
+        path.push((i - 1, j - 1));
+        let diag = cost[idx(i - 1, j - 1)];
+        let up = cost[idx(i - 1, j)];
+        let left = cost[idx(i, j - 1)];
+        if diag <= up && diag <= left {
+            i -= 1;
+            j -= 1;
+        } else if up <= left {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    path.reverse();
+
+    let total = cost[idx(n, m)];
+    let d = if config.normalize { total / path.len() as f64 } else { total };
+    Some((d, path))
+}
+
+/// Z-normalizes a series (zero mean, unit variance) — useful when matching
+/// should ignore amplitude scale. A constant series becomes all zeros.
+pub fn z_normalize(x: &[f64]) -> Vec<f64> {
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / x.len() as f64;
+    let sd = var.sqrt();
+    if sd < 1e-12 {
+        return vec![0.0; x.len()];
+    }
+    x.iter().map(|v| (v - mean) / sd).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(a: &[f64], b: &[f64]) -> f64 {
+        dtw_distance(a, b, DtwConfig::default())
+    }
+
+    #[test]
+    fn identity_distance_is_zero() {
+        let x = [1.0, 3.0, 2.0, 5.0];
+        assert_eq!(d(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [0.0, 1.0, 4.0, 2.0];
+        let b = [0.0, 2.0, 3.0, 1.0, 0.5];
+        assert!((d(&a, &b) - d(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_infinite() {
+        assert_eq!(d(&[], &[1.0]), f64::INFINITY);
+        assert_eq!(d(&[1.0], &[]), f64::INFINITY);
+        assert!(dtw_with_path(&[], &[], DtwConfig::default()).is_none());
+    }
+
+    #[test]
+    fn time_stretching_is_forgiven() {
+        let a: Vec<f64> = (0..20).map(|i| (i as f64 / 19.0 * std::f64::consts::PI).sin()).collect();
+        // The same half-sine at double length.
+        let b: Vec<f64> = (0..40).map(|i| (i as f64 / 39.0 * std::f64::consts::PI).sin()).collect();
+        // And a different shape (ramp) of the same length as a.
+        let c: Vec<f64> = (0..20).map(|i| i as f64 / 19.0).collect();
+        assert!(d(&a, &b) < 0.05, "stretched match {}", d(&a, &b));
+        assert!(d(&a, &b) < d(&a, &c) / 3.0, "shape must dominate duration");
+    }
+
+    #[test]
+    fn distance_scales_with_offset() {
+        let a = [0.0; 10];
+        let b = [1.0; 10];
+        let c = [2.0; 10];
+        assert!((d(&a, &b) - 1.0).abs() < 1e-12); // normalized per path step
+        assert!((d(&a, &c) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unnormalized_accumulates() {
+        let a = [0.0; 10];
+        let b = [1.0; 10];
+        let cfg = DtwConfig { band: None, normalize: false };
+        assert!((dtw_distance(&a, &b, cfg) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn band_widens_to_connect_corners() {
+        // Length mismatch 5 vs 15 with a 1-wide band: band must expand to
+        // |n−m| = 10 so a path still exists.
+        let a = [1.0; 5];
+        let b = [1.0; 15];
+        let cfg = DtwConfig { band: Some(1), normalize: true };
+        assert_eq!(dtw_distance(&a, &b, cfg), 0.0);
+    }
+
+    #[test]
+    fn band_restricts_warping() {
+        // A series and its heavily shifted copy: full DTW aligns them well,
+        // a tight band cannot.
+        let mut a = vec![0.0; 30];
+        let mut b = vec![0.0; 30];
+        a[5] = 10.0;
+        b[25] = 10.0;
+        let full = dtw_distance(&a, &b, DtwConfig { band: None, normalize: false });
+        let banded = dtw_distance(&a, &b, DtwConfig { band: Some(3), normalize: false });
+        assert!(full < banded, "full {full} banded {banded}");
+    }
+
+    #[test]
+    fn path_is_monotone_and_complete() {
+        let a = [0.0, 1.0, 2.0, 3.0];
+        let b = [0.0, 2.0, 3.0];
+        let (_, path) = dtw_with_path(&a, &b, DtwConfig::default()).unwrap();
+        assert_eq!(*path.first().unwrap(), (0, 0));
+        assert_eq!(*path.last().unwrap(), (3, 2));
+        for w in path.windows(2) {
+            let (i0, j0) = w[0];
+            let (i1, j1) = w[1];
+            assert!(i1 >= i0 && j1 >= j0);
+            assert!(i1 - i0 <= 1 && j1 - j0 <= 1);
+            assert!(i1 + j1 > i0 + j0);
+        }
+    }
+
+    #[test]
+    fn triangle_like_behaviour_on_constants() {
+        // DTW is not a metric, but on constant series it reduces to the
+        // absolute difference, which is.
+        let a = [1.0; 4];
+        let b = [3.0; 4];
+        let c = [6.0; 4];
+        assert!(d(&a, &c) <= d(&a, &b) + d(&b, &c) + 1e-12);
+    }
+
+    #[test]
+    fn z_normalize_properties() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let z = z_normalize(&x);
+        let mean: f64 = z.iter().sum::<f64>() / z.len() as f64;
+        let var: f64 = z.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / z.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+        assert_eq!(z_normalize(&[5.0; 3]), vec![0.0; 3]);
+        assert!(z_normalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_element_series() {
+        assert_eq!(d(&[2.0], &[5.0]), 3.0);
+        assert_eq!(d(&[2.0], &[2.0, 2.0, 2.0]), 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Dynamic time warping and stroke classification (paper Sec. III-C).
+//!
+//! EchoWrite recognizes a segmented Doppler profile by matching it against
+//! six pre-stored stroke templates with dynamic time warping, which
+//! "outperforms other methods by taking stretch and contraction into
+//! consideration" — the same stroke written faster or slower warps onto the
+//! same template. Because the templates are intrinsic to the strokes (not
+//! learned from users), the system is training-free.
+//!
+//! This crate provides:
+//! - [`dtw`]: full and Sakoe-Chiba-banded DTW with optional path-length
+//!   normalization,
+//! - [`templates::TemplateLibrary`]: the labeled template store,
+//! - [`classifier::StrokeClassifier`]: nearest-template classification with
+//!   soft per-stroke likelihoods (the `P(sᵢ|lᵢ)` terms of Eq. 7),
+//! - [`confusion::ConfusionMatrix`]: per-class accuracy and the empirical
+//!   confusion statistics that drive the paper's stroke-correction rules.
+
+pub mod classifier;
+pub mod confusion;
+pub mod dtw;
+pub mod templates;
+
+pub use classifier::{Classification, StrokeClassifier};
+pub use confusion::ConfusionMatrix;
+pub use dtw::{dtw_distance, DtwConfig};
+pub use templates::TemplateLibrary;

@@ -1,0 +1,158 @@
+//! The pre-stored stroke template library.
+//!
+//! Templates are Doppler profiles "intrinsically related with strokes
+//! themselves, while irrelevant with who performs them and how fast they
+//! are performed" (Sec. III-C) — which is what makes EchoWrite
+//! training-free. The library here is label-indexed storage; the canonical
+//! template *profiles* are produced by running the ideal (jitter-free)
+//! writer through the full signal pipeline, which lives in the `echowrite`
+//! core crate to keep this crate's dependencies minimal.
+
+use echowrite_gesture::stroke::{Stroke, STROKE_COUNT};
+use std::fmt;
+
+/// Errors building a template library.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemplateError {
+    /// A stroke has no template.
+    Missing(Stroke),
+    /// A template series is empty.
+    Empty(Stroke),
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::Missing(s) => write!(f, "no template supplied for stroke {s}"),
+            TemplateError::Empty(s) => write!(f, "template for stroke {s} is empty"),
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+/// A labeled library of one Doppler-profile template per stroke.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_dtw::TemplateLibrary;
+/// use echowrite_gesture::Stroke;
+/// let lib = TemplateLibrary::new(
+///     Stroke::ALL.iter().map(|&s| (s, vec![s.index() as f64; 8])),
+/// ).unwrap();
+/// assert_eq!(lib.template(Stroke::S3)[0], 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateLibrary {
+    templates: [Vec<f64>; STROKE_COUNT],
+}
+
+impl TemplateLibrary {
+    /// Builds a library from `(stroke, profile)` pairs. Later pairs replace
+    /// earlier ones for the same stroke.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any stroke lacks a template or a template is
+    /// empty.
+    pub fn new<I>(pairs: I) -> Result<Self, TemplateError>
+    where
+        I: IntoIterator<Item = (Stroke, Vec<f64>)>,
+    {
+        let mut slots: [Option<Vec<f64>>; STROKE_COUNT] = Default::default();
+        for (stroke, profile) in pairs {
+            slots[stroke.index()] = Some(profile);
+        }
+        let mut templates: [Vec<f64>; STROKE_COUNT] = Default::default();
+        for (i, slot) in slots.into_iter().enumerate() {
+            let stroke = Stroke::from_index(i).expect("index < 6");
+            match slot {
+                None => return Err(TemplateError::Missing(stroke)),
+                Some(p) if p.is_empty() => return Err(TemplateError::Empty(stroke)),
+                Some(p) => templates[i] = p,
+            }
+        }
+        Ok(TemplateLibrary { templates })
+    }
+
+    /// The template profile for a stroke.
+    pub fn template(&self, stroke: Stroke) -> &[f64] {
+        &self.templates[stroke.index()]
+    }
+
+    /// Iterates over `(stroke, template)` pairs in stroke order.
+    pub fn iter(&self) -> impl Iterator<Item = (Stroke, &[f64])> {
+        Stroke::ALL
+            .iter()
+            .map(move |&s| (s, self.template(s)))
+    }
+
+    /// Length of the longest template.
+    pub fn max_len(&self) -> usize {
+        self.templates.iter().map(|t| t.len()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_pairs() -> Vec<(Stroke, Vec<f64>)> {
+        Stroke::ALL
+            .iter()
+            .map(|&s| (s, vec![s.index() as f64 + 1.0; 4 + s.index()]))
+            .collect()
+    }
+
+    #[test]
+    fn builds_and_looks_up() {
+        let lib = TemplateLibrary::new(full_pairs()).unwrap();
+        for s in Stroke::ALL {
+            assert_eq!(lib.template(s)[0], s.index() as f64 + 1.0);
+            assert_eq!(lib.template(s).len(), 4 + s.index());
+        }
+        assert_eq!(lib.max_len(), 9);
+    }
+
+    #[test]
+    fn missing_template_is_an_error() {
+        let mut pairs = full_pairs();
+        pairs.retain(|(s, _)| *s != Stroke::S4);
+        assert_eq!(
+            TemplateLibrary::new(pairs).unwrap_err(),
+            TemplateError::Missing(Stroke::S4)
+        );
+    }
+
+    #[test]
+    fn empty_template_is_an_error() {
+        let mut pairs = full_pairs();
+        pairs.push((Stroke::S2, vec![]));
+        assert_eq!(
+            TemplateLibrary::new(pairs).unwrap_err(),
+            TemplateError::Empty(Stroke::S2)
+        );
+    }
+
+    #[test]
+    fn later_pairs_replace_earlier() {
+        let mut pairs = full_pairs();
+        pairs.push((Stroke::S1, vec![9.0, 9.0]));
+        let lib = TemplateLibrary::new(pairs).unwrap();
+        assert_eq!(lib.template(Stroke::S1), &[9.0, 9.0]);
+    }
+
+    #[test]
+    fn iter_visits_all_in_order() {
+        let lib = TemplateLibrary::new(full_pairs()).unwrap();
+        let strokes: Vec<Stroke> = lib.iter().map(|(s, _)| s).collect();
+        assert_eq!(strokes, Stroke::ALL);
+    }
+
+    #[test]
+    fn error_messages_name_the_stroke() {
+        let err = TemplateError::Missing(Stroke::S5).to_string();
+        assert!(err.contains("S5"));
+    }
+}

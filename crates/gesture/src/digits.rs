@@ -1,0 +1,205 @@
+//! Digit input: the ten digits as stroke sequences.
+//!
+//! The paper's introduction cites the authors' companion system (AcouDigits,
+//! PerCom'19, ref. 26 of the paper) for entering digits in the air. Digits decompose into
+//! the same six basic strokes as letters under school stroke order, so the
+//! EchoWrite pipeline recognizes them without any new signal processing —
+//! only this mapping and a sequence decoder are needed.
+
+use crate::stroke::Stroke;
+
+/// The stroke decomposition of each digit, in writing order.
+///
+/// Every digit has a *unique* sequence, so exact recognition needs no
+/// language model; a confusion-aware decoder handles misread strokes.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_gesture::digits::DigitScheme;
+/// use echowrite_gesture::Stroke;
+/// let scheme = DigitScheme::standard();
+/// assert_eq!(scheme.sequence_for(1), &[Stroke::S2]);
+/// assert_eq!(scheme.decode_exact(&[Stroke::S2]), Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigitScheme {
+    sequences: [Vec<Stroke>; 10],
+}
+
+impl DigitScheme {
+    /// The standard school-stroke-order decomposition:
+    ///
+    /// | digit | strokes | rationale |
+    /// |---|---|---|
+    /// | 0 | S5 S6 | oval: left curve closed by a right curve |
+    /// | 1 | S2 | single downstroke |
+    /// | 2 | S6 S1 | upper bowl, then the base bar |
+    /// | 3 | S6 S6 | two stacked right bowls |
+    /// | 4 | S3 S1 S2 | slant, crossbar, downstroke |
+    /// | 5 | S2 S6 S1 | downstroke, bowl, top bar |
+    /// | 6 | S5 S5 | long left curve, closing left loop |
+    /// | 7 | S1 S3 | top bar, then the long slant |
+    /// | 8 | S6 S5 | upper-right sweep into the lower-left loop |
+    /// | 9 | S5 S2 | closed loop, then the tail downstroke |
+    pub fn standard() -> Self {
+        use Stroke::*;
+        DigitScheme {
+            sequences: [
+                vec![S5, S6],     // 0
+                vec![S2],         // 1
+                vec![S6, S1],     // 2
+                vec![S6, S6],     // 3
+                vec![S3, S1, S2], // 4
+                vec![S2, S6, S1], // 5
+                vec![S5, S5],     // 6
+                vec![S1, S3],     // 7
+                vec![S6, S5],     // 8
+                vec![S5, S2],     // 9
+            ],
+        }
+    }
+
+    /// The stroke sequence of a digit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digit > 9`.
+    pub fn sequence_for(&self, digit: u8) -> &[Stroke] {
+        assert!(digit <= 9, "digit must be 0..=9, got {digit}");
+        &self.sequences[digit as usize]
+    }
+
+    /// Decodes an exactly-matching stroke sequence to its digit.
+    pub fn decode_exact(&self, observed: &[Stroke]) -> Option<u8> {
+        self.sequences
+            .iter()
+            .position(|s| s.as_slice() == observed)
+            .map(|d| d as u8)
+    }
+
+    /// Ranks all digits by a simple likelihood of the observed sequence:
+    /// per-position agreement scores (match = `p_match`, mismatch =
+    /// `(1 − p_match)/5`), with a length-mismatch penalty per extra or
+    /// missing stroke. Returns `(digit, score)` sorted best-first.
+    pub fn decode_ranked(&self, observed: &[Stroke], p_match: f64) -> Vec<(u8, f64)> {
+        let p_match = p_match.clamp(0.5, 0.999);
+        let p_miss = (1.0 - p_match) / 5.0;
+        let mut scored: Vec<(u8, f64)> = self
+            .sequences
+            .iter()
+            .enumerate()
+            .map(|(d, seq)| {
+                let mut score = 1.0;
+                for (a, b) in observed.iter().zip(seq) {
+                    score *= if a == b { p_match } else { p_miss };
+                }
+                let len_diff = observed.len().abs_diff(seq.len());
+                score *= p_miss.powi(len_diff as i32);
+                (d as u8, score)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored
+    }
+
+    /// All digit sequences, indexed by digit.
+    pub fn sequences(&self) -> &[Vec<Stroke>; 10] {
+        &self.sequences
+    }
+}
+
+impl Default for DigitScheme {
+    fn default() -> Self {
+        DigitScheme::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Stroke::*;
+
+    #[test]
+    fn sequences_are_unique() {
+        let scheme = DigitScheme::standard();
+        for a in 0..10u8 {
+            for b in 0..10u8 {
+                if a != b {
+                    assert_ne!(
+                        scheme.sequence_for(a),
+                        scheme.sequence_for(b),
+                        "digits {a} and {b} collide"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_decode_roundtrips() {
+        let scheme = DigitScheme::standard();
+        for d in 0..10u8 {
+            let seq = scheme.sequence_for(d).to_vec();
+            assert_eq!(scheme.decode_exact(&seq), Some(d));
+        }
+        assert_eq!(scheme.decode_exact(&[S1, S1, S1, S1]), None);
+        assert_eq!(scheme.decode_exact(&[]), None);
+    }
+
+    #[test]
+    fn ranked_decode_puts_exact_match_first() {
+        let scheme = DigitScheme::standard();
+        for d in 0..10u8 {
+            let ranked = scheme.decode_ranked(scheme.sequence_for(d), 0.95);
+            assert_eq!(ranked[0].0, d, "digit {d} not ranked first");
+            assert_eq!(ranked.len(), 10);
+            for w in ranked.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn ranked_decode_recovers_single_misread() {
+        let scheme = DigitScheme::standard();
+        // '5' = S2 S6 S1 with the middle stroke misread as S5.
+        let observed = vec![S2, S5, S1];
+        let ranked = scheme.decode_ranked(&observed, 0.95);
+        assert_eq!(ranked[0].0, 5, "ranked {ranked:?}");
+    }
+
+    #[test]
+    fn length_mismatch_is_penalized_not_fatal() {
+        let scheme = DigitScheme::standard();
+        // '1' (S2) with a spurious extra stroke still ranks 1 highly.
+        let ranked = scheme.decode_ranked(&[S2, S1], 0.95);
+        // S2 S1 could be '5' missing its bowl too; '1'-with-insertion and
+        // '5'-with-deletion compete — both must outrank unrelated digits.
+        let top2: Vec<u8> = ranked[..2].iter().map(|r| r.0).collect();
+        assert!(top2.contains(&1) || top2.contains(&5), "{ranked:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "digit must be 0..=9")]
+    fn rejects_non_digits() {
+        DigitScheme::standard().sequence_for(10);
+    }
+
+    #[test]
+    fn stroke_coverage() {
+        // Digit forms have no natural right-falling diagonal (S4); all
+        // other strokes appear.
+        let scheme = DigitScheme::standard();
+        let mut seen = [false; 6];
+        for d in 0..10u8 {
+            for s in scheme.sequence_for(d) {
+                seen[s.index()] = true;
+            }
+        }
+        assert!(!seen[S4.index()], "no digit uses S4 in school stroke order");
+        for s in [S1, S2, S3, S5, S6] {
+            assert!(seen[s.index()], "{s} unused");
+        }
+    }
+}

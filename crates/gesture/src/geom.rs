@@ -1,0 +1,202 @@
+//! Minimal 3-D vector geometry for finger trajectories.
+//!
+//! Coordinate convention (device-centric, metres):
+//! - the device's microphone/speaker pair sits at the origin,
+//! - `x` is lateral (positive to the writer's right),
+//! - `y` is vertical (positive up),
+//! - `z` points from the device toward the writer.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A 3-D vector/point in metres.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_gesture::Vec3;
+/// let p = Vec3::new(3.0, 4.0, 0.0);
+/// assert_eq!(p.norm(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// Lateral component (metres).
+    pub x: f64,
+    /// Vertical component (metres).
+    pub y: f64,
+    /// Depth component (metres, away from the device).
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Squared norm.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.x * self.x + self.y * self.y + self.z * self.z
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, other: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Unit vector in this direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is (near) zero length.
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        assert!(n > 1e-12, "cannot normalize a zero-length vector");
+        self * (1.0 / n)
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Linear interpolation: `self + t·(other − self)`.
+    #[inline]
+    pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {
+        self + (other - self) * t
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, k: f64) -> Vec3 {
+        Vec3::new(self.x * k, self.y * k, self.z * k)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a + b, Vec3::new(0.0, 2.5, 5.0));
+        assert_eq!(a - b, Vec3::new(2.0, 1.5, 1.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn norms_and_dot() {
+        let v = Vec3::new(2.0, 3.0, 6.0);
+        assert_eq!(v.norm(), 7.0);
+        assert_eq!(v.norm_sqr(), 49.0);
+        assert_eq!(v.dot(Vec3::new(1.0, 0.0, 0.0)), 2.0);
+    }
+
+    #[test]
+    fn cross_product_orthogonality() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(a.cross(b), Vec3::new(0.0, 0.0, 1.0));
+        let c = Vec3::new(1.0, 2.0, 3.0).cross(Vec3::new(4.0, 5.0, 6.0));
+        assert!(c.dot(Vec3::new(1.0, 2.0, 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_is_unit() {
+        let u = Vec3::new(3.0, -4.0, 12.0).normalized();
+        assert!((u.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn normalize_zero_panics() {
+        Vec3::ZERO.normalized();
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(2.0, 4.0, -2.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.0, 2.0, -1.0));
+    }
+
+    #[test]
+    fn distance_symmetry() {
+        let a = Vec3::new(1.0, 1.0, 1.0);
+        let b = Vec3::new(4.0, 5.0, 1.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(b.distance(a), 5.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Stroke alphabet, input scheme, and finger-motion kinematics for EchoWrite.
+//!
+//! The paper decomposes uppercase English letters into six basic strokes
+//! (Fig. 2a) and assigns each letter to the stroke group given by its first
+//! or second stroke under school stroke order (Fig. 3). A user "types" a
+//! word by writing its letters' strokes in the air; the acoustic pipeline
+//! recognizes the stroke sequence and a language model decodes candidate
+//! words, T9-style.
+//!
+//! This crate provides:
+//! - the [`Stroke`] alphabet S1–S6,
+//! - the letter→stroke [`scheme::InputScheme`] (a faithful reconstruction of
+//!   the paper's Fig. 3, data-driven so alternative mappings can be loaded),
+//! - 3-D [`geom::Vec3`] geometry and minimum-jerk [`trajectory`] synthesis
+//!   of finger motion for each stroke, including the inter-stroke withdraw
+//!   motion,
+//! - a [`writer::Writer`] model adding per-user speed/amplitude/jitter
+//!   variability and writing-error behaviour.
+//!
+//! # Example
+//!
+//! ```
+//! use echowrite_gesture::{Stroke, scheme::InputScheme};
+//!
+//! let scheme = InputScheme::paper();
+//! assert_eq!(scheme.stroke_for('T'), Some(Stroke::S1));
+//! let seq = scheme.encode_word("the").unwrap();
+//! assert_eq!(seq, vec![Stroke::S1, Stroke::S2, Stroke::S1]);
+//! ```
+
+pub mod digits;
+pub mod geom;
+pub mod scheme;
+pub mod stroke;
+pub mod trajectory;
+pub mod writer;
+
+pub use geom::Vec3;
+pub use scheme::InputScheme;
+pub use stroke::Stroke;
+pub use trajectory::{StrokePath, Trajectory};
+pub use writer::{Writer, WriterParams};

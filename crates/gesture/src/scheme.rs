@@ -1,0 +1,331 @@
+//! The letter → stroke input scheme (reconstruction of the paper's Fig. 3).
+//!
+//! The paper's two design principles (Sec. II-A):
+//! 1. **Learnability** — letters are grouped by the first or second stroke
+//!    of their natural uppercase stroke order, so the mapping is memorable.
+//! 2. **Doppler uniqueness** — each group's gesture must induce a unique
+//!    Doppler shift pattern; the six basic strokes satisfy this (Fig. 9).
+//!
+//! The exact Fig. 3 artwork is not reproducible from the paper text, so
+//! [`InputScheme::paper`] encodes the reconstruction documented in
+//! `DESIGN.md` §4. The type is data-driven: any 26-letter assignment can be
+//! loaded with [`InputScheme::from_pairs`], which the paper's "user-defined
+//! input scheme" future-work section (Sec. VII-C) motivates.
+
+use crate::stroke::{Stroke, STROKE_COUNT};
+use std::fmt;
+
+/// Errors produced while building or using an input scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemeError {
+    /// A letter outside `A..=Z` was supplied.
+    NotALetter(char),
+    /// A letter was assigned twice in `from_pairs`.
+    DuplicateLetter(char),
+    /// Not all 26 letters were assigned.
+    MissingLetters(Vec<char>),
+    /// A stroke group would be empty, violating Doppler-profile coverage.
+    EmptyGroup(Stroke),
+}
+
+impl fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemeError::NotALetter(c) => write!(f, "character {c:?} is not an English letter"),
+            SchemeError::DuplicateLetter(c) => write!(f, "letter {c:?} assigned more than once"),
+            SchemeError::MissingLetters(ls) => write!(f, "letters without a stroke: {ls:?}"),
+            SchemeError::EmptyGroup(s) => write!(f, "stroke {s} has no letters assigned"),
+        }
+    }
+}
+
+impl std::error::Error for SchemeError {}
+
+/// A total mapping from the 26 uppercase English letters to the six strokes.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_gesture::{InputScheme, Stroke};
+/// let scheme = InputScheme::paper();
+/// assert_eq!(scheme.letters_for(Stroke::S5), ['C', 'G', 'O', 'Q', 'S']);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputScheme {
+    /// `map[letter - 'A']` is the stroke for that letter.
+    map: [Stroke; 26],
+}
+
+impl InputScheme {
+    /// The reconstructed paper scheme (DESIGN.md §4):
+    ///
+    /// | Stroke | Letters | Rationale (first/second stroke in school order) |
+    /// |---|---|---|
+    /// | S1 `—` | E F L T Z | E/F/L/T's salient horizontal bar; Z starts with one |
+    /// | S2 `\|` | H I J Y | dominant vertical stem / descender |
+    /// | S3 `↙` | A K X | first or second stroke is the left-falling diagonal |
+    /// | S4 `↘` | M N V W | first diagonal stroke falls rightward |
+    /// | S5 `C` | C G O Q S | all begin with the counter-clockwise left curve |
+    /// | S6 `)` | B D P R U | bowl/right-curve as first or second stroke |
+    pub fn paper() -> Self {
+        InputScheme::from_pairs([
+            ('A', Stroke::S3),
+            ('B', Stroke::S6),
+            ('C', Stroke::S5),
+            ('D', Stroke::S6),
+            ('E', Stroke::S1),
+            ('F', Stroke::S1),
+            ('G', Stroke::S5),
+            ('H', Stroke::S2),
+            ('I', Stroke::S2),
+            ('J', Stroke::S2),
+            ('K', Stroke::S3),
+            ('L', Stroke::S1),
+            ('M', Stroke::S4),
+            ('N', Stroke::S4),
+            ('O', Stroke::S5),
+            ('P', Stroke::S6),
+            ('Q', Stroke::S5),
+            ('R', Stroke::S6),
+            ('S', Stroke::S5),
+            ('T', Stroke::S1),
+            ('U', Stroke::S6),
+            ('V', Stroke::S4),
+            ('W', Stroke::S4),
+            ('X', Stroke::S3),
+            ('Y', Stroke::S2),
+            ('Z', Stroke::S1),
+        ])
+        .expect("the built-in paper scheme is valid")
+    }
+
+    /// Builds a scheme from `(letter, stroke)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any character is not an ASCII letter, a letter is
+    /// assigned twice, any of the 26 letters is missing, or a stroke group
+    /// would be empty (the paper requires each gesture to map to letters).
+    pub fn from_pairs<I>(pairs: I) -> Result<Self, SchemeError>
+    where
+        I: IntoIterator<Item = (char, Stroke)>,
+    {
+        let mut map: [Option<Stroke>; 26] = [None; 26];
+        for (c, s) in pairs {
+            let u = c.to_ascii_uppercase();
+            if !u.is_ascii_uppercase() {
+                return Err(SchemeError::NotALetter(c));
+            }
+            let idx = (u as u8 - b'A') as usize;
+            if map[idx].is_some() {
+                return Err(SchemeError::DuplicateLetter(u));
+            }
+            map[idx] = Some(s);
+        }
+        let missing: Vec<char> = (0..26)
+            .filter(|&i| map[i].is_none())
+            .map(|i| (b'A' + i as u8) as char)
+            .collect();
+        if !missing.is_empty() {
+            return Err(SchemeError::MissingLetters(missing));
+        }
+        let map = map.map(|s| s.expect("checked above"));
+        let mut counts = [0usize; STROKE_COUNT];
+        for s in map {
+            counts[s.index()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                return Err(SchemeError::EmptyGroup(
+                    Stroke::from_index(i).expect("index < 6"),
+                ));
+            }
+        }
+        Ok(InputScheme { map })
+    }
+
+    /// The stroke assigned to a letter (case-insensitive).
+    ///
+    /// Returns `None` for non-letters.
+    pub fn stroke_for(&self, letter: char) -> Option<Stroke> {
+        let u = letter.to_ascii_uppercase();
+        if u.is_ascii_uppercase() {
+            Some(self.map[(u as u8 - b'A') as usize])
+        } else {
+            None
+        }
+    }
+
+    /// All letters assigned to a stroke, in alphabetical order.
+    pub fn letters_for(&self, stroke: Stroke) -> Vec<char> {
+        (0..26u8)
+            .filter(|&i| self.map[i as usize] == stroke)
+            .map(|i| (b'A' + i) as char)
+            .collect()
+    }
+
+    /// Encodes a word as its stroke sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first non-letter character encountered.
+    pub fn encode_word(&self, word: &str) -> Result<Vec<Stroke>, SchemeError> {
+        word.chars()
+            .map(|c| self.stroke_for(c).ok_or(SchemeError::NotALetter(c)))
+            .collect()
+    }
+
+    /// Number of letters in each stroke group, indexed by stroke.
+    pub fn group_sizes(&self) -> [usize; STROKE_COUNT] {
+        let mut counts = [0usize; STROKE_COUNT];
+        for s in self.map {
+            counts[s.index()] += 1;
+        }
+        counts
+    }
+
+    /// All words in `candidates` whose stroke encoding equals `seq`
+    /// (the fuzzy T9-style group lookup).
+    pub fn matching_words<'a>(&self, seq: &[Stroke], candidates: &'a [&'a str]) -> Vec<&'a str> {
+        candidates
+            .iter()
+            .filter(|w| self.encode_word(w).map(|s| s == seq).unwrap_or(false))
+            .copied()
+            .collect()
+    }
+
+    /// The number of distinct letter combinations a stroke sequence could
+    /// expand to (product of group sizes) — the search-space bound that
+    /// motivates the paper's dictionary-driven decoding.
+    pub fn combination_count(&self, seq: &[Stroke]) -> u128 {
+        let sizes = self.group_sizes();
+        seq.iter().map(|s| sizes[s.index()] as u128).product()
+    }
+}
+
+impl Default for InputScheme {
+    fn default() -> Self {
+        InputScheme::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scheme_covers_all_letters() {
+        let scheme = InputScheme::paper();
+        for c in 'A'..='Z' {
+            assert!(scheme.stroke_for(c).is_some(), "letter {c} unmapped");
+        }
+        assert_eq!(scheme.group_sizes().iter().sum::<usize>(), 26);
+    }
+
+    #[test]
+    fn paper_scheme_group_sizes() {
+        let scheme = InputScheme::paper();
+        assert_eq!(scheme.group_sizes(), [5, 4, 3, 4, 5, 5]);
+    }
+
+    #[test]
+    fn paper_scheme_expected_groups() {
+        let scheme = InputScheme::paper();
+        assert_eq!(scheme.letters_for(Stroke::S1), ['E', 'F', 'L', 'T', 'Z']);
+        assert_eq!(scheme.letters_for(Stroke::S2), ['H', 'I', 'J', 'Y']);
+        assert_eq!(scheme.letters_for(Stroke::S3), ['A', 'K', 'X']);
+        assert_eq!(scheme.letters_for(Stroke::S4), ['M', 'N', 'V', 'W']);
+        assert_eq!(scheme.letters_for(Stroke::S5), ['C', 'G', 'O', 'Q', 'S']);
+        assert_eq!(scheme.letters_for(Stroke::S6), ['B', 'D', 'P', 'R', 'U']);
+    }
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let scheme = InputScheme::paper();
+        assert_eq!(scheme.stroke_for('a'), scheme.stroke_for('A'));
+        assert_eq!(scheme.stroke_for('5'), None);
+        assert_eq!(scheme.stroke_for(' '), None);
+    }
+
+    #[test]
+    fn encode_word_examples() {
+        let scheme = InputScheme::paper();
+        assert_eq!(
+            scheme.encode_word("CAB").unwrap(),
+            vec![Stroke::S5, Stroke::S3, Stroke::S6]
+        );
+        // "the" -> T:S1 H:S2 E:S1
+        assert_eq!(
+            scheme.encode_word("the").unwrap(),
+            vec![Stroke::S1, Stroke::S2, Stroke::S1]
+        );
+        assert_eq!(
+            scheme.encode_word("it's"),
+            Err(SchemeError::NotALetter('\''))
+        );
+    }
+
+    #[test]
+    fn from_pairs_detects_duplicates_and_missing() {
+        let mut pairs: Vec<(char, Stroke)> = ('A'..='Z').map(|c| (c, Stroke::S1)).collect();
+        // Every stroke must be non-empty; start from the valid paper scheme.
+        let err = InputScheme::from_pairs(pairs.clone().into_iter().chain([('A', Stroke::S2)]))
+            .unwrap_err();
+        assert_eq!(err, SchemeError::DuplicateLetter('A'));
+
+        pairs.pop(); // drop Z
+        let err = InputScheme::from_pairs(pairs).unwrap_err();
+        assert_eq!(err, SchemeError::MissingLetters(vec!['Z']));
+    }
+
+    #[test]
+    fn from_pairs_detects_empty_group() {
+        // All letters on S1 leaves S2..S6 empty.
+        let pairs: Vec<(char, Stroke)> = ('A'..='Z').map(|c| (c, Stroke::S1)).collect();
+        let err = InputScheme::from_pairs(pairs).unwrap_err();
+        assert_eq!(err, SchemeError::EmptyGroup(Stroke::S2));
+    }
+
+    #[test]
+    fn from_pairs_rejects_non_letters() {
+        let err = InputScheme::from_pairs([('3', Stroke::S1)]).unwrap_err();
+        assert_eq!(err, SchemeError::NotALetter('3'));
+    }
+
+    #[test]
+    fn from_pairs_accepts_lowercase() {
+        let pairs: Vec<(char, Stroke)> = ('a'..='z')
+            .enumerate()
+            .map(|(i, c)| (c, Stroke::from_index(i % 6).unwrap()))
+            .collect();
+        let scheme = InputScheme::from_pairs(pairs).unwrap();
+        assert_eq!(scheme.stroke_for('A'), Some(Stroke::S1));
+        assert_eq!(scheme.stroke_for('B'), Some(Stroke::S2));
+    }
+
+    #[test]
+    fn matching_words_filters_by_sequence() {
+        let scheme = InputScheme::paper();
+        let candidates = ["cab", "sad", "car", "cat", "oak"];
+        // C:S5 A:S3 B:S6 — "sad" is S5 S3 S6 too (S:S5, A:S3, D:S6) — a true
+        // T9-style collision; "car"/"cab" share S5 S3 S6 via R/B both in S6.
+        let hits = scheme.matching_words(&[Stroke::S5, Stroke::S3, Stroke::S6], &candidates);
+        assert!(hits.contains(&"cab"));
+        assert!(hits.contains(&"sad"));
+        assert!(hits.contains(&"car"));
+        assert!(!hits.contains(&"cat")); // T is S1, not S6
+    }
+
+    #[test]
+    fn combination_count_multiplies_group_sizes() {
+        let scheme = InputScheme::paper();
+        // S1 group has 5 letters, S3 has 3.
+        assert_eq!(scheme.combination_count(&[Stroke::S1, Stroke::S3]), 15);
+        assert_eq!(scheme.combination_count(&[]), 1);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(InputScheme::default(), InputScheme::paper());
+    }
+}

@@ -1,0 +1,215 @@
+//! The six basic strokes of the EchoWrite input alphabet.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the six basic strokes that uppercase English letters decompose
+/// into (paper Fig. 2a).
+///
+/// The geometric convention used throughout this reproduction (writing plane
+/// in front of the device, x lateral, y vertical):
+///
+/// | Stroke | Gesture | Motion |
+/// |---|---|---|
+/// | `S1` | `—` | horizontal line, left → right |
+/// | `S2` | `\|` | vertical line, top → bottom |
+/// | `S3` | `↙` | left-falling diagonal, top-right → bottom-left |
+/// | `S4` | `↘` | right-falling diagonal, top-left → bottom-right |
+/// | `S5` | `C` | left curve, counter-clockwise open-right arc |
+/// | `S6` | `)` | right curve, clockwise open-left arc |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stroke {
+    /// Horizontal line (`—`).
+    S1,
+    /// Vertical line (`|`).
+    S2,
+    /// Left-falling diagonal (`↙`).
+    S3,
+    /// Right-falling diagonal (`↘`).
+    S4,
+    /// Left curve (`C`).
+    S5,
+    /// Right curve (`)`).
+    S6,
+}
+
+/// Number of strokes in the alphabet.
+pub const STROKE_COUNT: usize = 6;
+
+impl Stroke {
+    /// All strokes in index order.
+    pub const ALL: [Stroke; STROKE_COUNT] = [
+        Stroke::S1,
+        Stroke::S2,
+        Stroke::S3,
+        Stroke::S4,
+        Stroke::S5,
+        Stroke::S6,
+    ];
+
+    /// Zero-based index of the stroke (S1 → 0 … S6 → 5).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stroke from a zero-based index.
+    ///
+    /// Returns `None` if `idx >= 6`.
+    pub fn from_index(idx: usize) -> Option<Stroke> {
+        Stroke::ALL.get(idx).copied()
+    }
+
+    /// The glyph conventionally used to depict the stroke.
+    pub fn glyph(self) -> char {
+        match self {
+            Stroke::S1 => '—',
+            Stroke::S2 => '|',
+            Stroke::S3 => '↙',
+            Stroke::S4 => '↘',
+            Stroke::S5 => 'C',
+            Stroke::S6 => ')',
+        }
+    }
+
+    /// A short human-readable description of the gesture.
+    pub fn description(self) -> &'static str {
+        match self {
+            Stroke::S1 => "horizontal line, left to right",
+            Stroke::S2 => "vertical line, top to bottom",
+            Stroke::S3 => "left-falling diagonal, top-right to bottom-left",
+            Stroke::S4 => "right-falling diagonal, top-left to bottom-right",
+            Stroke::S5 => "left curve (C shape), counter-clockwise",
+            Stroke::S6 => "right curve ()) shape), clockwise",
+        }
+    }
+
+    /// Whether the stroke is curved (S5, S6) rather than straight.
+    ///
+    /// Curved strokes have longer arc length and, per the paper's Fig. 19,
+    /// cost more processing time because they last longer.
+    pub fn is_curved(self) -> bool {
+        matches!(self, Stroke::S5 | Stroke::S6)
+    }
+
+    /// Nominal relative duration of the stroke compared to S1.
+    ///
+    /// The paper observes S4, S5 and S6 "last longer and consist of more
+    /// samples than other strokes".
+    pub fn relative_duration(self) -> f64 {
+        match self {
+            Stroke::S1 | Stroke::S2 => 1.0,
+            Stroke::S3 => 1.1,
+            Stroke::S4 => 1.25,
+            Stroke::S5 => 1.4,
+            Stroke::S6 => 1.35,
+        }
+    }
+}
+
+impl fmt::Display for Stroke {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.index() + 1)
+    }
+}
+
+/// Error returned when parsing a stroke label fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseStrokeError(String);
+
+impl fmt::Display for ParseStrokeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid stroke label: {:?} (expected S1..S6)", self.0)
+    }
+}
+
+impl std::error::Error for ParseStrokeError {}
+
+impl FromStr for Stroke {
+    type Err = ParseStrokeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "S1" => Ok(Stroke::S1),
+            "S2" => Ok(Stroke::S2),
+            "S3" => Ok(Stroke::S3),
+            "S4" => Ok(Stroke::S4),
+            "S5" => Ok(Stroke::S5),
+            "S6" => Ok(Stroke::S6),
+            other => Err(ParseStrokeError(other.to_string())),
+        }
+    }
+}
+
+/// Formats a stroke sequence as `"S1 S2 S3"`.
+pub fn format_sequence(seq: &[Stroke]) -> String {
+    seq.iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_roundtrip() {
+        for (i, s) in Stroke::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert_eq!(Stroke::from_index(i), Some(*s));
+        }
+        assert_eq!(Stroke::from_index(6), None);
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for s in Stroke::ALL {
+            let label = s.to_string();
+            assert_eq!(label.parse::<Stroke>().unwrap(), s);
+            // Lowercase and padding are tolerated.
+            assert_eq!(label.to_lowercase().parse::<Stroke>().unwrap(), s);
+            assert_eq!(format!(" {label} ").parse::<Stroke>().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("S7".parse::<Stroke>().is_err());
+        assert!("".parse::<Stroke>().is_err());
+        assert!("stroke1".parse::<Stroke>().is_err());
+        let err = "S9".parse::<Stroke>().unwrap_err();
+        assert!(err.to_string().contains("S9"));
+    }
+
+    #[test]
+    fn curved_classification() {
+        assert!(!Stroke::S1.is_curved());
+        assert!(!Stroke::S4.is_curved());
+        assert!(Stroke::S5.is_curved());
+        assert!(Stroke::S6.is_curved());
+    }
+
+    #[test]
+    fn longer_strokes_have_longer_durations() {
+        assert!(Stroke::S5.relative_duration() > Stroke::S1.relative_duration());
+        assert!(Stroke::S4.relative_duration() > Stroke::S2.relative_duration());
+    }
+
+    #[test]
+    fn glyphs_are_unique() {
+        let mut glyphs: Vec<char> = Stroke::ALL.iter().map(|s| s.glyph()).collect();
+        glyphs.sort_unstable();
+        glyphs.dedup();
+        assert_eq!(glyphs.len(), STROKE_COUNT);
+    }
+
+    #[test]
+    fn format_sequence_layout() {
+        assert_eq!(
+            format_sequence(&[Stroke::S1, Stroke::S5, Stroke::S2]),
+            "S1 S5 S2"
+        );
+        assert_eq!(format_sequence(&[]), "");
+    }
+}

@@ -1,0 +1,473 @@
+//! Finger-motion trajectory synthesis.
+//!
+//! Strokes are written in a vertical plane a few centimetres in front of the
+//! device (paper Fig. 1 scenarios). Each stroke follows a geometric path
+//! (line or circular arc) traversed with a **minimum-jerk** speed profile —
+//! the standard model of human point-to-point hand motion — so velocity and
+//! acceleration start and end at zero, exactly the "short-duration,
+//! high-acceleration process" the paper's segmentation exploits.
+
+use crate::geom::Vec3;
+use crate::stroke::Stroke;
+
+/// Minimum-jerk arc-length fraction at normalized time `tau` in `[0, 1]`:
+/// `s(τ) = 10τ³ − 15τ⁴ + 6τ⁵`.
+///
+/// Clamps `tau` outside `[0, 1]`.
+pub fn minimum_jerk(tau: f64) -> f64 {
+    let t = tau.clamp(0.0, 1.0);
+    t * t * t * (10.0 - 15.0 * t + 6.0 * t * t)
+}
+
+/// Derivative of the minimum-jerk profile, `s'(τ) = 30τ² − 60τ³ + 30τ⁴`.
+///
+/// Peaks at τ = 0.5 with value 1.875.
+pub fn minimum_jerk_rate(tau: f64) -> f64 {
+    let t = tau.clamp(0.0, 1.0);
+    30.0 * t * t * (1.0 - t) * (1.0 - t)
+}
+
+/// The geometric path of one stroke, parameterised over `[0, 1]` within the
+/// writing plane (coordinates relative to the writing centre; `x` lateral,
+/// `y` vertical, `z` fixed at 0 relative to the plane).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrokePath {
+    /// Straight segment from `start` to `end`.
+    Line {
+        /// Path start, relative to the writing centre.
+        start: Vec3,
+        /// Path end, relative to the writing centre.
+        end: Vec3,
+    },
+    /// Circular arc around `center` with `radius`, from `start_angle` to
+    /// `end_angle` (radians, positive = counter-clockwise in the x-y plane).
+    Arc {
+        /// Arc centre, relative to the writing centre.
+        center: Vec3,
+        /// Arc radius in metres.
+        radius: f64,
+        /// Starting angle in radians.
+        start_angle: f64,
+        /// Ending angle in radians (may be below `start_angle` for
+        /// clockwise traversal).
+        end_angle: f64,
+    },
+}
+
+impl StrokePath {
+    /// Point on the path at arc-length fraction `s ∈ [0, 1]`, relative to
+    /// the writing centre.
+    pub fn point(&self, s: f64) -> Vec3 {
+        let s = s.clamp(0.0, 1.0);
+        match *self {
+            StrokePath::Line { start, end } => start.lerp(end, s),
+            StrokePath::Arc {
+                center,
+                radius,
+                start_angle,
+                end_angle,
+            } => {
+                let a = start_angle + (end_angle - start_angle) * s;
+                center + Vec3::new(radius * a.cos(), radius * a.sin(), 0.0)
+            }
+        }
+    }
+
+    /// Total path length in metres.
+    pub fn length(&self) -> f64 {
+        match *self {
+            StrokePath::Line { start, end } => start.distance(end),
+            StrokePath::Arc {
+                radius,
+                start_angle,
+                end_angle,
+                ..
+            } => radius * (end_angle - start_angle).abs(),
+        }
+    }
+
+    /// The canonical path for a stroke with the given amplitude (extent in
+    /// metres), relative to the writing centre.
+    ///
+    /// Geometry convention (see [`Stroke`] docs): S1 `—` rightward, S2 `|`
+    /// downward, S3 `↙`, S4 `↘`, S5 `C` counter-clockwise open-right arc,
+    /// S6 `)` clockwise open-left arc. Both curves are drawn top-to-bottom
+    /// like their letterforms.
+    pub fn for_stroke(stroke: Stroke, amplitude: f64) -> StrokePath {
+        let h = amplitude / 2.0;
+        // Writers exaggerate bowls: curved strokes sweep a visibly larger
+        // radius than half the letter box (their 240° sweep keeps the
+        // overall height close to the box).
+        let r = 0.6 * amplitude;
+        match stroke {
+            Stroke::S1 => StrokePath::Line {
+                start: Vec3::new(-h, 0.0, 0.0),
+                end: Vec3::new(h, 0.0, 0.0),
+            },
+            Stroke::S2 => StrokePath::Line {
+                start: Vec3::new(0.0, h, 0.0),
+                end: Vec3::new(0.0, -h, 0.0),
+            },
+            Stroke::S3 => StrokePath::Line {
+                start: Vec3::new(h, h, 0.0),
+                end: Vec3::new(-h, -h, 0.0),
+            },
+            Stroke::S4 => StrokePath::Line {
+                start: Vec3::new(-h, h, 0.0),
+                end: Vec3::new(h, -h, 0.0),
+            },
+            // 'C': start at the top opening, sweep counter-clockwise through
+            // the leftmost point, end at the bottom opening.
+            Stroke::S5 => StrokePath::Arc {
+                center: Vec3::ZERO,
+                radius: r,
+                start_angle: std::f64::consts::FRAC_PI_3,
+                end_angle: 2.0 * std::f64::consts::PI - std::f64::consts::FRAC_PI_3,
+            },
+            // ')': start at the upper-left (where the bowl leaves the stem
+            // in B/D/P), sweep clockwise through the rightmost point, end
+            // at the lower-left.
+            Stroke::S6 => StrokePath::Arc {
+                center: Vec3::ZERO,
+                radius: r,
+                start_angle: 2.0 * std::f64::consts::FRAC_PI_3,
+                end_angle: -2.0 * std::f64::consts::FRAC_PI_3,
+            },
+        }
+    }
+}
+
+/// A sampled 3-D finger trajectory at a fixed sample period.
+///
+/// Positions are absolute device-frame coordinates (device at the origin).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    dt: f64,
+    points: Vec<Vec3>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory with the given sample period in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive and finite.
+    pub fn new(dt: f64) -> Self {
+        assert!(dt > 0.0 && dt.is_finite(), "dt must be positive, got {dt}");
+        Trajectory { dt, points: Vec::new() }
+    }
+
+    /// Sample period in seconds.
+    #[inline]
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// The sampled positions.
+    #[inline]
+    pub fn points(&self) -> &[Vec3] {
+        &self.points
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the trajectory has no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.points.len() as f64 * self.dt
+    }
+
+    /// Appends a single sample.
+    #[inline]
+    pub fn push(&mut self, pos: Vec3) {
+        self.points.push(pos);
+    }
+
+    /// Appends a stationary hold at `pos` for `seconds`.
+    pub fn hold(&mut self, pos: Vec3, seconds: f64) {
+        let n = (seconds / self.dt).round() as usize;
+        self.points.extend(std::iter::repeat_n(pos, n));
+    }
+
+    /// Appends a minimum-jerk traversal of `path` (offset by `origin`)
+    /// taking `seconds`.
+    pub fn traverse(&mut self, path: &StrokePath, origin: Vec3, seconds: f64) {
+        self.traverse_mapped(path, seconds, |p| origin + p);
+    }
+
+    /// Appends a minimum-jerk traversal of `path` taking `seconds`, mapping
+    /// each plane-local path point to world coordinates with `embed` (e.g.
+    /// a tilted writing-plane basis).
+    pub fn traverse_mapped(
+        &mut self,
+        path: &StrokePath,
+        seconds: f64,
+        embed: impl Fn(Vec3) -> Vec3,
+    ) {
+        let n = (seconds / self.dt).round().max(1.0) as usize;
+        for i in 0..n {
+            let tau = i as f64 / n as f64;
+            self.points.push(embed(path.point(minimum_jerk(tau))));
+        }
+    }
+
+    /// Appends a minimum-jerk straight move from the current position to
+    /// `target` taking `seconds`. If the trajectory is empty the move starts
+    /// at `target` (a hold).
+    pub fn move_to(&mut self, target: Vec3, seconds: f64) {
+        let start = match self.points.last() {
+            Some(&p) => p,
+            None => {
+                self.hold(target, seconds);
+                return;
+            }
+        };
+        let path = StrokePath::Line { start: Vec3::ZERO, end: target - start };
+        self.traverse(&path, start, seconds);
+    }
+
+    /// Finger velocity at sample `i` via central differences (m/s).
+    pub fn velocity(&self, i: usize) -> Vec3 {
+        let n = self.points.len();
+        if n < 2 {
+            return Vec3::ZERO;
+        }
+        let (a, b, span) = if i == 0 {
+            (0, 1, 1.0)
+        } else if i >= n - 1 {
+            (n - 2, n - 1, 1.0)
+        } else {
+            (i - 1, i + 1, 2.0)
+        };
+        (self.points[b] - self.points[a]) * (1.0 / (span * self.dt))
+    }
+
+    /// Radial velocity `dr/dt` toward/away from an observer at `obs`
+    /// (positive = receding), for every sample.
+    pub fn radial_velocity(&self, obs: Vec3) -> Vec<f64> {
+        (0..self.points.len())
+            .map(|i| {
+                let p = self.points[i] - obs;
+                let r = p.norm();
+                if r < 1e-9 {
+                    0.0
+                } else {
+                    self.velocity(i).dot(p) / r
+                }
+            })
+            .collect()
+    }
+
+    /// Distance from the observer at each sample (metres).
+    pub fn ranges(&self, obs: Vec3) -> Vec<f64> {
+        self.points.iter().map(|p| p.distance(obs)).collect()
+    }
+
+    /// Peak finger speed over the trajectory (m/s).
+    pub fn peak_speed(&self) -> f64 {
+        (0..self.points.len())
+            .map(|i| self.velocity(i).norm())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn minimum_jerk_boundary_conditions() {
+        assert!(minimum_jerk(0.0).abs() < EPS);
+        assert!((minimum_jerk(1.0) - 1.0).abs() < EPS);
+        assert!((minimum_jerk(0.5) - 0.5).abs() < EPS); // symmetric
+        assert!(minimum_jerk_rate(0.0).abs() < EPS);
+        assert!(minimum_jerk_rate(1.0).abs() < EPS);
+        assert!((minimum_jerk_rate(0.5) - 1.875).abs() < EPS);
+        // Clamping.
+        assert_eq!(minimum_jerk(-1.0), 0.0);
+        assert_eq!(minimum_jerk(2.0), 1.0);
+    }
+
+    #[test]
+    fn minimum_jerk_is_monotone() {
+        let mut prev = 0.0;
+        for i in 1..=100 {
+            let v = minimum_jerk(i as f64 / 100.0);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn line_path_endpoints_and_length() {
+        let p = StrokePath::Line {
+            start: Vec3::new(-0.05, 0.0, 0.0),
+            end: Vec3::new(0.05, 0.0, 0.0),
+        };
+        assert_eq!(p.point(0.0), Vec3::new(-0.05, 0.0, 0.0));
+        assert_eq!(p.point(1.0), Vec3::new(0.05, 0.0, 0.0));
+        assert!((p.length() - 0.1).abs() < EPS);
+    }
+
+    #[test]
+    fn arc_path_endpoints_and_length() {
+        let p = StrokePath::Arc {
+            center: Vec3::ZERO,
+            radius: 0.05,
+            start_angle: std::f64::consts::FRAC_PI_2,
+            end_angle: -std::f64::consts::FRAC_PI_2,
+        };
+        let start = p.point(0.0);
+        assert!((start.x).abs() < EPS && (start.y - 0.05).abs() < EPS);
+        let end = p.point(1.0);
+        assert!((end.y + 0.05).abs() < EPS);
+        // Half circle: π r.
+        assert!((p.length() - std::f64::consts::PI * 0.05).abs() < EPS);
+        // Clockwise sweep passes through the rightmost point at s = 0.5.
+        let mid = p.point(0.5);
+        assert!(mid.x > 0.049);
+    }
+
+    #[test]
+    fn stroke_paths_have_expected_directions() {
+        let a = 0.1;
+        // S1 moves purely in +x.
+        let s1 = StrokePath::for_stroke(Stroke::S1, a);
+        let d = s1.point(1.0) - s1.point(0.0);
+        assert!(d.x > 0.0 && d.y.abs() < EPS);
+        // S2 moves purely in −y.
+        let s2 = StrokePath::for_stroke(Stroke::S2, a);
+        let d = s2.point(1.0) - s2.point(0.0);
+        assert!(d.y < 0.0 && d.x.abs() < EPS);
+        // S3 moves −x −y; S4 moves +x −y.
+        let d3 = StrokePath::for_stroke(Stroke::S3, a).point(1.0)
+            - StrokePath::for_stroke(Stroke::S3, a).point(0.0);
+        assert!(d3.x < 0.0 && d3.y < 0.0);
+        let d4 = StrokePath::for_stroke(Stroke::S4, a).point(1.0)
+            - StrokePath::for_stroke(Stroke::S4, a).point(0.0);
+        assert!(d4.x > 0.0 && d4.y < 0.0);
+    }
+
+    #[test]
+    fn curve_strokes_bulge_opposite_sides() {
+        let a = 0.1;
+        // S5 ('C') bulges left at mid-traversal, S6 (')') bulges right.
+        let s5mid = StrokePath::for_stroke(Stroke::S5, a).point(0.5);
+        assert!(s5mid.x < 0.0, "C midpoint {s5mid:?}");
+        let s6mid = StrokePath::for_stroke(Stroke::S6, a).point(0.5);
+        assert!(s6mid.x > 0.0, ") midpoint {s6mid:?}");
+    }
+
+    #[test]
+    fn curves_are_longer_than_lines() {
+        let a = 0.1;
+        assert!(
+            StrokePath::for_stroke(Stroke::S5, a).length()
+                > StrokePath::for_stroke(Stroke::S1, a).length()
+        );
+    }
+
+    #[test]
+    fn trajectory_hold_and_duration() {
+        let mut t = Trajectory::new(0.01);
+        assert!(t.is_empty());
+        t.hold(Vec3::new(0.0, 0.0, 0.1), 0.5);
+        assert_eq!(t.len(), 50);
+        assert!((t.duration() - 0.5).abs() < EPS);
+        assert!(t.points().iter().all(|p| p.z == 0.1));
+    }
+
+    #[test]
+    fn traverse_starts_and_ends_at_path_endpoints() {
+        let mut t = Trajectory::new(0.001);
+        let path = StrokePath::for_stroke(Stroke::S1, 0.1);
+        let origin = Vec3::new(0.0, 0.05, 0.15);
+        t.traverse(&path, origin, 0.4);
+        let first = t.points()[0];
+        assert!((first - (origin + path.point(0.0))).norm() < 1e-6);
+        // The last sample is one step before s=1; it should be very close.
+        let last = *t.points().last().unwrap();
+        assert!((last - (origin + path.point(1.0))).norm() < 1e-3);
+    }
+
+    #[test]
+    fn velocity_zero_at_rest_peaks_mid_stroke() {
+        let mut t = Trajectory::new(0.001);
+        t.hold(Vec3::new(-0.05, 0.0, 0.15), 0.1);
+        let path = StrokePath::for_stroke(Stroke::S1, 0.1);
+        t.traverse(&path, Vec3::new(0.0, 0.0, 0.15), 0.3);
+        t.hold(Vec3::new(0.05, 0.0, 0.15), 0.1);
+        // Rest portions have ~zero velocity.
+        assert!(t.velocity(20).norm() < 1e-9);
+        // Peak speed is mean speed × 1.875 for minimum jerk: 0.1/0.3 × 1.875.
+        let peak = t.peak_speed();
+        let expected = 0.1 / 0.3 * 1.875;
+        assert!((peak - expected).abs() < 0.05 * expected, "peak {peak} vs {expected}");
+    }
+
+    #[test]
+    fn radial_velocity_sign_convention() {
+        // Finger moving straight away from the observer along +z.
+        let mut t = Trajectory::new(0.01);
+        let path = StrokePath::Line {
+            start: Vec3::new(0.0, 0.0, 0.1),
+            end: Vec3::new(0.0, 0.0, 0.3),
+        };
+        t.traverse(&path, Vec3::ZERO, 1.0);
+        let rv = t.radial_velocity(Vec3::ZERO);
+        let mid = rv[rv.len() / 2];
+        assert!(mid > 0.0, "receding should be positive, got {mid}");
+
+        // Approaching: reverse the motion.
+        let mut t2 = Trajectory::new(0.01);
+        let back = StrokePath::Line {
+            start: Vec3::new(0.0, 0.0, 0.3),
+            end: Vec3::new(0.0, 0.0, 0.1),
+        };
+        t2.traverse(&back, Vec3::ZERO, 1.0);
+        let rv2 = t2.radial_velocity(Vec3::ZERO);
+        assert!(rv2[rv2.len() / 2] < 0.0);
+    }
+
+    #[test]
+    fn move_to_connects_positions() {
+        let mut t = Trajectory::new(0.01);
+        t.hold(Vec3::new(0.0, 0.0, 0.15), 0.1);
+        t.move_to(Vec3::new(0.05, 0.05, 0.15), 0.2);
+        let last = *t.points().last().unwrap();
+        assert!((last - Vec3::new(0.05, 0.05, 0.15)).norm() < 1e-3);
+    }
+
+    #[test]
+    fn move_to_on_empty_holds_target() {
+        let mut t = Trajectory::new(0.01);
+        t.move_to(Vec3::new(1.0, 0.0, 0.0), 0.1);
+        assert_eq!(t.len(), 10);
+        assert!(t.points().iter().all(|&p| p == Vec3::new(1.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn ranges_match_distances() {
+        let mut t = Trajectory::new(0.1);
+        t.hold(Vec3::new(0.0, 3.0, 4.0), 0.2);
+        let r = t.ranges(Vec3::ZERO);
+        assert_eq!(r, vec![5.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn rejects_bad_dt() {
+        Trajectory::new(0.0);
+    }
+}

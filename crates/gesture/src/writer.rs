@@ -1,0 +1,513 @@
+//! A human-writer model: turns stroke sequences into finger trajectories
+//! with per-user variability.
+//!
+//! The paper's participants differ in "proficiency in performing finger
+//! gestures" (Sec. V-A3); this model captures that with per-writer jitter in
+//! stroke duration, amplitude, writing-centre drift, and physiological
+//! tremor. The produced [`Performance`] carries ground-truth stroke spans so
+//! segmentation and recognition can be scored exactly.
+
+use crate::geom::Vec3;
+use crate::stroke::Stroke;
+use crate::trajectory::{StrokePath, Trajectory};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters describing how (and where) a user writes.
+///
+/// Defaults follow the paper's setting: strokes of roughly 10 cm written
+/// ~15 cm in front of and slightly above the device, finishing within one
+/// second ("each stroke lasting no more than 1 second", Sec. III-A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriterParams {
+    /// Centre of the writing area in device coordinates (metres).
+    pub centre: Vec3,
+    /// World direction of the writing plane's lateral (+x) axis. Tilted so
+    /// that lateral motion has a radial component toward/away from the
+    /// device, as when the plane faces the device rather than the ceiling.
+    pub axis_u: Vec3,
+    /// World direction of the writing plane's vertical (+y) axis, likewise
+    /// tilted toward the device.
+    pub axis_v: Vec3,
+    /// Stroke extent in metres.
+    pub amplitude: f64,
+    /// Nominal duration of a unit-length stroke (S1) in seconds.
+    pub base_duration: f64,
+    /// Hold time before the first stroke (lets the pipeline collect the
+    /// static frames it subtracts as background).
+    pub lead_in: f64,
+    /// Pause between withdraw and the next stroke, seconds.
+    pub pause: f64,
+    /// Minimum duration of the slow withdraw move back to the next start,
+    /// seconds (short repositioning still takes at least this long).
+    pub withdraw_duration: f64,
+    /// Mean withdraw speed in m/s: long repositioning moves take
+    /// proportionally longer, keeping the withdraw's Doppler signature slow
+    /// regardless of distance (the paper's premise that the withdraw "keeps
+    /// speed but the acceleration decreases notably").
+    pub withdraw_speed: f64,
+    /// Relative 1σ jitter of stroke durations (0 = metronomic).
+    pub duration_jitter: f64,
+    /// Relative 1σ jitter of stroke amplitude.
+    pub amplitude_jitter: f64,
+    /// Absolute 1σ drift of the writing centre per performance (metres).
+    pub centre_jitter: f64,
+    /// Amplitude of physiological hand tremor (metres, ~4–9 Hz).
+    pub tremor: f64,
+    /// Trajectory sample period in seconds.
+    pub dt: f64,
+}
+
+impl WriterParams {
+    /// Nominal parameters for a practised writer.
+    pub fn nominal() -> Self {
+        WriterParams {
+            centre: Vec3::new(0.05, 0.08, 0.14),
+            axis_u: Vec3::new(1.0, 0.0, 0.55),
+            axis_v: Vec3::new(0.0, 1.0, 0.45),
+            amplitude: 0.10,
+            base_duration: 0.27,
+            lead_in: 0.6,
+            pause: 0.20,
+            withdraw_duration: 0.85,
+            withdraw_speed: 0.13,
+            duration_jitter: 0.08,
+            amplitude_jitter: 0.08,
+            centre_jitter: 0.004,
+            tremor: 0.0008,
+            dt: 1.0 / 44_100.0,
+        }
+    }
+
+    /// Parameters with all randomness disabled — the canonical "template"
+    /// writer whose profiles the recognizer stores (the paper's training-free
+    /// templates are intrinsic to the strokes, not to a user).
+    pub fn canonical() -> Self {
+        WriterParams {
+            duration_jitter: 0.0,
+            amplitude_jitter: 0.0,
+            centre_jitter: 0.0,
+            tremor: 0.0,
+            ..WriterParams::nominal()
+        }
+    }
+
+    /// Validates physical plausibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any parameter is non-physical (non-positive
+    /// durations/amplitude, writing centre at the device, or a peak finger
+    /// speed beyond the paper's 4 m/s bound).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.amplitude <= 0.0 {
+            return Err(format!("amplitude must be positive, got {}", self.amplitude));
+        }
+        if self.base_duration <= 0.0 || self.dt <= 0.0 {
+            return Err("durations must be positive".to_string());
+        }
+        if self.centre.norm() < 0.03 {
+            return Err("writing centre is implausibly close to the device".to_string());
+        }
+        if self.axis_u.norm() < 1e-6 || self.axis_v.norm() < 1e-6 {
+            return Err("writing-plane axes must be non-zero".to_string());
+        }
+        if self.withdraw_speed <= 0.0 {
+            return Err(format!(
+                "withdraw speed must be positive, got {}",
+                self.withdraw_speed
+            ));
+        }
+        if self.axis_u.normalized().cross(self.axis_v.normalized()).norm() < 0.5 {
+            return Err("writing-plane axes are nearly parallel".to_string());
+        }
+        // Longest path is an arc: r = 0.6·A swept 4π/3.
+        // Minimum-jerk peak speed is 1.875 × mean speed; allow the jitter
+        // clamp (duration shrunk to at worst 0.6×).
+        let worst_len = 0.6 * self.amplitude * 4.0 * std::f64::consts::PI / 3.0;
+        let worst_dur = 0.6 * self.base_duration * Stroke::S5.relative_duration();
+        let peak = 1.875 * worst_len / worst_dur;
+        if peak > 4.0 {
+            return Err(format!(
+                "peak finger speed {peak:.2} m/s exceeds the paper's 4 m/s bound"
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for WriterParams {
+    fn default() -> Self {
+        WriterParams::nominal()
+    }
+}
+
+/// Ground-truth span of one written stroke inside a [`Performance`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrokeSpan {
+    /// The stroke that was written.
+    pub stroke: Stroke,
+    /// Start time of the stroke motion, seconds from trace start.
+    pub start: f64,
+    /// End time of the stroke motion, seconds from trace start.
+    pub end: f64,
+}
+
+/// A finger trajectory together with the ground truth of what was written.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Performance {
+    /// The full finger trajectory (strokes, withdraws, pauses).
+    pub trajectory: Trajectory,
+    /// Per-stroke ground-truth spans in seconds.
+    pub spans: Vec<StrokeSpan>,
+}
+
+impl Performance {
+    /// The stroke sequence that was written.
+    pub fn strokes(&self) -> Vec<Stroke> {
+        self.spans.iter().map(|s| s.stroke).collect()
+    }
+}
+
+/// A writer that renders stroke sequences as trajectories.
+///
+/// Deterministic for a given seed: two writers with identical parameters and
+/// seeds produce identical performances.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_gesture::{Writer, WriterParams, Stroke};
+/// let mut w = Writer::new(WriterParams::nominal(), 7);
+/// let perf = w.write_sequence(&[Stroke::S1, Stroke::S2]);
+/// assert_eq!(perf.spans.len(), 2);
+/// assert!(perf.trajectory.duration() > 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Writer {
+    params: WriterParams,
+    rng: ChaCha8Rng,
+    tremor_phase: [f64; 2],
+    tremor_freq: [f64; 2],
+}
+
+impl Writer {
+    /// Creates a writer with the given parameters and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters fail [`WriterParams::validate`].
+    pub fn new(params: WriterParams, seed: u64) -> Self {
+        if let Err(msg) = params.validate() {
+            panic!("invalid writer parameters: {msg}");
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let tremor_phase = [
+            rng.gen::<f64>() * std::f64::consts::TAU,
+            rng.gen::<f64>() * std::f64::consts::TAU,
+        ];
+        let tremor_freq = [3.5 + 1.5 * rng.gen::<f64>(), 5.5 + 1.5 * rng.gen::<f64>()];
+        Writer { params, rng, tremor_phase, tremor_freq }
+    }
+
+    /// The writer's parameters.
+    pub fn params(&self) -> &WriterParams {
+        &self.params
+    }
+
+    /// Standard-normal sample via Box–Muller.
+    fn gauss(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    fn jittered(&mut self, nominal: f64, rel_sigma: f64) -> f64 {
+        // The clamp keeps draws legible: a stroke at 60 % scale would be a
+        // do-over for a real writer, not an input.
+        let f = 1.0 + rel_sigma * self.gauss();
+        nominal * f.clamp(0.78, 1.35)
+    }
+
+    /// Renders a single stroke (with lead-in hold and trailing pause).
+    pub fn write_stroke(&mut self, stroke: Stroke) -> Performance {
+        self.write_sequence(std::slice::from_ref(&stroke))
+    }
+
+    /// Renders a stroke sequence: lead-in hold, then for each stroke a
+    /// minimum-jerk traversal followed by a slow withdraw to the next
+    /// stroke's start position and a short pause.
+    pub fn write_sequence(&mut self, strokes: &[Stroke]) -> Performance {
+        let p = self.params.clone();
+        let mut traj = Trajectory::new(p.dt);
+        let mut spans = Vec::with_capacity(strokes.len());
+
+        // Per-performance centre drift.
+        let centre = p.centre
+            + Vec3::new(
+                p.centre_jitter * self.gauss(),
+                p.centre_jitter * self.gauss(),
+                p.centre_jitter * self.gauss(),
+            );
+        let (u, v) = (p.axis_u.normalized(), p.axis_v.normalized());
+        let embed = move |pt: Vec3| centre + u * pt.x + v * pt.y + u.cross(v) * pt.z;
+
+        let first_amp = self.jittered(p.amplitude, p.amplitude_jitter);
+        let first_path =
+            StrokePath::for_stroke(*strokes.first().unwrap_or(&Stroke::S1), first_amp);
+        traj.hold(embed(first_path.point(0.0)), p.lead_in);
+
+        let mut amp = first_amp;
+        for (i, &stroke) in strokes.iter().enumerate() {
+            let path = StrokePath::for_stroke(stroke, amp);
+            let dur =
+                self.jittered(p.base_duration * stroke.relative_duration(), p.duration_jitter);
+            let start = traj.duration();
+            traj.traverse_mapped(&path, dur, embed);
+            spans.push(StrokeSpan { stroke, start, end: traj.duration() });
+
+            // Withdraw: slow move to the next stroke's start (or back to a
+            // rest point after the last stroke), then a short pause. The
+            // duration scales with distance so long repositioning stays as
+            // slow (in m/s) as short repositioning.
+            amp = self.jittered(p.amplitude, p.amplitude_jitter);
+            let next_start = match strokes.get(i + 1) {
+                Some(&next) => embed(StrokePath::for_stroke(next, amp).point(0.0)),
+                None => embed(Vec3::ZERO),
+            };
+            let here = *traj.points().last().expect("stroke samples exist");
+            let dist = here.distance(next_start);
+            let dur = (dist / p.withdraw_speed).max(p.withdraw_duration);
+            traj.move_to(next_start, dur);
+            let pause = self.jittered(p.pause, p.duration_jitter);
+            traj.hold(next_start, pause);
+        }
+
+        Performance { trajectory: self.apply_tremor(&traj), spans }
+    }
+
+    /// Renders a multi-word phrase as one continuous trajectory: words are
+    /// written in sequence with a smooth repositioning move and a
+    /// `word_pause` rest between them (no positional discontinuities — a
+    /// teleporting finger would inject a wideband click into the rendered
+    /// audio).
+    ///
+    /// Returns an empty performance for an empty word list.
+    pub fn write_phrase(&mut self, words: &[Vec<Stroke>], word_pause: f64) -> Performance {
+        let mut out: Option<Performance> = None;
+        for word in words {
+            let perf = self.write_sequence(word);
+            match &mut out {
+                None => out = Some(perf),
+                Some(acc) => {
+                    let here = *acc
+                        .trajectory
+                        .points()
+                        .last()
+                        .expect("previous word has samples");
+                    let target = *perf.trajectory.points().first().expect("word has samples");
+                    let dist = here.distance(target);
+                    let dur = (dist / self.params.withdraw_speed).max(0.5);
+                    acc.trajectory.move_to(target, dur);
+                    acc.trajectory.hold(target, word_pause);
+                    let offset = acc.trajectory.duration();
+                    for &p in perf.trajectory.points() {
+                        acc.trajectory.push(p);
+                    }
+                    for s in perf.spans {
+                        acc.spans.push(StrokeSpan {
+                            stroke: s.stroke,
+                            start: s.start + offset,
+                            end: s.end + offset,
+                        });
+                    }
+                }
+            }
+        }
+        out.unwrap_or_else(|| Performance {
+            trajectory: Trajectory::new(self.params.dt),
+            spans: Vec::new(),
+        })
+    }
+
+    /// Adds smooth physiological tremor (two incommensurate sinusoids in the
+    /// 4–9 Hz band) to every sample.
+    fn apply_tremor(&mut self, traj: &Trajectory) -> Trajectory {
+        if self.params.tremor == 0.0 {
+            return traj.clone();
+        }
+        let dt = traj.dt();
+        let a = self.params.tremor;
+        let mut out = Trajectory::new(dt);
+        for (i, &pt) in traj.points().iter().enumerate() {
+            let t = i as f64 * dt;
+            let w0 = std::f64::consts::TAU * self.tremor_freq[0] * t + self.tremor_phase[0];
+            let w1 = std::f64::consts::TAU * self.tremor_freq[1] * t + self.tremor_phase[1];
+            out.push(pt + Vec3::new(a * w0.sin(), a * w1.sin(), 0.5 * a * (w0 + w1).cos()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Coarser sampling keeps the unit tests fast.
+    fn test_params() -> WriterParams {
+        WriterParams { dt: 1e-3, ..WriterParams::nominal() }
+    }
+
+    #[test]
+    fn nominal_params_are_valid() {
+        WriterParams::nominal().validate().unwrap();
+        WriterParams::canonical().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        let mut p = WriterParams::nominal();
+        p.amplitude = -1.0;
+        assert!(p.validate().is_err());
+
+        let mut p = WriterParams::nominal();
+        p.centre = Vec3::new(0.0, 0.0, 0.001);
+        assert!(p.validate().is_err());
+
+        let mut p = WriterParams::nominal();
+        p.base_duration = 0.05; // would need >4 m/s for the S5 arc
+        assert!(p.validate().unwrap_err().contains("4 m/s"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid writer parameters")]
+    fn writer_rejects_invalid_params() {
+        let mut p = WriterParams::nominal();
+        p.amplitude = 0.0;
+        Writer::new(p, 1);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = Writer::new(test_params(), 42).write_sequence(&[Stroke::S3, Stroke::S5]);
+        let b = Writer::new(test_params(), 42).write_sequence(&[Stroke::S3, Stroke::S5]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Writer::new(test_params(), 1).write_stroke(Stroke::S1);
+        let b = Writer::new(test_params(), 2).write_stroke(Stroke::S1);
+        assert_ne!(a.trajectory, b.trajectory);
+    }
+
+    #[test]
+    fn spans_cover_each_stroke_in_order() {
+        let strokes = [Stroke::S1, Stroke::S4, Stroke::S6];
+        let perf = Writer::new(test_params(), 5).write_sequence(&strokes);
+        assert_eq!(perf.strokes(), strokes);
+        let p = test_params();
+        let mut prev_end = p.lead_in * 0.99;
+        for span in &perf.spans {
+            assert!(span.start >= prev_end, "strokes must not overlap");
+            assert!(span.end > span.start);
+            // Withdraw + pause separate consecutive strokes.
+            prev_end = span.end + 0.9 * (p.withdraw_duration + 0.6 * p.pause);
+        }
+    }
+
+    #[test]
+    fn lead_in_is_static() {
+        let p = test_params();
+        let perf = Writer::new(p.clone(), 9).write_stroke(Stroke::S2);
+        let traj = &perf.trajectory;
+        // During the lead-in the only motion is tremor (≤ a few mm/s).
+        let lead_samples = (p.lead_in / p.dt) as usize;
+        for i in (10..lead_samples - 10).step_by(50) {
+            assert!(
+                traj.velocity(i).norm() < 0.15,
+                "lead-in velocity too high at {i}: {}",
+                traj.velocity(i).norm()
+            );
+        }
+    }
+
+    #[test]
+    fn peak_speed_within_paper_bound() {
+        for (seed, stroke) in [(1u64, Stroke::S1), (2, Stroke::S4), (3, Stroke::S5)] {
+            let perf = Writer::new(test_params(), seed).write_stroke(stroke);
+            let peak = perf.trajectory.peak_speed();
+            assert!(peak < 4.0, "{stroke} peak {peak} m/s exceeds paper bound");
+            assert!(peak > 0.1, "{stroke} implausibly slow: {peak} m/s");
+        }
+    }
+
+    #[test]
+    fn stroke_durations_respect_relative_length() {
+        // Use the canonical writer (no jitter) for exact comparisons.
+        let p = WriterParams { dt: 1e-3, ..WriterParams::canonical() };
+        let s1 = Writer::new(p.clone(), 1).write_stroke(Stroke::S1);
+        let s5 = Writer::new(p, 1).write_stroke(Stroke::S5);
+        let d1 = s1.spans[0].end - s1.spans[0].start;
+        let d5 = s5.spans[0].end - s5.spans[0].start;
+        assert!((d5 / d1 - Stroke::S5.relative_duration()).abs() < 0.05);
+    }
+
+    #[test]
+    fn canonical_writer_is_tremor_free() {
+        let p = WriterParams { dt: 1e-3, ..WriterParams::canonical() };
+        let perf = Writer::new(p.clone(), 3).write_stroke(Stroke::S1);
+        let lead = (p.lead_in / p.dt) as usize;
+        for i in 5..lead - 5 {
+            assert!(perf.trajectory.velocity(i).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn write_phrase_is_continuous_and_ordered() {
+        let mut w = Writer::new(test_params(), 17);
+        let words = vec![
+            vec![Stroke::S1, Stroke::S2],
+            vec![Stroke::S5],
+            vec![Stroke::S4, Stroke::S6],
+        ];
+        let perf = w.write_phrase(&words, 1.5);
+        assert_eq!(perf.strokes(), vec![Stroke::S1, Stroke::S2, Stroke::S5, Stroke::S4, Stroke::S6]);
+        // Spans strictly ordered.
+        for pair in perf.spans.windows(2) {
+            assert!(pair[0].end < pair[1].start);
+        }
+        // No positional discontinuity anywhere: max per-sample step bounded
+        // by (max speed)·dt.
+        let pts = perf.trajectory.points();
+        let dt = perf.trajectory.dt();
+        let max_step = pts
+            .windows(2)
+            .map(|p| p[0].distance(p[1]))
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_step < 4.0 * dt,
+            "teleport detected: {max_step} m in one sample"
+        );
+    }
+
+    #[test]
+    fn write_phrase_empty_and_single() {
+        let mut w = Writer::new(test_params(), 3);
+        let empty = w.write_phrase(&[], 1.0);
+        assert!(empty.spans.is_empty());
+        assert!(empty.trajectory.is_empty());
+        let single = w.write_phrase(&[vec![Stroke::S3]], 1.0);
+        assert_eq!(single.strokes(), vec![Stroke::S3]);
+    }
+
+    #[test]
+    fn trajectory_stays_in_front_of_device() {
+        let perf = Writer::new(test_params(), 11).write_sequence(&[Stroke::S5, Stroke::S6]);
+        for pt in perf.trajectory.points().iter().step_by(100) {
+            assert!(pt.z > 0.05, "finger crossed behind the device: {pt:?}");
+            assert!(pt.norm() < 0.5, "finger implausibly far: {pt:?}");
+        }
+    }
+}

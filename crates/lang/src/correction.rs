@@ -1,0 +1,174 @@
+//! Substitution-only stroke correction (paper Sec. III-C).
+//!
+//! Full correction (insert/delete/substitute anywhere) is exponential. The
+//! paper prunes it with two empirical observations:
+//!
+//! 1. acceleration-based detection rarely inserts or drops strokes, so only
+//!    **substitutions** are considered;
+//! 2. at most **one** stroke in a sequence is wrong at a time (edit
+//!    distance 1), and the errors concentrate in two confusion modes:
+//!    S2/S4/S6 are mistaken *for* S1 and S5 is mistaken for S2/S6.
+//!
+//! So an observed S1 may really be S2, S4 or S6, and an observed S2 or S6
+//! may really be S5.
+
+use echowrite_dtw::ConfusionMatrix;
+use echowrite_gesture::Stroke;
+
+/// Correction rules: for each *observed* stroke, the true strokes it might
+/// have been.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorrectionRules {
+    /// `alternatives[observed.index()]` lists candidate true strokes.
+    alternatives: [Vec<Stroke>; 6],
+}
+
+impl CorrectionRules {
+    /// The paper's rules: observed S1 → {S2, S4, S6}; observed S2 → {S5};
+    /// observed S6 → {S5}.
+    pub fn paper() -> Self {
+        let mut alternatives: [Vec<Stroke>; 6] = Default::default();
+        alternatives[Stroke::S1.index()] = vec![Stroke::S2, Stroke::S4, Stroke::S6];
+        alternatives[Stroke::S2.index()] = vec![Stroke::S5];
+        alternatives[Stroke::S6.index()] = vec![Stroke::S5];
+        CorrectionRules { alternatives }
+    }
+
+    /// No correction at all (the ablation baseline of Fig. 15).
+    pub fn none() -> Self {
+        CorrectionRules { alternatives: Default::default() }
+    }
+
+    /// Derives rules from an empirical confusion matrix: for every pair
+    /// with `P(observed|truth) ≥ min_rate` (truth ≠ observed), the observed
+    /// stroke gains `truth` as an alternative — the self-adjusting variant
+    /// the paper's Sec. VII-C (user-defined schemes) calls for.
+    pub fn from_confusion(matrix: &ConfusionMatrix, min_rate: f64) -> Self {
+        let mut alternatives: [Vec<Stroke>; 6] = Default::default();
+        for truth in Stroke::ALL {
+            let total = matrix.row_total(truth);
+            if total == 0 {
+                continue;
+            }
+            for observed in Stroke::ALL {
+                if observed == truth {
+                    continue;
+                }
+                let rate = matrix.count(truth, observed) as f64 / total as f64;
+                if rate >= min_rate {
+                    alternatives[observed.index()].push(truth);
+                }
+            }
+        }
+        CorrectionRules { alternatives }
+    }
+
+    /// Candidate true strokes for an observed stroke (excluding itself).
+    pub fn alternatives(&self, observed: Stroke) -> &[Stroke] {
+        &self.alternatives[observed.index()]
+    }
+
+    /// All corrected sequences at substitution edit distance exactly 1:
+    /// each applies one rule at one position. The original sequence is not
+    /// included.
+    pub fn corrected_sequences(&self, observed: &[Stroke]) -> Vec<Vec<Stroke>> {
+        let mut out = Vec::new();
+        for (i, &s) in observed.iter().enumerate() {
+            for &alt in self.alternatives(s) {
+                let mut seq = observed.to_vec();
+                seq[i] = alt;
+                out.push(seq);
+            }
+        }
+        out
+    }
+
+    /// Total number of rules (observed→truth pairs).
+    pub fn rule_count(&self) -> usize {
+        self.alternatives.iter().map(|v| v.len()).sum()
+    }
+}
+
+impl Default for CorrectionRules {
+    fn default() -> Self {
+        CorrectionRules::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rules_match_section_3c() {
+        let r = CorrectionRules::paper();
+        assert_eq!(r.alternatives(Stroke::S1), &[Stroke::S2, Stroke::S4, Stroke::S6]);
+        assert_eq!(r.alternatives(Stroke::S2), &[Stroke::S5]);
+        assert_eq!(r.alternatives(Stroke::S6), &[Stroke::S5]);
+        assert!(r.alternatives(Stroke::S3).is_empty());
+        assert!(r.alternatives(Stroke::S4).is_empty());
+        assert!(r.alternatives(Stroke::S5).is_empty());
+        assert_eq!(r.rule_count(), 5);
+    }
+
+    #[test]
+    fn corrected_sequences_are_edit_distance_one() {
+        let r = CorrectionRules::paper();
+        let observed = vec![Stroke::S1, Stroke::S3, Stroke::S2];
+        let variants = r.corrected_sequences(&observed);
+        // S1 has 3 alternatives, S3 none, S2 one → 4 variants.
+        assert_eq!(variants.len(), 4);
+        for v in &variants {
+            assert_eq!(v.len(), observed.len());
+            let diff = v.iter().zip(&observed).filter(|(a, b)| a != b).count();
+            assert_eq!(diff, 1, "variant {v:?} is not edit distance 1");
+        }
+        assert!(!variants.contains(&observed));
+    }
+
+    #[test]
+    fn no_rules_means_no_variants() {
+        let r = CorrectionRules::none();
+        assert!(r.corrected_sequences(&[Stroke::S1, Stroke::S2]).is_empty());
+        assert_eq!(r.rule_count(), 0);
+    }
+
+    #[test]
+    fn empty_sequence_has_no_variants() {
+        assert!(CorrectionRules::paper().corrected_sequences(&[]).is_empty());
+    }
+
+    #[test]
+    fn variant_count_formula() {
+        // Each observed S1 contributes 3 variants, S2 and S6 one each.
+        let r = CorrectionRules::paper();
+        let seq = vec![Stroke::S1, Stroke::S1, Stroke::S6];
+        assert_eq!(r.corrected_sequences(&seq).len(), 3 + 3 + 1);
+    }
+
+    #[test]
+    fn from_confusion_discovers_paper_like_rules() {
+        let mut m = ConfusionMatrix::new();
+        // S4 is recognized as S1 20% of the time.
+        for _ in 0..80 {
+            m.record(Stroke::S4, Stroke::S4);
+        }
+        for _ in 0..20 {
+            m.record(Stroke::S4, Stroke::S1);
+        }
+        // S3 is nearly perfect — a single slip below the threshold.
+        for _ in 0..99 {
+            m.record(Stroke::S3, Stroke::S3);
+        }
+        m.record(Stroke::S3, Stroke::S2);
+        let r = CorrectionRules::from_confusion(&m, 0.05);
+        assert_eq!(r.alternatives(Stroke::S1), &[Stroke::S4]);
+        assert!(r.alternatives(Stroke::S2).is_empty());
+    }
+
+    #[test]
+    fn from_confusion_empty_matrix_has_no_rules() {
+        let r = CorrectionRules::from_confusion(&ConfusionMatrix::new(), 0.05);
+        assert_eq!(r.rule_count(), 0);
+    }
+}

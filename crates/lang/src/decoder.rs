@@ -1,0 +1,390 @@
+//! Bayesian word decoding — the paper's Algorithm 2.
+//!
+//! For an observed stroke sequence `I = s₁s₂…sₙ`, candidate words come from
+//! dictionary lookups of `I` and of its corrected variants, and are ranked
+//! by the posterior (Eq. 7):
+//!
+//! `P(w|I) ∝ P(w) · ∏ᵢ P(sᵢ|lᵢ)`
+//!
+//! where `P(w)` is the word's corpus frequency and `P(sᵢ|lᵢ)` comes from
+//! the stroke-recognition confusion matrix. The top-k candidates (k = 5 in
+//! the paper's implementation) are offered to the user; if the user makes
+//! no choice within a second the top-1 is committed.
+
+use crate::correction::CorrectionRules;
+use crate::dictionary::Dictionary;
+use echowrite_dtw::ConfusionMatrix;
+use echowrite_gesture::stroke::{Stroke, STROKE_COUNT};
+
+/// The number of candidates the paper's implementation displays.
+pub const PAPER_TOP_K: usize = 5;
+
+/// One ranked word candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The candidate word.
+    pub word: String,
+    /// Unnormalized posterior `P(w)·∏P(sᵢ|lᵢ)`.
+    pub posterior: f64,
+    /// Whether the candidate came from a corrected sequence rather than the
+    /// observed one.
+    pub corrected: bool,
+}
+
+/// The Algorithm-2 word decoder.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_corpus::Lexicon;
+/// use echowrite_gesture::InputScheme;
+/// use echowrite_lang::{Dictionary, WordDecoder};
+///
+/// let scheme = InputScheme::paper();
+/// let dict = Dictionary::build(Lexicon::embedded(), &scheme);
+/// let decoder = WordDecoder::new(dict);
+/// let seq = scheme.encode_word("the").unwrap();
+/// let cands = decoder.decode(&seq);
+/// assert_eq!(cands[0].word, "the"); // most frequent in its collision group
+/// ```
+#[derive(Debug, Clone)]
+pub struct WordDecoder {
+    dictionary: Dictionary,
+    rules: CorrectionRules,
+    confusion: ConfusionMatrix,
+    top_k: usize,
+}
+
+impl WordDecoder {
+    /// Creates a decoder with the paper's correction rules, an uninformative
+    /// (uniform-smoothed) confusion prior, and k = 5.
+    pub fn new(dictionary: Dictionary) -> Self {
+        WordDecoder {
+            dictionary,
+            rules: CorrectionRules::paper(),
+            confusion: ConfusionMatrix::new(),
+            top_k: PAPER_TOP_K,
+        }
+    }
+
+    /// Replaces the correction rules (e.g. [`CorrectionRules::none`] for
+    /// the Fig. 15 ablation).
+    pub fn with_rules(mut self, rules: CorrectionRules) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// Installs an empirical confusion matrix for the `P(sᵢ|lᵢ)` terms.
+    pub fn with_confusion(mut self, confusion: ConfusionMatrix) -> Self {
+        self.confusion = confusion;
+        self
+    }
+
+    /// Overrides the candidate-list length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        assert!(k > 0, "top-k must be positive");
+        self.top_k = k;
+        self
+    }
+
+    /// The dictionary in use.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dictionary
+    }
+
+    /// The candidate-list length.
+    pub fn top_k(&self) -> usize {
+        self.top_k
+    }
+
+    /// Decodes an observed stroke sequence into at most `top_k` candidates,
+    /// posterior-descending.
+    pub fn decode(&self, observed: &[Stroke]) -> Vec<Candidate> {
+        self.decode_impl(observed, None)
+    }
+
+    /// Decodes using per-position soft stroke scores from the DTW
+    /// classifier (`scores[i][s]` ≈ P(observed profile i | stroke s))
+    /// instead of the global confusion matrix — strictly more information
+    /// when the classifier is confident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores.len() != observed.len()`.
+    pub fn decode_soft(&self, observed: &[Stroke], scores: &[[f64; STROKE_COUNT]]) -> Vec<Candidate> {
+        assert_eq!(scores.len(), observed.len(), "one score vector per stroke");
+        self.decode_impl(observed, Some(scores))
+    }
+
+    fn decode_impl(
+        &self,
+        observed: &[Stroke],
+        soft: Option<&[[f64; STROKE_COUNT]]>,
+    ) -> Vec<Candidate> {
+        if observed.is_empty() {
+            return Vec::new();
+        }
+        // candidateI = correct(I) ∪ I (Algorithm 2 line 1).
+        let mut sequences = vec![(observed.to_vec(), false)];
+        for v in self.rules.corrected_sequences(observed) {
+            sequences.push((v, true));
+        }
+
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for (seq, corrected) in &sequences {
+            for entry in self.dictionary.find(seq) {
+                // ∏ P(sᵢ|lᵢ): observed stroke given the word's true stroke.
+                let mut likelihood = 1.0;
+                for (i, (&s_obs, &l_true)) in observed.iter().zip(&entry.stroke_seq).enumerate() {
+                    likelihood *= match soft {
+                        Some(scores) => scores[i][l_true.index()].max(1e-9),
+                        None => self.confusion.likelihood(s_obs, l_true),
+                    };
+                }
+                let posterior = entry.frequency * likelihood;
+                match candidates.iter_mut().find(|c| c.word == entry.word) {
+                    // A word can match via several sequences; keep its best.
+                    Some(existing) => {
+                        if posterior > existing.posterior {
+                            existing.posterior = posterior;
+                            existing.corrected = *corrected;
+                        }
+                    }
+                    None => candidates.push(Candidate {
+                        word: entry.word.clone(),
+                        posterior,
+                        corrected: *corrected,
+                    }),
+                }
+            }
+        }
+        // All candidates share the observed length (substitution-only), so
+        // Algorithm 2's length-then-posterior sort reduces to posterior.
+        candidates.sort_by(|a, b| b.posterior.total_cmp(&a.posterior).then_with(|| a.word.cmp(&b.word)));
+        candidates.truncate(self.top_k);
+        candidates
+    }
+
+    /// Convenience: the top-1 word, if any candidate exists (the paper's
+    /// auto-commit after 1 s without a selection).
+    pub fn top1(&self, observed: &[Stroke]) -> Option<String> {
+        self.decode(observed).first().map(|c| c.word.clone())
+    }
+
+    /// Decodes with **general** edit-distance-1 correction (substitutions,
+    /// insertions, and deletions), the alternative the paper prunes away.
+    /// Each edit costs a fixed likelihood penalty in the posterior; exact
+    /// matches keep the full `P(sᵢ|lᵢ)` product.
+    ///
+    /// This exists to quantify the paper's claim that "we can take no
+    /// account of deleting and inserting cases without much performance
+    /// decline" — see ablation A4.
+    pub fn decode_full_edit(&self, observed: &[Stroke], edit_penalty: f64) -> Vec<Candidate> {
+        if observed.is_empty() {
+            return Vec::new();
+        }
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for (entry, dist) in self.dictionary.find_within_edit(observed, 1) {
+            let mut likelihood = 1.0;
+            if dist == 0 {
+                for (&s_obs, &l_true) in observed.iter().zip(&entry.stroke_seq) {
+                    likelihood *= self.confusion.likelihood(s_obs, l_true);
+                }
+            } else {
+                // Edited alignment: charge the penalty and the average
+                // per-stroke likelihood for the unaligned positions.
+                likelihood = edit_penalty;
+                for (&s_obs, &l_true) in observed.iter().zip(&entry.stroke_seq) {
+                    likelihood *= self.confusion.likelihood(s_obs, l_true).max(1e-3);
+                }
+            }
+            let posterior = entry.frequency * likelihood;
+            match candidates.iter_mut().find(|c| c.word == entry.word) {
+                Some(existing) => {
+                    if posterior > existing.posterior {
+                        existing.posterior = posterior;
+                        existing.corrected = dist > 0;
+                    }
+                }
+                None => candidates.push(Candidate {
+                    word: entry.word.clone(),
+                    posterior,
+                    corrected: dist > 0,
+                }),
+            }
+        }
+        candidates
+            .sort_by(|a, b| b.posterior.total_cmp(&a.posterior).then_with(|| a.word.cmp(&b.word)));
+        candidates.truncate(self.top_k);
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use echowrite_corpus::Lexicon;
+    use echowrite_gesture::InputScheme;
+
+    fn decoder() -> WordDecoder {
+        let scheme = InputScheme::paper();
+        WordDecoder::new(Dictionary::build(Lexicon::embedded(), &scheme))
+    }
+
+    fn seq(word: &str) -> Vec<Stroke> {
+        InputScheme::paper().encode_word(word).unwrap()
+    }
+
+    #[test]
+    fn decodes_exact_sequences() {
+        let d = decoder();
+        for w in ["the", "and", "water", "people"] {
+            let cands = d.decode(&seq(w));
+            assert!(
+                cands.iter().any(|c| c.word == w),
+                "{w} not in candidates {cands:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn frequency_breaks_collision_ties() {
+        let d = decoder();
+        let cands = d.decode(&seq("the"));
+        // "the" is the most frequent word in its collision group.
+        assert_eq!(cands[0].word, "the");
+        for w in cands.windows(2) {
+            assert!(w[0].posterior >= w[1].posterior);
+        }
+    }
+
+    #[test]
+    fn top_k_limits_candidates() {
+        let d = decoder().with_top_k(3);
+        assert!(d.decode(&seq("the")).len() <= 3);
+        assert_eq!(d.top_k(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "top-k")]
+    fn zero_top_k_rejected() {
+        decoder().with_top_k(0);
+    }
+
+    #[test]
+    fn empty_sequence_decodes_to_nothing() {
+        assert!(decoder().decode(&[]).is_empty());
+        assert_eq!(decoder().top1(&[]), None);
+    }
+
+    /// A sequence with one misrecognized stroke is rescued by correction.
+    #[test]
+    fn correction_recovers_single_substitution() {
+        let d = decoder();
+        // True word "can" = S5 S3 S4. Suppose S5 was misread as S6
+        // (a paper confusion mode: observed S6 → true S5).
+        let mut observed = seq("can");
+        assert_eq!(observed[0], Stroke::S5);
+        observed[0] = Stroke::S6;
+        let cands = d.decode(&observed);
+        let hit = cands.iter().find(|c| c.word == "can");
+        assert!(hit.is_some(), "correction failed: {cands:?}");
+        assert!(hit.unwrap().corrected);
+    }
+
+    #[test]
+    fn no_correction_misses_substituted_words() {
+        let d = decoder().with_rules(CorrectionRules::none());
+        let mut observed = seq("can");
+        observed[0] = Stroke::S6;
+        let cands = d.decode(&observed);
+        assert!(
+            !cands.iter().any(|c| c.word == "can"),
+            "without rules the substitution cannot be recovered"
+        );
+    }
+
+    #[test]
+    fn confusion_matrix_weights_posteriors() {
+        // Make S1-observed-as-S1 highly reliable but S2-as-S1 common; then
+        // for an observed S1, words whose true stroke is S2 gain ground.
+        let mut m = ConfusionMatrix::new();
+        for _ in 0..50 {
+            m.record(Stroke::S1, Stroke::S1);
+            m.record(Stroke::S2, Stroke::S1); // S2 always misread as S1!
+        }
+        let d = decoder().with_confusion(m);
+        // Observed: "the" = S1 S2 S1, but suppose the middle stroke (H, S2)
+        // was read as S1 → observed S1 S1 S1.
+        let observed = vec![Stroke::S1, Stroke::S1, Stroke::S1];
+        let cands = d.decode(&observed);
+        assert!(cands.iter().any(|c| c.word == "the"), "{cands:?}");
+    }
+
+    #[test]
+    fn decode_soft_prefers_high_scoring_strokes() {
+        let d = decoder();
+        let observed = seq("the"); // S1 S2 S1
+        // Scores confident in the observed strokes.
+        let mut scores = [[0.01; STROKE_COUNT]; 3];
+        scores[0][Stroke::S1.index()] = 0.95;
+        scores[1][Stroke::S2.index()] = 0.95;
+        scores[2][Stroke::S1.index()] = 0.95;
+        let cands = d.decode_soft(&observed, &scores);
+        assert_eq!(cands[0].word, "the");
+    }
+
+    #[test]
+    #[should_panic(expected = "one score vector per stroke")]
+    fn decode_soft_validates_lengths() {
+        let d = decoder();
+        d.decode_soft(&seq("the"), &[[0.1; STROKE_COUNT]; 2]);
+    }
+
+    #[test]
+    fn full_edit_decoding_recovers_deletions() {
+        let d = decoder();
+        // Drop a stroke of "people": substitution-only decoding misses it,
+        // the general edit decoder recovers it.
+        let mut observed = seq("people");
+        observed.remove(3);
+        assert!(!d.decode(&observed).iter().any(|c| c.word == "people"));
+        let cands = d.decode_full_edit(&observed, 0.05);
+        assert!(
+            cands.iter().any(|c| c.word == "people" && c.corrected),
+            "{cands:?}"
+        );
+    }
+
+    #[test]
+    fn full_edit_prefers_exact_matches() {
+        let d = decoder();
+        let observed = seq("the");
+        let cands = d.decode_full_edit(&observed, 0.05);
+        assert_eq!(cands[0].word, "the");
+        assert!(!cands[0].corrected);
+    }
+
+    #[test]
+    fn full_edit_empty_input() {
+        assert!(decoder().decode_full_edit(&[], 0.05).is_empty());
+    }
+
+    #[test]
+    fn duplicate_words_keep_best_posterior() {
+        // A word reachable via both the observed and a corrected sequence
+        // must appear once with its best posterior.
+        let d = decoder();
+        let observed = seq("me");
+        let cands = d.decode(&observed);
+        let mut words: Vec<&str> = cands.iter().map(|c| c.word.as_str()).collect();
+        words.sort_unstable();
+        let before = words.len();
+        words.dedup();
+        assert_eq!(before, words.len(), "duplicate candidates: {cands:?}");
+    }
+}

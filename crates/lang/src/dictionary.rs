@@ -1,0 +1,288 @@
+//! The stroke-indexed frequency dictionary.
+
+use echowrite_corpus::Lexicon;
+use echowrite_gesture::{InputScheme, Stroke};
+use std::collections::HashMap;
+
+/// One dictionary entry — the paper's
+/// `{word, frequency, length, strokeSeq}` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DictEntry {
+    /// The word (lowercase).
+    pub word: String,
+    /// Corpus frequency (per million).
+    pub frequency: f64,
+    /// Word length in letters.
+    pub length: usize,
+    /// The word's stroke sequence under the input scheme.
+    pub stroke_seq: Vec<Stroke>,
+}
+
+/// A dictionary of words indexed by their stroke sequences.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_corpus::Lexicon;
+/// use echowrite_gesture::InputScheme;
+/// use echowrite_lang::Dictionary;
+///
+/// let dict = Dictionary::build(Lexicon::embedded(), &InputScheme::paper());
+/// let seq = InputScheme::paper().encode_word("the").unwrap();
+/// let hits = dict.find(&seq);
+/// assert!(hits.iter().any(|e| e.word == "the"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dictionary {
+    entries: Vec<DictEntry>,
+    by_sequence: HashMap<Vec<Stroke>, Vec<usize>>,
+    scheme: InputScheme,
+}
+
+impl Dictionary {
+    /// Builds the dictionary from a lexicon under an input scheme.
+    ///
+    /// Entries within a stroke sequence are stored in descending frequency
+    /// order. Words containing non-letters are skipped.
+    pub fn build(lexicon: &Lexicon, scheme: &InputScheme) -> Self {
+        let mut entries = Vec::with_capacity(lexicon.len());
+        let mut by_sequence: HashMap<Vec<Stroke>, Vec<usize>> = HashMap::new();
+        for we in lexicon.iter() {
+            let Ok(stroke_seq) = scheme.encode_word(&we.word) else {
+                continue;
+            };
+            let idx = entries.len();
+            by_sequence.entry(stroke_seq.clone()).or_default().push(idx);
+            entries.push(DictEntry {
+                word: we.word.clone(),
+                frequency: we.frequency,
+                length: we.word.len(),
+                stroke_seq,
+            });
+        }
+        // Lexicon iteration is already frequency-descending, so per-sequence
+        // index lists inherit that order.
+        Dictionary { entries, by_sequence, scheme: scheme.clone() }
+    }
+
+    /// The input scheme the dictionary was built with.
+    pub fn scheme(&self) -> &InputScheme {
+        &self.scheme
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All words whose stroke sequence equals `seq`, most frequent first.
+    pub fn find(&self, seq: &[Stroke]) -> Vec<&DictEntry> {
+        self.by_sequence
+            .get(seq)
+            .map(|idxs| idxs.iter().map(|&i| &self.entries[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// The entry for a specific word, if present.
+    pub fn entry(&self, word: &str) -> Option<&DictEntry> {
+        let w = word.to_ascii_lowercase();
+        self.entries.iter().find(|e| e.word == w)
+    }
+
+    /// Iterates all entries in frequency order.
+    pub fn iter(&self) -> impl Iterator<Item = &DictEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of distinct stroke sequences (collision groups).
+    pub fn sequence_count(&self) -> usize {
+        self.by_sequence.len()
+    }
+
+    /// Mean number of words per stroke sequence — the T9-style collision
+    /// factor that the Bayesian ranking must resolve.
+    pub fn mean_collision(&self) -> f64 {
+        if self.by_sequence.is_empty() {
+            return 0.0;
+        }
+        self.entries.len() as f64 / self.by_sequence.len() as f64
+    }
+
+    /// All words whose stroke sequence is within **general** edit distance
+    /// `max_dist` of `seq` (substitutions, insertions, and deletions) —
+    /// the unrestricted correction the paper rules out as exponential when
+    /// expanded generatively. Probing the dictionary directly makes it
+    /// linear in dictionary size instead; the paper's question of whether
+    /// the extra coverage is *worth it* is answered by ablation A4.
+    pub fn find_within_edit(&self, seq: &[Stroke], max_dist: usize) -> Vec<(&DictEntry, usize)> {
+        let mut out = Vec::new();
+        for entry in &self.entries {
+            if entry.stroke_seq.len().abs_diff(seq.len()) > max_dist {
+                continue;
+            }
+            let d = edit_distance_bounded(seq, &entry.stroke_seq, max_dist);
+            if let Some(d) = d {
+                out.push((entry, d));
+            }
+        }
+        out
+    }
+}
+
+/// Banded Levenshtein distance between stroke sequences, returning `None`
+/// when the distance exceeds `bound`.
+fn edit_distance_bounded(a: &[Stroke], b: &[Stroke], bound: usize) -> Option<usize> {
+    let (n, m) = (a.len(), b.len());
+    if n.abs_diff(m) > bound {
+        return None;
+    }
+    // One-row DP with a diagonal band of half-width `bound`.
+    let big = usize::MAX / 2;
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut cur = vec![big; m + 1];
+    for i in 1..=n {
+        let lo = i.saturating_sub(bound);
+        let hi = (i + bound).min(m);
+        cur[0] = if i <= bound { i } else { big };
+        for j in lo.max(1)..=hi {
+            let sub = prev[j - 1] + usize::from(a[i - 1] != b[j - 1]);
+            let del = prev[j] + 1;
+            let ins = cur[j - 1] + 1;
+            cur[j] = sub.min(del).min(ins);
+        }
+        if lo > 1 {
+            cur[lo - 1] = big;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur.iter_mut().for_each(|v| *v = big);
+        if prev.iter().all(|&v| v > bound) {
+            return None;
+        }
+    }
+    if prev[m] <= bound {
+        Some(prev[m])
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict() -> Dictionary {
+        Dictionary::build(Lexicon::embedded(), &InputScheme::paper())
+    }
+
+    #[test]
+    fn builds_all_lexicon_words() {
+        let d = dict();
+        assert_eq!(d.len(), Lexicon::embedded().len());
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn entries_carry_paper_attributes() {
+        let d = dict();
+        let e = d.entry("water").unwrap();
+        assert_eq!(e.length, 5);
+        assert_eq!(e.stroke_seq.len(), 5);
+        assert!(e.frequency > 0.0);
+        assert_eq!(
+            e.stroke_seq,
+            InputScheme::paper().encode_word("water").unwrap()
+        );
+    }
+
+    #[test]
+    fn find_returns_collision_group_sorted_by_frequency() {
+        let d = dict();
+        let seq = InputScheme::paper().encode_word("the").unwrap();
+        let hits = d.find(&seq);
+        assert!(hits.iter().any(|e| e.word == "the"));
+        for w in hits.windows(2) {
+            assert!(w[0].frequency >= w[1].frequency);
+        }
+        // All hits share the same stroke sequence and length.
+        for h in &hits {
+            assert_eq!(h.stroke_seq, seq);
+            assert_eq!(h.length, 3);
+        }
+    }
+
+    #[test]
+    fn unknown_sequence_finds_nothing() {
+        let d = dict();
+        // A 12-stroke sequence is longer than any common word here.
+        let seq = vec![Stroke::S3; 12];
+        assert!(d.find(&seq).is_empty());
+    }
+
+    #[test]
+    fn collisions_exist_like_t9() {
+        let d = dict();
+        assert!(d.sequence_count() < d.len(), "expected stroke collisions");
+        let c = d.mean_collision();
+        assert!(c > 1.05 && c < 5.0, "collision factor {c}");
+    }
+
+    #[test]
+    fn entry_lookup_case_insensitive() {
+        let d = dict();
+        assert!(d.entry("The").is_some());
+        assert!(d.entry("zzzzzz").is_none());
+    }
+
+    #[test]
+    fn edit_distance_bounded_basics() {
+        use Stroke::*;
+        assert_eq!(edit_distance_bounded(&[S1, S2], &[S1, S2], 1), Some(0));
+        assert_eq!(edit_distance_bounded(&[S1, S2], &[S1, S3], 1), Some(1));
+        assert_eq!(edit_distance_bounded(&[S1, S2], &[S1], 1), Some(1)); // deletion
+        assert_eq!(edit_distance_bounded(&[S1], &[S1, S2, S3], 1), None); // too far
+        assert_eq!(edit_distance_bounded(&[], &[S1], 1), Some(1));
+        assert_eq!(edit_distance_bounded(&[S1, S2, S3], &[S3, S2, S1], 1), None);
+        assert_eq!(edit_distance_bounded(&[S1, S2, S3], &[S3, S2, S1], 2), Some(2));
+    }
+
+    #[test]
+    fn find_within_edit_covers_insertions_and_deletions() {
+        let d = dict();
+        let scheme = InputScheme::paper();
+        // "water" with one stroke DROPPED: substitution-only lookup fails,
+        // general edit-distance lookup recovers it.
+        let mut seq = scheme.encode_word("water").unwrap();
+        seq.remove(2);
+        assert!(d.find(&seq).iter().all(|e| e.word != "water"));
+        let hits = d.find_within_edit(&seq, 1);
+        assert!(
+            hits.iter().any(|(e, dist)| e.word == "water" && *dist == 1),
+            "deletion not recovered"
+        );
+        // Exact matches come back at distance 0.
+        let exact = scheme.encode_word("the").unwrap();
+        let hits = d.find_within_edit(&exact, 1);
+        assert!(hits.iter().any(|(e, dist)| e.word == "the" && *dist == 0));
+    }
+
+    #[test]
+    fn find_within_edit_zero_equals_find() {
+        let d = dict();
+        let seq = InputScheme::paper().encode_word("people").unwrap();
+        let strict: Vec<&str> = d.find(&seq).iter().map(|e| e.word.as_str()).collect();
+        let within: Vec<&str> = d
+            .find_within_edit(&seq, 0)
+            .iter()
+            .map(|(e, _)| e.word.as_str())
+            .collect();
+        for w in &strict {
+            assert!(within.contains(w));
+        }
+        assert_eq!(strict.len(), within.len());
+    }
+}

@@ -1,0 +1,27 @@
+//! Word and text inference from stroke sequences (paper Sec. III-C).
+//!
+//! Recognized strokes are fuzzy, T9-style codes: each stroke stands for a
+//! whole letter group. This crate turns stroke sequences into ranked word
+//! candidates:
+//!
+//! - [`dictionary::Dictionary`]: the paper's customized dictionary of
+//!   frequency-ranked words with attributes
+//!   `{word, frequency, length, strokeSeq}`, indexed by stroke sequence,
+//! - [`correction`]: substitution-only stroke correction at edit distance 1,
+//!   restricted to the confusion modes that dominate in practice
+//!   (observed S1 may really be S2/S4/S6; observed S2/S6 may really be S5),
+//! - [`decoder::WordDecoder`]: Algorithm 2 — candidates from the observed
+//!   and corrected sequences, ranked by the posterior
+//!   `P(w|I) ∝ P(w)·∏ᵢ P(sᵢ|lᵢ)`, returning the top-k list,
+//! - [`predictor::NextWordPredictor`]: 2-gram next-word suggestions after a
+//!   committed word.
+
+pub mod correction;
+pub mod decoder;
+pub mod dictionary;
+pub mod predictor;
+
+pub use correction::CorrectionRules;
+pub use decoder::{Candidate, WordDecoder};
+pub use dictionary::{DictEntry, Dictionary};
+pub use predictor::NextWordPredictor;

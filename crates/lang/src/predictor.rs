@@ -1,0 +1,94 @@
+//! Next-word prediction after a committed word.
+//!
+//! "After word recognition, our texts-entry algorithm will predict
+//! following words by automatic successive associations by using the
+//! 2-gram data of COCA" (Sec. III-C).
+
+use echowrite_corpus::BigramModel;
+
+/// Suggests likely next words once a word has been committed.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_lang::NextWordPredictor;
+/// let p = NextWordPredictor::embedded();
+/// assert_eq!(p.predict("of", 1), vec!["the".to_string()]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NextWordPredictor {
+    model: BigramModel,
+    default_k: usize,
+}
+
+impl NextWordPredictor {
+    /// Uses the embedded bigram model with the paper's 5-candidate list.
+    pub fn embedded() -> Self {
+        NextWordPredictor { model: BigramModel::embedded().clone(), default_k: 5 }
+    }
+
+    /// Uses a custom bigram model.
+    pub fn with_model(model: BigramModel, default_k: usize) -> Self {
+        assert!(default_k > 0, "prediction list length must be positive");
+        NextWordPredictor { model, default_k }
+    }
+
+    /// Predicts `k` next words after `prev`.
+    pub fn predict(&self, prev: &str, k: usize) -> Vec<String> {
+        self.model.predict(prev, k)
+    }
+
+    /// Predicts the default number of next words.
+    pub fn suggest(&self, prev: &str) -> Vec<String> {
+        self.model.predict(prev, self.default_k)
+    }
+
+    /// Whether `word` would be the top suggestion after `prev` — when true,
+    /// the user can accept the prediction instead of writing the strokes,
+    /// the mechanism behind the paper's "8 words per second in a fuzzy way"
+    /// burst rate.
+    pub fn is_top_prediction(&self, prev: &str, word: &str) -> bool {
+        self.predict(prev, 1)
+            .first()
+            .map(|w| w == &word.to_ascii_lowercase())
+            .unwrap_or(false)
+    }
+}
+
+impl Default for NextWordPredictor {
+    fn default() -> Self {
+        NextWordPredictor::embedded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedded_predicts_common_bigrams() {
+        let p = NextWordPredictor::embedded();
+        assert_eq!(p.predict("of", 1), vec!["the".to_string()]);
+        assert_eq!(p.predict("going", 1), vec!["to".to_string()]);
+    }
+
+    #[test]
+    fn suggest_uses_default_k() {
+        let p = NextWordPredictor::embedded();
+        assert_eq!(p.suggest("the").len(), 5);
+    }
+
+    #[test]
+    fn is_top_prediction_checks_head() {
+        let p = NextWordPredictor::embedded();
+        assert!(p.is_top_prediction("of", "the"));
+        assert!(p.is_top_prediction("of", "THE"));
+        assert!(!p.is_top_prediction("of", "water"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_default_k_rejected() {
+        NextWordPredictor::with_model(BigramModel::embedded().clone(), 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Doppler-profile extraction and stroke segmentation (paper Sec. III-B).
+//!
+//! From the enhanced binary spectrogram, EchoWrite:
+//!
+//! 1. extracts the **Doppler profile** — one signed frequency-shift value
+//!    per time frame — with the mean-value-based contour extraction
+//!    algorithm ([`mvce`], the paper's Algorithm 1), which first decides the
+//!    overall motion direction from the mean of the non-null bins versus the
+//!    carrier row and then takes the extreme bin on that side, rejecting the
+//!    slower hand/arm multipath blobs near the carrier;
+//! 2. smooths the profile with a 3-point moving average;
+//! 3. **segments** the continuous profile into strokes by detecting abrupt
+//!    changes in the profile's first difference (finger acceleration),
+//!    computed with the Holoborodko noise-robust differentiator (Eq. 2):
+//!    a stroke starts where |acceleration| first exceeds β (searching back
+//!    to the nearest zero-shift point) and ends when nine successive points
+//!    fall below γ = β/2 ([`segment`]).
+
+pub mod mvce;
+pub mod profile;
+pub mod segment;
+
+pub use mvce::extract_profile;
+pub use profile::DopplerProfile;
+pub use segment::{SegmentConfig, Segmenter, StrokeSegment};

@@ -1,0 +1,216 @@
+//! Mean-value-based contour extraction (the paper's Algorithm 1).
+//!
+//! Multipath makes several blobs appear in each enhanced column: the finger
+//! at the largest |shift| and the slower hand/arm/body reflections closer to
+//! the carrier. Simply taking the bin with maximum |Δf| is fragile against
+//! random fluctuations, so MVCE first infers the overall motion *direction*
+//! from the mean of the non-null rows relative to the carrier row, then
+//! takes the extreme row on that side:
+//!
+//! ```text
+//! for each column i:
+//!     row = non-null rows of column i
+//!     if row not empty:
+//!         if mean(row) > cf:  DopShift(i) = max(row)
+//!         else:               DopShift(i) = min(row)
+//! ```
+//!
+//! followed by a smoothed-moving-average filter (window 3).
+
+use crate::profile::DopplerProfile;
+use echowrite_spectro::Spectrogram;
+
+/// The moving-average window Algorithm 1 applies to the raw contour.
+pub const SMA_WINDOW: usize = 3;
+
+/// Default carrier guard band in bins: rows within this distance of the
+/// carrier are treated as null. Spectral subtraction cannot perfectly cancel
+/// the carrier's main lobe when the resting-hand multipath differs from the
+/// lead-in frames, so the first couple of bins around the carrier carry
+/// residue rather than finger motion. Shifts this small (≲ 5 Hz ≈ 0.05 m/s)
+/// are below any deliberate stroke speed.
+pub const DEFAULT_GUARD_BINS: usize = 1;
+
+/// Extracts the raw (unsmoothed) contour in *rows relative to the carrier*,
+/// ignoring foreground within `guard_bins` of the carrier row.
+///
+/// Columns with no foreground keep the carrier value (shift 0), matching the
+/// algorithm's initialization `DopShift(1:colNum) = cf`.
+pub fn extract_contour_rows(spec: &Spectrogram, guard_bins: usize) -> Vec<f64> {
+    let cf = spec.carrier_row() as f64;
+    let mut out = Vec::with_capacity(spec.cols());
+    for c in 0..spec.cols() {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        let mut min_row = usize::MAX;
+        let mut max_row = 0usize;
+        for r in 0..spec.rows() {
+            if (r as f64 - cf).abs() <= guard_bins as f64 {
+                continue;
+            }
+            if spec.get(r, c) != 0.0 {
+                sum += r as f64;
+                count += 1;
+                min_row = min_row.min(r);
+                max_row = max_row.max(r);
+            }
+        }
+        if count == 0 {
+            out.push(0.0);
+        } else if sum / count as f64 > cf {
+            out.push(max_row as f64 - cf);
+        } else {
+            out.push(min_row as f64 - cf);
+        }
+    }
+    out
+}
+
+/// Runs full MVCE: contour extraction plus the 3-point moving average,
+/// returning a [`DopplerProfile`] in Hz.
+///
+/// Requires the spectrogram's metadata (`bin_hz`, `hop_seconds`) to be set;
+/// when absent (hand-built matrices) the shift stays in row units and the
+/// hop defaults to 1 s.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_spectro::Spectrogram;
+/// use echowrite_profile::extract_profile;
+/// let mut s = Spectrogram::zeros(9, 4); // carrier at row 4
+/// s.set(7, 1, 1.0);
+/// s.set(7, 2, 1.0);
+/// let p = extract_profile(&s);
+/// assert!(p.shifts()[1] > 0.0); // foreground above the carrier → positive
+/// ```
+pub fn extract_profile(spec: &Spectrogram) -> DopplerProfile {
+    extract_profile_with_guard(spec, DEFAULT_GUARD_BINS)
+}
+
+/// [`extract_profile`] with an explicit carrier guard band.
+///
+/// The guard is applied as a *deadzone*: rows inside it are ignored during
+/// bin selection, and the guard width is subtracted from the surviving
+/// contour magnitude (`sign(s)·(|s| − guard)`). Without the subtraction a
+/// slow motion crossing the guard would appear as a step in the profile,
+/// whose differentiated "acceleration" could falsely arm the segmenter.
+pub fn extract_profile_with_guard(spec: &Spectrogram, guard_bins: usize) -> DopplerProfile {
+    let bin = if spec.bin_hz() > 0.0 { spec.bin_hz() } else { 1.0 };
+    let hop = if spec.hop_seconds() > 0.0 { spec.hop_seconds() } else { 1.0 };
+    let rows = extract_contour_rows(spec, guard_bins);
+    let guard = guard_bins as f64;
+    let hz: Vec<f64> = rows
+        .iter()
+        .map(|&r| r.signum() * (r.abs() - guard).max(0.0) * bin)
+        .collect();
+    let smoothed = echowrite_dsp::filters::moving_average(&hz, SMA_WINDOW);
+    DopplerProfile::new(smoothed, hop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a binary spectrogram with the given foreground cells
+    /// (row, col) and carrier at `rows/2`.
+    fn binary(rows: usize, cols: usize, cells: &[(usize, usize)]) -> Spectrogram {
+        let mut s = Spectrogram::zeros(rows, cols);
+        for &(r, c) in cells {
+            s.set(r, c, 1.0);
+        }
+        s
+    }
+
+    #[test]
+    fn empty_columns_stay_at_carrier() {
+        let s = binary(11, 5, &[]);
+        let contour = extract_contour_rows(&s, DEFAULT_GUARD_BINS);
+        assert_eq!(contour, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn positive_blob_takes_max_row() {
+        // Carrier at row 5. Foreground at rows 7..=9 in column 0: the mean
+        // (8) is above the carrier, so MVCE reports the max row, 9.
+        let s = binary(11, 1, &[(7, 0), (8, 0), (9, 0)]);
+        assert_eq!(extract_contour_rows(&s, DEFAULT_GUARD_BINS), vec![4.0]);
+    }
+
+    #[test]
+    fn negative_blob_takes_min_row() {
+        let s = binary(11, 1, &[(1, 0), (2, 0), (3, 0)]);
+        assert_eq!(extract_contour_rows(&s, DEFAULT_GUARD_BINS), vec![-4.0]);
+    }
+
+    /// The defining behaviour: a large slow blob near the carrier plus the
+    /// finger's fast blob farther out — MVCE must pick the finger bin, not
+    /// the naive max-|Δf| of random noise on the wrong side.
+    #[test]
+    fn finger_beats_multipath_clutter() {
+        // Hand clutter rows 4..=6 straddling the carrier (row 5), finger at
+        // rows 8..=9. Mean of {4,5,6,8,9} = 6.4 > 5 → direction positive →
+        // take max row 9.
+        let s = binary(11, 1, &[(4, 0), (5, 0), (6, 0), (8, 0), (9, 0)]);
+        assert_eq!(extract_contour_rows(&s, DEFAULT_GUARD_BINS), vec![4.0]);
+    }
+
+    #[test]
+    fn direction_decision_uses_mean_not_extreme() {
+        // One stray pixel far above (row 9) but the bulk below the carrier:
+        // mean of {1,2,3,9} = 3.75 < 5 → direction negative → min row 1.
+        // A naive max-|shift| rule would have wrongly picked +4.
+        let s = binary(11, 1, &[(1, 0), (2, 0), (3, 0), (9, 0)]);
+        assert_eq!(extract_contour_rows(&s, DEFAULT_GUARD_BINS), vec![-4.0]);
+    }
+
+    #[test]
+    fn profile_is_smoothed() {
+        // Columns: 0, spike (3 − guard), 0 → SMA window 3 (shrinking at
+        // edges) spreads it to s/2, s/3, s/2.
+        let s = binary(9, 3, &[(7, 1)]); // carrier row 4, raw shift +3
+        let spike = 3.0 - DEFAULT_GUARD_BINS as f64;
+        let p = extract_profile(&s);
+        assert_eq!(p.shifts()[0], spike / 2.0);
+        assert!((p.shifts()[1] - spike / 3.0).abs() < 1e-12);
+        assert_eq!(p.shifts()[2], spike / 2.0);
+    }
+
+    #[test]
+    fn profile_uses_bin_metadata_when_available() {
+        use echowrite_dsp::StftConfig;
+        let cfg = StftConfig::paper();
+        let n = cfg.fft_size / 2 + 1;
+        let carrier_bin = cfg.frequency_bin(20_000.0);
+        let mut frames = vec![vec![0.0; n]; 3];
+        for f in &mut frames {
+            f[carrier_bin + 10] = 1.0;
+        }
+        let s = Spectrogram::roi_from_stft(&frames, &cfg, 20_000.0, 470.6);
+        let p = extract_profile(&s);
+        // +10 bins, minus the guard deadzone.
+        let expect = (10.0 - DEFAULT_GUARD_BINS as f64) * s.bin_hz();
+        for v in p.shifts() {
+            assert!((v - expect).abs() < 1e-9, "shift {v}");
+        }
+        assert!((p.hop_seconds() - 0.02322).abs() < 1e-4);
+    }
+
+    #[test]
+    fn tracks_a_moving_contour() {
+        // A blob walking upward over 6 columns.
+        let cells: Vec<(usize, usize)> = (0..6).map(|c| (5 + c, c)).collect();
+        let s = binary(12, 6, &cells); // carrier row 6
+        let contour = extract_contour_rows(&s, DEFAULT_GUARD_BINS);
+        // Column c has foreground at row 5+c → raw shift c−1; rows inside
+        // the ±2-bin guard band read as 0 (the deadzone subtraction applies
+        // only in extract_profile, not to the raw contour).
+        let expect: Vec<f64> = (0..6)
+            .map(|c| {
+                let shift: f64 = c as f64 - 1.0;
+                if shift.abs() <= DEFAULT_GUARD_BINS as f64 { 0.0 } else { shift }
+            })
+            .collect();
+        assert_eq!(contour, expect);
+    }
+}

@@ -1,0 +1,170 @@
+//! The Doppler profile: one signed frequency shift per time frame.
+
+/// A sequence of signed Doppler shifts (Hz relative to the carrier), one per
+/// spectrogram column.
+///
+/// Positive values mean the finger is approaching the device. The profile
+/// carries its column period so downstream code can convert between frames
+/// and seconds.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_profile::DopplerProfile;
+/// let p = DopplerProfile::new(vec![0.0, 10.0, 20.0], 0.023);
+/// assert_eq!(p.len(), 3);
+/// assert!((p.duration() - 0.069).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DopplerProfile {
+    shifts: Vec<f64>,
+    hop_s: f64,
+}
+
+impl DopplerProfile {
+    /// Creates a profile from shift values (Hz) and the column period (s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hop_s` is not positive.
+    pub fn new(shifts: Vec<f64>, hop_s: f64) -> Self {
+        assert!(hop_s > 0.0, "hop period must be positive, got {hop_s}");
+        DopplerProfile { shifts, hop_s }
+    }
+
+    /// The shift values in Hz.
+    #[inline]
+    pub fn shifts(&self) -> &[f64] {
+        &self.shifts
+    }
+
+    /// Number of frames.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.shifts.len()
+    }
+
+    /// Whether the profile is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.shifts.is_empty()
+    }
+
+    /// Column period in seconds.
+    #[inline]
+    pub fn hop_seconds(&self) -> f64 {
+        self.hop_s
+    }
+
+    /// Total duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.shifts.len() as f64 * self.hop_s
+    }
+
+    /// A sub-profile over frames `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is invalid.
+    pub fn slice(&self, lo: usize, hi: usize) -> DopplerProfile {
+        assert!(lo <= hi && hi <= self.shifts.len(), "invalid range {lo}..{hi}");
+        DopplerProfile::new(self.shifts[lo..hi].to_vec(), self.hop_s)
+    }
+
+    /// Maximum absolute shift in Hz (0 for an empty profile).
+    pub fn peak_shift(&self) -> f64 {
+        self.shifts.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Mean shift in Hz (0 for an empty profile).
+    pub fn mean_shift(&self) -> f64 {
+        echowrite_dsp::util::mean(&self.shifts)
+    }
+
+    /// The profile's first difference per frame (Hz/frame) computed with the
+    /// paper's noise-robust differentiator (Eq. 2) — the "acceleration of
+    /// Doppler shift" driving segmentation.
+    pub fn acceleration(&self) -> Vec<f64> {
+        echowrite_dsp::filters::holoborodko_diff(&self.shifts)
+    }
+
+    /// Resamples the profile to `n` points (linear interpolation) — used to
+    /// compare profiles of different durations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is empty or `n` is zero.
+    pub fn resampled(&self, n: usize) -> Vec<f64> {
+        echowrite_dsp::util::resample_linear(&self.shifts, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let p = DopplerProfile::new(vec![1.0, -2.0, 3.0], 0.5);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.shifts(), &[1.0, -2.0, 3.0]);
+        assert_eq!(p.hop_seconds(), 0.5);
+        assert_eq!(p.duration(), 1.5);
+        assert_eq!(p.peak_shift(), 3.0);
+        assert!((p.mean_shift() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_uses_absolute_value() {
+        let p = DopplerProfile::new(vec![1.0, -5.0, 3.0], 1.0);
+        assert_eq!(p.peak_shift(), 5.0);
+    }
+
+    #[test]
+    fn slice_extracts_subrange() {
+        let p = DopplerProfile::new((0..10).map(|i| i as f64).collect(), 0.1);
+        let s = p.slice(2, 5);
+        assert_eq!(s.shifts(), &[2.0, 3.0, 4.0]);
+        assert_eq!(s.hop_seconds(), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn slice_rejects_bad_range() {
+        DopplerProfile::new(vec![0.0; 3], 1.0).slice(2, 5);
+    }
+
+    #[test]
+    fn acceleration_of_ramp_is_constant() {
+        let p = DopplerProfile::new((0..20).map(|i| 2.0 * i as f64).collect(), 1.0);
+        let acc = p.acceleration();
+        for v in &acc[2..18] {
+            assert!((v - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn resample_preserves_endpoints() {
+        let p = DopplerProfile::new(vec![0.0, 5.0, 10.0], 1.0);
+        let r = p.resampled(5);
+        assert_eq!(r[0], 0.0);
+        assert_eq!(r[4], 10.0);
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn empty_profile_behaviour() {
+        let p = DopplerProfile::new(vec![], 1.0);
+        assert!(p.is_empty());
+        assert_eq!(p.peak_shift(), 0.0);
+        assert_eq!(p.mean_shift(), 0.0);
+        assert_eq!(p.duration(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hop period")]
+    fn rejects_zero_hop() {
+        DopplerProfile::new(vec![1.0], 0.0);
+    }
+}

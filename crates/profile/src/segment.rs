@@ -1,0 +1,445 @@
+//! Acceleration-based stroke segmentation (paper Sec. III-B).
+//!
+//! Writing a stroke is "a short-duration and high-acceleration process":
+//! the Doppler shift ramps up quickly. The withdraw between strokes keeps
+//! some speed but its acceleration drops notably, and irrelevant body
+//! motions have much lower acceleration still. Segmentation therefore
+//! thresholds the *first difference of the Doppler profile*:
+//!
+//! - a stroke is armed at the first frame where |acc| > β; the start point
+//!   is found by searching **backward** to the frame whose shift is closest
+//!   to zero,
+//! - the stroke ends at the first frame from which **nine successive**
+//!   frames all have |acc| < γ = β/2.
+//!
+//! The paper derives its β from Eq. 4 (`Δf′ = 2 f₀ a / v_s`) with its
+//! device's frame scale and sets β = 40, γ = 20; [`SegmentConfig::paper`]
+//! keeps that derivation parameterised by the actual hop period so it works
+//! at any frame rate.
+
+use crate::profile::DopplerProfile;
+
+/// A detected stroke span in spectrogram columns (inclusive start,
+/// exclusive end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrokeSegment {
+    /// First column of the stroke.
+    pub start: usize,
+    /// One past the last column of the stroke.
+    pub end: usize,
+}
+
+impl StrokeSegment {
+    /// Number of columns covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the segment covers no columns.
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+
+    /// Midpoint column.
+    pub fn mid(&self) -> usize {
+        (self.start + self.end) / 2
+    }
+}
+
+/// Configuration of the segmenter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentConfig {
+    /// Arming threshold β on |acc| in Hz **per second** (converted to the
+    /// profile's per-frame scale internally).
+    pub beta_hz_per_s: f64,
+    /// Number of *consecutive* above-β frames required to arm a stroke.
+    /// A real stroke onset sustains high acceleration for several frames;
+    /// a slow drift crossing the MVCE guard band produces a single-frame
+    /// cliff that must not arm.
+    pub arm_run: usize,
+    /// Release threshold γ as a fraction of β (paper: 1/2).
+    pub gamma_ratio: f64,
+    /// Number of successive sub-γ frames that end a stroke (paper: 9, at a
+    /// hop of 23.2 ms ≈ 0.21 s of quiet).
+    pub end_run: usize,
+    /// Minimum stroke length in frames; shorter detections are dropped as
+    /// noise spikes.
+    pub min_frames: usize,
+    /// Minimum number of frames with |acc| > γ inside a segment; rejects
+    /// single-frame glitches whose quiet tail pads them past `min_frames`.
+    pub min_active: usize,
+    /// Maximum backward search distance (frames) for the zero-shift start.
+    pub max_backtrack: usize,
+    /// |shift| below this (Hz) counts as "closest to zero" and stops the
+    /// backward start search.
+    pub zero_shift_eps: f64,
+    /// Maximum |shift| (Hz) allowed at the backtracked start point. A true
+    /// stroke begins from rest (shift ≈ 0); a contour jump between two
+    /// interference plateaus (e.g. a walking passer-by) does not, and is
+    /// rejected.
+    pub start_max_hz: f64,
+    /// A run of this many consecutive frames with |shift| ≤ `rest_max_hz`
+    /// also ends a stroke — the finger has come to rest. This cuts the
+    /// segment before the withdraw motion becomes visible, so templates and
+    /// probes compare stroke-only profiles.
+    pub rest_run: usize,
+    /// The |shift| level treated as "at rest" for `rest_run` (Hz).
+    pub rest_max_hz: f64,
+    /// Minimum peak |shift| (Hz) inside a segment. Deliberate strokes move
+    /// the finger fast (the weakest produce ≳ 25 Hz); the slow withdraw
+    /// between strokes plateaus well below that and must not segment.
+    pub min_peak_hz: f64,
+}
+
+impl SegmentConfig {
+    /// The paper's thresholds: β derived from Eq. 4 with the finger's
+    /// typical acceleration, γ = β/2, nine-point end rule.
+    ///
+    /// The paper quotes β = 40 in its implementation's per-frame units;
+    /// expressed per second at their 23.2 ms hop this sets the arming rate
+    /// threshold used here.
+    pub fn paper() -> Self {
+        SegmentConfig {
+            beta_hz_per_s: 130.0,
+            arm_run: 2,
+            gamma_ratio: 0.5,
+            end_run: 9,
+            min_frames: 5,
+            min_active: 5,
+            max_backtrack: 12,
+            zero_shift_eps: 2.0,
+            start_max_hz: 30.0,
+            rest_run: 4,
+            rest_max_hz: 6.0,
+            min_peak_hz: 20.0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for non-positive thresholds or degenerate ratios.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.beta_hz_per_s <= 0.0 {
+            return Err(format!("beta must be positive, got {}", self.beta_hz_per_s));
+        }
+        if !(0.0..1.0).contains(&self.gamma_ratio) || self.gamma_ratio == 0.0 {
+            return Err(format!("gamma_ratio must be in (0,1), got {}", self.gamma_ratio));
+        }
+        if self.end_run == 0 {
+            return Err("end_run must be positive".to_string());
+        }
+        if self.arm_run == 0 {
+            return Err("arm_run must be positive".to_string());
+        }
+        if self.rest_run == 0 {
+            return Err("rest_run must be positive".to_string());
+        }
+        if self.rest_max_hz < 0.0 {
+            return Err("rest_max_hz must be non-negative".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        SegmentConfig::paper()
+    }
+}
+
+/// The acceleration-based stroke segmenter.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_profile::{DopplerProfile, Segmenter, SegmentConfig};
+/// // A quiet profile produces no segments.
+/// let p = DopplerProfile::new(vec![0.0; 50], 0.023);
+/// let segs = Segmenter::new(SegmentConfig::paper()).segment(&p);
+/// assert!(segs.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Segmenter {
+    config: SegmentConfig,
+}
+
+impl Segmenter {
+    /// Creates a segmenter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: SegmentConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid segmenter config: {msg}");
+        }
+        Segmenter { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SegmentConfig {
+        &self.config
+    }
+
+    /// Detects stroke segments in a Doppler profile.
+    pub fn segment(&self, profile: &DopplerProfile) -> Vec<StrokeSegment> {
+        let shifts = profile.shifts();
+        let n = shifts.len();
+        if n < self.config.min_frames.max(5) {
+            return Vec::new();
+        }
+        // Acceleration in Hz/frame; thresholds scaled to the hop period.
+        let acc = profile.acceleration();
+        let beta = self.config.beta_hz_per_s * profile.hop_seconds();
+        let gamma = beta * self.config.gamma_ratio;
+
+        let mut segments = Vec::new();
+        let mut i = 0;
+        while i < n {
+            // Arm: `arm_run` consecutive |acc| above β.
+            let run_end = i + self.config.arm_run;
+            if run_end > n || acc[i..run_end].iter().any(|a| a.abs() <= beta) {
+                i += 1;
+                continue;
+            }
+            // Backward search to the shift closest to zero.
+            let lo = i.saturating_sub(self.config.max_backtrack);
+            let mut start = i;
+            let mut best = shifts[i].abs();
+            let mut j = i;
+            while j > lo && best > self.config.zero_shift_eps {
+                j -= 1;
+                let v = shifts[j].abs();
+                if v < best {
+                    best = v;
+                    start = j;
+                } else {
+                    // Shift grows again — we passed the rest point.
+                    break;
+                }
+            }
+
+            // A stroke must start from (near) rest; a jump between two
+            // interference plateaus does not.
+            if best > self.config.start_max_hz {
+                i += 1;
+                continue;
+            }
+
+            // Forward search for the end: `end_run` successive sub-γ points,
+            // or the finger resting near zero shift for `rest_run` frames.
+            let mut end = n;
+            let mut k = i + 1;
+            while k < n {
+                let quiet_end = (k + self.config.end_run).min(n);
+                if acc[k..quiet_end].iter().all(|a| a.abs() < gamma) {
+                    end = k;
+                    break;
+                }
+                let rest_end = k + self.config.rest_run;
+                if rest_end <= n
+                    && shifts[k..rest_end]
+                        .iter()
+                        .all(|s| s.abs() <= self.config.rest_max_hz)
+                {
+                    end = k;
+                    break;
+                }
+                k += 1;
+            }
+
+            let active = acc[start..end.min(n)]
+                .iter()
+                .filter(|a| a.abs() > gamma)
+                .count();
+            let peak = shifts[start..end.min(n)]
+                .iter()
+                .fold(0.0f64, |m, s| m.max(s.abs()));
+            if end - start >= self.config.min_frames
+                && active >= self.config.min_active
+                && peak >= self.config.min_peak_hz
+            {
+                segments.push(StrokeSegment { start, end });
+            }
+            // Resume scanning after the quiet run (or at the end).
+            i = end.max(i + 1) + self.config.end_run.min(n - end.min(n));
+        }
+        segments
+    }
+
+    /// Convenience: segments a profile and returns the per-stroke
+    /// sub-profiles alongside their spans.
+    pub fn extract_strokes(
+        &self,
+        profile: &DopplerProfile,
+    ) -> Vec<(StrokeSegment, DopplerProfile)> {
+        self.segment(profile)
+            .into_iter()
+            .map(|seg| (seg, profile.slice(seg.start, seg.end)))
+            .collect()
+    }
+}
+
+impl Default for Segmenter {
+    fn default() -> Self {
+        Segmenter::new(SegmentConfig::paper())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOP: f64 = 0.0232;
+
+    /// A synthetic stroke: shift ramps 0 → peak → 0 over `len` frames
+    /// starting at `at`, mimicking a minimum-jerk Doppler bump.
+    fn add_stroke(shifts: &mut [f64], at: usize, len: usize, peak: f64) {
+        for i in 0..len {
+            let tau = i as f64 / (len - 1) as f64;
+            shifts[at + i] += peak * (std::f64::consts::PI * tau).sin();
+        }
+    }
+
+    /// A slow drift (withdraw/body motion): low-rate half-sine.
+    fn add_slow(shifts: &mut [f64], at: usize, len: usize, peak: f64) {
+        add_stroke(shifts, at, len, peak);
+    }
+
+    fn seg(profile: &[f64]) -> Vec<StrokeSegment> {
+        Segmenter::default().segment(&DopplerProfile::new(profile.to_vec(), HOP))
+    }
+
+    #[test]
+    fn quiet_profile_has_no_segments() {
+        assert!(seg(&[0.0; 80]).is_empty());
+    }
+
+    #[test]
+    fn too_short_profile_is_ignored() {
+        assert!(seg(&[100.0; 3]).is_empty());
+    }
+
+    #[test]
+    fn detects_a_single_stroke() {
+        let mut p = vec![0.0; 80];
+        add_stroke(&mut p, 20, 14, 60.0); // 60 Hz peak over ~0.32 s
+        let segs = seg(&p);
+        assert_eq!(segs.len(), 1, "expected one stroke, got {segs:?}");
+        let s = segs[0];
+        assert!(s.start >= 16 && s.start <= 22, "start {}", s.start);
+        assert!(s.end >= 30 && s.end <= 42, "end {}", s.end);
+    }
+
+    #[test]
+    fn detects_negative_shift_strokes() {
+        let mut p = vec![0.0; 80];
+        add_stroke(&mut p, 30, 14, -70.0);
+        let segs = seg(&p);
+        assert_eq!(segs.len(), 1);
+    }
+
+    #[test]
+    fn detects_a_series_of_strokes() {
+        let mut p = vec![0.0; 300];
+        for k in 0..5 {
+            add_stroke(&mut p, 30 + k * 50, 14, if k % 2 == 0 { 55.0 } else { -65.0 });
+        }
+        let segs = seg(&p);
+        assert_eq!(segs.len(), 5, "{segs:?}");
+        for w in segs.windows(2) {
+            assert!(w[0].end <= w[1].start, "segments overlap: {segs:?}");
+        }
+    }
+
+    /// The paper's key robustness claim (Fig. 10): slow interference —
+    /// withdraw motion, multipath, irrelevant hand movement — has low
+    /// acceleration and must NOT trigger a segment.
+    #[test]
+    fn slow_interference_is_rejected() {
+        let mut p = vec![0.0; 200];
+        add_slow(&mut p, 20, 80, 18.0); // 18 Hz over ~1.9 s: gentle drift
+        add_slow(&mut p, 120, 60, -14.0);
+        let segs = seg(&p);
+        assert!(segs.is_empty(), "slow drift misdetected: {segs:?}");
+    }
+
+    #[test]
+    fn stroke_among_interference_is_found() {
+        let mut p = vec![0.0; 200];
+        add_slow(&mut p, 10, 70, 15.0); // background drift
+        add_stroke(&mut p, 100, 14, 65.0); // the actual stroke
+        let segs = seg(&p);
+        assert_eq!(segs.len(), 1, "{segs:?}");
+        assert!(segs[0].start >= 92 && segs[0].start <= 104, "{segs:?}");
+    }
+
+    #[test]
+    fn start_backtracks_to_zero_shift() {
+        let mut p = vec![0.0; 80];
+        add_stroke(&mut p, 25, 16, 80.0);
+        let segs = seg(&p);
+        let s = segs[0];
+        // The start should sit at (or within a couple frames of) the true
+        // stroke onset where the shift was still ~0.
+        assert!(
+            p[s.start].abs() < 25.0,
+            "start shift {} too large at {}",
+            p[s.start],
+            s.start
+        );
+    }
+
+    #[test]
+    fn min_frames_filters_spikes() {
+        let mut p = vec![0.0; 80];
+        // A 2-frame glitch: huge acceleration but too short to be a stroke.
+        p[40] = 90.0;
+        let cfg = SegmentConfig { min_frames: 5, ..SegmentConfig::paper() };
+        let segs = Segmenter::new(cfg).segment(&DopplerProfile::new(p, HOP));
+        assert!(segs.is_empty(), "{segs:?}");
+    }
+
+    #[test]
+    fn segment_len_and_mid() {
+        let s = StrokeSegment { start: 10, end: 20 };
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.mid(), 15);
+        assert!(!s.is_empty());
+        assert!(StrokeSegment { start: 3, end: 3 }.is_empty());
+    }
+
+    #[test]
+    fn extract_strokes_returns_subprofiles() {
+        let mut p = vec![0.0; 120];
+        add_stroke(&mut p, 30, 14, 60.0);
+        let profile = DopplerProfile::new(p, HOP);
+        let pairs = Segmenter::default().extract_strokes(&profile);
+        assert_eq!(pairs.len(), 1);
+        let (seg, sub) = &pairs[0];
+        assert_eq!(sub.len(), seg.len());
+        assert!(sub.peak_shift() > 40.0);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SegmentConfig::paper().validate().is_ok());
+        assert!(SegmentConfig { beta_hz_per_s: 0.0, ..SegmentConfig::paper() }
+            .validate()
+            .is_err());
+        assert!(SegmentConfig { gamma_ratio: 1.0, ..SegmentConfig::paper() }
+            .validate()
+            .is_err());
+        assert!(SegmentConfig { end_run: 0, ..SegmentConfig::paper() }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid segmenter config")]
+    fn segmenter_rejects_bad_config() {
+        Segmenter::new(SegmentConfig { beta_hz_per_s: -1.0, ..SegmentConfig::paper() });
+    }
+}

@@ -1,0 +1,136 @@
+//! The comparison baseline: a soft keyboard on a smartwatch screen.
+//!
+//! Figs. 16–17 compare EchoWrite's entry speed against typing on a
+//! smartwatch touch keyboard (5.5 WPM / ~18.8 LPM for the paper's
+//! participants). The model here is a standard Fitts'-law tap model with
+//! fat-finger errors on tiny keys: each letter costs a pointing time that
+//! grows with key distance and shrinking key size, and a miss forces a
+//! backspace + retype.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A Fitts'-law smartwatch keyboard model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmartwatchKeyboard {
+    /// Fitts' law intercept (seconds).
+    pub fitts_a: f64,
+    /// Fitts' law slope (seconds per bit).
+    pub fitts_b: f64,
+    /// Keyboard width in millimetres (a ~30 mm watch keyboard).
+    pub keyboard_width_mm: f64,
+    /// Key width in millimetres (QWERTY: width / 10).
+    pub key_width_mm: f64,
+    /// Probability of a fat-finger miss per tap.
+    pub miss_rate: f64,
+    /// Extra time to notice + backspace a miss (seconds).
+    pub correction_time: f64,
+}
+
+impl SmartwatchKeyboard {
+    /// Parameters of a typical 1.4-inch smartwatch keyboard.
+    pub fn typical() -> Self {
+        SmartwatchKeyboard {
+            fitts_a: 0.35,
+            fitts_b: 0.70,
+            keyboard_width_mm: 30.0,
+            key_width_mm: 3.0,
+            miss_rate: 0.15,
+            correction_time: 1.2,
+        }
+    }
+
+    /// Expected time to tap one key, averaging over travel distances
+    /// (mean travel ≈ 40 % of the keyboard width).
+    pub fn tap_time(&self) -> f64 {
+        let d = 0.4 * self.keyboard_width_mm;
+        let id = (d / self.key_width_mm + 1.0).log2();
+        self.fitts_a + self.fitts_b * id
+    }
+
+    /// Simulates typing `words`, returning total seconds including misses
+    /// and the space taps between words.
+    pub fn type_words(&self, words: &[&str], seed: u64) -> f64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let tap = self.tap_time();
+        let mut total = 0.0;
+        for (i, w) in words.iter().enumerate() {
+            for _ in w.chars() {
+                total += tap;
+                // Misses require a backspace tap and a retype.
+                while rng.gen::<f64>() < self.miss_rate {
+                    total += self.correction_time + tap;
+                }
+            }
+            if i + 1 < words.len() {
+                total += tap; // space
+            }
+        }
+        total
+    }
+
+    /// Expected words-per-minute on text with the given mean word length.
+    pub fn expected_wpm(&self, mean_word_len: f64) -> f64 {
+        let tap = self.tap_time();
+        // Each letter costs a tap plus expected miss overhead; one space per
+        // word.
+        let expected_miss = self.miss_rate / (1.0 - self.miss_rate);
+        let per_letter = tap + expected_miss * (self.correction_time + tap);
+        let per_word = mean_word_len * per_letter + tap;
+        60.0 / per_word
+    }
+}
+
+impl Default for SmartwatchKeyboard {
+    fn default() -> Self {
+        SmartwatchKeyboard::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tap_time_plausible() {
+        // Tiny 3 mm keys need visually guided, slow taps.
+        let kb = SmartwatchKeyboard::typical();
+        let t = kb.tap_time();
+        assert!(t > 1.0 && t < 2.5, "tap time {t}s");
+    }
+
+    #[test]
+    fn expected_wpm_matches_paper_ballpark() {
+        // The paper's participants typed at ~5.5 WPM on the watch.
+        let kb = SmartwatchKeyboard::typical();
+        let wpm = kb.expected_wpm(4.0);
+        assert!(wpm > 4.0 && wpm < 8.0, "watch keyboard at {wpm} WPM");
+    }
+
+    #[test]
+    fn smaller_keys_are_slower() {
+        let big = SmartwatchKeyboard { key_width_mm: 6.0, ..SmartwatchKeyboard::typical() };
+        let small = SmartwatchKeyboard { key_width_mm: 2.0, ..SmartwatchKeyboard::typical() };
+        assert!(small.tap_time() > big.tap_time());
+        assert!(small.expected_wpm(4.0) < big.expected_wpm(4.0));
+    }
+
+    #[test]
+    fn typing_time_deterministic_and_scales() {
+        let kb = SmartwatchKeyboard::typical();
+        let words = ["the", "people"];
+        assert_eq!(kb.type_words(&words, 5), kb.type_words(&words, 5));
+        let longer = kb.type_words(&["the", "people", "morning"], 5);
+        assert!(longer > kb.type_words(&words, 5));
+    }
+
+    #[test]
+    fn misses_add_time() {
+        let clean = SmartwatchKeyboard { miss_rate: 0.0, ..SmartwatchKeyboard::typical() };
+        let sloppy = SmartwatchKeyboard { miss_rate: 0.25, ..SmartwatchKeyboard::typical() };
+        let words = ["because", "question", "morning"];
+        assert!(sloppy.type_words(&words, 9) > clean.type_words(&words, 9));
+        assert!(sloppy.expected_wpm(4.0) < clean.expected_wpm(4.0));
+    }
+}

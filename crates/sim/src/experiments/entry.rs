@@ -1,0 +1,222 @@
+//! Text-entry speed experiments (paper Sec. V-B3/4, Figs. 16–18).
+//!
+//! Participants enter paragraphs from five two-paragraph phrase blocks with
+//! EchoWrite (7.5 WPM / 25.6 LPM before practice) and with a smartwatch
+//! soft keyboard (5.5 WPM / ≈ 6.8 LPM lower letter rate), and Fig. 18
+//! tracks speed over 15 practice sessions (stabilizing at 16.6 WPM /
+//! 55.3 LPM around session 13).
+
+use super::strokes::shared_engine;
+use super::Scale;
+use crate::baseline::SmartwatchKeyboard;
+use crate::calibrate::calibrate;
+use crate::participant::Participant;
+use crate::report::{f1, Table};
+use crate::session::{SessionConfig, TextEntrySession};
+use echowrite_corpus::phrases;
+use echowrite_dtw::ConfusionMatrix;
+use echowrite_lang::{NextWordPredictor, WordDecoder};
+use std::sync::OnceLock;
+
+/// Decoder + confusion shared by the entry experiments (calibrated once).
+fn decoding() -> &'static (WordDecoder, ConfusionMatrix, NextWordPredictor) {
+    static D: OnceLock<(WordDecoder, ConfusionMatrix, NextWordPredictor)> = OnceLock::new();
+    D.get_or_init(|| {
+        let engine = shared_engine();
+        let cal = calibrate(engine, 30, 4242);
+        let decoder = WordDecoder::new(engine.decoder().dictionary().clone())
+            .with_confusion(cal.confusion.clone())
+            .with_rules(cal.rules.clone())
+            .with_top_k(5);
+        (decoder, cal.confusion, NextWordPredictor::embedded())
+    })
+}
+
+/// Per-participant entry speeds over the phrase blocks, first session
+/// (unpractised).
+pub fn echowrite_speeds(scale: Scale, session_no: usize) -> Vec<(String, f64, f64)> {
+    let (decoder, confusion, predictor) = decoding();
+    Participant::cohort(scale.seed)
+        .iter()
+        .map(|p| {
+            let mut total = crate::session::SessionOutcome::default();
+            for (bi, block) in phrases::blocks().iter().enumerate() {
+                let mut s = TextEntrySession::new(
+                    decoder,
+                    confusion,
+                    predictor,
+                    SessionConfig::paper(),
+                    scale.seed ^ ((p.id as u64) << 16) ^ (bi as u64),
+                );
+                let words = block.words();
+                let o = s.enter_words(&words, p, session_no);
+                total.seconds += o.seconds;
+                total.words += o.words;
+                total.letters += o.letters;
+                total.word_errors += o.word_errors;
+                total.predicted_words += o.predicted_words;
+            }
+            (p.name.clone(), total.wpm(), total.lpm())
+        })
+        .collect()
+}
+
+/// Per-participant smartwatch-keyboard speeds on the same text.
+pub fn keyboard_speeds(scale: Scale) -> Vec<(String, f64, f64)> {
+    let kb = SmartwatchKeyboard::typical();
+    Participant::cohort(scale.seed)
+        .iter()
+        .map(|p| {
+            let mut seconds = 0.0;
+            let mut words = 0usize;
+            let mut letters = 0usize;
+            for (bi, block) in phrases::blocks().iter().enumerate() {
+                let w = block.words();
+                seconds += kb.type_words(&w, scale.seed ^ ((p.id as u64) << 8) ^ (bi as u64));
+                words += w.len();
+                letters += w.iter().map(|x| x.len()).sum::<usize>();
+            }
+            (
+                p.name.clone(),
+                words as f64 * 60.0 / seconds,
+                letters as f64 * 60.0 / seconds,
+            )
+        })
+        .collect()
+}
+
+/// Fig. 16 — words-entry speed, EchoWrite vs smartwatch keyboard
+/// (paper: 7.5 vs 5.5 WPM).
+pub fn fig16(scale: Scale) -> Table {
+    let echo = echowrite_speeds(scale, 1);
+    let kb = keyboard_speeds(scale);
+    let mut t = Table::new(
+        "Fig. 16 — words-entry speed (paper: EchoWrite 7.5 WPM, watch keyboard 5.5 WPM)",
+        &["participant", "EchoWrite WPM", "keyboard WPM"],
+    );
+    for ((name, wpm, _), (_, kb_wpm, _)) in echo.iter().zip(&kb) {
+        t.push_row(vec![name.clone(), f1(*wpm), f1(*kb_wpm)]);
+    }
+    let mean = |v: &[(String, f64, f64)]| v.iter().map(|x| x.1).sum::<f64>() / v.len() as f64;
+    t.push_row(vec!["mean".into(), f1(mean(&echo)), f1(mean(&kb))]);
+    t
+}
+
+/// Fig. 17 — letter-entry speed (paper: EchoWrite 25.6 LPM, keyboard lower).
+pub fn fig17(scale: Scale) -> Table {
+    let echo = echowrite_speeds(scale, 1);
+    let kb = keyboard_speeds(scale);
+    let mut t = Table::new(
+        "Fig. 17 — letters-entry speed (paper: EchoWrite 25.6 LPM)",
+        &["participant", "EchoWrite LPM", "keyboard LPM"],
+    );
+    for ((name, _, lpm), (_, _, kb_lpm)) in echo.iter().zip(&kb) {
+        t.push_row(vec![name.clone(), f1(*lpm), f1(*kb_lpm)]);
+    }
+    let mean = |v: &[(String, f64, f64)]| v.iter().map(|x| x.2).sum::<f64>() / v.len() as f64;
+    t.push_row(vec!["mean".into(), f1(mean(&echo)), f1(mean(&kb))]);
+    t
+}
+
+/// Fig. 18 — WPM and LPM per practice session (paper: stabilizes at
+/// ≈ 16.6 WPM / 55.3 LPM around session 13).
+pub fn fig18(scale: Scale) -> Table {
+    let (decoder, confusion, predictor) = decoding();
+    let cohort = Participant::cohort(scale.seed);
+    let block = &phrases::blocks()[0];
+    let mut t = Table::new(
+        "Fig. 18 — entry speed vs practice sessions (paper: →16.6 WPM / 55.3 LPM)",
+        &["session", "WPM", "LPM"],
+    );
+    for session_no in 1..=15usize {
+        let mut wpm = 0.0;
+        let mut lpm = 0.0;
+        for p in &cohort {
+            let mut s = TextEntrySession::new(
+                decoder,
+                confusion,
+                predictor,
+                SessionConfig::paper(),
+                scale.seed ^ ((p.id as u64) << 20) ^ (session_no as u64),
+            );
+            let o = s.enter_words(&block.words(), p, session_no);
+            wpm += o.wpm();
+            lpm += o.lpm();
+        }
+        t.push_row(vec![
+            session_no.to_string(),
+            f1(wpm / cohort.len() as f64),
+            f1(lpm / cohort.len() as f64),
+        ]);
+    }
+    t
+}
+
+/// Mean speeds at a session, for integration tests: `(wpm, lpm)`.
+pub fn mean_speed_at_session(scale: Scale, session_no: usize) -> (f64, f64) {
+    let echo = echowrite_speeds(scale, session_no);
+    let n = echo.len() as f64;
+    (
+        echo.iter().map(|x| x.1).sum::<f64>() / n,
+        echo.iter().map(|x| x.2).sum::<f64>() / n,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale { reps: 2, seed: 5 }
+    }
+
+    #[test]
+    fn echowrite_beats_keyboard_in_wpm_and_lpm() {
+        let echo = echowrite_speeds(tiny(), 1);
+        let kb = keyboard_speeds(tiny());
+        let mean = |v: &[(String, f64, f64)], f: fn(&(String, f64, f64)) -> f64| {
+            v.iter().map(f).sum::<f64>() / v.len() as f64
+        };
+        let e_wpm = mean(&echo, |x| x.1);
+        let k_wpm = mean(&kb, |x| x.1);
+        assert!(
+            e_wpm > k_wpm,
+            "EchoWrite {e_wpm} WPM should beat keyboard {k_wpm} WPM"
+        );
+        let e_lpm = mean(&echo, |x| x.2);
+        let k_lpm = mean(&kb, |x| x.2);
+        assert!(e_lpm > k_lpm, "LPM: {e_lpm} vs {k_lpm}");
+    }
+
+    #[test]
+    fn untrained_speed_in_paper_ballpark() {
+        let (wpm, lpm) = mean_speed_at_session(tiny(), 1);
+        assert!((5.0..11.0).contains(&wpm), "untrained WPM {wpm} (paper 7.5)");
+        assert!((17.0..38.0).contains(&lpm), "untrained LPM {lpm} (paper 25.6)");
+    }
+
+    #[test]
+    fn trained_speed_reaches_paper_ballpark() {
+        let (wpm, lpm) = mean_speed_at_session(tiny(), 13);
+        assert!((13.0..21.0).contains(&wpm), "trained WPM {wpm} (paper 16.6)");
+        assert!((42.0..70.0).contains(&lpm), "trained LPM {lpm} (paper 55.3)");
+    }
+
+    #[test]
+    fn fig18_speed_grows_with_sessions() {
+        let t = fig18(tiny());
+        assert_eq!(t.rows.len(), 15);
+        let wpm1: f64 = t.rows[0][1].parse().unwrap();
+        let wpm13: f64 = t.rows[12][1].parse().unwrap();
+        assert!(wpm13 > 1.5 * wpm1, "{wpm1} → {wpm13}");
+        // Diminishing returns: sessions 13..15 roughly flat.
+        let wpm15: f64 = t.rows[14][1].parse().unwrap();
+        assert!((wpm15 - wpm13).abs() < 0.25 * wpm13);
+    }
+
+    #[test]
+    fn figures_render() {
+        assert_eq!(fig16(tiny()).rows.len(), 7);
+        assert_eq!(fig17(tiny()).rows.len(), 7);
+    }
+}

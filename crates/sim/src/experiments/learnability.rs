@@ -1,0 +1,206 @@
+//! The input-scheme learnability study (paper Sec. II-A, Figs. 4–6).
+//!
+//! Six fresh participants write the stroke sequences of the 300 most
+//! frequent corpus words (shuffled) for 15 minutes. The study evaluates the
+//! *scheme*, not the recognizer — the paper assumes a 90 % stroke
+//! recognition accuracy when quoting word accuracy. Reported results:
+//! sequence accuracy climbs to ≈ 98 % after 15 minutes (Fig. 4), entry
+//! speed reaches ≈ 11 WPM (Fig. 5), and per-participant word accuracy sits
+//! around 90 % (Fig. 6, the product of 90 % assumed stroke accuracy and the
+//! learned sequence accuracy).
+
+use super::Scale;
+use crate::participant::{LearningCurve, Participant};
+use crate::report::{f1, pct, Table};
+use echowrite_corpus::Lexicon;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The paper's assumed stroke-recognition accuracy for this study.
+pub const ASSUMED_STROKE_ACCURACY: f64 = 0.90;
+
+/// Per-minute recall behaviour during the first 15 minutes of exposure.
+///
+/// Learning the letter→stroke mapping is much faster than motor practice:
+/// a per-minute power law starting at a high slip rate.
+fn recall_curve(p: &Participant) -> LearningCurve {
+    LearningCurve {
+        initial: 0.055 + 0.02 * (p.id as f64 % 3.0),
+        floor: 0.004,
+        rate: 1.1,
+    }
+}
+
+/// Result of one participant's 15-minute study.
+#[derive(Debug, Clone)]
+pub struct StudyResult {
+    /// Participant label.
+    pub name: String,
+    /// Per-minute sequence accuracy, minutes 1..=15.
+    pub minute_accuracy: Vec<f64>,
+    /// Words per minute at the end of the study.
+    pub final_wpm: f64,
+    /// Final word accuracy under the 90 % recognizer assumption.
+    pub final_word_accuracy: f64,
+}
+
+/// Runs the study for the whole cohort.
+pub fn study(scale: Scale) -> Vec<StudyResult> {
+    let lexicon = Lexicon::embedded();
+    let words: Vec<&str> = lexicon.top(300).iter().map(|e| e.word.as_str()).collect();
+
+    Participant::cohort(scale.seed)
+        .iter()
+        .map(|p| {
+            let mut rng = ChaCha8Rng::seed_from_u64(scale.seed ^ (p.id as u64 * 7919));
+            let mut shuffled = words.clone();
+            shuffled.shuffle(&mut rng);
+            let recall = recall_curve(p);
+
+            let mut minute_accuracy = Vec::with_capacity(15);
+            let mut final_wpm = 0.0;
+            let mut word_iter = shuffled.iter().cycle();
+            for minute in 1..=15usize {
+                // Per-stroke writing time shrinks as the mapping becomes
+                // automatic: thinking dominates early minutes. The study
+                // uses pen-and-paper stroke writing, faster than in-air
+                // strokes.
+                let think = 0.24 + 1.1 * (minute as f64).powf(-0.8);
+                let write = 0.85;
+                let per_stroke = think + write;
+                let slip = recall.at(minute);
+
+                let mut seconds = 0.0;
+                let mut written = 0usize;
+                let mut correct = 0usize;
+                while seconds < 60.0 {
+                    let w = word_iter.next().expect("cycle never ends");
+                    let n = w.len();
+                    seconds += n as f64 * per_stroke + 0.4; // word gap
+                    written += 1;
+                    // A word's sequence is correct if no stroke slipped.
+                    let ok = (0..n).all(|_| rng.gen::<f64>() >= slip);
+                    if ok {
+                        correct += 1;
+                    }
+                }
+                minute_accuracy.push(correct as f64 / written as f64);
+                if minute == 15 {
+                    final_wpm = written as f64 * 60.0 / seconds;
+                }
+            }
+            // Smooth the per-minute accuracy over adjacent minutes the way
+            // a per-minute moving tally would.
+            let smoothed = echowrite_dsp::filters::moving_average(&minute_accuracy, 3);
+            let final_word_accuracy = ASSUMED_STROKE_ACCURACY * smoothed[14];
+            StudyResult {
+                name: p.name.clone(),
+                minute_accuracy: smoothed,
+                final_wpm,
+                final_word_accuracy,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 4 — mean stroke-sequence accuracy per minute of practice.
+pub fn fig4(scale: Scale) -> Table {
+    let results = study(scale);
+    let mut t = Table::new(
+        "Fig. 4 — stroke-sequence writing accuracy vs practice minute (mean over participants)",
+        &["minute", "accuracy"],
+    );
+    for m in 0..15 {
+        let mean: f64 =
+            results.iter().map(|r| r.minute_accuracy[m]).sum::<f64>() / results.len() as f64;
+        t.push_row(vec![(m + 1).to_string(), pct(mean)]);
+    }
+    t
+}
+
+/// Fig. 5 — words-input speed per participant after 15 minutes.
+pub fn fig5(scale: Scale) -> Table {
+    let results = study(scale);
+    let mut t = Table::new(
+        "Fig. 5 — words-input speed after 15 min practice (paper: ≈11 WPM)",
+        &["participant", "WPM"],
+    );
+    for r in &results {
+        t.push_row(vec![r.name.clone(), f1(r.final_wpm)]);
+    }
+    let mean = results.iter().map(|r| r.final_wpm).sum::<f64>() / results.len() as f64;
+    t.push_row(vec!["mean".into(), f1(mean)]);
+    t
+}
+
+/// Fig. 6 — word accuracy per participant under the 90 % stroke-recognition
+/// assumption.
+pub fn fig6(scale: Scale) -> Table {
+    let results = study(scale);
+    let mut t = Table::new(
+        "Fig. 6 — word accuracy after 15 min (×90% assumed stroke accuracy; paper: ≈90%)",
+        &["participant", "word accuracy"],
+    );
+    for r in &results {
+        t.push_row(vec![r.name.clone(), pct(r.final_word_accuracy)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_improves_and_reaches_high_nineties() {
+        let results = study(Scale::quick());
+        let mean_at = |m: usize| {
+            results.iter().map(|r| r.minute_accuracy[m]).sum::<f64>() / results.len() as f64
+        };
+        for r in &results {
+            assert_eq!(r.minute_accuracy.len(), 15);
+        }
+        let early = mean_at(0);
+        let late = mean_at(14);
+        assert!(late > early, "cohort: {early} → {late}");
+        assert!(late > 0.95, "final accuracy {late} (paper ≈98%)");
+        assert!(early < 0.93, "starts too perfect: {early}");
+    }
+
+    #[test]
+    fn final_speed_near_paper_value() {
+        let results = study(Scale::quick());
+        let mean: f64 = results.iter().map(|r| r.final_wpm).sum::<f64>() / results.len() as f64;
+        assert!((9.0..14.0).contains(&mean), "mean WPM {mean} (paper ≈11)");
+    }
+
+    #[test]
+    fn word_accuracy_is_capped_by_assumption() {
+        for r in study(Scale::quick()) {
+            assert!(r.final_word_accuracy <= ASSUMED_STROKE_ACCURACY);
+            assert!(r.final_word_accuracy > 0.8, "{}", r.final_word_accuracy);
+        }
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let a = study(Scale::quick());
+        let b = study(Scale::quick());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.minute_accuracy, y.minute_accuracy);
+            assert_eq!(x.final_wpm, y.final_wpm);
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let t = fig4(Scale::quick());
+        assert_eq!(t.rows.len(), 15);
+        let t5 = fig5(Scale::quick());
+        assert_eq!(t5.rows.len(), 7); // 6 participants + mean
+        let t6 = fig6(Scale::quick());
+        assert_eq!(t6.rows.len(), 6);
+    }
+}

@@ -1,0 +1,124 @@
+//! One runner per paper figure/table.
+//!
+//! Every runner takes a [`Scale`] so tests can run reduced repetitions
+//! while the `repro` binary and benches run the paper-scale protocol, and
+//! returns typed results that the integration tests assert *shape*
+//! properties on (orderings, ranges, crossovers) rather than parsing text.
+
+pub mod ablations;
+pub mod entry;
+pub mod learnability;
+pub mod strokes;
+pub mod system;
+pub mod words;
+
+use crate::report::Table;
+
+/// Repetition scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Repetitions per condition (paper: 30).
+    pub reps: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The paper's protocol scale (30 repetitions per condition).
+    pub fn full() -> Self {
+        Scale { reps: 30, seed: 2019 }
+    }
+
+    /// A fast scale for unit/integration tests.
+    pub fn quick() -> Self {
+        Scale { reps: 3, seed: 2019 }
+    }
+
+    /// A mid scale for benches.
+    pub fn medium() -> Self {
+        Scale { reps: 10, seed: 2019 }
+    }
+}
+
+/// Runs the experiment(s) selected by name (`fig4` … `fig21`, `table1`,
+/// or `all`) and prints their tables to stdout.
+///
+/// Unknown names print the list of available experiments.
+pub fn run_by_name(name: &str) {
+    let scale = Scale::full();
+    let tables: Vec<Table> = match name {
+        "fig4" => vec![learnability::fig4(scale)],
+        "fig5" => vec![learnability::fig5(scale)],
+        "fig6" => vec![learnability::fig6(scale)],
+        "table1" => vec![words::table1()],
+        "fig9" => vec![strokes::fig9()],
+        "fig10" => vec![strokes::fig10(scale)],
+        "fig11" => vec![strokes::fig11(scale)],
+        "fig12" => vec![strokes::fig12(scale)],
+        "fig13" => vec![strokes::fig13(scale)],
+        "fig14" => vec![words::fig14(scale)],
+        "fig15" => vec![words::fig15(scale)],
+        "fig16" => vec![entry::fig16(scale)],
+        "fig17" => vec![entry::fig17(scale)],
+        "fig18" => vec![entry::fig18(scale)],
+        "fig19" => vec![system::fig19(scale)],
+        "fig20" => vec![system::fig20()],
+        "fig21" => vec![system::fig21(scale)],
+        "ablations" => vec![
+            ablations::ablation_frontend(scale),
+            ablations::ablation_burst(scale),
+            ablations::ablation_topk(scale),
+            ablations::ablation_full_edit(scale),
+        ],
+        "all" => {
+            let mut all = vec![
+                learnability::fig4(scale),
+                learnability::fig5(scale),
+                learnability::fig6(scale),
+                words::table1(),
+                strokes::fig9(),
+                strokes::fig10(scale),
+                strokes::fig11(scale),
+                strokes::fig12(scale),
+                strokes::fig13(scale),
+                words::fig14(scale),
+                words::fig15(scale),
+                entry::fig16(scale),
+                entry::fig17(scale),
+                entry::fig18(scale),
+                system::fig19(scale),
+                system::fig20(),
+                system::fig21(scale),
+            ];
+            all.shrink_to_fit();
+            all
+        }
+        other => {
+            eprintln!(
+                "unknown experiment {other:?}; available: fig4 fig5 fig6 table1 fig9 fig10 \
+                 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21 ablations all"
+            );
+            return;
+        }
+    };
+    for t in tables {
+        println!("{t}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales() {
+        assert_eq!(Scale::full().reps, 30);
+        assert!(Scale::quick().reps < Scale::medium().reps);
+        assert!(Scale::medium().reps < Scale::full().reps);
+    }
+
+    #[test]
+    fn unknown_name_does_not_panic() {
+        run_by_name("not-an-experiment");
+    }
+}

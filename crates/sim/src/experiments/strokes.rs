@@ -1,0 +1,337 @@
+//! Stroke-recognition experiments (paper Sec. V-A, Figs. 9–13).
+//!
+//! The paper's protocol: 6 participants × 6 strokes × 30 repetitions in
+//! each of 3 rooms on the phone (3 240 instances), plus offline processing
+//! of the same protocol recorded with a smartwatch. Each trial here renders
+//! a full audio trace through the physical channel and runs the real
+//! recognition engine.
+
+use super::Scale;
+use crate::calibrate::stroke_trial;
+use crate::participant::Participant;
+use crate::report::{pct, Table};
+use echowrite::EchoWrite;
+use echowrite_dtw::ConfusionMatrix;
+use echowrite_gesture::{Stroke, Writer, WriterParams};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One recorded trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    /// Device name.
+    pub device: String,
+    /// Environment name.
+    pub environment: String,
+    /// Participant id (1-based).
+    pub participant: usize,
+    /// The intended stroke.
+    pub stroke: Stroke,
+    /// The recognized stroke, `None` when no segment was detected.
+    pub observed: Option<Stroke>,
+}
+
+/// All trials of one protocol run.
+#[derive(Debug, Clone, Default)]
+pub struct StrokeTrials {
+    /// Individual records.
+    pub records: Vec<TrialRecord>,
+}
+
+impl StrokeTrials {
+    /// Confusion matrix over a filtered subset; misses count as errors
+    /// recorded against S1 (they would surface as a failed entry).
+    pub fn confusion<F>(&self, filter: F) -> ConfusionMatrix
+    where
+        F: Fn(&TrialRecord) -> bool,
+    {
+        let mut m = ConfusionMatrix::new();
+        for r in self.records.iter().filter(|r| filter(r)) {
+            let observed = r.observed.unwrap_or(if r.stroke == Stroke::S1 {
+                Stroke::S2
+            } else {
+                Stroke::S1
+            });
+            m.record(r.stroke, observed);
+        }
+        m
+    }
+
+    /// Overall accuracy over a filtered subset (`None` if empty).
+    pub fn accuracy<F>(&self, filter: F) -> Option<f64>
+    where
+        F: Fn(&TrialRecord) -> bool,
+    {
+        self.confusion(filter).overall_accuracy()
+    }
+}
+
+/// The engine shared by all stroke experiments.
+pub fn shared_engine() -> &'static EchoWrite {
+    static E: OnceLock<EchoWrite> = OnceLock::new();
+    E.get_or_init(EchoWrite::new)
+}
+
+/// Runs (or returns the cached) full trial protocol at a scale: phone in
+/// all three rooms, watch in the meeting room.
+/// Cache of trial runs keyed by `(reps, seed)`.
+type TrialCache = OnceLock<Mutex<HashMap<(usize, u64), Arc<StrokeTrials>>>>;
+
+pub fn run_trials(scale: Scale) -> Arc<StrokeTrials> {
+    static CACHE: TrialCache = TrialCache::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().expect("cache lock").get(&(scale.reps, scale.seed)) {
+        return Arc::clone(hit);
+    }
+
+    let engine = shared_engine();
+    let cohort = Participant::cohort(scale.seed);
+    let mut conditions: Vec<(DeviceProfile, EnvironmentProfile)> = EnvironmentProfile::all_paper_rooms()
+        .into_iter()
+        .map(|env| (DeviceProfile::mate9(), env))
+        .collect();
+    conditions.push((DeviceProfile::watch2(), EnvironmentProfile::meeting_room()));
+
+    // Expand every (condition, participant, stroke, rep) into a job.
+    struct Job {
+        device: DeviceProfile,
+        environment: EnvironmentProfile,
+        participant: usize,
+        writer: WriterParams,
+        stroke: Stroke,
+        seed: u64,
+    }
+    let mut jobs = Vec::new();
+    for (ci, (device, environment)) in conditions.iter().enumerate() {
+        for p in &cohort {
+            for stroke in Stroke::ALL {
+                for rep in 0..scale.reps {
+                    let seed = scale
+                        .seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add((ci as u64) << 40)
+                        .wrapping_add((p.id as u64) << 32)
+                        .wrapping_add((stroke.index() as u64) << 16)
+                        .wrapping_add(rep as u64);
+                    jobs.push(Job {
+                        device: device.clone(),
+                        environment: environment.clone(),
+                        participant: p.id,
+                        writer: p.writer.clone(),
+                        stroke,
+                        seed,
+                    });
+                }
+            }
+        }
+    }
+
+    // Fan the jobs across threads; each trial is independent.
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let chunk = jobs.len().div_ceil(workers.max(1));
+    let mut records: Vec<TrialRecord> = Vec::with_capacity(jobs.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .chunks(chunk.max(1))
+            .map(|chunk_jobs| {
+                scope.spawn(move || {
+                    chunk_jobs
+                        .iter()
+                        .map(|j| TrialRecord {
+                            device: j.device.name.clone(),
+                            environment: j.environment.name.clone(),
+                            participant: j.participant,
+                            stroke: j.stroke,
+                            observed: stroke_trial(
+                                engine,
+                                &j.writer,
+                                &j.device,
+                                &j.environment,
+                                j.stroke,
+                                j.seed,
+                            ),
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            records.extend(h.join().expect("trial worker panicked"));
+        }
+    });
+
+    let trials = Arc::new(StrokeTrials { records });
+    cache
+        .lock()
+        .expect("cache lock")
+        .insert((scale.reps, scale.seed), Arc::clone(&trials));
+    trials
+}
+
+/// Fig. 9 — the six intrinsic Doppler-profile templates (resampled to 16
+/// points for display).
+pub fn fig9() -> Table {
+    let engine = shared_engine();
+    let mut t = Table::new(
+        "Fig. 9 — intrinsic Doppler-shift templates per stroke (Hz, 16-point resample)",
+        &["stroke", "profile"],
+    );
+    for (s, tmpl) in engine.classifier().templates().iter() {
+        let r = echowrite_dsp::util::resample_linear(tmpl, 16);
+        let cells: Vec<String> = r.iter().map(|v| format!("{v:.0}")).collect();
+        t.push_row(vec![s.to_string(), cells.join(" ")]);
+    }
+    t
+}
+
+/// Fig. 10 — segmentation of a stroke series under interference: detected
+/// spans versus ground truth.
+pub fn fig10(scale: Scale) -> Table {
+    let engine = shared_engine();
+    let strokes = [Stroke::S4, Stroke::S5, Stroke::S2, Stroke::S6, Stroke::S3];
+    let perf = Writer::new(WriterParams::nominal(), scale.seed).write_sequence(&strokes);
+    let scene = Scene::new(
+        DeviceProfile::mate9(),
+        EnvironmentProfile::resting_zone(),
+        scale.seed,
+    );
+    let mic = scene.render(&perf.trajectory);
+    let analysis = engine.pipeline().analyze(&mic);
+    let hop = engine.config().stft.hop_seconds();
+
+    let mut t = Table::new(
+        "Fig. 10 — stroke segmentation under interference (resting zone)",
+        &["stroke", "truth (s)", "detected (s)"],
+    );
+    for (i, span) in perf.spans.iter().enumerate() {
+        let detected = analysis
+            .segments
+            .get(i)
+            .map(|seg| format!("{:.2}–{:.2}", seg.start as f64 * hop, seg.end as f64 * hop))
+            .unwrap_or_else(|| "—".to_string());
+        t.push_row(vec![
+            span.stroke.to_string(),
+            format!("{:.2}–{:.2}", span.start, span.end),
+            detected,
+        ]);
+    }
+    t.push_row(vec![
+        "total".into(),
+        format!("{} strokes", perf.spans.len()),
+        format!("{} segments", analysis.segments.len()),
+    ]);
+    t
+}
+
+/// Fig. 11 — overall stroke accuracy: smartphone vs smartwatch
+/// (paper: 94.7 % vs 94.4 %).
+pub fn fig11(scale: Scale) -> Table {
+    let trials = run_trials(scale);
+    let mut t = Table::new(
+        "Fig. 11 — stroke recognition accuracy per device (paper: phone 94.7%, watch 94.4%)",
+        &["device", "accuracy"],
+    );
+    for device in ["Huawei Mate 9", "Huawei Watch 2"] {
+        // Compare on the common condition (meeting room).
+        let acc = trials
+            .accuracy(|r| r.device == device && r.environment == "Meeting room")
+            .unwrap_or(0.0);
+        t.push_row(vec![device.to_string(), pct(acc)]);
+    }
+    t
+}
+
+/// Fig. 12 — per-stroke accuracy in each environment
+/// (paper means: 94.4 / 94.9 / 93.2 %).
+pub fn fig12(scale: Scale) -> Table {
+    let trials = run_trials(scale);
+    let mut t = Table::new(
+        "Fig. 12 — per-stroke accuracy per environment (phone)",
+        &["environment", "S1", "S2", "S3", "S4", "S5", "S6", "mean"],
+    );
+    for env in ["Meeting room", "Lab area", "Resting zone"] {
+        let m = trials.confusion(|r| r.device == "Huawei Mate 9" && r.environment == env);
+        let mut row = vec![env.to_string()];
+        for s in Stroke::ALL {
+            row.push(pct(m.class_accuracy(s).unwrap_or(0.0)));
+        }
+        row.push(pct(m.overall_accuracy().unwrap_or(0.0)));
+        t.push_row(row);
+    }
+    t
+}
+
+/// Fig. 13 — per-participant accuracy over all rooms
+/// (paper: 93.0–95.6 %, σ ≈ 1.1 %).
+pub fn fig13(scale: Scale) -> Table {
+    let trials = run_trials(scale);
+    let mut t = Table::new(
+        "Fig. 13 — per-participant stroke accuracy (phone, all rooms)",
+        &["participant", "accuracy"],
+    );
+    let mut accs = Vec::new();
+    for pid in 1..=6usize {
+        let acc = trials
+            .accuracy(|r| r.device == "Huawei Mate 9" && r.participant == pid)
+            .unwrap_or(0.0);
+        accs.push(acc);
+        t.push_row(vec![format!("P{pid}"), pct(acc)]);
+    }
+    let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+    let sd = (accs.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / accs.len() as f64).sqrt();
+    t.push_row(vec!["mean ± σ".into(), format!("{} ± {}", pct(mean), pct(sd))]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale { reps: 2, seed: 77 }
+    }
+
+    #[test]
+    fn trials_cover_all_conditions() {
+        let trials = run_trials(tiny());
+        // 3 phone rooms + 1 watch room, 6 participants, 6 strokes, 2 reps.
+        assert_eq!(trials.records.len(), 4 * 6 * 6 * 2);
+        assert!(trials.records.iter().any(|r| r.device == "Huawei Watch 2"));
+        assert!(trials.records.iter().any(|r| r.environment == "Resting zone"));
+    }
+
+    #[test]
+    fn trials_are_cached() {
+        let a = run_trials(tiny());
+        let b = run_trials(tiny());
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn overall_accuracy_is_papers_ballpark() {
+        let trials = run_trials(tiny());
+        let acc = trials
+            .accuracy(|r| r.device == "Huawei Mate 9" && r.environment != "Resting zone")
+            .unwrap();
+        assert!(acc > 0.80, "clean-room accuracy {acc}");
+    }
+
+    #[test]
+    fn fig_tables_have_expected_shapes() {
+        assert_eq!(fig9().rows.len(), 6);
+        let f11 = fig11(tiny());
+        assert_eq!(f11.rows.len(), 2);
+        let f12 = fig12(tiny());
+        assert_eq!(f12.rows.len(), 3);
+        assert_eq!(f12.headers.len(), 8);
+        let f13 = fig13(tiny());
+        assert_eq!(f13.rows.len(), 7);
+    }
+
+    #[test]
+    fn fig10_reports_each_truth_stroke() {
+        let t = fig10(tiny());
+        assert_eq!(t.rows.len(), 6); // 5 strokes + total row
+    }
+}

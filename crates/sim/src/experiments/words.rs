@@ -1,0 +1,280 @@
+//! Word-recognition experiments (paper Sec. V-B1/2, Table I, Figs. 14–15).
+//!
+//! Participants write each of the ten Table-I words 30 times; the decoder
+//! reports its top-5 candidates. Fig. 14 reports top-k accuracy per word
+//! (paper averages: 73.2 / 85.4 / 94.9 / 95.1 / 95.7 % for k = 1..5);
+//! Fig. 15 ablates stroke correction (top-5 averages 88.9 % with vs 84.5 %
+//! without).
+
+use super::strokes::shared_engine;
+use super::Scale;
+use crate::calibrate::calibrate;
+use crate::report::{pct, Table};
+use echowrite_corpus::table1_words;
+use echowrite_gesture::{InputScheme, Writer, WriterParams};
+use echowrite_lang::{CorrectionRules, WordDecoder};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One word-entry trial: candidate ranks with and without correction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WordTrial {
+    /// The intended word.
+    pub word: String,
+    /// 0-based rank among candidates with correction (None = not listed).
+    pub rank_corrected: Option<usize>,
+    /// 0-based rank without correction.
+    pub rank_plain: Option<usize>,
+    /// 0-based rank under general edit-distance-1 decoding (ablation A4).
+    pub rank_full_edit: Option<usize>,
+}
+
+/// All word trials of one run.
+#[derive(Debug, Clone, Default)]
+pub struct WordTrials {
+    /// Individual records.
+    pub trials: Vec<WordTrial>,
+}
+
+impl WordTrials {
+    /// Top-k accuracy for a word (or all words when `word` is `None`).
+    pub fn top_k_accuracy(&self, word: Option<&str>, k: usize, corrected: bool) -> f64 {
+        self.top_k_by(word, k, |t| if corrected { t.rank_corrected } else { t.rank_plain })
+    }
+
+    /// Top-k accuracy under general edit-distance-1 decoding.
+    pub fn top_k_full_edit(&self, word: Option<&str>, k: usize) -> f64 {
+        self.top_k_by(word, k, |t| t.rank_full_edit)
+    }
+
+    fn top_k_by<F>(&self, word: Option<&str>, k: usize, rank: F) -> f64
+    where
+        F: Fn(&WordTrial) -> Option<usize>,
+    {
+        let subset: Vec<&WordTrial> = self
+            .trials
+            .iter()
+            .filter(|t| word.map(|w| t.word == w).unwrap_or(true))
+            .collect();
+        if subset.is_empty() {
+            return 0.0;
+        }
+        let hits = subset
+            .iter()
+            .filter(|t| rank(t).map(|r| r < k).unwrap_or(false))
+            .count();
+        hits as f64 / subset.len() as f64
+    }
+}
+
+/// Runs (or returns cached) word trials: each Table-I word written `reps`
+/// times through the full audio pipeline, decoded twice (with and without
+/// stroke correction) from the same recognized strokes.
+/// Cache of word-trial runs keyed by `(reps, seed)`.
+type WordTrialCache = OnceLock<Mutex<HashMap<(usize, u64), Arc<WordTrials>>>>;
+
+pub fn run_word_trials(scale: Scale) -> Arc<WordTrials> {
+    static CACHE: WordTrialCache = WordTrialCache::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().expect("lock").get(&(scale.reps, scale.seed)) {
+        return Arc::clone(hit);
+    }
+
+    let engine = shared_engine();
+    // Calibrate the confusion prior once (the paper's P(s|l) source).
+    let cal = calibrate(engine, scale.reps.clamp(3, 12) as u64, scale.seed);
+    let decoder_corrected = WordDecoder::new(engine.decoder().dictionary().clone())
+        .with_confusion(cal.confusion.clone())
+        .with_rules(cal.rules.clone())
+        .with_top_k(5);
+    let decoder_plain = WordDecoder::new(engine.decoder().dictionary().clone())
+        .with_confusion(cal.confusion.clone())
+        .with_rules(CorrectionRules::none())
+        .with_top_k(5);
+
+    let scheme = InputScheme::paper();
+    let words = table1_words();
+    struct Job {
+        word: String,
+        seed: u64,
+    }
+    let mut jobs = Vec::new();
+    for (wi, w) in words.iter().enumerate() {
+        for rep in 0..scale.reps {
+            jobs.push(Job {
+                word: w.clone(),
+                seed: scale
+                    .seed
+                    .wrapping_mul(0xD134_2543_DE82_EF95)
+                    .wrapping_add((wi as u64) << 24)
+                    .wrapping_add(rep as u64),
+            });
+        }
+    }
+
+    let device = DeviceProfile::mate9();
+    let environment = EnvironmentProfile::meeting_room();
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let chunk = jobs.len().div_ceil(workers.max(1));
+    let mut trials = Vec::with_capacity(jobs.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .chunks(chunk.max(1))
+            .map(|chunk_jobs| {
+                let scheme = &scheme;
+                let decoder_corrected = &decoder_corrected;
+                let decoder_plain = &decoder_plain;
+                let device = &device;
+                let environment = &environment;
+                scope.spawn(move || {
+                    chunk_jobs
+                        .iter()
+                        .map(|j| {
+                            let seq = scheme.encode_word(&j.word).expect("table-1 words are clean");
+                            let perf =
+                                Writer::new(WriterParams::nominal(), j.seed).write_sequence(&seq);
+                            let scene =
+                                Scene::new(device.clone(), environment.clone(), j.seed ^ 0x5bd1e995);
+                            let mic = scene.render(&perf.trajectory);
+                            let rec = engine.recognize_strokes(&mic);
+                            let observed = rec.strokes();
+                            let rank = |d: &WordDecoder| {
+                                d.decode(&observed)
+                                    .iter()
+                                    .position(|c| c.word == j.word)
+                            };
+                            let rank_full_edit = decoder_corrected
+                                .decode_full_edit(&observed, 0.05)
+                                .iter()
+                                .position(|c| c.word == j.word);
+                            WordTrial {
+                                word: j.word.clone(),
+                                rank_corrected: rank(decoder_corrected),
+                                rank_plain: rank(decoder_plain),
+                                rank_full_edit,
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            trials.extend(h.join().expect("word worker panicked"));
+        }
+    });
+
+    let result = Arc::new(WordTrials { trials });
+    cache
+        .lock()
+        .expect("lock")
+        .insert((scale.reps, scale.seed), Arc::clone(&result));
+    result
+}
+
+/// Table I — the ten evaluation words with their stroke sequences.
+pub fn table1() -> Table {
+    let scheme = InputScheme::paper();
+    let mut t = Table::new(
+        "Table I — selected words (short/medium/long, covering all six strokes)",
+        &["word", "length", "stroke sequence"],
+    );
+    for w in table1_words() {
+        let seq = scheme.encode_word(&w).expect("clean words");
+        t.push_row(vec![
+            w.clone(),
+            w.len().to_string(),
+            echowrite_gesture::stroke::format_sequence(&seq),
+        ]);
+    }
+    t
+}
+
+/// Fig. 14 — top-1..5 accuracy per word, with stroke correction.
+pub fn fig14(scale: Scale) -> Table {
+    let trials = run_word_trials(scale);
+    let mut t = Table::new(
+        "Fig. 14 — top-k accuracy per word (with correction; paper avgs 73/85/95/95/96%)",
+        &["word", "top-1", "top-2", "top-3", "top-4", "top-5"],
+    );
+    for w in table1_words() {
+        let mut row = vec![w.clone()];
+        for k in 1..=5 {
+            row.push(pct(trials.top_k_accuracy(Some(&w), k, true)));
+        }
+        t.push_row(row);
+    }
+    let mut mean_row = vec!["mean".to_string()];
+    for k in 1..=5 {
+        mean_row.push(pct(trials.top_k_accuracy(None, k, true)));
+    }
+    t.push_row(mean_row);
+    t
+}
+
+/// Fig. 15 — average top-k accuracy with vs without stroke correction
+/// (paper: 88.9 % vs 84.5 % top-5 average).
+pub fn fig15(scale: Scale) -> Table {
+    let trials = run_word_trials(scale);
+    let mut t = Table::new(
+        "Fig. 15 — top-k accuracy with vs without stroke correction",
+        &["k", "with correction", "without correction"],
+    );
+    for k in 1..=5 {
+        t.push_row(vec![
+            k.to_string(),
+            pct(trials.top_k_accuracy(None, k, true)),
+            pct(trials.top_k_accuracy(None, k, false)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale { reps: 2, seed: 42 }
+    }
+
+    #[test]
+    fn table1_lists_ten_words() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 10);
+    }
+
+    #[test]
+    fn trials_cover_words_and_cache() {
+        let a = run_word_trials(tiny());
+        assert_eq!(a.trials.len(), 10 * 2);
+        let b = run_word_trials(tiny());
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn top_k_accuracy_monotone_in_k() {
+        let trials = run_word_trials(tiny());
+        let mut prev = 0.0;
+        for k in 1..=5 {
+            let acc = trials.top_k_accuracy(None, k, true);
+            assert!(acc >= prev, "top-{k} {acc} < top-{} {prev}", k - 1);
+            prev = acc;
+        }
+        assert!(prev > 0.5, "top-5 accuracy too low: {prev}");
+    }
+
+    #[test]
+    fn correction_never_hurts_on_average() {
+        let trials = run_word_trials(tiny());
+        let with = trials.top_k_accuracy(None, 5, true);
+        let without = trials.top_k_accuracy(None, 5, false);
+        assert!(with >= without, "correction hurt: {with} < {without}");
+    }
+
+    #[test]
+    fn figures_render() {
+        assert_eq!(fig14(tiny()).rows.len(), 11);
+        assert_eq!(fig15(tiny()).rows.len(), 5);
+    }
+}

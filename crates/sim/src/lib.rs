@@ -1,0 +1,25 @@
+//! Simulation harness reproducing every experiment in the EchoWrite paper.
+//!
+//! The paper evaluates with six human participants, two devices, and three
+//! rooms; this crate replaces the humans with seeded [`Participant`] models
+//! (per-user writing variability plus a power-law-of-practice learning
+//! curve), reuses the physical channel from `echowrite-synth`, and drives
+//! the real recognition engine from `echowrite`.
+//!
+//! One runner per paper figure/table lives in [`experiments`]; the `repro`
+//! binary in the workspace root prints them all. Results come back as typed
+//! structs so integration tests and benches can assert on the *shape* of
+//! each result (who wins, by roughly what factor) rather than parsing text.
+
+pub mod baseline;
+pub mod calibrate;
+pub mod experiments;
+pub mod metrics;
+pub mod participant;
+pub mod power;
+pub mod report;
+pub mod session;
+
+pub use baseline::SmartwatchKeyboard;
+pub use participant::{LearningCurve, Participant};
+pub use report::Table;

@@ -1,0 +1,123 @@
+//! Standard text-entry evaluation metrics.
+//!
+//! The paper reports WPM/LPM and top-k accuracy; the HCI community's
+//! standard companions are the **MSD error rate** (minimum string distance
+//! between presented and transcribed text, normalized by the larger
+//! length) and **KSPC** (keystrokes per character — here, strokes per
+//! character, the input-efficiency of the stroke scheme itself). These
+//! make the reproduction's sessions comparable to the broader text-entry
+//! literature.
+
+use echowrite_gesture::InputScheme;
+
+/// Minimum string distance (Levenshtein over words) between two word
+/// sequences.
+pub fn word_msd(presented: &[&str], transcribed: &[&str]) -> usize {
+    let (n, m) = (presented.len(), transcribed.len());
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut cur = vec![0usize; m + 1];
+    for i in 1..=n {
+        cur[0] = i;
+        for j in 1..=m {
+            let sub = prev[j - 1] + usize::from(presented[i - 1] != transcribed[j - 1]);
+            cur[j] = sub.min(prev[j] + 1).min(cur[j - 1] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// MSD error rate: `MSD / max(|presented|, |transcribed|)`, in `[0, 1]`.
+///
+/// Returns 0 when both texts are empty.
+pub fn msd_error_rate(presented: &[&str], transcribed: &[&str]) -> f64 {
+    let denom = presented.len().max(transcribed.len());
+    if denom == 0 {
+        return 0.0;
+    }
+    word_msd(presented, transcribed) as f64 / denom as f64
+}
+
+/// Strokes-per-character of a text under an input scheme: the stroke-count
+/// cost of entering it divided by its character count (including one
+/// "space" gesture per word boundary, charged as 1 like a keyboard's space
+/// bar). The letter→stroke scheme maps each letter to exactly one stroke,
+/// so the intrinsic SPC is 1; corrections and retries push the *observed*
+/// SPC above it.
+pub fn strokes_per_character(words: &[&str], scheme: &InputScheme) -> f64 {
+    let mut strokes = 0usize;
+    let mut chars = 0usize;
+    for (i, w) in words.iter().enumerate() {
+        match scheme.encode_word(w) {
+            Ok(seq) => strokes += seq.len(),
+            Err(_) => continue,
+        }
+        chars += w.len();
+        if i + 1 < words.len() {
+            strokes += 1; // word-boundary gesture
+            chars += 1; // the space it produces
+        }
+    }
+    if chars == 0 {
+        0.0
+    } else {
+        strokes as f64 / chars as f64
+    }
+}
+
+/// Observed strokes-per-character when `attempted_strokes` were actually
+/// written (including rewrites) to produce `chars` characters of committed
+/// text.
+pub fn observed_kspc(attempted_strokes: usize, chars: usize) -> f64 {
+    if chars == 0 {
+        0.0
+    } else {
+        attempted_strokes as f64 / chars as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msd_basics() {
+        assert_eq!(word_msd(&[], &[]), 0);
+        assert_eq!(word_msd(&["a"], &[]), 1);
+        assert_eq!(word_msd(&["the", "people"], &["the", "people"]), 0);
+        assert_eq!(word_msd(&["the", "people"], &["the", "purple"]), 1);
+        // Insertion and deletion each cost one.
+        assert_eq!(word_msd(&["come", "and", "get"], &["come", "get"]), 1);
+        assert_eq!(word_msd(&["come", "get"], &["come", "and", "get"]), 1);
+    }
+
+    #[test]
+    fn msd_error_rate_normalized() {
+        assert_eq!(msd_error_rate(&[], &[]), 0.0);
+        assert_eq!(msd_error_rate(&["a", "b"], &["a", "b"]), 0.0);
+        assert_eq!(msd_error_rate(&["a", "b"], &["a", "c"]), 0.5);
+        assert_eq!(msd_error_rate(&["a"], &["b", "c"]), 1.0);
+        // The session example's observed failure mode: one word split into
+        // two wrong words = 1 substitution + 1 insertion over 4 targets.
+        let presented = ["come", "and", "get", "it"];
+        let transcribed = ["some", "i", "i", "get", "it"];
+        let rate = msd_error_rate(&presented, &transcribed);
+        assert!((rate - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intrinsic_spc_is_one() {
+        let scheme = InputScheme::paper();
+        let spc = strokes_per_character(&["the", "people"], &scheme);
+        assert!((spc - 1.0).abs() < 1e-12, "letter↔stroke is 1:1, got {spc}");
+        assert_eq!(strokes_per_character(&[], &scheme), 0.0);
+    }
+
+    #[test]
+    fn rewrites_raise_observed_kspc() {
+        // Entering 10 characters with one full 5-stroke rewrite.
+        let kspc = observed_kspc(15, 10);
+        assert!((kspc - 1.5).abs() < 1e-12);
+        assert_eq!(observed_kspc(5, 0), 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Battery and CPU models (Figs. 20–21).
+//!
+//! The paper's Fig. 20 watches the battery level fall from 100 % to 87 %
+//! over 30 minutes of continuous operation (≈ 3 % per 5 minutes, ≈ 2.8 h to
+//! empty) and Fig. 21 samples the CPU share during continuous recognition
+//! (9.5–25.6 %, mean 15.2 %, σ 2.3 %). Neither is an algorithmic result:
+//! they are device-level consequences of running the pipeline continuously,
+//! so they are modelled here as a duty-cycle energy model and a
+//! workload-driven load model whose *work term* is the genuinely measured
+//! per-stage running time of this implementation, scaled by a documented
+//! desktop→phone factor.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Duty-cycle battery model for a phone running EchoWrite continuously.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatteryModel {
+    /// Screen + OS baseline drain, percent per minute.
+    pub base_pct_per_min: f64,
+    /// Continuous 20 kHz tone playback drain, percent per minute.
+    pub speaker_pct_per_min: f64,
+    /// CPU drain at 100 % load, percent per minute.
+    pub cpu_pct_per_min_full: f64,
+}
+
+impl BatteryModel {
+    /// A Mate 9–class phone, calibrated to the paper's Fig. 20 headline:
+    /// 100 % → 87 % after 30 minutes at ≈ 15 % CPU load.
+    ///
+    /// (The paper's prose also quotes "3 % every 5 minutes" and "2.8 hours"
+    /// to empty, which is internally inconsistent with its own 13 %-per-
+    /// 30-min plot; this model matches the plotted figure.)
+    pub fn mate9() -> Self {
+        BatteryModel {
+            base_pct_per_min: 0.175,
+            speaker_pct_per_min: 0.065,
+            cpu_pct_per_min_full: 1.28,
+        }
+    }
+
+    /// Drain rate in percent per minute at a given CPU load (0–1).
+    pub fn drain_rate(&self, cpu_load: f64) -> f64 {
+        self.base_pct_per_min + self.speaker_pct_per_min + self.cpu_pct_per_min_full * cpu_load.clamp(0.0, 1.0)
+    }
+
+    /// Battery level (percent) after running for `minutes` at `cpu_load`,
+    /// starting from 100 %.
+    pub fn level_after(&self, minutes: f64, cpu_load: f64) -> f64 {
+        (100.0 - self.drain_rate(cpu_load) * minutes).max(0.0)
+    }
+
+    /// Hours until empty at the given load.
+    pub fn hours_to_empty(&self, cpu_load: f64) -> f64 {
+        100.0 / self.drain_rate(cpu_load) / 60.0
+    }
+
+    /// The Fig. 20 series: battery level sampled every `step_min` minutes
+    /// for `total_min` minutes at the given load.
+    pub fn series(&self, total_min: f64, step_min: f64, cpu_load: f64) -> Vec<(f64, f64)> {
+        assert!(step_min > 0.0, "step must be positive");
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while t <= total_min + 1e-9 {
+            out.push((t, self.level_after(t, cpu_load)));
+            t += step_min;
+        }
+        out
+    }
+}
+
+impl Default for BatteryModel {
+    fn default() -> Self {
+        BatteryModel::mate9()
+    }
+}
+
+/// Workload-driven CPU-share model for continuous recognition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Ratio of the paper's phone CPU time to this machine's measured time
+    /// for the same pipeline work (documented desktop→phone factor).
+    pub phone_factor: f64,
+    /// Constant OS/audio-I/O overhead share (0–1).
+    pub overhead: f64,
+    /// Relative σ of per-window load fluctuation (scheduler noise).
+    pub jitter: f64,
+}
+
+impl CpuModel {
+    /// Calibrated to the paper's Mate 9 statistics: this implementation
+    /// measures ≈ 1.2 % of real-time on a desktop core; the paper's phone
+    /// runs the same work at ≈ 15 % CPU share.
+    pub fn mate9() -> Self {
+        CpuModel { phone_factor: 9.0, overhead: 0.04, jitter: 0.12 }
+    }
+
+    /// Converts a measured processing-time fraction (processing seconds per
+    /// second of audio on this machine) into a phone CPU share.
+    pub fn share_from_fraction(&self, measured_fraction: f64) -> f64 {
+        (self.overhead + self.phone_factor * measured_fraction).clamp(0.0, 1.0)
+    }
+
+    /// The Fig. 21 series: per-window CPU shares given measured per-window
+    /// processing fractions, with seeded scheduler jitter.
+    pub fn series(&self, fractions: &[f64], seed: u64) -> Vec<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        fractions
+            .iter()
+            .map(|&f| {
+                let share = self.share_from_fraction(f);
+                let noise = 1.0 + self.jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+                (share * noise).clamp(0.0, 1.0)
+            })
+            .collect()
+    }
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel::mate9()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_matches_paper_figure() {
+        let b = BatteryModel::mate9();
+        // 30-minute level ≈ 87 % (the Fig. 20 headline).
+        let level = b.level_after(30.0, 0.152);
+        assert!((level - 87.0).abs() < 1.0, "level {level}%");
+        // Implied drain per 5 minutes ≈ 2.2 % (the paper's prose rounds
+        // this up to 3 %).
+        let per_5min = b.drain_rate(0.152) * 5.0;
+        assert!((1.8..3.2).contains(&per_5min), "5-min drain {per_5min}%");
+        // Runtime to empty: between the paper's quoted 2.8 h and the value
+        // its own plot implies (≈ 3.8 h).
+        let h = b.hours_to_empty(0.152);
+        assert!((2.5..4.2).contains(&h), "runtime {h} h");
+    }
+
+    #[test]
+    fn higher_load_drains_faster() {
+        let b = BatteryModel::mate9();
+        assert!(b.level_after(30.0, 0.8) < b.level_after(30.0, 0.1));
+        assert!(b.hours_to_empty(0.8) < b.hours_to_empty(0.1));
+    }
+
+    #[test]
+    fn level_never_negative() {
+        let b = BatteryModel::mate9();
+        assert_eq!(b.level_after(10_000.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn series_shape() {
+        let b = BatteryModel::mate9();
+        let s = b.series(30.0, 5.0, 0.15);
+        assert_eq!(s.len(), 7);
+        assert_eq!(s[0], (0.0, 100.0));
+        for w in s.windows(2) {
+            assert!(w[1].1 < w[0].1, "battery must fall monotonically");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn series_rejects_zero_step() {
+        BatteryModel::mate9().series(30.0, 0.0, 0.1);
+    }
+
+    #[test]
+    fn cpu_share_scales_with_work() {
+        let c = CpuModel::mate9();
+        assert!(c.share_from_fraction(0.02) > c.share_from_fraction(0.005));
+        assert!(c.share_from_fraction(0.0) >= c.overhead);
+        assert_eq!(c.share_from_fraction(10.0), 1.0);
+    }
+
+    #[test]
+    fn cpu_series_deterministic_and_jittered() {
+        let c = CpuModel::mate9();
+        let fractions = vec![0.008; 50];
+        let a = c.series(&fractions, 4);
+        let b = c.series(&fractions, 4);
+        assert_eq!(a, b);
+        // Jitter makes values vary around the mean.
+        let mean: f64 = a.iter().sum::<f64>() / a.len() as f64;
+        assert!(a.iter().any(|&v| v > mean) && a.iter().any(|&v| v < mean));
+    }
+}

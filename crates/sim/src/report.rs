@@ -1,0 +1,112 @@
+//! Plain-text result tables for the experiment runners.
+
+use std::fmt;
+
+/// A printable result table (one per paper figure/table).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Title, e.g. `"Fig. 12 — stroke accuracy per environment"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row/header length mismatch");
+        self.rows.push(row);
+    }
+
+    /// Convenience for rows of displayable items.
+    pub fn row<D: fmt::Display>(&mut self, items: &[D]) {
+        self.push_row(items.iter().map(|i| i.to_string()).collect());
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:<w$} |", c, w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(f, &sep)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a float with one decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_formats() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(&["a", "1"]);
+        t.push_row(vec!["bb".into(), "22".into()]);
+        let text = t.to_string();
+        assert!(text.contains("## Demo"));
+        assert!(text.contains("| name |"));
+        assert!(text.contains("| bb   | 22    |") || text.contains("| bb"));
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.944), "94.4%");
+        assert_eq!(f1(7.46), "7.5");
+        assert_eq!(f2(7.456), "7.46");
+    }
+}

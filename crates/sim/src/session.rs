@@ -1,0 +1,369 @@
+//! Text-entry session simulation.
+//!
+//! Figures 16–18 measure words/letters per minute while participants enter
+//! phrase blocks. A session combines:
+//!
+//! - **motion time** from the participant's (practice-adjusted) writer
+//!   parameters — stroke traversal, withdraw, inter-stroke pause,
+//! - **cognition** — per-stroke recall/thinking time that shrinks with
+//!   practice,
+//! - **recognition** — observed strokes sampled from the calibrated
+//!   confusion matrix plus the participant's own memory slips, decoded by
+//!   the real Algorithm-2 decoder,
+//! - **interaction** — candidate selection (auto-commit for top-1, a tap
+//!   for lower ranks), word retries when the target misses the top-k list,
+//!   and 2-gram next-word prediction that lets frequent continuations be
+//!   accepted without writing (the paper's "automatic successive
+//!   associations").
+
+use crate::participant::Participant;
+use echowrite_dtw::ConfusionMatrix;
+use echowrite_gesture::{InputScheme, Stroke};
+use echowrite_lang::{NextWordPredictor, WordDecoder};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Interaction-cost constants of a session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// Candidates shown (paper: 5).
+    pub top_k: usize,
+    /// Effective cost of the top-1 auto-commit (the paper commits after
+    /// 1 s idle, but the user overlaps it with the next word's first
+    /// stroke, so the effective serial cost is smaller).
+    pub commit_time: f64,
+    /// Time to tap a non-top-1 candidate from the list.
+    pub select_time: f64,
+    /// Time to scan suggestions and accept a predicted next word.
+    pub accept_prediction_time: f64,
+    /// How many prediction slots the user actually scans.
+    pub prediction_slots: usize,
+    /// Maximum rewrites when the word misses the candidate list.
+    pub retry_limit: usize,
+    /// Whether 2-gram next-word prediction is enabled.
+    pub enable_prediction: bool,
+}
+
+impl SessionConfig {
+    /// The paper's interaction setting.
+    pub fn paper() -> Self {
+        SessionConfig {
+            top_k: 5,
+            commit_time: 0.35,
+            select_time: 0.8,
+            accept_prediction_time: 0.7,
+            prediction_slots: 2,
+            retry_limit: 1,
+            enable_prediction: true,
+        }
+    }
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig::paper()
+    }
+}
+
+/// Outcome of entering a word list.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SessionOutcome {
+    /// Total session time in seconds.
+    pub seconds: f64,
+    /// Words entered.
+    pub words: usize,
+    /// Letters entered (sum of word lengths).
+    pub letters: usize,
+    /// Words committed incorrectly after exhausting retries.
+    pub word_errors: usize,
+    /// Words accepted directly from next-word prediction.
+    pub predicted_words: usize,
+}
+
+impl SessionOutcome {
+    /// Words per minute.
+    pub fn wpm(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.words as f64 * 60.0 / self.seconds
+        }
+    }
+
+    /// Letters per minute.
+    pub fn lpm(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.letters as f64 * 60.0 / self.seconds
+        }
+    }
+
+    /// Fraction of words committed correctly.
+    pub fn accuracy(&self) -> f64 {
+        if self.words == 0 {
+            1.0
+        } else {
+            1.0 - self.word_errors as f64 / self.words as f64
+        }
+    }
+}
+
+/// A text-entry session simulator bound to decoder + confusion + predictor.
+#[derive(Debug)]
+pub struct TextEntrySession<'a> {
+    decoder: &'a WordDecoder,
+    confusion: &'a ConfusionMatrix,
+    predictor: &'a NextWordPredictor,
+    scheme: InputScheme,
+    config: SessionConfig,
+    rng: ChaCha8Rng,
+}
+
+impl<'a> TextEntrySession<'a> {
+    /// Creates a session simulator.
+    pub fn new(
+        decoder: &'a WordDecoder,
+        confusion: &'a ConfusionMatrix,
+        predictor: &'a NextWordPredictor,
+        config: SessionConfig,
+        seed: u64,
+    ) -> Self {
+        TextEntrySession {
+            decoder,
+            confusion,
+            predictor,
+            scheme: InputScheme::paper(),
+            config,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Samples the observed stroke for a written stroke from the raw
+    /// empirical confusion rates.
+    fn observe(&mut self, truth: Stroke) -> Stroke {
+        let mut u: f64 = self.rng.gen();
+        for observed in Stroke::ALL {
+            let p = self.confusion.rate(observed, truth);
+            if u < p {
+                return observed;
+            }
+            u -= p;
+        }
+        truth
+    }
+
+    /// Time to physically write one stroke at a practice level, seconds.
+    fn stroke_motion_time(&self, participant: &Participant, session: usize, stroke: Stroke) -> f64 {
+        let w = participant.writer_at(session);
+        w.base_duration * stroke.relative_duration() + w.withdraw_duration + w.pause
+    }
+
+    /// Enters one word; returns (seconds, correct, predicted).
+    fn enter_word(
+        &mut self,
+        word: &str,
+        previous: Option<&str>,
+        participant: &Participant,
+        session: usize,
+    ) -> (f64, bool, bool) {
+        // 2-gram prediction: accept the word from suggestions when offered.
+        if self.config.enable_prediction {
+            if let Some(prev) = previous {
+                let preds = self.predictor.predict(prev, self.config.prediction_slots);
+                if preds.iter().any(|p| p == word) {
+                    return (self.config.accept_prediction_time, true, true);
+                }
+            }
+        }
+
+        let truth = match self.scheme.encode_word(word) {
+            Ok(seq) => seq,
+            Err(_) => return (0.0, false, false),
+        };
+        let slip = participant.slip_at(session);
+        let think = participant.think_at(session);
+
+        let mut elapsed = 0.0;
+        for attempt in 0..=self.config.retry_limit {
+            // Write every stroke (with possible memory slips), observing
+            // through the recognizer's confusion statistics.
+            let mut observed = Vec::with_capacity(truth.len());
+            for &s in &truth {
+                elapsed += think + self.stroke_motion_time(participant, session, s);
+                let written = if self.rng.gen::<f64>() < slip {
+                    // A slip writes a uniformly random other stroke.
+                    let mut alt = Stroke::ALL[self.rng.gen_range(0..6)];
+                    if alt == s {
+                        alt = Stroke::ALL[(s.index() + 1) % 6];
+                    }
+                    alt
+                } else {
+                    s
+                };
+                observed.push(self.observe(written));
+            }
+
+            let candidates = self.decoder.decode(&observed);
+            let rank = candidates.iter().position(|c| c.word == word);
+            match rank {
+                Some(0) => {
+                    elapsed += self.config.commit_time;
+                    return (elapsed, true, false);
+                }
+                Some(r) if r < self.config.top_k => {
+                    elapsed += self.config.select_time;
+                    return (elapsed, true, false);
+                }
+                _ => {
+                    // Miss: on the last attempt commit whatever is top-1.
+                    if attempt == self.config.retry_limit {
+                        elapsed += self.config.commit_time;
+                        return (elapsed, false, false);
+                    }
+                    // Otherwise clear and rewrite.
+                    elapsed += self.config.select_time;
+                }
+            }
+        }
+        unreachable!("loop always returns");
+    }
+
+    /// Enters a list of words as one session at a given practice level.
+    pub fn enter_words(
+        &mut self,
+        words: &[&str],
+        participant: &Participant,
+        session: usize,
+    ) -> SessionOutcome {
+        let mut out = SessionOutcome::default();
+        let mut previous: Option<&str> = None;
+        for &w in words {
+            let (secs, correct, predicted) = self.enter_word(w, previous, participant, session);
+            out.seconds += secs;
+            out.words += 1;
+            out.letters += w.len();
+            if !correct {
+                out.word_errors += 1;
+            }
+            if predicted {
+                out.predicted_words += 1;
+            }
+            previous = Some(w);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use echowrite_corpus::Lexicon;
+    use echowrite_lang::Dictionary;
+    use std::sync::OnceLock;
+
+    fn decoder() -> &'static WordDecoder {
+        static D: OnceLock<WordDecoder> = OnceLock::new();
+        D.get_or_init(|| {
+            WordDecoder::new(Dictionary::build(Lexicon::embedded(), &InputScheme::paper()))
+        })
+    }
+
+    fn confusion() -> &'static ConfusionMatrix {
+        static C: OnceLock<ConfusionMatrix> = OnceLock::new();
+        C.get_or_init(|| {
+            // A reliable recognizer: 93 % diagonal.
+            let mut m = ConfusionMatrix::new();
+            for t in Stroke::ALL {
+                for _ in 0..93 {
+                    m.record(t, t);
+                }
+                for o in Stroke::ALL {
+                    if o != t {
+                        m.record(t, o);
+                    }
+                }
+                // 93 correct + 5 spread + 2 extra on a known confuser.
+                m.record(t, Stroke::ALL[(t.index() + 1) % 6]);
+                m.record(t, Stroke::ALL[(t.index() + 1) % 6]);
+            }
+            m
+        })
+    }
+
+    fn predictor() -> &'static NextWordPredictor {
+        static P: OnceLock<NextWordPredictor> = OnceLock::new();
+        P.get_or_init(NextWordPredictor::embedded)
+    }
+
+    fn session(seed: u64) -> TextEntrySession<'static> {
+        TextEntrySession::new(decoder(), confusion(), predictor(), SessionConfig::paper(), seed)
+    }
+
+    #[test]
+    fn outcome_rates() {
+        let o = SessionOutcome { seconds: 120.0, words: 16, letters: 60, word_errors: 2, predicted_words: 1 };
+        assert!((o.wpm() - 8.0).abs() < 1e-12);
+        assert!((o.lpm() - 30.0).abs() < 1e-12);
+        assert!((o.accuracy() - 0.875).abs() < 1e-12);
+        assert_eq!(SessionOutcome::default().wpm(), 0.0);
+        assert_eq!(SessionOutcome::default().accuracy(), 1.0);
+    }
+
+    #[test]
+    fn entering_words_is_deterministic_per_seed() {
+        let p = Participant::new(1, 5);
+        let words = ["the", "people", "by", "the", "water"];
+        let a = session(3).enter_words(&words, &p, 1);
+        let b = session(3).enter_words(&words, &p, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn practice_increases_speed() {
+        let p = Participant::new(2, 5);
+        let words: Vec<&str> = ["come", "and", "get", "it", "sit", "down", "now", "and", "then"]
+            .into();
+        let early = session(7).enter_words(&words, &p, 1);
+        let late = session(7).enter_words(&words, &p, 13);
+        assert!(
+            late.wpm() > 1.5 * early.wpm(),
+            "practice effect too weak: {} vs {}",
+            late.wpm(),
+            early.wpm()
+        );
+    }
+
+    #[test]
+    fn prediction_accelerates_frequent_continuations() {
+        let p = Participant::new(3, 5);
+        // "of the" — "the" is the top bigram successor of "of".
+        let words = ["of", "the", "of", "the", "of", "the"];
+        let with = session(9).enter_words(&words, &p, 5);
+        let mut cfg = SessionConfig::paper();
+        cfg.enable_prediction = false;
+        let mut s = TextEntrySession::new(decoder(), confusion(), predictor(), cfg, 9);
+        let without = s.enter_words(&words, &p, 5);
+        assert!(with.predicted_words >= 3);
+        assert_eq!(without.predicted_words, 0);
+        assert!(with.seconds < without.seconds);
+    }
+
+    #[test]
+    fn word_accuracy_is_high_with_reliable_recognizer() {
+        let p = Participant::new(4, 5);
+        let words = ["the", "people", "water", "time", "down", "good", "day"];
+        let o = session(11).enter_words(&words, &p, 10);
+        assert!(o.accuracy() >= 0.7, "accuracy {}", o.accuracy());
+        assert_eq!(o.words, 7);
+        assert_eq!(o.letters, 29);
+    }
+
+    #[test]
+    fn unknown_characters_fail_softly() {
+        let p = Participant::new(5, 5);
+        let o = session(13).enter_words(&["it's"], &p, 1);
+        assert_eq!(o.word_errors, 1);
+    }
+}

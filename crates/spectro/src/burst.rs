@@ -1,0 +1,204 @@
+//! Wideband-burst suppression — the paper's Sec. VII-B future work,
+//! implemented.
+//!
+//! EchoWrite's known weakness is "certain kinds of burst noises such as
+//! knocking tables and striking objects which usually cover a wide
+//! frequency range overlapping with signals utilized in EchoWrite". The
+//! paper proposes "improv\[ing\] denoising techniques by making use of
+//! properties of such noises like short duration".
+//!
+//! A finger echo occupies a narrow, smoothly moving frequency band; a
+//! knock/rub excites essentially *every* bin of the ROI for a few frames.
+//! The detector here flags columns whose foreground occupancy is
+//! implausibly high, verifies the run of flagged columns is short (bursts
+//! are transient; a real stroke never paints the whole band), and blanks
+//! them before profile extraction.
+
+use crate::spectrogram::Spectrogram;
+
+/// Configuration of the burst detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstConfig {
+    /// A column whose fraction of non-zero rows exceeds this is a burst
+    /// candidate (strokes occupy a narrow band; bursts light the whole
+    /// column).
+    pub max_occupancy: f64,
+    /// Maximum length (columns) of a burst run; longer runs are assumed to
+    /// be genuine wideband activity and left untouched.
+    pub max_frames: usize,
+}
+
+impl BurstConfig {
+    /// Defaults tuned for the paper's ROI (175 rows, 23 ms hop): bursts are
+    /// ≤ 0.35 s events covering more than 45 % of the band.
+    pub fn nominal() -> Self {
+        BurstConfig { max_occupancy: 0.45, max_frames: 15 }
+    }
+
+    /// Validates the thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the occupancy is outside `(0, 1]` or the run
+    /// length is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.max_occupancy) || self.max_occupancy == 0.0 {
+            return Err(format!("max_occupancy must be in (0,1], got {}", self.max_occupancy));
+        }
+        if self.max_frames == 0 {
+            return Err("max_frames must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for BurstConfig {
+    fn default() -> Self {
+        BurstConfig::nominal()
+    }
+}
+
+/// Detects burst columns in a (thresholded) spectrogram.
+///
+/// Returns the indices of columns identified as wideband bursts.
+pub fn detect_bursts(spec: &Spectrogram, config: BurstConfig) -> Vec<usize> {
+    let rows = spec.rows();
+    if rows == 0 || spec.cols() == 0 {
+        return Vec::new();
+    }
+    // Column occupancy.
+    let hot: Vec<bool> = (0..spec.cols())
+        .map(|c| {
+            let nz = (0..rows).filter(|&r| spec.get(r, c) != 0.0).count();
+            nz as f64 / rows as f64 > config.max_occupancy
+        })
+        .collect();
+    // Keep only runs of hot columns no longer than max_frames.
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < hot.len() {
+        if !hot[i] {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < hot.len() && hot[i] {
+            i += 1;
+        }
+        if i - start <= config.max_frames {
+            out.extend(start..i);
+        }
+    }
+    out
+}
+
+/// Returns a copy of `spec` with the given columns zeroed.
+pub fn blank_columns(spec: &Spectrogram, columns: &[usize]) -> Spectrogram {
+    let mut out = spec.clone();
+    for &c in columns {
+        if c < out.cols() {
+            for r in 0..out.rows() {
+                out.set(r, c, 0.0);
+            }
+        }
+    }
+    out
+}
+
+/// Detects and blanks bursts in one step.
+pub fn suppress_bursts(spec: &Spectrogram, config: BurstConfig) -> (Spectrogram, Vec<usize>) {
+    let bursts = detect_bursts(spec, config);
+    let cleaned = if bursts.is_empty() { spec.clone() } else { blank_columns(spec, &bursts) };
+    (cleaned, bursts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 20 rows × 30 cols with a narrow "stroke" band and an optional burst.
+    fn with_stroke_and_burst(burst_at: Option<(usize, usize)>) -> Spectrogram {
+        let mut s = Spectrogram::zeros(20, 30);
+        for c in 5..25 {
+            // Stroke: 3 adjacent rows.
+            for r in 12..15 {
+                s.set(r, c, 5.0);
+            }
+        }
+        if let Some((start, len)) = burst_at {
+            for c in start..start + len {
+                for r in 0..20 {
+                    s.set(r, c, 7.0);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn clean_spectrogram_has_no_bursts() {
+        let s = with_stroke_and_burst(None);
+        assert!(detect_bursts(&s, BurstConfig::nominal()).is_empty());
+    }
+
+    #[test]
+    fn short_wideband_event_is_detected_and_blanked() {
+        let s = with_stroke_and_burst(Some((10, 3)));
+        let (cleaned, bursts) = suppress_bursts(&s, BurstConfig::nominal());
+        assert_eq!(bursts, vec![10, 11, 12]);
+        for c in 10..13 {
+            for r in 0..20 {
+                assert_eq!(cleaned.get(r, c), 0.0);
+            }
+        }
+        // The stroke outside the burst survives.
+        assert_eq!(cleaned.get(13, 8), 5.0);
+        assert_eq!(cleaned.get(13, 20), 5.0);
+    }
+
+    #[test]
+    fn long_wideband_activity_is_left_alone() {
+        // A 20-column full-band region exceeds max_frames: not a burst.
+        let s = with_stroke_and_burst(Some((5, 20)));
+        let cfg = BurstConfig { max_frames: 15, ..BurstConfig::nominal() };
+        assert!(detect_bursts(&s, cfg).is_empty());
+    }
+
+    #[test]
+    fn occupancy_threshold_matters() {
+        let s = with_stroke_and_burst(Some((10, 2)));
+        // With the threshold at 1.0 even a fully lit column cannot exceed
+        // it, so nothing is a burst.
+        let lax = BurstConfig { max_occupancy: 1.0, ..BurstConfig::nominal() };
+        assert!(detect_bursts(&s, lax).is_empty());
+        // A narrow 3-row stroke (15 % occupancy) must never trip even a
+        // moderately strict threshold.
+        let strict = BurstConfig { max_occupancy: 0.2, ..BurstConfig::nominal() };
+        let hits = detect_bursts(&s, strict);
+        assert!(hits.iter().all(|&c| (10..12).contains(&c)), "{hits:?}");
+    }
+
+    #[test]
+    fn empty_spectrogram_is_fine() {
+        let s = Spectrogram::zeros(5, 0);
+        assert!(detect_bursts(&s, BurstConfig::nominal()).is_empty());
+        let (cleaned, bursts) = suppress_bursts(&s, BurstConfig::nominal());
+        assert_eq!(cleaned.cols(), 0);
+        assert!(bursts.is_empty());
+    }
+
+    #[test]
+    fn blank_columns_ignores_out_of_range() {
+        let s = with_stroke_and_burst(None);
+        let out = blank_columns(&s, &[999]);
+        assert_eq!(out, s);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(BurstConfig::nominal().validate().is_ok());
+        assert!(BurstConfig { max_occupancy: 0.0, ..BurstConfig::nominal() }.validate().is_err());
+        assert!(BurstConfig { max_occupancy: 1.5, ..BurstConfig::nominal() }.validate().is_err());
+        assert!(BurstConfig { max_frames: 0, ..BurstConfig::nominal() }.validate().is_err());
+    }
+}

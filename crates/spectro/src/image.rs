@@ -1,0 +1,389 @@
+//! Two-dimensional image operations on spectrograms.
+//!
+//! These are the building blocks of the paper's Doppler-enhancement chain
+//! (Sec. III-A): 2-D median and Gaussian filtering, spectral subtraction of
+//! static frames, energy thresholding, zero-one normalization, binarization,
+//! and morphological hole filling via flood fill [Soille, 2013].
+
+use crate::spectrogram::Spectrogram;
+use echowrite_dsp::filters::gaussian_kernel;
+
+/// Applies a `size`×`size` median filter (edges replicate).
+///
+/// # Panics
+///
+/// Panics if `size` is even or zero.
+pub fn median_filter_2d(src: &Spectrogram, size: usize) -> Spectrogram {
+    assert!(size % 2 == 1 && size > 0, "median size must be odd, got {size}");
+    let half = (size / 2) as isize;
+    let (rows, cols) = (src.rows() as isize, src.cols() as isize);
+    let mut out = src.clone();
+    let mut window = Vec::with_capacity(size * size);
+    for r in 0..rows {
+        for c in 0..cols {
+            window.clear();
+            for dr in -half..=half {
+                for dc in -half..=half {
+                    let rr = (r + dr).clamp(0, rows - 1) as usize;
+                    let cc = (c + dc).clamp(0, cols - 1) as usize;
+                    window.push(src.get(rr, cc));
+                }
+            }
+            window.sort_by(|a, b| a.total_cmp(b));
+            out.set(r as usize, c as usize, window[window.len() / 2]);
+        }
+    }
+    out
+}
+
+/// Applies a separable Gaussian blur with an odd `size`×`size` kernel
+/// (σ = size/6, edges replicate).
+///
+/// # Panics
+///
+/// Panics if `size` is even or zero.
+pub fn gaussian_filter_2d(src: &Spectrogram, size: usize) -> Spectrogram {
+    let kernel = gaussian_kernel(size, None);
+    let half = (kernel.len() / 2) as isize;
+    let (rows, cols) = (src.rows() as isize, src.cols() as isize);
+
+    // Horizontal pass.
+    let mut tmp = src.clone();
+    for r in 0..rows as usize {
+        for c in 0..cols {
+            let mut acc = 0.0;
+            for (k, &kv) in kernel.iter().enumerate() {
+                let cc = (c + k as isize - half).clamp(0, cols - 1) as usize;
+                acc += kv * src.get(r, cc);
+            }
+            tmp.set(r, c as usize, acc);
+        }
+    }
+    // Vertical pass.
+    let mut out = tmp.clone();
+    for r in 0..rows {
+        for c in 0..cols as usize {
+            let mut acc = 0.0;
+            for (k, &kv) in kernel.iter().enumerate() {
+                let rr = (r + k as isize - half).clamp(0, rows - 1) as usize;
+                acc += kv * tmp.get(rr, c);
+            }
+            out.set(r as usize, c, acc);
+        }
+    }
+    out
+}
+
+/// Spectral subtraction: computes the per-row mean of the first
+/// `static_frames` columns and subtracts it from every column, clamping at
+/// zero. Suppresses the carrier line, direct leakage, and static multipath
+/// (paper: "subtract STFT of static frames from each following frame").
+///
+/// # Panics
+///
+/// Panics if `static_frames` is zero or exceeds the column count.
+pub fn subtract_static(src: &Spectrogram, static_frames: usize) -> Spectrogram {
+    assert!(
+        static_frames > 0 && static_frames <= src.cols(),
+        "static_frames {static_frames} out of range for {} columns",
+        src.cols()
+    );
+    let mut out = src.clone();
+    for r in 0..src.rows() {
+        let mean: f64 =
+            (0..static_frames).map(|c| src.get(r, c)).sum::<f64>() / static_frames as f64;
+        for c in 0..src.cols() {
+            out.set(r, c, (src.get(r, c) - mean).max(0.0));
+        }
+    }
+    out
+}
+
+/// Subtracts an externally supplied per-row background from every column,
+/// clamping at zero — the streaming variant of [`subtract_static`], where
+/// the background was frozen from the session's opening static frames.
+///
+/// # Panics
+///
+/// Panics if `background.len() != src.rows()`.
+pub fn subtract_background(src: &Spectrogram, background: &[f64]) -> Spectrogram {
+    assert_eq!(background.len(), src.rows(), "background row-count mismatch");
+    let mut out = src.clone();
+    for (r, &bg) in background.iter().enumerate() {
+        for c in 0..src.cols() {
+            out.set(r, c, (src.get(r, c) - bg).max(0.0));
+        }
+    }
+    out
+}
+
+/// Per-row mean of the first `static_frames` columns — the background
+/// estimate that [`subtract_static`] uses internally.
+///
+/// # Panics
+///
+/// Panics if `static_frames` is zero or exceeds the column count.
+pub fn row_means(src: &Spectrogram, static_frames: usize) -> Vec<f64> {
+    assert!(
+        static_frames > 0 && static_frames <= src.cols(),
+        "static_frames {static_frames} out of range for {} columns",
+        src.cols()
+    );
+    (0..src.rows())
+        .map(|r| (0..static_frames).map(|c| src.get(r, c)).sum::<f64>() / static_frames as f64)
+        .collect()
+}
+
+/// Zeroes every cell strictly below `alpha` (the paper's hardware-noise
+/// energy threshold, α = 8 for their device).
+pub fn threshold(src: &Spectrogram, alpha: f64) -> Spectrogram {
+    let mut out = src.clone();
+    for v in out.data_mut() {
+        if *v < alpha {
+            *v = 0.0;
+        }
+    }
+    out
+}
+
+/// Rescales the whole matrix into `[0, 1]` (paper's "zero-one
+/// normalization"). A constant matrix becomes all zeros.
+pub fn normalize_zero_one(src: &Spectrogram) -> Spectrogram {
+    let mut out = src.clone();
+    echowrite_dsp::util::normalize_zero_one(out.data_mut());
+    out
+}
+
+/// Binarizes at `t`: cells ≥ `t` become 1.0, the rest 0.0.
+pub fn binarize(src: &Spectrogram, t: f64) -> Spectrogram {
+    let mut out = src.clone();
+    for v in out.data_mut() {
+        *v = if *v >= t { 1.0 } else { 0.0 };
+    }
+    out
+}
+
+/// Fills holes in a binary image: zero-regions not 4-connected to the image
+/// border become 1 (flood fill on background pixels, paper's reference
+/// [Soille 2013]).
+///
+/// # Panics
+///
+/// Panics if the input is not binary.
+pub fn fill_holes(src: &Spectrogram) -> Spectrogram {
+    assert!(src.is_binary(), "fill_holes requires a binary spectrogram");
+    let (rows, cols) = (src.rows(), src.cols());
+    if rows == 0 || cols == 0 {
+        return src.clone();
+    }
+    // Flood from all border background pixels.
+    let mut outside = vec![false; rows * cols];
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    let try_seed = |r: usize, c: usize, stack: &mut Vec<(usize, usize)>| {
+        if src.get(r, c) == 0.0 {
+            stack.push((r, c));
+        }
+    };
+    for c in 0..cols {
+        try_seed(0, c, &mut stack);
+        try_seed(rows - 1, c, &mut stack);
+    }
+    for r in 0..rows {
+        try_seed(r, 0, &mut stack);
+        try_seed(r, cols - 1, &mut stack);
+    }
+    while let Some((r, c)) = stack.pop() {
+        let idx = r * cols + c;
+        if outside[idx] || src.get(r, c) != 0.0 {
+            continue;
+        }
+        outside[idx] = true;
+        if r > 0 {
+            stack.push((r - 1, c));
+        }
+        if r + 1 < rows {
+            stack.push((r + 1, c));
+        }
+        if c > 0 {
+            stack.push((r, c - 1));
+        }
+        if c + 1 < cols {
+            stack.push((r, c + 1));
+        }
+    }
+    let mut out = src.clone();
+    for r in 0..rows {
+        for c in 0..cols {
+            if src.get(r, c) == 0.0 && !outside[r * cols + c] {
+                out.set(r, c, 1.0);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_rows(rows: &[&[f64]]) -> Spectrogram {
+        // Convert row-major literals into the column-based constructor.
+        let n_rows = rows.len();
+        let n_cols = rows[0].len();
+        let mut s = Spectrogram::zeros(n_rows, n_cols);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), n_cols);
+            for (c, &v) in row.iter().enumerate() {
+                s.set(r, c, v);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn median_removes_salt_noise() {
+        let s = from_rows(&[
+            &[0.0, 0.0, 0.0],
+            &[0.0, 9.0, 0.0],
+            &[0.0, 0.0, 0.0],
+        ]);
+        let f = median_filter_2d(&s, 3);
+        assert_eq!(f.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn median_preserves_solid_blocks() {
+        let s = from_rows(&[
+            &[5.0, 5.0, 5.0, 0.0],
+            &[5.0, 5.0, 5.0, 0.0],
+            &[5.0, 5.0, 5.0, 0.0],
+        ]);
+        let f = median_filter_2d(&s, 3);
+        assert_eq!(f.get(1, 1), 5.0);
+        assert_eq!(f.get(0, 0), 5.0); // replicate edges keep the block
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn median_rejects_even_size() {
+        median_filter_2d(&Spectrogram::zeros(2, 2), 2);
+    }
+
+    #[test]
+    fn gaussian_preserves_flat_image() {
+        let s = from_rows(&[&[3.0; 6]; 5].map(|r| r as &[f64]));
+        let g = gaussian_filter_2d(&s, 5);
+        for r in 0..5 {
+            for c in 0..6 {
+                assert!((g.get(r, c) - 3.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_spreads_impulse_symmetrically() {
+        let mut s = Spectrogram::zeros(7, 7);
+        s.set(3, 3, 1.0);
+        let g = gaussian_filter_2d(&s, 5);
+        assert!(g.get(3, 3) > g.get(3, 4));
+        assert!((g.get(3, 2) - g.get(3, 4)).abs() < 1e-12);
+        assert!((g.get(2, 3) - g.get(4, 3)).abs() < 1e-12);
+        // Mass is conserved away from edges.
+        let total: f64 = g.data().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subtract_static_removes_constant_rows() {
+        // Row 0 is a static carrier at 10; row 1 has a burst in column 3.
+        let s = from_rows(&[
+            &[10.0, 10.0, 10.0, 10.0],
+            &[1.0, 1.0, 1.0, 6.0],
+        ]);
+        let out = subtract_static(&s, 2);
+        for c in 0..4 {
+            assert_eq!(out.get(0, c), 0.0, "carrier row should vanish");
+        }
+        assert_eq!(out.get(1, 3), 5.0);
+        assert_eq!(out.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn subtract_static_clamps_at_zero() {
+        let s = from_rows(&[&[4.0, 1.0]]);
+        let out = subtract_static(&s, 1);
+        assert_eq!(out.get(0, 1), 0.0); // 1 − 4 clamps to 0
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn subtract_static_validates_count() {
+        subtract_static(&Spectrogram::zeros(1, 2), 3);
+    }
+
+    #[test]
+    fn threshold_zeroes_small_values() {
+        let s = from_rows(&[&[7.9, 8.0, 8.1]]);
+        let out = threshold(&s, 8.0);
+        assert_eq!(out.get(0, 0), 0.0);
+        assert_eq!(out.get(0, 1), 8.0);
+        assert_eq!(out.get(0, 2), 8.1);
+    }
+
+    #[test]
+    fn normalize_and_binarize() {
+        let s = from_rows(&[&[2.0, 4.0, 18.0]]);
+        let n = normalize_zero_one(&s);
+        assert_eq!(n.get(0, 0), 0.0);
+        assert_eq!(n.get(0, 2), 1.0);
+        let b = binarize(&n, 0.15);
+        assert!(b.is_binary());
+        assert_eq!(b.get(0, 0), 0.0);
+        assert_eq!(b.get(0, 1), 0.0); // 0.125 < 0.15
+        assert_eq!(b.get(0, 2), 1.0);
+    }
+
+    #[test]
+    fn fill_holes_fills_enclosed_background() {
+        let s = from_rows(&[
+            &[1.0, 1.0, 1.0, 0.0],
+            &[1.0, 0.0, 1.0, 0.0],
+            &[1.0, 1.0, 1.0, 0.0],
+        ]);
+        let f = fill_holes(&s);
+        assert_eq!(f.get(1, 1), 1.0, "enclosed hole must fill");
+        assert_eq!(f.get(0, 3), 0.0, "border-connected background must stay");
+        assert_eq!(f.get(1, 3), 0.0);
+    }
+
+    #[test]
+    fn fill_holes_ignores_open_bays() {
+        // A "C" shape: background connects to the border through the gap.
+        let s = from_rows(&[
+            &[1.0, 1.0, 1.0],
+            &[1.0, 0.0, 0.0],
+            &[1.0, 1.0, 1.0],
+        ]);
+        let f = fill_holes(&s);
+        assert_eq!(f.get(1, 1), 0.0);
+        assert_eq!(f.get(1, 2), 0.0);
+    }
+
+    #[test]
+    fn fill_holes_diagonal_gap_is_not_a_seal() {
+        // Foreground touching only diagonally does not enclose (4-conn).
+        let s = from_rows(&[
+            &[1.0, 0.0, 1.0],
+            &[0.0, 0.0, 0.0],
+            &[1.0, 0.0, 1.0],
+        ]);
+        let f = fill_holes(&s);
+        assert_eq!(f.get(1, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn fill_holes_rejects_grayscale() {
+        fill_holes(&from_rows(&[&[0.5]]));
+    }
+}

@@ -1,0 +1,26 @@
+//! Spectrogram representation and the Doppler-enhancement image pipeline.
+//!
+//! After the STFT, EchoWrite treats the spectrogram as an image and applies
+//! (paper Sec. III-A, Fig. 8):
+//!
+//! 1. region-of-interest cropping to `[19 530, 20 470]` Hz (350 of 8192 bins),
+//! 2. a 3×3 median filter against random noise,
+//! 3. spectral subtraction of the average of the first 5 static frames,
+//!    suppressing the carrier, direct leak, and static multipath,
+//! 4. an energy threshold `α` that zeroes bursty hardware-noise residue,
+//! 5. a Gaussian blur with kernel size 5,
+//! 6. zero-one normalization and binarization at 0.15,
+//! 7. flood-fill hole filling on the binary image.
+//!
+//! The [`Spectrogram`] type carries its frequency/time metadata so later
+//! stages can convert rows to Doppler shifts. [`enhance::Enhancer`] runs the
+//! chain and exposes every intermediate stage (the panels of Fig. 8).
+
+pub mod burst;
+pub mod enhance;
+pub mod image;
+pub mod spectrogram;
+
+pub use burst::BurstConfig;
+pub use enhance::{EnhanceConfig, EnhanceStages, Enhancer};
+pub use spectrogram::Spectrogram;

@@ -1,0 +1,400 @@
+//! The spectrogram matrix type.
+
+use echowrite_dsp::StftConfig;
+use std::fmt;
+
+/// A time–frequency magnitude matrix: `rows` frequency bins × `cols` time
+/// frames, with metadata tying rows to physical frequencies.
+///
+/// Row 0 is the lowest frequency of the represented band. `carrier_row` is
+/// the row of the probe-tone carrier (the "centre frequency bin" `cf` of the
+/// paper's Algorithm 1).
+///
+/// # Example
+///
+/// ```
+/// use echowrite_spectro::Spectrogram;
+/// let mut s = Spectrogram::zeros(5, 3);
+/// s.set(2, 1, 7.0);
+/// assert_eq!(s.get(2, 1), 7.0);
+/// assert_eq!(s.carrier_row(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrogram {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+    carrier_row: usize,
+    /// Frequency step between rows, Hz (0 when unknown).
+    bin_hz: f64,
+    /// Time step between columns, seconds (0 when unknown).
+    hop_s: f64,
+}
+
+impl Spectrogram {
+    /// Creates a zero-filled spectrogram with the carrier at the middle row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0, "a spectrogram needs at least one row");
+        Spectrogram {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+            carrier_row: rows / 2,
+            bin_hz: 0.0,
+            hop_s: 0.0,
+        }
+    }
+
+    /// Builds a spectrogram from per-frame magnitude columns (each inner
+    /// vector is one time frame over the same band).
+    ///
+    /// # Panics
+    ///
+    /// Panics if frames are empty or have differing lengths.
+    pub fn from_frames(frames: &[Vec<f64>]) -> Self {
+        assert!(!frames.is_empty(), "no frames supplied");
+        let rows = frames[0].len();
+        assert!(rows > 0, "frames must be non-empty");
+        let cols = frames.len();
+        let mut s = Spectrogram::zeros(rows, cols);
+        for (c, frame) in frames.iter().enumerate() {
+            assert_eq!(frame.len(), rows, "frame {c} has inconsistent length");
+            for (r, &v) in frame.iter().enumerate() {
+                s.set(r, c, v);
+            }
+        }
+        s
+    }
+
+    /// Builds the paper's region-of-interest spectrogram from full-band STFT
+    /// frames: crops to `[carrier − span, carrier + span]` Hz and records
+    /// frequency/time metadata from the STFT configuration.
+    ///
+    /// With the paper's parameters (`carrier` 20 kHz, `span` 470.6 Hz,
+    /// N = 8192 at 44.1 kHz) the result has 175 rows where the full frame had
+    /// 4097 — the "column size reduced from 8192 to 350" optimization (the
+    /// paper counts both real and mirrored halves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ROI exceeds the frame band or frames are inconsistent.
+    pub fn roi_from_stft(frames: &[Vec<f64>], config: &StftConfig, carrier: f64, span: f64) -> Self {
+        assert!(!frames.is_empty(), "no frames supplied");
+        let lo = config.frequency_bin(carrier - span);
+        let hi = config.frequency_bin(carrier + span);
+        let carrier_bin = config.frequency_bin(carrier);
+        assert!(hi < frames[0].len(), "ROI exceeds the supplied band");
+        let rows = hi - lo + 1;
+        let mut s = Spectrogram::zeros(rows, frames.len());
+        s.carrier_row = carrier_bin - lo;
+        s.bin_hz = config.sample_rate / config.fft_size as f64;
+        s.hop_s = config.hop_seconds();
+        for (c, frame) in frames.iter().enumerate() {
+            assert_eq!(frame.len(), frames[0].len(), "frame {c} inconsistent");
+            for r in 0..rows {
+                s.set(r, c, frame[lo + r]);
+            }
+        }
+        s
+    }
+
+    /// Number of frequency rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of time columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The carrier (centre-frequency) row index.
+    #[inline]
+    pub fn carrier_row(&self) -> usize {
+        self.carrier_row
+    }
+
+    /// Overrides the carrier row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    pub fn set_carrier_row(&mut self, row: usize) {
+        assert!(row < self.rows, "carrier row {row} out of range");
+        self.carrier_row = row;
+    }
+
+    /// Frequency step between rows in Hz (0 when built without metadata).
+    #[inline]
+    pub fn bin_hz(&self) -> f64 {
+        self.bin_hz
+    }
+
+    /// Sets the frequency/time metadata (used by alternative front-ends
+    /// that build the matrix directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either step is non-positive.
+    pub fn set_metadata(&mut self, bin_hz: f64, hop_s: f64) {
+        assert!(bin_hz > 0.0 && hop_s > 0.0, "metadata steps must be positive");
+        self.bin_hz = bin_hz;
+        self.hop_s = hop_s;
+    }
+
+    /// Time step between columns in seconds (0 when built without metadata).
+    #[inline]
+    pub fn hop_seconds(&self) -> f64 {
+        self.hop_s
+    }
+
+    /// Value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of range");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, v: f64) {
+        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of range");
+        self.data[row * self.cols + col] = v;
+    }
+
+    /// The raw backing slice, row-major.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the raw backing slice, row-major.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// One time frame (column) as a fresh vector.
+    pub fn column(&self, col: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, col)).collect()
+    }
+
+    /// Appends a column (used by the streaming pipeline's 5-frame buffers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame.len() != rows`.
+    pub fn push_column(&mut self, frame: &[f64]) {
+        assert_eq!(frame.len(), self.rows, "column length mismatch");
+        // Row-major layout: rebuild with one extra column.
+        let mut data = Vec::with_capacity(self.rows * (self.cols + 1));
+        for (r, &v) in frame.iter().enumerate() {
+            data.extend_from_slice(&self.data[r * self.cols..(r + 1) * self.cols]);
+            data.push(v);
+        }
+        self.cols += 1;
+        self.data = data;
+    }
+
+    /// A view of the sub-range of columns `[lo, hi)` as a new spectrogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is invalid.
+    pub fn slice_cols(&self, lo: usize, hi: usize) -> Spectrogram {
+        assert!(lo <= hi && hi <= self.cols, "invalid column range {lo}..{hi}");
+        let mut s = Spectrogram::zeros(self.rows, hi - lo);
+        s.carrier_row = self.carrier_row;
+        s.bin_hz = self.bin_hz;
+        s.hop_s = self.hop_s;
+        for r in 0..self.rows {
+            for c in lo..hi {
+                s.set(r, c - lo, self.get(r, c));
+            }
+        }
+        s
+    }
+
+    /// Maximum value in the matrix (0.0 when empty).
+    pub fn max_value(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &v| m.max(v))
+    }
+
+    /// Fraction of non-zero cells.
+    pub fn occupancy(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().filter(|&&v| v != 0.0).count() as f64 / self.data.len() as f64
+    }
+
+    /// Whether every cell is exactly 0.0 or 1.0.
+    pub fn is_binary(&self) -> bool {
+        self.data.iter().all(|&v| v == 0.0 || v == 1.0)
+    }
+
+    /// The Doppler shift in Hz represented by a row (row − carrier_row,
+    /// scaled by the bin width).
+    pub fn row_to_shift_hz(&self, row: usize) -> f64 {
+        (row as f64 - self.carrier_row as f64) * self.bin_hz
+    }
+}
+
+impl fmt::Display for Spectrogram {
+    /// Renders a coarse ASCII heat map (highest frequency on top), used by
+    /// the examples to visualize Fig. 8-style stages in the terminal.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const SHADES: &[u8] = b" .:-=+*#%@";
+        let max = self.max_value().max(f64::MIN_POSITIVE);
+        for r in (0..self.rows).rev() {
+            for c in 0..self.cols {
+                let v = (self.get(r, c) / max * (SHADES.len() - 1) as f64).round() as usize;
+                write!(f, "{}", SHADES[v.min(SHADES.len() - 1)] as char)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_indexing() {
+        let mut s = Spectrogram::zeros(4, 3);
+        assert_eq!(s.rows(), 4);
+        assert_eq!(s.cols(), 3);
+        assert_eq!(s.get(3, 2), 0.0);
+        s.set(3, 2, 5.0);
+        assert_eq!(s.get(3, 2), 5.0);
+        assert_eq!(s.max_value(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Spectrogram::zeros(2, 2).get(2, 0);
+    }
+
+    #[test]
+    fn from_frames_transposes_correctly() {
+        // Two frames (columns) of three bins (rows).
+        let s = Spectrogram::from_frames(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.cols(), 2);
+        assert_eq!(s.get(0, 0), 1.0);
+        assert_eq!(s.get(0, 1), 4.0);
+        assert_eq!(s.get(2, 1), 6.0);
+        assert_eq!(s.column(1), vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn from_frames_rejects_ragged_input() {
+        Spectrogram::from_frames(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    fn roi_crop_matches_paper_dimensions() {
+        let cfg = StftConfig::paper();
+        let full = vec![vec![0.0; cfg.fft_size / 2 + 1]; 4];
+        let s = Spectrogram::roi_from_stft(&full, &cfg, 20_000.0, 470.6);
+        // 470.6 Hz at 5.38 Hz/bin ≈ 87 bins each side → 175 rows.
+        assert!((s.rows() as i64 - 175).abs() <= 2, "rows {}", s.rows());
+        assert_eq!(s.cols(), 4);
+        // Carrier row sits centred.
+        assert!((s.carrier_row() as i64 - (s.rows() / 2) as i64).abs() <= 1);
+        assert!((s.bin_hz() - 5.3833).abs() < 0.01);
+        assert!((s.hop_seconds() - 0.02322).abs() < 1e-4);
+    }
+
+    #[test]
+    fn roi_preserves_values() {
+        let cfg = StftConfig::paper();
+        let mut frame = vec![0.0; cfg.fft_size / 2 + 1];
+        let carrier_bin = cfg.frequency_bin(20_000.0);
+        frame[carrier_bin] = 9.0;
+        frame[carrier_bin + 10] = 4.0;
+        let s = Spectrogram::roi_from_stft(&[frame], &cfg, 20_000.0, 470.6);
+        assert_eq!(s.get(s.carrier_row(), 0), 9.0);
+        assert_eq!(s.get(s.carrier_row() + 10, 0), 4.0);
+    }
+
+    #[test]
+    fn row_to_shift_uses_carrier() {
+        let cfg = StftConfig::paper();
+        let full = vec![vec![0.0; cfg.fft_size / 2 + 1]; 1];
+        let s = Spectrogram::roi_from_stft(&full, &cfg, 20_000.0, 470.6);
+        assert_eq!(s.row_to_shift_hz(s.carrier_row()), 0.0);
+        let up = s.row_to_shift_hz(s.carrier_row() + 2);
+        assert!((up - 2.0 * s.bin_hz()).abs() < 1e-12);
+        assert!(s.row_to_shift_hz(0) < 0.0);
+    }
+
+    #[test]
+    fn push_column_appends() {
+        let mut s = Spectrogram::from_frames(&[vec![1.0, 2.0]]);
+        s.push_column(&[3.0, 4.0]);
+        assert_eq!(s.cols(), 2);
+        assert_eq!(s.get(0, 1), 3.0);
+        assert_eq!(s.get(1, 1), 4.0);
+        // Old data unchanged.
+        assert_eq!(s.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn slice_cols_extracts_range() {
+        let s = Spectrogram::from_frames(&[
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+            vec![4.0, 40.0],
+        ]);
+        let mid = s.slice_cols(1, 3);
+        assert_eq!(mid.cols(), 2);
+        assert_eq!(mid.get(0, 0), 2.0);
+        assert_eq!(mid.get(1, 1), 30.0);
+        assert_eq!(mid.carrier_row(), s.carrier_row());
+    }
+
+    #[test]
+    fn occupancy_and_binary() {
+        let mut s = Spectrogram::zeros(2, 2);
+        assert_eq!(s.occupancy(), 0.0);
+        assert!(s.is_binary());
+        s.set(0, 0, 1.0);
+        assert_eq!(s.occupancy(), 0.25);
+        assert!(s.is_binary());
+        s.set(1, 1, 0.5);
+        assert!(!s.is_binary());
+    }
+
+    #[test]
+    fn display_renders_grid() {
+        let mut s = Spectrogram::zeros(2, 3);
+        s.set(1, 0, 1.0);
+        let text = s.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), 3);
+        // Highest row first; the hot cell appears in the first line.
+        assert!(lines[0].starts_with('@'));
+        assert!(lines[1].starts_with(' '));
+    }
+}

@@ -1,0 +1,240 @@
+//! Stochastic interference sources.
+//!
+//! The paper's three experiment rooms differ only in their interference
+//! statistics: a stationary ambient floor (air conditioning), keyboard
+//! clicks and speech babble in the lab, and — in the resting zone — walking
+//! passers-by and occasional wideband "rubbing" bursts that overlap the
+//! probe band and cause the accuracy drop the paper reports (Sec. V-A2,
+//! Sec. VII-B). The device itself contributes short bursty hardware spikes
+//! (Sec. III-A).
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Kinds of transient interference events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransientKind {
+    /// Keyboard click: a few milliseconds of wideband noise, moderate level.
+    KeyboardClick,
+    /// Speech babble: hundreds of milliseconds of low-passed noise; most
+    /// energy is far below the 20 kHz probe band.
+    Babble,
+    /// Rubbing/knocking: tens–hundreds of milliseconds of *strong* wideband
+    /// noise that does overlap the probe band.
+    Rubbing,
+    /// Bursty hardware noise: 1–3 ms spikes, "larger than background noise
+    /// but lower than echoes".
+    HardwareBurst,
+}
+
+impl TransientKind {
+    /// Duration range of one event in seconds.
+    pub fn duration_range(self) -> (f64, f64) {
+        match self {
+            TransientKind::KeyboardClick => (0.002, 0.008),
+            TransientKind::Babble => (0.10, 0.40),
+            TransientKind::Rubbing => (0.05, 0.25),
+            TransientKind::HardwareBurst => (0.001, 0.003),
+        }
+    }
+
+    /// Peak amplitude range of one event (full scale = 1).
+    pub fn amplitude_range(self) -> (f64, f64) {
+        match self {
+            TransientKind::KeyboardClick => (0.03, 0.09),
+            TransientKind::Babble => (0.04, 0.12),
+            TransientKind::Rubbing => (0.08, 0.30),
+            TransientKind::HardwareBurst => (0.008, 0.02),
+        }
+    }
+
+    /// Whether the event's spectrum is low-passed (true for babble, whose
+    /// energy sits in the speech band) rather than wideband.
+    pub fn is_lowpassed(self) -> bool {
+        matches!(self, TransientKind::Babble)
+    }
+}
+
+/// Standard-normal sample via Box–Muller.
+pub fn gauss(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Adds white Gaussian noise of standard deviation `sigma` to `out`.
+pub fn add_awgn(out: &mut [f64], sigma: f64, rng: &mut ChaCha8Rng) {
+    if sigma <= 0.0 {
+        return;
+    }
+    for o in out.iter_mut() {
+        *o += sigma * gauss(rng);
+    }
+}
+
+/// Adds Poisson-arriving transient events of the given kind at `rate`
+/// events per second.
+///
+/// Each event is enveloped noise: a raised-cosine envelope over a draw from
+/// the kind's duration and amplitude ranges. Babble is low-passed with a
+/// one-pole filter at ~3.5 kHz so only its weak spectral tail reaches the
+/// probe band, matching the paper's observation that "the frequency range of
+/// received echoes shares few overlaps with common noises".
+pub fn add_transients(
+    out: &mut [f64],
+    kind: TransientKind,
+    rate: f64,
+    sample_rate: f64,
+    rng: &mut ChaCha8Rng,
+) {
+    if rate <= 0.0 || out.is_empty() {
+        return;
+    }
+    let duration = out.len() as f64 / sample_rate;
+    // Poisson process via exponential inter-arrival times.
+    let mut t = -(1.0 - rng.gen::<f64>()).ln() / rate;
+    while t < duration {
+        let (dlo, dhi) = kind.duration_range();
+        let (alo, ahi) = kind.amplitude_range();
+        let dur = rng.gen_range(dlo..dhi);
+        let amp = rng.gen_range(alo..ahi);
+        let start = (t * sample_rate) as usize;
+        let len = ((dur * sample_rate) as usize).max(2);
+        let alpha = lowpass_alpha(3_500.0, sample_rate);
+        let mut lp = 0.0;
+        for i in 0..len {
+            let idx = start + i;
+            if idx >= out.len() {
+                break;
+            }
+            // Raised-cosine envelope.
+            let env = 0.5 - 0.5 * (std::f64::consts::TAU * i as f64 / len as f64).cos();
+            let mut sample = gauss(rng);
+            if kind.is_lowpassed() {
+                lp += alpha * (sample - lp);
+                sample = lp * 3.0; // compensate the filter's amplitude loss
+            }
+            out[idx] += amp * env * sample;
+        }
+        t += -(1.0 - rng.gen::<f64>()).ln() / rate;
+    }
+}
+
+/// One-pole low-pass coefficient for a cutoff frequency.
+fn lowpass_alpha(cutoff: f64, sample_rate: f64) -> f64 {
+    let rc = 1.0 / (std::f64::consts::TAU * cutoff);
+    let dt = 1.0 / sample_rate;
+    dt / (rc + dt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn gauss_moments() {
+        let mut r = rng(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| gauss(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn awgn_level() {
+        let mut out = vec![0.0; 10_000];
+        add_awgn(&mut out, 0.05, &mut rng(2));
+        let rms = (out.iter().map(|x| x * x).sum::<f64>() / out.len() as f64).sqrt();
+        assert!((rms - 0.05).abs() < 0.005, "rms {rms}");
+    }
+
+    #[test]
+    fn awgn_zero_sigma_is_noop() {
+        let mut out = vec![1.0; 16];
+        add_awgn(&mut out, 0.0, &mut rng(3));
+        assert!(out.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn transients_deterministic_per_seed() {
+        let mut a = vec![0.0; 44_100];
+        let mut b = vec![0.0; 44_100];
+        add_transients(&mut a, TransientKind::KeyboardClick, 5.0, 44_100.0, &mut rng(7));
+        add_transients(&mut b, TransientKind::KeyboardClick, 5.0, 44_100.0, &mut rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transient_rate_scales_event_energy() {
+        let energy = |rate: f64| {
+            let mut out = vec![0.0; 4 * 44_100];
+            add_transients(&mut out, TransientKind::KeyboardClick, rate, 44_100.0, &mut rng(11));
+            out.iter().map(|x| x * x).sum::<f64>()
+        };
+        assert!(energy(20.0) > 3.0 * energy(1.0));
+        assert_eq!(energy(0.0), 0.0);
+    }
+
+    #[test]
+    fn rubbing_is_stronger_than_clicks() {
+        let energy = |kind| {
+            let mut out = vec![0.0; 4 * 44_100];
+            add_transients(&mut out, kind, 4.0, 44_100.0, &mut rng(13));
+            out.iter().map(|x| x * x).sum::<f64>()
+        };
+        assert!(energy(TransientKind::Rubbing) > 5.0 * energy(TransientKind::KeyboardClick));
+    }
+
+    #[test]
+    fn babble_energy_concentrated_at_low_frequency() {
+        use echowrite_dsp::{Stft, StftConfig, WindowKind};
+        let fs = 44_100.0;
+        let mut out = vec![0.0; 2 * 44_100];
+        add_transients(&mut out, TransientKind::Babble, 8.0, fs, &mut rng(17));
+        let stft = Stft::new(StftConfig {
+            fft_size: 4096,
+            hop: 2048,
+            window: WindowKind::Hann,
+            sample_rate: fs,
+        });
+        let frames = stft.process(&out);
+        let cfg = stft.config();
+        let low_band: f64 = frames
+            .iter()
+            .flat_map(|f| f[..cfg.frequency_bin(4_000.0)].iter())
+            .map(|m| m * m)
+            .sum();
+        let probe_band: f64 = frames
+            .iter()
+            .flat_map(|f| f[cfg.frequency_bin(19_500.0)..cfg.frequency_bin(20_500.0)].iter())
+            .map(|m| m * m)
+            .sum();
+        assert!(
+            low_band > 50.0 * probe_band,
+            "babble not low-passed enough: low {low_band}, probe {probe_band}"
+        );
+    }
+
+    #[test]
+    fn hardware_bursts_are_short_and_small() {
+        let (dlo, dhi) = TransientKind::HardwareBurst.duration_range();
+        assert!(dhi <= 0.005 && dlo > 0.0);
+        let (_, ahi) = TransientKind::HardwareBurst.amplitude_range();
+        let (elo, _) = TransientKind::Rubbing.amplitude_range();
+        assert!(ahi < elo, "hardware bursts must stay below echo-like levels");
+    }
+
+    #[test]
+    fn empty_buffer_is_fine() {
+        let mut out: Vec<f64> = vec![];
+        add_transients(&mut out, TransientKind::Rubbing, 10.0, 44_100.0, &mut rng(1));
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,350 @@
+//! Scene composition: device + room + finger motion → microphone samples.
+
+use crate::device::DeviceProfile;
+use crate::environment::EnvironmentProfile;
+use crate::noise::{add_awgn, add_transients, TransientKind};
+use crate::scatter::{MovingScatterer, StaticPath};
+use echowrite_gesture::{Trajectory, Vec3};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Reflectivity model of the writer's body parts.
+///
+/// The finger is the intended reflector; the hand and forearm shadow its
+/// motion with reduced displacement (hence lower Doppler shift) but larger
+/// radar cross-section — the low-shift clutter the paper's MVCE contour
+/// extraction must see through (Sec. III-B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BodyModel {
+    /// Finger echo reflectivity.
+    pub finger_reflectivity: f64,
+    /// Hand displacement scale relative to the finger (0–1).
+    pub hand_scale: f64,
+    /// Hand echo reflectivity.
+    pub hand_reflectivity: f64,
+    /// Forearm displacement scale relative to the finger (0–1).
+    pub arm_scale: f64,
+    /// Forearm echo reflectivity.
+    pub arm_reflectivity: f64,
+    /// Anchor (wrist/elbow region) offset from the device, metres.
+    pub anchor: Vec3,
+}
+
+impl BodyModel {
+    /// Nominal adult-hand model.
+    pub fn nominal() -> Self {
+        BodyModel {
+            finger_reflectivity: 0.030,
+            hand_scale: 0.45,
+            hand_reflectivity: 0.055,
+            arm_scale: 0.12,
+            arm_reflectivity: 0.040,
+            anchor: Vec3::new(0.02, -0.06, 0.26),
+        }
+    }
+
+    /// Only the finger, no hand/arm clutter (for isolating tests).
+    pub fn finger_only() -> Self {
+        BodyModel {
+            hand_reflectivity: 0.0,
+            arm_reflectivity: 0.0,
+            ..BodyModel::nominal()
+        }
+    }
+}
+
+impl Default for BodyModel {
+    fn default() -> Self {
+        BodyModel::nominal()
+    }
+}
+
+/// A complete acoustic scene that renders finger trajectories into the
+/// microphone sample stream.
+///
+/// Rendering is deterministic for a given `(scene seed, trial seed)` pair.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_gesture::{Writer, WriterParams, Stroke};
+/// use echowrite_synth::{Scene, DeviceProfile, EnvironmentProfile};
+///
+/// let perf = Writer::new(WriterParams::nominal(), 3).write_stroke(Stroke::S1);
+/// let scene = Scene::new(DeviceProfile::mate9(), EnvironmentProfile::lab_area(), 42);
+/// let a = scene.render(&perf.trajectory);
+/// let b = scene.render(&perf.trajectory);
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scene {
+    device: DeviceProfile,
+    environment: EnvironmentProfile,
+    body: BodyModel,
+    seed: u64,
+}
+
+impl Scene {
+    /// Creates a scene with the nominal body model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device profile fails validation.
+    pub fn new(device: DeviceProfile, environment: EnvironmentProfile, seed: u64) -> Self {
+        if let Err(msg) = device.validate() {
+            panic!("invalid device profile: {msg}");
+        }
+        Scene { device, environment, body: BodyModel::nominal(), seed }
+    }
+
+    /// Replaces the body model.
+    pub fn with_body(mut self, body: BodyModel) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// The device profile in use.
+    pub fn device(&self) -> &DeviceProfile {
+        &self.device
+    }
+
+    /// The environment profile in use.
+    pub fn environment(&self) -> &EnvironmentProfile {
+        &self.environment
+    }
+
+    /// Renders the scene for `trajectory` using the scene's own seed.
+    pub fn render(&self, trajectory: &Trajectory) -> Vec<f64> {
+        self.render_seeded(trajectory, self.seed)
+    }
+
+    /// Renders the scene with an explicit trial seed (Monte-Carlo runs vary
+    /// this while keeping the scene fixed).
+    pub fn render_seeded(&self, trajectory: &Trajectory, trial_seed: u64) -> Vec<f64> {
+        let tone = &self.device.tone;
+        let n = (trajectory.duration() * tone.sample_rate).round() as usize;
+        let mut out = vec![0.0; n];
+        if n == 0 {
+            return out;
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(trial_seed));
+
+        // 1. Direct speaker→mic leakage.
+        StaticPath {
+            length: self.device.speaker_pos.distance(self.device.mic_pos).max(1e-3),
+            amplitude: self.device.direct_leak,
+        }
+        .render_into(tone, &mut out);
+
+        // 2. Static room multipath: a handful of wall/table bounces.
+        let n_paths = rng.gen_range(3..6);
+        for _ in 0..n_paths {
+            StaticPath {
+                length: rng.gen_range(0.5..4.0),
+                amplitude: rng.gen_range(0.02..0.10),
+            }
+            .render_into(tone, &mut out);
+        }
+
+        // 3. The writer: finger plus slower hand/forearm clutter.
+        let g = self.device.echo_gain;
+        let spk = self.device.speaker_pos;
+        let mic = self.device.mic_pos;
+        MovingScatterer::from_positions(
+            trajectory.points(),
+            trajectory.dt(),
+            spk,
+            mic,
+            g * self.body.finger_reflectivity,
+        )
+        .render_into(tone, &mut out);
+        if self.body.hand_reflectivity > 0.0 {
+            MovingScatterer::shadowing(
+                trajectory,
+                self.body.anchor,
+                self.body.hand_scale,
+                spk,
+                mic,
+                g * self.body.hand_reflectivity,
+            )
+            .render_into(tone, &mut out);
+        }
+        if self.body.arm_reflectivity > 0.0 {
+            MovingScatterer::shadowing(
+                trajectory,
+                self.body.anchor,
+                self.body.arm_scale,
+                spk,
+                mic,
+                g * self.body.arm_reflectivity,
+            )
+            .render_into(tone, &mut out);
+        }
+
+        // 4. A walking interferer, if the room has one.
+        if let Some(walker) = self.environment.walker {
+            let dt = 1.0 / tone.sample_rate;
+            let t_mid = trajectory.duration() * rng.gen_range(0.3..0.7);
+            let positions: Vec<Vec3> =
+                (0..n).map(|i| walker.position(i as f64 * dt, t_mid)).collect();
+            MovingScatterer::from_positions(&positions, dt, spk, mic, g * walker.reflectivity)
+                .render_into(tone, &mut out);
+        }
+
+        // 5. Stationary noise floor: mic self-noise + room ambient.
+        let sigma = (self.device.mic_noise_sigma.powi(2)
+            + self.environment.ambient_sigma.powi(2))
+        .sqrt();
+        add_awgn(&mut out, sigma, &mut rng);
+
+        // 6. Transient interference.
+        let fs = tone.sample_rate;
+        add_transients(&mut out, TransientKind::KeyboardClick, self.environment.click_rate, fs, &mut rng);
+        add_transients(&mut out, TransientKind::Babble, self.environment.babble_rate, fs, &mut rng);
+        add_transients(&mut out, TransientKind::Rubbing, self.environment.rubbing_rate, fs, &mut rng);
+        add_transients(&mut out, TransientKind::HardwareBurst, self.device.burst_rate, fs, &mut rng);
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use echowrite_dsp::{Stft, StftConfig};
+    use echowrite_gesture::{Stroke, Writer, WriterParams};
+
+    fn quick_writer(seed: u64) -> Writer {
+        Writer::new(WriterParams::nominal(), seed)
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let perf = quick_writer(1).write_stroke(Stroke::S3);
+        let scene = Scene::new(DeviceProfile::mate9(), EnvironmentProfile::resting_zone(), 9);
+        assert_eq!(scene.render(&perf.trajectory), scene.render(&perf.trajectory));
+    }
+
+    #[test]
+    fn trial_seeds_change_noise_only_slightly_but_differ() {
+        let perf = quick_writer(2).write_stroke(Stroke::S1);
+        let scene = Scene::new(DeviceProfile::mate9(), EnvironmentProfile::lab_area(), 9);
+        let a = scene.render_seeded(&perf.trajectory, 1);
+        let b = scene.render_seeded(&perf.trajectory, 2);
+        assert_ne!(a, b);
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn output_length_matches_duration() {
+        let perf = quick_writer(3).write_stroke(Stroke::S5);
+        let scene = Scene::new(DeviceProfile::mate9(), EnvironmentProfile::silent(), 1);
+        let out = scene.render(&perf.trajectory);
+        let expect = (perf.trajectory.duration() * 44_100.0).round() as usize;
+        assert_eq!(out.len(), expect);
+    }
+
+    #[test]
+    fn signal_stays_in_plausible_range() {
+        let perf = quick_writer(4).write_sequence(&[Stroke::S2, Stroke::S6]);
+        let scene = Scene::new(DeviceProfile::mate9(), EnvironmentProfile::resting_zone(), 5);
+        let out = scene.render(&perf.trajectory);
+        let peak = out.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        assert!(peak < 2.0, "peak {peak} suggests badly scaled components");
+        assert!(peak > 0.3, "peak {peak} suggests a missing carrier");
+    }
+
+    /// The rendered spectrum must contain (a) a strong static carrier line
+    /// and (b) motion energy offset from the carrier during the stroke.
+    #[test]
+    fn spectrum_shows_carrier_and_doppler_energy() {
+        let perf = quick_writer(5).write_stroke(Stroke::S2);
+        let scene = Scene::new(DeviceProfile::mate9(), EnvironmentProfile::silent(), 1);
+        let out = scene.render(&perf.trajectory);
+        let stft = Stft::new(StftConfig::paper());
+        let frames = stft.process(&out);
+        let cfg = stft.config();
+        let carrier = cfg.frequency_bin(20_000.0);
+
+        // Frame well inside the stroke (span recorded in ground truth).
+        let span = perf.spans[0];
+        let mid_frame = ((span.start + span.end) / 2.0 / cfg.hop_seconds()) as usize;
+        let frame = &frames[mid_frame.min(frames.len() - 1)];
+
+        assert!(frame[carrier] > 100.0, "carrier line too weak: {}", frame[carrier]);
+        // S2 moves downward toward the device → positive Doppler: energy in
+        // bins a bit above the carrier, well above the noise floor.
+        let motion: f64 = frame[carrier + 4..carrier + 40].iter().fold(0.0, |m, &x| m.max(x));
+        let noise: f64 = frame[carrier + 120..carrier + 170].iter().fold(0.0, |m, &x| m.max(x));
+        assert!(
+            motion > 6.0 * noise.max(1e-9),
+            "no Doppler energy: motion {motion}, far noise {noise}"
+        );
+    }
+
+    /// During the lead-in hold the probe band away from the carrier must be
+    /// quiet — that's the static background the pipeline subtracts.
+    #[test]
+    fn lead_in_frames_are_static() {
+        let perf = quick_writer(6).write_stroke(Stroke::S1);
+        let scene = Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), 2);
+        let out = scene.render(&perf.trajectory);
+        let stft = Stft::new(StftConfig::paper());
+        let frames = stft.process(&out);
+        let cfg = stft.config();
+        let carrier = cfg.frequency_bin(20_000.0);
+        // Sum Doppler-band energy on both sides of the carrier (S1 recedes,
+        // so its energy sits below the carrier).
+        let band_peak = |f: &[f64]| -> f64 {
+            f[carrier + 5..carrier + 60]
+                .iter()
+                .chain(f[carrier - 60..carrier - 5].iter())
+                .fold(0.0f64, |m, &x| m.max(x))
+        };
+        let offset_energy = band_peak(&frames[0]);
+        let span = perf.spans[0];
+        let mid_frame = ((span.start + span.end) / 2.0 / cfg.hop_seconds()) as usize;
+        let moving_energy = band_peak(&frames[mid_frame.min(frames.len() - 1)]);
+        assert!(
+            moving_energy > 3.0 * offset_energy,
+            "stroke energy {moving_energy} vs static {offset_energy}"
+        );
+    }
+
+    #[test]
+    fn watch_has_lower_echo_snr_than_phone() {
+        let perf = quick_writer(7).write_stroke(Stroke::S2);
+        let room = EnvironmentProfile::silent();
+        let render = |dev: DeviceProfile| {
+            let scene = Scene::new(dev, room.clone(), 3);
+            let out = scene.render(&perf.trajectory);
+            let stft = Stft::new(StftConfig::paper());
+            let frames = stft.process(&out);
+            let cfg = stft.config();
+            let carrier = cfg.frequency_bin(20_000.0);
+            let span = perf.spans[0];
+            let mid = ((span.start + span.end) / 2.0 / cfg.hop_seconds()) as usize;
+            let f = &frames[mid.min(frames.len() - 1)];
+            f[carrier + 4..carrier + 40].iter().fold(0.0f64, |m, &x| m.max(x))
+        };
+        let phone = render(DeviceProfile::mate9());
+        let watch = render(DeviceProfile::watch2());
+        assert!(watch < phone, "watch echo {watch} should be weaker than phone {phone}");
+    }
+
+    #[test]
+    fn empty_trajectory_renders_empty() {
+        let scene = Scene::new(DeviceProfile::mate9(), EnvironmentProfile::silent(), 1);
+        let traj = Trajectory::new(1.0 / 44_100.0);
+        assert!(scene.render(&traj).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid device profile")]
+    fn rejects_invalid_device() {
+        let mut d = DeviceProfile::mate9();
+        d.echo_gain = -1.0;
+        Scene::new(d, EnvironmentProfile::silent(), 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! The transmitted probe tone.
+
+/// Configuration of the inaudible probe tone the speaker emits.
+///
+/// The paper uses a continuous 20 kHz sinusoid sampled at 44.1 kHz.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_synth::ToneConfig;
+/// let t = ToneConfig::paper();
+/// assert_eq!(t.frequency, 20_000.0);
+/// assert_eq!(t.sample_rate, 44_100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ToneConfig {
+    /// Carrier frequency in Hz.
+    pub frequency: f64,
+    /// Sample rate in Hz.
+    pub sample_rate: f64,
+    /// Emitted amplitude (full scale = 1.0).
+    pub amplitude: f64,
+}
+
+impl ToneConfig {
+    /// The paper's tone: 20 kHz at 44.1 kHz sampling, full amplitude.
+    pub fn paper() -> Self {
+        ToneConfig { frequency: 20_000.0, sample_rate: 44_100.0, amplitude: 1.0 }
+    }
+
+    /// Generates `n` samples of the transmitted tone.
+    pub fn generate(&self, n: usize) -> Vec<f64> {
+        let w = std::f64::consts::TAU * self.frequency / self.sample_rate;
+        (0..n).map(|i| self.amplitude * (w * i as f64).sin()).collect()
+    }
+
+    /// The maximum Doppler shift (Hz) for a scatterer moving at `v` m/s in
+    /// a monostatic (co-located speaker/mic) geometry — the paper's Eq. 1.
+    ///
+    /// `Δf = f₀ · |1 − (c + v)/(c − v)| = 2 f₀ v / (c − v)`
+    pub fn max_doppler_shift(&self, v: f64) -> f64 {
+        let c = crate::SPEED_OF_SOUND;
+        self.frequency * (1.0 - (c + v) / (c - v)).abs()
+    }
+
+    /// The region of interest `[f₀ − Δf, f₀ + Δf]` for a maximum finger
+    /// speed of `v_max` m/s (paper: 4 m/s ⇒ roughly [19 530, 20 470] Hz).
+    pub fn roi(&self, v_max: f64) -> (f64, f64) {
+        let df = self.max_doppler_shift(v_max);
+        (self.frequency - df, self.frequency + df)
+    }
+}
+
+impl Default for ToneConfig {
+    fn default() -> Self {
+        ToneConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_roi_matches_eq1() {
+        let t = ToneConfig::paper();
+        // The paper computes ~470.6 Hz for v = 4 m/s.
+        let df = t.max_doppler_shift(4.0);
+        assert!((df - 476.2).abs() < 10.0, "Δf = {df}");
+        let (lo, hi) = t.roi(4.0);
+        assert!(lo > 19_500.0 && lo < 19_560.0, "lo {lo}");
+        assert!(hi > 20_440.0 && hi < 20_500.0, "hi {hi}");
+    }
+
+    #[test]
+    fn doppler_shift_zero_at_rest() {
+        assert_eq!(ToneConfig::paper().max_doppler_shift(0.0), 0.0);
+    }
+
+    #[test]
+    fn doppler_shift_monotone_in_speed() {
+        let t = ToneConfig::paper();
+        assert!(t.max_doppler_shift(2.0) < t.max_doppler_shift(4.0));
+    }
+
+    #[test]
+    fn generate_produces_unit_sine() {
+        let t = ToneConfig { frequency: 11_025.0, sample_rate: 44_100.0, amplitude: 0.5 };
+        let s = t.generate(8);
+        // 11.025 kHz at 44.1 kHz is a quarter-period per sample: 0, ½, 0, −½…
+        assert!(s[0].abs() < 1e-12);
+        assert!((s[1] - 0.5).abs() < 1e-12);
+        assert!(s[2].abs() < 1e-9);
+        assert!((s[3] + 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generate_length() {
+        assert_eq!(ToneConfig::paper().generate(1000).len(), 1000);
+        assert!(ToneConfig::paper().generate(0).is_empty());
+    }
+}

@@ -1,0 +1,53 @@
+//! Digit entry in the air (the paper's AcouDigits companion use-case):
+//! digits decompose into the same six strokes, so the unchanged pipeline
+//! recognizes them — only the mapping differs.
+//!
+//! ```sh
+//! cargo run --release --example digit_entry -- 2026
+//! ```
+
+use echowrite::EchoWrite;
+use echowrite_gesture::digits::DigitScheme;
+use echowrite_gesture::{Writer, WriterParams};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+
+fn main() {
+    let number = std::env::args().nth(1).unwrap_or_else(|| "2026".to_string());
+    let digits: Vec<u8> = number
+        .chars()
+        .map(|c| {
+            c.to_digit(10).unwrap_or_else(|| {
+                eprintln!("{c:?} is not a digit");
+                std::process::exit(1);
+            }) as u8
+        })
+        .collect();
+
+    let engine = EchoWrite::new();
+    let scheme = DigitScheme::standard();
+    let mut writer = Writer::new(WriterParams::nominal(), 31);
+
+    let mut decoded = String::new();
+    for (i, &d) in digits.iter().enumerate() {
+        let strokes = scheme.sequence_for(d).to_vec();
+        let perf = writer.write_sequence(&strokes);
+        let mic = Scene::new(
+            DeviceProfile::mate9(),
+            EnvironmentProfile::meeting_room(),
+            31 + i as u64,
+        )
+        .render(&perf.trajectory);
+        let rec = engine.recognize_strokes(&mic);
+        let observed = rec.strokes();
+        let ranked = scheme.decode_ranked(&observed, 0.93);
+        let top = ranked[0].0;
+        println!(
+            "digit {d}: wrote [{}], observed [{}] → decoded {top} (runner-up {})",
+            echowrite_gesture::stroke::format_sequence(&strokes),
+            echowrite_gesture::stroke::format_sequence(&observed),
+            ranked[1].0,
+        );
+        decoded.push(char::from(b'0' + top));
+    }
+    println!("\nentered: {decoded} (target {number})");
+}

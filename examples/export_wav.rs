@@ -1,0 +1,40 @@
+//! Exports a simulated microphone trace as a playable WAV file, then reads
+//! it back and recognizes it — the round trip a real deployment would take.
+//!
+//! ```sh
+//! cargo run --release --example export_wav -- morning /tmp/morning.wav
+//! ```
+
+use echowrite::EchoWrite;
+use echowrite_dsp::wav;
+use echowrite_gesture::{Writer, WriterParams};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+
+fn main() {
+    let word = std::env::args().nth(1).unwrap_or_else(|| "morning".to_string());
+    let path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| std::env::temp_dir().join("echowrite.wav").display().to_string());
+
+    let engine = EchoWrite::new();
+    let strokes = engine.scheme().encode_word(&word).unwrap_or_else(|e| {
+        eprintln!("cannot encode {word:?}: {e}");
+        std::process::exit(1);
+    });
+    let perf = Writer::new(WriterParams::nominal(), 77).write_sequence(&strokes);
+    let mic = Scene::new(DeviceProfile::mate9(), EnvironmentProfile::lab_area(), 77)
+        .render(&perf.trajectory);
+
+    wav::write_wav_file(&path, &mic, 44_100).expect("write wav");
+    println!("wrote {:.1} s of audio to {path}", mic.len() as f64 / 44_100.0);
+    println!("(the 20 kHz probe tone is inaudible to most adults — that's the point)");
+
+    let audio = wav::read_wav_file(&path).expect("read wav back");
+    assert_eq!(audio.sample_rate, 44_100);
+    let rec = engine.recognize_word(&audio.samples);
+    println!(
+        "recognized from file: [{}] → {:?}",
+        echowrite_gesture::stroke::format_sequence(&rec.strokes.strokes()),
+        rec.candidates.iter().map(|c| c.word.as_str()).collect::<Vec<_>>()
+    );
+}

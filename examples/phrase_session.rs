@@ -1,0 +1,64 @@
+//! Hands-free phrase entry with the streaming [`TextSession`] API: words
+//! commit automatically at writing pauses, with candidate lists and 2-gram
+//! suggestions after each commit.
+//!
+//! ```sh
+//! cargo run --release --example phrase_session -- "the people"
+//! ```
+
+use echowrite::{EchoWrite, SessionEvent, TextSession};
+use echowrite_gesture::{Writer, WriterParams};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+
+fn main() {
+    let phrase = std::env::args().nth(1).unwrap_or_else(|| "the people".to_string());
+    let words: Vec<&str> = phrase.split_whitespace().collect();
+
+    let engine = EchoWrite::new();
+
+    // Render the whole phrase as one continuous performance: each word's
+    // strokes with a smooth 3-second rest between words (the boundary the
+    // session detects).
+    let seqs: Vec<_> = words
+        .iter()
+        .map(|w| {
+            engine.scheme().encode_word(w).unwrap_or_else(|e| {
+                eprintln!("cannot encode {w:?}: {e}");
+                std::process::exit(1);
+            })
+        })
+        .collect();
+    let mut writer = Writer::new(WriterParams::nominal(), 9);
+    let perf = writer.write_phrase(&seqs, 3.0);
+    let mut traj = perf.trajectory.clone();
+    let rest = *traj.points().last().expect("non-empty phrase");
+    traj.hold(rest, 3.5);
+    let mic = Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), 9)
+        .render(&traj);
+    println!("entering {:?} — {:.1} s of audio\n", phrase, traj.duration());
+
+    let mut session = TextSession::new(&engine);
+    let chunk = 5 * engine.config().stft.hop;
+    for (i, piece) in mic.chunks(chunk).enumerate() {
+        for ev in session.push(piece) {
+            let t = i as f64 * chunk as f64 / 44_100.0;
+            match ev {
+                SessionEvent::Stroke(s) => {
+                    println!("t={t:5.2}s  stroke {}", s.classification.stroke);
+                }
+                SessionEvent::Word { word, candidates, suggestions } => {
+                    println!(
+                        "t={t:5.2}s  WORD: {:?}  (candidates {:?}, next: {:?})",
+                        word.unwrap_or_default(),
+                        candidates.iter().map(|c| c.word.as_str()).collect::<Vec<_>>(),
+                        suggestions
+                    );
+                }
+            }
+        }
+    }
+    if let Some(SessionEvent::Word { word, .. }) = session.flush() {
+        println!("flush     WORD: {:?}", word.unwrap_or_default());
+    }
+    println!("\nsession text: {:?} (target {:?})", session.text(), phrase);
+}

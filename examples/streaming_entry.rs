@@ -1,0 +1,57 @@
+//! Streaming recognition: feed microphone chunks like the Android app's
+//! 5-frame buffers and watch strokes stabilize in real time.
+//!
+//! ```sh
+//! cargo run --release --example streaming_entry -- because
+//! ```
+
+use echowrite::{EchoWrite, StreamingRecognizer};
+use echowrite_gesture::{Writer, WriterParams};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+
+fn main() {
+    let word = std::env::args().nth(1).unwrap_or_else(|| "because".to_string());
+    let engine = EchoWrite::new();
+    let strokes = engine.scheme().encode_word(&word).unwrap_or_else(|e| {
+        eprintln!("cannot encode {word:?}: {e}");
+        std::process::exit(1);
+    });
+
+    // Render the performance plus a rest tail so the last stroke stabilizes.
+    let perf = Writer::new(WriterParams::nominal(), 11).write_sequence(&strokes);
+    let mut traj = perf.trajectory.clone();
+    let last = *traj.points().last().expect("non-empty trajectory");
+    traj.hold(last, 1.0);
+    let mic = Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), 11)
+        .render(&traj);
+
+    // Stream in app-sized buffers (5 hops = 5 × 1024 samples ≈ 116 ms).
+    let mut stream = StreamingRecognizer::new(&engine);
+    let mut observed = Vec::new();
+    let chunk_len = 5 * engine.config().stft.hop;
+    for (i, chunk) in mic.chunks(chunk_len).enumerate() {
+        for event in stream.push(chunk) {
+            let t = i as f64 * chunk_len as f64 / 44_100.0;
+            println!(
+                "t={t:5.2}s  stroke {} stabilized (frames {}–{}, margin {:.1})",
+                event.classification.stroke,
+                event.start_frame,
+                event.end_frame,
+                event.classification.margin()
+            );
+            observed.push(event.classification.stroke);
+        }
+    }
+
+    println!(
+        "\nstreamed strokes: [{}] (wrote [{}])",
+        echowrite_gesture::stroke::format_sequence(&observed),
+        echowrite_gesture::stroke::format_sequence(&strokes),
+    );
+    let candidates = engine.decode_sequence(&observed);
+    println!("decoded candidates:");
+    for (i, c) in candidates.iter().enumerate() {
+        let marker = if c.word == word { "  <-- target" } else { "" };
+        println!("  {}. {}{}", i + 1, c.word, marker);
+    }
+}

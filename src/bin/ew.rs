@@ -1,0 +1,188 @@
+//! `ew` — the EchoWrite command-line tool.
+//!
+//! ```text
+//! ew synth <word> <out.wav> [--env meeting|lab|resting] [--seed N]
+//! ew recognize <in.wav> [--downsampled]
+//! ew decode <S1> <S2> ... [--full-edit]
+//! ew templates
+//! ew scheme
+//! ```
+//!
+//! `synth` renders a simulated microphone trace of a user writing `word`;
+//! `recognize` runs the full pipeline on any 16-bit PCM WAV (real
+//! recordings welcome — the pipeline expects a 20 kHz probe tone in the
+//! audio); `decode` runs the Bayesian word decoder on a stroke sequence;
+//! `templates` and `scheme` print the intrinsic profiles and the
+//! letter→stroke mapping.
+
+use echowrite::{EchoWrite, EchoWriteConfig};
+use echowrite_dsp::wav;
+use echowrite_gesture::{Stroke, Writer, WriterParams};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  ew synth <word> <out.wav> [--env meeting|lab|resting] [--seed N]\n  \
+         ew recognize <in.wav> [--downsampled]\n  \
+         ew decode <S1> <S2> ... [--full-edit]\n  \
+         ew templates\n  \
+         ew scheme"
+    );
+    std::process::exit(2);
+}
+
+fn environment(name: &str) -> EnvironmentProfile {
+    match name {
+        "meeting" => EnvironmentProfile::meeting_room(),
+        "lab" => EnvironmentProfile::lab_area(),
+        "resting" => EnvironmentProfile::resting_zone(),
+        other => {
+            eprintln!("unknown environment {other:?} (meeting|lab|resting)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("synth") => cmd_synth(&args[1..]),
+        Some("recognize") => cmd_recognize(&args[1..]),
+        Some("decode") => cmd_decode(&args[1..]),
+        Some("templates") => cmd_templates(),
+        Some("scheme") => cmd_scheme(),
+        _ => usage(),
+    }
+}
+
+fn cmd_synth(args: &[String]) {
+    let (word, path) = match (args.first(), args.get(1)) {
+        (Some(w), Some(p)) if !w.starts_with("--") => (w.clone(), p.clone()),
+        _ => usage(),
+    };
+    let env = environment(&flag_value(args, "--env").unwrap_or_else(|| "meeting".into()));
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| s.parse().unwrap_or(1))
+        .unwrap_or(1);
+
+    let engine = EchoWrite::new();
+    let strokes = engine.scheme().encode_word(&word).unwrap_or_else(|e| {
+        eprintln!("cannot encode {word:?}: {e}");
+        std::process::exit(1);
+    });
+    let perf = Writer::new(WriterParams::nominal(), seed).write_sequence(&strokes);
+    let mic = Scene::new(DeviceProfile::mate9(), env, seed).render(&perf.trajectory);
+    wav::write_wav_file(&path, &mic, 44_100).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "wrote {path}: {:.1}s of audio, strokes [{}]",
+        mic.len() as f64 / 44_100.0,
+        echowrite_gesture::stroke::format_sequence(&strokes)
+    );
+}
+
+fn cmd_recognize(args: &[String]) {
+    let path = match args.first() {
+        Some(p) if !p.starts_with("--") => p.clone(),
+        _ => usage(),
+    };
+    let engine = if args.iter().any(|a| a == "--downsampled") {
+        EchoWrite::with_config(EchoWriteConfig::downsampled(32))
+    } else {
+        EchoWrite::new()
+    };
+    let audio = wav::read_wav_file(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    if (audio.sample_rate as f64 - engine.config().stft.sample_rate).abs() > 1.0 {
+        eprintln!(
+            "warning: {path} is {} Hz; the pipeline expects {} Hz",
+            audio.sample_rate,
+            engine.config().stft.sample_rate
+        );
+    }
+    let rec = engine.recognize_word(&audio.samples);
+    println!(
+        "strokes: [{}] ({} ms processing)",
+        echowrite_gesture::stroke::format_sequence(&rec.strokes.strokes()),
+        rec.strokes.timing.total_ms().round()
+    );
+    let candidates = if rec.candidates.is_empty() {
+        // Nothing at substitution distance — fall back to general
+        // edit-distance-1 decoding (recovers dropped/extra strokes).
+        let fallback = engine
+            .decoder()
+            .decode_full_edit(&rec.strokes.strokes(), 0.05);
+        if !fallback.is_empty() {
+            println!("(no exact/substitution match; edit-distance-1 fallback)");
+        }
+        fallback
+    } else {
+        rec.candidates
+    };
+    if candidates.is_empty() {
+        println!("candidates: (none)");
+    } else {
+        println!("candidates:");
+        for (i, c) in candidates.iter().enumerate() {
+            println!("  {}. {}", i + 1, c.word);
+        }
+    }
+}
+
+fn cmd_decode(args: &[String]) {
+    let full_edit = args.iter().any(|a| a == "--full-edit");
+    let strokes: Vec<Stroke> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| {
+            a.parse().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    if strokes.is_empty() {
+        usage();
+    }
+    let engine = EchoWrite::new();
+    let candidates = if full_edit {
+        engine.decoder().decode_full_edit(&strokes, 0.05)
+    } else {
+        engine.decode_sequence(&strokes)
+    };
+    if candidates.is_empty() {
+        println!("no dictionary match for [{}]", echowrite_gesture::stroke::format_sequence(&strokes));
+    } else {
+        for (i, c) in candidates.iter().enumerate() {
+            let marker = if c.corrected { " (corrected)" } else { "" };
+            println!("{}. {}{}", i + 1, c.word, marker);
+        }
+    }
+}
+
+fn cmd_templates() {
+    let engine = EchoWrite::new();
+    for (s, t) in engine.classifier().templates().iter() {
+        let resampled = echowrite_dsp::util::resample_linear(t, 16);
+        let cells: Vec<String> = resampled.iter().map(|v| format!("{v:>4.0}")).collect();
+        println!("{s} ({:>2} frames): {}", t.len(), cells.join(" "));
+    }
+}
+
+fn cmd_scheme() {
+    let engine = EchoWrite::new();
+    for s in Stroke::ALL {
+        let letters: String = engine.scheme().letters_for(s).iter().collect();
+        println!("{s} {}  {}  ({})", s.glyph(), letters, s.description());
+    }
+}

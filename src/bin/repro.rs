@@ -1,0 +1,10 @@
+//! Regenerates every table and figure of the EchoWrite paper.
+//!
+//! Usage: `repro <experiment>` where `<experiment>` is one of
+//! `fig4 fig5 fig6 table1 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16
+//! fig17 fig18 fig19 fig20 fig21 all`.
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    echowrite_sim::experiments::run_by_name(&arg);
+}

@@ -1,0 +1,17 @@
+//! Workspace-level umbrella for the EchoWrite reproduction.
+//!
+//! This crate hosts the integration test suite (`tests/`), the runnable
+//! examples (`examples/`), and the `repro` binary that regenerates every
+//! table and figure of the paper. The actual functionality lives in the
+//! `echowrite-*` crates; see the workspace `README.md` for the map.
+
+pub use echowrite as core;
+pub use echowrite_corpus as corpus;
+pub use echowrite_dsp as dsp;
+pub use echowrite_dtw as dtw;
+pub use echowrite_gesture as gesture;
+pub use echowrite_lang as lang;
+pub use echowrite_profile as profile;
+pub use echowrite_sim as sim;
+pub use echowrite_spectro as spectro;
+pub use echowrite_synth as synth;

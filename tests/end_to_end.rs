@@ -1,0 +1,151 @@
+//! End-to-end integration tests: raw simulated microphone audio through the
+//! complete recognition stack.
+
+use echowrite::EchoWrite;
+use echowrite_gesture::{Stroke, Writer, WriterParams};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+use std::sync::OnceLock;
+
+fn engine() -> &'static EchoWrite {
+    static E: OnceLock<EchoWrite> = OnceLock::new();
+    E.get_or_init(EchoWrite::new)
+}
+
+fn render(strokes: &[Stroke], seed: u64, env: EnvironmentProfile) -> Vec<f64> {
+    let perf = Writer::new(WriterParams::nominal(), seed).write_sequence(strokes);
+    Scene::new(DeviceProfile::mate9(), env, seed).render(&perf.trajectory)
+}
+
+#[test]
+fn all_six_strokes_recognized_in_meeting_room() {
+    let e = engine();
+    let mut correct = 0;
+    for (i, &stroke) in Stroke::ALL.iter().enumerate() {
+        let audio = render(&[stroke], 100 + i as u64, EnvironmentProfile::meeting_room());
+        let rec = e.recognize_strokes(&audio);
+        if rec.strokes() == vec![stroke] {
+            correct += 1;
+        }
+    }
+    assert!(correct >= 5, "only {correct}/6 strokes recognized end-to-end");
+}
+
+#[test]
+fn words_of_each_length_class_decode_into_top5() {
+    let e = engine();
+    let mut hits = 0;
+    let words = ["me", "the", "water", "people"];
+    for (i, word) in words.iter().enumerate() {
+        let seq = e.scheme().encode_word(word).unwrap();
+        let audio = render(&seq, 500 + i as u64, EnvironmentProfile::meeting_room());
+        let rec = e.recognize_word(&audio);
+        if rec.in_top(word, 5) {
+            hits += 1;
+        }
+    }
+    assert!(hits >= 3, "only {hits}/4 words reached the top-5 list");
+}
+
+#[test]
+fn recognition_is_deterministic() {
+    let e = engine();
+    let audio = render(
+        &[Stroke::S5, Stroke::S2],
+        77,
+        EnvironmentProfile::lab_area(),
+    );
+    let a = e.recognize_word(&audio);
+    let b = e.recognize_word(&audio);
+    assert_eq!(a.strokes.strokes(), b.strokes.strokes());
+    assert_eq!(
+        a.candidates.iter().map(|c| &c.word).collect::<Vec<_>>(),
+        b.candidates.iter().map(|c| &c.word).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn multi_stroke_sequences_segment_correctly() {
+    let e = engine();
+    let strokes = [Stroke::S2, Stroke::S3, Stroke::S6, Stroke::S1];
+    let audio = render(&strokes, 31, EnvironmentProfile::meeting_room());
+    let rec = e.recognize_strokes(&audio);
+    assert_eq!(
+        rec.segments.len(),
+        strokes.len(),
+        "segment count mismatch: {:?}",
+        rec.segments
+    );
+    // Segments must be ordered and disjoint.
+    for w in rec.segments.windows(2) {
+        assert!(w[0].end <= w[1].start);
+    }
+}
+
+#[test]
+fn silence_and_noise_only_produce_no_strokes() {
+    let e = engine();
+    // Pure digital silence.
+    assert!(e.recognize_strokes(&vec![0.0; 88_200]).strokes().is_empty());
+    // A noisy room with no writer at all: hold the finger at rest.
+    let mut traj = echowrite_gesture::Trajectory::new(1.0 / 44_100.0);
+    traj.hold(echowrite_gesture::Vec3::new(0.05, 0.08, 0.14), 3.0);
+    let audio = Scene::new(
+        DeviceProfile::mate9(),
+        EnvironmentProfile::lab_area(),
+        3,
+    )
+    .render(&traj);
+    let rec = e.recognize_strokes(&audio);
+    assert!(
+        rec.strokes().is_empty(),
+        "phantom strokes in a writer-less room: {:?}",
+        rec.strokes()
+    );
+}
+
+#[test]
+fn watch_device_works_end_to_end() {
+    let e = engine();
+    let perf = Writer::new(WriterParams::nominal(), 55).write_stroke(Stroke::S2);
+    let audio = Scene::new(
+        DeviceProfile::watch2(),
+        EnvironmentProfile::meeting_room(),
+        55,
+    )
+    .render(&perf.trajectory);
+    let rec = e.recognize_strokes(&audio);
+    assert_eq!(rec.strokes(), vec![Stroke::S2]);
+}
+
+#[test]
+fn timing_is_faster_than_realtime() {
+    let e = engine();
+    let audio = render(&[Stroke::S4], 9, EnvironmentProfile::meeting_room());
+    let rec = e.recognize_word(&audio);
+    let audio_ms = audio.len() as f64 / 44.1;
+    assert!(
+        rec.strokes.timing.total_ms() < audio_ms / 2.0,
+        "pipeline {} ms for {} ms of audio",
+        rec.strokes.timing.total_ms(),
+        audio_ms
+    );
+}
+
+#[test]
+fn decode_soft_and_confusion_paths_agree_on_clean_input() {
+    // Individual seeds can produce genuinely sloppy strokes (that is the
+    // realism the error model needs), so require a majority of seeds to
+    // agree rather than every one.
+    let e = engine();
+    let seq = e.scheme().encode_word("and").unwrap();
+    let mut both_agree = 0;
+    for seed in [11u64, 15, 23] {
+        let audio = render(&seq, seed, EnvironmentProfile::meeting_room());
+        let word_rec = e.recognize_word(&audio);
+        let seq_candidates = e.decode_sequence(&word_rec.strokes.strokes());
+        if word_rec.in_top("and", 5) && seq_candidates.iter().any(|c| c.word == "and") {
+            both_agree += 1;
+        }
+    }
+    assert!(both_agree >= 2, "only {both_agree}/3 seeds decoded 'and'");
+}

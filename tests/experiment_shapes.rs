@@ -1,0 +1,186 @@
+//! Shape assertions over the paper-reproduction experiments: these encode
+//! the qualitative claims of each figure (who wins, what rises, what's
+//! flat) at a reduced Monte-Carlo scale.
+
+use echowrite_sim::experiments::{entry, learnability, strokes, system, words, Scale};
+
+fn quick() -> Scale {
+    Scale { reps: 3, seed: 2019 }
+}
+
+#[test]
+fn fig4_shape_accuracy_rises_to_high_nineties() {
+    let results = learnability::study(quick());
+    let mean = |m: usize| {
+        results.iter().map(|r| r.minute_accuracy[m]).sum::<f64>() / results.len() as f64
+    };
+    assert!(mean(14) > mean(0), "no learning effect");
+    assert!(mean(14) > 0.95, "final accuracy {}", mean(14));
+}
+
+#[test]
+fn fig5_shape_speed_near_eleven_wpm() {
+    let results = learnability::study(quick());
+    let mean: f64 = results.iter().map(|r| r.final_wpm).sum::<f64>() / results.len() as f64;
+    assert!((8.0..15.0).contains(&mean), "WPM {mean} (paper ≈11)");
+}
+
+#[test]
+fn fig6_shape_word_accuracy_around_ninety() {
+    for r in learnability::study(quick()) {
+        assert!(
+            (0.80..=0.90).contains(&r.final_word_accuracy),
+            "{}: {}",
+            r.name,
+            r.final_word_accuracy
+        );
+    }
+}
+
+#[test]
+fn fig11_shape_watch_close_to_phone() {
+    let trials = strokes::run_trials(quick());
+    let phone = trials
+        .accuracy(|r| r.device == "Huawei Mate 9" && r.environment == "Meeting room")
+        .unwrap();
+    let watch = trials
+        .accuracy(|r| r.device == "Huawei Watch 2")
+        .unwrap();
+    assert!(phone > 0.8, "phone accuracy {phone}");
+    assert!(watch > 0.75, "watch accuracy {watch}");
+    assert!(
+        (phone - watch).abs() < 0.12,
+        "devices should be close: {phone} vs {watch}"
+    );
+}
+
+#[test]
+fn fig12_shape_resting_zone_is_not_best() {
+    let trials = strokes::run_trials(quick());
+    let acc = |env: &str| {
+        trials
+            .accuracy(|r| r.device == "Huawei Mate 9" && r.environment == env)
+            .unwrap()
+    };
+    let meeting = acc("Meeting room");
+    let lab = acc("Lab area");
+    let resting = acc("Resting zone");
+    assert!(meeting > 0.8 && lab > 0.8, "clean rooms {meeting}/{lab}");
+    assert!(
+        resting <= meeting.max(lab) + 0.02,
+        "resting zone {resting} should not be best ({meeting}/{lab})"
+    );
+}
+
+#[test]
+fn fig13_shape_participants_cluster_tightly() {
+    let trials = strokes::run_trials(quick());
+    let mut accs = Vec::new();
+    for pid in 1..=6 {
+        accs.push(
+            trials
+                .accuracy(|r| r.device == "Huawei Mate 9" && r.participant == pid)
+                .unwrap(),
+        );
+    }
+    let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+    let spread = accs.iter().cloned().fold(0.0f64, f64::max)
+        - accs.iter().cloned().fold(1.0f64, f64::min);
+    assert!(mean > 0.8, "cohort mean {mean}");
+    // Paper: max gap ≈ 2.6 %; at reduced reps allow more sampling noise.
+    assert!(spread < 0.20, "participant spread {spread}");
+}
+
+#[test]
+fn fig14_shape_topk_rises_then_saturates() {
+    let trials = words::run_word_trials(quick());
+    let t1 = trials.top_k_accuracy(None, 1, true);
+    let t3 = trials.top_k_accuracy(None, 3, true);
+    let t5 = trials.top_k_accuracy(None, 5, true);
+    assert!(t1 <= t3 && t3 <= t5, "top-k not monotone: {t1}/{t3}/{t5}");
+    assert!(t3 > 0.6, "top-3 {t3}");
+    // Paper: beyond k = 3 the gain is small.
+    assert!(t5 - t3 < 0.15, "top-5 gain over top-3 too large: {t3}→{t5}");
+}
+
+#[test]
+fn fig15_shape_correction_helps() {
+    let trials = words::run_word_trials(quick());
+    let with = trials.top_k_accuracy(None, 5, true);
+    let without = trials.top_k_accuracy(None, 5, false);
+    assert!(with >= without, "correction hurt: {with} < {without}");
+}
+
+#[test]
+fn fig16_fig17_shape_echowrite_beats_watch_keyboard() {
+    let scale = quick();
+    let echo = entry::echowrite_speeds(scale, 1);
+    let kb = entry::keyboard_speeds(scale);
+    let mean = |v: &[(String, f64, f64)], pick: fn(&(String, f64, f64)) -> f64| {
+        v.iter().map(pick).sum::<f64>() / v.len() as f64
+    };
+    let (e_wpm, k_wpm) = (mean(&echo, |x| x.1), mean(&kb, |x| x.1));
+    let (e_lpm, k_lpm) = (mean(&echo, |x| x.2), mean(&kb, |x| x.2));
+    assert!(e_wpm > k_wpm, "WPM: {e_wpm} vs {k_wpm}");
+    assert!(e_lpm > k_lpm, "LPM: {e_lpm} vs {k_lpm}");
+    // Rough paper ratio: 7.5/5.5 ≈ 1.36.
+    let ratio = e_wpm / k_wpm;
+    assert!((1.05..2.2).contains(&ratio), "WPM ratio {ratio}");
+}
+
+#[test]
+fn fig18_shape_practice_saturates() {
+    let scale = quick();
+    let (wpm1, _) = entry::mean_speed_at_session(scale, 1);
+    let (wpm13, lpm13) = entry::mean_speed_at_session(scale, 13);
+    let (wpm15, _) = entry::mean_speed_at_session(scale, 15);
+    assert!(wpm13 > 1.5 * wpm1, "practice gain {wpm1} → {wpm13}");
+    assert!((wpm15 - wpm13).abs() < 0.2 * wpm13, "no saturation: {wpm13} vs {wpm15}");
+    assert!((40.0..75.0).contains(&lpm13), "trained LPM {lpm13} (paper 55.3)");
+}
+
+#[test]
+fn fig19_shape_signal_processing_dominates() {
+    let times = system::measure_stage_times(quick());
+    for (stroke, t) in times {
+        assert!(
+            t.signal_processing_fraction() > 0.7,
+            "{stroke}: {}",
+            t.signal_processing_fraction()
+        );
+        assert!(t.total_ms() > 0.0);
+    }
+}
+
+#[test]
+fn fig20_shape_battery_nearly_linear_to_87() {
+    let t = system::fig20();
+    let level30: f64 = t.rows[6][1].parse().unwrap();
+    assert!((85.0..89.5).contains(&level30), "30-min level {level30}");
+}
+
+#[test]
+fn fig21_shape_cpu_mean_and_spread() {
+    let t = system::fig21(quick());
+    let mean: f64 = t.rows[0][1].trim_end_matches('%').parse().unwrap();
+    let sd: f64 = t.rows[1][1].trim_end_matches('%').parse().unwrap();
+    // Paper: 15.2 % ± 2.3 %. The measured desktop fraction varies with the
+    // machine and test-runner load; assert the modelled share lands in a
+    // sane band with spread well below the mean.
+    assert!((4.0..45.0).contains(&mean), "CPU mean {mean}%");
+    assert!(sd < mean, "σ {sd} should be well below the mean {mean}");
+}
+
+#[test]
+fn table1_covers_all_strokes() {
+    let t = words::table1();
+    assert_eq!(t.rows.len(), 10);
+    let mut seen = [false; 6];
+    for row in &t.rows {
+        for s in row[2].split_whitespace() {
+            let idx: usize = s[1..].parse::<usize>().unwrap() - 1;
+            seen[idx] = true;
+        }
+    }
+    assert!(seen.iter().all(|&b| b), "stroke coverage {seen:?}");
+}

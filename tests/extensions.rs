@@ -1,0 +1,148 @@
+//! Integration tests for the future-work features implemented beyond the
+//! published system: the down-converted front-end, burst suppression, the
+//! streaming text session, digit entry, and WAV round-trips.
+
+use echowrite::{EchoWrite, EchoWriteConfig, SessionEvent, TextSession};
+use echowrite_gesture::digits::DigitScheme;
+use echowrite_gesture::{Stroke, Writer, WriterParams};
+use echowrite_spectro::EnhanceConfig;
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+use std::sync::OnceLock;
+
+fn engine() -> &'static EchoWrite {
+    static E: OnceLock<EchoWrite> = OnceLock::new();
+    E.get_or_init(EchoWrite::new)
+}
+
+fn render(strokes: &[Stroke], seed: u64, env: EnvironmentProfile) -> Vec<f64> {
+    let perf = Writer::new(WriterParams::nominal(), seed).write_sequence(strokes);
+    Scene::new(DeviceProfile::mate9(), env, seed).render(&perf.trajectory)
+}
+
+#[test]
+fn downsampled_engine_recognizes_strokes_end_to_end() {
+    let fast = EchoWrite::with_config(EchoWriteConfig::downsampled(32));
+    let mut hits = 0;
+    for (i, &stroke) in Stroke::ALL.iter().enumerate() {
+        let audio = render(&[stroke], 700 + i as u64, EnvironmentProfile::meeting_room());
+        if fast.recognize_strokes(&audio).strokes() == vec![stroke] {
+            hits += 1;
+        }
+    }
+    assert!(hits >= 4, "downsampled engine got only {hits}/6");
+}
+
+#[test]
+fn downsampled_and_full_agree_on_words() {
+    let fast = EchoWrite::with_config(EchoWriteConfig::downsampled(32));
+    let full = engine();
+    let seq = full.scheme().encode_word("the").unwrap();
+    let audio = render(&seq, 42, EnvironmentProfile::meeting_room());
+    let a = full.recognize_strokes(&audio).strokes();
+    let b = fast.recognize_strokes(&audio).strokes();
+    assert_eq!(a.len(), b.len(), "front-ends segment differently: {a:?} vs {b:?}");
+}
+
+#[test]
+fn burst_suppressed_engine_matches_baseline_in_clean_rooms() {
+    let mut cfg = EchoWriteConfig::paper();
+    cfg.enhance = EnhanceConfig::with_burst_suppression();
+    let suppressed = EchoWrite::with_config(cfg);
+    let baseline = engine();
+    for (i, &stroke) in [Stroke::S2, Stroke::S5].iter().enumerate() {
+        let audio = render(&[stroke], 50 + i as u64, EnvironmentProfile::meeting_room());
+        assert_eq!(
+            baseline.recognize_strokes(&audio).strokes(),
+            suppressed.recognize_strokes(&audio).strokes(),
+            "suppression changed a clean-room result"
+        );
+    }
+}
+
+#[test]
+fn text_session_enters_a_two_word_phrase() {
+    let e = engine();
+    let seqs = vec![
+        e.scheme().encode_word("the").unwrap(),
+        e.scheme().encode_word("me").unwrap(),
+    ];
+    let mut writer = Writer::new(WriterParams::nominal(), 8);
+    let perf = writer.write_phrase(&seqs, 3.2);
+    let mut traj = perf.trajectory.clone();
+    let rest = *traj.points().last().unwrap();
+    traj.hold(rest, 3.5);
+    let audio = Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), 8)
+        .render(&traj);
+
+    let mut session = TextSession::new(e);
+    let mut committed = 0;
+    for chunk in audio.chunks(5 * 1024) {
+        for ev in session.push(chunk) {
+            if matches!(ev, SessionEvent::Word { .. }) {
+                committed += 1;
+            }
+        }
+    }
+    if session.flush().is_some() {
+        committed += 1;
+    }
+    assert_eq!(committed, 2, "text: {:?}", session.text());
+    assert_eq!(session.text().split_whitespace().count(), 2);
+}
+
+#[test]
+fn digits_recognized_through_the_pipeline() {
+    let e = engine();
+    let scheme = DigitScheme::standard();
+    let mut correct = 0;
+    for d in [1u8, 2, 6, 9] {
+        let strokes = scheme.sequence_for(d).to_vec();
+        let audio = render(&strokes, 300 + d as u64, EnvironmentProfile::meeting_room());
+        let observed = e.recognize_strokes(&audio).strokes();
+        let ranked = scheme.decode_ranked(&observed, 0.93);
+        if ranked[0].0 == d {
+            correct += 1;
+        }
+    }
+    assert!(correct >= 3, "only {correct}/4 digits decoded");
+}
+
+#[test]
+fn wav_roundtrip_preserves_recognition() {
+    let e = engine();
+    let seq = e.scheme().encode_word("and").unwrap();
+    let audio = render(&seq, 15, EnvironmentProfile::meeting_room());
+    let direct = e.recognize_strokes(&audio).strokes();
+
+    let mut buf = Vec::new();
+    echowrite_dsp::wav::write_wav(&mut buf, &audio, 44_100).unwrap();
+    let decoded = echowrite_dsp::wav::read_wav(buf.as_slice()).unwrap();
+    let via_wav = e.recognize_strokes(&decoded.samples).strokes();
+    assert_eq!(direct, via_wav, "16-bit quantization changed recognition");
+}
+
+#[test]
+fn full_edit_decoder_recovers_a_dropped_stroke_end_to_end() {
+    let e = engine();
+    // Drop one stroke of "people" at the stroke level (simulating a missed
+    // detection) and decode both ways.
+    let mut observed = e.scheme().encode_word("people").unwrap();
+    observed.remove(2);
+    let substitution_only = e.decoder().decode(&observed);
+    let general = e.decoder().decode_full_edit(&observed, 0.05);
+    assert!(!substitution_only.iter().any(|c| c.word == "people"));
+    assert!(general.iter().any(|c| c.word == "people"));
+}
+
+#[test]
+fn session_metrics_on_transcripts() {
+    use echowrite_sim::metrics::{msd_error_rate, strokes_per_character};
+    let presented = ["the", "people", "by", "the", "water"];
+    let error_free = msd_error_rate(&presented, &presented);
+    assert_eq!(error_free, 0.0);
+    let garbled = ["the", "purple", "by", "water"];
+    let rate = msd_error_rate(&presented, &garbled);
+    assert!(rate > 0.0 && rate < 1.0);
+    let spc = strokes_per_character(&presented, engine().scheme());
+    assert!((spc - 1.0).abs() < 1e-9);
+}

@@ -1,0 +1,306 @@
+//! Property-based tests over the core data structures and invariants.
+
+use echowrite_dsp::filters::{gaussian_smooth, holoborodko_diff, median_filter, moving_average};
+use echowrite_dsp::util::{normalize_zero_one, resample_linear};
+use echowrite_dsp::{Complex, Fft};
+use echowrite_dtw::{dtw_distance, DtwConfig};
+use echowrite_gesture::{InputScheme, Stroke};
+use echowrite_lang::{CorrectionRules, Dictionary, WordDecoder};
+use echowrite_profile::{DopplerProfile, SegmentConfig, Segmenter};
+use echowrite_spectro::{image, Spectrogram};
+use proptest::prelude::*;
+
+fn small_signal() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, 1..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------- FFT ----------
+
+    #[test]
+    fn fft_roundtrip_recovers_signal(values in prop::collection::vec(-1.0f64..1.0, 32)) {
+        let fft = Fft::new(32);
+        let original: Vec<Complex> = values.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let mut buf = original.clone();
+        fft.forward(&mut buf);
+        fft.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&original) {
+            prop_assert!((a.re - b.re).abs() < 1e-9);
+            prop_assert!(a.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_parseval(values in prop::collection::vec(-1.0f64..1.0, 64)) {
+        let fft = Fft::new(64);
+        let time: f64 = values.iter().map(|v| v * v).sum();
+        let mut buf: Vec<Complex> = values.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        fft.forward(&mut buf);
+        let freq: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / 64.0;
+        prop_assert!((time - freq).abs() < 1e-6 * time.max(1.0));
+    }
+
+    // ---------- 1-D filters ----------
+
+    #[test]
+    fn moving_average_bounded_by_extremes(x in small_signal()) {
+        let lo = x.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in moving_average(&x, 3) {
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn median_filter_output_values_exist_in_window(x in small_signal()) {
+        let y = median_filter(&x, 3);
+        prop_assert_eq!(y.len(), x.len());
+        let lo = x.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in y {
+            prop_assert!(v >= lo && v <= hi);
+        }
+    }
+
+    #[test]
+    fn gaussian_smooth_preserves_length_and_bounds(x in small_signal()) {
+        let y = gaussian_smooth(&x, 5);
+        prop_assert_eq!(y.len(), x.len());
+        let lo = x.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in y {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn holoborodko_is_linear(x in prop::collection::vec(-10.0f64..10.0, 10..40),
+                             a in -3.0f64..3.0) {
+        let scaled: Vec<f64> = x.iter().map(|v| a * v).collect();
+        let dx = holoborodko_diff(&x);
+        let ds = holoborodko_diff(&scaled);
+        for (u, v) in dx.iter().zip(&ds) {
+            prop_assert!((a * u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn normalize_zero_one_lands_in_unit_interval(mut x in small_signal()) {
+        normalize_zero_one(&mut x);
+        for v in &x {
+            prop_assert!((0.0..=1.0).contains(v));
+        }
+    }
+
+    #[test]
+    fn resample_preserves_endpoints(x in prop::collection::vec(-5.0f64..5.0, 2..40),
+                                    n in 2usize..60) {
+        let y = resample_linear(&x, n);
+        prop_assert_eq!(y.len(), n);
+        prop_assert!((y[0] - x[0]).abs() < 1e-12);
+        prop_assert!((y[n - 1] - x[x.len() - 1]).abs() < 1e-12);
+    }
+
+    // ---------- DTW ----------
+
+    #[test]
+    fn dtw_identity_and_symmetry(a in small_signal(), b in small_signal()) {
+        let cfg = DtwConfig::default();
+        prop_assert_eq!(dtw_distance(&a, &a, cfg), 0.0);
+        let ab = dtw_distance(&a, &b, cfg);
+        let ba = dtw_distance(&b, &a, cfg);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab >= 0.0);
+    }
+
+    #[test]
+    fn dtw_invariant_to_duplication(a in prop::collection::vec(-50.0f64..50.0, 2..20)) {
+        // Repeating every sample (time-stretch by 2) must not change the
+        // normalized DTW distance to the original by much.
+        let stretched: Vec<f64> = a.iter().flat_map(|&v| [v, v]).collect();
+        let d = dtw_distance(&a, &stretched, DtwConfig::default());
+        prop_assert!(d < 1e-9, "stretch distance {d}");
+    }
+
+    // ---------- spectrogram image ops ----------
+
+    #[test]
+    fn binarize_then_fill_is_idempotent(cells in prop::collection::vec(0.0f64..1.0, 36)) {
+        let mut s = Spectrogram::zeros(6, 6);
+        for (i, &v) in cells.iter().enumerate() {
+            s.set(i / 6, i % 6, v);
+        }
+        let b = image::binarize(&s, 0.5);
+        let f1 = image::fill_holes(&b);
+        let f2 = image::fill_holes(&f1);
+        prop_assert_eq!(&f1, &f2);
+        // Fill never removes foreground.
+        for r in 0..6 {
+            for c in 0..6 {
+                prop_assert!(f1.get(r, c) >= b.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn subtract_static_never_negative(cells in prop::collection::vec(0.0f64..50.0, 40)) {
+        let mut s = Spectrogram::zeros(4, 10);
+        for (i, &v) in cells.iter().enumerate() {
+            s.set(i / 10, i % 10, v);
+        }
+        let out = image::subtract_static(&s, 5);
+        for v in out.data() {
+            prop_assert!(*v >= 0.0);
+        }
+    }
+
+    // ---------- scheme / dictionary / decoder ----------
+
+    #[test]
+    fn encode_word_length_preserved(word in "[a-z]{1,12}") {
+        let scheme = InputScheme::paper();
+        let seq = scheme.encode_word(&word).unwrap();
+        prop_assert_eq!(seq.len(), word.len());
+        // Every stroke maps back to a group containing the letter.
+        for (ch, s) in word.chars().zip(&seq) {
+            prop_assert!(scheme.letters_for(*s).contains(&ch.to_ascii_uppercase()));
+        }
+    }
+
+    #[test]
+    fn correction_variants_are_edit_distance_one(seq in prop::collection::vec(0usize..6, 1..8)) {
+        let strokes: Vec<Stroke> = seq.iter().map(|&i| Stroke::from_index(i).unwrap()).collect();
+        let rules = CorrectionRules::paper();
+        for v in rules.corrected_sequences(&strokes) {
+            prop_assert_eq!(v.len(), strokes.len());
+            let diff = v.iter().zip(&strokes).filter(|(a, b)| a != b).count();
+            prop_assert_eq!(diff, 1);
+        }
+    }
+
+    #[test]
+    fn decoder_candidates_are_sorted_and_unique(seq in prop::collection::vec(0usize..6, 1..6)) {
+        use std::sync::OnceLock;
+        static D: OnceLock<WordDecoder> = OnceLock::new();
+        let d = D.get_or_init(|| {
+            WordDecoder::new(Dictionary::build(
+                echowrite_corpus::Lexicon::embedded(),
+                &InputScheme::paper(),
+            ))
+        });
+        let strokes: Vec<Stroke> = seq.iter().map(|&i| Stroke::from_index(i).unwrap()).collect();
+        let cands = d.decode(&strokes);
+        prop_assert!(cands.len() <= 5);
+        for w in cands.windows(2) {
+            prop_assert!(w[0].posterior >= w[1].posterior);
+        }
+        let mut words: Vec<&str> = cands.iter().map(|c| c.word.as_str()).collect();
+        words.sort_unstable();
+        words.dedup();
+        prop_assert_eq!(words.len(), cands.len());
+        // Every candidate has the right length (substitution-only).
+        for c in &cands {
+            prop_assert_eq!(c.word.len(), strokes.len());
+        }
+    }
+
+    // ---------- WAV ----------
+
+    #[test]
+    fn wav_roundtrip_within_quantization(samples in prop::collection::vec(-1.0f64..1.0, 1..400),
+                                         rate in 8_000u32..96_000) {
+        let mut buf = Vec::new();
+        echowrite_dsp::wav::write_wav(&mut buf, &samples, rate).unwrap();
+        let audio = echowrite_dsp::wav::read_wav(buf.as_slice()).unwrap();
+        prop_assert_eq!(audio.sample_rate, rate);
+        prop_assert_eq!(audio.samples.len(), samples.len());
+        for (a, b) in audio.samples.iter().zip(&samples) {
+            prop_assert!((a - b).abs() < 1.0 / 16_000.0);
+        }
+    }
+
+    #[test]
+    fn wav_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = echowrite_dsp::wav::read_wav(bytes.as_slice());
+    }
+
+    // ---------- down-conversion ----------
+
+    #[test]
+    fn downconverter_is_linear(a in -1.0f64..1.0, seedish in 0u64..100) {
+        use echowrite_dsp::downconvert::Downconverter;
+        let dc = Downconverter::new(20_000.0, 44_100.0, 16, 33);
+        let n = 1024;
+        let f = 20_000.0 + (seedish as f64 - 50.0);
+        let x: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * f * i as f64 / 44_100.0).sin())
+            .collect();
+        let scaled: Vec<f64> = x.iter().map(|v| a * v).collect();
+        let y1 = dc.process(&x);
+        let y2 = dc.process(&scaled);
+        for (u, v) in y1.iter().zip(&y2) {
+            prop_assert!((u.scale(a) - *v).norm() < 1e-9);
+        }
+    }
+
+    // ---------- digits ----------
+
+    #[test]
+    fn digit_ranked_decode_is_total_and_sorted(seq in prop::collection::vec(0usize..6, 0..5),
+                                               p in 0.5f64..0.99) {
+        use echowrite_gesture::digits::DigitScheme;
+        let strokes: Vec<Stroke> = seq.iter().map(|&i| Stroke::from_index(i).unwrap()).collect();
+        let ranked = DigitScheme::standard().decode_ranked(&strokes, p);
+        prop_assert_eq!(ranked.len(), 10);
+        let mut digits: Vec<u8> = ranked.iter().map(|r| r.0).collect();
+        digits.sort_unstable();
+        prop_assert_eq!(digits, (0..10u8).collect::<Vec<_>>());
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    // ---------- metrics ----------
+
+    #[test]
+    fn msd_error_rate_bounded(a in prop::collection::vec("[a-z]{1,6}", 0..8),
+                              b in prop::collection::vec("[a-z]{1,6}", 0..8)) {
+        use echowrite_sim::metrics::msd_error_rate;
+        let av: Vec<&str> = a.iter().map(|s| s.as_str()).collect();
+        let bv: Vec<&str> = b.iter().map(|s| s.as_str()).collect();
+        let r = msd_error_rate(&av, &bv);
+        prop_assert!((0.0..=1.0).contains(&r));
+        // Identity and symmetry.
+        prop_assert_eq!(msd_error_rate(&av, &av), 0.0);
+        prop_assert!((msd_error_rate(&av, &bv) - msd_error_rate(&bv, &av)).abs() < 1e-12);
+    }
+
+    // ---------- segmentation ----------
+
+    #[test]
+    fn segments_are_ordered_disjoint_and_in_bounds(
+        bumps in prop::collection::vec((10usize..150, 20.0f64..120.0), 0..4)
+    ) {
+        let mut shifts = vec![0.0; 220];
+        for (i, &(at, peak)) in bumps.iter().enumerate() {
+            let at = at + i * 20; // keep bumps from fully overlapping
+            for k in 0..14usize {
+                if at + k < shifts.len() {
+                    let tau = k as f64 / 13.0;
+                    shifts[at + k] += peak * (std::f64::consts::PI * tau).sin();
+                }
+            }
+        }
+        let profile = DopplerProfile::new(shifts, 0.0232);
+        let segs = Segmenter::new(SegmentConfig::paper()).segment(&profile);
+        for w in segs.windows(2) {
+            prop_assert!(w[0].end <= w[1].start, "overlap: {:?}", segs);
+        }
+        for s in &segs {
+            prop_assert!(s.start < s.end);
+            prop_assert!(s.end <= profile.len());
+        }
+    }
+}

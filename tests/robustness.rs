@@ -1,0 +1,187 @@
+//! Failure-injection and robustness integration tests: bursty noise,
+//! walking interferers, truncation, and degraded devices.
+
+use echowrite::EchoWrite;
+use echowrite_gesture::{Stroke, Trajectory, Vec3, Writer, WriterParams};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+use std::sync::OnceLock;
+
+fn engine() -> &'static EchoWrite {
+    static E: OnceLock<EchoWrite> = OnceLock::new();
+    E.get_or_init(EchoWrite::new)
+}
+
+fn accuracy_in(env: EnvironmentProfile, reps: u64) -> f64 {
+    let e = engine();
+    let mut ok = 0usize;
+    let mut total = 0usize;
+    for stroke in Stroke::ALL {
+        for rep in 0..reps {
+            let seed = rep * 131 + stroke.index() as u64 * 17;
+            let perf = Writer::new(WriterParams::nominal(), seed).write_stroke(stroke);
+            let audio = Scene::new(DeviceProfile::mate9(), env.clone(), seed)
+                .render(&perf.trajectory);
+            let rec = e.recognize_strokes(&audio);
+            let best = rec
+                .classifications
+                .iter()
+                .zip(&rec.segments)
+                .max_by_key(|(_, s)| s.len())
+                .map(|(c, _)| c.stroke);
+            total += 1;
+            if best == Some(stroke) {
+                ok += 1;
+            }
+        }
+    }
+    ok as f64 / total as f64
+}
+
+#[test]
+fn environment_accuracy_ordering_matches_paper() {
+    // Paper Fig. 12: meeting room and lab in the mid-90s, resting zone
+    // slightly worse.
+    let meeting = accuracy_in(EnvironmentProfile::meeting_room(), 5);
+    let resting = accuracy_in(EnvironmentProfile::resting_zone(), 5);
+    assert!(meeting > 0.85, "meeting room {meeting}");
+    assert!(resting > 0.70, "resting zone {resting}");
+    assert!(
+        meeting >= resting - 0.03,
+        "resting zone should not beat quiet rooms: {meeting} vs {resting}"
+    );
+}
+
+#[test]
+fn wideband_bursts_degrade_but_do_not_destroy() {
+    // A hostile variant of the resting zone with frequent rubbing bursts —
+    // the paper's Sec. VII-B known weakness.
+    let mut hostile = EnvironmentProfile::resting_zone();
+    hostile.rubbing_rate = 1.0;
+    let acc = accuracy_in(hostile, 4);
+    assert!(acc > 0.4, "hostile-burst accuracy collapsed to {acc}");
+    assert!(acc < 1.0, "bursts should cost something");
+}
+
+#[test]
+fn truncated_audio_fails_softly() {
+    let e = engine();
+    let perf = Writer::new(WriterParams::nominal(), 21).write_stroke(Stroke::S3);
+    let audio = Scene::new(
+        DeviceProfile::mate9(),
+        EnvironmentProfile::meeting_room(),
+        21,
+    )
+    .render(&perf.trajectory);
+    // Cut the trace in the middle of the stroke.
+    let cut = audio.len() / 2;
+    let rec = e.recognize_strokes(&audio[..cut]);
+    // No panic; either nothing or a single (possibly wrong) stroke.
+    assert!(rec.strokes().len() <= 1);
+    // Shorter than one frame: empty result.
+    let rec2 = e.recognize_strokes(&audio[..1000]);
+    assert!(rec2.strokes().is_empty());
+}
+
+#[test]
+fn interfering_hand_wave_between_strokes_is_ignored() {
+    // Write S2, then wave the hand slowly (low acceleration), then S6.
+    // The paper's acceleration gate must reject the wave.
+    let e = engine();
+    let params = WriterParams::nominal();
+    let mut writer = Writer::new(params.clone(), 33);
+    let p1 = writer.write_stroke(Stroke::S2);
+    let p2 = writer.write_stroke(Stroke::S6);
+
+    let dt = p1.trajectory.dt();
+    let mut traj = Trajectory::new(dt);
+    for &p in p1.trajectory.points() {
+        traj.push(p);
+    }
+    // Slow wave: 2 s sinusoid, ±4 cm, ~0.5 Hz — gentle motion.
+    let last = *p1.trajectory.points().last().unwrap();
+    let n = (2.0 / dt) as usize;
+    for i in 0..n {
+        let t = i as f64 * dt;
+        let dx = 0.04 * (std::f64::consts::TAU * 0.5 * t).sin();
+        traj.push(last + Vec3::new(dx, 0.0, 0.0));
+    }
+    for &p in p2.trajectory.points() {
+        traj.push(p);
+    }
+
+    let audio = Scene::new(
+        DeviceProfile::mate9(),
+        EnvironmentProfile::meeting_room(),
+        33,
+    )
+    .render(&traj);
+    let rec = e.recognize_strokes(&audio);
+    // The claim under test is segmentation: exactly the two deliberate
+    // strokes are detected, with the 2-second wave between them ignored
+    // (individual classifications may still vary with the jitter draw).
+    assert_eq!(
+        rec.segments.len(),
+        2,
+        "hand wave corrupted segmentation: {:?}",
+        rec.segments
+    );
+    let hop = e.config().stft.hop_seconds();
+    let wave_start = p1.trajectory.duration();
+    let wave_end = wave_start + 2.0;
+    for seg in &rec.segments {
+        let mid = seg.mid() as f64 * hop;
+        assert!(
+            mid < wave_start || mid > wave_end,
+            "segment centred inside the wave: {seg:?}"
+        );
+    }
+    assert_eq!(rec.strokes()[0], Stroke::S2);
+}
+
+#[test]
+fn degraded_microphone_still_works() {
+    let e = engine();
+    let mut bad_mic = DeviceProfile::mate9();
+    bad_mic.mic_noise_sigma *= 3.0;
+    bad_mic.echo_gain *= 0.7;
+    let perf = Writer::new(WriterParams::nominal(), 8).write_stroke(Stroke::S2);
+    let audio = Scene::new(bad_mic, EnvironmentProfile::meeting_room(), 8)
+        .render(&perf.trajectory);
+    let rec = e.recognize_strokes(&audio);
+    assert_eq!(rec.strokes(), vec![Stroke::S2]);
+}
+
+#[test]
+fn small_amplitude_writing_still_detected() {
+    // A timid writer using 6 cm strokes instead of 10 cm.
+    let e = engine();
+    let mut params = WriterParams::nominal();
+    params.amplitude = 0.06;
+    let perf = Writer::new(params, 19).write_stroke(Stroke::S3);
+    let audio = Scene::new(
+        DeviceProfile::mate9(),
+        EnvironmentProfile::meeting_room(),
+        19,
+    )
+    .render(&perf.trajectory);
+    let rec = e.recognize_strokes(&audio);
+    assert_eq!(rec.strokes().len(), 1, "timid stroke lost");
+}
+
+#[test]
+fn far_writer_loses_signal_gracefully() {
+    // Writing 60 cm away: echoes fall off with 1/r² and recognition may
+    // fail, but nothing should panic and no spurious flood should appear.
+    let e = engine();
+    let mut params = WriterParams::nominal();
+    params.centre = Vec3::new(0.05, 0.1, 0.6);
+    let perf = Writer::new(params, 29).write_stroke(Stroke::S2);
+    let audio = Scene::new(
+        DeviceProfile::mate9(),
+        EnvironmentProfile::meeting_room(),
+        29,
+    )
+    .render(&perf.trajectory);
+    let rec = e.recognize_strokes(&audio);
+    assert!(rec.strokes().len() <= 2);
+}
