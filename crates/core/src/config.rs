@@ -29,6 +29,34 @@ pub enum Frontend {
     },
 }
 
+/// How many worker threads the analysis front-end may use for the
+/// frame-parallel STFT.
+///
+/// The frame loop writes disjoint frame-major chunks, so the spectrogram is
+/// bitwise identical for every worker count; [`Parallelism::Threads`]\(1\)
+/// additionally takes the plain serial loop with no thread scope at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Use [`std::thread::available_parallelism`] workers (the default).
+    #[default]
+    Auto,
+    /// Use exactly `n` workers; `Threads(1)` runs fully serial.
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Resolves to a concrete worker count for `frames` units of work.
+    pub fn workers(self, frames: usize) -> usize {
+        let requested = match self {
+            Parallelism::Auto => {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            }
+            Parallelism::Threads(n) => n,
+        };
+        requested.max(1).min(frames.max(1))
+    }
+}
+
 /// Configuration of the whole EchoWrite pipeline.
 ///
 /// Defaults are the paper's parameters throughout (Sec. III); see each
@@ -66,6 +94,9 @@ pub struct EchoWriteConfig {
     pub match_weights: MatchWeights,
     /// The spectrogram front-end.
     pub frontend: Frontend,
+    /// Worker threads for the frame-parallel STFT (identical output for
+    /// every setting; `Threads(1)` is the bit-for-bit serial reference).
+    pub parallelism: Parallelism,
 }
 
 impl EchoWriteConfig {
@@ -82,6 +113,7 @@ impl EchoWriteConfig {
             score_temperature: 10.0,
             match_weights: MatchWeights::stroke_matching(),
             frontend: Frontend::FullStft,
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -121,6 +153,9 @@ impl EchoWriteConfig {
         let bin_hz = self.stft.sample_rate / self.stft.fft_size as f64;
         if (self.guard_bins as f64) * bin_hz > self.roi_span_hz / 2.0 {
             return Err("guard band swallows most of the ROI".to_string());
+        }
+        if self.parallelism == Parallelism::Threads(0) {
+            return Err("parallelism needs at least one thread".to_string());
         }
         if let Frontend::Downconverted { factor } = self.frontend {
             if factor < 2 {
@@ -191,6 +226,22 @@ mod tests {
         let mut c = EchoWriteConfig::paper();
         c.guard_bins = 100;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_threads() {
+        let mut c = EchoWriteConfig::paper();
+        c.parallelism = Parallelism::Threads(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn parallelism_resolves_workers() {
+        assert_eq!(Parallelism::Threads(4).workers(100), 4);
+        assert_eq!(Parallelism::Threads(4).workers(2), 2);
+        assert_eq!(Parallelism::Threads(0).workers(10), 1);
+        assert!(Parallelism::Auto.workers(1_000) >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::Auto);
     }
 
     #[test]

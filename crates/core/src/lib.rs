@@ -51,7 +51,7 @@ pub mod streaming;
 pub mod templates;
 pub mod text_session;
 
-pub use config::{EchoWriteConfig, Frontend};
+pub use config::{EchoWriteConfig, Frontend, Parallelism};
 pub use engine::{EchoWrite, StrokeRecognition, WordRecognition};
 pub use pipeline::{Pipeline, StageTiming};
 pub use streaming::StreamingRecognizer;

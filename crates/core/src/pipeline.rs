@@ -121,47 +121,79 @@ impl Pipeline {
 
     /// Builds the ROI spectrogram through the configured front-end.
     ///
+    /// Only the ROI rows are ever computed — full half-spectrum columns are
+    /// never materialized — and the frame loop is split across
+    /// `config.parallelism` workers writing disjoint frame-major chunks, so
+    /// the result is bitwise identical for every worker count.
+    ///
     /// Returns `None` when the audio is shorter than one analysis frame.
     pub fn roi_spectrogram(&self, audio: &[f64]) -> Option<Spectrogram> {
+        let cfg = self.stft.config();
+        let carrier_bin = cfg.frequency_bin(self.config.carrier_hz);
+        let lo = cfg.frequency_bin(self.config.carrier_hz - self.config.roi_span_hz);
+        let hi = cfg.frequency_bin(self.config.carrier_hz + self.config.roi_span_hz);
+        let band = hi - lo + 1;
         match &self.downconvert {
             None => {
-                let frames = self.stft.process(audio);
-                if frames.is_empty() {
+                let frames = self.stft.frame_count(audio.len());
+                if frames == 0 {
                     return None;
                 }
-                Some(Spectrogram::roi_from_stft(
-                    &frames,
-                    self.stft.config(),
-                    self.config.carrier_hz,
-                    self.config.roi_span_hz,
-                ))
+                let mut flat = vec![0.0; frames * band];
+                let workers = self.config.parallelism.workers(frames);
+                let (stft, hop, size) = (&self.stft, cfg.hop, cfg.fft_size);
+                fill_frame_major(
+                    &mut flat,
+                    frames,
+                    band,
+                    workers,
+                    || stft.make_scratch(),
+                    |f, scratch, row| {
+                        let start = f * hop;
+                        stft.frame_band_into(&audio[start..start + size], lo, hi, scratch, row);
+                    },
+                );
+                let mut spec = Spectrogram::from_frame_major(band, frames, &flat);
+                spec.set_carrier_row(carrier_bin - lo);
+                spec.set_metadata(cfg.sample_rate / cfg.fft_size as f64, cfg.hop_seconds());
+                Some(spec)
             }
             Some((dc, bb)) => {
                 let baseband = dc.process(audio);
-                let cols = bb.process(&baseband);
-                if cols.is_empty() {
+                let frames = bb.frame_count(baseband.len());
+                if frames == 0 {
                     return None;
                 }
                 // Replicate the full-rate ROI row geometry exactly so the
                 // stored templates remain valid: same number of rows above
                 // and below the carrier, same bin width, same hop.
-                let cfg = self.stft.config();
-                let carrier_bin = cfg.frequency_bin(self.config.carrier_hz);
-                let below = carrier_bin - cfg.frequency_bin(self.config.carrier_hz - self.config.roi_span_hz);
-                let above = cfg.frequency_bin(self.config.carrier_hz + self.config.roi_span_hz) - carrier_bin;
+                let below = carrier_bin - lo;
+                let above = hi - carrier_bin;
                 let centre = bb.fft_size() / 2;
-                let rows = below + above + 1;
-                let mut spec = Spectrogram::zeros(rows, cols.len());
-                spec.set_carrier_row(below);
-                for (c, col) in cols.iter().enumerate() {
-                    for r in 0..rows {
-                        spec.set(r, c, col[centre - below + r]);
-                    }
-                }
-                spec.set_metadata(
-                    cfg.sample_rate / cfg.fft_size as f64,
-                    cfg.hop_seconds(),
+                let (row_lo, row_hi) = (centre - below, centre + above);
+                let mut flat = vec![0.0; frames * band];
+                let workers = self.config.parallelism.workers(frames);
+                let baseband = &baseband[..];
+                fill_frame_major(
+                    &mut flat,
+                    frames,
+                    band,
+                    workers,
+                    || bb.make_scratch(),
+                    |f, scratch, row| {
+                        let start = f * bb.hop();
+                        bb.frame_rows_into(
+                            &baseband[start..start + bb.fft_size()],
+                            row_lo,
+                            row_hi,
+                            scratch,
+                            row,
+                        );
+                    },
                 );
+                let mut spec = Spectrogram::from_frame_major(band, frames, &flat);
+                spec.set_carrier_row(below);
+                spec.set_metadata(cfg.sample_rate / cfg.fft_size as f64, cfg.hop_seconds());
                 Some(spec)
             }
         }
@@ -242,6 +274,42 @@ impl Default for Pipeline {
     }
 }
 
+/// Fills a flat frame-major buffer (`frames × band`) by computing each frame
+/// row with `fill`, chunked across `workers` scoped threads.
+///
+/// Workers own disjoint `chunks_mut` regions and a private scratch, so the
+/// result is identical — bit for bit — for every worker count; one worker
+/// takes a plain serial loop with no thread scope.
+fn fill_frame_major<S>(
+    flat: &mut [f64],
+    frames: usize,
+    band: usize,
+    workers: usize,
+    make_scratch: impl Fn() -> S + Sync,
+    fill: impl Fn(usize, &mut S, &mut [f64]) + Sync,
+) {
+    debug_assert_eq!(flat.len(), frames * band);
+    if workers <= 1 || frames <= 1 {
+        let mut scratch = make_scratch();
+        for (f, row) in flat.chunks_exact_mut(band).enumerate() {
+            fill(f, &mut scratch, row);
+        }
+        return;
+    }
+    let chunk = frames.div_ceil(workers);
+    std::thread::scope(|s| {
+        for (ci, chunk_out) in flat.chunks_mut(chunk * band).enumerate() {
+            let (make_scratch, fill) = (&make_scratch, &fill);
+            s.spawn(move || {
+                let mut scratch = make_scratch();
+                for (j, row) in chunk_out.chunks_exact_mut(band).enumerate() {
+                    fill(ci * chunk + j, &mut scratch, row);
+                }
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +358,44 @@ mod tests {
         let stages = stages.expect("stages for non-empty audio");
         assert_eq!(stages.binary, a.binary);
         assert!(stages.raw.max_value() > stages.binary.max_value());
+    }
+
+    /// The frame-parallel front-end must be bitwise identical to the serial
+    /// reference for every worker count, on both front-ends.
+    #[test]
+    fn parallel_roi_is_bitwise_identical_to_serial() {
+        use crate::config::Parallelism;
+        let audio = stroke_audio(Stroke::S4, 7);
+        for base in [EchoWriteConfig::paper(), EchoWriteConfig::downsampled(32)] {
+            let mut serial_cfg = base.clone();
+            serial_cfg.parallelism = Parallelism::Threads(1);
+            let reference = Pipeline::new(serial_cfg).roi_spectrogram(&audio).unwrap();
+            for workers in [2, 3, 8] {
+                let mut cfg = base.clone();
+                cfg.parallelism = Parallelism::Threads(workers);
+                let spec = Pipeline::new(cfg).roi_spectrogram(&audio).unwrap();
+                assert_eq!(spec, reference, "workers={workers}");
+            }
+        }
+    }
+
+    /// The band-extraction rewrite must reproduce the original
+    /// `process` + `roi_from_stft` construction exactly.
+    #[test]
+    fn roi_matches_legacy_full_spectrum_construction() {
+        let audio = stroke_audio(Stroke::S1, 9);
+        let mut cfg = EchoWriteConfig::paper();
+        cfg.parallelism = crate::config::Parallelism::Threads(1);
+        let p = Pipeline::new(cfg);
+        let spec = p.roi_spectrogram(&audio).unwrap();
+        let frames = p.stft.process(&audio);
+        let legacy = Spectrogram::roi_from_stft(
+            &frames,
+            p.stft.config(),
+            p.config.carrier_hz,
+            p.config.roi_span_hz,
+        );
+        assert_eq!(spec, legacy);
     }
 
     #[test]

@@ -176,31 +176,121 @@ impl BasebandStft {
         self.fft.size()
     }
 
+    /// Hop between successive frames, in baseband samples.
+    pub fn hop(&self) -> usize {
+        self.hop
+    }
+
+    /// Number of complete frames available from `len` baseband samples.
+    pub fn frame_count(&self, len: usize) -> usize {
+        let size = self.fft.size();
+        if len < size {
+            0
+        } else {
+            (len - size) / self.hop + 1
+        }
+    }
+
+    /// Allocates the per-worker FFT workspace for the `_into` entry points.
+    pub fn make_scratch(&self) -> BasebandScratch {
+        BasebandScratch { buf: vec![Complex::ZERO; self.fft.size()] }
+    }
+
+    /// Computes one frame's fft-shifted magnitudes restricted to shifted
+    /// rows `[row_lo, row_hi]` inclusive (row 0 = most negative frequency,
+    /// `fft_size/2` = carrier), writing into `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame.len() != fft_size`, the row range is invalid, or
+    /// `out.len() != row_hi - row_lo + 1`.
+    pub fn frame_rows_into(
+        &self,
+        frame: &[Complex],
+        row_lo: usize,
+        row_hi: usize,
+        scratch: &mut BasebandScratch,
+        out: &mut [f64],
+    ) {
+        let size = self.fft.size();
+        assert_eq!(frame.len(), size, "frame length mismatch");
+        assert!(row_lo <= row_hi, "row_lo {row_lo} > row_hi {row_hi}");
+        assert!(row_hi < size, "row_hi {row_hi} beyond fft size {size}");
+        assert_eq!(out.len(), row_hi - row_lo + 1, "row output length mismatch");
+        scratch.buf.resize(size, Complex::ZERO);
+        for ((b, z), &w) in scratch.buf.iter_mut().zip(frame).zip(&self.window) {
+            *b = z.scale(w);
+        }
+        self.fft.forward(&mut scratch.buf);
+        // fft-shift indexing: shifted row r reads FFT bin (r + size/2) % size.
+        for (o, r) in out.iter_mut().zip(row_lo..=row_hi) {
+            *o = scratch.buf[(r + size / 2) % size].norm() * self.scale;
+        }
+    }
+
+    /// Computes shifted rows `[row_lo, row_hi]` of every complete frame into
+    /// a flat frame-major buffer (frame `f` occupies
+    /// `out[f*band .. (f+1)*band]`), allocating nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row range is invalid or `out.len()` differs from
+    /// `frame_count * band`.
+    pub fn process_rows_into(
+        &self,
+        baseband: &[Complex],
+        row_lo: usize,
+        row_hi: usize,
+        scratch: &mut BasebandScratch,
+        out: &mut [f64],
+    ) {
+        assert!(row_lo <= row_hi, "row_lo {row_lo} > row_hi {row_hi}");
+        let frames = self.frame_count(baseband.len());
+        let band = row_hi - row_lo + 1;
+        assert_eq!(
+            out.len(),
+            frames * band,
+            "flat output length {} != frames {frames} × band {band}",
+            out.len()
+        );
+        for (f, row) in out.chunks_exact_mut(band).enumerate() {
+            let start = f * self.hop;
+            self.frame_rows_into(
+                &baseband[start..start + self.fft.size()],
+                row_lo,
+                row_hi,
+                scratch,
+                row,
+            );
+        }
+    }
+
     /// Processes baseband samples into fft-shifted magnitude columns.
     pub fn process(&self, baseband: &[Complex]) -> Vec<Vec<f64>> {
         let size = self.fft.size();
-        if baseband.len() < size {
-            return Vec::new();
-        }
-        let frames = (baseband.len() - size) / self.hop + 1;
+        let frames = self.frame_count(baseband.len());
+        let mut scratch = self.make_scratch();
         let mut out = Vec::with_capacity(frames);
-        let mut buf = vec![Complex::ZERO; size];
         for f in 0..frames {
             let start = f * self.hop;
-            for (i, b) in buf.iter_mut().enumerate() {
-                *b = baseband[start + i].scale(self.window[i]);
-            }
-            self.fft.forward(&mut buf);
-            // fft-shift: negative frequencies (upper half) first.
-            let col: Vec<f64> = buf[size / 2..]
-                .iter()
-                .chain(&buf[..size / 2])
-                .map(|z| z.norm() * self.scale)
-                .collect();
+            let mut col = vec![0.0; size];
+            self.frame_rows_into(
+                &baseband[start..start + size],
+                0,
+                size - 1,
+                &mut scratch,
+                &mut col,
+            );
             out.push(col);
         }
         out
     }
+}
+
+/// Reusable workspace for [`BasebandStft::frame_rows_into`].
+#[derive(Debug, Clone)]
+pub struct BasebandScratch {
+    buf: Vec<Complex>,
 }
 
 #[cfg(test)]
@@ -334,6 +424,49 @@ mod tests {
             (n_full as i64 - n_bb as i64).abs() <= 1,
             "frame counts diverge: {n_full} vs {n_bb}"
         );
+    }
+
+    #[test]
+    fn rows_into_matches_process_slices() {
+        let dc = Downconverter::paper(32);
+        let fs = 44_100.0;
+        let audio: Vec<f64> = (0..88_200)
+            .map(|i| {
+                0.02 * (std::f64::consts::TAU * 20_100.0 * i as f64 / fs).sin()
+                    + (std::f64::consts::TAU * 20_000.0 * i as f64 / fs).sin()
+            })
+            .collect();
+        let bb = dc.process(&audio);
+        let stft = BasebandStft::new(256, 32, 32.0);
+        let reference = stft.process(&bb);
+
+        let (lo, hi) = (110usize, 150usize);
+        let frames = stft.frame_count(bb.len());
+        assert_eq!(frames, reference.len());
+        let band = hi - lo + 1;
+        let mut flat = vec![0.0; frames * band];
+        let mut scratch = stft.make_scratch();
+        stft.process_rows_into(&bb, lo, hi, &mut scratch, &mut flat);
+        for (f, cols) in reference.iter().enumerate() {
+            for r in 0..band {
+                assert_eq!(
+                    flat[f * band + r],
+                    cols[lo + r],
+                    "frame {f} shifted row {}",
+                    lo + r
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row output length mismatch")]
+    fn frame_rows_into_rejects_wrong_output_len() {
+        let stft = BasebandStft::new(64, 16, 1.0);
+        let frame = vec![Complex::ZERO; 64];
+        let mut scratch = stft.make_scratch();
+        let mut out = vec![0.0; 3];
+        stft.frame_rows_into(&frame, 10, 20, &mut scratch, &mut out);
     }
 
     #[test]

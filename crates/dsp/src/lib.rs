@@ -29,6 +29,7 @@ pub mod complex;
 pub mod downconvert;
 pub mod fft;
 pub mod filters;
+pub mod realfft;
 pub mod stft;
 pub mod util;
 pub mod wav;
@@ -36,5 +37,6 @@ pub mod window;
 
 pub use complex::Complex;
 pub use fft::Fft;
+pub use realfft::{RealFft, RealFftScratch};
 pub use stft::{Stft, StftConfig};
 pub use window::WindowKind;

@@ -6,7 +6,7 @@
 //! 5 frames into a spectrogram (paper Sec. III-A).
 
 use crate::complex::Complex;
-use crate::fft::Fft;
+use crate::realfft::{RealFft, RealFftScratch};
 use crate::window::WindowKind;
 
 /// Configuration of an STFT analysis.
@@ -73,13 +73,25 @@ impl Default for StftConfig {
 
 /// A planned short-time Fourier transform.
 ///
-/// Holds a planned [`Fft`] and window coefficients; reusable across frames
-/// without reallocation of the plan.
+/// Holds a planned [`RealFft`] (half-size complex transform plus split pass)
+/// and window coefficients; reusable across frames without reallocation of
+/// the plan, and shareable across threads — per-frame workspace lives in a
+/// separate [`StftScratch`].
 #[derive(Debug, Clone)]
 pub struct Stft {
     config: StftConfig,
-    fft: Fft,
+    fft: RealFft,
     window: Vec<f64>,
+}
+
+/// Reusable per-worker workspace for the zero-allocation STFT entry points:
+/// the windowed frame, the packed half-size FFT buffer, and the complex
+/// half-spectrum.
+#[derive(Debug, Clone)]
+pub struct StftScratch {
+    windowed: Vec<f64>,
+    fft: RealFftScratch,
+    spectrum: Vec<Complex>,
 }
 
 impl Stft {
@@ -90,7 +102,7 @@ impl Stft {
     /// Panics if `fft_size` is not a power of two or `hop` is zero.
     pub fn new(config: StftConfig) -> Self {
         assert!(config.hop > 0, "hop must be positive");
-        let fft = Fft::new(config.fft_size);
+        let fft = RealFft::new(config.fft_size);
         let window = config.window.coefficients(config.fft_size);
         Stft { config, fft, window }
     }
@@ -109,38 +121,101 @@ impl Stft {
         }
     }
 
+    /// Number of magnitude bins per full frame: `fft_size/2 + 1`.
+    #[inline]
+    pub fn bins(&self) -> usize {
+        self.config.fft_size / 2 + 1
+    }
+
+    /// Allocates a scratch arena sized for this plan. One scratch serves any
+    /// number of sequential frames; concurrent workers each need their own.
+    pub fn make_scratch(&self) -> StftScratch {
+        StftScratch {
+            windowed: vec![0.0; self.config.fft_size],
+            fft: self.fft.make_scratch(),
+            spectrum: vec![Complex::ZERO; self.fft.output_len()],
+        }
+    }
+
+    /// Computes magnitudes of the bin range `[lo_bin, hi_bin]` (inclusive)
+    /// of one frame into `out`, allocating nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame.len() != fft_size`, the band is invalid, or
+    /// `out.len() != hi_bin - lo_bin + 1`.
+    pub fn frame_band_into(
+        &self,
+        frame: &[f64],
+        lo_bin: usize,
+        hi_bin: usize,
+        scratch: &mut StftScratch,
+        out: &mut [f64],
+    ) {
+        assert_eq!(frame.len(), self.config.fft_size, "frame length mismatch");
+        assert!(lo_bin <= hi_bin, "lo_bin {lo_bin} > hi_bin {hi_bin}");
+        assert!(
+            hi_bin <= self.config.fft_size / 2,
+            "hi_bin {hi_bin} beyond Nyquist bin {}",
+            self.config.fft_size / 2
+        );
+        assert_eq!(out.len(), hi_bin - lo_bin + 1, "band output length mismatch");
+        scratch.windowed.resize(self.config.fft_size, 0.0);
+        for ((w, &s), &c) in scratch.windowed.iter_mut().zip(frame).zip(&self.window) {
+            *w = s * c;
+        }
+        scratch.spectrum.resize(self.fft.output_len(), Complex::ZERO);
+        self.fft
+            .forward_into(&scratch.windowed, &mut scratch.fft, &mut scratch.spectrum);
+        for (o, z) in out.iter_mut().zip(&scratch.spectrum[lo_bin..=hi_bin]) {
+            *o = z.norm();
+        }
+    }
+
+    /// Computes the full half-spectrum magnitudes of one frame into `out`,
+    /// allocating nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame.len() != fft_size` or `out.len() != fft_size/2 + 1`.
+    pub fn frame_magnitudes_into(&self, frame: &[f64], scratch: &mut StftScratch, out: &mut [f64]) {
+        self.frame_band_into(frame, 0, self.config.fft_size / 2, scratch, out);
+    }
+
     /// Computes the magnitude spectrum of a single frame starting at sample 0
     /// of `frame` (which must be exactly `fft_size` samples long).
     ///
-    /// Returns `fft_size / 2 + 1` magnitudes.
+    /// Returns `fft_size / 2 + 1` magnitudes. Allocating convenience wrapper
+    /// around [`Stft::frame_magnitudes_into`].
     ///
     /// # Panics
     ///
     /// Panics if `frame.len() != fft_size`.
     pub fn frame_magnitudes(&self, frame: &[f64]) -> Vec<f64> {
-        assert_eq!(frame.len(), self.config.fft_size, "frame length mismatch");
-        let mut buf: Vec<Complex> = frame
-            .iter()
-            .zip(&self.window)
-            .map(|(&s, &w)| Complex::new(s * w, 0.0))
-            .collect();
-        self.fft.forward(&mut buf);
-        buf[..self.config.fft_size / 2 + 1]
-            .iter()
-            .map(|z| z.norm())
-            .collect()
+        let mut scratch = self.make_scratch();
+        let mut out = vec![0.0; self.bins()];
+        self.frame_magnitudes_into(frame, &mut scratch, &mut out);
+        out
     }
 
     /// Computes magnitude spectra for all complete frames of `signal`.
     ///
     /// Returns one `Vec` of `fft_size/2 + 1` magnitudes per frame; an empty
-    /// vector if the signal is shorter than one frame.
+    /// vector if the signal is shorter than one frame. One scratch arena is
+    /// reused across all frames.
     pub fn process(&self, signal: &[f64]) -> Vec<Vec<f64>> {
         let frames = self.frame_count(signal.len());
+        let mut scratch = self.make_scratch();
         let mut out = Vec::with_capacity(frames);
         for f in 0..frames {
             let start = f * self.config.hop;
-            out.push(self.frame_magnitudes(&signal[start..start + self.config.fft_size]));
+            let mut row = vec![0.0; self.bins()];
+            self.frame_magnitudes_into(
+                &signal[start..start + self.config.fft_size],
+                &mut scratch,
+                &mut row,
+            );
+            out.push(row);
         }
         out
     }
@@ -148,6 +223,9 @@ impl Stft {
     /// Computes magnitude spectra restricted to the bin range
     /// `[lo_bin, hi_bin]` inclusive — the paper's region-of-interest
     /// optimization that cuts the processed column height from 8192 to 350.
+    ///
+    /// Each frame computes only the requested band; full half-spectrum rows
+    /// are never materialized.
     ///
     /// # Panics
     ///
@@ -159,28 +237,87 @@ impl Stft {
             "hi_bin {hi_bin} beyond Nyquist bin {}",
             self.config.fft_size / 2
         );
-        self.process(signal)
-            .into_iter()
-            .map(|col| col[lo_bin..=hi_bin].to_vec())
-            .collect()
+        let frames = self.frame_count(signal.len());
+        let band = hi_bin - lo_bin + 1;
+        let mut scratch = self.make_scratch();
+        let mut out = Vec::with_capacity(frames);
+        for f in 0..frames {
+            let start = f * self.config.hop;
+            let mut row = vec![0.0; band];
+            self.frame_band_into(
+                &signal[start..start + self.config.fft_size],
+                lo_bin,
+                hi_bin,
+                &mut scratch,
+                &mut row,
+            );
+            out.push(row);
+        }
+        out
+    }
+
+    /// Computes the band `[lo_bin, hi_bin]` of every complete frame into a
+    /// flat frame-major buffer: frame `f`'s magnitudes occupy
+    /// `out[f*band .. (f+1)*band]` where `band = hi_bin - lo_bin + 1`.
+    ///
+    /// This is the zero-allocation bulk entry point used by the pipeline;
+    /// disjoint sub-slices of `out` can also be filled by parallel workers
+    /// via [`Stft::frame_band_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band is invalid or `out.len()` differs from
+    /// `frame_count * band`.
+    pub fn process_band_into(
+        &self,
+        signal: &[f64],
+        lo_bin: usize,
+        hi_bin: usize,
+        scratch: &mut StftScratch,
+        out: &mut [f64],
+    ) {
+        assert!(lo_bin <= hi_bin, "lo_bin {lo_bin} > hi_bin {hi_bin}");
+        let frames = self.frame_count(signal.len());
+        let band = hi_bin - lo_bin + 1;
+        assert_eq!(
+            out.len(),
+            frames * band,
+            "flat output length {} != frames {frames} × band {band}",
+            out.len()
+        );
+        for (f, row) in out.chunks_exact_mut(band).enumerate() {
+            let start = f * self.config.hop;
+            self.frame_band_into(
+                &signal[start..start + self.config.fft_size],
+                lo_bin,
+                hi_bin,
+                scratch,
+                row,
+            );
+        }
     }
 }
 
 /// A streaming STFT that accepts arbitrary audio chunks and yields frames as
 /// soon as they complete, mirroring the Android app's 5-frame ring buffer.
+///
+/// Consumed samples are tracked by an offset and compacted in bulk, so each
+/// pushed sample is moved O(1) times instead of once per emitted frame, and
+/// a persistent [`StftScratch`] keeps per-frame FFT work allocation-free.
 #[derive(Debug, Clone)]
 pub struct StreamingStft {
     stft: Stft,
     buffer: Vec<f64>,
+    /// Index of the first unconsumed sample in `buffer`.
+    start: usize,
+    scratch: StftScratch,
 }
 
 impl StreamingStft {
     /// Creates a streaming wrapper around a planned STFT.
     pub fn new(stft: Stft) -> Self {
-        StreamingStft {
-            stft,
-            buffer: Vec::new(),
-        }
+        let scratch = stft.make_scratch();
+        StreamingStft { stft, buffer: Vec::new(), start: 0, scratch }
     }
 
     /// Appends samples and returns magnitude spectra for every frame that
@@ -189,21 +326,32 @@ impl StreamingStft {
         self.buffer.extend_from_slice(samples);
         let mut out = Vec::new();
         let (size, hop) = (self.stft.config.fft_size, self.stft.config.hop);
-        while self.buffer.len() >= size {
-            out.push(self.stft.frame_magnitudes(&self.buffer[..size]));
-            self.buffer.drain(..hop);
+        let bins = self.stft.bins();
+        while self.buffer.len() - self.start >= size {
+            let frame = &self.buffer[self.start..self.start + size];
+            let mut row = vec![0.0; bins];
+            self.stft.frame_magnitudes_into(frame, &mut self.scratch, &mut row);
+            out.push(row);
+            self.start += hop;
+        }
+        // Compact once the dead prefix dominates the live tail.
+        if self.start > size.max(self.buffer.len() - self.start) {
+            self.buffer.copy_within(self.start.., 0);
+            self.buffer.truncate(self.buffer.len() - self.start);
+            self.start = 0;
         }
         out
     }
 
     /// Number of samples buffered but not yet emitted as a frame.
     pub fn pending(&self) -> usize {
-        self.buffer.len()
+        self.buffer.len() - self.start
     }
 
     /// Clears the internal buffer (e.g. between text-entry sessions).
     pub fn reset(&mut self) {
         self.buffer.clear();
+        self.start = 0;
     }
 }
 
@@ -291,6 +439,66 @@ mod tests {
         for (f, b) in full.iter().zip(&band) {
             assert_eq!(&f[100..=150], b.as_slice());
         }
+    }
+
+    #[test]
+    fn band_into_flat_matches_per_frame_rows() {
+        let cfg = StftConfig {
+            fft_size: 512,
+            hop: 128,
+            window: WindowKind::Hann,
+            sample_rate: 44_100.0,
+        };
+        let stft = Stft::new(cfg);
+        let sig = tone(9_000.0, 44_100.0, 3000);
+        let (lo, hi) = (80, 140);
+        let rows = stft.process_band(&sig, lo, hi);
+        let frames = stft.frame_count(sig.len());
+        assert_eq!(rows.len(), frames);
+        let band = hi - lo + 1;
+        let mut flat = vec![0.0; frames * band];
+        let mut scratch = stft.make_scratch();
+        stft.process_band_into(&sig, lo, hi, &mut scratch, &mut flat);
+        for (f, row) in rows.iter().enumerate() {
+            assert_eq!(row.as_slice(), &flat[f * band..(f + 1) * band]);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless() {
+        let cfg = StftConfig {
+            fft_size: 256,
+            hop: 64,
+            window: WindowKind::Hann,
+            sample_rate: 8000.0,
+        };
+        let stft = Stft::new(cfg);
+        let a = tone(1000.0, 8000.0, 256);
+        let b = tone(2300.0, 8000.0, 256);
+        let mut scratch = stft.make_scratch();
+        let mut first = vec![0.0; stft.bins()];
+        stft.frame_magnitudes_into(&a, &mut scratch, &mut first);
+        let mut other = vec![0.0; stft.bins()];
+        stft.frame_magnitudes_into(&b, &mut scratch, &mut other);
+        let mut again = vec![0.0; stft.bins()];
+        stft.frame_magnitudes_into(&a, &mut scratch, &mut again);
+        assert_eq!(first, again);
+        assert_ne!(first, other);
+    }
+
+    #[test]
+    #[should_panic(expected = "band output length mismatch")]
+    fn frame_band_into_rejects_wrong_output_len() {
+        let cfg = StftConfig {
+            fft_size: 64,
+            hop: 16,
+            window: WindowKind::Hann,
+            sample_rate: 8000.0,
+        };
+        let stft = Stft::new(cfg);
+        let mut scratch = stft.make_scratch();
+        let mut out = vec![0.0; 3];
+        stft.frame_band_into(&[0.0; 64], 0, 10, &mut scratch, &mut out);
     }
 
     #[test]

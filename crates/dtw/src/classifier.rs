@@ -11,7 +11,7 @@
 //!   forgives time warping, but the six strokes have genuinely different
 //!   nominal durations — arcs are longer than lines).
 
-use crate::dtw::{dtw_distance, z_normalize, DtwConfig};
+use crate::dtw::{dtw_distance, dtw_distance_pruned, lb_keogh, z_normalize, DtwConfig};
 use crate::templates::TemplateLibrary;
 use echowrite_gesture::stroke::{Stroke, STROKE_COUNT};
 
@@ -150,22 +150,8 @@ impl StrokeClassifier {
     pub fn classify(&self, profile: &[f64]) -> Classification {
         let shape_probe = z_normalize(profile);
         let mut distances = [f64::INFINITY; STROKE_COUNT];
-        for (stroke, template) in self.templates.iter() {
-            let w = self.weights;
-            let mut d = w.raw * dtw_distance(profile, template, self.config);
-            if w.shape > 0.0 {
-                d += w.shape
-                    * dtw_distance(
-                        &shape_probe,
-                        &self.shape_templates[stroke.index()],
-                        self.config,
-                    );
-            }
-            if w.duration > 0.0 && !profile.is_empty() && !template.is_empty() {
-                d += w.duration
-                    * (profile.len() as f64 / template.len() as f64).ln().abs();
-            }
-            distances[stroke.index()] = d;
+        for (stroke, _) in self.templates.iter() {
+            distances[stroke.index()] = self.composite(profile, &shape_probe, stroke);
         }
         let best = distances
             .iter()
@@ -180,6 +166,118 @@ impl StrokeClassifier {
             scores,
         }
     }
+
+    /// The composite distance of `profile` (with its pre-computed
+    /// z-normalization) to one stroke's template.
+    fn composite(&self, profile: &[f64], shape_probe: &[f64], stroke: Stroke) -> f64 {
+        let w = self.weights;
+        let template = self.templates.template(stroke);
+        let mut d = w.raw * dtw_distance(profile, template, self.config);
+        if w.shape > 0.0 {
+            d += w.shape
+                * dtw_distance(shape_probe, &self.shape_templates[stroke.index()], self.config);
+        }
+        if w.duration > 0.0 && !profile.is_empty() && !template.is_empty() {
+            d += w.duration * (profile.len() as f64 / template.len() as f64).ln().abs();
+        }
+        d
+    }
+
+    /// Finds the nearest template without computing all six exact distances:
+    /// templates are visited in order of their LB_Keogh composite lower
+    /// bound, candidates whose bound already exceeds the best-so-far are
+    /// skipped outright, and the remaining exact DTWs run with early
+    /// abandoning against the shrinking best-so-far budget.
+    ///
+    /// Returns exactly the stroke [`StrokeClassifier::classify`] would pick
+    /// (same index tie-break) and its exact composite distance — only the
+    /// per-stroke score vector is skipped.
+    pub fn nearest(&self, profile: &[f64]) -> (Stroke, f64) {
+        let w = self.weights;
+        let shape_probe = z_normalize(profile);
+
+        // Cheap composite lower bound per template.
+        let mut order: [(usize, f64, f64, f64); STROKE_COUNT] =
+            [(0, 0.0, 0.0, 0.0); STROKE_COUNT];
+        for (stroke, template) in self.templates.iter() {
+            let i = stroke.index();
+            let dur = if w.duration > 0.0 && !profile.is_empty() && !template.is_empty() {
+                w.duration * (profile.len() as f64 / template.len() as f64).ln().abs()
+            } else {
+                0.0
+            };
+            let lb_raw = if w.raw > 0.0 {
+                w.raw * lb_keogh(profile, template, self.config)
+            } else {
+                0.0
+            };
+            let lb_shape = if w.shape > 0.0 {
+                w.shape * lb_keogh(&shape_probe, &self.shape_templates[i], self.config)
+            } else {
+                0.0
+            };
+            order[i] = (i, dur, lb_raw, lb_shape);
+        }
+        // Most promising first; stable, so index order breaks lb ties.
+        order.sort_by(|x, y| (x.1 + x.2 + x.3).total_cmp(&(y.1 + y.2 + y.3)));
+
+        let mut best = f64::INFINITY;
+        let mut best_idx = order[0].0;
+        for &(idx, dur, lb_raw, lb_shape) in &order {
+            if dur + lb_raw + lb_shape > best {
+                continue;
+            }
+            let stroke = Stroke::from_index(idx).expect("index < 6");
+            let template = self.templates.template(stroke);
+            // Budget left for the raw DTW before the composite provably
+            // exceeds `best`; the shape term still contributes at least its
+            // lower bound. `inflate` pads the thresholds by a few ULPs so
+            // rounding differences can never abandon a true winner.
+            let raw = if w.raw > 0.0 {
+                let budget = inflate((best - dur - lb_shape) / w.raw);
+                match dtw_distance_pruned(profile, template, self.config, Some(budget)) {
+                    Some(raw) => raw,
+                    None => continue,
+                }
+            } else {
+                dtw_distance(profile, template, self.config)
+            };
+            let shape = if w.shape > 0.0 {
+                let budget = inflate((best - dur - w.raw * raw) / w.shape);
+                match dtw_distance_pruned(
+                    &shape_probe,
+                    &self.shape_templates[idx],
+                    self.config,
+                    Some(budget),
+                ) {
+                    Some(shape) => shape,
+                    None => continue,
+                }
+            } else {
+                0.0
+            };
+            // Accumulate in `classify`'s exact order (raw, then shape, then
+            // duration) so the surviving distance is bit-identical to it.
+            let mut d = w.raw * raw;
+            if w.shape > 0.0 {
+                d += w.shape * shape;
+            }
+            d += dur;
+            if d < best || (d == best && idx < best_idx) {
+                best = d;
+                best_idx = idx;
+            }
+        }
+        (Stroke::from_index(best_idx).expect("index < 6"), best)
+    }
+}
+
+/// Pads an early-abandon threshold upward by a relative epsilon, so that
+/// floating-point accumulation-order differences between the pruned search
+/// and the exhaustive `classify` can never prune the true winner. A slightly
+/// looser threshold only costs a little pruning, never correctness.
+fn inflate(threshold: f64) -> f64 {
+    threshold + threshold.abs() * 1e-9 + 1e-12
 }
 
 /// Converts distances to a probability-like score vector with a softmin:
@@ -293,5 +391,63 @@ mod tests {
     #[should_panic(expected = "temperature")]
     fn rejects_bad_temperature() {
         StrokeClassifier::new(library()).with_temperature(0.0);
+    }
+
+    /// A library of six distinct wavy templates (closer to real Doppler
+    /// profiles than the constant library).
+    fn wavy_library() -> TemplateLibrary {
+        TemplateLibrary::new(Stroke::ALL.iter().map(|&s| {
+            let k = s.index() as f64;
+            let t: Vec<f64> = (0..30 + 4 * s.index())
+                .map(|i| {
+                    let x = i as f64 / (29 + 4 * s.index()) as f64;
+                    (60.0 + 15.0 * k) * (std::f64::consts::PI * x).sin()
+                        * if k >= 3.0 { -1.0 } else { 1.0 }
+                        + 5.0 * (x * 7.0 + k).cos()
+                })
+                .collect();
+            (s, t)
+        }))
+        .unwrap()
+    }
+
+    /// `nearest` must agree with `classify` — same stroke (same index
+    /// tie-break) and the exact composite distance of the winner.
+    #[test]
+    fn nearest_matches_classify_exactly() {
+        for clf in [
+            StrokeClassifier::new(wavy_library()),
+            StrokeClassifier::new(wavy_library()).with_weights(MatchWeights::raw_only()),
+            StrokeClassifier::new(library()),
+        ] {
+            for trial in 0..12 {
+                let len = 8 + 5 * trial;
+                let probe: Vec<f64> = (0..len)
+                    .map(|i| {
+                        let x = i as f64 / (len - 1) as f64;
+                        70.0 * (std::f64::consts::PI * x).sin()
+                            + 8.0 * (x * 11.0 + trial as f64).sin()
+                    })
+                    .collect();
+                let c = clf.classify(&probe);
+                let (stroke, dist) = clf.nearest(&probe);
+                assert_eq!(stroke, c.stroke, "trial {trial}");
+                assert_eq!(dist, c.distances[c.stroke.index()], "trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_handles_ties_and_empty_profiles_like_classify() {
+        let clf = StrokeClassifier::new(library()).with_weights(MatchWeights::raw_only());
+        // Dead centre between templates 0 (value 0) and 1 (value 20): an
+        // exact tie, which classify resolves to the lower index.
+        let tied = clf.classify(&[10.0; 4]);
+        assert_eq!(clf.nearest(&[10.0; 4]).0, tied.stroke);
+        // Empty profile: all distances infinite.
+        let empty = clf.classify(&[]);
+        let (stroke, dist) = clf.nearest(&[]);
+        assert_eq!(stroke, empty.stroke);
+        assert_eq!(dist, f64::INFINITY);
     }
 }

@@ -41,10 +41,170 @@ impl Default for DtwConfig {
 /// assert!(d < 0.2, "stretched copy should match closely: {d}");
 /// ```
 pub fn dtw_distance(a: &[f64], b: &[f64], config: DtwConfig) -> f64 {
-    match dtw_with_path(a, b, config) {
-        Some((d, _)) => d,
-        None => f64::INFINITY,
+    dtw_distance_pruned(a, b, config, None).unwrap_or(f64::INFINITY)
+}
+
+/// Distance-only DTW with a rolling two-row cost matrix and optional early
+/// abandoning, O(band) memory instead of the full `(n+1)×(m+1)` matrix of
+/// [`dtw_with_path`].
+///
+/// The normalized distance divides by the *same* warping-path length that
+/// [`dtw_with_path`] would backtrack (the path length is propagated forward
+/// with the backtrack's exact diagonal/up/left tie-break), so the two
+/// entry points agree to the last bit.
+///
+/// When `abandon_above` is set, the computation stops as soon as every cell
+/// of a row proves the final distance must exceed the threshold (for
+/// normalized DTW the row minimum is divided by the maximum possible path
+/// length `n + m − 1`, keeping the abandon conservative and the result
+/// exact). Returns `None` when no alignment exists **or** the distance is
+/// provably above the threshold; otherwise the exact distance.
+pub fn dtw_distance_pruned(
+    a: &[f64],
+    b: &[f64],
+    config: DtwConfig,
+    abandon_above: Option<f64>,
+) -> Option<f64> {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return None;
     }
+    let band = config
+        .band
+        .map(|w| w.max(n.abs_diff(m)))
+        .unwrap_or(usize::MAX);
+    let inf = f64::INFINITY;
+    let max_plen = (n + m - 1) as f64;
+
+    // Rolling rows over j = 0..=m; `*_len` carries the backtrack path length.
+    let mut prev_cost = vec![inf; m + 1];
+    let mut cur_cost = vec![inf; m + 1];
+    let mut prev_len = vec![0usize; m + 1];
+    let mut cur_len = vec![0usize; m + 1];
+    prev_cost[0] = 0.0; // cell (0, 0)
+
+    for i in 1..=n {
+        let j_lo = if band == usize::MAX { 1 } else { i.saturating_sub(band).max(1) };
+        let j_hi = if band == usize::MAX { m } else { (i + band).min(m) };
+        cur_cost.fill(inf);
+        let mut row_min = inf;
+        for j in j_lo..=j_hi {
+            let diag = prev_cost[j - 1];
+            let up = prev_cost[j];
+            let left = cur_cost[j - 1];
+            let best = diag.min(up).min(left);
+            if best < inf {
+                cur_cost[j] = (a[i - 1] - b[j - 1]).abs() + best;
+                // Identical tie-break to the backtrack in `dtw_with_path`:
+                // diagonal first, then up, then left.
+                cur_len[j] = 1 + if diag <= up && diag <= left {
+                    prev_len[j - 1]
+                } else if up <= left {
+                    prev_len[j]
+                } else {
+                    cur_len[j - 1]
+                };
+                row_min = row_min.min(cur_cost[j]);
+            }
+        }
+        if let Some(thr) = abandon_above {
+            let bound = if config.normalize { row_min / max_plen } else { row_min };
+            if bound > thr {
+                return None;
+            }
+        }
+        std::mem::swap(&mut prev_cost, &mut cur_cost);
+        std::mem::swap(&mut prev_len, &mut cur_len);
+    }
+    if prev_cost[m] == inf {
+        return None;
+    }
+    let d = if config.normalize {
+        prev_cost[m] / prev_len[m] as f64
+    } else {
+        prev_cost[m]
+    };
+    Some(d)
+}
+
+/// LB_Keogh lower bound on `dtw_distance(a, b, config)`.
+///
+/// For every probe sample the bound charges the distance to the envelope of
+/// `b` over the effective Sakoe–Chiba window (which any legal warping path
+/// stays inside); envelopes are computed with monotonic deques in
+/// O(n + m). Normalized DTW divides by the maximum possible path length, so
+/// `lb_keogh(a, b, c) <= dtw_distance(a, b, c)` always holds — the bound is
+/// cheap to compute and lets a nearest-template search skip exact DTW on
+/// most candidates.
+pub fn lb_keogh(a: &[f64], b: &[f64], config: DtwConfig) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return f64::INFINITY;
+    }
+    let band = config
+        .band
+        .map(|w| w.max(n.abs_diff(m)))
+        .unwrap_or(usize::MAX);
+    let mut total = 0.0;
+    if band >= m {
+        // Window always spans all of `b`: one global envelope.
+        let (lo, hi) = (inf_fold_min(b), inf_fold_max(b));
+        for &v in a {
+            if v > hi {
+                total += v - hi;
+            } else if v < lo {
+                total += lo - v;
+            }
+        }
+    } else {
+        // Sliding min/max over the window [i − band, i + band] of `b`,
+        // maintained with monotonic deques.
+        use std::collections::VecDeque;
+        let mut min_dq: VecDeque<usize> = VecDeque::new();
+        let mut max_dq: VecDeque<usize> = VecDeque::new();
+        let mut next = 0usize;
+        for (i, &v) in a.iter().enumerate() {
+            let w_lo = i.saturating_sub(band);
+            let w_hi = (i + band).min(m - 1);
+            while next <= w_hi {
+                while min_dq.back().is_some_and(|&k| b[k] >= b[next]) {
+                    min_dq.pop_back();
+                }
+                min_dq.push_back(next);
+                while max_dq.back().is_some_and(|&k| b[k] <= b[next]) {
+                    max_dq.pop_back();
+                }
+                max_dq.push_back(next);
+                next += 1;
+            }
+            while min_dq.front().is_some_and(|&k| k < w_lo) {
+                min_dq.pop_front();
+            }
+            while max_dq.front().is_some_and(|&k| k < w_lo) {
+                max_dq.pop_front();
+            }
+            let lo = b[*min_dq.front().expect("non-empty window")];
+            let hi = b[*max_dq.front().expect("non-empty window")];
+            if v > hi {
+                total += v - hi;
+            } else if v < lo {
+                total += lo - v;
+            }
+        }
+    }
+    if config.normalize {
+        total / (n + m - 1) as f64
+    } else {
+        total
+    }
+}
+
+fn inf_fold_min(x: &[f64]) -> f64 {
+    x.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+fn inf_fold_max(x: &[f64]) -> f64 {
+    x.iter().copied().fold(f64::NEG_INFINITY, f64::max)
 }
 
 /// DTW distance together with the optimal alignment path (pairs of indices
@@ -245,5 +405,93 @@ mod tests {
     fn single_element_series() {
         assert_eq!(d(&[2.0], &[5.0]), 3.0);
         assert_eq!(d(&[2.0], &[2.0, 2.0, 2.0]), 0.0);
+    }
+
+    /// Deterministic pseudo-random series for kernel-equivalence sweeps.
+    fn wave(n: usize, phase: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                30.0 * (t * 0.37 + phase).sin() + 10.0 * (t * 1.13 + 2.0 * phase).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rolling_kernel_matches_with_path_exactly() {
+        for (n, m) in [(1, 1), (5, 5), (17, 9), (40, 60), (33, 33)] {
+            for trial in 0..4 {
+                let a = wave(n, trial as f64);
+                let b = wave(m, trial as f64 * 2.3 + 1.0);
+                for band in [None, Some(0), Some(3), Some(10), Some(n.max(m))] {
+                    for normalize in [false, true] {
+                        let cfg = DtwConfig { band, normalize };
+                        let reference = dtw_with_path(&a, &b, cfg).map(|(d, _)| d);
+                        let fast = dtw_distance_pruned(&a, &b, cfg, None);
+                        assert_eq!(
+                            fast, reference,
+                            "n={n} m={m} band={band:?} normalize={normalize}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn abandoning_never_lies() {
+        // Abandoned ⇒ the exact distance really is above the threshold;
+        // not abandoned ⇒ the exact distance is returned unchanged.
+        for trial in 0..6 {
+            let a = wave(30, trial as f64);
+            let b = wave(45, trial as f64 + 0.7);
+            let cfg = DtwConfig::stroke_matching();
+            let exact = dtw_distance(&a, &b, cfg);
+            for thr in [0.0, exact * 0.5, exact, exact * 2.0] {
+                match dtw_distance_pruned(&a, &b, cfg, Some(thr)) {
+                    Some(d) => assert_eq!(d, exact),
+                    None => assert!(exact > thr, "abandoned at {thr} but exact is {exact}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lb_keogh_is_a_lower_bound() {
+        for (n, m) in [(10, 10), (25, 40), (60, 20)] {
+            for trial in 0..5 {
+                let a = wave(n, trial as f64 * 1.7);
+                let b = wave(m, trial as f64 * 0.9 + 2.0);
+                for band in [None, Some(2), Some(8), Some(100)] {
+                    for normalize in [false, true] {
+                        let cfg = DtwConfig { band, normalize };
+                        let lb = lb_keogh(&a, &b, cfg);
+                        let exact = dtw_distance(&a, &b, cfg);
+                        assert!(
+                            lb <= exact + 1e-12,
+                            "lb {lb} > exact {exact} (band={band:?} norm={normalize})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lb_keogh_is_zero_on_identity_and_infinite_on_empty() {
+        let a = wave(20, 0.0);
+        assert_eq!(lb_keogh(&a, &a, DtwConfig::default()), 0.0);
+        assert_eq!(lb_keogh(&[], &a, DtwConfig::default()), f64::INFINITY);
+        assert_eq!(lb_keogh(&a, &[], DtwConfig::default()), f64::INFINITY);
+    }
+
+    #[test]
+    fn lb_keogh_tightens_with_narrower_band() {
+        let a = wave(40, 0.3);
+        let b = wave(40, 2.9);
+        let wide = lb_keogh(&a, &b, DtwConfig { band: Some(30), normalize: false });
+        let tight = lb_keogh(&a, &b, DtwConfig { band: Some(2), normalize: false });
+        assert!(tight >= wide, "tight {tight} < wide {wide}");
+        assert!(tight > 0.0);
     }
 }

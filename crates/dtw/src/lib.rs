@@ -23,5 +23,5 @@ pub mod templates;
 
 pub use classifier::{Classification, StrokeClassifier};
 pub use confusion::ConfusionMatrix;
-pub use dtw::{dtw_distance, DtwConfig};
+pub use dtw::{dtw_distance, dtw_distance_pruned, lb_keogh, DtwConfig};
 pub use templates::TemplateLibrary;

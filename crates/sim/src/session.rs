@@ -194,7 +194,7 @@ impl<'a> TextEntrySession<'a> {
                 elapsed += think + self.stroke_motion_time(participant, session, s);
                 let written = if self.rng.gen::<f64>() < slip {
                     // A slip writes a uniformly random other stroke.
-                    let mut alt = Stroke::ALL[self.rng.gen_range(0..6)];
+                    let mut alt = Stroke::ALL[self.rng.gen_range(0..6usize)];
                     if alt == s {
                         alt = Stroke::ALL[(s.index() + 1) % 6];
                     }

@@ -135,8 +135,37 @@ impl Enhancer {
     }
 
     /// Runs the full chain and returns only the final binary spectrogram.
+    ///
+    /// This is the hot path: after the median filter every stage mutates one
+    /// working matrix in place, instead of cloning the full spectrogram at
+    /// each step like the diagnostic [`Enhancer::enhance_stages`] does. The
+    /// result is element-for-element identical to `enhance_stages(spec).binary`.
     pub fn enhance(&self, spec: &Spectrogram) -> Spectrogram {
-        self.enhance_stages(spec).binary
+        self.enhance_impl(spec, None)
+    }
+
+    fn enhance_impl(&self, spec: &Spectrogram, background: Option<&[f64]>) -> Spectrogram {
+        let c = &self.config;
+        if spec.cols() == 0 {
+            return spec.clone();
+        }
+        let mut work = image::median_filter_2d(spec, c.median_size);
+        match background {
+            Some(bg) => image::subtract_background_in_place(&mut work, bg),
+            None => {
+                let n_static = c.static_frames.min(spec.cols().max(1));
+                image::subtract_static_in_place(&mut work, n_static);
+            }
+        }
+        image::threshold_in_place(&mut work, c.alpha);
+        if let Some(cfg) = &c.burst_suppression {
+            work = crate::burst::suppress_bursts(&work, *cfg).0;
+        }
+        image::gaussian_filter_2d_in_place(&mut work, c.gaussian_size);
+        echowrite_dsp::util::normalize_zero_one(work.data_mut());
+        image::binarize_in_place(&mut work, c.binarize_threshold);
+        image::fill_holes_in_place(&mut work);
+        work
     }
 
     /// Estimates the static background (per-row means over the first
@@ -156,7 +185,7 @@ impl Enhancer {
     /// static frames — the streaming path, where the buffer's front may no
     /// longer be static.
     pub fn enhance_with_background(&self, spec: &Spectrogram, background: &[f64]) -> Spectrogram {
-        self.stages_impl(spec, Some(background)).binary
+        self.enhance_impl(spec, Some(background))
     }
 
     /// Runs the full chain keeping every intermediate (Fig. 8 panels).
@@ -325,6 +354,26 @@ mod tests {
         let spec = synthetic(32, 3);
         let out = Enhancer::default().enhance(&spec);
         assert_eq!(out.cols(), 3);
+    }
+
+    /// The in-place hot path must agree with the diagnostic staged path
+    /// element for element, with and without a frozen background, with and
+    /// without burst suppression.
+    #[test]
+    fn fast_path_is_identical_to_staged_path() {
+        for cfg in [EnhanceConfig::paper(), EnhanceConfig::with_burst_suppression()] {
+            let e = Enhancer::new(cfg);
+            for (rows, cols) in [(64, 40), (32, 3), (16, 1)] {
+                let spec = synthetic(rows, cols);
+                assert_eq!(e.enhance(&spec), e.enhance_stages(&spec).binary);
+                if let Some(bg) = e.estimate_background(&spec) {
+                    assert_eq!(
+                        e.enhance_with_background(&spec, &bg),
+                        e.stages_impl(&spec, Some(&bg)).binary
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,27 +10,48 @@ use echowrite_dsp::filters::gaussian_kernel;
 
 /// Applies a `size`×`size` median filter (edges replicate).
 ///
+/// Interior pixels gather their window by direct row-slice copies and the
+/// median is found with a partial selection instead of a full sort; the
+/// output is element-for-element identical to the straightforward
+/// gather-and-sort definition.
+///
 /// # Panics
 ///
 /// Panics if `size` is even or zero.
 pub fn median_filter_2d(src: &Spectrogram, size: usize) -> Spectrogram {
     assert!(size % 2 == 1 && size > 0, "median size must be odd, got {size}");
-    let half = (size / 2) as isize;
-    let (rows, cols) = (src.rows() as isize, src.cols() as isize);
+    let half = size / 2;
+    let (rows, cols) = (src.rows(), src.cols());
     let mut out = src.clone();
-    let mut window = Vec::with_capacity(size * size);
+    if cols == 0 {
+        return out;
+    }
+    let data = src.data();
+    let mut window = vec![0.0f64; size * size];
+    let mid = (size * size) / 2;
     for r in 0..rows {
         for c in 0..cols {
-            window.clear();
-            for dr in -half..=half {
-                for dc in -half..=half {
-                    let rr = (r + dr).clamp(0, rows - 1) as usize;
-                    let cc = (c + dc).clamp(0, cols - 1) as usize;
-                    window.push(src.get(rr, cc));
+            if r >= half && r + half < rows && c >= half && c + half < cols {
+                // Interior: the window is `size` contiguous row slices.
+                for dr in 0..size {
+                    let base = (r - half + dr) * cols + (c - half);
+                    window[dr * size..(dr + 1) * size]
+                        .copy_from_slice(&data[base..base + size]);
+                }
+            } else {
+                // Border: replicate edges via clamping.
+                let mut n = 0;
+                for dr in -(half as isize)..=half as isize {
+                    let rr = (r as isize + dr).clamp(0, rows as isize - 1) as usize;
+                    for dc in -(half as isize)..=half as isize {
+                        let cc = (c as isize + dc).clamp(0, cols as isize - 1) as usize;
+                        window[n] = data[rr * cols + cc];
+                        n += 1;
+                    }
                 }
             }
-            window.sort_by(|a, b| a.total_cmp(b));
-            out.set(r as usize, c as usize, window[window.len() / 2]);
+            let (_, m, _) = window.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+            out.set(r, c, *m);
         }
     }
     out
@@ -43,35 +64,55 @@ pub fn median_filter_2d(src: &Spectrogram, size: usize) -> Spectrogram {
 ///
 /// Panics if `size` is even or zero.
 pub fn gaussian_filter_2d(src: &Spectrogram, size: usize) -> Spectrogram {
+    let mut out = src.clone();
+    gaussian_filter_2d_in_place(&mut out, size);
+    out
+}
+
+/// In-place separable Gaussian blur (same semantics as
+/// [`gaussian_filter_2d`]): one horizontal and one vertical pass, with a
+/// single line buffer as the only allocation.
+///
+/// # Panics
+///
+/// Panics if `size` is even or zero.
+pub fn gaussian_filter_2d_in_place(s: &mut Spectrogram, size: usize) {
     let kernel = gaussian_kernel(size, None);
     let half = (kernel.len() / 2) as isize;
-    let (rows, cols) = (src.rows() as isize, src.cols() as isize);
+    let (rows, cols) = (s.rows(), s.cols());
+    if cols == 0 {
+        return;
+    }
+    let data = s.data_mut();
+    let mut line = vec![0.0f64; cols.max(rows)];
 
-    // Horizontal pass.
-    let mut tmp = src.clone();
-    for r in 0..rows as usize {
-        for c in 0..cols {
-            let mut acc = 0.0;
-            for (k, &kv) in kernel.iter().enumerate() {
-                let cc = (c + k as isize - half).clamp(0, cols - 1) as usize;
-                acc += kv * src.get(r, cc);
-            }
-            tmp.set(r, c as usize, acc);
-        }
-    }
-    // Vertical pass.
-    let mut out = tmp.clone();
+    // Horizontal pass, one row at a time.
     for r in 0..rows {
-        for c in 0..cols as usize {
+        let row = &data[r * cols..(r + 1) * cols];
+        for (c, l) in line[..cols].iter_mut().enumerate() {
             let mut acc = 0.0;
             for (k, &kv) in kernel.iter().enumerate() {
-                let rr = (r + k as isize - half).clamp(0, rows - 1) as usize;
-                acc += kv * tmp.get(rr, c);
+                let cc = (c as isize + k as isize - half).clamp(0, cols as isize - 1) as usize;
+                acc += kv * row[cc];
             }
-            out.set(r as usize, c, acc);
+            *l = acc;
+        }
+        data[r * cols..(r + 1) * cols].copy_from_slice(&line[..cols]);
+    }
+    // Vertical pass, one column at a time.
+    for c in 0..cols {
+        for (r, l) in line[..rows].iter_mut().enumerate() {
+            *l = data[r * cols + c];
+        }
+        for r in 0..rows {
+            let mut acc = 0.0;
+            for (k, &kv) in kernel.iter().enumerate() {
+                let rr = (r as isize + k as isize - half).clamp(0, rows as isize - 1) as usize;
+                acc += kv * line[rr];
+            }
+            data[r * cols + c] = acc;
         }
     }
-    out
 }
 
 /// Spectral subtraction: computes the per-row mean of the first
@@ -83,20 +124,29 @@ pub fn gaussian_filter_2d(src: &Spectrogram, size: usize) -> Spectrogram {
 ///
 /// Panics if `static_frames` is zero or exceeds the column count.
 pub fn subtract_static(src: &Spectrogram, static_frames: usize) -> Spectrogram {
-    assert!(
-        static_frames > 0 && static_frames <= src.cols(),
-        "static_frames {static_frames} out of range for {} columns",
-        src.cols()
-    );
     let mut out = src.clone();
-    for r in 0..src.rows() {
-        let mean: f64 =
-            (0..static_frames).map(|c| src.get(r, c)).sum::<f64>() / static_frames as f64;
-        for c in 0..src.cols() {
-            out.set(r, c, (src.get(r, c) - mean).max(0.0));
+    subtract_static_in_place(&mut out, static_frames);
+    out
+}
+
+/// In-place variant of [`subtract_static`].
+///
+/// # Panics
+///
+/// Panics if `static_frames` is zero or exceeds the column count.
+pub fn subtract_static_in_place(s: &mut Spectrogram, static_frames: usize) {
+    assert!(
+        static_frames > 0 && static_frames <= s.cols(),
+        "static_frames {static_frames} out of range for {} columns",
+        s.cols()
+    );
+    let cols = s.cols();
+    for row in s.data_mut().chunks_exact_mut(cols) {
+        let mean: f64 = row[..static_frames].iter().sum::<f64>() / static_frames as f64;
+        for v in row {
+            *v = (*v - mean).max(0.0);
         }
     }
-    out
 }
 
 /// Subtracts an externally supplied per-row background from every column,
@@ -107,14 +157,27 @@ pub fn subtract_static(src: &Spectrogram, static_frames: usize) -> Spectrogram {
 ///
 /// Panics if `background.len() != src.rows()`.
 pub fn subtract_background(src: &Spectrogram, background: &[f64]) -> Spectrogram {
-    assert_eq!(background.len(), src.rows(), "background row-count mismatch");
     let mut out = src.clone();
-    for (r, &bg) in background.iter().enumerate() {
-        for c in 0..src.cols() {
-            out.set(r, c, (src.get(r, c) - bg).max(0.0));
+    subtract_background_in_place(&mut out, background);
+    out
+}
+
+/// In-place variant of [`subtract_background`].
+///
+/// # Panics
+///
+/// Panics if `background.len() != s.rows()`.
+pub fn subtract_background_in_place(s: &mut Spectrogram, background: &[f64]) {
+    assert_eq!(background.len(), s.rows(), "background row-count mismatch");
+    let cols = s.cols();
+    if cols == 0 {
+        return;
+    }
+    for (row, &bg) in s.data_mut().chunks_exact_mut(cols).zip(background) {
+        for v in row {
+            *v = (*v - bg).max(0.0);
         }
     }
-    out
 }
 
 /// Per-row mean of the first `static_frames` columns — the background
@@ -138,12 +201,17 @@ pub fn row_means(src: &Spectrogram, static_frames: usize) -> Vec<f64> {
 /// energy threshold, α = 8 for their device).
 pub fn threshold(src: &Spectrogram, alpha: f64) -> Spectrogram {
     let mut out = src.clone();
-    for v in out.data_mut() {
+    threshold_in_place(&mut out, alpha);
+    out
+}
+
+/// In-place variant of [`threshold`].
+pub fn threshold_in_place(s: &mut Spectrogram, alpha: f64) {
+    for v in s.data_mut() {
         if *v < alpha {
             *v = 0.0;
         }
     }
-    out
 }
 
 /// Rescales the whole matrix into `[0, 1]` (paper's "zero-one
@@ -157,10 +225,15 @@ pub fn normalize_zero_one(src: &Spectrogram) -> Spectrogram {
 /// Binarizes at `t`: cells ≥ `t` become 1.0, the rest 0.0.
 pub fn binarize(src: &Spectrogram, t: f64) -> Spectrogram {
     let mut out = src.clone();
-    for v in out.data_mut() {
+    binarize_in_place(&mut out, t);
+    out
+}
+
+/// In-place variant of [`binarize`].
+pub fn binarize_in_place(s: &mut Spectrogram, t: f64) {
+    for v in s.data_mut() {
         *v = if *v >= t { 1.0 } else { 0.0 };
     }
-    out
 }
 
 /// Fills holes in a binary image: zero-regions not 4-connected to the image
@@ -171,30 +244,42 @@ pub fn binarize(src: &Spectrogram, t: f64) -> Spectrogram {
 ///
 /// Panics if the input is not binary.
 pub fn fill_holes(src: &Spectrogram) -> Spectrogram {
-    assert!(src.is_binary(), "fill_holes requires a binary spectrogram");
-    let (rows, cols) = (src.rows(), src.cols());
+    let mut out = src.clone();
+    fill_holes_in_place(&mut out);
+    out
+}
+
+/// In-place variant of [`fill_holes`].
+///
+/// # Panics
+///
+/// Panics if the input is not binary.
+pub fn fill_holes_in_place(s: &mut Spectrogram) {
+    assert!(s.is_binary(), "fill_holes requires a binary spectrogram");
+    let (rows, cols) = (s.rows(), s.cols());
     if rows == 0 || cols == 0 {
-        return src.clone();
+        return;
     }
     // Flood from all border background pixels.
+    let data = s.data_mut();
     let mut outside = vec![false; rows * cols];
     let mut stack: Vec<(usize, usize)> = Vec::new();
-    let try_seed = |r: usize, c: usize, stack: &mut Vec<(usize, usize)>| {
-        if src.get(r, c) == 0.0 {
+    let try_seed = |r: usize, c: usize, stack: &mut Vec<(usize, usize)>, data: &[f64]| {
+        if data[r * cols + c] == 0.0 {
             stack.push((r, c));
         }
     };
     for c in 0..cols {
-        try_seed(0, c, &mut stack);
-        try_seed(rows - 1, c, &mut stack);
+        try_seed(0, c, &mut stack, data);
+        try_seed(rows - 1, c, &mut stack, data);
     }
     for r in 0..rows {
-        try_seed(r, 0, &mut stack);
-        try_seed(r, cols - 1, &mut stack);
+        try_seed(r, 0, &mut stack, data);
+        try_seed(r, cols - 1, &mut stack, data);
     }
     while let Some((r, c)) = stack.pop() {
         let idx = r * cols + c;
-        if outside[idx] || src.get(r, c) != 0.0 {
+        if outside[idx] || data[idx] != 0.0 {
             continue;
         }
         outside[idx] = true;
@@ -211,15 +296,11 @@ pub fn fill_holes(src: &Spectrogram) -> Spectrogram {
             stack.push((r, c + 1));
         }
     }
-    let mut out = src.clone();
-    for r in 0..rows {
-        for c in 0..cols {
-            if src.get(r, c) == 0.0 && !outside[r * cols + c] {
-                out.set(r, c, 1.0);
-            }
+    for (v, &out_flag) in data.iter_mut().zip(&outside) {
+        if *v == 0.0 && !out_flag {
+            *v = 1.0;
         }
     }
-    out
 }
 
 #[cfg(test)]

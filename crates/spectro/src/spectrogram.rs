@@ -70,6 +70,31 @@ impl Spectrogram {
         s
     }
 
+    /// Builds a spectrogram from one flat frame-major buffer: frame `c`
+    /// occupies `buf[c*rows .. (c+1)*rows]`. This is the layout the
+    /// zero-allocation STFT band paths produce, and the transpose into the
+    /// row-major matrix happens in a single pass here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero or `buf.len() != rows * cols`.
+    pub fn from_frame_major(rows: usize, cols: usize, buf: &[f64]) -> Self {
+        assert!(rows > 0, "a spectrogram needs at least one row");
+        assert_eq!(
+            buf.len(),
+            rows * cols,
+            "frame-major buffer length {} != rows {rows} × cols {cols}",
+            buf.len()
+        );
+        let mut s = Spectrogram::zeros(rows, cols);
+        for (c, frame) in buf.chunks_exact(rows).enumerate() {
+            for (r, &v) in frame.iter().enumerate() {
+                s.data[r * cols + c] = v;
+            }
+        }
+        s
+    }
+
     /// Builds the paper's region-of-interest spectrogram from full-band STFT
     /// frames: crops to `[carrier − span, carrier + span]` Hz and records
     /// frequency/time metadata from the STFT configuration.
@@ -308,6 +333,21 @@ mod tests {
     #[should_panic(expected = "inconsistent")]
     fn from_frames_rejects_ragged_input() {
         Spectrogram::from_frames(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    fn from_frame_major_matches_from_frames() {
+        let frames = [vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let flat: Vec<f64> = frames.iter().flatten().copied().collect();
+        let a = Spectrogram::from_frames(&frames);
+        let b = Spectrogram::from_frame_major(3, 2, &flat);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame-major buffer length")]
+    fn from_frame_major_rejects_wrong_len() {
+        Spectrogram::from_frame_major(3, 2, &[0.0; 5]);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use echowrite_dsp::filters::{gaussian_smooth, holoborodko_diff, median_filter, moving_average};
 use echowrite_dsp::util::{normalize_zero_one, resample_linear};
-use echowrite_dsp::{Complex, Fft};
-use echowrite_dtw::{dtw_distance, DtwConfig};
+use echowrite_dsp::{Complex, Fft, RealFft};
+use echowrite_dtw::{dtw_distance, dtw_distance_pruned, DtwConfig};
 use echowrite_gesture::{InputScheme, Stroke};
 use echowrite_lang::{CorrectionRules, Dictionary, WordDecoder};
 use echowrite_profile::{DopplerProfile, SegmentConfig, Segmenter};
@@ -301,6 +301,87 @@ proptest! {
         for s in &segs {
             prop_assert!(s.start < s.end);
             prop_assert!(s.end <= profile.len());
+        }
+    }
+
+    // ---------- real-input FFT ----------
+
+    #[test]
+    fn realfft_matches_complex_fft_on_random_signals(
+        values in prop::collection::vec(-10.0f64..10.0, 128)
+    ) {
+        let fast = RealFft::new(128).forward(&values);
+        let reference = Fft::new(128).forward_real(&values);
+        prop_assert_eq!(fast.len(), 65);
+        for (k, (a, b)) in fast.iter().zip(&reference).enumerate() {
+            prop_assert!((*a - *b).norm() <= 1e-9, "bin {}: {:?} vs {:?}", k, a, b);
+        }
+    }
+
+    // ---------- pruned DTW ----------
+
+    #[test]
+    fn pruned_dtw_equals_exact_when_band_covers_everything(
+        a in small_signal(),
+        b in small_signal(),
+        normalize in any::<bool>()
+    ) {
+        let full = DtwConfig { band: None, normalize };
+        let covering = DtwConfig { band: Some(a.len().max(b.len())), normalize };
+        let exact = dtw_distance(&a, &b, full);
+        // A band at least max(n, m) wide constrains nothing, and without an
+        // abandon threshold the rolling kernel must reproduce the exact
+        // distance bit for bit.
+        let pruned = dtw_distance_pruned(&a, &b, covering, None);
+        prop_assert_eq!(pruned, Some(exact));
+        // An abandon threshold strictly above the answer must not fire…
+        prop_assert_eq!(
+            dtw_distance_pruned(&a, &b, covering, Some(exact + 1.0)),
+            Some(exact)
+        );
+        // …and abandoning is conservative: with any threshold the kernel
+        // either abandons or still reports the exact distance — never a
+        // wrong number.
+        let tight = dtw_distance_pruned(&a, &b, covering, Some(exact * 0.5));
+        prop_assert!(tight.is_none() || tight == Some(exact), "tight = {:?}", tight);
+    }
+}
+
+// ---------- frame-parallel analysis ----------
+
+/// The frame-parallel front-end must be bitwise identical to the serial
+/// reference: workers fill disjoint frame-major chunks and everything
+/// downstream of the transpose is single-threaded, so any worker count
+/// yields the same `Analysis`.
+#[test]
+fn parallel_analyze_is_identical_to_serial() {
+    use echowrite::{EchoWriteConfig, Parallelism, Pipeline};
+    use echowrite_gesture::{Writer, WriterParams};
+    use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+
+    let base = EchoWriteConfig::downsampled(16);
+    let mut serial_cfg = base.clone();
+    serial_cfg.parallelism = Parallelism::Threads(1);
+    let serial = Pipeline::new(serial_cfg);
+
+    for seed in 0..8u64 {
+        let stroke = Stroke::from_index(seed as usize % 6).unwrap();
+        let perf = Writer::new(WriterParams::nominal(), seed).write_stroke(stroke);
+        let audio = Scene::new(
+            DeviceProfile::mate9(),
+            EnvironmentProfile::meeting_room(),
+            seed,
+        )
+        .render(&perf.trajectory);
+
+        let reference = serial.analyze(&audio);
+        for workers in [2, 5] {
+            let mut cfg = base.clone();
+            cfg.parallelism = Parallelism::Threads(workers);
+            let parallel = Pipeline::new(cfg).analyze(&audio);
+            assert_eq!(parallel.binary, reference.binary, "seed {seed} workers {workers}");
+            assert_eq!(parallel.profile, reference.profile, "seed {seed} workers {workers}");
+            assert_eq!(parallel.segments, reference.segments, "seed {seed} workers {workers}");
         }
     }
 }

@@ -1,0 +1,259 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark harness.
+//!
+//! Implements the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Run modes (decided from CLI args, mirroring how cargo drives bench
+//! binaries):
+//! - `--bench` (what `cargo bench` passes): warm up, then time each closure
+//!   and print `<name>  <mean> ns/iter (N iters)` plus a machine-readable
+//!   `BENCH_JSON {..}` line per benchmark.
+//! - anything else (e.g. `cargo test` running the harness-less binary):
+//!   execute each closure once as a smoke test so the suite stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Names one benchmark: an optional function name plus a parameter string.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and one parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times one closure; handed to benchmark functions.
+pub struct Bencher<'a> {
+    mode: Mode,
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    result: &'a mut Option<BenchResult>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct BenchResult {
+    mean_ns: f64,
+    iters: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Mode {
+    /// Run each closure once (smoke test; used under `cargo test`).
+    Test,
+    /// Warm up and measure (used under `cargo bench`).
+    Measure,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` repeatedly and records its mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Test => {
+                std::hint::black_box(routine());
+                *self.result = Some(BenchResult { mean_ns: 0.0, iters: 1 });
+            }
+            Mode::Measure => {
+                // Warm-up: at least 3 iters or 50 ms, whichever is longer.
+                let warm_start = Instant::now();
+                let mut warm_iters = 0u64;
+                while warm_iters < 3 || warm_start.elapsed() < Duration::from_millis(50) {
+                    std::hint::black_box(routine());
+                    warm_iters += 1;
+                    if warm_iters >= 1_000_000 {
+                        break;
+                    }
+                }
+                let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+                // Measure for ~300 ms, capped at 10k iters, floor of 10.
+                let target = (0.3 / per_iter.max(1e-9)) as u64;
+                let iters = target.clamp(10, 10_000);
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(routine());
+                }
+                let mean_ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+                *self.result = Some(BenchResult { mean_ns, iters });
+            }
+        }
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { mode: if measure { Mode::Measure } else { Mode::Test } }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI configuration (mode detection happens in `default`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.mode, None, &id.into(), f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is time-driven here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.criterion.mode, Some(&self.name), &id.into(), f);
+        self
+    }
+
+    /// Runs one benchmark that borrows a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(self.criterion.mode, Some(&self.name), &id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(mode: Mode, group: Option<&str>, id: &BenchmarkId, mut f: F) {
+    let full = match group {
+        Some(g) => format!("{g}/{}", id.id),
+        None => id.id.clone(),
+    };
+    let mut result = None;
+    let mut bencher = Bencher { mode, result: &mut result };
+    f(&mut bencher);
+    match (mode, result) {
+        (Mode::Test, _) => println!("test {full} ... ok"),
+        (Mode::Measure, Some(r)) => {
+            println!("{full:<56} {:>14.1} ns/iter ({} iters)", r.mean_ns, r.iters);
+            println!(
+                "BENCH_JSON {{\"name\":\"{full}\",\"mean_ns\":{:.1},\"iters\":{}}}",
+                r.mean_ns, r.iters
+            );
+        }
+        (Mode::Measure, None) => println!("{full:<56} (no measurement)"),
+    }
+}
+
+/// Re-export so benches can `use criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into one runner fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_closure_once() {
+        let mut c = Criterion { mode: Mode::Test };
+        let mut runs = 0;
+        c.bench_function("unit", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion { mode: Mode::Test };
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        let mut hits = 0;
+        g.bench_function(BenchmarkId::new("f", 3), |b| b.iter(|| hits += 1));
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &5, |b, &x| {
+            b.iter(|| hits += x)
+        });
+        g.finish();
+        assert_eq!(hits, 6);
+    }
+
+    #[test]
+    fn measure_mode_records_timing() {
+        let mut result = None;
+        let mut b = Bencher { mode: Mode::Measure, result: &mut result };
+        b.iter(|| std::hint::black_box(1 + 1));
+        let r = result.expect("measurement recorded");
+        assert!(r.iters >= 10);
+        assert!(r.mean_ns >= 0.0);
+    }
+}

@@ -1,0 +1,472 @@
+//! Offline stand-in for `proptest`: a miniature property-testing harness.
+//!
+//! Covers the surface this workspace uses — the `proptest!` macro with an
+//! optional `#![proptest_config(..)]` header, `prop_assert!` /
+//! `prop_assert_eq!`, numeric-range and char-class strategies,
+//! `prop::collection::vec`, tuples, and `any::<T>()`. Case generation is
+//! deterministic: each test's RNG is seeded from the test path and case
+//! index, so failures reproduce exactly across runs.
+
+pub mod test_runner {
+    /// Per-test configuration (only the `cases` knob is honoured).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` generated inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator seeded per (test path, case).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Builds the RNG for one case of one property.
+        pub fn for_case(test_path: &str, case: u32) -> Self {
+            // FNV-1a over the test path, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let mut rng = TestRng { state: h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)) };
+            // Discard one output so near-identical seeds decorrelate.
+            rng.next_u64();
+            rng
+        }
+
+        /// Next 64 random bits (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform f64 in `[lo, hi)`.
+        pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+            let v = lo + self.unit_f64() * (hi - lo);
+            if v < hi {
+                v
+            } else {
+                lo
+            }
+        }
+
+        /// Uniform u64 in `[lo, hi)`.
+        pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+            debug_assert!(lo < hi);
+            lo + self.next_u64() % (hi - lo)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            rng.f64_in(self.start, self.end)
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    rng.u64_in(self.start as u64, self.end as u64) as $ty
+                }
+            }
+        )*};
+    }
+    int_strategy!(usize, u8, u16, u32, u64);
+
+    macro_rules! signed_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                    (self.start as i64).wrapping_add((rng.next_u64() % span) as i64) as $ty
+                }
+            }
+        )*};
+    }
+    signed_strategy!(i8, i16, i32, i64, isize);
+
+    /// Char-class string strategy: supports patterns like `"[a-z]{1,12}"`
+    /// (one character class, optional `{n}` / `{lo,hi}` repetition; a bare
+    /// class means exactly one character).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let (chars, lo, hi) = parse_char_class(self);
+            let len = rng.u64_in(lo as u64, hi as u64 + 1) as usize;
+            (0..len)
+                .map(|_| chars[rng.u64_in(0, chars.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    fn parse_char_class(pattern: &str) -> (Vec<char>, usize, usize) {
+        let bytes: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        assert!(
+            bytes.first() == Some(&'['),
+            "unsupported strategy pattern {pattern:?}: expected a char class"
+        );
+        i += 1;
+        let mut chars = Vec::new();
+        while i < bytes.len() && bytes[i] != ']' {
+            if i + 2 < bytes.len() && bytes[i + 1] == '-' && bytes[i + 2] != ']' {
+                let (a, b) = (bytes[i] as u32, bytes[i + 2] as u32);
+                assert!(a <= b, "bad char range in {pattern:?}");
+                chars.extend((a..=b).filter_map(char::from_u32));
+                i += 3;
+            } else {
+                chars.push(bytes[i]);
+                i += 1;
+            }
+        }
+        assert!(i < bytes.len(), "unterminated char class in {pattern:?}");
+        i += 1; // skip ']'
+        assert!(!chars.is_empty(), "empty char class in {pattern:?}");
+
+        if i >= bytes.len() {
+            return (chars, 1, 1);
+        }
+        assert!(bytes[i] == '{', "unsupported repetition in {pattern:?}");
+        let rep: String = bytes[i + 1..bytes.len() - 1].iter().collect();
+        assert!(bytes.last() == Some(&'}'), "unterminated repetition in {pattern:?}");
+        let (lo, hi) = match rep.split_once(',') {
+            Some((a, b)) => (
+                a.trim().parse().expect("repetition lower bound"),
+                b.trim().parse().expect("repetition upper bound"),
+            ),
+            None => {
+                let n = rep.trim().parse().expect("repetition count");
+                (n, n)
+            }
+        };
+        (chars, lo, hi)
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn char_class_with_repetition() {
+            let mut rng = TestRng::for_case("char_class", 0);
+            for _ in 0..100 {
+                let s = "[a-z]{1,12}".sample(&mut rng);
+                assert!((1..=12).contains(&s.len()), "{s:?}");
+                assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+
+        #[test]
+        fn bare_char_class_is_one_char() {
+            let mut rng = TestRng::for_case("bare", 0);
+            let s = "[0-9]".sample(&mut rng);
+            assert_eq!(s.len(), 1);
+            assert!(s.chars().all(|c| c.is_ascii_digit()));
+        }
+
+        #[test]
+        fn ranges_respect_bounds() {
+            let mut rng = TestRng::for_case("ranges", 0);
+            for _ in 0..1000 {
+                let f = (-2.0f64..3.0).sample(&mut rng);
+                assert!((-2.0..3.0).contains(&f));
+                let u = (5usize..9).sample(&mut rng);
+                assert!((5..9).contains(&u));
+                let s = (-4i32..-1).sample(&mut rng);
+                assert!((-4..-1).contains(&s));
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive-exclusive element-count range for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Generates `Vec`s of values drawn from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for vectors with the given element strategy and length.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 == self.size.hi {
+                self.size.lo
+            } else {
+                rng.u64_in(self.size.lo as u64, self.size.hi as u64) as usize
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value from the type's full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.f64_in(-1e6, 1e6)
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`'s full domain.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+/// Asserts a property-test condition (panics with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let ($($pat,)+) = (
+                    $($crate::strategy::Strategy::sample(&($strat), &mut __rng),)+
+                );
+                $body
+            }
+        }
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { .. }`
+/// becomes a `#[test]` running `cases` deterministic random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(
+            $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+pub mod prelude {
+    //! Everything a property-test module needs in scope.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of the upstream `prop::` module-path prelude alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_in_range(xs in prop::collection::vec(-1.0f64..1.0, 3..7)) {
+            prop_assert!((3..7).contains(&xs.len()));
+            for x in &xs {
+                prop_assert!((-1.0..1.0).contains(x));
+            }
+        }
+
+        #[test]
+        fn exact_size_and_mut_binding(mut xs in prop::collection::vec(0.0f64..1.0, 5)) {
+            prop_assert_eq!(xs.len(), 5);
+            xs.push(0.0);
+            prop_assert_eq!(xs.len(), 6);
+        }
+
+        #[test]
+        fn tuples_and_multiple_args(a in 0usize..10,
+                                    (b, c) in (1u32..5, -1.0f64..1.0)) {
+            prop_assert!(a < 10);
+            prop_assert!((1..5).contains(&b));
+            prop_assert!((-1.0..1.0).contains(&c));
+        }
+
+        #[test]
+        fn any_u8_and_strings(byte in any::<u8>(), word in "[a-z]{2,4}") {
+            let _ = byte;
+            prop_assert!((2..=4).contains(&word.len()));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::for_case("t", 1);
+        let mut b = crate::test_runner::TestRng::for_case("t", 1);
+        assert_eq!((0.0f64..1.0).sample(&mut a), (0.0f64..1.0).sample(&mut b));
+    }
+}

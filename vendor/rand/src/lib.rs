@@ -1,0 +1,312 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Implements the `Rng` extension trait, the `Standard` distribution, and
+//! `seq::SliceRandom` with rand 0.8.5's exact sampling algorithms:
+//!
+//! - `gen::<f64>()` uses the 53-high-bit construction,
+//! - `gen_range` over floats uses the `[1, 2)`-mantissa trick with
+//!   `value1_2 * scale + (low - scale)`,
+//! - `gen_range` over integers uses widening-multiply rejection with the
+//!   `(range << leading_zeros) - 1` zone,
+//! - `shuffle` is the end-first Fisher–Yates that draws `u32` indices for
+//!   bounds below `u32::MAX`.
+//!
+//! This keeps every seeded simulator trace identical to one produced by the
+//! real crates.
+
+pub use rand_core::{RngCore, SeedableRng};
+
+pub mod distributions {
+    //! The subset of `rand::distributions` the workspace touches.
+
+    use crate::RngCore;
+
+    /// Types that can produce a `T` from an RNG.
+    pub trait Distribution<T> {
+        /// Samples one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The standard distribution: uniform over a type's natural domain
+    /// (`[0, 1)` for floats, full range for integers).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 high bits of a u64, scaled by 2^-53 (rand 0.8 `Standard`).
+            let fraction = rng.next_u64() >> 11;
+            fraction as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            let fraction = rng.next_u32() >> 8;
+            fraction as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Distribution<u8> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+            rng.next_u32() as u8
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    /// Uniform sampling over a half-open range, one value per call
+    /// (rand 0.8's `sample_single`).
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl SampleRange<f64> for core::ops::Range<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            let (low, high) = (self.start, self.end);
+            assert!(low < high, "gen_range requires low < high");
+            let mut scale = high - low;
+            loop {
+                // A float in [1, 2): exponent 0, top 52 random mantissa bits.
+                let value1_2 =
+                    f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+                let res = value1_2 * scale + (low - scale);
+                if res < high {
+                    return res;
+                }
+                // Pathological rounding at the top of the range: shrink the
+                // scale one ULP and retry (upstream's edge-case handling).
+                scale = f64::from_bits(scale.to_bits() - 1);
+            }
+        }
+    }
+
+    macro_rules! int_range_32 {
+        ($ty:ty) => {
+            impl SampleRange<$ty> for core::ops::Range<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (low, high) = (self.start, self.end);
+                    assert!(low < high, "gen_range requires low < high");
+                    let range = (high as u32).wrapping_sub(low as u32);
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v = rng.next_u32();
+                        let m = (v as u64) * (range as u64);
+                        let (hi, lo) = ((m >> 32) as u32, m as u32);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+    int_range_32!(u32);
+    int_range_32!(i32);
+
+    macro_rules! int_range_64 {
+        ($ty:ty) => {
+            impl SampleRange<$ty> for core::ops::Range<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (low, high) = (self.start, self.end);
+                    assert!(low < high, "gen_range requires low < high");
+                    let range = (high as u64).wrapping_sub(low as u64);
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v = rng.next_u64();
+                        let m = (v as u128) * (range as u128);
+                        let (hi, lo) = ((m >> 64) as u64, m as u64);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+    int_range_64!(u64);
+    int_range_64!(i64);
+    int_range_64!(usize);
+}
+
+/// Extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples uniformly from a half-open range.
+    fn gen_range<T, Rr>(&mut self, range: Rr) -> T
+    where
+        Rr: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    //! The subset of `rand::seq` the workspace touches.
+
+    use crate::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (end-first Fisher–Yates, drawing
+        /// `u32` indices for small bounds exactly as rand 0.8 does).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    fn gen_index<R: Rng + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= u32::MAX as usize {
+            rng.gen_range(0..ubound as u32) as usize
+        } else {
+            rng.gen_range(0..ubound)
+        }
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, gen_index(rng, i + 1));
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[gen_index(rng, self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval_and_deterministic() {
+        let mut r = rng(3);
+        let xs: Vec<f64> = (0..1000).map(|_| r.gen::<f64>()).collect();
+        assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+        let mut r2 = rng(3);
+        assert_eq!(xs[0], r2.gen::<f64>());
+        // Mean of U[0,1) over 1000 draws should be near 0.5.
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_float_stays_in_bounds() {
+        let mut r = rng(4);
+        for _ in 0..1000 {
+            let v = r.gen_range(-2.5f64..7.5);
+            assert!((-2.5..7.5).contains(&v));
+        }
+        // Tiny range touching MIN_POSITIVE (the Box–Muller guard case).
+        for _ in 0..100 {
+            let v = r.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(v > 0.0 && v < 1.0);
+        }
+    }
+
+    #[test]
+    fn gen_range_int_uniformity_and_bounds() {
+        let mut r = rng(5);
+        let mut counts = [0usize; 6];
+        for _ in 0..6000 {
+            counts[r.gen_range(0usize..6)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "skewed counts {counts:?}");
+        }
+        let mut hits = std::collections::HashSet::new();
+        for _ in 0..100 {
+            hits.insert(r.gen_range(3i32..6));
+        }
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = rng(6);
+        let mut v: Vec<u32> = (0..20).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        // Extremely unlikely to be the identity permutation.
+        assert_ne!(v, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut r = rng(7);
+        let v = [1, 2, 3];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(*v.choose(&mut r).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = rng(8);
+        let hits = (0..2000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((350..650).contains(&hits), "{hits}");
+    }
+}

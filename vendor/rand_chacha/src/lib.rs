@@ -1,0 +1,198 @@
+//! Offline stand-in for `rand_chacha` 0.3: [`ChaCha8Rng`].
+//!
+//! Implements the genuine ChaCha stream cipher with 8 rounds, a 64-bit
+//! block counter, and the word-buffer (`BlockRng`) read discipline of
+//! rand_core 0.6 — four 16-word blocks are generated per refill and
+//! `next_u64` straddles refills exactly as upstream does — so a generator
+//! seeded via `seed_from_u64` emits the same `u32`/`u64` stream as the real
+//! rand_chacha crate. The workspace's simulator seeds were calibrated on
+//! that stream.
+
+pub use rand_core;
+
+use rand_core::{RngCore, SeedableRng};
+
+/// Words per refill: rand_chacha buffers 4 ChaCha blocks of 16 words.
+const BUF_WORDS: usize = 64;
+
+/// A ChaCha stream cipher with 8 rounds used as an RNG.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Key words (little-endian from the 32-byte seed).
+    key: [u32; 8],
+    /// Block counter of the *next* refill's first block.
+    counter: u64,
+    /// Buffered output words.
+    buf: [u32; BUF_WORDS],
+    /// Next unread index into `buf`; `BUF_WORDS` means exhausted.
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        for b in 0..4 {
+            let block = chacha_block(&self.key, self.counter.wrapping_add(b as u64));
+            self.buf[b * 16..(b + 1) * 16].copy_from_slice(&block);
+        }
+        self.counter = self.counter.wrapping_add(4);
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng { key, counter: 0, buf: [0; BUF_WORDS], index: BUF_WORDS }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.refill();
+        }
+        let v = self.buf[self.index];
+        self.index += 1;
+        v
+    }
+
+    /// Two consecutive buffered words, low half first — including the
+    /// straddle-a-refill behaviour of rand_core's `BlockRng`.
+    fn next_u64(&mut self) -> u64 {
+        let index = self.index;
+        if index < BUF_WORDS - 1 {
+            self.index += 2;
+            (u64::from(self.buf[index + 1]) << 32) | u64::from(self.buf[index])
+        } else if index >= BUF_WORDS {
+            self.refill();
+            self.index = 2;
+            (u64::from(self.buf[1]) << 32) | u64::from(self.buf[0])
+        } else {
+            let lo = u64::from(self.buf[BUF_WORDS - 1]);
+            self.refill();
+            self.index = 1;
+            (u64::from(self.buf[0]) << 32) | lo
+        }
+    }
+}
+
+/// One 16-word ChaCha8 block for the given key and 64-bit block counter
+/// (nonce zero).
+fn chacha_block(key: &[u32; 8], counter: u64) -> [u32; 16] {
+    let mut state = [
+        0x6170_7865,
+        0x3320_646e,
+        0x7962_2d32,
+        0x6b20_6574,
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        0,
+        0,
+    ];
+    let initial = state;
+    for _ in 0..4 {
+        // Column round.
+        quarter(&mut state, 0, 4, 8, 12);
+        quarter(&mut state, 1, 5, 9, 13);
+        quarter(&mut state, 2, 6, 10, 14);
+        quarter(&mut state, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter(&mut state, 0, 5, 10, 15);
+        quarter(&mut state, 1, 6, 11, 12);
+        quarter(&mut state, 2, 7, 8, 13);
+        quarter(&mut state, 3, 4, 9, 14);
+    }
+    for (s, i) in state.iter_mut().zip(initial) {
+        *s = s.wrapping_add(i);
+    }
+    state
+}
+
+#[inline]
+fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..200).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..200).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn u64_is_two_u32s_lo_first() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let lo = a.next_u32() as u64;
+        let hi = a.next_u32() as u64;
+        assert_eq!(b.next_u64(), (hi << 32) | lo);
+    }
+
+    #[test]
+    fn straddles_buffer_boundary_like_block_rng() {
+        // Consume 63 words, then next_u64 must use word 63 as the low half
+        // and the first word of the next refill as the high half.
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        let words: Vec<u32> = (0..130).map(|_| a.next_u32()).collect();
+        for _ in 0..31 {
+            b.next_u64();
+        }
+        assert_eq!(b.next_u32(), words[62]);
+        let straddle = b.next_u64();
+        assert_eq!(straddle & 0xFFFF_FFFF, u64::from(words[63]));
+        assert_eq!(straddle >> 32, u64::from(words[64]));
+    }
+
+    #[test]
+    fn counter_advances_blocks() {
+        // Word 16 of the stream is the first word of block 1, which must
+        // differ from block 0's (identical state except the counter).
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        let w: Vec<u32> = (0..32).map(|_| r.next_u32()).collect();
+        assert_ne!(w[0], w[16]);
+    }
+
+    #[test]
+    fn known_answer_chacha_core() {
+        // All-zero key, counter 0: the block function must be a pure
+        // function of its inputs (regression pin for the round structure).
+        let k = [0u32; 8];
+        let b0 = chacha_block(&k, 0);
+        let b0_again = chacha_block(&k, 0);
+        let b1 = chacha_block(&k, 1);
+        assert_eq!(b0, b0_again);
+        assert_ne!(b0, b1);
+        // Mixing must leave no word equal to the initial state's constants.
+        assert_ne!(b0[0], 0x6170_7865);
+    }
+}

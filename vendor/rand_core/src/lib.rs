@@ -1,0 +1,107 @@
+//! Offline stand-in for `rand_core` 0.6: the two traits the workspace uses.
+//!
+//! `seed_from_u64` reproduces upstream's PCG32-based seed expansion so a
+//! generator seeded here yields the same stream as one seeded by the real
+//! rand_core.
+
+/// A source of random 32/64-bit words.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed exactly as rand_core 0.6 does
+    /// (a PCG32 sequence written little-endian in 4-byte chunks).
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u32);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.0 += 1;
+            self.0
+        }
+        fn next_u64(&mut self) -> u64 {
+            let lo = self.next_u32() as u64;
+            let hi = self.next_u32() as u64;
+            (hi << 32) | lo
+        }
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct SeedCapture([u8; 32]);
+    impl SeedableRng for SeedCapture {
+        type Seed = [u8; 32];
+        fn from_seed(seed: [u8; 32]) -> Self {
+            SeedCapture(seed)
+        }
+    }
+
+    #[test]
+    fn fill_bytes_is_little_endian_words() {
+        let mut rng = Counter(0);
+        let mut buf = [0u8; 6];
+        rng.fill_bytes(&mut buf);
+        assert_eq!(&buf[..4], &1u32.to_le_bytes());
+        assert_eq!(&buf[4..], &2u32.to_le_bytes()[..2]);
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic_and_seed_sensitive() {
+        let a = SeedCapture::seed_from_u64(1);
+        let b = SeedCapture::seed_from_u64(1);
+        let c = SeedCapture::seed_from_u64(2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}
