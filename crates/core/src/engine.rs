@@ -7,8 +7,7 @@ use echowrite_corpus::Lexicon;
 use echowrite_dtw::{Classification, ConfusionMatrix, DtwConfig, StrokeClassifier};
 use echowrite_gesture::{InputScheme, Stroke};
 use echowrite_lang::{Candidate, CorrectionRules, Dictionary, NextWordPredictor, WordDecoder};
-use echowrite_profile::StrokeSegment;
-use std::time::Instant;
+use echowrite_profile::{Stopwatch, StrokeSegment};
 
 /// Result of stroke-level recognition on one audio trace.
 #[derive(Debug, Clone)]
@@ -159,7 +158,7 @@ impl EchoWrite {
     pub fn recognize_strokes(&self, audio: &[f64]) -> StrokeRecognition {
         let analysis = self.pipeline.analyze(audio);
         let mut timing = analysis.timing;
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let classifications: Vec<Classification> = analysis
             .segments
             .iter()
@@ -168,7 +167,7 @@ impl EchoWrite {
                 self.classifier.classify(sub.shifts())
             })
             .collect();
-        timing.dtw_ms = t.elapsed().as_secs_f64() * 1e3;
+        timing.dtw_ms = t.elapsed_ms();
         StrokeRecognition { segments: analysis.segments, classifications, timing }
     }
 
@@ -176,7 +175,7 @@ impl EchoWrite {
     /// per-segment DTW soft scores.
     pub fn recognize_word(&self, audio: &[f64]) -> WordRecognition {
         let mut strokes = self.recognize_strokes(audio);
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let observed = strokes.strokes();
         let scores: Vec<[f64; 6]> = strokes.classifications.iter().map(|c| c.scores).collect();
         let candidates = if observed.is_empty() {
@@ -184,7 +183,7 @@ impl EchoWrite {
         } else {
             self.decoder.decode_soft(&observed, &scores)
         };
-        strokes.timing.decode_ms = t.elapsed().as_secs_f64() * 1e3;
+        strokes.timing.decode_ms = t.elapsed_ms();
         WordRecognition { strokes, candidates }
     }
 

@@ -9,9 +9,8 @@ use crate::config::{EchoWriteConfig, Frontend};
 use echowrite_dsp::downconvert::{BasebandStft, Downconverter};
 use echowrite_dsp::Stft;
 use echowrite_profile::mvce::extract_profile_with_guard;
-use echowrite_profile::{DopplerProfile, Segmenter, StrokeSegment};
+use echowrite_profile::{DopplerProfile, Segmenter, Stopwatch, StrokeSegment};
 use echowrite_spectro::{Enhancer, Spectrogram};
-use std::time::Instant;
 
 /// Wall-clock cost of each pipeline stage, in milliseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -92,6 +91,7 @@ impl Pipeline {
     /// Panics if the configuration is invalid.
     pub fn new(config: EchoWriteConfig) -> Self {
         if let Err(msg) = config.validate() {
+            // echolint: allow(no-panic-path) -- documented `# Panics` contract of Pipeline::new
             panic!("invalid EchoWrite config: {msg}");
         }
         let stft = Stft::new(config.stft);
@@ -225,31 +225,49 @@ impl Pipeline {
     pub fn analyze_with_background(&self, audio: &[f64], background: Option<&[f64]>) -> Analysis {
         let mut timing = StageTiming::default();
 
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let spec = self.roi_spectrogram(audio).unwrap_or_else(|| {
             let rows = 2 * self.config.guard_bins + 3;
             Spectrogram::zeros(rows, 0)
         });
-        timing.stft_ms = t0.elapsed().as_secs_f64() * 1e3;
+        timing.stft_ms = t0.elapsed_ms();
+        debug_assert!(
+            spec.data().iter().all(|v| v.is_finite()),
+            "STFT stage produced a non-finite magnitude"
+        );
 
-        let t1 = Instant::now();
+        let t1 = Stopwatch::start();
         let binary = if spec.cols() == 0 {
-            spec.clone()
+            spec
         } else {
             match background {
                 Some(bg) => self.enhancer.enhance_with_background(&spec, bg),
                 None => self.enhancer.enhance(&spec),
             }
         };
-        timing.enhance_ms = t1.elapsed().as_secs_f64() * 1e3;
+        timing.enhance_ms = t1.elapsed_ms();
+        debug_assert!(
+            binary.data().iter().all(|&v| v == 0.0 || v == 1.0),
+            "enhancement stage produced a non-binary spectrogram"
+        );
 
-        let t2 = Instant::now();
+        let t2 = Stopwatch::start();
         let profile = extract_profile_with_guard(&binary, self.config.guard_bins);
-        timing.profile_ms = t2.elapsed().as_secs_f64() * 1e3;
+        timing.profile_ms = t2.elapsed_ms();
+        debug_assert!(
+            profile.shifts().iter().all(|v| v.is_finite()),
+            "profile extraction produced a non-finite Doppler shift"
+        );
 
-        let t3 = Instant::now();
+        let t3 = Stopwatch::start();
         let segments = self.segmenter.segment(&profile);
-        timing.segment_ms = t3.elapsed().as_secs_f64() * 1e3;
+        timing.segment_ms = t3.elapsed_ms();
+        debug_assert!(
+            segments
+                .iter()
+                .all(|s| s.start < s.end && s.end <= profile.len()),
+            "segmentation produced an out-of-range or empty segment"
+        );
 
         Analysis { binary, profile, segments, timing }
     }

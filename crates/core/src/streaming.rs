@@ -198,7 +198,7 @@ mod tests {
     /// carrier cutoff).
     fn render_with_tail(strokes: &[Stroke], seed: u64, tail: f64) -> Vec<f64> {
         let perf = Writer::new(WriterParams::nominal(), seed).write_sequence(strokes);
-        let mut traj = perf.trajectory.clone();
+        let mut traj = perf.trajectory;
         let last = *traj.points().last().expect("non-empty");
         traj.hold(last, tail);
         Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), seed)

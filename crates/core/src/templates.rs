@@ -28,6 +28,7 @@ pub fn generate(config: &EchoWriteConfig) -> TemplateLibrary {
 /// writing-plane geometry). Randomness in the writer is ignored — the
 /// template writer must be deterministic, so jitter and tremor are zeroed.
 pub fn generate_for_writer(config: &EchoWriteConfig, writer: &WriterParams) -> TemplateLibrary {
+    // echolint: allow(no-panic-path) -- documented `# Panics` contract of generate()
     config.validate().expect("invalid config for template generation");
     let params = WriterParams {
         duration_jitter: 0.0,
@@ -54,9 +55,11 @@ pub fn generate_for_writer(config: &EchoWriteConfig, writer: &WriterParams) -> T
             .segments
             .iter()
             .max_by_key(|s| s.len())
+            // echolint: allow(no-panic-path) -- documented `# Panics`: unsegmentable template means inconsistent thresholds
             .unwrap_or_else(|| panic!("template stroke {stroke} produced no segment"));
         (stroke, analysis.profile.slice(seg.start, seg.end).shifts().to_vec())
     });
+    // echolint: allow(no-panic-path) -- Stroke::ALL.map yields exactly the six required templates
     TemplateLibrary::new(pairs).expect("all six templates generated")
 }
 

@@ -168,7 +168,7 @@ mod tests {
             .map(|w| e.scheme().encode_word(w).expect("letters only"))
             .collect();
         let perf = writer.write_phrase(&seqs, gap);
-        let mut traj = perf.trajectory.clone();
+        let mut traj = perf.trajectory;
         let rest = *traj.points().last().expect("non-empty");
         traj.hold(rest, gap + 0.8);
         Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), seed)

@@ -5,8 +5,9 @@
 //! (Sec. III-C). This model embeds a seed table of common English bigrams
 //! and falls back to unigram frequency for unseen predecessors.
 
+use crate::error::CorpusError;
 use crate::lexicon::Lexicon;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
 /// Seed bigrams `(previous, next, weight)` — higher weight = more likely.
@@ -155,7 +156,9 @@ const SEED_BIGRAMS: &[(&str, &str, f64)] = &[
 /// ```
 #[derive(Debug, Clone)]
 pub struct BigramModel {
-    successors: HashMap<String, Vec<(String, f64)>>,
+    // Ordered map so `predict` fallbacks and debugging dumps are
+    // deterministic (see echolint's determinism rule).
+    successors: BTreeMap<String, Vec<(String, f64)>>,
 }
 
 impl BigramModel {
@@ -176,7 +179,7 @@ impl BigramModel {
     where
         I: IntoIterator<Item = ((String, String), f64)>,
     {
-        let mut successors: HashMap<String, Vec<(String, f64)>> = HashMap::new();
+        let mut successors: BTreeMap<String, Vec<(String, f64)>> = BTreeMap::new();
         for ((prev, next), w) in counts {
             successors
                 .entry(prev.to_ascii_lowercase())
@@ -187,6 +190,51 @@ impl BigramModel {
             list.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         }
         BigramModel { successors }
+    }
+
+    /// Loads a bigram table from tab-separated `prev<TAB>next<TAB>weight`
+    /// text (blank lines and `#` comments skipped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError::Parse`] with the 1-based line number for
+    /// malformed lines and [`CorpusError::InvalidFrequency`] for
+    /// non-finite or non-positive weights. Never panics on garbage input.
+    pub fn from_tsv(text: &str) -> Result<Self, CorpusError> {
+        let mut counts = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut cols = line.split('\t');
+            let (prev, next, weight) = match (cols.next(), cols.next(), cols.next()) {
+                (Some(p), Some(n), Some(w)) if !p.trim().is_empty() && !n.trim().is_empty() => {
+                    (p.trim(), n.trim(), w.trim())
+                }
+                _ => {
+                    return Err(CorpusError::Parse {
+                        line: i + 1,
+                        what: "expected prev<TAB>next<TAB>weight",
+                    })
+                }
+            };
+            let w: f64 = weight.parse().map_err(|_| CorpusError::Parse {
+                line: i + 1,
+                what: "weight is not a number",
+            })?;
+            if !w.is_finite() || w <= 0.0 {
+                return Err(CorpusError::InvalidFrequency {
+                    word: format!("{prev} {next}"),
+                    value: w,
+                });
+            }
+            counts.push(((prev.to_string(), next.to_string()), w));
+        }
+        if counts.is_empty() {
+            return Err(CorpusError::Empty);
+        }
+        Ok(BigramModel::from_counts(counts))
     }
 
     /// Ranked successors of `prev` from the bigram table only.
@@ -286,6 +334,24 @@ mod tests {
         let s = m.successors("hello");
         assert_eq!(s[0].0, "there");
         assert_eq!(s[1].0, "world");
+    }
+
+    #[test]
+    fn from_tsv_parses_and_rejects_garbage() {
+        let m = BigramModel::from_tsv("# seed\nof\tthe\t100\nof\tcourse\t11\n").unwrap();
+        assert_eq!(m.successors("of")[0].0, "the");
+        assert_eq!(
+            BigramModel::from_tsv("of the 100\n").unwrap_err(),
+            CorpusError::Parse { line: 1, what: "expected prev<TAB>next<TAB>weight" }
+        );
+        assert_eq!(
+            BigramModel::from_tsv("of\tthe\tmany\n").unwrap_err(),
+            CorpusError::Parse { line: 1, what: "weight is not a number" }
+        );
+        assert_eq!(BigramModel::from_tsv("\n#x\n").unwrap_err(), CorpusError::Empty);
+        for garbage in ["a\tb", "a\tb\t-1", "a\tb\tinf", "a\tb\tnan", "\t\t3"] {
+            assert!(BigramModel::from_tsv(garbage).is_err(), "accepted {garbage:?}");
+        }
     }
 
     #[test]

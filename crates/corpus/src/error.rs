@@ -1,0 +1,62 @@
+//! Typed errors for corpus loading.
+//!
+//! Loaders never panic on malformed input: every validation failure is a
+//! [`CorpusError`] naming the offending word or line, so adversarial or
+//! truncated word lists surface as recoverable errors at the API boundary.
+
+use std::fmt;
+
+/// Why a lexicon or bigram table failed to load.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorpusError {
+    /// A word is empty or contains non-ASCII-alphabetic characters.
+    InvalidWord {
+        /// The raw word as supplied.
+        word: String,
+        /// Zero-based position in the input.
+        rank: usize,
+    },
+    /// The same word appears twice.
+    DuplicateWord {
+        /// The (lowercased) duplicated word.
+        word: String,
+        /// Zero-based position of the second occurrence.
+        rank: usize,
+    },
+    /// A frequency or weight is non-finite or non-positive.
+    InvalidFrequency {
+        /// The word the frequency belongs to.
+        word: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// The input produced no entries at all.
+    Empty,
+    /// A structured text line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::InvalidWord { word, rank } => {
+                write!(f, "invalid word {word:?} at rank {rank} (want ASCII letters)")
+            }
+            CorpusError::DuplicateWord { word, rank } => {
+                write!(f, "duplicate word {word:?} at rank {rank}")
+            }
+            CorpusError::InvalidFrequency { word, value } => {
+                write!(f, "invalid frequency {value} for word {word:?}")
+            }
+            CorpusError::Empty => write!(f, "corpus must contain at least one entry"),
+            CorpusError::Parse { line, what } => write!(f, "parse error on line {line}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}

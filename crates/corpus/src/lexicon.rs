@@ -1,7 +1,8 @@
 //! The frequency-ranked word list.
 
+use crate::error::CorpusError;
 use crate::lexicon_data::WORDS;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
 /// One dictionary word with its frequency statistics.
@@ -29,7 +30,9 @@ pub struct WordEntry {
 #[derive(Debug, Clone)]
 pub struct Lexicon {
     entries: Vec<WordEntry>,
-    index: HashMap<String, usize>,
+    // Ordered map: iteration and lookup stay deterministic (echolint's
+    // determinism rule bans hash-ordered containers in the pipeline).
+    index: BTreeMap<String, usize>,
 }
 
 impl Lexicon {
@@ -42,6 +45,7 @@ impl Lexicon {
         static INSTANCE: OnceLock<Lexicon> = OnceLock::new();
         INSTANCE.get_or_init(|| {
             Lexicon::from_ranked_words(WORDS.iter().map(|w| w.to_string()))
+                // echolint: allow(no-panic-path) -- compile-time WORDS list; validated by the embedded_lexicon_is_large_and_clean test
                 .expect("embedded word list is valid")
         })
     }
@@ -51,28 +55,28 @@ impl Lexicon {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the offending word if any word is empty,
-    /// contains non-ASCII-alphabetic characters, or repeats.
-    pub fn from_ranked_words<I>(words: I) -> Result<Self, String>
+    /// Returns a [`CorpusError`] naming the offending word if any word is
+    /// empty, contains non-ASCII-alphabetic characters, or repeats.
+    pub fn from_ranked_words<I>(words: I) -> Result<Self, CorpusError>
     where
         I: IntoIterator<Item = String>,
     {
         let mut entries = Vec::new();
-        let mut index = HashMap::new();
+        let mut index = BTreeMap::new();
         for (rank, raw) in words.into_iter().enumerate() {
             let word = raw.to_ascii_lowercase();
             if word.is_empty() || !word.bytes().all(|b| b.is_ascii_lowercase()) {
-                return Err(format!("invalid word {raw:?} at rank {rank}"));
+                return Err(CorpusError::InvalidWord { word: raw, rank });
             }
             if index.contains_key(&word) {
-                return Err(format!("duplicate word {word:?} at rank {rank}"));
+                return Err(CorpusError::DuplicateWord { word, rank });
             }
             let frequency = 152_000.0 / ((rank as f64 + 2.0).powf(1.07));
             index.insert(word.clone(), rank);
             entries.push(WordEntry { word, rank, frequency });
         }
         if entries.is_empty() {
-            return Err("lexicon must contain at least one word".to_string());
+            return Err(CorpusError::Empty);
         }
         Ok(Lexicon { entries, index })
     }
@@ -85,34 +89,63 @@ impl Lexicon {
     ///
     /// Same validation as [`Lexicon::from_ranked_words`], plus non-finite or
     /// non-positive frequencies.
-    pub fn from_frequencies<I>(pairs: I) -> Result<Self, String>
+    pub fn from_frequencies<I>(pairs: I) -> Result<Self, CorpusError>
     where
         I: IntoIterator<Item = (String, f64)>,
     {
         let mut pairs: Vec<(String, f64)> = pairs.into_iter().collect();
         for (w, f) in &pairs {
             if !f.is_finite() || *f <= 0.0 {
-                return Err(format!("invalid frequency {f} for word {w:?}"));
+                return Err(CorpusError::InvalidFrequency { word: w.clone(), value: *f });
             }
         }
         pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let mut entries = Vec::new();
-        let mut index = HashMap::new();
+        let mut index = BTreeMap::new();
         for (rank, (raw, frequency)) in pairs.into_iter().enumerate() {
             let word = raw.to_ascii_lowercase();
             if word.is_empty() || !word.bytes().all(|b| b.is_ascii_lowercase()) {
-                return Err(format!("invalid word {raw:?}"));
+                return Err(CorpusError::InvalidWord { word: raw, rank });
             }
             if index.contains_key(&word) {
-                return Err(format!("duplicate word {word:?}"));
+                return Err(CorpusError::DuplicateWord { word, rank });
             }
             index.insert(word.clone(), rank);
             entries.push(WordEntry { word, rank, frequency });
         }
         if entries.is_empty() {
-            return Err("lexicon must contain at least one word".to_string());
+            return Err(CorpusError::Empty);
         }
         Ok(Lexicon { entries, index })
+    }
+
+    /// Loads a lexicon from tab-separated `word<TAB>frequency` text — the
+    /// on-disk form of a COCA-style export. Blank lines and `#` comments
+    /// are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError::Parse`] with the 1-based line number for any
+    /// structurally malformed line (missing tab, unparseable number), and
+    /// the [`Lexicon::from_frequencies`] validations for bad content. Never
+    /// panics, whatever bytes are fed in.
+    pub fn from_tsv(text: &str) -> Result<Self, CorpusError> {
+        let mut pairs = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (word, freq) = line
+                .split_once('\t')
+                .ok_or(CorpusError::Parse { line: i + 1, what: "expected word<TAB>frequency" })?;
+            let freq: f64 = freq
+                .trim()
+                .parse()
+                .map_err(|_| CorpusError::Parse { line: i + 1, what: "frequency is not a number" })?;
+            pairs.push((word.trim().to_string(), freq));
+        }
+        Lexicon::from_frequencies(pairs)
     }
 
     /// Number of words.
@@ -229,6 +262,55 @@ mod tests {
         assert_eq!(lex.entry("low").unwrap().rank, 1);
         assert!(Lexicon::from_frequencies(vec![("x".to_string(), -1.0)]).is_err());
         assert!(Lexicon::from_frequencies(vec![("x".to_string(), f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn from_tsv_parses_and_ranks() {
+        let lex = Lexicon::from_tsv("# comment\nthe\t50000\n\nwater\t120.5\n").unwrap();
+        assert_eq!(lex.len(), 2);
+        assert_eq!(lex.entry("the").unwrap().rank, 0);
+        assert!((lex.frequency("water").unwrap() - 120.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_tsv_rejects_malformed_lines_with_line_numbers() {
+        assert_eq!(
+            Lexicon::from_tsv("the 50000\n").unwrap_err(),
+            CorpusError::Parse { line: 1, what: "expected word<TAB>frequency" }
+        );
+        assert_eq!(
+            Lexicon::from_tsv("the\t50000\nwater\tlots\n").unwrap_err(),
+            CorpusError::Parse { line: 2, what: "frequency is not a number" }
+        );
+        assert_eq!(Lexicon::from_tsv("").unwrap_err(), CorpusError::Empty);
+        assert!(matches!(
+            Lexicon::from_tsv("the\tNaN\n"),
+            Err(CorpusError::InvalidFrequency { .. })
+        ));
+    }
+
+    #[test]
+    fn from_tsv_survives_garbage_bytes() {
+        // Truncated/binary-ish garbage must error typed, never panic.
+        for garbage in [
+            "\u{0}\u{1}\u{2}\tx",
+            "word\t",
+            "\t42",
+            "a\t1e999\n",
+            "π\t3.14\n",
+            "ok\t5\nok\t5\n",
+        ] {
+            assert!(Lexicon::from_tsv(garbage).is_err(), "accepted {garbage:?}");
+        }
+    }
+
+    #[test]
+    fn typed_errors_name_the_offender() {
+        let e = Lexicon::from_ranked_words(vec!["ok".into(), "it's".into()]).unwrap_err();
+        assert_eq!(e, CorpusError::InvalidWord { word: "it's".into(), rank: 1 });
+        let e = Lexicon::from_ranked_words(vec!["a".into(), "A".into()]).unwrap_err();
+        assert_eq!(e, CorpusError::DuplicateWord { word: "a".into(), rank: 1 });
+        assert!(e.to_string().contains("duplicate word"));
     }
 
     #[test]

@@ -17,11 +17,13 @@
 //!   long words that jointly cover all six strokes.
 
 pub mod bigram;
+pub mod error;
 pub mod lexicon;
 mod lexicon_data;
 pub mod phrases;
 
 pub use bigram::BigramModel;
+pub use error::CorpusError;
 pub use lexicon::{Lexicon, WordEntry};
 
 /// The ten evaluation words of Table I (reconstructed: the paper's table

@@ -37,7 +37,9 @@ pub struct Block {
 impl Block {
     /// All words across both paragraphs.
     pub fn words(&self) -> Vec<&'static str> {
+        // echolint: allow(no-panic-path) -- paragraphs is a fixed [Paragraph; 2] array
         let mut out = self.paragraphs[0].words();
+        // echolint: allow(no-panic-path) -- paragraphs is a fixed [Paragraph; 2] array
         out.extend(self.paragraphs[1].words());
         out
     }

@@ -277,9 +277,9 @@ mod tests {
         let b: Vec<Complex> = (0..n).map(|i| Complex::new(0.0, (i as f64).cos())).collect();
         let sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + y.scale(2.0)).collect();
 
-        let mut fa = a.clone();
+        let mut fa = a;
         fft.forward(&mut fa);
-        let mut fb = b.clone();
+        let mut fb = b;
         fft.forward(&mut fb);
         let mut fsum = sum;
         fft.forward(&mut fsum);

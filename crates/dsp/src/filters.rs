@@ -142,7 +142,9 @@ pub fn holoborodko_diff(y: &[f64]) -> Vec<f64> {
     for i in 2..n - 2 {
         out[i] = (2.0 * (y[i + 1] - y[i - 1]) + (y[i + 2] - y[i - 2])) / 8.0;
     }
+    // echolint: allow(no-panic-path) -- out.len() == n >= 5 guarded above
     out[0] = out[2];
+    // echolint: allow(no-panic-path) -- out.len() == n >= 5 guarded above
     out[1] = out[2];
     out[n - 1] = out[n - 3];
     out[n - 2] = out[n - 3];
@@ -160,6 +162,7 @@ pub fn central_diff(y: &[f64]) -> Vec<f64> {
     for i in 1..n - 1 {
         out[i] = (y[i + 1] - y[i - 1]) / 2.0;
     }
+    // echolint: allow(no-panic-path) -- out.len() == n >= 3 guarded above
     out[0] = out[1];
     out[n - 1] = out[n - 2];
     out

@@ -123,7 +123,9 @@ impl RealFft {
 
         // DC and Nyquist are purely real: the even/odd spectra both equal
         // Z[0]'s components there.
+        // echolint: allow(no-panic-path) -- out.len() == m+1 and packed.len() == m asserted at entry
         out[0] = Complex::new(packed[0].re + packed[0].im, 0.0);
+        // echolint: allow(no-panic-path) -- out.len() == m+1 asserted at entry
         out[m] = Complex::new(packed[0].re - packed[0].im, 0.0);
         for k in 1..m {
             let zk = packed[k];

@@ -101,6 +101,7 @@ pub fn resample_linear(x: &[f64], n: usize) -> Vec<f64> {
     assert!(!x.is_empty(), "cannot resample an empty profile");
     assert!(n > 0, "target length must be positive");
     if x.len() == 1 {
+        // echolint: allow(no-panic-path) -- x is non-empty, asserted at entry
         return vec![x[0]; n];
     }
     if n == 1 {

@@ -65,6 +65,7 @@ impl Classification {
         order.sort_by(|&a, &b| self.distances[a].total_cmp(&self.distances[b]));
         order
             .into_iter()
+            // echolint: allow(no-panic-path) -- i ranges over 0..STROKE_COUNT
             .map(|i| Stroke::from_index(i).expect("index < 6"))
             .collect()
     }
@@ -73,6 +74,7 @@ impl Classification {
     /// proxy.
     pub fn margin(&self) -> f64 {
         let ranked = self.ranking();
+        // echolint: allow(no-panic-path) -- ranking() always returns STROKE_COUNT == 6 entries
         self.distances[ranked[1].index()] - self.distances[ranked[0].index()]
     }
 }
@@ -158,9 +160,11 @@ impl StrokeClassifier {
             .enumerate()
             .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
+            // echolint: allow(no-panic-path) -- distances is a non-empty fixed [f64; 6] array
             .expect("six distances");
         let scores = softmin(&distances, self.temperature);
         Classification {
+            // echolint: allow(no-panic-path) -- best is an index into [f64; STROKE_COUNT]
             stroke: Stroke::from_index(best).expect("index < 6"),
             distances,
             scores,
@@ -222,11 +226,13 @@ impl StrokeClassifier {
         order.sort_by(|x, y| (x.1 + x.2 + x.3).total_cmp(&(y.1 + y.2 + y.3)));
 
         let mut best = f64::INFINITY;
+        // echolint: allow(no-panic-path) -- order is a fixed [_; STROKE_COUNT] array
         let mut best_idx = order[0].0;
         for &(idx, dur, lb_raw, lb_shape) in &order {
             if dur + lb_raw + lb_shape > best {
                 continue;
             }
+            // echolint: allow(no-panic-path) -- idx comes from the fixed six-entry order array
             let stroke = Stroke::from_index(idx).expect("index < 6");
             let template = self.templates.template(stroke);
             // Budget left for the raw DTW before the composite provably
@@ -268,6 +274,7 @@ impl StrokeClassifier {
                 best_idx = idx;
             }
         }
+        // echolint: allow(no-panic-path) -- best_idx comes from the fixed six-entry order array
         (Stroke::from_index(best_idx).expect("index < 6"), best)
     }
 }

@@ -81,6 +81,7 @@ pub fn dtw_distance_pruned(
     let mut cur_cost = vec![inf; m + 1];
     let mut prev_len = vec![0usize; m + 1];
     let mut cur_len = vec![0usize; m + 1];
+    // echolint: allow(no-panic-path) -- rows allocated with m + 1 >= 1 elements above
     prev_cost[0] = 0.0; // cell (0, 0)
 
     for i in 1..=n {
@@ -183,7 +184,9 @@ pub fn lb_keogh(a: &[f64], b: &[f64], config: DtwConfig) -> f64 {
             while max_dq.front().is_some_and(|&k| k < w_lo) {
                 max_dq.pop_front();
             }
+            // echolint: allow(no-panic-path) -- the deque always holds at least index w_hi (pushed above, k >= w_lo retained)
             let lo = b[*min_dq.front().expect("non-empty window")];
+            // echolint: allow(no-panic-path) -- same invariant as the min deque
             let hi = b[*max_dq.front().expect("non-empty window")];
             if v > hi {
                 total += v - hi;

@@ -66,6 +66,7 @@ impl TemplateLibrary {
         }
         let mut templates: [Vec<f64>; STROKE_COUNT] = Default::default();
         for (i, slot) in slots.into_iter().enumerate() {
+            // echolint: allow(no-panic-path) -- i enumerates a fixed [_; STROKE_COUNT] array
             let stroke = Stroke::from_index(i).expect("index < 6");
             match slot {
                 None => return Err(TemplateError::Missing(stroke)),

@@ -1,0 +1,15 @@
+//! Bad fixture: allocation inside hot kernels.
+
+fn magnitude_into(out: &mut [f64], xs: &[f64]) {
+    let scratch = Vec::new();
+    let copied = xs.to_vec();
+}
+
+// echolint: hot
+fn window(xs: &[f64]) {
+    let doubled: Vec<f64> = xs.iter().map(|x| x * 2.0).collect();
+}
+
+fn cold(xs: &[f64]) {
+    let v = xs.to_vec();
+}

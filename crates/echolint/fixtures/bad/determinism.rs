@@ -1,0 +1,13 @@
+//! Bad fixture: nondeterminism hazards in a result path.
+
+use std::collections::HashMap;
+
+fn tally(words: &[&str]) -> usize {
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for w in words {
+        *counts.entry(*w).or_insert(0) += 1;
+    }
+    let started = std::time::Instant::now();
+    let _ = started;
+    counts.len()
+}

@@ -1,0 +1,9 @@
+//! Bad fixture: NaN-sensitive float ordering.
+
+fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+fn peak(a: f64, b: f64) -> f64 {
+    f64::max(a, b)
+}

@@ -1,0 +1,11 @@
+//! Bad fixture: malformed and unknown allow markers.
+
+fn f(xs: &[f64]) -> f64 {
+    // echolint: allow(no-panic-path)
+    xs[0]
+}
+
+fn g(xs: &[f64]) -> f64 {
+    // echolint: allow(no-such-rule) -- the rule id is misspelled
+    xs[0]
+}

@@ -1,0 +1,21 @@
+//! Bad fixture: every `no-panic-path` trigger, one per construct.
+
+fn first(xs: &[f64]) -> f64 {
+    xs.first().copied().unwrap()
+}
+
+fn second(xs: &[f64]) -> f64 {
+    xs.first().copied().expect("non-empty")
+}
+
+fn boom() {
+    panic!("boom");
+}
+
+fn never() {
+    unreachable!();
+}
+
+fn head(xs: &[f64]) -> f64 {
+    xs[0]
+}

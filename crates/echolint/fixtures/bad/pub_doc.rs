@@ -1,0 +1,12 @@
+//! Bad fixture: undocumented public API.
+
+pub struct Window;
+
+pub fn hann(n: usize) -> usize {
+    n
+}
+
+/// Documented — no diagnostic.
+pub fn blackman(n: usize) -> usize {
+    n
+}

@@ -1,0 +1,34 @@
+//! Good fixture: idiomatic pipeline code that passes every rule.
+
+use std::collections::BTreeMap;
+
+/// Returns the first sample, or zero for an empty buffer.
+pub fn first_or_zero(xs: &[f64]) -> f64 {
+    xs.first().copied().unwrap_or(0.0)
+}
+
+/// Ranks values with a NaN-total order.
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+/// Counts words deterministically.
+pub fn tally<'a>(words: &[&'a str]) -> BTreeMap<&'a str, usize> {
+    let mut out = BTreeMap::new();
+    for w in words {
+        *out.entry(*w).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Writes an index ramp into a caller-owned buffer — allocation-free.
+pub fn ramp_into(out: &mut [f64]) {
+    for (i, v) in out.iter_mut().enumerate() {
+        *v = i as f64;
+    }
+}
+
+fn checked(xs: &[f64]) -> f64 {
+    // echolint: allow(no-panic-path) -- non-emptiness asserted by every caller
+    xs[0]
+}

@@ -1,0 +1,147 @@
+//! Workspace walking and rule scoping.
+//!
+//! Maps each `.rs` file to a [`FileScope`] (which crate it belongs to,
+//! whether the pipeline rules apply, whether wall-clock reads are allowed)
+//! and runs the rules over it. The walker is deliberately free of build
+//! metadata: it works from directory layout alone, so it runs identically
+//! in CI, in tests, and offline.
+
+use crate::lexer::lex;
+use crate::rules::{check, Diagnostic, FileScope};
+use crate::scanner::scan;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The Fig. 6 pipeline crates — the scope of the panic-freedom, float-order,
+/// determinism, and pub-doc rules.
+pub const PIPELINE_CRATES: &[&str] =
+    &["dsp", "spectro", "profile", "dtw", "lang", "corpus", "gesture", "core"];
+
+/// Crates whose library code may read wall clocks (profiling is their job).
+pub const TIME_EXEMPT_CRATES: &[&str] = &["profile", "bench"];
+
+/// Classifies `path` (workspace-relative) into a [`FileScope`].
+pub fn classify(path: &Path) -> FileScope {
+    let comps: Vec<String> = path
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    let crate_name = match comps.first().map(String::as_str) {
+        Some("crates") => comps.get(1).cloned().unwrap_or_default(),
+        _ => String::new(), // workspace-root `src/`, `tests/`, `examples/`
+    };
+    let test_file = comps.iter().any(|c| c == "tests" || c == "benches" || c == "examples")
+        || path.file_name().is_some_and(|f| f == "build.rs");
+    let pipeline = PIPELINE_CRATES.contains(&crate_name.as_str());
+    let allow_time = test_file || TIME_EXEMPT_CRATES.contains(&crate_name.as_str());
+    FileScope { crate_name, pipeline, test_file, allow_time }
+}
+
+/// Lints one source string under an explicit scope. `name` is used verbatim
+/// in diagnostics.
+pub fn lint_source(name: &str, source: &str, scope: &FileScope) -> Vec<Diagnostic> {
+    let lexed = lex(source);
+    let scanned = scan(&lexed);
+    check(name, &lexed, &scanned, scope)
+}
+
+/// Lints the file at `root.join(rel)`, classifying it from `rel`.
+///
+/// # Errors
+///
+/// Propagates the read error if the file cannot be loaded.
+pub fn lint_file(root: &Path, rel: &Path) -> io::Result<Vec<Diagnostic>> {
+    let source = fs::read_to_string(root.join(rel))?;
+    let scope = classify(rel);
+    Ok(lint_source(&rel.display().to_string(), &source, &scope))
+}
+
+/// Lints every `.rs` file of the workspace at `root`: all of `crates/*/src`
+/// plus the suite's root `src/`. Vendored stand-ins (`vendor/`), integration
+/// tests, benches, and examples are skipped — they are either third-party
+/// idiom or test code by definition.
+///
+/// # Errors
+///
+/// Propagates directory-walk and file-read errors.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let entry = entry?;
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    let mut rels: Vec<PathBuf> = files
+        .iter()
+        .filter_map(|f| f.strip_prefix(root).ok().map(Path::to_path_buf))
+        .collect();
+    rels.sort();
+    let mut diags = Vec::new();
+    for rel in rels {
+        diags.extend(lint_file(root, &rel)?);
+    }
+    Ok(diags)
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for determinism.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_pipeline_vs_not() {
+        let dsp = classify(Path::new("crates/dsp/src/fft.rs"));
+        assert!(dsp.pipeline && !dsp.test_file && !dsp.allow_time);
+        assert_eq!(dsp.crate_name, "dsp");
+
+        let profile = classify(Path::new("crates/profile/src/lib.rs"));
+        assert!(profile.pipeline && profile.allow_time);
+
+        let synth = classify(Path::new("crates/synth/src/tone.rs"));
+        assert!(!synth.pipeline);
+
+        let suite = classify(Path::new("src/bin/repro.rs"));
+        assert!(!suite.pipeline && suite.crate_name.is_empty());
+    }
+
+    #[test]
+    fn classify_test_and_bench_files() {
+        assert!(classify(Path::new("tests/end_to_end.rs")).test_file);
+        assert!(classify(Path::new("crates/bench/benches/frontend.rs")).test_file);
+        assert!(classify(Path::new("crates/bench/benches/frontend.rs")).allow_time);
+        assert!(classify(Path::new("examples/demo.rs")).test_file);
+    }
+
+    #[test]
+    fn lint_source_scopes_rules() {
+        let bad = "fn f() { x.unwrap(); }";
+        let in_pipeline = lint_source("a.rs", bad, &classify(Path::new("crates/dtw/src/x.rs")));
+        assert_eq!(in_pipeline.len(), 1);
+        let outside = lint_source("a.rs", bad, &classify(Path::new("crates/synth/src/x.rs")));
+        assert!(outside.is_empty());
+    }
+}

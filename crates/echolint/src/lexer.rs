@@ -1,0 +1,422 @@
+//! A small Rust lexer — just enough fidelity for lint-rule matching.
+//!
+//! Produces a token stream (identifiers, literals, punctuation) with line
+//! numbers, plus a separate list of comments. Strings, raw strings, char
+//! literals, lifetimes, and nested block comments are recognized so that
+//! rule patterns never fire on text inside literals or comments. The lexer
+//! is intentionally lossy everywhere else: it does not distinguish keywords
+//! from identifiers (the scanner does that by spelling) and it collapses
+//! multi-character operators into single punctuation tokens.
+
+/// What kind of token was lexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `Vec`, `unwrap`, …).
+    Ident,
+    /// Integer literal (`42`, `0xFF`, `1_000`).
+    Int,
+    /// Float literal (`1.5`, `2e-3`).
+    Float,
+    /// String, raw-string, byte-string, or char literal.
+    Literal,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A single punctuation character (`.`/`:`/`[`/`(`/`!`…).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// The token text (single character for punctuation; literals keep only
+    /// their opening delimiter to stay cheap).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+}
+
+/// A comment, kept out of the token stream.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Full comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// `///`, `//!`, or `/** … */` — rustdoc.
+    pub is_doc: bool,
+    /// Whether any non-comment token precedes it on the same line
+    /// (a trailing comment annotates its own line, not the next).
+    pub trailing: bool,
+}
+
+/// Lexer output: tokens plus comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Unrecognized bytes are skipped — the goal is robustness on
+/// arbitrary repository text, not validation.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Line of the most recently emitted token, to classify trailing comments.
+    let mut last_tok_line: u32 = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                out.comments.push(Comment {
+                    line,
+                    is_doc: text.starts_with("///") || text.starts_with("//!"),
+                    trailing: last_tok_line == line,
+                    text: text.to_string(),
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                out.comments.push(Comment {
+                    line: start_line,
+                    is_doc: text.starts_with("/**") || text.starts_with("/*!"),
+                    trailing: last_tok_line == start_line,
+                    text: text.to_string(),
+                });
+            }
+            b'"' => {
+                let l = line;
+                i = skip_string(b, i, &mut line);
+                out.tokens.push(Token { kind: TokKind::Literal, text: "\"".into(), line: l });
+                last_tok_line = l;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                let l = line;
+                i = skip_raw_or_byte_string(b, i, &mut line);
+                out.tokens.push(Token { kind: TokKind::Literal, text: "\"".into(), line: l });
+                last_tok_line = l;
+            }
+            b'\'' => {
+                // Disambiguate char literal from lifetime: a lifetime is `'`
+                // followed by an identifier NOT closed by another `'`.
+                let is_lifetime = i + 1 < b.len()
+                    && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_')
+                    && !(i + 2 < b.len() && b[i + 2] == b'\'');
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: src[i..j].to_string(),
+                        line,
+                    });
+                    last_tok_line = line;
+                    i = j;
+                } else {
+                    let l = line;
+                    i = skip_char_literal(b, i, &mut line);
+                    out.tokens.push(Token { kind: TokKind::Literal, text: "'".into(), line: l });
+                    last_tok_line = l;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (j, kind) = lex_number(b, i);
+                out.tokens.push(Token { kind, text: src[i..j].to_string(), line });
+                last_tok_line = line;
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: src[i..j].to_string(),
+                    line,
+                });
+                last_tok_line = line;
+                i = j;
+            }
+            _ => {
+                // Non-ASCII bytes (inside identifiers or operators) are
+                // skipped; ASCII punctuation becomes a one-char token.
+                if c.is_ascii() {
+                    out.tokens.push(Token {
+                        kind: TokKind::Punct,
+                        text: (c as char).to_string(),
+                        line,
+                    });
+                    last_tok_line = line;
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether position `i` starts `r"`, `r#"`, `b"`, `br"`, `br#"`, or `b'`.
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let rest = &b[i..];
+    if rest.starts_with(b"r\"") || rest.starts_with(b"r#") || rest.starts_with(b"b\"") {
+        return true;
+    }
+    if rest.starts_with(b"b'") {
+        return true;
+    }
+    rest.starts_with(b"br\"") || rest.starts_with(b"br#")
+}
+
+/// Skips a `"…"` string starting at `i`; returns the index just past it.
+fn skip_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skips `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, or `b'…'` starting at `i`.
+fn skip_raw_or_byte_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i;
+    // Consume the `b` / `r` / `br` prefix.
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'\'' {
+        return skip_char_literal(b, j, line);
+    }
+    let raw = j < b.len() && b[j] == b'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'"' {
+        return j; // not actually a string start; let the caller move on
+    }
+    if !raw {
+        return skip_string(b, j, line);
+    }
+    j += 1;
+    // Raw string: scan for `"` followed by `hashes` × `#`, no escapes.
+    while j < b.len() {
+        if b[j] == b'\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < b.len() && b[k] == b'#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Skips a `'…'` char (or byte-char) literal starting at the `'`.
+fn skip_char_literal(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            b'\n' => {
+                *line += 1;
+                return j; // unterminated; bail at end of line
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Lexes a number starting at digit `i`; returns (end, kind). A `.` joins
+/// the number only when followed by a digit, so `0..4` and `1.max(2)` stay
+/// integer + punctuation.
+fn lex_number(b: &[u8], i: usize) -> (usize, TokKind) {
+    let mut j = i;
+    let mut kind = TokKind::Int;
+    // Hex/octal/binary prefix.
+    if b[j] == b'0' && j + 1 < b.len() && matches!(b[j + 1], b'x' | b'o' | b'b') {
+        j += 2;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        return (j, TokKind::Int);
+    }
+    while j < b.len() {
+        let c = b[j];
+        if c.is_ascii_digit() || c == b'_' {
+            j += 1;
+        } else if c == b'.' && kind == TokKind::Int {
+            if j + 1 < b.len() && b[j + 1].is_ascii_digit() {
+                kind = TokKind::Float;
+                j += 1;
+            } else {
+                break;
+            }
+        } else if (c == b'e' || c == b'E')
+            && j + 1 < b.len()
+            && (b[j + 1].is_ascii_digit() || b[j + 1] == b'-' || b[j + 1] == b'+')
+        {
+            kind = TokKind::Float;
+            j += 2;
+        } else if c.is_ascii_alphabetic() {
+            // Type suffix (`u32`, `f64`). A float suffix keeps Float kind.
+            if c == b'f' {
+                kind = TokKind::Float;
+            }
+            while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                j += 1;
+            }
+            break;
+        } else {
+            break;
+        }
+    }
+    (j, kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let l = lex("fn main() {\n    x.unwrap();\n}\n");
+        assert!(l.tokens.iter().any(|t| t.is_ident("unwrap") && t.line == 2));
+        assert!(l.tokens.iter().any(|t| t.is_punct('{') && t.line == 1));
+    }
+
+    #[test]
+    fn strings_hide_contents() {
+        let l = lex(r#"let s = "a.unwrap() // not a comment"; s.len();"#);
+        assert_eq!(idents(r#"let s = "a.unwrap()"; s.len();"#), vec!["let", "s", "s", "len"]);
+        assert!(l.comments.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        assert_eq!(idents(r##"let s = r#"embedded "quote" panic!()"#; t"##), vec!["let", "s", "t"]);
+        assert_eq!(idents(r#"let c = '\''; let d = '"'; x"#), vec!["let", "c", "let", "d", "x"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(l.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).count(), 3);
+        assert_eq!(l.tokens.iter().filter(|t| t.kind == TokKind::Literal).count(), 0);
+    }
+
+    #[test]
+    fn comments_split_doc_and_trailing() {
+        let l = lex("/// doc\nlet x = 1; // trailing\n// plain\n");
+        assert_eq!(l.comments.len(), 3);
+        assert!(l.comments[0].is_doc && !l.comments[0].trailing);
+        assert!(!l.comments[1].is_doc && l.comments[1].trailing);
+        assert!(!l.comments[2].is_doc && !l.comments[2].trailing);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still */ fn x() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ fn x() {}"), vec!["fn", "x"]);
+    }
+
+    #[test]
+    fn range_vs_float() {
+        let toks = lex("a[0..4]; b[1]; c = 1.5; d = 2.0e-3;").tokens;
+        let ints: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Int).map(|t| t.text.as_str()).collect();
+        let floats: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Float).map(|t| t.text.as_str()).collect();
+        assert_eq!(ints, vec!["0", "4", "1"]);
+        assert_eq!(floats, vec!["1.5", "2.0e-3"]);
+    }
+
+    #[test]
+    fn method_call_on_int_literal() {
+        let toks = lex("1.max(2)").tokens;
+        assert!(toks[0].kind == TokKind::Int);
+        assert!(toks[1].is_punct('.'));
+        assert!(toks[2].is_ident("max"));
+    }
+}

@@ -1,0 +1,35 @@
+//! `echolint` — workspace-native static analysis for EchoWrite.
+//!
+//! A from-scratch lint pass (no external parser; this build environment is
+//! offline) that walks the workspace sources with a small Rust lexer and
+//! enforces the repo-specific invariants the production north star demands:
+//!
+//! | rule | enforces |
+//! |------|----------|
+//! | `no-panic-path` | no `unwrap`/`expect`/`panic!`/`unreachable!`/literal slice indexing in non-test pipeline code |
+//! | `no-alloc-hot`  | `*_into` kernels and `// echolint: hot` functions never allocate (`Vec::new`, `vec!`, `clone`, `collect`, `push`, `Box::new`, …) |
+//! | `float-order`   | no NaN-sensitive ordering (`partial_cmp`, `f64::max`) where `total_cmp` is required |
+//! | `determinism`   | no `HashMap`/`HashSet` in result paths; no `std::time`/`thread::current()` outside `crates/profile` and benches |
+//! | `pub-doc`       | `pub` items in pipeline library crates carry doc comments |
+//!
+//! Each rule is suppressible only via an auditable marker on the offending
+//! line or the line above:
+//!
+//! ```text
+//! // echolint: allow(no-panic-path) -- index bounded by the loop above
+//! ```
+//!
+//! Markers without a `-- <reason>` tail are themselves diagnostics. Hot
+//! kernels outside the `*_into` naming convention opt in with
+//! `// echolint: hot` on the line before the `fn`.
+//!
+//! Run it locally with `cargo run -p echolint -- --workspace`; the tier-1
+//! integration test `tests/lint.rs` keeps the live tree lint-clean.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod scanner;
+
+pub use engine::{classify, lint_file, lint_source, lint_workspace, PIPELINE_CRATES};
+pub use rules::{Diagnostic, FileScope, Rule};

@@ -1,0 +1,77 @@
+//! The `echolint` CLI.
+//!
+//! ```text
+//! cargo run -p echolint -- --workspace            # lint the whole tree
+//! cargo run -p echolint -- --root /path --workspace
+//! cargo run -p echolint -- crates/dsp/src/fft.rs  # lint specific files
+//! ```
+//!
+//! Exits 0 when clean, 1 when any diagnostic fires, 2 on usage/I/O errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut workspace = false;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match it.next() {
+                Some(r) => root = PathBuf::from(r),
+                None => {
+                    eprintln!("echolint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: echolint [--root DIR] --workspace\n       echolint [--root DIR] FILE.rs…"
+                );
+                return ExitCode::SUCCESS;
+            }
+            f => files.push(PathBuf::from(f)),
+        }
+    }
+    // When invoked via `cargo run -p echolint`, the cwd is the workspace
+    // root already; fall back to the manifest's grandparent otherwise.
+    if workspace && !root.join("crates").is_dir() {
+        let from_manifest = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        if from_manifest.join("crates").is_dir() {
+            root = from_manifest;
+        }
+    }
+
+    let result = if workspace {
+        echolint::lint_workspace(&root)
+    } else if files.is_empty() {
+        eprintln!("echolint: pass --workspace or one or more .rs files (see --help)");
+        return ExitCode::from(2);
+    } else {
+        files.iter().try_fold(Vec::new(), |mut acc, f| {
+            acc.extend(echolint::lint_file(&root, f)?);
+            Ok(acc)
+        })
+    };
+
+    match result {
+        Ok(diags) if diags.is_empty() => {
+            println!("echolint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("echolint: {} diagnostic(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("echolint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

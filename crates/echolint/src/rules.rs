@@ -1,0 +1,563 @@
+//! The lint rules and the allow-marker contract.
+//!
+//! Every rule is suppressible only by an explicit, reasoned marker:
+//!
+//! ```text
+//! // echolint: allow(<rule>[, <rule>…]) -- <reason>
+//! ```
+//!
+//! placed on the offending line or the line directly above it. A marker
+//! without a `-- <reason>` tail, or naming an unknown rule, is itself a
+//! diagnostic (`marker`), so suppressions stay auditable.
+
+use crate::lexer::{Comment, Lexed, TokKind, Token};
+use crate::scanner::Scan;
+use std::fmt;
+
+/// The rule that produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`/
+    /// slice-index-by-literal in non-test pipeline code.
+    NoPanicPath,
+    /// Allocation or copy calls inside hot kernels (`*_into` functions and
+    /// functions marked `// echolint: hot`).
+    NoAllocHot,
+    /// NaN-sensitive float ordering (`partial_cmp`, `f64::max`-style) where
+    /// `total_cmp` is required.
+    FloatOrder,
+    /// Nondeterminism hazards: hash-ordered collections in result paths,
+    /// wall-clock/thread-identity reads outside `crates/profile` and benches.
+    Determinism,
+    /// `pub` items in pipeline library crates must carry doc comments.
+    PubDoc,
+    /// Malformed or unknown `// echolint:` marker.
+    Marker,
+}
+
+impl Rule {
+    /// The rule's stable id, as written in allow markers.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NoPanicPath => "no-panic-path",
+            Rule::NoAllocHot => "no-alloc-hot",
+            Rule::FloatOrder => "float-order",
+            Rule::Determinism => "determinism",
+            Rule::PubDoc => "pub-doc",
+            Rule::Marker => "marker",
+        }
+    }
+
+    /// Parses a rule id (`marker` is not suppressible and not parsed).
+    pub fn from_id(s: &str) -> Option<Rule> {
+        match s {
+            "no-panic-path" => Some(Rule::NoPanicPath),
+            "no-alloc-hot" => Some(Rule::NoAllocHot),
+            "float-order" => Some(Rule::FloatOrder),
+            "determinism" => Some(Rule::Determinism),
+            "pub-doc" => Some(Rule::PubDoc),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Path of the offending file (as given to the linter).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Where a file sits in the workspace — drives which rules apply.
+#[derive(Debug, Clone, Default)]
+pub struct FileScope {
+    /// Short crate name (`dsp`, `core`, …) or empty when unknown.
+    pub crate_name: String,
+    /// Whether the crate is one of the Fig. 6 pipeline crates.
+    pub pipeline: bool,
+    /// Whole file is test/bench/example code (under `tests/`, `benches/`,
+    /// `examples/`, or a `build.rs`).
+    pub test_file: bool,
+    /// Wall-clock reads are permitted (crates/profile, benches, tests).
+    pub allow_time: bool,
+}
+
+/// A parsed `// echolint: allow(…) -- reason` marker.
+#[derive(Debug, Clone)]
+struct AllowMarker {
+    line: u32,
+    rules: Vec<Rule>,
+}
+
+/// Parses markers out of the comment list; malformed markers become
+/// diagnostics immediately.
+fn parse_markers(comments: &[Comment], file: &str, diags: &mut Vec<Diagnostic>) -> Vec<AllowMarker> {
+    let mut allows = Vec::new();
+    for c in comments {
+        let body = c.text.trim_start_matches('/').trim_start_matches('!').trim();
+        let Some(rest) = body.strip_prefix("echolint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if rest == "hot" || rest.starts_with("hot ") {
+            continue; // handled by the scanner
+        }
+        let Some(after_kw) = rest.strip_prefix("allow") else {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line: c.line,
+                rule: Rule::Marker,
+                message: format!("unknown echolint marker {rest:?} (expected `allow(…)` or `hot`)"),
+            });
+            continue;
+        };
+        let after_kw = after_kw.trim_start();
+        let Some((inside, tail)) = after_kw.strip_prefix('(').and_then(|s| s.split_once(')'))
+        else {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line: c.line,
+                rule: Rule::Marker,
+                message: "malformed allow marker: expected `allow(<rule>, …)`".to_string(),
+            });
+            continue;
+        };
+        let reason = tail.trim().strip_prefix("--").map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line: c.line,
+                rule: Rule::Marker,
+                message: "allow marker must carry a reason: `-- <why this is safe>`".to_string(),
+            });
+            continue;
+        }
+        let mut rules = Vec::new();
+        let mut ok = true;
+        for part in inside.split(',') {
+            let id = part.trim();
+            match Rule::from_id(id) {
+                Some(r) => rules.push(r),
+                None => {
+                    diags.push(Diagnostic {
+                        file: file.to_string(),
+                        line: c.line,
+                        rule: Rule::Marker,
+                        message: format!("unknown rule {id:?} in allow marker"),
+                    });
+                    ok = false;
+                }
+            }
+        }
+        if ok && !rules.is_empty() {
+            allows.push(AllowMarker { line: c.line, rules });
+        }
+    }
+    allows
+}
+
+/// Runs every rule over one lexed+scanned file.
+pub fn check(file: &str, lexed: &Lexed, scan: &Scan, scope: &FileScope) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let allows = parse_markers(&lexed.comments, file, &mut diags);
+
+    if !scope.test_file {
+        if scope.pipeline {
+            no_panic_path(file, lexed, scan, &mut diags);
+            float_order(file, lexed, scan, &mut diags);
+            determinism(file, lexed, scan, scope, &mut diags);
+            pub_doc(file, scan, &mut diags);
+        }
+        no_alloc_hot(file, lexed, scan, &mut diags);
+    }
+
+    // Apply suppressions: a marker on the same line or the line above.
+    diags.retain(|d| {
+        d.rule == Rule::Marker
+            || !allows
+                .iter()
+                .any(|a| a.rules.contains(&d.rule) && (a.line == d.line || a.line + 1 == d.line))
+    });
+    diags.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(&b.rule)));
+    diags
+}
+
+fn push(diags: &mut Vec<Diagnostic>, file: &str, line: u32, rule: Rule, message: String) {
+    diags.push(Diagnostic { file: file.to_string(), line, rule, message });
+}
+
+/// Rule 1 — `no-panic-path`.
+fn no_panic_path(file: &str, lexed: &Lexed, scan: &Scan, diags: &mut Vec<Diagnostic>) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if scan.is_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        // `.unwrap()` / `.expect(`.
+        if t.kind == TokKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            push(
+                diags,
+                file,
+                t.line,
+                Rule::NoPanicPath,
+                format!(".{}() can panic — return a typed error instead", t.text),
+            );
+        }
+        // Panic macros.
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            push(
+                diags,
+                file,
+                t.line,
+                Rule::NoPanicPath,
+                format!("{}! in non-test pipeline code", t.text),
+            );
+        }
+        // Slice-index-by-literal: `expr[0]`, `expr[0..4]`, `expr[..4]`,
+        // `expr[4..]` where expr ends with an identifier, `)`, or `]`.
+        if t.is_punct('[') && i > 0 {
+            let prev = &toks[i - 1];
+            let indexable =
+                prev.kind == TokKind::Ident || prev.is_punct(')') || prev.is_punct(']');
+            // Exclude attribute openers `#[…]` and struct-ish contexts.
+            if indexable && literal_index_inside(toks, i) {
+                push(
+                    diags,
+                    file,
+                    t.line,
+                    Rule::NoPanicPath,
+                    "slice index by literal can panic — use get()/split_first() or a checked range"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Whether the bracket group opening at `open` is a literal index:
+/// `[INT]`, `[INT..INT]`, `[INT..]`, `[..INT]` (with optional `=` range).
+fn literal_index_inside(toks: &[Token], open: usize) -> bool {
+    let mut j = open + 1;
+    let mut saw_int = false;
+    let mut structure_ok = true;
+    while j < toks.len() && !toks[j].is_punct(']') {
+        let t = &toks[j];
+        if t.kind == TokKind::Int {
+            saw_int = true;
+        } else if t.is_punct('.') || t.is_punct('=') {
+            // range dots / inclusive `=`
+        } else {
+            structure_ok = false;
+            break;
+        }
+        j += 1;
+    }
+    structure_ok && saw_int && j < toks.len()
+}
+
+/// Rule 2 — `no-alloc-hot`.
+fn no_alloc_hot(file: &str, lexed: &Lexed, scan: &Scan, diags: &mut Vec<Diagnostic>) {
+    let toks = &lexed.tokens;
+    for f in &scan.fns {
+        let hot = f.marked_hot || f.name.ends_with("_into");
+        if !hot {
+            continue;
+        }
+        let (s, e) = f.body;
+        for i in s..e.min(toks.len()) {
+            if scan.is_test(i) {
+                continue;
+            }
+            let t = &toks[i];
+            let next_is = |c: char| toks.get(i + 1).is_some_and(|n| n.is_punct(c));
+            let prev_is_dot = i > 0 && toks[i - 1].is_punct('.');
+            let hit = if t.kind != TokKind::Ident {
+                None
+            } else if (t.text == "Vec" || t.text == "Box" || t.text == "String")
+                && next_is(':')
+            {
+                // `Vec::new`, `Vec::with_capacity`, `Box::new`, `String::from`…
+                Some(format!("{}::… constructor", t.text))
+            } else if t.text == "vec" && next_is('!') {
+                Some("vec! allocation".to_string())
+            } else if prev_is_dot
+                && matches!(
+                    t.text.as_str(),
+                    "to_vec" | "clone" | "collect" | "push" | "to_owned" | "to_string"
+                )
+            {
+                Some(format!(".{}()", t.text))
+            } else if t.text == "format" && next_is('!') {
+                Some("format! allocation".to_string())
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                push(
+                    diags,
+                    file,
+                    t.line,
+                    Rule::NoAllocHot,
+                    format!(
+                        "{} in hot kernel `{}` — hot kernels must write into caller-owned buffers",
+                        what, f.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Rule 3 — `float-order`.
+fn float_order(file: &str, lexed: &Lexed, scan: &Scan, diags: &mut Vec<Diagnostic>) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if scan.is_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.is_ident("partial_cmp") && i > 0 && toks[i - 1].is_punct('.') {
+            push(
+                diags,
+                file,
+                t.line,
+                Rule::FloatOrder,
+                "partial_cmp is NaN-unsafe — use total_cmp for float ordering".to_string(),
+            );
+        }
+        // `f32::max(a, b)` / `f64::min(…)` path form.
+        if (t.is_ident("f32") || t.is_ident("f64"))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|n| n.is_ident("max") || n.is_ident("min"))
+            && toks.get(i + 4).is_some_and(|n| n.is_punct('('))
+        {
+            push(
+                diags,
+                file,
+                t.line,
+                Rule::FloatOrder,
+                format!(
+                    "{}::{} silently drops NaN — order with total_cmp or guard the inputs",
+                    t.text,
+                    toks[i + 3].text
+                ),
+            );
+        }
+    }
+}
+
+/// Rule 4 — `determinism`.
+fn determinism(
+    file: &str,
+    lexed: &Lexed,
+    scan: &Scan,
+    scope: &FileScope,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if scan.is_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            push(
+                diags,
+                file,
+                t.line,
+                Rule::Determinism,
+                format!(
+                    "{} iteration order is nondeterministic — use BTreeMap/BTreeSet or sort before producing results",
+                    t.text
+                ),
+            );
+        }
+        if scope.allow_time {
+            continue;
+        }
+        // `std::time`, `Instant::…`, `SystemTime::…`.
+        if t.is_ident("time")
+            && i >= 2
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && i >= 3
+            && toks[i - 3].is_ident("std")
+        {
+            push(
+                diags,
+                file,
+                t.line,
+                Rule::Determinism,
+                "std::time outside crates/profile and benches — wall-clock reads make results environment-dependent".to_string(),
+            );
+        }
+        if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && !(i >= 1 && toks[i - 1].is_punct(':'))
+        {
+            push(
+                diags,
+                file,
+                t.line,
+                Rule::Determinism,
+                format!("{}:: outside crates/profile and benches", t.text),
+            );
+        }
+        // `thread::current()` — thread identity.
+        if t.is_ident("current")
+            && i >= 3
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks[i - 3].is_ident("thread")
+        {
+            push(
+                diags,
+                file,
+                t.line,
+                Rule::Determinism,
+                "thread::current() identity must not influence results".to_string(),
+            );
+        }
+    }
+}
+
+/// Rule 5 — `pub-doc`.
+fn pub_doc(file: &str, scan: &Scan, diags: &mut Vec<Diagnostic>) {
+    for u in &scan.undoc_pubs {
+        push(
+            diags,
+            file,
+            u.line,
+            Rule::PubDoc,
+            format!("public {} `{}` has no doc comment", u.kind, u.name),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scanner::scan;
+
+    fn pipeline_scope() -> FileScope {
+        FileScope {
+            crate_name: "dsp".into(),
+            pipeline: true,
+            test_file: false,
+            allow_time: false,
+        }
+    }
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let l = lex(src);
+        let s = scan(&l);
+        check("mem.rs", &l, &s, &pipeline_scope())
+    }
+
+    #[test]
+    fn unwrap_fires_and_allow_suppresses() {
+        let d = run("fn f() { x.unwrap(); }");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::NoPanicPath);
+        let d = run(
+            "fn f() {\n// echolint: allow(no-panic-path) -- length checked above\nx.unwrap();\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_marker_diag() {
+        let d = run("fn f() {\n// echolint: allow(no-panic-path)\nx.unwrap();\n}");
+        assert!(d.iter().any(|d| d.rule == Rule::Marker));
+        assert!(d.iter().any(|d| d.rule == Rule::NoPanicPath), "unreasoned marker must not suppress");
+    }
+
+    #[test]
+    fn literal_index_fires_variable_index_does_not() {
+        let d = run("fn f(v: &[u8]) { let a = v[0]; let b = v[i]; let c = v[1..3]; }");
+        assert_eq!(d.iter().filter(|d| d.rule == Rule::NoPanicPath).count(), 2);
+    }
+
+    #[test]
+    fn hot_kernel_alloc_fires_only_in_hot_fns() {
+        let d = run("fn magnitude_into(o: &mut [f64]) { let v = Vec::new(); }\nfn cold() { let v = Vec::new(); }");
+        assert_eq!(d.iter().filter(|d| d.rule == Rule::NoAllocHot).count(), 1);
+    }
+
+    #[test]
+    fn partial_cmp_and_f64_max_fire() {
+        let d = run("fn f(a: f64, b: f64) { a.partial_cmp(&b); f64::max(a, b); }");
+        assert_eq!(d.iter().filter(|d| d.rule == Rule::FloatOrder).count(), 2);
+    }
+
+    #[test]
+    fn total_cmp_is_clean() {
+        let d = run("fn f(xs: &mut [f64]) { xs.sort_by(|a, b| a.total_cmp(b)); }");
+        assert!(d.iter().all(|d| d.rule != Rule::FloatOrder));
+    }
+
+    #[test]
+    fn hashmap_and_time_fire() {
+        let d = run("use std::collections::HashMap;\nfn f() { let t = std::time::Instant::now(); }");
+        assert_eq!(d.iter().filter(|d| d.rule == Rule::Determinism).count(), 2);
+    }
+
+    #[test]
+    fn time_allowed_in_profile_scope() {
+        let l = lex("fn f() { let t = std::time::Instant::now(); }");
+        let s = scan(&l);
+        let scope = FileScope {
+            crate_name: "profile".into(),
+            pipeline: true,
+            test_file: false,
+            allow_time: true,
+        };
+        let d = check("mem.rs", &l, &s, &scope);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let d = run("#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); let m: HashMap<u8, u8>; }\n}");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn non_pipeline_scope_only_checks_hot_fns() {
+        let l = lex("fn f() { x.unwrap(); }\nfn fill_into(o: &mut [f64]) { o.to_vec(); }");
+        let s = scan(&l);
+        let scope = FileScope::default();
+        let d = check("mem.rs", &l, &s, &scope);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::NoAllocHot);
+    }
+}

@@ -1,0 +1,472 @@
+//! Item-level scan over the token stream.
+//!
+//! A lightweight recursive-descent pass that recovers just enough structure
+//! for the rules: which token ranges are `#[cfg(test)]` / `#[test]` code,
+//! where each function body starts and ends (and what the function is
+//! called), and which `pub` items lack a doc comment. It is resilient to
+//! code it does not understand — anything unrecognized is skipped one token
+//! at a time.
+
+use crate::lexer::{Comment, Lexed, TokKind, Token};
+
+/// A function found in the file.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token range of the body, `[start, end)` (excludes the braces' outside).
+    pub body: (usize, usize),
+    /// Whether a `// echolint: hot` marker precedes the function.
+    pub marked_hot: bool,
+}
+
+/// A `pub` item with no doc comment.
+#[derive(Debug, Clone)]
+pub struct UndocPub {
+    /// Line of the `pub` keyword.
+    pub line: u32,
+    /// Item kind keyword (`fn`, `struct`, …).
+    pub kind: String,
+    /// Item name.
+    pub name: String,
+}
+
+/// Scan results.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// Token ranges `[start, end)` that are test-only code.
+    pub test_spans: Vec<(usize, usize)>,
+    /// All functions with bodies, in source order.
+    pub fns: Vec<FnSpan>,
+    /// Public items missing docs.
+    pub undoc_pubs: Vec<UndocPub>,
+}
+
+impl Scan {
+    /// Whether token index `i` falls in test-only code.
+    pub fn is_test(&self, i: usize) -> bool {
+        self.test_spans.iter().any(|&(s, e)| i >= s && i < e)
+    }
+}
+
+/// Lines carrying a `// echolint: hot` marker (the function on the next
+/// line — or same line — is a hot kernel).
+fn hot_marker_lines(comments: &[Comment]) -> Vec<u32> {
+    comments
+        .iter()
+        .filter(|c| {
+            let body = c.text.trim_start_matches('/').trim_start_matches('!').trim();
+            body.strip_prefix("echolint:")
+                .map(|rest| rest.trim() == "hot" || rest.trim().starts_with("hot "))
+                .unwrap_or(false)
+        })
+        .map(|c| c.line)
+        .collect()
+}
+
+/// Runs the item scan.
+pub fn scan(lexed: &Lexed) -> Scan {
+    let mut out = Scan::default();
+    let hot_lines = hot_marker_lines(&lexed.comments);
+    let mut cx = Cx { toks: &lexed.tokens, comments: &lexed.comments, hot_lines, out: &mut out };
+    let end = lexed.tokens.len();
+    cx.items(0, end);
+    out
+}
+
+struct Cx<'a> {
+    toks: &'a [Token],
+    comments: &'a [Comment],
+    hot_lines: Vec<u32>,
+    out: &'a mut Scan,
+}
+
+impl Cx<'_> {
+    /// Scans items in `[i, end)` at module or impl/trait scope.
+    fn items(&mut self, mut i: usize, end: usize) {
+        while i < end {
+            i = self.item(i, end);
+        }
+    }
+
+    /// Scans one item starting at `i`; returns the index just past it.
+    fn item(&mut self, start: usize, end: usize) -> usize {
+        let mut i = start;
+        let mut is_test_item = false;
+        let mut has_doc_attr = false;
+        // Attributes.
+        while i < end && self.toks[i].is_punct('#') {
+            let mut j = i + 1;
+            if j < end && self.toks[j].is_punct('!') {
+                j += 1; // inner attribute `#![…]`
+            }
+            if j < end && self.toks[j].is_punct('[') {
+                let close = self.match_delim(j, end, '[', ']');
+                for t in &self.toks[j..close] {
+                    if t.is_ident("test") || t.is_ident("bench") {
+                        is_test_item = true;
+                    }
+                    if t.is_ident("doc") {
+                        has_doc_attr = true;
+                    }
+                }
+                i = close;
+            } else {
+                i = j;
+            }
+        }
+        if i >= end {
+            return end;
+        }
+
+        // Visibility.
+        let mut is_pub = false;
+        if self.toks[i].is_ident("pub") {
+            is_pub = true;
+            let pub_line = self.toks[i].line;
+            i += 1;
+            if i < end && self.toks[i].is_punct('(') {
+                // `pub(crate)` / `pub(super)` / `pub(in …)` — not public API.
+                is_pub = false;
+                i = self.match_delim(i, end, '(', ')');
+            }
+            let _ = pub_line;
+        }
+
+        // Qualifiers before the item keyword.
+        while i < end
+            && (self.toks[i].is_ident("unsafe")
+                || self.toks[i].is_ident("async")
+                || self.toks[i].is_ident("default")
+                || (self.toks[i].is_ident("extern")
+                    && i + 1 < end
+                    && self.toks[i + 1].kind == TokKind::Literal)
+                || (self.toks[i].is_ident("const")
+                    && i + 1 < end
+                    && self.toks[i + 1].is_ident("fn")))
+        {
+            if self.toks[i].is_ident("extern") {
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        if i >= end {
+            return end;
+        }
+
+        let kw = self.toks[i].text.clone();
+        let kw_line = self.toks[i].line;
+        let item_end = match kw.as_str() {
+            "fn" => {
+                let name = self
+                    .toks
+                    .get(i + 1)
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone())
+                    .unwrap_or_default();
+                let body_open = self.find_body_open(i, end);
+                let e = match body_open {
+                    Some(open) => {
+                        let close = self.match_delim(open, end, '{', '}');
+                        let marked_hot = self.has_hot_marker(start, kw_line);
+                        self.out.fns.push(FnSpan {
+                            name: name.clone(),
+                            line: kw_line,
+                            body: (open + 1, close.saturating_sub(1)),
+                            marked_hot,
+                        });
+                        close
+                    }
+                    None => self.skip_to_semi(i, end),
+                };
+                self.record_pub(is_pub, has_doc_attr, start, kw_line, "fn", &name);
+                e
+            }
+            "mod" => {
+                let name = self
+                    .toks
+                    .get(i + 1)
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone())
+                    .unwrap_or_default();
+                // A bodyless `pub mod x;` is documented by the target file's
+                // `//!` header; only inline module bodies need outer docs.
+                if self.find_body_open(i, end).is_some() {
+                    self.record_pub(is_pub, has_doc_attr, start, kw_line, "mod", &name);
+                }
+                match self.find_body_open(i, end) {
+                    Some(open) => {
+                        let close = self.match_delim(open, end, '{', '}');
+                        if is_test_item {
+                            self.out.test_spans.push((start, close));
+                        } else {
+                            self.items(open + 1, close.saturating_sub(1));
+                        }
+                        close
+                    }
+                    None => self.skip_to_semi(i, end),
+                }
+            }
+            "impl" | "trait" => {
+                if kw == "trait" {
+                    let name = self
+                        .toks
+                        .get(i + 1)
+                        .filter(|t| t.kind == TokKind::Ident)
+                        .map(|t| t.text.clone())
+                        .unwrap_or_default();
+                    self.record_pub(is_pub, has_doc_attr, start, kw_line, "trait", &name);
+                }
+                match self.find_body_open(i, end) {
+                    Some(open) => {
+                        let close = self.match_delim(open, end, '{', '}');
+                        self.items(open + 1, close.saturating_sub(1));
+                        close
+                    }
+                    None => self.skip_to_semi(i, end),
+                }
+            }
+            "struct" | "enum" | "union" => {
+                let name = self
+                    .toks
+                    .get(i + 1)
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone())
+                    .unwrap_or_default();
+                self.record_pub(is_pub, has_doc_attr, start, kw_line, &kw, &name);
+                // Unit struct `;`, tuple struct `(…);`, or braced body.
+                match self.find_body_open(i, end) {
+                    Some(open) => self.match_delim(open, end, '{', '}'),
+                    None => self.skip_to_semi(i, end),
+                }
+            }
+            "const" | "static" | "type" => {
+                let mut j = i + 1;
+                if j < end && self.toks[j].is_ident("mut") {
+                    j += 1;
+                }
+                let name = self
+                    .toks
+                    .get(j)
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone())
+                    .unwrap_or_default();
+                self.record_pub(is_pub, has_doc_attr, start, kw_line, &kw, &name);
+                self.skip_to_semi(i, end)
+            }
+            "use" | "extern" => self.skip_to_semi(i, end),
+            "macro_rules" => match self.find_body_open(i, end) {
+                Some(open) => self.match_delim(open, end, '{', '}'),
+                None => self.skip_to_semi(i, end),
+            },
+            _ => i + 1,
+        };
+        if is_test_item && kw != "mod" {
+            self.out.test_spans.push((start, item_end));
+        }
+        item_end.max(start + 1)
+    }
+
+    /// Records an undocumented public item.
+    fn record_pub(
+        &mut self,
+        is_pub: bool,
+        has_doc_attr: bool,
+        item_start: usize,
+        kw_line: u32,
+        kind: &str,
+        name: &str,
+    ) {
+        if !is_pub || has_doc_attr {
+            return;
+        }
+        // Documented iff a rustdoc outer comment sits between the previous
+        // code token and the item's first token (attributes included) — this
+        // tolerates blank lines and attribute stacks under the doc block.
+        let first_line = self.toks[item_start].line;
+        let prev_line = if item_start == 0 { 0 } else { self.toks[item_start - 1].line };
+        let documented = self.comments.iter().any(|c| {
+            c.is_doc
+                && !c.trailing
+                && !c.text.starts_with("//!")
+                && !c.text.starts_with("/*!")
+                && c.line > prev_line
+                && c.line < first_line
+        });
+        if !documented {
+            self.out.undoc_pubs.push(UndocPub {
+                line: kw_line,
+                kind: kind.to_string(),
+                name: name.to_string(),
+            });
+        }
+    }
+
+    /// Whether a `// echolint: hot` marker line immediately precedes the
+    /// item (between the previous code token and the `fn` keyword line).
+    fn has_hot_marker(&self, item_start: usize, kw_line: u32) -> bool {
+        let prev_line = if item_start == 0 { 0 } else { self.toks[item_start - 1].line };
+        let first_line = self.toks[item_start].line.min(kw_line);
+        self.hot_lines.iter().any(|&l| l > prev_line && l < first_line)
+    }
+
+    /// Finds the opening `{` of a body, stopping at a terminating `;`.
+    fn find_body_open(&self, mut i: usize, end: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        while i < end {
+            let t = &self.toks[i];
+            if depth == 0 {
+                if t.is_punct('{') {
+                    return Some(i);
+                }
+                if t.is_punct(';') {
+                    return None;
+                }
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Given `open` at an opening delimiter, returns the index just past the
+    /// matching closer.
+    fn match_delim(&self, open: usize, end: usize, o: char, c: char) -> usize {
+        let mut depth = 0i32;
+        let mut i = open;
+        while i < end {
+            if self.toks[i].is_punct(o) {
+                depth += 1;
+            } else if self.toks[i].is_punct(c) {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Skips to just past the next `;` at delimiter depth 0.
+    fn skip_to_semi(&self, mut i: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        while i < end {
+            let t = &self.toks[i];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if t.is_punct(';') && depth <= 0 {
+                return i + 1;
+            }
+            i += 1;
+        }
+        end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn finds_functions_and_bodies() {
+        let l = lex("fn a() { x(); }\npub fn magnitude_into(o: &mut [f64]) { o[0] = 1.0; }\n");
+        let s = scan(&l);
+        assert_eq!(s.fns.len(), 2);
+        assert_eq!(s.fns[0].name, "a");
+        assert_eq!(s.fns[1].name, "magnitude_into");
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_span() {
+        let src = "fn live() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { b.unwrap(); }\n}\n";
+        let l = lex(src);
+        let s = scan(&l);
+        let unwraps: Vec<usize> = l
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!s.is_test(unwraps[0]));
+        assert!(s.is_test(unwraps[1]));
+    }
+
+    #[test]
+    fn test_attr_fn_is_a_test_span() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn live() { y(); }\n";
+        let l = lex(src);
+        let s = scan(&l);
+        let unwrap_idx = l.tokens.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(s.is_test(unwrap_idx));
+        assert_eq!(s.fns.len(), 2);
+    }
+
+    #[test]
+    fn hot_marker_attaches_to_next_fn() {
+        let src = "// echolint: hot\nfn kernel(buf: &mut [f64]) {}\nfn other() {}\n";
+        let s = scan(&lex(src));
+        assert!(s.fns[0].marked_hot);
+        assert!(!s.fns[1].marked_hot);
+    }
+
+    #[test]
+    fn undocumented_pub_items_are_reported() {
+        let src = "/// Documented.\npub fn good() {}\npub fn bad() {}\npub(crate) fn internal() {}\nfn private() {}\n";
+        let s = scan(&lex(src));
+        let names: Vec<&str> = s.undoc_pubs.iter().map(|u| u.name.as_str()).collect();
+        assert_eq!(names, vec!["bad"]);
+    }
+
+    #[test]
+    fn doc_through_attributes_and_blank_lines() {
+        let src = "/// Doc.\n#[derive(Debug)]\n\npub struct S { x: u8 }\n";
+        let s = scan(&lex(src));
+        assert!(s.undoc_pubs.is_empty(), "{:?}", s.undoc_pubs);
+    }
+
+    #[test]
+    fn inner_module_doc_does_not_document_first_item() {
+        let src = "//! Module docs.\n\npub fn first() {}\n";
+        let s = scan(&lex(src));
+        assert_eq!(s.undoc_pubs.len(), 1);
+    }
+
+    #[test]
+    fn impl_methods_are_scanned() {
+        let src = "impl Foo {\n pub fn undoc(&self) {}\n /// ok\n pub fn doc(&self) {}\n}\n";
+        let s = scan(&lex(src));
+        assert_eq!(s.fns.len(), 2);
+        assert_eq!(s.undoc_pubs.len(), 1);
+        assert_eq!(s.undoc_pubs[0].name, "undoc");
+    }
+
+    #[test]
+    fn pub_use_is_exempt() {
+        let src = "pub use crate::foo::Bar;\n";
+        let s = scan(&lex(src));
+        assert!(s.undoc_pubs.is_empty());
+    }
+
+    #[test]
+    fn trait_with_default_and_required_methods() {
+        let src = "pub trait T {\n fn req(&self);\n fn def(&self) { x.unwrap(); }\n}\n";
+        let s = scan(&lex(src));
+        // One trait (undocumented) + the default-body fn recorded.
+        assert!(s.undoc_pubs.iter().any(|u| u.kind == "trait"));
+        assert_eq!(s.fns.len(), 1);
+        assert_eq!(s.fns[0].name, "def");
+    }
+}

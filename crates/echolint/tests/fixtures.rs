@@ -1,0 +1,117 @@
+//! Fixture-corpus tests: each `fixtures/bad/*.rs` file fires its rule at
+//! exact `file:line` positions, the `fixtures/good/` file is silent, and a
+//! snapshot of the live `--workspace` run stays empty.
+
+use echolint::{lint_source, lint_workspace, FileScope};
+use std::path::Path;
+
+/// The scope every fixture is linted under: a non-exempt pipeline crate.
+fn pipeline_scope() -> FileScope {
+    FileScope {
+        crate_name: "core".into(),
+        pipeline: true,
+        test_file: false,
+        allow_time: false,
+    }
+}
+
+/// Lints `fixtures/<name>` and renders each diagnostic as its
+/// `file:line: rule: message` display form.
+fn lint_fixture(name: &str) -> Vec<String> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    lint_source(name, &src, &pipeline_scope())
+        .iter()
+        .map(ToString::to_string)
+        .collect()
+}
+
+#[test]
+fn panic_path_fixture_fires_at_exact_lines() {
+    assert_eq!(
+        lint_fixture("bad/panic_path.rs"),
+        vec![
+            "bad/panic_path.rs:4: no-panic-path: .unwrap() can panic — return a typed error instead",
+            "bad/panic_path.rs:8: no-panic-path: .expect() can panic — return a typed error instead",
+            "bad/panic_path.rs:12: no-panic-path: panic! in non-test pipeline code",
+            "bad/panic_path.rs:16: no-panic-path: unreachable! in non-test pipeline code",
+            "bad/panic_path.rs:20: no-panic-path: slice index by literal can panic — use get()/split_first() or a checked range",
+        ]
+    );
+}
+
+#[test]
+fn alloc_hot_fixture_fires_only_in_hot_kernels() {
+    assert_eq!(
+        lint_fixture("bad/alloc_hot.rs"),
+        vec![
+            "bad/alloc_hot.rs:4: no-alloc-hot: Vec::… constructor in hot kernel `magnitude_into` — hot kernels must write into caller-owned buffers",
+            "bad/alloc_hot.rs:5: no-alloc-hot: .to_vec() in hot kernel `magnitude_into` — hot kernels must write into caller-owned buffers",
+            "bad/alloc_hot.rs:10: no-alloc-hot: .collect() in hot kernel `window` — hot kernels must write into caller-owned buffers",
+        ]
+    );
+}
+
+#[test]
+fn float_order_fixture_fires_at_exact_lines() {
+    assert_eq!(
+        lint_fixture("bad/float_order.rs"),
+        vec![
+            "bad/float_order.rs:4: float-order: partial_cmp is NaN-unsafe — use total_cmp for float ordering",
+            "bad/float_order.rs:8: float-order: f64::max silently drops NaN — order with total_cmp or guard the inputs",
+        ]
+    );
+}
+
+#[test]
+fn determinism_fixture_fires_at_exact_lines() {
+    assert_eq!(
+        lint_fixture("bad/determinism.rs"),
+        vec![
+            "bad/determinism.rs:3: determinism: HashMap iteration order is nondeterministic — use BTreeMap/BTreeSet or sort before producing results",
+            "bad/determinism.rs:6: determinism: HashMap iteration order is nondeterministic — use BTreeMap/BTreeSet or sort before producing results",
+            "bad/determinism.rs:6: determinism: HashMap iteration order is nondeterministic — use BTreeMap/BTreeSet or sort before producing results",
+            "bad/determinism.rs:10: determinism: std::time outside crates/profile and benches — wall-clock reads make results environment-dependent",
+        ]
+    );
+}
+
+#[test]
+fn pub_doc_fixture_fires_for_undocumented_items_only() {
+    assert_eq!(
+        lint_fixture("bad/pub_doc.rs"),
+        vec![
+            "bad/pub_doc.rs:3: pub-doc: public struct `Window` has no doc comment",
+            "bad/pub_doc.rs:5: pub-doc: public fn `hann` has no doc comment",
+        ]
+    );
+}
+
+#[test]
+fn marker_fixture_reports_bad_markers_and_keeps_the_finding() {
+    assert_eq!(
+        lint_fixture("bad/marker.rs"),
+        vec![
+            "bad/marker.rs:4: marker: allow marker must carry a reason: `-- <why this is safe>`",
+            "bad/marker.rs:5: no-panic-path: slice index by literal can panic — use get()/split_first() or a checked range",
+            "bad/marker.rs:9: marker: unknown rule \"no-such-rule\" in allow marker",
+            "bad/marker.rs:10: no-panic-path: slice index by literal can panic — use get()/split_first() or a checked range",
+        ]
+    );
+}
+
+#[test]
+fn good_fixture_is_diagnostic_free() {
+    assert_eq!(lint_fixture("good/clean.rs"), Vec::<String>::new());
+}
+
+/// Snapshot of the live tree: the full `--workspace` run must render to
+/// nothing. Any regression prints the exact diagnostics it would add.
+#[test]
+fn workspace_snapshot_is_empty() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = lint_workspace(&root).expect("workspace walk");
+    let snapshot: Vec<String> = diags.iter().map(ToString::to_string).collect();
+    assert_eq!(snapshot, Vec::<String>::new());
+}

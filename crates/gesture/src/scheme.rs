@@ -96,6 +96,7 @@ impl InputScheme {
             ('Y', Stroke::S2),
             ('Z', Stroke::S1),
         ])
+        // echolint: allow(no-panic-path) -- compile-time table; validated by the paper_scheme tests
         .expect("the built-in paper scheme is valid")
     }
 
@@ -129,6 +130,7 @@ impl InputScheme {
         if !missing.is_empty() {
             return Err(SchemeError::MissingLetters(missing));
         }
+        // echolint: allow(no-panic-path) -- no slot is None after the missing-letters check above
         let map = map.map(|s| s.expect("checked above"));
         let mut counts = [0usize; STROKE_COUNT];
         for s in map {
@@ -137,6 +139,7 @@ impl InputScheme {
         for (i, &c) in counts.iter().enumerate() {
             if c == 0 {
                 return Err(SchemeError::EmptyGroup(
+                    // echolint: allow(no-panic-path) -- i enumerates [0, STROKE_COUNT)
                     Stroke::from_index(i).expect("index < 6"),
                 ));
             }

@@ -224,12 +224,9 @@ impl Trajectory {
     /// `target` taking `seconds`. If the trajectory is empty the move starts
     /// at `target` (a hold).
     pub fn move_to(&mut self, target: Vec3, seconds: f64) {
-        let start = match self.points.last() {
-            Some(&p) => p,
-            None => {
-                self.hold(target, seconds);
-                return;
-            }
+        let Some(&start) = self.points.last() else {
+            self.hold(target, seconds);
+            return;
         };
         let path = StrokePath::Line { start: Vec3::ZERO, end: target - start };
         self.traverse(&path, start, seconds);

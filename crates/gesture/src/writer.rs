@@ -200,6 +200,7 @@ impl Writer {
     /// Panics if the parameters fail [`WriterParams::validate`].
     pub fn new(params: WriterParams, seed: u64) -> Self {
         if let Err(msg) = params.validate() {
+            // echolint: allow(no-panic-path) -- documented `# Panics` contract of Writer::new
             panic!("invalid writer parameters: {msg}");
         }
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -276,6 +277,7 @@ impl Writer {
                 Some(&next) => embed(StrokePath::for_stroke(next, amp).point(0.0)),
                 None => embed(Vec3::ZERO),
             };
+            // echolint: allow(no-panic-path) -- lead-in hold guarantees the trajectory is non-empty
             let here = *traj.points().last().expect("stroke samples exist");
             let dist = here.distance(next_start);
             let dur = (dist / p.withdraw_speed).max(p.withdraw_duration);
@@ -305,7 +307,9 @@ impl Writer {
                         .trajectory
                         .points()
                         .last()
+                        // echolint: allow(no-panic-path) -- write_sequence always emits the lead-in hold
                         .expect("previous word has samples");
+                    // echolint: allow(no-panic-path) -- same lead-in-hold invariant
                     let target = *perf.trajectory.points().first().expect("word has samples");
                     let dist = here.distance(target);
                     let dur = (dist / self.params.withdraw_speed).max(0.5);
@@ -342,7 +346,9 @@ impl Writer {
         let mut out = Trajectory::new(dt);
         for (i, &pt) in traj.points().iter().enumerate() {
             let t = i as f64 * dt;
+            // echolint: allow(no-panic-path) -- tremor_freq/tremor_phase are fixed [f64; 2] fields
             let w0 = std::f64::consts::TAU * self.tremor_freq[0] * t + self.tremor_phase[0];
+            // echolint: allow(no-panic-path) -- same fixed-size field access
             let w1 = std::f64::consts::TAU * self.tremor_freq[1] * t + self.tremor_phase[1];
             out.push(pt + Vec3::new(a * w0.sin(), a * w1.sin(), 0.5 * a * (w0 + w1).cos()));
         }

@@ -2,7 +2,7 @@
 
 use echowrite_corpus::Lexicon;
 use echowrite_gesture::{InputScheme, Stroke};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One dictionary entry — the paper's
 /// `{word, frequency, length, strokeSeq}` record.
@@ -35,7 +35,9 @@ pub struct DictEntry {
 #[derive(Debug, Clone)]
 pub struct Dictionary {
     entries: Vec<DictEntry>,
-    by_sequence: HashMap<Vec<Stroke>, Vec<usize>>,
+    // Ordered by stroke sequence so collision-group iteration is
+    // deterministic (echolint: determinism).
+    by_sequence: BTreeMap<Vec<Stroke>, Vec<usize>>,
     scheme: InputScheme,
 }
 
@@ -46,7 +48,7 @@ impl Dictionary {
     /// order. Words containing non-letters are skipped.
     pub fn build(lexicon: &Lexicon, scheme: &InputScheme) -> Self {
         let mut entries = Vec::with_capacity(lexicon.len());
-        let mut by_sequence: HashMap<Vec<Stroke>, Vec<usize>> = HashMap::new();
+        let mut by_sequence: BTreeMap<Vec<Stroke>, Vec<usize>> = BTreeMap::new();
         for we in lexicon.iter() {
             let Ok(stroke_seq) = scheme.encode_word(&we.word) else {
                 continue;
@@ -148,6 +150,7 @@ fn edit_distance_bounded(a: &[Stroke], b: &[Stroke], bound: usize) -> Option<usi
     for i in 1..=n {
         let lo = i.saturating_sub(bound);
         let hi = (i + bound).min(m);
+        // echolint: allow(no-panic-path) -- cur has m+1 >= 1 elements by construction
         cur[0] = if i <= bound { i } else { big };
         for j in lo.max(1)..=hi {
             let sub = prev[j - 1] + usize::from(a[i - 1] != b[j - 1]);

@@ -19,7 +19,9 @@
 pub mod mvce;
 pub mod profile;
 pub mod segment;
+pub mod timing;
 
 pub use mvce::extract_profile;
 pub use profile::DopplerProfile;
 pub use segment::{SegmentConfig, Segmenter, StrokeSegment};
+pub use timing::Stopwatch;

@@ -173,6 +173,7 @@ impl Segmenter {
     /// Panics if the configuration is invalid.
     pub fn new(config: SegmentConfig) -> Self {
         if let Err(msg) = config.validate() {
+            // echolint: allow(no-panic-path) -- documented `# Panics` contract of Segmenter::new
             panic!("invalid segmenter config: {msg}");
         }
         Segmenter { config }

@@ -1,0 +1,53 @@
+//! Wall-clock stage timing, quarantined.
+//!
+//! The Fig. 19 experiments need real wall-clock stage costs, but echolint's
+//! determinism rule bans `std::time` from the pipeline crates so that
+//! recognition *results* can never depend on the environment. This module
+//! is the one sanctioned home for clock reads (`crates/profile` is the
+//! measurement crate): the rest of the pipeline times stages through
+//! [`Stopwatch`] and stays clock-free at the source level.
+
+use std::time::Instant;
+
+/// A started monotonic stopwatch.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_profile::Stopwatch;
+/// let sw = Stopwatch::start();
+/// let ms = sw.elapsed_ms();
+/// assert!(ms >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Milliseconds elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic_and_nonnegative() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ms();
+        let b = sw.elapsed_ms();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+}

@@ -89,7 +89,7 @@ pub fn run_word_trials(scale: Scale) -> Arc<WordTrials> {
         .with_rules(cal.rules.clone())
         .with_top_k(5);
     let decoder_plain = WordDecoder::new(engine.decoder().dictionary().clone())
-        .with_confusion(cal.confusion.clone())
+        .with_confusion(cal.confusion)
         .with_rules(CorrectionRules::none())
         .with_top_k(5);
 

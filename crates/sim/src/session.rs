@@ -178,9 +178,8 @@ impl<'a> TextEntrySession<'a> {
             }
         }
 
-        let truth = match self.scheme.encode_word(word) {
-            Ok(seq) => seq,
-            Err(_) => return (0.0, false, false),
+        let Ok(truth) = self.scheme.encode_word(word) else {
+            return (0.0, false, false);
         };
         let slip = participant.slip_at(session);
         let think = participant.think_at(session);

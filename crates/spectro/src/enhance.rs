@@ -124,6 +124,7 @@ impl Enhancer {
     /// Panics if the configuration fails validation.
     pub fn new(config: EnhanceConfig) -> Self {
         if let Err(msg) = config.validate() {
+            // echolint: allow(no-panic-path) -- documented `# Panics` contract of Enhancer::new
             panic!("invalid enhancement config: {msg}");
         }
         Enhancer { config }

@@ -57,6 +57,7 @@ impl Spectrogram {
     /// Panics if frames are empty or have differing lengths.
     pub fn from_frames(frames: &[Vec<f64>]) -> Self {
         assert!(!frames.is_empty(), "no frames supplied");
+        // echolint: allow(no-panic-path) -- non-emptiness asserted on the line above
         let rows = frames[0].len();
         assert!(rows > 0, "frames must be non-empty");
         let cols = frames.len();
@@ -112,6 +113,7 @@ impl Spectrogram {
         let lo = config.frequency_bin(carrier - span);
         let hi = config.frequency_bin(carrier + span);
         let carrier_bin = config.frequency_bin(carrier);
+        // echolint: allow(no-panic-path) -- non-emptiness asserted at function entry
         assert!(hi < frames[0].len(), "ROI exceeds the supplied band");
         let rows = hi - lo + 1;
         let mut s = Spectrogram::zeros(rows, frames.len());
@@ -119,6 +121,7 @@ impl Spectrogram {
         s.bin_hz = config.sample_rate / config.fft_size as f64;
         s.hop_s = config.hop_seconds();
         for (c, frame) in frames.iter().enumerate() {
+            // echolint: allow(no-panic-path) -- non-emptiness asserted at function entry
             assert_eq!(frame.len(), frames[0].len(), "frame {c} inconsistent");
             for r in 0..rows {
                 s.set(r, c, frame[lo + r]);

@@ -68,7 +68,7 @@ fn text_session_enters_a_two_word_phrase() {
     ];
     let mut writer = Writer::new(WriterParams::nominal(), 8);
     let perf = writer.write_phrase(&seqs, 3.2);
-    let mut traj = perf.trajectory.clone();
+    let mut traj = perf.trajectory;
     let rest = *traj.points().last().unwrap();
     traj.hold(rest, 3.5);
     let audio = Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), 8)

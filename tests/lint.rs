@@ -1,0 +1,19 @@
+//! Tier-1 gate: the live tree must be echolint-clean.
+//!
+//! This is the in-process equivalent of `cargo run -p echolint -- --workspace`
+//! exiting 0. Every surviving panic site in pipeline non-test code must carry
+//! a reasoned `// echolint: allow(…) -- …` marker; see DESIGN.md §6.2.
+
+use std::path::Path;
+
+#[test]
+fn workspace_passes_echolint() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let diags = echolint::lint_workspace(root).expect("workspace walk");
+    assert!(
+        diags.is_empty(),
+        "echolint found {} diagnostic(s):\n{}",
+        diags.len(),
+        diags.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -88,7 +88,7 @@ fn interfering_hand_wave_between_strokes_is_ignored() {
     // The paper's acceleration gate must reject the wave.
     let e = engine();
     let params = WriterParams::nominal();
-    let mut writer = Writer::new(params.clone(), 33);
+    let mut writer = Writer::new(params, 33);
     let p1 = writer.write_stroke(Stroke::S2);
     let p2 = writer.write_stroke(Stroke::S6);
 

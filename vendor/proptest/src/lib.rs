@@ -7,6 +7,10 @@
 //! deterministic: each test's RNG is seeded from the test path and case
 //! index, so failures reproduce exactly across runs.
 
+// The int/arb macros instantiate `$ty as u64` for $ty == u64 itself;
+// the casts are load-bearing for the narrower widths.
+#![allow(trivial_numeric_casts)]
+
 pub mod test_runner {
     /// Per-test configuration (only the `cases` knob is honoured).
     #[derive(Clone, Debug)]

@@ -14,6 +14,10 @@
 //! This keeps every seeded simulator trace identical to one produced by the
 //! real crates.
 
+// The int_range macros instantiate `$ty as u32` for $ty == u32 itself;
+// the cast is load-bearing for the signed widths.
+#![allow(trivial_numeric_casts)]
+
 pub use rand_core::{RngCore, SeedableRng};
 
 pub mod distributions {
