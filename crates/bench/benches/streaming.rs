@@ -1,0 +1,126 @@
+//! Streaming-path benchmarks (DESIGN.md §6.3): the incremental
+//! STFT→enhance→profile→segment recognizer vs the replay oracle that
+//! re-analyzes its buffered window on every push.
+//!
+//! Two claims are measured:
+//!
+//! - **Per-push latency.** The incremental path does O(chunk) work per
+//!   push, so its latency is flat no matter how much audio has already
+//!   streamed. The replay path re-runs the batch pipeline over its whole
+//!   window, so its per-push cost grows with the buffered duration.
+//! - **Session throughput.** Streaming a full 12 s session chunk-by-chunk
+//!   through the incremental path must beat replaying it by a wide margin
+//!   (the replay total is quadratic in session length up to the window cap).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use echowrite::{EchoWrite, EchoWriteConfig, StreamingMode, StreamingRecognizer};
+use echowrite_gesture::{Stroke, Writer, WriterParams};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+use std::sync::OnceLock;
+
+const SAMPLE_RATE: usize = 44_100;
+const SESSION_SECONDS: usize = 12;
+/// Five STFT hops per push — the chunk an audio callback would hand over.
+const CHUNK: usize = 5 * 1024;
+
+/// A 12 s writing session: four strokes, then held still to the 12 s mark.
+fn session_audio() -> &'static Vec<f64> {
+    static A: OnceLock<Vec<f64>> = OnceLock::new();
+    A.get_or_init(|| {
+        let strokes = [Stroke::S2, Stroke::S4, Stroke::S1, Stroke::S3];
+        let perf = Writer::new(WriterParams::nominal(), 7).write_sequence(&strokes);
+        let mut audio = Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), 7)
+            .render(&perf.trajectory);
+        audio.resize(SESSION_SECONDS * SAMPLE_RATE, 0.0);
+        audio
+    })
+}
+
+/// Engine whose streaming mode resolves to the incremental path.
+fn incremental_engine() -> &'static EchoWrite {
+    static E: OnceLock<EchoWrite> = OnceLock::new();
+    E.get_or_init(|| EchoWrite::with_config(EchoWriteConfig::streaming()))
+}
+
+/// Same enhancement, but forced onto the replay path for comparison.
+fn replay_engine() -> &'static EchoWrite {
+    static E: OnceLock<EchoWrite> = OnceLock::new();
+    E.get_or_init(|| {
+        EchoWrite::with_config(EchoWriteConfig {
+            streaming: StreamingMode::Replay,
+            ..EchoWriteConfig::streaming()
+        })
+    })
+}
+
+/// Streams the whole session in `CHUNK`-sample pushes and finishes.
+fn run_session(engine: &EchoWrite) -> usize {
+    let mut stream = StreamingRecognizer::new(engine);
+    let mut events = 0;
+    for chunk in session_audio().chunks(CHUNK) {
+        events += stream.push(black_box(chunk)).len();
+    }
+    events + stream.finish().len()
+}
+
+fn bench_session(c: &mut Criterion) {
+    let mut g = c.benchmark_group("streaming_session");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("incremental", "12s"), |b| {
+        b.iter(|| run_session(incremental_engine()))
+    });
+    g.bench_function(BenchmarkId::new("replay", "12s"), |b| {
+        b.iter(|| run_session(replay_engine()))
+    });
+    g.finish();
+}
+
+/// Measures one steady-state push after `prefill_seconds` of audio have
+/// already streamed. Replay recognizers get a window of exactly that
+/// duration so every measured push re-analyzes a saturated window; the
+/// incremental path has no window and its cost must not depend on the
+/// prefill at all.
+fn bench_push_at(
+    g: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    engine: &'static EchoWrite,
+    window: Option<f64>,
+    prefill_seconds: usize,
+) {
+    g.bench_function(BenchmarkId::new(name, format!("{prefill_seconds}s")), |b| {
+        let audio = session_audio();
+        let mut stream = match window {
+            Some(w) => StreamingRecognizer::new(engine).with_window_seconds(w),
+            None => StreamingRecognizer::new(engine),
+        };
+        let mut pos = 0;
+        while pos < prefill_seconds * SAMPLE_RATE {
+            let end = (pos + CHUNK).min(audio.len());
+            black_box(stream.push(&audio[pos..end]));
+            pos = end;
+        }
+        b.iter(|| {
+            if pos + CHUNK > audio.len() {
+                pos = 0; // keep streaming: cycle the session audio
+            }
+            let events = stream.push(black_box(&audio[pos..pos + CHUNK])).len();
+            pos += CHUNK;
+            events
+        })
+    });
+}
+
+fn bench_push(c: &mut Criterion) {
+    let mut g = c.benchmark_group("streaming_push");
+    g.sample_size(10);
+    for prefill in [2usize, 6, 12] {
+        bench_push_at(&mut g, "incremental", incremental_engine(), None, prefill);
+    }
+    for window in [2usize, 6, 12] {
+        bench_push_at(&mut g, "replay", replay_engine(), Some(window as f64), window);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_session, bench_push);
+criterion_main!(benches);

@@ -4,7 +4,7 @@ use echowrite_dsp::StftConfig;
 use echowrite_dtw::classifier::MatchWeights;
 use echowrite_profile::mvce::DEFAULT_GUARD_BINS;
 use echowrite_profile::SegmentConfig;
-use echowrite_spectro::EnhanceConfig;
+use echowrite_spectro::{EnhanceConfig, Normalization};
 
 /// The spectrogram front-end.
 ///
@@ -57,6 +57,27 @@ impl Parallelism {
     }
 }
 
+/// How [`StreamingRecognizer`](crate::StreamingRecognizer) processes
+/// incoming audio.
+///
+/// The incremental path does O(chunk) work per push with bounded memory;
+/// the replay path re-analyzes the whole buffered window on every push
+/// (the original implementation, kept as the differential oracle). The
+/// incremental path requires a causal enhancement configuration:
+/// [`Normalization::FixedScale`] and no burst suppression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StreamingMode {
+    /// Incremental when the enhancement configuration permits it
+    /// (fixed-scale normalization, no burst suppression), replay otherwise.
+    #[default]
+    Auto,
+    /// Always incremental; validation rejects configs that cannot stream
+    /// causally.
+    Incremental,
+    /// Always full-window replay.
+    Replay,
+}
+
 /// Configuration of the whole EchoWrite pipeline.
 ///
 /// Defaults are the paper's parameters throughout (Sec. III); see each
@@ -97,6 +118,8 @@ pub struct EchoWriteConfig {
     /// Worker threads for the frame-parallel STFT (identical output for
     /// every setting; `Threads(1)` is the bit-for-bit serial reference).
     pub parallelism: Parallelism,
+    /// How streaming recognition processes chunks.
+    pub streaming: StreamingMode,
 }
 
 impl EchoWriteConfig {
@@ -114,6 +137,7 @@ impl EchoWriteConfig {
             match_weights: MatchWeights::stroke_matching(),
             frontend: Frontend::FullStft,
             parallelism: Parallelism::Auto,
+            streaming: StreamingMode::Auto,
         }
     }
 
@@ -121,6 +145,38 @@ impl EchoWriteConfig {
     /// optimization enabled (decimation by `factor`, typically 32).
     pub fn downsampled(factor: usize) -> Self {
         EchoWriteConfig { frontend: Frontend::Downconverted { factor }, ..EchoWriteConfig::paper() }
+    }
+
+    /// The paper configuration with causal (streaming-capable) enhancement:
+    /// fixed-scale normalization instead of the non-causal global maximum,
+    /// so [`StreamingMode::Auto`] resolves to the incremental path.
+    pub fn streaming() -> Self {
+        EchoWriteConfig { enhance: EnhanceConfig::streaming(), ..EchoWriteConfig::paper() }
+    }
+
+    /// [`EchoWriteConfig::streaming`] with the decimating front-end.
+    pub fn streaming_downsampled(factor: usize) -> Self {
+        EchoWriteConfig {
+            enhance: EnhanceConfig::streaming(),
+            frontend: Frontend::Downconverted { factor },
+            ..EchoWriteConfig::paper()
+        }
+    }
+
+    /// Whether the enhancement chain is causal enough for the incremental
+    /// streaming path (every stage decidable without future context).
+    pub fn enhancement_is_causal(&self) -> bool {
+        matches!(self.enhance.normalization, Normalization::FixedScale(_))
+            && self.enhance.burst_suppression.is_none()
+    }
+
+    /// Resolves [`EchoWriteConfig::streaming`] mode to a concrete choice.
+    pub fn streaming_is_incremental(&self) -> bool {
+        match self.streaming {
+            StreamingMode::Replay => false,
+            StreamingMode::Incremental => true,
+            StreamingMode::Auto => self.enhancement_is_causal(),
+        }
     }
 
     /// Validates all sub-configurations and cross-parameter constraints.
@@ -156,6 +212,13 @@ impl EchoWriteConfig {
         }
         if self.parallelism == Parallelism::Threads(0) {
             return Err("parallelism needs at least one thread".to_string());
+        }
+        if self.streaming == StreamingMode::Incremental && !self.enhancement_is_causal() {
+            return Err(
+                "incremental streaming requires Normalization::FixedScale and no burst \
+                 suppression (global-max normalization is non-causal)"
+                    .to_string(),
+            );
         }
         if let Frontend::Downconverted { factor } = self.frontend {
             if factor < 2 {
@@ -242,6 +305,32 @@ mod tests {
         assert_eq!(Parallelism::Threads(0).workers(10), 1);
         assert!(Parallelism::Auto.workers(1_000) >= 1);
         assert_eq!(Parallelism::default(), Parallelism::Auto);
+    }
+
+    #[test]
+    fn streaming_mode_resolution() {
+        let paper = EchoWriteConfig::paper();
+        assert!(!paper.streaming_is_incremental(), "global-max must fall back to replay");
+        let streaming = EchoWriteConfig::streaming();
+        streaming.validate().unwrap();
+        assert!(streaming.streaming_is_incremental());
+        let forced = EchoWriteConfig { streaming: StreamingMode::Replay, ..streaming };
+        assert!(!forced.streaming_is_incremental(), "replay override wins");
+        EchoWriteConfig::streaming_downsampled(32).validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_incremental_mode_with_non_causal_enhancement() {
+        let c = EchoWriteConfig {
+            streaming: StreamingMode::Incremental,
+            ..EchoWriteConfig::paper()
+        };
+        assert!(c.validate().unwrap_err().contains("non-causal"));
+        let c = EchoWriteConfig {
+            streaming: StreamingMode::Incremental,
+            ..EchoWriteConfig::streaming()
+        };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -51,8 +51,8 @@ pub mod streaming;
 pub mod templates;
 pub mod text_session;
 
-pub use config::{EchoWriteConfig, Frontend, Parallelism};
+pub use config::{EchoWriteConfig, Frontend, Parallelism, StreamingMode};
 pub use engine::{EchoWrite, StrokeRecognition, WordRecognition};
 pub use pipeline::{Pipeline, StageTiming};
-pub use streaming::StreamingRecognizer;
+pub use streaming::{StreamingRecognizer, StrokeEvent};
 pub use text_session::{SessionEvent, TextSession};

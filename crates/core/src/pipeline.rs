@@ -99,22 +99,7 @@ impl Pipeline {
         let segmenter = Segmenter::new(config.segment);
         let downconvert = match config.frontend {
             Frontend::FullStft => None,
-            Frontend::Downconverted { factor } => {
-                let dc = Downconverter::new(
-                    config.carrier_hz,
-                    config.stft.sample_rate,
-                    factor,
-                    129,
-                );
-                // Same bin width and hop duration as the full-rate STFT;
-                // magnitudes scaled by `factor` so α stays calibrated.
-                let bb = BasebandStft::new(
-                    config.stft.fft_size / factor,
-                    config.stft.hop / factor,
-                    factor as f64,
-                );
-                Some((dc, bb))
-            }
+            Frontend::Downconverted { factor } => Some(make_downconvert(&config, factor)),
         };
         Pipeline { config, stft, downconvert, enhancer, segmenter }
     }
@@ -129,9 +114,7 @@ impl Pipeline {
     /// Returns `None` when the audio is shorter than one analysis frame.
     pub fn roi_spectrogram(&self, audio: &[f64]) -> Option<Spectrogram> {
         let cfg = self.stft.config();
-        let carrier_bin = cfg.frequency_bin(self.config.carrier_hz);
-        let lo = cfg.frequency_bin(self.config.carrier_hz - self.config.roi_span_hz);
-        let hi = cfg.frequency_bin(self.config.carrier_hz + self.config.roi_span_hz);
+        let (lo, hi, carrier_bin) = roi_bins(&self.config);
         let band = hi - lo + 1;
         match &self.downconvert {
             None => {
@@ -290,6 +273,34 @@ impl Default for Pipeline {
     fn default() -> Self {
         Pipeline::new(EchoWriteConfig::paper())
     }
+}
+
+/// The ROI band in full-rate STFT bins: `(lo, hi, carrier_bin)`. Shared by
+/// the batch pipeline and the streaming front-end so both crop the exact
+/// same rows.
+pub(crate) fn roi_bins(config: &EchoWriteConfig) -> (usize, usize, usize) {
+    let cfg = &config.stft;
+    let carrier_bin = cfg.frequency_bin(config.carrier_hz);
+    let lo = cfg.frequency_bin(config.carrier_hz - config.roi_span_hz);
+    let hi = cfg.frequency_bin(config.carrier_hz + config.roi_span_hz);
+    (lo, hi, carrier_bin)
+}
+
+/// Builds the decimating front-end pair. Shared by the batch pipeline and
+/// the streaming front-end so the filter taps and framing geometry are
+/// identical: same bin width and hop duration as the full-rate STFT, with
+/// magnitudes scaled by `factor` so α stays calibrated.
+pub(crate) fn make_downconvert(
+    config: &EchoWriteConfig,
+    factor: usize,
+) -> (Downconverter, BasebandStft) {
+    let dc = Downconverter::new(config.carrier_hz, config.stft.sample_rate, factor, 129);
+    let bb = BasebandStft::new(
+        config.stft.fft_size / factor,
+        config.stft.hop / factor,
+        factor as f64,
+    );
+    (dc, bb)
 }
 
 /// Fills a flat frame-major buffer (`frames × band`) by computing each frame

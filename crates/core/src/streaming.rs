@@ -3,14 +3,36 @@
 //! 5 frames. When the buffer is full, data are fed to the following
 //! processing flowchart" (Sec. IV-A).
 //!
-//! The recognizer accepts arbitrary audio chunks, reprocesses the buffered
-//! window as frames complete, and emits a stroke as soon as its segment has
-//! been stable for a safety margin (the segmenter's own nine-quiet-frames
-//! rule plus a couple of frames). Consumed audio is eventually discarded so
-//! memory stays bounded during long sessions.
+//! Two implementations live behind [`StreamingRecognizer`], selected by
+//! [`StreamingMode`]:
+//!
+//! - **Incremental** (the default for causal configurations such as
+//!   [`EchoWriteConfig::streaming`](crate::EchoWriteConfig::streaming)):
+//!   each [`push`](StreamingRecognizer::push) does O(chunk) work with
+//!   bounded memory — completed STFT hops flow through column-at-a-time
+//!   enhancement, MVCE profile extraction, noise-robust differentiation,
+//!   and a resumable segmenter state machine; nothing is ever re-analyzed.
+//!   The emitted stroke sequence (pushes plus
+//!   [`finish`](StreamingRecognizer::finish)) is bitwise identical to the
+//!   offline [`recognize_strokes`](crate::EchoWrite::recognize_strokes) on
+//!   the concatenated audio, for *any* chunking.
+//! - **Replay** (the original implementation, kept as the differential
+//!   oracle and for non-causal configurations): every push re-analyzes the
+//!   buffered window and emits strokes once they have been stable for a
+//!   safety margin. Emitted strokes are remembered by their absolute
+//!   segment interval (with a small frame tolerance), so re-analyses whose
+//!   boundaries wobble after a buffer trim neither duplicate nor drop
+//!   strokes.
 
+use crate::config::Frontend;
 use crate::engine::EchoWrite;
+use crate::pipeline::{make_downconvert, roi_bins};
+use echowrite_dsp::downconvert::{BasebandScratch, BasebandStft, StreamingDownconverter};
+use echowrite_dsp::stft::StreamingStft;
+use echowrite_dsp::{Complex, Stft};
 use echowrite_dtw::Classification;
+use echowrite_profile::{IncrementalDiff, ProfileBuilder, SegmentedStroke, StreamingSegmenter};
+use echowrite_spectro::IncrementalEnhancer;
 
 /// An emitted streaming event: one recognized stroke.
 #[derive(Debug, Clone)]
@@ -22,6 +44,11 @@ pub struct StrokeEvent {
     /// Segment end, in frames since the session began.
     pub end_frame: usize,
 }
+
+/// Frames of slack when matching a re-analyzed segment against an already
+/// emitted one: boundaries may wobble slightly after a buffer trim because
+/// the replay path's normalization and backtrack windows change.
+const DEDUP_TOLERANCE_FRAMES: usize = 3;
 
 /// A streaming wrapper around an [`EchoWrite`] engine.
 ///
@@ -38,12 +65,166 @@ pub struct StrokeEvent {
 #[derive(Debug)]
 pub struct StreamingRecognizer<'a> {
     engine: &'a EchoWrite,
+    inner: Inner,
+    finished: bool,
+}
+
+#[derive(Debug)]
+enum Inner {
+    Replay(Replay),
+    Incremental(Box<Incremental>),
+}
+
+impl<'a> StreamingRecognizer<'a> {
+    /// Creates a streaming recognizer over an engine, picking the
+    /// incremental or replay implementation per the engine's
+    /// [`StreamingMode`](crate::StreamingMode).
+    pub fn new(engine: &'a EchoWrite) -> Self {
+        let inner = if engine.config().streaming_is_incremental() {
+            Inner::Incremental(Box::new(Incremental::new(engine)))
+        } else {
+            Inner::Replay(Replay::new(engine))
+        };
+        StreamingRecognizer { engine, inner, finished: false }
+    }
+
+    /// Whether this recognizer runs the incremental path.
+    pub fn is_incremental(&self) -> bool {
+        matches!(self.inner, Inner::Incremental(_))
+    }
+
+    /// Overrides the replay path's maximum buffered window (seconds). The
+    /// incremental path has no window; the argument is validated but
+    /// otherwise ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window cannot cover the background-estimation lead-in
+    /// (`fft_size + (static_frames − 1) · hop` samples): a shorter window
+    /// would trim the session's opening frames before the static background
+    /// could ever freeze.
+    pub fn with_window_seconds(mut self, seconds: f64) -> Self {
+        let cfg = self.engine.config();
+        let samples = (seconds * cfg.stft.sample_rate) as usize;
+        let min = cfg.stft.fft_size + (cfg.enhance.static_frames - 1) * cfg.stft.hop;
+        assert!(
+            samples >= min,
+            "window of {samples} samples cannot cover the {min}-sample background lead-in"
+        );
+        if let Inner::Replay(r) = &mut self.inner {
+            r.max_samples = samples;
+        }
+        self
+    }
+
+    /// Appends audio and returns any newly decided strokes. After
+    /// [`StreamingRecognizer::finish`] this is a no-op until
+    /// [`StreamingRecognizer::reset`].
+    pub fn push(&mut self, chunk: &[f64]) -> Vec<StrokeEvent> {
+        if self.finished {
+            return Vec::new();
+        }
+        let mut events = Vec::new();
+        match &mut self.inner {
+            Inner::Replay(r) => r.push(self.engine, chunk, &mut events),
+            Inner::Incremental(inc) => {
+                inc.push_audio(chunk);
+                inc.drain_events(self.engine, &mut events);
+            }
+        }
+        events
+    }
+
+    /// Ends the session, emitting every remaining stroke: the incremental
+    /// path flushes its edge-clamped stages and replays the segmenter's
+    /// end-of-stream checks; the replay path analyzes the final window
+    /// without the stability margin.
+    pub fn finish(&mut self) -> Vec<StrokeEvent> {
+        if self.finished {
+            return Vec::new();
+        }
+        self.finished = true;
+        let mut events = Vec::new();
+        match &mut self.inner {
+            Inner::Replay(r) => r.finish(self.engine, &mut events),
+            Inner::Incremental(inc) => inc.finish(self.engine, &mut events),
+        }
+        events
+    }
+
+    /// The absolute frame up to which strokes have been emitted.
+    pub fn emitted_until(&self) -> usize {
+        match &self.inner {
+            Inner::Replay(r) => r.emitted_until,
+            Inner::Incremental(inc) => inc.emitted_until,
+        }
+    }
+
+    /// Samples currently retained by the recognizer (the replay window, or
+    /// the incremental front-end's pending audio; input-equivalent samples
+    /// for the decimated front-end).
+    pub fn buffered_samples(&self) -> usize {
+        match &self.inner {
+            Inner::Replay(r) => r.buffer.len(),
+            Inner::Incremental(inc) => match &inc.front {
+                Front::Full { sstft, .. } => sstft.pending(),
+                Front::Down(d) => d.baseband.len() * d.sdc.inner().factor(),
+            },
+        }
+    }
+
+    /// Total frames of the session processed so far (absolute frame clock).
+    pub fn frames_processed(&self) -> usize {
+        match &self.inner {
+            Inner::Replay(r) => {
+                let cfg = self.engine.config();
+                let fft = cfg.stft.fft_size;
+                let hop = cfg.stft.hop;
+                let in_buffer = if r.buffer.len() < fft {
+                    0
+                } else {
+                    (r.buffer.len() - fft) / hop + 1
+                };
+                r.dropped_frames + in_buffer
+            }
+            Inner::Incremental(inc) => inc.frames_in,
+        }
+    }
+
+    /// Clears all state for a new session.
+    pub fn reset(&mut self) {
+        let window = match &self.inner {
+            Inner::Replay(r) => Some(r.max_samples),
+            Inner::Incremental(_) => None,
+        };
+        self.inner = if self.engine.config().streaming_is_incremental() {
+            Inner::Incremental(Box::new(Incremental::new(self.engine)))
+        } else {
+            let mut r = Replay::new(self.engine);
+            if let Some(w) = window {
+                r.max_samples = w;
+            }
+            Inner::Replay(r)
+        };
+        self.finished = false;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replay path (full re-analysis per push — the differential oracle)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Replay {
     buffer: Vec<f64>,
     /// Frozen static background captured from the session's opening frames.
     background: Option<Vec<f64>>,
     /// Frames already dropped from the front of the buffer.
     dropped_frames: usize,
-    /// End frame (absolute) of the last emitted stroke.
+    /// Absolute `(start, end)` intervals of emitted strokes, pruned as the
+    /// window moves past them.
+    emitted: Vec<(usize, usize)>,
+    /// Largest emitted end frame.
     emitted_until: usize,
     /// Frames a segment must precede the buffer tail by to be stable.
     stability_margin: usize,
@@ -51,72 +232,67 @@ pub struct StreamingRecognizer<'a> {
     max_samples: usize,
 }
 
-impl<'a> StreamingRecognizer<'a> {
-    /// Creates a streaming recognizer over an engine.
-    pub fn new(engine: &'a EchoWrite) -> Self {
+impl Replay {
+    fn new(engine: &EchoWrite) -> Self {
         let cfg = engine.config();
-        let margin = cfg.segment.end_run + 2;
-        StreamingRecognizer {
-            engine,
+        Replay {
             buffer: Vec::new(),
             background: None,
             dropped_frames: 0,
+            emitted: Vec::new(),
             emitted_until: 0,
-            stability_margin: margin,
+            stability_margin: cfg.segment.end_run + 2,
             // Default window: 12 s of audio.
             max_samples: (12.0 * cfg.stft.sample_rate) as usize,
         }
     }
 
-    /// Overrides the maximum buffered window (seconds).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the window is shorter than one STFT frame.
-    pub fn with_window_seconds(mut self, seconds: f64) -> Self {
-        let cfg = self.engine.config();
-        let samples = (seconds * cfg.stft.sample_rate) as usize;
-        assert!(samples >= cfg.stft.fft_size, "window shorter than one frame");
-        self.max_samples = samples;
-        self
+    /// Whether `[start, end)` matches a stroke that was already emitted,
+    /// within [`DEDUP_TOLERANCE_FRAMES`] of boundary wobble.
+    fn already_emitted(&self, start: usize, end: usize) -> bool {
+        self.emitted
+            .iter()
+            .any(|&(s, e)| start < e + DEDUP_TOLERANCE_FRAMES && s < end + DEDUP_TOLERANCE_FRAMES)
     }
 
-    /// Appends audio and returns any newly stabilized strokes.
-    pub fn push(&mut self, chunk: &[f64]) -> Vec<StrokeEvent> {
+    fn record(&mut self, start: usize, end: usize) {
+        self.emitted.push((start, end));
+        self.emitted_until = self.emitted_until.max(end);
+    }
+
+    fn push(&mut self, engine: &EchoWrite, chunk: &[f64], events: &mut Vec<StrokeEvent>) {
         self.buffer.extend_from_slice(chunk);
-        let cfg = self.engine.config();
+        let cfg = engine.config();
         // Freeze the static background from the session's opening frames
         // (only while the front of the buffer still *is* the opening).
         if self.background.is_none() && self.dropped_frames == 0 {
             let needed = cfg.stft.fft_size + (cfg.enhance.static_frames - 1) * cfg.stft.hop;
             if self.buffer.len() >= needed {
-                self.background = self.engine.pipeline().estimate_background(&self.buffer);
+                self.background = engine.pipeline().estimate_background(&self.buffer);
             }
         }
-        let analysis = self
-            .engine
+        let analysis = engine
             .pipeline()
             .analyze_with_background(&self.buffer, self.background.as_deref());
         let total_frames = analysis.profile.len();
 
-        let mut events = Vec::new();
         for seg in &analysis.segments {
             let abs_start = seg.start + self.dropped_frames;
             let abs_end = seg.end + self.dropped_frames;
-            if abs_start < self.emitted_until {
-                continue; // already emitted
+            if self.already_emitted(abs_start, abs_end) {
+                continue;
             }
             if seg.end + self.stability_margin > total_frames {
                 continue; // may still grow
             }
             let sub = analysis.profile.slice(seg.start, seg.end);
-            let classification = self.engine.classifier().classify(sub.shifts());
+            let classification = engine.classifier().classify(sub.shifts());
             events.push(StrokeEvent {
                 classification,
                 start_frame: abs_start,
                 end_frame: abs_end,
             });
-            self.emitted_until = abs_end;
+            self.record(abs_start, abs_end);
         }
 
         // Trim the front if the buffer outgrew the window, keeping frame
@@ -127,8 +303,9 @@ impl<'a> StreamingRecognizer<'a> {
             let excess = self.buffer.len() - self.max_samples;
             let mut limit = total_frames.saturating_sub(self.stability_margin);
             for seg in &analysis.segments {
+                let abs_start = seg.start + self.dropped_frames;
                 let abs_end = seg.end + self.dropped_frames;
-                if abs_end > self.emitted_until {
+                if !self.already_emitted(abs_start, abs_end) {
                     limit = limit.min(seg.start.saturating_sub(cfg.segment.max_backtrack));
                 }
             }
@@ -136,48 +313,260 @@ impl<'a> StreamingRecognizer<'a> {
             if drop_frames > 0 {
                 self.buffer.drain(..drop_frames * hop);
                 self.dropped_frames += drop_frames;
+                // Forget emitted intervals that fell behind the window.
+                let floor = self.dropped_frames;
+                self.emitted.retain(|&(_, e)| e + DEDUP_TOLERANCE_FRAMES > floor);
             }
         }
-        events
     }
 
-    /// Recognized stroke count so far is implicit in the events returned by
-    /// [`StreamingRecognizer::push`]; this returns the absolute frame up to
-    /// which strokes have been emitted.
-    pub fn emitted_until(&self) -> usize {
-        self.emitted_until
+    /// Final analysis of the remaining window, with the stability margin
+    /// waived — the session is over, nothing can still grow.
+    fn finish(&mut self, engine: &EchoWrite, events: &mut Vec<StrokeEvent>) {
+        let analysis = engine
+            .pipeline()
+            .analyze_with_background(&self.buffer, self.background.as_deref());
+        for seg in &analysis.segments {
+            let abs_start = seg.start + self.dropped_frames;
+            let abs_end = seg.end + self.dropped_frames;
+            if self.already_emitted(abs_start, abs_end) {
+                continue;
+            }
+            let sub = analysis.profile.slice(seg.start, seg.end);
+            let classification = engine.classifier().classify(sub.shifts());
+            events.push(StrokeEvent {
+                classification,
+                start_frame: abs_start,
+                end_frame: abs_end,
+            });
+            self.record(abs_start, abs_end);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental path (O(chunk) per push, batch-equivalent bitwise)
+// ---------------------------------------------------------------------------
+
+/// Per-column processing chain: enhancement → MVCE/SMA → differentiation →
+/// segmentation, every stage emitting values only once final.
+#[derive(Debug)]
+struct Chain {
+    enhancer: IncrementalEnhancer,
+    builder: ProfileBuilder,
+    diff: IncrementalDiff,
+    segmenter: StreamingSegmenter,
+    /// Scratch for the differentiator's output.
+    acc: Vec<f64>,
+}
+
+/// Feeds one final smoothed shift through differentiation into the
+/// segmenter (a free function so disjoint `&mut` borrows survive the
+/// enhancer's sink closure).
+fn feed_shift(
+    diff: &mut IncrementalDiff,
+    segmenter: &mut StreamingSegmenter,
+    acc: &mut Vec<f64>,
+    shift: f64,
+) {
+    segmenter.push_shift(shift);
+    acc.clear();
+    diff.push(shift, acc);
+    for &a in acc.iter() {
+        segmenter.push_acc(a);
+    }
+}
+
+impl Chain {
+    /// Consumes one raw ROI column.
+    fn consume_column(&mut self, raw: &[f64]) {
+        let Chain { enhancer, builder, diff, segmenter, acc } = self;
+        enhancer.push_column(raw, &mut |_, col| {
+            if let Some(s) = builder.push_column(col) {
+                feed_shift(diff, segmenter, acc, s);
+            }
+        });
     }
 
-    /// Buffered samples not yet trimmed.
-    pub fn buffered_samples(&self) -> usize {
-        self.buffer.len()
+    /// Flushes every stage's edge-clamped tail, in dependency order.
+    fn finish(&mut self) {
+        let Chain { enhancer, builder, diff, segmenter, acc } = self;
+        enhancer.finish(&mut |_, col| {
+            if let Some(s) = builder.push_column(col) {
+                feed_shift(diff, segmenter, acc, s);
+            }
+        });
+        if let Some(s) = builder.finish() {
+            feed_shift(diff, segmenter, acc, s);
+        }
+        acc.clear();
+        diff.finish(acc);
+        for &a in acc.iter() {
+            segmenter.push_acc(a);
+        }
     }
+}
 
-    /// Total frames of the session processed so far (absolute frame clock).
-    pub fn frames_processed(&self) -> usize {
-        let cfg = self.engine.config();
-        let fft = cfg.stft.fft_size;
-        let hop = cfg.stft.hop;
-        let in_buffer = if self.buffer.len() < fft {
-            0
-        } else {
-            (self.buffer.len() - fft) / hop + 1
+/// The decimating streaming front-end's state.
+#[derive(Debug)]
+struct Down {
+    sdc: StreamingDownconverter,
+    bb: BasebandStft,
+    scratch: BasebandScratch,
+    /// Baseband samples not yet fully consumed by framing.
+    baseband: Vec<Complex>,
+    /// Absolute index of `baseband[0]`.
+    base: usize,
+    /// Next baseband frame to extract.
+    next_frame: usize,
+    row_lo: usize,
+    row_hi: usize,
+    /// Scratch for one ROI column.
+    band: Vec<f64>,
+}
+
+#[derive(Debug)]
+enum Front {
+    Full { sstft: Box<StreamingStft>, lo: usize, hi: usize },
+    Down(Box<Down>),
+}
+
+#[derive(Debug)]
+struct Incremental {
+    front: Front,
+    chain: Chain,
+    /// Raw spectrogram columns produced by the front-end.
+    frames_in: usize,
+    emitted_until: usize,
+    /// Scratch for segments decided by a poll/finish.
+    seg_scratch: Vec<SegmentedStroke>,
+}
+
+impl Incremental {
+    fn new(engine: &EchoWrite) -> Self {
+        let cfg = engine.config();
+        let (lo, hi, carrier_bin) = roi_bins(cfg);
+        let band = hi - lo + 1;
+        let carrier_row = carrier_bin - lo;
+        // The exact expressions the batch pipeline stores as spectrogram
+        // metadata — bitwise-identical profile scaling.
+        let bin_hz = cfg.stft.sample_rate / cfg.stft.fft_size as f64;
+        let chain = Chain {
+            enhancer: IncrementalEnhancer::new(cfg.enhance, band),
+            builder: ProfileBuilder::new(carrier_row, cfg.guard_bins, bin_hz),
+            diff: IncrementalDiff::new(),
+            segmenter: StreamingSegmenter::new(cfg.segment, cfg.stft.hop_seconds()),
+            acc: Vec::new(),
         };
-        self.dropped_frames + in_buffer
+        let front = match cfg.frontend {
+            Frontend::FullStft => {
+                Front::Full { sstft: Box::new(StreamingStft::new(Stft::new(cfg.stft))), lo, hi }
+            }
+            Frontend::Downconverted { factor } => {
+                let (dc, bb) = make_downconvert(cfg, factor);
+                // Same row geometry as Pipeline::roi_spectrogram.
+                let centre = bb.fft_size() / 2;
+                let (row_lo, row_hi) = (centre - carrier_row, centre + (hi - carrier_bin));
+                Front::Down(Box::new(Down {
+                    sdc: StreamingDownconverter::new(dc),
+                    scratch: bb.make_scratch(),
+                    bb,
+                    baseband: Vec::new(),
+                    base: 0,
+                    next_frame: 0,
+                    row_lo,
+                    row_hi,
+                    band: vec![0.0; band],
+                }))
+            }
+        };
+        Incremental { front, chain, frames_in: 0, emitted_until: 0, seg_scratch: Vec::new() }
     }
 
-    /// Clears all state for a new session.
-    pub fn reset(&mut self) {
-        self.buffer.clear();
-        self.background = None;
-        self.dropped_frames = 0;
-        self.emitted_until = 0;
+    fn push_audio(&mut self, chunk: &[f64]) {
+        let chain = &mut self.chain;
+        let frames = &mut self.frames_in;
+        match &mut self.front {
+            Front::Full { sstft, lo, hi } => {
+                let (lo, hi) = (*lo, *hi);
+                sstft.push_band_into(chunk, lo, hi, |row| {
+                    *frames += 1;
+                    chain.consume_column(row);
+                });
+            }
+            Front::Down(d) => {
+                d.sdc.push(chunk, &mut d.baseband);
+                Self::drain_down(d, frames, chain);
+            }
+        }
+    }
+
+    /// Extracts every completed baseband frame, then compacts the dead
+    /// prefix so memory stays bounded.
+    fn drain_down(d: &mut Down, frames: &mut usize, chain: &mut Chain) {
+        let (size, hop) = (d.bb.fft_size(), d.bb.hop());
+        while d.next_frame * hop + size <= d.base + d.baseband.len() {
+            let start = d.next_frame * hop - d.base;
+            d.bb.frame_rows_into(
+                &d.baseband[start..start + size],
+                d.row_lo,
+                d.row_hi,
+                &mut d.scratch,
+                &mut d.band,
+            );
+            *frames += 1;
+            chain.consume_column(&d.band);
+            d.next_frame += 1;
+        }
+        let dead = d.next_frame * hop - d.base;
+        if dead > 4096 && dead > d.baseband.len() - dead {
+            d.baseband.drain(..dead);
+            d.base += dead;
+        }
+    }
+
+    /// Polls the segmenter and classifies every newly decided stroke.
+    fn drain_events(&mut self, engine: &EchoWrite, events: &mut Vec<StrokeEvent>) {
+        self.seg_scratch.clear();
+        self.chain.segmenter.poll(&mut self.seg_scratch);
+        for stroke in self.seg_scratch.drain(..) {
+            let classification = engine.classifier().classify(&stroke.shifts);
+            self.emitted_until = self.emitted_until.max(stroke.segment.end);
+            events.push(StrokeEvent {
+                classification,
+                start_frame: stroke.segment.start,
+                end_frame: stroke.segment.end,
+            });
+        }
+    }
+
+    fn finish(&mut self, engine: &EchoWrite, events: &mut Vec<StrokeEvent>) {
+        // The full-rate front drops trailing partial frames exactly like the
+        // offline framer; the decimated front must flush the edge-tap
+        // baseband samples the causal filter was still holding back.
+        if let Front::Down(d) = &mut self.front {
+            d.sdc.finish(&mut d.baseband);
+            Self::drain_down(d, &mut self.frames_in, &mut self.chain);
+        }
+        self.chain.finish();
+        self.seg_scratch.clear();
+        self.chain.segmenter.finish(&mut self.seg_scratch);
+        for stroke in self.seg_scratch.drain(..) {
+            let classification = engine.classifier().classify(&stroke.shifts);
+            self.emitted_until = self.emitted_until.max(stroke.segment.end);
+            events.push(StrokeEvent {
+                classification,
+                start_frame: stroke.segment.start,
+                end_frame: stroke.segment.end,
+            });
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::EchoWriteConfig;
     use echowrite_gesture::{Stroke, Writer, WriterParams};
     use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
     use std::sync::OnceLock;
@@ -185,6 +574,11 @@ mod tests {
     fn engine() -> &'static EchoWrite {
         static E: OnceLock<EchoWrite> = OnceLock::new();
         E.get_or_init(EchoWrite::new)
+    }
+
+    fn streaming_engine() -> &'static EchoWrite {
+        static E: OnceLock<EchoWrite> = OnceLock::new();
+        E.get_or_init(|| EchoWrite::with_config(EchoWriteConfig::streaming()))
     }
 
     fn render(strokes: &[Stroke], seed: u64) -> Vec<f64> {
@@ -221,6 +615,82 @@ mod tests {
             }
         }
         assert_eq!(streamed, offline.strokes(), "streaming vs offline mismatch");
+    }
+
+    /// The tentpole guarantee on the incremental path: pushes + finish give
+    /// exactly the offline stroke sequence *and* segment boundaries.
+    #[test]
+    fn incremental_matches_offline_exactly() {
+        let e = streaming_engine();
+        let strokes = [Stroke::S2, Stroke::S5, Stroke::S1];
+        let audio = render_with_tail(&strokes, 21, 1.2);
+        let offline = e.recognize_strokes(&audio);
+
+        let mut stream = StreamingRecognizer::new(e);
+        assert!(stream.is_incremental());
+        let mut events = Vec::new();
+        for chunk in audio.chunks(5 * 1024) {
+            events.extend(stream.push(chunk));
+        }
+        events.extend(stream.finish());
+        assert_eq!(events.len(), offline.segments.len());
+        for (ev, (seg, cls)) in events
+            .iter()
+            .zip(offline.segments.iter().zip(&offline.classifications))
+        {
+            assert_eq!(ev.start_frame, seg.start);
+            assert_eq!(ev.end_frame, seg.end);
+            assert_eq!(ev.classification.stroke, cls.stroke);
+            assert_eq!(ev.classification.scores, cls.scores, "DTW scores must be bitwise equal");
+        }
+        // Pushing after finish is inert.
+        assert!(stream.push(&[0.0; 4096]).is_empty());
+    }
+
+    /// A stroke ending right at the session end is only decidable at
+    /// finish — and must still match offline.
+    #[test]
+    fn incremental_finish_flushes_tail_stroke() {
+        let e = streaming_engine();
+        let audio = render(&[Stroke::S3], 9); // no rest tail
+        let offline = e.recognize_strokes(&audio);
+        let mut stream = StreamingRecognizer::new(e);
+        let mut pushed = Vec::new();
+        for chunk in audio.chunks(4096) {
+            pushed.extend(stream.push(chunk));
+        }
+        let finished = stream.finish();
+        let all: Vec<Stroke> = pushed
+            .iter()
+            .chain(&finished)
+            .map(|ev| ev.classification.stroke)
+            .collect();
+        assert_eq!(all, offline.strokes());
+        assert!(!offline.strokes().is_empty(), "scenario must contain a stroke");
+    }
+
+    #[test]
+    fn incremental_reset_clears_state() {
+        let e = streaming_engine();
+        let mut stream = StreamingRecognizer::new(e);
+        stream.push(&render(&[Stroke::S2], 3));
+        stream.finish();
+        stream.reset();
+        assert_eq!(stream.emitted_until(), 0);
+        assert_eq!(stream.frames_processed(), 0);
+        // Usable again after reset.
+        assert!(stream.push(&vec![0.0; 44_100]).is_empty());
+    }
+
+    #[test]
+    fn replay_mode_can_be_forced() {
+        let cfg = EchoWriteConfig {
+            streaming: crate::config::StreamingMode::Replay,
+            ..EchoWriteConfig::streaming()
+        };
+        let e = EchoWrite::with_config(cfg);
+        let stream = StreamingRecognizer::new(&e);
+        assert!(!stream.is_incremental());
     }
 
     #[test]
@@ -269,6 +739,79 @@ mod tests {
     }
 
     #[test]
+    fn incremental_buffer_stays_bounded() {
+        let e = streaming_engine();
+        let mut stream = StreamingRecognizer::new(e);
+        let audio = render(&[Stroke::S2], 13);
+        for chunk in audio.chunks(8192) {
+            stream.push(chunk);
+        }
+        for _ in 0..40 {
+            stream.push(&vec![0.0; 22_050]);
+        }
+        // The incremental front-end holds at most ~1 FFT window of audio.
+        assert!(
+            stream.buffered_samples() <= 4 * e.config().stft.fft_size,
+            "front-end retained {} samples",
+            stream.buffered_samples()
+        );
+    }
+
+    /// Satellite regression for the dedup rule: a small window forces a
+    /// buffer trim between strokes; re-analysis boundaries then wobble, and
+    /// the old `abs_start < emitted_until` test either duplicated or
+    /// dropped strokes. Interval identity with tolerance must keep the
+    /// streamed sequence equal to offline.
+    #[test]
+    fn trim_between_strokes_neither_duplicates_nor_drops() {
+        let e = engine();
+        let strokes = [Stroke::S2, Stroke::S5];
+        let audio = render_with_tail(&strokes, 17, 1.2);
+        let offline = e.recognize_strokes(&audio);
+        assert_eq!(offline.strokes().len(), 2, "scenario needs two offline strokes");
+
+        let mut stream = StreamingRecognizer::new(e).with_window_seconds(1.2);
+        let mut events = Vec::new();
+        for chunk in audio.chunks(2048) {
+            events.extend(stream.push(chunk));
+        }
+        assert!(
+            stream.buffered_samples() <= (1.2 * 44_100.0) as usize + 2048,
+            "scenario must actually trim the window"
+        );
+        events.extend(stream.finish());
+
+        // No duplicates: re-analyses after a trim wobble segment boundaries
+        // (the window's normalization changes), and the old scalar
+        // `abs_start < emitted_until` check re-emitted or dropped such
+        // strokes. Interval identity must keep every emitted span disjoint.
+        for (i, a) in events.iter().enumerate() {
+            for b in &events[i + 1..] {
+                assert!(
+                    a.end_frame + DEDUP_TOLERANCE_FRAMES <= b.start_frame
+                        || b.end_frame + DEDUP_TOLERANCE_FRAMES <= a.start_frame,
+                    "duplicate emission: {}..{} vs {}..{}",
+                    a.start_frame,
+                    a.end_frame,
+                    b.start_frame,
+                    b.end_frame
+                );
+            }
+        }
+        // No drops: every offline stroke appears, in order (renormalization
+        // of the shrunken window may add spurious detections between
+        // strokes, but must never lose one).
+        let streamed: Vec<Stroke> = events.iter().map(|ev| ev.classification.stroke).collect();
+        let mut it = streamed.iter();
+        for want in offline.strokes() {
+            assert!(
+                it.any(|&s| s == want),
+                "offline stroke {want:?} missing from streamed {streamed:?}"
+            );
+        }
+    }
+
+    #[test]
     fn reset_clears_state() {
         let e = engine();
         let mut stream = StreamingRecognizer::new(e);
@@ -280,9 +823,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "window shorter than one frame")]
+    #[should_panic(expected = "background lead-in")]
     fn rejects_tiny_window() {
         let e = engine();
         let _ = StreamingRecognizer::new(e).with_window_seconds(0.01);
+    }
+
+    /// The window minimum is exactly the background lead-in: one frame plus
+    /// `static_frames − 1` hops.
+    #[test]
+    fn window_minimum_is_background_lead_in() {
+        let e = engine();
+        let cfg = e.config();
+        let min = cfg.stft.fft_size + (cfg.enhance.static_frames - 1) * cfg.stft.hop;
+        let rate = cfg.stft.sample_rate;
+        // Half a sample above/below the boundary avoids float truncation
+        // ambiguity in the seconds → samples conversion.
+        let _ = StreamingRecognizer::new(e).with_window_seconds((min as f64 + 0.5) / rate);
+        let result = std::panic::catch_unwind(|| {
+            let _ = StreamingRecognizer::new(e).with_window_seconds((min as f64 - 0.5) / rate);
+        });
+        assert!(result.is_err(), "one sample short of the lead-in must be rejected");
     }
 }

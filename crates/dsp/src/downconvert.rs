@@ -116,6 +116,117 @@ impl Downconverter {
     }
 }
 
+/// A chunk-driven wrapper around [`Downconverter`] that emits baseband
+/// samples as soon as their FIR window is fully covered by received audio.
+///
+/// Output `k` (centred on input sample `k·factor`) is emitted once sample
+/// `k·factor + half` has arrived; [`StreamingDownconverter::finish`] flushes
+/// the remaining outputs whose windows run past the end of the stream using
+/// the same edge-skip semantics as the offline path. The concatenation of
+/// all emitted samples is bitwise identical to
+/// [`Downconverter::process`] over the concatenated input, independent of
+/// how the audio is chunked: the mixer rotator recurrence (including its
+/// periodic exact re-seeding) is replayed in the same order.
+#[derive(Debug, Clone)]
+pub struct StreamingDownconverter {
+    dc: Downconverter,
+    buffer: Vec<f64>,
+    /// Absolute input index of `buffer[0]`.
+    base: usize,
+    /// Absolute input samples received so far.
+    total_in: usize,
+    /// Next output index to emit.
+    k: usize,
+    rotator: Complex,
+    step: Complex,
+    w: f64,
+}
+
+impl StreamingDownconverter {
+    /// Wraps a down-converter for chunked input.
+    pub fn new(dc: Downconverter) -> Self {
+        let w = std::f64::consts::TAU * dc.carrier_hz / dc.sample_rate;
+        let step = Complex::from_angle(-w * dc.factor as f64);
+        StreamingDownconverter {
+            dc,
+            buffer: Vec::new(),
+            base: 0,
+            total_in: 0,
+            k: 0,
+            rotator: Complex::ONE,
+            step,
+            w,
+        }
+    }
+
+    /// The wrapped down-converter.
+    pub fn inner(&self) -> &Downconverter {
+        &self.dc
+    }
+
+    /// Baseband samples emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.k
+    }
+
+    /// Appends input audio, pushing every newly complete baseband sample
+    /// onto `out`.
+    pub fn push(&mut self, samples: &[f64], out: &mut Vec<Complex>) {
+        self.buffer.extend_from_slice(samples);
+        self.total_in += samples.len();
+        // Output k needs input samples up to k·factor + half inclusive.
+        while self.k * self.dc.factor + self.dc.half < self.total_in {
+            self.emit_one(out);
+        }
+        // Compact once the dead prefix dominates the live tail.
+        let keep = (self.k * self.dc.factor).saturating_sub(self.dc.half);
+        let dead = keep - self.base;
+        if dead > self.buffer.len().saturating_sub(dead) && dead > 4096 {
+            self.buffer.copy_within(dead.., 0);
+            self.buffer.truncate(self.buffer.len() - dead);
+            self.base = keep;
+        }
+    }
+
+    /// Flushes the tail: emits every remaining output `k < total/factor`,
+    /// skipping FIR taps that fall past the end of the stream exactly as the
+    /// offline path does.
+    pub fn finish(&mut self, out: &mut Vec<Complex>) {
+        let n_out = self.total_in / self.dc.factor;
+        while self.k < n_out {
+            self.emit_one(out);
+        }
+    }
+
+    /// Clears all state for a new session.
+    pub fn reset(&mut self) {
+        self.buffer.clear();
+        self.base = 0;
+        self.total_in = 0;
+        self.k = 0;
+        self.rotator = Complex::ONE;
+    }
+
+    fn emit_one(&mut self, out: &mut Vec<Complex>) {
+        let centre = self.k * self.dc.factor;
+        if self.k.is_multiple_of(1024) {
+            self.rotator = Complex::from_angle(-self.w * centre as f64);
+        }
+        let mut acc = Complex::ZERO;
+        let lo = centre as isize - self.dc.half as isize;
+        for (t, &ct) in self.dc.ctaps.iter().enumerate() {
+            let idx = lo + t as isize;
+            if idx < 0 || idx as usize >= self.total_in {
+                continue;
+            }
+            acc += ct.scale(self.buffer[idx as usize - self.base]);
+        }
+        out.push(acc * self.rotator);
+        self.rotator *= self.step;
+        self.k += 1;
+    }
+}
+
 /// Windowed-sinc (Hann) low-pass taps with normalized cutoff `fc` (cycles
 /// per input sample), unity DC gain.
 fn lowpass_taps(num_taps: usize, fc: f64) -> Vec<f64> {
@@ -467,6 +578,85 @@ mod tests {
         let mut scratch = stft.make_scratch();
         let mut out = vec![0.0; 3];
         stft.frame_rows_into(&frame, 10, 20, &mut scratch, &mut out);
+    }
+
+    fn chirp(n: usize) -> Vec<f64> {
+        let fs = 44_100.0;
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                0.02 * (std::f64::consts::TAU * (20_000.0 + 120.0 * (3.0 * t).sin()) * t).sin()
+                    + (std::f64::consts::TAU * 20_000.0 * t).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_downconverter_matches_offline_bitwise() {
+        let audio = chirp(70_001);
+        let dc = Downconverter::paper(32);
+        let offline = dc.process(&audio);
+
+        for chunks in [
+            vec![1usize, 7, 31, 97, 1024, 5000],
+            vec![44_100],
+            vec![3, 3, 3],
+            vec![8192],
+        ] {
+            let mut stream = StreamingDownconverter::new(dc.clone());
+            let mut out = Vec::new();
+            let mut pos = 0usize;
+            let mut ci = 0usize;
+            while pos < audio.len() {
+                let len = chunks[ci % chunks.len()].min(audio.len() - pos);
+                ci += 1;
+                stream.push(&audio[pos..pos + len], &mut out);
+                pos += len;
+            }
+            stream.finish(&mut out);
+            assert_eq!(out.len(), offline.len(), "chunking {chunks:?}");
+            for (i, (s, o)) in out.iter().zip(&offline).enumerate() {
+                assert!(
+                    s.re == o.re && s.im == o.im,
+                    "sample {i} diverges under chunking {chunks:?}: {s:?} vs {o:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_downconverter_buffer_stays_bounded() {
+        let dc = Downconverter::paper(32);
+        let mut stream = StreamingDownconverter::new(dc);
+        let chunk = vec![0.0; 4410];
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            stream.push(&chunk, &mut out);
+            out.clear();
+        }
+        assert!(
+            stream.buffer.len() < 20_000,
+            "buffer grew to {}",
+            stream.buffer.len()
+        );
+    }
+
+    #[test]
+    fn streaming_downconverter_reset_restarts_cleanly() {
+        let audio = chirp(20_000);
+        let dc = Downconverter::paper(32);
+        let offline = dc.process(&audio);
+        let mut stream = StreamingDownconverter::new(dc);
+        let mut out = Vec::new();
+        stream.push(&audio[..9_999], &mut out);
+        stream.reset();
+        out.clear();
+        stream.push(&audio, &mut out);
+        stream.finish(&mut out);
+        assert_eq!(out.len(), offline.len());
+        for (s, o) in out.iter().zip(&offline) {
+            assert!(s.re == o.re && s.im == o.im);
+        }
     }
 
     #[test]

@@ -311,27 +311,52 @@ pub struct StreamingStft {
     /// Index of the first unconsumed sample in `buffer`.
     start: usize,
     scratch: StftScratch,
+    /// Persistent output row handed to `push_band_into` callbacks.
+    band: Vec<f64>,
 }
 
 impl StreamingStft {
     /// Creates a streaming wrapper around a planned STFT.
     pub fn new(stft: Stft) -> Self {
         let scratch = stft.make_scratch();
-        StreamingStft { stft, buffer: Vec::new(), start: 0, scratch }
+        StreamingStft { stft, buffer: Vec::new(), start: 0, scratch, band: Vec::new() }
     }
 
-    /// Appends samples and returns magnitude spectra for every frame that
-    /// became complete.
-    pub fn push(&mut self, samples: &[f64]) -> Vec<Vec<f64>> {
+    /// The STFT plan driving this stream.
+    pub fn stft(&self) -> &Stft {
+        &self.stft
+    }
+
+    /// Appends samples and invokes `on_frame` with the `[lo_bin, hi_bin]`
+    /// magnitudes of every frame that became complete, in order, without
+    /// allocating: the callback borrows a persistent internal row that is
+    /// overwritten by the next frame.
+    ///
+    /// The emitted rows are bitwise identical to [`Stft::process_band`] over
+    /// the concatenated stream, independent of how the samples are chunked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band is invalid (see [`Stft::frame_band_into`]).
+    pub fn push_band_into(
+        &mut self,
+        samples: &[f64],
+        lo_bin: usize,
+        hi_bin: usize,
+        mut on_frame: impl FnMut(&[f64]),
+    ) {
         self.buffer.extend_from_slice(samples);
-        let mut out = Vec::new();
         let (size, hop) = (self.stft.config.fft_size, self.stft.config.hop);
-        let bins = self.stft.bins();
+        self.band.resize(hi_bin.saturating_sub(lo_bin) + 1, 0.0);
         while self.buffer.len() - self.start >= size {
-            let frame = &self.buffer[self.start..self.start + size];
-            let mut row = vec![0.0; bins];
-            self.stft.frame_magnitudes_into(frame, &mut self.scratch, &mut row);
-            out.push(row);
+            self.stft.frame_band_into(
+                &self.buffer[self.start..self.start + size],
+                lo_bin,
+                hi_bin,
+                &mut self.scratch,
+                &mut self.band,
+            );
+            on_frame(&self.band);
             self.start += hop;
         }
         // Compact once the dead prefix dominates the live tail.
@@ -340,6 +365,18 @@ impl StreamingStft {
             self.buffer.truncate(self.buffer.len() - self.start);
             self.start = 0;
         }
+    }
+
+    /// Appends samples and returns magnitude spectra for every frame that
+    /// became complete.
+    ///
+    /// Allocating convenience wrapper around
+    /// [`StreamingStft::push_band_into`]; incremental consumers should use
+    /// the callback form directly.
+    pub fn push(&mut self, samples: &[f64]) -> Vec<Vec<f64>> {
+        let mut out = Vec::new();
+        let hi = self.stft.config.fft_size / 2;
+        self.push_band_into(samples, 0, hi, |row| out.push(row.to_vec()));
         out
     }
 
@@ -522,6 +559,42 @@ mod tests {
         for (a, b) in collected.iter().zip(&offline) {
             for (x, y) in a.iter().zip(b) {
                 assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn push_band_into_matches_process_band_bitwise() {
+        let cfg = StftConfig {
+            fft_size: 256,
+            hop: 64,
+            window: WindowKind::Hann,
+            sample_rate: 8000.0,
+        };
+        let stft = Stft::new(cfg);
+        let sig = tone(1000.0, 8000.0, 2317);
+        let (lo, hi) = (20usize, 45usize);
+        let offline = stft.process_band(&sig, lo, hi);
+
+        for chunk_sizes in [vec![1usize, 13, 97, 500], vec![2317], vec![64]] {
+            let mut streaming = StreamingStft::new(Stft::new(cfg));
+            let mut collected: Vec<Vec<f64>> = Vec::new();
+            let mut pos = 0usize;
+            let mut ci = 0usize;
+            while pos < sig.len() {
+                let len = chunk_sizes[ci % chunk_sizes.len()].min(sig.len() - pos);
+                ci += 1;
+                streaming.push_band_into(&sig[pos..pos + len], lo, hi, |row| {
+                    collected.push(row.to_vec());
+                });
+                pos += len;
+            }
+            assert_eq!(collected.len(), offline.len(), "chunking {chunk_sizes:?}");
+            for (f, (a, b)) in collected.iter().zip(&offline).enumerate() {
+                assert_eq!(a.len(), b.len());
+                for (r, (x, y)) in a.iter().zip(b).enumerate() {
+                    assert!(x == y, "frame {f} bin {r} diverges: {x} vs {y}");
+                }
             }
         }
     }

@@ -16,12 +16,14 @@
 //!    to the nearest zero-shift point) and ends when nine successive points
 //!    fall below γ = β/2 ([`segment`]).
 
+pub mod incremental;
 pub mod mvce;
 pub mod profile;
 pub mod segment;
 pub mod timing;
 
-pub use mvce::extract_profile;
+pub use incremental::{IncrementalDiff, ProfileBuilder, SegmentedStroke, StreamingSegmenter};
+pub use mvce::{column_contour_row, deadzone_hz, extract_profile};
 pub use profile::DopplerProfile;
 pub use segment::{SegmentConfig, Segmenter, StrokeSegment};
 pub use timing::Stopwatch;

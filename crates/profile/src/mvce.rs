@@ -40,30 +40,54 @@ pub fn extract_contour_rows(spec: &Spectrogram, guard_bins: usize) -> Vec<f64> {
     let cf = spec.carrier_row() as f64;
     let mut out = Vec::with_capacity(spec.cols());
     for c in 0..spec.cols() {
-        let mut sum = 0.0;
-        let mut count = 0usize;
-        let mut min_row = usize::MAX;
-        let mut max_row = 0usize;
-        for r in 0..spec.rows() {
-            if (r as f64 - cf).abs() <= guard_bins as f64 {
-                continue;
-            }
-            if spec.get(r, c) != 0.0 {
-                sum += r as f64;
-                count += 1;
-                min_row = min_row.min(r);
-                max_row = max_row.max(r);
-            }
-        }
-        if count == 0 {
-            out.push(0.0);
-        } else if sum / count as f64 > cf {
-            out.push(max_row as f64 - cf);
-        } else {
-            out.push(min_row as f64 - cf);
-        }
+        out.push(contour_row_impl(spec.rows(), cf, guard_bins, |r| spec.get(r, c)));
     }
     out
+}
+
+/// One column of Algorithm 1 on an in-memory binary column — the shared
+/// kernel of the batch and incremental extractors (row-visit and
+/// accumulation order are identical, so the two paths agree bitwise).
+pub fn column_contour_row(column: &[f64], carrier_row: usize, guard_bins: usize) -> f64 {
+    contour_row_impl(column.len(), carrier_row as f64, guard_bins, |r| column[r])
+}
+
+/// The guard deadzone mapping from a contour row offset to Hz:
+/// `sign(r)·(|r| − guard)₊ · bin_hz`. Shared by the batch and incremental
+/// extractors so both compute the exact same float expression.
+pub fn deadzone_hz(row: f64, guard_bins: usize, bin_hz: f64) -> f64 {
+    row.signum() * (row.abs() - guard_bins as f64).max(0.0) * bin_hz
+}
+
+#[inline]
+fn contour_row_impl(
+    rows: usize,
+    cf: f64,
+    guard_bins: usize,
+    mut value: impl FnMut(usize) -> f64,
+) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    let mut min_row = usize::MAX;
+    let mut max_row = 0usize;
+    for r in 0..rows {
+        if (r as f64 - cf).abs() <= guard_bins as f64 {
+            continue;
+        }
+        if value(r) != 0.0 {
+            sum += r as f64;
+            count += 1;
+            min_row = min_row.min(r);
+            max_row = max_row.max(r);
+        }
+    }
+    if count == 0 {
+        0.0
+    } else if sum / count as f64 > cf {
+        max_row as f64 - cf
+    } else {
+        min_row as f64 - cf
+    }
 }
 
 /// Runs full MVCE: contour extraction plus the 3-point moving average,
@@ -99,11 +123,7 @@ pub fn extract_profile_with_guard(spec: &Spectrogram, guard_bins: usize) -> Dopp
     let bin = if spec.bin_hz() > 0.0 { spec.bin_hz() } else { 1.0 };
     let hop = if spec.hop_seconds() > 0.0 { spec.hop_seconds() } else { 1.0 };
     let rows = extract_contour_rows(spec, guard_bins);
-    let guard = guard_bins as f64;
-    let hz: Vec<f64> = rows
-        .iter()
-        .map(|&r| r.signum() * (r.abs() - guard).max(0.0) * bin)
-        .collect();
+    let hz: Vec<f64> = rows.iter().map(|&r| deadzone_hz(r, guard_bins, bin)).collect();
     let smoothed = echowrite_dsp::filters::moving_average(&hz, SMA_WINDOW);
     DopplerProfile::new(smoothed, hop)
 }

@@ -61,6 +61,13 @@ impl DopplerProfile {
         self.shifts.len() as f64 * self.hop_s
     }
 
+    /// Appends one frame's shift (Hz) — the streaming path grows its
+    /// profile incrementally instead of rebuilding it per chunk.
+    #[inline]
+    pub fn append(&mut self, shift_hz: f64) {
+        self.shifts.push(shift_hz);
+    }
+
     /// A sub-profile over frames `[lo, hi)`.
     ///
     /// # Panics

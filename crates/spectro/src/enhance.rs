@@ -23,9 +23,33 @@ pub struct EnhanceConfig {
     pub gaussian_size: usize,
     /// Binarization threshold after zero-one normalization (paper: 0.15).
     pub binarize_threshold: f64,
+    /// How the smoothed magnitudes are normalized before binarization.
+    pub normalization: Normalization,
     /// Optional wideband-burst suppression (the paper's Sec. VII-B future
     /// work); `None` reproduces the published pipeline.
     pub burst_suppression: Option<crate::burst::BurstConfig>,
+}
+
+/// Pre-binarization normalization strategy.
+///
+/// The paper normalizes the smoothed spectrogram to `[0, 1]` by its global
+/// maximum before applying the 0.15 binarization threshold. That global
+/// maximum is only known once the whole session has been observed, which
+/// makes the stage non-causal: a truly incremental pipeline cannot reproduce
+/// it without revisiting emitted columns. [`Normalization::FixedScale`]
+/// replaces the data-dependent maximum with a calibrated constant, making
+/// binarization a pointwise (and therefore streamable) operation:
+/// `binarize(x / s, t)` is computed as `binarize(x, t·s)` without touching
+/// the data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Normalization {
+    /// Divide by the session-global maximum (the paper's offline behavior).
+    GlobalZeroOne,
+    /// Assume a fixed full-scale value `s`; the effective binarization
+    /// threshold becomes `binarize_threshold · s` on raw smoothed
+    /// magnitudes. Calibrated against the synthesizer's amplitude scale the
+    /// same way α is.
+    FixedScale(f64),
 }
 
 impl EnhanceConfig {
@@ -37,7 +61,23 @@ impl EnhanceConfig {
             alpha: 8.0,
             gaussian_size: 5,
             binarize_threshold: 0.15,
+            normalization: Normalization::GlobalZeroOne,
             burst_suppression: None,
+        }
+    }
+
+    /// The paper pipeline with causal [`Normalization::FixedScale`]
+    /// normalization, as required by the incremental streaming path.
+    ///
+    /// The full-scale constant 55 is calibrated against the synthesizer's
+    /// amplitude scale (observed smoothed-stage maxima span roughly 36–73
+    /// across scenes and front-ends), so the effective binarization
+    /// threshold `0.15 × 55 = 8.25` sits inside the range the offline
+    /// global-max normalization produces.
+    pub fn streaming() -> Self {
+        EnhanceConfig {
+            normalization: Normalization::FixedScale(55.0),
+            ..EnhanceConfig::paper()
         }
     }
 
@@ -73,6 +113,11 @@ impl EnhanceConfig {
         }
         if self.alpha < 0.0 {
             return Err(format!("alpha must be non-negative, got {}", self.alpha));
+        }
+        if let Normalization::FixedScale(s) = self.normalization {
+            if !s.is_finite() || s <= 0.0 {
+                return Err(format!("fixed normalization scale must be finite and positive, got {s}"));
+            }
         }
         if let Some(b) = &self.burst_suppression {
             b.validate()?;
@@ -163,8 +208,15 @@ impl Enhancer {
             work = crate::burst::suppress_bursts(&work, *cfg).0;
         }
         image::gaussian_filter_2d_in_place(&mut work, c.gaussian_size);
-        echowrite_dsp::util::normalize_zero_one(work.data_mut());
-        image::binarize_in_place(&mut work, c.binarize_threshold);
+        match c.normalization {
+            Normalization::GlobalZeroOne => {
+                echowrite_dsp::util::normalize_zero_one(work.data_mut());
+                image::binarize_in_place(&mut work, c.binarize_threshold);
+            }
+            Normalization::FixedScale(scale) => {
+                image::binarize_in_place(&mut work, c.binarize_threshold * scale);
+            }
+        }
         image::fill_holes_in_place(&mut work);
         work
     }
@@ -222,8 +274,15 @@ impl Enhancer {
             None => thresholded,
         };
         let smoothed = image::gaussian_filter_2d(&thresholded, c.gaussian_size);
-        let normalized = image::normalize_zero_one(&smoothed);
-        let binary0 = image::binarize(&normalized, c.binarize_threshold);
+        let binary0 = match c.normalization {
+            Normalization::GlobalZeroOne => {
+                let normalized = image::normalize_zero_one(&smoothed);
+                image::binarize(&normalized, c.binarize_threshold)
+            }
+            Normalization::FixedScale(scale) => {
+                image::binarize(&smoothed, c.binarize_threshold * scale)
+            }
+        };
         let binary = image::fill_holes(&binary0);
         EnhanceStages { raw, subtracted, smoothed, binary }
     }
@@ -285,6 +344,13 @@ mod tests {
         let mut c = EnhanceConfig::paper();
         c.alpha = -1.0;
         assert!(c.validate().is_err());
+        let mut c = EnhanceConfig::paper();
+        c.normalization = Normalization::FixedScale(0.0);
+        assert!(c.validate().is_err());
+        let mut c = EnhanceConfig::paper();
+        c.normalization = Normalization::FixedScale(f64::NAN);
+        assert!(c.validate().is_err());
+        EnhanceConfig::streaming().validate().unwrap();
     }
 
     #[test]
@@ -362,7 +428,11 @@ mod tests {
     /// without burst suppression.
     #[test]
     fn fast_path_is_identical_to_staged_path() {
-        for cfg in [EnhanceConfig::paper(), EnhanceConfig::with_burst_suppression()] {
+        for cfg in [
+            EnhanceConfig::paper(),
+            EnhanceConfig::with_burst_suppression(),
+            EnhanceConfig::streaming(),
+        ] {
             let e = Enhancer::new(cfg);
             for (rows, cols) in [(64, 40), (32, 3), (16, 1)] {
                 let spec = synthetic(rows, cols);

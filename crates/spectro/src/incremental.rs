@@ -1,0 +1,689 @@
+//! Column-at-a-time enhancement for the incremental streaming path.
+//!
+//! [`IncrementalEnhancer`] consumes raw ROI spectrogram columns one at a
+//! time and emits finished binary columns as soon as they can no longer
+//! change, producing output bitwise identical to running the offline
+//! [`Enhancer::enhance`](crate::Enhancer::enhance) chain over the whole
+//! session at once. Per-stage finality:
+//!
+//! - **median 3×3** — column `m` is an order statistic of a clamped window;
+//!   final once raw column `m+1` exists (the last column clamps at finish).
+//! - **background** — the per-row mean of the first `static_frames` median
+//!   columns; frozen as soon as those columns are final, after which
+//!   subtraction and the α threshold are pointwise.
+//! - **Gaussian 5×5** — separable; the horizontal pass needs two columns of
+//!   lookahead, the vertical pass is column-local.
+//! - **binarization** — requires [`Normalization::FixedScale`]: the paper's
+//!   global-max normalization is non-causal, so the streaming configuration
+//!   trades it for a calibrated constant full-scale (see
+//!   [`EnhanceConfig::streaming`]).
+//! - **hole filling** — incremental union-find over per-column runs of
+//!   background pixels. Border contact is monotone (once a region touches
+//!   the border it stays unfillable) and regions are decided the moment
+//!   they close (no run in the newest column), so columns are emitted in
+//!   order with bounded delay: a column waits only while a hole spanning it
+//!   is still open.
+
+use crate::enhance::{EnhanceConfig, Normalization};
+use crate::spectrogram::Spectrogram;
+use echowrite_dsp::filters::gaussian_kernel;
+use std::collections::VecDeque;
+
+/// Streaming counterpart of [`Enhancer`](crate::Enhancer): push raw ROI
+/// columns, receive finished binary columns, batch-equivalent bitwise.
+///
+/// # Example
+///
+/// ```
+/// use echowrite_spectro::{EnhanceConfig, IncrementalEnhancer};
+/// let mut inc = IncrementalEnhancer::new(EnhanceConfig::streaming(), 16);
+/// let mut got = Vec::new();
+/// inc.push_column(&vec![1.0; 16], &mut |_, col| got.push(col.to_vec()));
+/// inc.finish(&mut |_, col| got.push(col.to_vec()));
+/// assert_eq!(got.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct IncrementalEnhancer {
+    cfg: EnhanceConfig,
+    rows: usize,
+    /// Effective binarization threshold on raw smoothed magnitudes.
+    binarize_at: f64,
+    kernel: Vec<f64>,
+    ghalf: usize,
+    mhalf: usize,
+    /// Raw columns retained for the median window.
+    raw: ColStore,
+    /// Raw columns received.
+    raw_n: usize,
+    /// Median columns finalized.
+    med_n: usize,
+    /// Median columns buffered until the background freezes.
+    pre_bg: Vec<Vec<f64>>,
+    background: Option<Vec<f64>>,
+    /// Subtracted+thresholded columns retained for the Gaussian window.
+    thr: ColStore,
+    thr_n: usize,
+    /// Columns fully smoothed, binarized, and handed to hole filling.
+    h_n: usize,
+    holes: HoleFiller,
+    med_window: Vec<f64>,
+    finished: bool,
+}
+
+impl IncrementalEnhancer {
+    /// Creates an incremental enhancer for columns of `rows` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation, uses
+    /// [`Normalization::GlobalZeroOne`] (non-causal), or enables burst
+    /// suppression (not yet streamable), or if `rows` is zero.
+    pub fn new(cfg: EnhanceConfig, rows: usize) -> Self {
+        if let Err(msg) = cfg.validate() {
+            // echolint: allow(no-panic-path) -- documented `# Panics` contract of IncrementalEnhancer::new
+            panic!("invalid enhancement config: {msg}");
+        }
+        assert!(rows > 0, "columns need at least one row");
+        let scale = match cfg.normalization {
+            Normalization::FixedScale(s) => s,
+            Normalization::GlobalZeroOne => {
+                // echolint: allow(no-panic-path) -- documented `# Panics` contract of IncrementalEnhancer::new
+                panic!("incremental enhancement requires Normalization::FixedScale")
+            }
+        };
+        assert!(
+            cfg.burst_suppression.is_none(),
+            "incremental enhancement does not support burst suppression"
+        );
+        let kernel = gaussian_kernel(cfg.gaussian_size, None);
+        let ghalf = kernel.len() / 2;
+        let mhalf = cfg.median_size / 2;
+        IncrementalEnhancer {
+            binarize_at: cfg.binarize_threshold * scale,
+            rows,
+            kernel,
+            ghalf,
+            mhalf,
+            raw: ColStore::default(),
+            raw_n: 0,
+            med_n: 0,
+            pre_bg: Vec::new(),
+            background: None,
+            thr: ColStore::default(),
+            thr_n: 0,
+            h_n: 0,
+            holes: HoleFiller::new(rows),
+            med_window: vec![0.0; cfg.median_size * cfg.median_size],
+            cfg,
+            finished: false,
+        }
+    }
+
+    /// Raw columns received so far.
+    pub fn columns_in(&self) -> usize {
+        self.raw_n
+    }
+
+    /// Binary columns emitted so far.
+    pub fn columns_out(&self) -> usize {
+        self.holes.next_emit
+    }
+
+    /// Appends one raw ROI column; `sink` receives `(column_index, binary
+    /// column)` for every output column that became final.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw.len() != rows` or the enhancer is already finished.
+    pub fn push_column(&mut self, raw: &[f64], sink: &mut impl FnMut(usize, &[f64])) {
+        assert!(!self.finished, "push_column after finish");
+        assert_eq!(raw.len(), self.rows, "column length mismatch");
+        let mut col = Vec::with_capacity(self.rows);
+        col.extend_from_slice(raw);
+        self.raw.push(col);
+        self.raw_n += 1;
+        self.advance(None, sink);
+    }
+
+    /// Ends the session: flushes edge-clamped columns and closes every open
+    /// hole region. Output columns emitted before and during `finish`
+    /// concatenate to exactly the offline enhancement of the whole session.
+    pub fn finish(&mut self, sink: &mut impl FnMut(usize, &[f64])) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if self.raw_n == 0 {
+            return;
+        }
+        self.advance(Some(self.raw_n), sink);
+        self.holes.finish(sink);
+    }
+
+    /// Runs every stage as far as finality allows; `total` is the session
+    /// column count once known (at finish).
+    fn advance(&mut self, total: Option<usize>, sink: &mut impl FnMut(usize, &[f64])) {
+        // Stage 1: median columns, then background freeze + subtraction + α.
+        loop {
+            let m = self.med_n;
+            let computable = match total {
+                Some(t) => m < t,
+                // Column m clamps columns up to m + mhalf; final once the
+                // window's rightmost real column exists.
+                None => m + self.mhalf < self.raw_n,
+            };
+            if !computable {
+                break;
+            }
+            let col = self.median_column(m, total);
+            self.med_n += 1;
+            self.raw.trim_to(self.med_n.saturating_sub(self.mhalf));
+            if self.background.is_some() {
+                self.accept_median(col);
+            } else {
+                self.pre_bg.push(col);
+                let freeze = self.pre_bg.len() == self.cfg.static_frames
+                    || total == Some(self.med_n);
+                if freeze {
+                    self.freeze_background();
+                }
+            }
+        }
+        // Stage 2: Gaussian smoothing (two-column lookahead), binarization,
+        // and incremental hole filling.
+        loop {
+            let c = self.h_n;
+            let computable = match total {
+                Some(t) => c < t,
+                None => c + self.ghalf < self.thr_n,
+            };
+            if !computable {
+                break;
+            }
+            let col = self.smooth_binarize_column(c, total);
+            self.h_n += 1;
+            self.thr.trim_to(self.h_n.saturating_sub(self.ghalf));
+            self.holes.push_column(col, sink);
+        }
+    }
+
+    /// Order-statistic median of the clamped window centred on column `m`,
+    /// identical to [`crate::image::median_filter_2d`].
+    fn median_column(&mut self, m: usize, total: Option<usize>) -> Vec<f64> {
+        let size = self.cfg.median_size;
+        let mid = (size * size) / 2;
+        let hi_col = match total {
+            Some(t) => t - 1,
+            None => self.raw_n - 1,
+        };
+        let mut out = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            let mut n = 0;
+            for dr in -(self.mhalf as isize)..=self.mhalf as isize {
+                let rr = (r as isize + dr).clamp(0, self.rows as isize - 1) as usize;
+                for dc in -(self.mhalf as isize)..=self.mhalf as isize {
+                    let cc = (m as isize + dc).clamp(0, hi_col as isize) as usize;
+                    self.med_window[n] = self.raw.get(cc)[rr];
+                    n += 1;
+                }
+            }
+            let (_, v, _) = self.med_window.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+            out.push(*v);
+        }
+        out
+    }
+
+    /// Freezes the background as the per-row mean (ascending column order,
+    /// matching `row[..n].iter().sum()`) of the buffered median columns,
+    /// then flushes them through subtraction and the α threshold.
+    fn freeze_background(&mut self) {
+        let n = self.pre_bg.len();
+        debug_assert!(n > 0);
+        let mut bg = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            let mut sum = 0.0;
+            for col in &self.pre_bg {
+                sum += col[r];
+            }
+            bg.push(sum / n as f64);
+        }
+        self.background = Some(bg);
+        let buffered = std::mem::take(&mut self.pre_bg);
+        for col in buffered {
+            self.accept_median(col);
+        }
+    }
+
+    /// Background subtraction (clamped at zero) plus the α threshold,
+    /// pointwise as in the offline chain.
+    fn accept_median(&mut self, mut col: Vec<f64>) {
+        debug_assert!(self.background.is_some());
+        if let Some(bg) = &self.background {
+            for (v, &b) in col.iter_mut().zip(bg) {
+                let d = (*v - b).max(0.0);
+                *v = if d < self.cfg.alpha { 0.0 } else { d };
+            }
+        }
+        self.thr.push(col);
+        self.thr_n += 1;
+    }
+
+    /// Horizontal then vertical Gaussian pass for column `c` (accumulation
+    /// order identical to [`crate::image::gaussian_filter_2d_in_place`]),
+    /// then fixed-scale binarization.
+    fn smooth_binarize_column(&mut self, c: usize, total: Option<usize>) -> Vec<f64> {
+        let half = self.ghalf as isize;
+        let hi_col = total.map(|t| t as isize - 1);
+        let mut hcol = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for (k, &kv) in self.kernel.iter().enumerate() {
+                let mut cc = (c as isize + k as isize - half).max(0);
+                if let Some(hi) = hi_col {
+                    cc = cc.min(hi);
+                }
+                acc += kv * self.thr.get(cc as usize)[r];
+            }
+            hcol.push(acc);
+        }
+        let mut out = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for (k, &kv) in self.kernel.iter().enumerate() {
+                let rr = (r as isize + k as isize - half).clamp(0, self.rows as isize - 1) as usize;
+                acc += kv * hcol[rr];
+            }
+            out.push(if acc >= self.binarize_at { 1.0 } else { 0.0 });
+        }
+        out
+    }
+}
+
+/// Absolute-indexed window of retained columns.
+#[derive(Debug, Default)]
+struct ColStore {
+    base: usize,
+    cols: VecDeque<Vec<f64>>,
+}
+
+impl ColStore {
+    fn push(&mut self, col: Vec<f64>) {
+        self.cols.push_back(col);
+    }
+
+    fn get(&self, i: usize) -> &[f64] {
+        &self.cols[i - self.base]
+    }
+
+    fn trim_to(&mut self, lo: usize) {
+        while self.base < lo && !self.cols.is_empty() {
+            self.cols.pop_front();
+            self.base += 1;
+        }
+    }
+}
+
+/// Incremental hole filling: union-find over per-column background runs.
+///
+/// Equivalent to [`crate::image::fill_holes_in_place`]: a background pixel
+/// is filled iff its 4-connected background component never touches the
+/// image border. Components are decided as soon as they either touch the
+/// border (decision "keep 0", monotone) or close (no run in the newest
+/// column — nothing later can reconnect, decision "fill"). Finished columns
+/// are emitted strictly in order.
+#[derive(Debug)]
+struct HoleFiller {
+    rows: usize,
+    parent: Vec<usize>,
+    /// Root-indexed: component touches the border.
+    border: Vec<bool>,
+    /// Root-indexed: newest column holding one of the component's runs.
+    last_col: Vec<usize>,
+    /// Background runs `(r0, r1, node)` of the newest pushed column.
+    frontier: Vec<(usize, usize, usize)>,
+    pending: VecDeque<PendingCol>,
+    pushed: usize,
+    next_emit: usize,
+}
+
+#[derive(Debug)]
+struct PendingCol {
+    data: Vec<f64>,
+    runs: Vec<(usize, usize, usize)>,
+}
+
+impl HoleFiller {
+    fn new(rows: usize) -> Self {
+        HoleFiller {
+            rows,
+            parent: Vec::new(),
+            border: Vec::new(),
+            last_col: Vec::new(),
+            frontier: Vec::new(),
+            pending: VecDeque::new(),
+            pushed: 0,
+            next_emit: 0,
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        self.parent[rb] = ra;
+        self.border[ra] |= self.border[rb];
+        self.last_col[ra] = self.last_col[ra].max(self.last_col[rb]);
+    }
+
+    fn new_node(&mut self, col: usize, border: bool) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.border.push(border);
+        self.last_col.push(col);
+        id
+    }
+
+    fn push_column(&mut self, data: Vec<f64>, sink: &mut impl FnMut(usize, &[f64])) {
+        let c = self.pushed;
+        self.pushed += 1;
+        let mut runs: Vec<(usize, usize, usize)> = Vec::new();
+        let mut r = 0;
+        while r < self.rows {
+            if data[r] == 0.0 {
+                let r0 = r;
+                while r + 1 < self.rows && data[r + 1] == 0.0 {
+                    r += 1;
+                }
+                let r1 = r;
+                let touches_border = r0 == 0 || r1 == self.rows - 1 || c == 0;
+                let node = self.new_node(c, touches_border);
+                // 4-connectivity: union with row-overlapping runs of the
+                // previous column.
+                let prev = std::mem::take(&mut self.frontier);
+                for &(p0, p1, pn) in &prev {
+                    if p0 <= r1 && r0 <= p1 {
+                        self.union(node, pn);
+                        let root = self.find(node);
+                        self.last_col[root] = c;
+                    }
+                }
+                self.frontier = prev;
+                runs.push((r0, r1, node));
+            }
+            r += 1;
+        }
+        self.frontier.clear();
+        self.frontier.extend_from_slice(&runs);
+        self.pending.push_back(PendingCol { data, runs });
+        self.drain(false, sink);
+        self.maybe_compact();
+    }
+
+    /// Emits pending columns from the front while every run in them is
+    /// decided (border, or closed before the newest column).
+    fn drain(&mut self, final_flush: bool, sink: &mut impl FnMut(usize, &[f64])) {
+        loop {
+            let newest = self.pushed.wrapping_sub(1);
+            let runs: Vec<(usize, usize, usize)> = match self.pending.front() {
+                None => break,
+                Some(front) => front.runs.clone(),
+            };
+            let mut decided = true;
+            for &(_, _, node) in &runs {
+                let root = self.find(node);
+                if !(self.border[root] || final_flush || self.last_col[root] < newest) {
+                    decided = false;
+                    break;
+                }
+            }
+            if !decided {
+                break;
+            }
+            if let Some(mut front) = self.pending.pop_front() {
+                for &(r0, r1, node) in &front.runs {
+                    let root = self.find(node);
+                    if !self.border[root] {
+                        for v in &mut front.data[r0..=r1] {
+                            *v = 1.0;
+                        }
+                    }
+                }
+                sink(self.next_emit, &front.data);
+                self.next_emit += 1;
+            }
+        }
+    }
+
+    /// Marks the final column's runs as border-connected (the right image
+    /// edge) and flushes everything still pending.
+    fn finish(&mut self, sink: &mut impl FnMut(usize, &[f64])) {
+        let frontier = std::mem::take(&mut self.frontier);
+        for &(_, _, node) in &frontier {
+            let root = self.find(node);
+            self.border[root] = true;
+        }
+        self.drain(true, sink);
+        debug_assert!(self.pending.is_empty());
+    }
+
+    /// Rebuilds the union-find arena once nothing but the frontier is live,
+    /// bounding memory over arbitrarily long sessions.
+    fn maybe_compact(&mut self) {
+        if !self.pending.is_empty() || self.parent.len() < 4096 {
+            return;
+        }
+        let frontier = std::mem::take(&mut self.frontier);
+        let mut roots: Vec<(usize, usize)> = Vec::new();
+        let mut fresh: Vec<(usize, usize, usize)> = Vec::with_capacity(frontier.len());
+        let mut parent = Vec::new();
+        let mut border = Vec::new();
+        let mut last_col = Vec::new();
+        for &(r0, r1, node) in &frontier {
+            let root = self.find(node);
+            let id = match roots.iter().find(|&&(old, _)| old == root) {
+                Some(&(_, id)) => id,
+                None => {
+                    let id = parent.len();
+                    parent.push(id);
+                    border.push(self.border[root]);
+                    last_col.push(self.last_col[root]);
+                    roots.push((root, id));
+                    id
+                }
+            };
+            fresh.push((r0, r1, id));
+        }
+        self.parent = parent;
+        self.border = border;
+        self.last_col = last_col;
+        self.frontier = fresh;
+    }
+}
+
+/// Convenience: runs a whole spectrogram through the incremental enhancer
+/// and reassembles the result (testing / diagnostics; the streaming path
+/// consumes columns directly).
+pub fn enhance_incrementally(cfg: EnhanceConfig, spec: &Spectrogram) -> Spectrogram {
+    let mut out = Spectrogram::zeros(spec.rows(), spec.cols());
+    out.set_carrier_row(spec.carrier_row());
+    if spec.cols() == 0 {
+        return out;
+    }
+    let mut inc = IncrementalEnhancer::new(cfg, spec.rows());
+    let mut cols: Vec<Vec<f64>> = Vec::new();
+    let mut sink = |_idx: usize, col: &[f64]| cols.push(col.to_vec());
+    for c in 0..spec.cols() {
+        inc.push_column(&spec.column(c), &mut sink);
+    }
+    inc.finish(&mut sink);
+    assert_eq!(cols.len(), spec.cols(), "incremental enhancer lost columns");
+    for (c, col) in cols.iter().enumerate() {
+        for (r, &v) in col.iter().enumerate() {
+            out.set(r, c, v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enhance::Enhancer;
+
+    /// Synthetic ROI spectrogram with a carrier, noise floor, a stroke blob,
+    /// and a deliberate enclosed hole after binarization.
+    fn synthetic(rows: usize, cols: usize, seed: u64) -> Spectrogram {
+        let mut s = Spectrogram::zeros(rows, cols);
+        let cf = s.carrier_row();
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for c in 0..cols {
+            for r in 0..rows {
+                s.set(r, c, next() * 2.0);
+            }
+            s.set(cf, c, 900.0);
+            if c >= 8 && cols > 14 && c < cols - 4 {
+                let k = (c - 8) as f64 / (cols - 12) as f64;
+                let peak = cf + 3 + (10.0 * (std::f64::consts::PI * k).sin()) as usize;
+                for r in cf + 1..=peak.min(rows - 1) {
+                    // Carve a hole in the middle of the blob.
+                    let v = if r == cf + 2 && (10..14).contains(&c) { 0.0 } else { 60.0 };
+                    s.set(r, c, v);
+                }
+            }
+        }
+        s
+    }
+
+    fn assert_bitwise_equal(a: &Spectrogram, b: &Spectrogram, label: &str) {
+        assert_eq!(a.rows(), b.rows(), "{label}: rows");
+        assert_eq!(a.cols(), b.cols(), "{label}: cols");
+        for c in 0..a.cols() {
+            for r in 0..a.rows() {
+                assert!(
+                    a.get(r, c) == b.get(r, c),
+                    "{label}: cell ({r}, {c}) diverges: {} vs {}",
+                    a.get(r, c),
+                    b.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_batch_across_shapes() {
+        let cfg = EnhanceConfig::streaming();
+        let batch = Enhancer::new(cfg);
+        for cols in [1usize, 2, 3, 4, 5, 6, 7, 8, 12, 40] {
+            for rows in [9usize, 32] {
+                let spec = synthetic(rows, cols, (rows * 100 + cols) as u64);
+                let offline = batch.enhance(&spec);
+                let streamed = enhance_incrementally(cfg, &spec);
+                assert_bitwise_equal(&streamed, &offline, &format!("{rows}×{cols}"));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_batch_on_quiet_input() {
+        let cfg = EnhanceConfig::streaming();
+        let spec = Spectrogram::zeros(24, 30);
+        let offline = Enhancer::new(cfg).enhance(&spec);
+        let streamed = enhance_incrementally(cfg, &spec);
+        assert_bitwise_equal(&streamed, &offline, "quiet");
+    }
+
+    #[test]
+    fn holes_enclosed_across_many_columns_still_fill() {
+        // A long horizontal tube: 1-borders above and below, open for many
+        // columns, sealed at both ends — must fill exactly like the batch
+        // flood fill, exercising the long-pending drain path.
+        let rows = 11;
+        let cols = 60;
+        let mut spec = Spectrogram::zeros(rows, cols);
+        for c in 4..50 {
+            for r in 3..8 {
+                spec.set(r, c, if (4..7).contains(&r) && (5..49).contains(&c) { 0.0 } else { 60.0 });
+            }
+        }
+        // Feed pre-binarized data through the shared hole filler directly.
+        let mut filler = HoleFiller::new(rows);
+        let mut got: Vec<Vec<f64>> = Vec::new();
+        for c in 0..cols {
+            let col: Vec<f64> = (0..rows)
+                .map(|r| if spec.get(r, c) > 0.0 { 1.0 } else { 0.0 })
+                .collect();
+            filler.push_column(col, &mut |_, col| got.push(col.to_vec()));
+        }
+        filler.finish(&mut |_, col| got.push(col.to_vec()));
+        assert_eq!(got.len(), cols);
+        let mut bin = Spectrogram::zeros(rows, cols);
+        for (c, col) in got.iter().enumerate() {
+            for (r, &v) in col.iter().enumerate() {
+                bin.set(r, c, v);
+            }
+        }
+        let mut reference = Spectrogram::zeros(rows, cols);
+        for c in 0..cols {
+            for r in 0..rows {
+                reference.set(r, c, if spec.get(r, c) > 0.0 { 1.0 } else { 0.0 });
+            }
+        }
+        let expected = crate::image::fill_holes(&reference);
+        assert_bitwise_equal(&bin, &expected, "tube");
+    }
+
+    #[test]
+    fn compaction_keeps_long_sessions_bounded_and_correct() {
+        let rows = 9;
+        let mut filler = HoleFiller::new(rows);
+        let mut emitted = 0usize;
+        // Alternate small blobs and quiet gaps for many columns; quiet
+        // columns are border-connected, so pending drains and compaction
+        // can run.
+        for c in 0..30_000usize {
+            let col: Vec<f64> = (0..rows)
+                .map(|r| if c % 7 < 3 && (3..6).contains(&r) { 1.0 } else { 0.0 })
+                .collect();
+            filler.push_column(col, &mut |_, _| emitted += 1);
+        }
+        filler.finish(&mut |_, _| emitted += 1);
+        assert_eq!(emitted, 30_000);
+        assert!(
+            filler.parent.len() < 10_000,
+            "union-find arena grew to {}",
+            filler.parent.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires Normalization::FixedScale")]
+    fn rejects_global_normalization() {
+        IncrementalEnhancer::new(EnhanceConfig::paper(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst suppression")]
+    fn rejects_burst_suppression() {
+        let cfg = EnhanceConfig {
+            burst_suppression: Some(crate::burst::BurstConfig::nominal()),
+            ..EnhanceConfig::streaming()
+        };
+        IncrementalEnhancer::new(cfg, 8);
+    }
+}

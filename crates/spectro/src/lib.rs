@@ -19,8 +19,10 @@
 pub mod burst;
 pub mod enhance;
 pub mod image;
+pub mod incremental;
 pub mod spectrogram;
 
 pub use burst::BurstConfig;
-pub use enhance::{EnhanceConfig, EnhanceStages, Enhancer};
+pub use enhance::{EnhanceConfig, EnhanceStages, Enhancer, Normalization};
+pub use incremental::IncrementalEnhancer;
 pub use spectrogram::Spectrogram;

@@ -1,0 +1,145 @@
+//! The streaming batch-equivalence guarantee (DESIGN.md §6.3), as a
+//! property: for *arbitrary* chunkings of the input audio, the incremental
+//! [`StreamingRecognizer`] emits exactly the segments and classifications
+//! of the offline [`EchoWrite::recognize_strokes`] on the concatenated
+//! session — same boundaries, same DTW scores, bitwise — on both the
+//! full-rate and the down-converted front-end.
+
+use echowrite::{EchoWrite, EchoWriteConfig, StreamingRecognizer, StrokeRecognition};
+use echowrite_gesture::{Stroke, Writer, WriterParams};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One engine per front-end, both with the causal streaming enhancement.
+fn engines() -> &'static [EchoWrite; 2] {
+    static E: OnceLock<[EchoWrite; 2]> = OnceLock::new();
+    E.get_or_init(|| {
+        [
+            EchoWrite::with_config(EchoWriteConfig::streaming()),
+            EchoWrite::with_config(EchoWriteConfig::streaming_downsampled(32)),
+        ]
+    })
+}
+
+struct Case {
+    name: &'static str,
+    audio: Vec<f64>,
+    /// Offline oracle per engine, computed once.
+    offline: [StrokeRecognition; 2],
+}
+
+fn render(strokes: &[Stroke], seed: u64, tail: f64) -> Vec<f64> {
+    let perf = Writer::new(WriterParams::nominal(), seed).write_sequence(strokes);
+    let mut traj = perf.trajectory;
+    if tail > 0.0 {
+        let last = *traj.points().last().expect("non-empty trajectory");
+        traj.hold(last, tail);
+    }
+    Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), seed).render(&traj)
+}
+
+fn pool() -> &'static Vec<Case> {
+    static P: OnceLock<Vec<Case>> = OnceLock::new();
+    P.get_or_init(|| {
+        let audios: Vec<(&'static str, Vec<f64>)> = vec![
+            ("single", render(&[Stroke::S2], 3, 1.0)),
+            ("pair", render(&[Stroke::S4, Stroke::S1], 11, 1.2)),
+            // No rest tail: the last stroke is only decidable at finish.
+            ("triple-truncated", render(&[Stroke::S3, Stroke::S6, Stroke::S5], 29, 0.0)),
+            // Silence, deliberately not hop-aligned.
+            ("silence", vec![0.0; 30_001]),
+        ];
+        audios
+            .into_iter()
+            .map(|(name, audio)| {
+                let offline = [
+                    engines()[0].recognize_strokes(&audio),
+                    engines()[1].recognize_strokes(&audio),
+                ];
+                Case { name, audio, offline }
+            })
+            .collect()
+    })
+}
+
+/// Streams `audio` through the recognizer using the chunk-length pattern
+/// (cycled), then finishes; returns `(start, end, stroke, scores)` per
+/// event.
+fn stream_with_chunks(
+    engine: &EchoWrite,
+    audio: &[f64],
+    chunks: &[usize],
+) -> Vec<(usize, usize, Stroke, [f64; 6])> {
+    let mut stream = StreamingRecognizer::new(engine);
+    assert!(stream.is_incremental(), "streaming preset must take the incremental path");
+    let mut events = Vec::new();
+    let mut pos = 0;
+    let mut i = 0;
+    while pos < audio.len() {
+        let len = chunks[i % chunks.len()].min(audio.len() - pos);
+        events.extend(stream.push(&audio[pos..pos + len]));
+        pos += len;
+        i += 1;
+    }
+    events.extend(stream.finish());
+    events
+        .into_iter()
+        .map(|ev| (ev.start_frame, ev.end_frame, ev.classification.stroke, ev.classification.scores))
+        .collect()
+}
+
+fn assert_equals_offline(case: &Case, engine_idx: usize, chunks: &[usize]) {
+    let got = stream_with_chunks(&engines()[engine_idx], &case.audio, chunks);
+    let oracle = &case.offline[engine_idx];
+    assert_eq!(
+        got.len(),
+        oracle.segments.len(),
+        "case {} engine {engine_idx}: streamed vs offline segment count",
+        case.name,
+    );
+    for ((start, end, stroke, scores), (seg, cls)) in got
+        .iter()
+        .zip(oracle.segments.iter().zip(&oracle.classifications))
+    {
+        assert_eq!(*start, seg.start, "case {}: start frame", case.name);
+        assert_eq!(*end, seg.end, "case {}: end frame", case.name);
+        assert_eq!(*stroke, cls.stroke, "case {}: stroke label", case.name);
+        for (a, b) in scores.iter().zip(&cls.scores) {
+            assert!(a == b, "case {}: DTW scores diverge bitwise ({a} vs {b})", case.name);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random chunk-size patterns in [1, 16384], random scenario, both
+    /// front-ends: streaming == offline, bitwise.
+    #[test]
+    fn streaming_equals_offline_for_any_chunking(
+        chunks in prop::collection::vec(1usize..16_385, 1..24),
+        case_idx in 0usize..4,
+        engine_idx in 0usize..2,
+    ) {
+        assert_equals_offline(&pool()[case_idx], engine_idx, &chunks);
+    }
+}
+
+/// Deterministic edge chunkings that random sampling is unlikely to hit:
+/// one-sample pushes, exact hop/FFT alignment, one giant push.
+#[test]
+fn streaming_equals_offline_for_edge_chunkings() {
+    let case = &pool()[0];
+    for engine_idx in [0usize, 1] {
+        for chunks in [
+            vec![1usize],
+            vec![1024],
+            vec![8192],
+            vec![usize::MAX / 2],
+            vec![1023, 1, 1025, 511],
+        ] {
+            assert_equals_offline(case, engine_idx, &chunks);
+        }
+    }
+}
