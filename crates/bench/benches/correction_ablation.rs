@@ -24,7 +24,7 @@ fn bench_rules(c: &mut Criterion) {
 
     let variants: Vec<(&str, WordDecoder)> = vec![
         ("none", WordDecoder::new(dict.clone()).with_rules(CorrectionRules::none())),
-        ("paper", WordDecoder::new(dict.clone()).with_rules(CorrectionRules::paper())),
+        ("paper", WordDecoder::new(dict).with_rules(CorrectionRules::paper())),
     ];
 
     let mut g = c.benchmark_group("fig15_correction_ablation");

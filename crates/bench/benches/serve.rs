@@ -1,0 +1,122 @@
+//! Serving-layer benchmarks (DESIGN.md §6.4): aggregate push throughput of
+//! the sharded [`SessionManager`] at 1 / 64 / 1024 concurrent sessions on
+//! 1 / 4 / 8 shards, with the p99 push latency (enqueue → processed) read
+//! from the manager's own histogram after each point.
+//!
+//! One iteration pushes one 5120-sample chunk into *every* live session
+//! (cycling each session's audio) and quiesces, so `mean_ns / sessions` is
+//! the steady-state cost per push and `sessions / mean_s` is aggregate
+//! pushes/sec. Sessions run the down-converted serving configuration
+//! (`streaming_downsampled(32)`), the front-end a production fleet would
+//! deploy: per-session state is a few tens of KB, so 1024 concurrent
+//! sessions fit comfortably.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use echowrite::{EchoWrite, EchoWriteConfig, Parallelism};
+use echowrite_gesture::{Stroke, Writer, WriterParams};
+use echowrite_serve::{ServeConfig, SessionId, SessionManager, SubmitVerdict};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+use std::sync::OnceLock;
+
+/// Five STFT hops per push — the chunk an audio callback hands over.
+const CHUNK: usize = 5 * 1024;
+
+/// The serving engine: causal enhancement + 32× decimating front-end.
+fn engine() -> &'static EchoWrite {
+    static E: OnceLock<EchoWrite> = OnceLock::new();
+    E.get_or_init(|| EchoWrite::with_config(EchoWriteConfig::streaming_downsampled(32)))
+}
+
+/// A ~3.2 s two-stroke session, cycled by every benched session.
+fn session_audio() -> &'static Vec<f64> {
+    static A: OnceLock<Vec<f64>> = OnceLock::new();
+    A.get_or_init(|| {
+        let perf =
+            Writer::new(WriterParams::nominal(), 7).write_sequence(&[Stroke::S2, Stroke::S4]);
+        let mut traj = perf.trajectory;
+        let last = *traj.points().last().expect("non-empty trajectory");
+        traj.hold(last, 1.0);
+        Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), 7).render(&traj)
+    })
+}
+
+/// Pushes until accepted; `submit` never blocks, so a full queue is
+/// drained with a quiesce and retried.
+fn push_retrying(m: &SessionManager, id: SessionId, chunk: &[f64]) {
+    loop {
+        match m.push(id, chunk) {
+            SubmitVerdict::Enqueued => return,
+            SubmitVerdict::QueueFull { .. } => m.quiesce(),
+            SubmitVerdict::Shedding => panic!("bench session shed"),
+        }
+    }
+}
+
+fn bench_point(g: &mut criterion::BenchmarkGroup<'_>, sessions: usize, shards: usize) {
+    let manager = SessionManager::new(
+        engine().clone(),
+        ServeConfig {
+            shards: Parallelism::Threads(shards),
+            queue_capacity: 2048,
+            max_sessions: 4096,
+            high_water: 4096,
+            deadline_chunks: None,
+            idle_timeout_samples: None,
+        },
+    )
+    .expect("valid bench config");
+    for k in 0..sessions {
+        match manager.open(SessionId(k as u64)) {
+            SubmitVerdict::Enqueued => {}
+            v => panic!("open rejected: {v:?}"),
+        }
+    }
+    manager.quiesce();
+
+    let audio = session_audio();
+    let mut cursors = vec![0usize; sessions];
+    let mut drained = Vec::new();
+    g.bench_function(
+        BenchmarkId::new(format!("sessions_{sessions}"), format!("{shards}_shards")),
+        |b| {
+            b.iter(|| {
+                for (k, pos) in cursors.iter_mut().enumerate() {
+                    if *pos + CHUNK > audio.len() {
+                        *pos = 0; // cycle the session audio
+                    }
+                    let chunk = &audio[*pos..*pos + CHUNK];
+                    push_retrying(&manager, SessionId(k as u64), black_box(chunk));
+                    *pos += CHUNK;
+                }
+                manager.quiesce();
+                drained.clear();
+                manager.try_events(&mut drained);
+                drained.len()
+            })
+        },
+    );
+
+    let snapshot = manager.shutdown();
+    println!(
+        "serve_meta sessions={sessions} shards={shards} pushes={} p99_us={} events={} queue_full={} shed={}",
+        snapshot.pushes,
+        snapshot.push_latency_p99_us.map_or_else(|| "n/a".to_string(), |v| v.to_string()),
+        snapshot.events,
+        snapshot.queue_full,
+        snapshot.sessions_shed,
+    );
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_push_round");
+    g.sample_size(10);
+    for sessions in [1usize, 64, 1024] {
+        for shards in [1usize, 4, 8] {
+            bench_point(&mut g, sessions, shards);
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

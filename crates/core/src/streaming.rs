@@ -23,6 +23,16 @@
 //!   segment interval (with a small frame tolerance), so re-analyses whose
 //!   boundaries wobble after a buffer trim neither duplicate nor drop
 //!   strokes.
+//!
+//! For multi-session serving the state machinery is factored out as
+//! [`StreamingSession`]: the same implementations without the engine
+//! borrow, so sessions are `'static`, [`Send`], and can be pinned to the
+//! worker shards of `echowrite-serve`'s `SessionManager`. A session is
+//! reusable via the cheap in-place [`StreamingSession::reset`] (every
+//! allocation is retained), and [`StreamingSession::reset_keep_background`]
+//! additionally carries the frozen static background over so the next
+//! session on the same device/scene skips the background-estimation
+//! lead-in.
 
 use crate::config::Frontend;
 use crate::engine::EchoWrite;
@@ -45,6 +55,20 @@ pub struct StrokeEvent {
     pub end_frame: usize,
 }
 
+/// A decided stroke segment, with the DTW classification optional: a
+/// degraded (deadline-missed) push in the serving layer skips the DTW
+/// matching and reports the segment boundaries alone.
+#[derive(Debug, Clone)]
+pub struct SegmentEvent {
+    /// Segment start, in frames since the session began.
+    pub start_frame: usize,
+    /// Segment end, in frames since the session began.
+    pub end_frame: usize,
+    /// DTW classification, absent when the caller requested segment-only
+    /// output.
+    pub classification: Option<Classification>,
+}
+
 /// Frames of slack when matching a re-analyzed segment against an already
 /// emitted one: boundaries may wobble slightly after a buffer trim because
 /// the replay path's normalization and backtrack windows change.
@@ -65,14 +89,9 @@ const DEDUP_TOLERANCE_FRAMES: usize = 3;
 #[derive(Debug)]
 pub struct StreamingRecognizer<'a> {
     engine: &'a EchoWrite,
-    inner: Inner,
-    finished: bool,
-}
-
-#[derive(Debug)]
-enum Inner {
-    Replay(Replay),
-    Incremental(Box<Incremental>),
+    session: StreamingSession,
+    /// Scratch reused across pushes for the session's segment events.
+    scratch: Vec<SegmentEvent>,
 }
 
 impl<'a> StreamingRecognizer<'a> {
@@ -80,17 +99,16 @@ impl<'a> StreamingRecognizer<'a> {
     /// incremental or replay implementation per the engine's
     /// [`StreamingMode`](crate::StreamingMode).
     pub fn new(engine: &'a EchoWrite) -> Self {
-        let inner = if engine.config().streaming_is_incremental() {
-            Inner::Incremental(Box::new(Incremental::new(engine)))
-        } else {
-            Inner::Replay(Replay::new(engine))
-        };
-        StreamingRecognizer { engine, inner, finished: false }
+        StreamingRecognizer {
+            engine,
+            session: StreamingSession::new(engine),
+            scratch: Vec::new(),
+        }
     }
 
     /// Whether this recognizer runs the incremental path.
     pub fn is_incremental(&self) -> bool {
-        matches!(self.inner, Inner::Incremental(_))
+        self.session.is_incremental()
     }
 
     /// Overrides the replay path's maximum buffered window (seconds). The
@@ -104,7 +122,138 @@ impl<'a> StreamingRecognizer<'a> {
     /// would trim the session's opening frames before the static background
     /// could ever freeze.
     pub fn with_window_seconds(mut self, seconds: f64) -> Self {
-        let cfg = self.engine.config();
+        self.session.set_window_seconds(self.engine, seconds);
+        self
+    }
+
+    /// Appends audio and returns any newly decided strokes. After
+    /// [`StreamingRecognizer::finish`] this is a no-op until
+    /// [`StreamingRecognizer::reset`].
+    pub fn push(&mut self, chunk: &[f64]) -> Vec<StrokeEvent> {
+        self.scratch.clear();
+        self.session.push_events(self.engine, chunk, true, &mut self.scratch);
+        collect_stroke_events(&mut self.scratch)
+    }
+
+    /// Ends the session, emitting every remaining stroke: the incremental
+    /// path flushes its edge-clamped stages and replays the segmenter's
+    /// end-of-stream checks; the replay path analyzes the final window
+    /// without the stability margin.
+    pub fn finish(&mut self) -> Vec<StrokeEvent> {
+        self.scratch.clear();
+        self.session.finish_events(self.engine, true, &mut self.scratch);
+        collect_stroke_events(&mut self.scratch)
+    }
+
+    /// The absolute frame up to which strokes have been emitted.
+    pub fn emitted_until(&self) -> usize {
+        self.session.emitted_until()
+    }
+
+    /// Samples currently retained by the recognizer (the replay window, or
+    /// the incremental front-end's pending audio; input-equivalent samples
+    /// for the decimated front-end).
+    pub fn buffered_samples(&self) -> usize {
+        self.session.buffered_samples()
+    }
+
+    /// Total frames of the session processed so far (absolute frame clock).
+    pub fn frames_processed(&self) -> usize {
+        self.session.frames_processed(self.engine)
+    }
+
+    /// Whether the static background has been frozen (the lead-in is done).
+    pub fn background_frozen(&self) -> bool {
+        self.session.background_frozen()
+    }
+
+    /// Clears all state for a new session, in place: allocations are kept
+    /// and nothing is re-planned, so a reset recognizer is bitwise
+    /// equivalent to — but much cheaper to obtain than — a fresh one.
+    pub fn reset(&mut self) {
+        self.session.reset(self.engine);
+    }
+
+    /// Like [`StreamingRecognizer::reset`], but keeps the frozen static
+    /// background, so the next session (same device, same scene) skips the
+    /// background-estimation lead-in entirely.
+    pub fn reset_keep_background(&mut self) {
+        self.session.reset_keep_background(self.engine);
+    }
+
+    /// Consumes the recognizer, returning the engine-free session state
+    /// (e.g. to hand it to a serving shard).
+    pub fn into_session(self) -> StreamingSession {
+        self.session
+    }
+}
+
+/// Maps classified segment events to [`StrokeEvent`]s (events without a
+/// classification are impossible when `classify` was true and are skipped).
+fn collect_stroke_events(events: &mut Vec<SegmentEvent>) -> Vec<StrokeEvent> {
+    events
+        .drain(..)
+        .filter_map(|ev| {
+            ev.classification.map(|classification| StrokeEvent {
+                classification,
+                start_frame: ev.start_frame,
+                end_frame: ev.end_frame,
+            })
+        })
+        .collect()
+}
+
+/// The engine-free state of one streaming recognition session.
+///
+/// [`StreamingRecognizer`] pairs this with a borrowed engine for the
+/// single-session API; `echowrite-serve` keeps many of these pinned to
+/// worker shards, passing the shared engine into every call. The caller
+/// must pass the *same* engine (or an identically configured one) to every
+/// method of a given session — the session's internal geometry is derived
+/// from the engine's configuration at construction.
+#[derive(Debug)]
+pub struct StreamingSession {
+    inner: Inner,
+    finished: bool,
+}
+
+#[derive(Debug)]
+enum Inner {
+    Replay(Replay),
+    Incremental(Box<Incremental>),
+}
+
+impl StreamingSession {
+    /// Creates session state for an engine, picking the incremental or
+    /// replay implementation per the engine's
+    /// [`StreamingMode`](crate::StreamingMode).
+    pub fn new(engine: &EchoWrite) -> Self {
+        let inner = if engine.config().streaming_is_incremental() {
+            Inner::Incremental(Box::new(Incremental::new(engine)))
+        } else {
+            Inner::Replay(Replay::new(engine))
+        };
+        StreamingSession { inner, finished: false }
+    }
+
+    /// Whether this session runs the incremental path.
+    pub fn is_incremental(&self) -> bool {
+        matches!(self.inner, Inner::Incremental(_))
+    }
+
+    /// Whether [`StreamingSession::finish_events`] has been called.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Overrides the replay path's maximum buffered window (seconds); see
+    /// [`StreamingRecognizer::with_window_seconds`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window cannot cover the background-estimation lead-in.
+    pub fn set_window_seconds(&mut self, engine: &EchoWrite, seconds: f64) {
+        let cfg = engine.config();
         let samples = (seconds * cfg.stft.sample_rate) as usize;
         let min = cfg.stft.fft_size + (cfg.enhance.static_frames - 1) * cfg.stft.hop;
         assert!(
@@ -114,42 +263,47 @@ impl<'a> StreamingRecognizer<'a> {
         if let Inner::Replay(r) = &mut self.inner {
             r.max_samples = samples;
         }
-        self
     }
 
-    /// Appends audio and returns any newly decided strokes. After
-    /// [`StreamingRecognizer::finish`] this is a no-op until
-    /// [`StreamingRecognizer::reset`].
-    pub fn push(&mut self, chunk: &[f64]) -> Vec<StrokeEvent> {
+    /// Appends audio, pushing every newly decided segment onto `events`.
+    /// With `classify` false the DTW matching is skipped and events carry
+    /// boundaries only (the serving layer's degraded mode). A no-op after
+    /// [`StreamingSession::finish_events`] until [`StreamingSession::reset`].
+    pub fn push_events(
+        &mut self,
+        engine: &EchoWrite,
+        chunk: &[f64],
+        classify: bool,
+        events: &mut Vec<SegmentEvent>,
+    ) {
         if self.finished {
-            return Vec::new();
+            return;
         }
-        let mut events = Vec::new();
         match &mut self.inner {
-            Inner::Replay(r) => r.push(self.engine, chunk, &mut events),
+            Inner::Replay(r) => r.push(engine, chunk, classify, events),
             Inner::Incremental(inc) => {
                 inc.push_audio(chunk);
-                inc.drain_events(self.engine, &mut events);
+                inc.drain_events(engine, classify, events);
             }
         }
-        events
     }
 
-    /// Ends the session, emitting every remaining stroke: the incremental
-    /// path flushes its edge-clamped stages and replays the segmenter's
-    /// end-of-stream checks; the replay path analyzes the final window
-    /// without the stability margin.
-    pub fn finish(&mut self) -> Vec<StrokeEvent> {
+    /// Ends the session, pushing every remaining segment onto `events`; see
+    /// [`StreamingRecognizer::finish`].
+    pub fn finish_events(
+        &mut self,
+        engine: &EchoWrite,
+        classify: bool,
+        events: &mut Vec<SegmentEvent>,
+    ) {
         if self.finished {
-            return Vec::new();
+            return;
         }
         self.finished = true;
-        let mut events = Vec::new();
         match &mut self.inner {
-            Inner::Replay(r) => r.finish(self.engine, &mut events),
-            Inner::Incremental(inc) => inc.finish(self.engine, &mut events),
+            Inner::Replay(r) => r.finish(engine, classify, events),
+            Inner::Incremental(inc) => inc.finish(engine, classify, events),
         }
-        events
     }
 
     /// The absolute frame up to which strokes have been emitted.
@@ -160,9 +314,8 @@ impl<'a> StreamingRecognizer<'a> {
         }
     }
 
-    /// Samples currently retained by the recognizer (the replay window, or
-    /// the incremental front-end's pending audio; input-equivalent samples
-    /// for the decimated front-end).
+    /// Samples currently retained by the session; see
+    /// [`StreamingRecognizer::buffered_samples`].
     pub fn buffered_samples(&self) -> usize {
         match &self.inner {
             Inner::Replay(r) => r.buffer.len(),
@@ -174,10 +327,10 @@ impl<'a> StreamingRecognizer<'a> {
     }
 
     /// Total frames of the session processed so far (absolute frame clock).
-    pub fn frames_processed(&self) -> usize {
+    pub fn frames_processed(&self, engine: &EchoWrite) -> usize {
         match &self.inner {
             Inner::Replay(r) => {
-                let cfg = self.engine.config();
+                let cfg = engine.config();
                 let fft = cfg.stft.fft_size;
                 let hop = cfg.stft.hop;
                 let in_buffer = if r.buffer.len() < fft {
@@ -191,21 +344,57 @@ impl<'a> StreamingRecognizer<'a> {
         }
     }
 
-    /// Clears all state for a new session.
-    pub fn reset(&mut self) {
-        let window = match &self.inner {
-            Inner::Replay(r) => Some(r.max_samples),
-            Inner::Incremental(_) => None,
-        };
-        self.inner = if self.engine.config().streaming_is_incremental() {
-            Inner::Incremental(Box::new(Incremental::new(self.engine)))
-        } else {
-            let mut r = Replay::new(self.engine);
-            if let Some(w) = window {
-                r.max_samples = w;
-            }
-            Inner::Replay(r)
-        };
+    /// Whether the static background has been frozen (the lead-in has
+    /// completed, or a [`StreamingSession::reset_keep_background`] carried
+    /// one over).
+    pub fn background_frozen(&self) -> bool {
+        match &self.inner {
+            Inner::Replay(r) => r.background.is_some(),
+            Inner::Incremental(inc) => inc.chain.enhancer.background_frozen(),
+        }
+    }
+
+    /// Clears all state for a new session, in place. Every stage is reset
+    /// without reallocating or re-planning, so this is cheap enough to run
+    /// per-session in a serving shard, and a reset session's output is
+    /// bitwise identical to a fresh one's on the same audio.
+    pub fn reset(&mut self, engine: &EchoWrite) {
+        self.reset_inner(engine, false);
+    }
+
+    /// Like [`StreamingSession::reset`], but restores the background-frozen
+    /// state: the frozen static background survives, so the next session
+    /// skips the `static_frames` lead-in instead of re-estimating. Only
+    /// sound when the next session continues the same acoustic scene.
+    pub fn reset_keep_background(&mut self, engine: &EchoWrite) {
+        self.reset_inner(engine, true);
+    }
+
+    fn reset_inner(&mut self, engine: &EchoWrite, keep_background: bool) {
+        // A mode flip (config changed between sessions of a pooled slot)
+        // falls back to a rebuild; the common case resets in place.
+        let want_incremental = engine.config().streaming_is_incremental();
+        if want_incremental != self.is_incremental() {
+            let window = match &self.inner {
+                Inner::Replay(r) => Some(r.max_samples),
+                Inner::Incremental(_) => None,
+            };
+            self.inner = if want_incremental {
+                Inner::Incremental(Box::new(Incremental::new(engine)))
+            } else {
+                let mut r = Replay::new(engine);
+                if let Some(w) = window {
+                    r.max_samples = w;
+                }
+                Inner::Replay(r)
+            };
+            self.finished = false;
+            return;
+        }
+        match &mut self.inner {
+            Inner::Replay(r) => r.reset_in_place(keep_background),
+            Inner::Incremental(inc) => inc.reset_in_place(keep_background),
+        }
         self.finished = false;
     }
 }
@@ -247,6 +436,19 @@ impl Replay {
         }
     }
 
+    /// In-place counterpart of [`Replay::new`]: clears the session state,
+    /// keeps the window override and all allocations, and optionally the
+    /// frozen background (skipping the next session's estimation lead-in).
+    fn reset_in_place(&mut self, keep_background: bool) {
+        self.buffer.clear();
+        if !keep_background {
+            self.background = None;
+        }
+        self.dropped_frames = 0;
+        self.emitted.clear();
+        self.emitted_until = 0;
+    }
+
     /// Whether `[start, end)` matches a stroke that was already emitted,
     /// within [`DEDUP_TOLERANCE_FRAMES`] of boundary wobble.
     fn already_emitted(&self, start: usize, end: usize) -> bool {
@@ -260,7 +462,13 @@ impl Replay {
         self.emitted_until = self.emitted_until.max(end);
     }
 
-    fn push(&mut self, engine: &EchoWrite, chunk: &[f64], events: &mut Vec<StrokeEvent>) {
+    fn push(
+        &mut self,
+        engine: &EchoWrite,
+        chunk: &[f64],
+        classify: bool,
+        events: &mut Vec<SegmentEvent>,
+    ) {
         self.buffer.extend_from_slice(chunk);
         let cfg = engine.config();
         // Freeze the static background from the session's opening frames
@@ -285,9 +493,11 @@ impl Replay {
             if seg.end + self.stability_margin > total_frames {
                 continue; // may still grow
             }
-            let sub = analysis.profile.slice(seg.start, seg.end);
-            let classification = engine.classifier().classify(sub.shifts());
-            events.push(StrokeEvent {
+            let classification = classify.then(|| {
+                let sub = analysis.profile.slice(seg.start, seg.end);
+                engine.classifier().classify(sub.shifts())
+            });
+            events.push(SegmentEvent {
                 classification,
                 start_frame: abs_start,
                 end_frame: abs_end,
@@ -322,7 +532,7 @@ impl Replay {
 
     /// Final analysis of the remaining window, with the stability margin
     /// waived — the session is over, nothing can still grow.
-    fn finish(&mut self, engine: &EchoWrite, events: &mut Vec<StrokeEvent>) {
+    fn finish(&mut self, engine: &EchoWrite, classify: bool, events: &mut Vec<SegmentEvent>) {
         let analysis = engine
             .pipeline()
             .analyze_with_background(&self.buffer, self.background.as_deref());
@@ -332,9 +542,11 @@ impl Replay {
             if self.already_emitted(abs_start, abs_end) {
                 continue;
             }
-            let sub = analysis.profile.slice(seg.start, seg.end);
-            let classification = engine.classifier().classify(sub.shifts());
-            events.push(StrokeEvent {
+            let classification = classify.then(|| {
+                let sub = analysis.profile.slice(seg.start, seg.end);
+                engine.classifier().classify(sub.shifts())
+            });
+            events.push(SegmentEvent {
                 classification,
                 start_frame: abs_start,
                 end_frame: abs_end,
@@ -404,6 +616,19 @@ impl Chain {
         for &a in acc.iter() {
             segmenter.push_acc(a);
         }
+    }
+
+    /// Resets every stage in place, reusing the allocations.
+    fn reset(&mut self, keep_background: bool) {
+        if keep_background {
+            self.enhancer.reset_keeping_background();
+        } else {
+            self.enhancer.reset();
+        }
+        self.builder.reset();
+        self.diff.reset();
+        self.segmenter.reset();
+        self.acc.clear();
     }
 }
 
@@ -483,6 +708,24 @@ impl Incremental {
         Incremental { front, chain, frames_in: 0, emitted_until: 0, seg_scratch: Vec::new() }
     }
 
+    /// In-place counterpart of [`Incremental::new`]: every stage resets
+    /// without reallocating; the frozen background optionally survives.
+    fn reset_in_place(&mut self, keep_background: bool) {
+        match &mut self.front {
+            Front::Full { sstft, .. } => sstft.reset(),
+            Front::Down(d) => {
+                d.sdc.reset();
+                d.baseband.clear();
+                d.base = 0;
+                d.next_frame = 0;
+            }
+        }
+        self.chain.reset(keep_background);
+        self.frames_in = 0;
+        self.emitted_until = 0;
+        self.seg_scratch.clear();
+    }
+
     fn push_audio(&mut self, chunk: &[f64]) {
         let chain = &mut self.chain;
         let frames = &mut self.frames_in;
@@ -526,13 +769,13 @@ impl Incremental {
     }
 
     /// Polls the segmenter and classifies every newly decided stroke.
-    fn drain_events(&mut self, engine: &EchoWrite, events: &mut Vec<StrokeEvent>) {
+    fn drain_events(&mut self, engine: &EchoWrite, classify: bool, events: &mut Vec<SegmentEvent>) {
         self.seg_scratch.clear();
         self.chain.segmenter.poll(&mut self.seg_scratch);
         for stroke in self.seg_scratch.drain(..) {
-            let classification = engine.classifier().classify(&stroke.shifts);
+            let classification = classify.then(|| engine.classifier().classify(&stroke.shifts));
             self.emitted_until = self.emitted_until.max(stroke.segment.end);
-            events.push(StrokeEvent {
+            events.push(SegmentEvent {
                 classification,
                 start_frame: stroke.segment.start,
                 end_frame: stroke.segment.end,
@@ -540,7 +783,7 @@ impl Incremental {
         }
     }
 
-    fn finish(&mut self, engine: &EchoWrite, events: &mut Vec<StrokeEvent>) {
+    fn finish(&mut self, engine: &EchoWrite, classify: bool, events: &mut Vec<SegmentEvent>) {
         // The full-rate front drops trailing partial frames exactly like the
         // offline framer; the decimated front must flush the edge-tap
         // baseband samples the causal filter was still holding back.
@@ -552,9 +795,9 @@ impl Incremental {
         self.seg_scratch.clear();
         self.chain.segmenter.finish(&mut self.seg_scratch);
         for stroke in self.seg_scratch.drain(..) {
-            let classification = engine.classifier().classify(&stroke.shifts);
+            let classification = classify.then(|| engine.classifier().classify(&stroke.shifts));
             self.emitted_until = self.emitted_until.max(stroke.segment.end);
-            events.push(StrokeEvent {
+            events.push(SegmentEvent {
                 classification,
                 start_frame: stroke.segment.start,
                 end_frame: stroke.segment.end,
@@ -562,7 +805,6 @@ impl Incremental {
         }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -844,5 +1086,126 @@ mod tests {
             let _ = StreamingRecognizer::new(e).with_window_seconds((min as f64 - 0.5) / rate);
         });
         assert!(result.is_err(), "one sample short of the lead-in must be rejected");
+    }
+
+    /// Streams `audio` in 5-hop chunks, returning every event from pushes
+    /// plus finish.
+    fn full_stream(stream: &mut StreamingRecognizer<'_>, audio: &[f64]) -> Vec<StrokeEvent> {
+        let mut events = Vec::new();
+        for chunk in audio.chunks(5 * 1024) {
+            events.extend(stream.push(chunk));
+        }
+        events.extend(stream.finish());
+        events
+    }
+
+    fn assert_bitwise_equal(a: &[StrokeEvent], b: &[StrokeEvent]) {
+        assert_eq!(a.len(), b.len(), "event counts differ");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.start_frame, y.start_frame);
+            assert_eq!(x.end_frame, y.end_frame);
+            assert_eq!(x.classification.stroke, y.classification.stroke);
+            assert_eq!(
+                x.classification.distances, y.classification.distances,
+                "DTW distances must be bitwise equal"
+            );
+            assert_eq!(
+                x.classification.scores, y.classification.scores,
+                "DTW scores must be bitwise equal"
+            );
+        }
+    }
+
+    /// Satellite regression: a recognizer reused via the cheap in-place
+    /// `reset()` is bitwise-equal to a fresh one — on the incremental path
+    /// every stage (front-end, enhancer, profile, diff, segmenter) must
+    /// come back to its construction state without reallocating.
+    #[test]
+    fn incremental_reset_session_is_bitwise_equal_to_fresh() {
+        let e = streaming_engine();
+        let first = render_with_tail(&[Stroke::S4, Stroke::S1], 11, 1.2);
+        let second = render_with_tail(&[Stroke::S2, Stroke::S5, Stroke::S6], 23, 1.2);
+
+        let mut fresh = StreamingRecognizer::new(e);
+        let want = full_stream(&mut fresh, &second);
+        assert!(!want.is_empty(), "scenario must produce strokes");
+
+        let mut reused = StreamingRecognizer::new(e);
+        let _ = full_stream(&mut reused, &first); // dirty every stage
+        reused.reset();
+        assert_eq!(reused.emitted_until(), 0);
+        assert_eq!(reused.frames_processed(), 0);
+        assert!(!reused.background_frozen(), "cold reset must drop the background");
+        let got = full_stream(&mut reused, &second);
+        assert_bitwise_equal(&got, &want);
+    }
+
+    /// Same regression on the replay path: reset must clear the window,
+    /// dedup intervals, and frame offset.
+    #[test]
+    fn replay_reset_session_is_bitwise_equal_to_fresh() {
+        let e = engine();
+        let first = render_with_tail(&[Stroke::S3], 31, 1.2);
+        let second = render_with_tail(&[Stroke::S2, Stroke::S5], 17, 1.2);
+
+        let mut fresh = StreamingRecognizer::new(e);
+        let want = full_stream(&mut fresh, &second);
+        assert!(!want.is_empty(), "scenario must produce strokes");
+
+        let mut reused = StreamingRecognizer::new(e);
+        let _ = full_stream(&mut reused, &first);
+        reused.reset();
+        assert!(!reused.background_frozen());
+        let got = full_stream(&mut reused, &second);
+        assert_bitwise_equal(&got, &want);
+    }
+
+    /// Warm reset keeps the frozen background, so the next session skips the
+    /// lead-in; replaying the *same* scene must still be bitwise-equal to a
+    /// fresh session (the retained background equals the one a fresh lead-in
+    /// over the same audio would estimate).
+    #[test]
+    fn warm_reset_keeps_background_and_replays_bitwise() {
+        for e in [streaming_engine(), engine()] {
+            let audio = render_with_tail(&[Stroke::S2, Stroke::S5], 19, 1.2);
+            let mut fresh = StreamingRecognizer::new(e);
+            let want = full_stream(&mut fresh, &audio);
+            assert!(!want.is_empty(), "scenario must produce strokes");
+
+            let mut warm = StreamingRecognizer::new(e);
+            let _ = full_stream(&mut warm, &audio);
+            assert!(warm.background_frozen());
+            warm.reset_keep_background();
+            assert!(warm.background_frozen(), "warm reset must keep the background");
+            assert_eq!(warm.emitted_until(), 0);
+            let got = full_stream(&mut warm, &audio);
+            assert_bitwise_equal(&got, &want);
+        }
+    }
+
+    /// The serving layer's degraded mode: with `classify` false a session
+    /// reports segment boundaries only (no DTW), and the boundaries are
+    /// identical to the classified run's.
+    #[test]
+    fn degraded_push_emits_segment_only_events() {
+        for e in [streaming_engine(), engine()] {
+            let audio = render_with_tail(&[Stroke::S3, Stroke::S6], 5, 1.2);
+            let mut classified = StreamingRecognizer::new(e);
+            let want = full_stream(&mut classified, &audio);
+            assert!(!want.is_empty());
+
+            let mut session = StreamingSession::new(e);
+            let mut events = Vec::new();
+            for chunk in audio.chunks(5 * 1024) {
+                session.push_events(e, chunk, false, &mut events);
+            }
+            session.finish_events(e, false, &mut events);
+            assert_eq!(events.len(), want.len());
+            for (ev, w) in events.iter().zip(&want) {
+                assert!(ev.classification.is_none(), "degraded events must skip DTW");
+                assert_eq!(ev.start_frame, w.start_frame);
+                assert_eq!(ev.end_frame, w.end_frame);
+            }
+        }
     }
 }

@@ -16,7 +16,7 @@ use std::path::{Path, PathBuf};
 /// The Fig. 6 pipeline crates — the scope of the panic-freedom, float-order,
 /// determinism, and pub-doc rules.
 pub const PIPELINE_CRATES: &[&str] =
-    &["dsp", "spectro", "profile", "dtw", "lang", "corpus", "gesture", "core"];
+    &["dsp", "spectro", "profile", "dtw", "lang", "corpus", "gesture", "core", "serve"];
 
 /// Crates whose library code may read wall clocks (profiling is their job).
 pub const TIME_EXEMPT_CRATES: &[&str] = &["profile", "bench"];
@@ -126,6 +126,15 @@ mod tests {
 
         let suite = classify(Path::new("src/bin/repro.rs"));
         assert!(!suite.pipeline && suite.crate_name.is_empty());
+
+        // The serving layer is a pipeline crate: results flow through it, so
+        // every determinism rule applies, and unlike crates/profile it gets
+        // NO blanket time exemption — its metrics module must carry reasoned
+        // per-line allow markers instead.
+        let serve = classify(Path::new("crates/serve/src/manager.rs"));
+        assert!(serve.pipeline && !serve.allow_time);
+        let serve_metrics = classify(Path::new("crates/serve/src/metrics.rs"));
+        assert!(serve_metrics.pipeline && !serve_metrics.allow_time);
     }
 
     #[test]

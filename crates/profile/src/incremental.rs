@@ -56,6 +56,14 @@ impl ProfileBuilder {
         self.m
     }
 
+    /// Restores the builder to its fresh state in place (the carrier
+    /// geometry and bin scale are session-invariant and kept).
+    pub fn reset(&mut self) {
+        self.tail = [0.0; 3];
+        self.m = 0;
+        self.finished = false;
+    }
+
     /// Pushes one binary column; returns the next smoothed shift once it is
     /// final (the value at index `m − 2` after the `m`-th column).
     pub fn push_column(&mut self, column: &[f64]) -> Option<f64> {
@@ -123,6 +131,14 @@ impl IncrementalDiff {
     /// Creates a differentiator.
     pub fn new() -> Self {
         IncrementalDiff { tail: [0.0; 5], m: 0, emitted: 0, finished: false }
+    }
+
+    /// Restores the differentiator to its fresh state.
+    pub fn reset(&mut self) {
+        self.tail = [0.0; 5];
+        self.m = 0;
+        self.emitted = 0;
+        self.finished = false;
     }
 
     /// The 5-point stencil on the retained tail: `y[m−5..m]`, index `j`
@@ -237,6 +253,12 @@ impl Tape {
     fn retained(&self) -> usize {
         self.data.len()
     }
+
+    /// Empties the tape in place, keeping its allocation.
+    fn clear(&mut self) {
+        self.data.clear();
+        self.base = 0;
+    }
 }
 
 /// Interpreter position inside the batch scan loop.
@@ -298,6 +320,15 @@ impl StreamingSegmenter {
             state: SegState::Scan { i: 0 },
             finished: false,
         }
+    }
+
+    /// Restores the segmenter to its fresh state in place, reusing the tape
+    /// allocations (the thresholds are config-derived and kept).
+    pub fn reset(&mut self) {
+        self.shifts.clear();
+        self.acc.clear();
+        self.state = SegState::Scan { i: 0 };
+        self.finished = false;
     }
 
     /// Appends one smoothed shift frame (Hz).
@@ -733,6 +764,42 @@ mod tests {
         }
         assert_eq!(out.len(), 70);
         assert!(max_retained < 1200, "retained window grew to {max_retained}");
+    }
+
+    #[test]
+    fn reset_stages_replay_bitwise() {
+        let mut p = vec![0.0; 200];
+        add_stroke(&mut p, 30, 14, 55.0);
+        add_stroke(&mut p, 120, 14, -65.0);
+
+        let mut seg = StreamingSegmenter::new(SegmentConfig::paper(), HOP);
+        let mut diff = IncrementalDiff::new();
+        let run = |seg: &mut StreamingSegmenter, diff: &mut IncrementalDiff| {
+            let mut accs = Vec::new();
+            let mut out = Vec::new();
+            for &s in &p {
+                seg.push_shift(s);
+                accs.clear();
+                diff.push(s, &mut accs);
+                for &a in &accs {
+                    seg.push_acc(a);
+                }
+                seg.poll(&mut out);
+            }
+            accs.clear();
+            diff.finish(&mut accs);
+            for &a in &accs {
+                seg.push_acc(a);
+            }
+            seg.finish(&mut out);
+            out
+        };
+        let first = run(&mut seg, &mut diff);
+        seg.reset();
+        diff.reset();
+        let second = run(&mut seg, &mut diff);
+        assert_eq!(first, second, "reset segmenter/diff must replay bitwise");
+        assert_eq!(first.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Admission control with high/low-water hysteresis.
+//!
+//! The controller holds the authoritative live-session count. Opens pass
+//! through [`AdmissionController::try_admit`] on the caller's thread —
+//! lock-free, a single CAS loop — so overload is rejected *before* any
+//! queue is touched. Once the population reaches the high-water mark the
+//! controller sheds every new open until the population drains to the
+//! low-water mark (¾ of high water), preventing admit/shed flapping right
+//! at the boundary.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Shared live-session accounting for one
+/// [`SessionManager`](crate::SessionManager).
+#[derive(Debug)]
+pub struct AdmissionController {
+    live: AtomicUsize,
+    shedding: AtomicBool,
+    max_sessions: usize,
+    high_water: usize,
+    low_water: usize,
+}
+
+impl AdmissionController {
+    /// Creates a controller shedding at `high_water` live sessions (with
+    /// hysteresis down to ¾ of it) and hard-capped at `max_sessions`.
+    pub fn new(max_sessions: usize, high_water: usize) -> Self {
+        let high_water = high_water.min(max_sessions).max(1);
+        AdmissionController {
+            live: AtomicUsize::new(0),
+            shedding: AtomicBool::new(false),
+            max_sessions,
+            high_water,
+            low_water: high_water.saturating_mul(3) / 4,
+        }
+    }
+
+    /// Tries to reserve one live-session slot. Returns `false` (shed) when
+    /// the hard cap is hit, or while the hysteresis band is draining.
+    pub fn try_admit(&self) -> bool {
+        let mut live = self.live.load(Ordering::Acquire);
+        loop {
+            if live >= self.max_sessions {
+                self.shedding.store(true, Ordering::Release);
+                return false;
+            }
+            if self.shedding.load(Ordering::Acquire) {
+                if live > self.low_water {
+                    return false;
+                }
+                self.shedding.store(false, Ordering::Release);
+            } else if live >= self.high_water {
+                self.shedding.store(true, Ordering::Release);
+                return false;
+            }
+            match self.live.compare_exchange_weak(
+                live,
+                live + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(current) => live = current,
+            }
+        }
+    }
+
+    /// Releases one live-session slot (session finished or reaped),
+    /// clearing the shedding latch once the population is at or below the
+    /// low-water mark.
+    pub fn release(&self) {
+        let before = self.live.fetch_sub(1, Ordering::AcqRel);
+        if before.saturating_sub(1) <= self.low_water {
+            self.shedding.store(false, Ordering::Release);
+        }
+    }
+
+    /// Sessions currently admitted.
+    pub fn live(&self) -> usize {
+        self.live.load(Ordering::Acquire)
+    }
+
+    /// Whether new opens are currently being shed.
+    pub fn is_shedding(&self) -> bool {
+        self.shedding.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_until_high_water_then_sheds() {
+        let a = AdmissionController::new(100, 8);
+        for _ in 0..8 {
+            assert!(a.try_admit());
+        }
+        assert_eq!(a.live(), 8);
+        assert!(!a.try_admit(), "high water must shed");
+        assert!(a.is_shedding());
+    }
+
+    #[test]
+    fn hysteresis_holds_until_low_water() {
+        let a = AdmissionController::new(100, 8); // low water = 6
+        for _ in 0..8 {
+            assert!(a.try_admit());
+        }
+        assert!(!a.try_admit());
+        a.release(); // 7 live — still above low water
+        assert!(!a.try_admit(), "must keep shedding inside the hysteresis band");
+        a.release(); // 6 live — at low water, latch clears
+        assert!(a.try_admit());
+        assert!(!a.is_shedding());
+    }
+
+    #[test]
+    fn hard_cap_binds_even_without_hysteresis() {
+        let a = AdmissionController::new(4, 4);
+        for _ in 0..4 {
+            assert!(a.try_admit());
+        }
+        assert!(!a.try_admit());
+        assert_eq!(a.live(), 4);
+    }
+
+    #[test]
+    fn concurrent_admits_never_exceed_cap() {
+        let a = std::sync::Arc::new(AdmissionController::new(64, 64));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let a = a.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..100).filter(|_| a.try_admit()).count()
+            }));
+        }
+        let admitted: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(admitted, 64, "exactly the cap must be admitted");
+        assert_eq!(a.live(), 64);
+    }
+}

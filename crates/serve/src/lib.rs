@@ -1,0 +1,37 @@
+//! `echowrite-serve` — the multi-session serving layer (DESIGN.md §6.4).
+//!
+//! One process, many concurrent recognition sessions: a sharded
+//! [`SessionManager`] pins each session's DSP state to one worker thread
+//! (deterministic, lock-free result path), bounded ingress queues give
+//! explicit backpressure instead of blocking, an admission controller
+//! sheds opens past a high-water mark, a deadline ladder degrades late
+//! pushes to segment-only output, and a logical-clock reaper reclaims
+//! abandoned sessions. A lock-free [`metrics`] registry observes all of
+//! it, with wall-clock reads quarantined to that module alone.
+//!
+//! Dependency-free by construction: std threads and channels only, plus
+//! the workspace's own crates.
+//!
+//! ```
+//! use echowrite::{EchoWrite, EchoWriteConfig, Parallelism};
+//! use echowrite_serve::{ServeConfig, SessionId, SessionManager};
+//!
+//! let engine = EchoWrite::with_config(EchoWriteConfig::streaming());
+//! let cfg = ServeConfig { shards: Parallelism::Threads(1), ..ServeConfig::default() };
+//! let manager = SessionManager::new(engine, cfg).expect("valid config");
+//! let _ = manager.open(SessionId(1));
+//! let _ = manager.push(SessionId(1), &[0.0; 8192]);
+//! let _ = manager.finish(SessionId(1));
+//! manager.quiesce();
+//! println!("{}", manager.metrics().to_prometheus());
+//! ```
+
+pub mod admission;
+pub mod config;
+pub mod manager;
+pub mod metrics;
+
+pub use admission::AdmissionController;
+pub use config::ServeConfig;
+pub use manager::{Request, ServeEvent, SessionId, SessionManager, SubmitVerdict};
+pub use metrics::{MetricsSnapshot, ServeMetrics};

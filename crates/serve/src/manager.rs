@@ -1,0 +1,682 @@
+//! The sharded multi-session manager.
+//!
+//! N worker shards (the [`Parallelism`](echowrite::Parallelism) knob) each
+//! own a `SessionId → StreamingSession` map plus pooled scratch, with
+//! sessions pinned to shards by id hash — all DSP state stays
+//! thread-local, so per-session output is bitwise identical to an
+//! isolated [`StreamingRecognizer`](echowrite::StreamingRecognizer) no
+//! matter how many shards run or how sessions interleave.
+//!
+//! Ingress is a bounded MPSC queue per shard and **never blocks**:
+//! [`SessionManager::submit`] returns a [`SubmitVerdict`] — enqueued, queue
+//! full (with a drain hint), or shed by the admission controller. A push
+//! that waits in a backlog past the configured deadline is degraded to
+//! segment-only output (the DTW match is skipped, the DSP state still
+//! advances) rather than stalling the shard. An idle reaper driven by the
+//! shard's logical sample clock reclaims abandoned sessions; no wall clock
+//! is read anywhere on the result path.
+
+use crate::admission::AdmissionController;
+use crate::config::ServeConfig;
+use crate::metrics::ServeMetrics;
+use echowrite::{EchoWrite, SegmentEvent, StreamingSession};
+use echowrite_profile::Stopwatch;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Scan for idle sessions every this many processed commands.
+const REAP_SCAN_EVERY: u64 = 64;
+
+/// Identifies one recognition session. Allocation is the caller's business
+/// (connection id, user id hash, …); the manager only requires ids of live
+/// sessions to be distinct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+/// The manager's answer to a [`SessionManager::submit`] — never a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use]
+pub enum SubmitVerdict {
+    /// Accepted; the shard will process it in submission order.
+    Enqueued,
+    /// The session's shard queue is full; try again after roughly this
+    /// many queued commands have drained.
+    QueueFull {
+        /// Current depth of the rejecting shard's queue.
+        retry_after_chunks: usize,
+    },
+    /// Rejected by the admission controller (opens past the high-water
+    /// mark or the hard session cap), or the manager is shutting down.
+    Shedding,
+}
+
+/// One unit of work for [`SessionManager::submit`].
+#[derive(Debug)]
+pub enum Request<'a> {
+    /// Start a session (admission-controlled).
+    Open(SessionId),
+    /// Append an audio chunk to a live session.
+    Push(SessionId, &'a [f64]),
+    /// End a session, flushing every remaining segment.
+    Finish(SessionId),
+}
+
+/// An output produced by a shard worker, drained via
+/// [`SessionManager::try_events`]. Events of one session arrive in order;
+/// events of different sessions interleave arbitrarily (shards run
+/// concurrently).
+#[derive(Debug, Clone)]
+pub enum ServeEvent {
+    /// A decided stroke segment. `segment.classification` is `None` when
+    /// the producing push was degraded by a missed deadline.
+    Segment {
+        /// The session that produced the segment.
+        session: SessionId,
+        /// The segment, in the session's absolute frame clock.
+        segment: SegmentEvent,
+    },
+    /// The session finished (explicit [`Request::Finish`]); all its
+    /// segments have been emitted.
+    Finished {
+        /// The finished session.
+        session: SessionId,
+    },
+    /// The idle reaper reclaimed the session.
+    Reaped {
+        /// The reaped session.
+        session: SessionId,
+    },
+}
+
+/// A command in flight to a shard worker.
+enum Cmd {
+    Open { id: u64 },
+    Push { id: u64, chunk: Vec<f64>, seq: u64, timer: Stopwatch },
+    Finish { id: u64 },
+}
+
+/// Outstanding-command counter backing [`SessionManager::quiesce`] —
+/// a condvar, not a sleep loop, so no duration is ever chosen.
+#[derive(Debug, Default)]
+struct Pending {
+    n: Mutex<u64>,
+    zero: Condvar,
+}
+
+impl Pending {
+    fn lock(&self) -> std::sync::MutexGuard<'_, u64> {
+        self.n.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn inc(&self) {
+        *self.lock() += 1;
+    }
+
+    fn dec(&self) {
+        let mut g = self.lock();
+        *g = g.saturating_sub(1);
+        if *g == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait_zero(&self) {
+        let mut g = self.lock();
+        while *g > 0 {
+            g = self.zero.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Manager-side handle to one shard.
+struct ShardHandle {
+    tx: Option<SyncSender<Cmd>>,
+    depth: Arc<AtomicUsize>,
+    /// Pushes enqueued to this shard so far (the deadline clock).
+    pushes_enqueued: Arc<AtomicU64>,
+    pending: Arc<Pending>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ShardHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardHandle")
+            .field("depth", &self.depth.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// The sharded multi-session recognition service. See the module docs for
+/// the architecture; see [`ServeConfig`] for the knobs.
+///
+/// # Example
+///
+/// ```
+/// use echowrite::{EchoWrite, EchoWriteConfig, Parallelism};
+/// use echowrite_serve::{ServeConfig, SessionId, SessionManager, SubmitVerdict};
+///
+/// let engine = EchoWrite::with_config(EchoWriteConfig::streaming());
+/// let cfg = ServeConfig { shards: Parallelism::Threads(2), ..ServeConfig::default() };
+/// let manager = SessionManager::new(engine, cfg).expect("valid config");
+/// let id = SessionId(7);
+/// assert_eq!(manager.open(id), SubmitVerdict::Enqueued);
+/// let _ = manager.push(id, &[0.0; 4096]);
+/// let _ = manager.finish(id);
+/// manager.quiesce();
+/// ```
+#[derive(Debug)]
+pub struct SessionManager {
+    shards: Vec<ShardHandle>,
+    admission: Arc<AdmissionController>,
+    metrics: Arc<ServeMetrics>,
+    events: Mutex<Receiver<ServeEvent>>,
+    deadline_chunks: Option<u64>,
+}
+
+impl SessionManager {
+    /// Spawns the shard workers and returns the manager.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ServeConfig::validate`] message when the
+    /// configuration is invalid.
+    pub fn new(engine: EchoWrite, config: ServeConfig) -> Result<Self, String> {
+        config.validate()?;
+        engine.config().validate()?;
+        let engine = Arc::new(engine);
+        let admission =
+            Arc::new(AdmissionController::new(config.max_sessions, config.high_water));
+        let metrics = Arc::new(ServeMetrics::new());
+        let (evt_tx, evt_rx) = mpsc::channel();
+        let mut shards = Vec::with_capacity(config.shard_count());
+        for _ in 0..config.shard_count() {
+            let (tx, rx) = mpsc::sync_channel(config.queue_capacity);
+            let depth = Arc::new(AtomicUsize::new(0));
+            let pushes_enqueued = Arc::new(AtomicU64::new(0));
+            let pending = Arc::new(Pending::default());
+            let worker = Worker {
+                engine: engine.clone(),
+                rx,
+                events: evt_tx.clone(),
+                admission: admission.clone(),
+                metrics: metrics.clone(),
+                depth: depth.clone(),
+                pushes_enqueued: pushes_enqueued.clone(),
+                pending: pending.clone(),
+                deadline_chunks: config.deadline_chunks,
+                idle_timeout_samples: config.idle_timeout_samples,
+                sessions: BTreeMap::new(),
+                pool: Vec::new(),
+                scratch: Vec::new(),
+                clock_samples: 0,
+                commands_done: 0,
+            };
+            let join = std::thread::spawn(move || worker.run());
+            shards.push(ShardHandle {
+                tx: Some(tx),
+                depth,
+                pushes_enqueued,
+                pending,
+                join: Some(join),
+            });
+        }
+        Ok(SessionManager {
+            shards,
+            admission,
+            metrics,
+            events: Mutex::new(evt_rx),
+            deadline_chunks: config.deadline_chunks,
+        })
+    }
+
+    /// The shard a session is pinned to (Fibonacci hash of the id).
+    fn shard_of(&self, id: SessionId) -> usize {
+        let h = id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as usize) % self.shards.len().max(1)
+    }
+
+    /// Submits one request; never blocks. Opens pass admission control;
+    /// pushes and finishes go straight to the session's shard queue.
+    pub fn submit(&self, request: Request<'_>) -> SubmitVerdict {
+        match request {
+            Request::Open(id) => {
+                if !self.admission.try_admit() {
+                    self.metrics.sessions_shed.inc();
+                    return SubmitVerdict::Shedding;
+                }
+                let verdict = self.enqueue(id, Cmd::Open { id: id.0 });
+                if verdict != SubmitVerdict::Enqueued {
+                    // The slot reserved above was never used.
+                    self.admission.release();
+                }
+                if verdict == SubmitVerdict::Enqueued {
+                    self.metrics.sessions_live.inc();
+                }
+                verdict
+            }
+            Request::Push(id, chunk) => {
+                let shard = self.shard_of(id);
+                let seq = match self.shards.get(shard) {
+                    Some(s) => s.pushes_enqueued.load(Ordering::Acquire),
+                    None => 0,
+                };
+                let cmd = Cmd::Push {
+                    id: id.0,
+                    chunk: chunk.to_vec(),
+                    seq,
+                    timer: Stopwatch::start(),
+                };
+                let verdict = self.enqueue(id, cmd);
+                if verdict == SubmitVerdict::Enqueued {
+                    if let Some(s) = self.shards.get(shard) {
+                        s.pushes_enqueued.fetch_add(1, Ordering::AcqRel);
+                    }
+                }
+                verdict
+            }
+            Request::Finish(id) => self.enqueue(id, Cmd::Finish { id: id.0 }),
+        }
+    }
+
+    /// [`Request::Open`] shorthand.
+    pub fn open(&self, id: SessionId) -> SubmitVerdict {
+        self.submit(Request::Open(id))
+    }
+
+    /// [`Request::Push`] shorthand.
+    pub fn push(&self, id: SessionId, chunk: &[f64]) -> SubmitVerdict {
+        self.submit(Request::Push(id, chunk))
+    }
+
+    /// [`Request::Finish`] shorthand.
+    pub fn finish(&self, id: SessionId) -> SubmitVerdict {
+        self.submit(Request::Finish(id))
+    }
+
+    fn enqueue(&self, id: SessionId, cmd: Cmd) -> SubmitVerdict {
+        let Some(shard) = self.shards.get(self.shard_of(id)) else {
+            return SubmitVerdict::Shedding;
+        };
+        let Some(tx) = shard.tx.as_ref() else {
+            return SubmitVerdict::Shedding;
+        };
+        // Count before sending so the worker can never observe a drain
+        // below zero; undo on rejection.
+        shard.pending.inc();
+        shard.depth.fetch_add(1, Ordering::AcqRel);
+        self.metrics.queue_depth.inc();
+        match tx.try_send(cmd) {
+            Ok(()) => SubmitVerdict::Enqueued,
+            Err(err) => {
+                shard.pending.dec();
+                shard.depth.fetch_sub(1, Ordering::AcqRel);
+                self.metrics.queue_depth.dec();
+                match err {
+                    TrySendError::Full(_) => {
+                        self.metrics.queue_full.inc();
+                        SubmitVerdict::QueueFull {
+                            retry_after_chunks: shard.depth.load(Ordering::Acquire).max(1),
+                        }
+                    }
+                    TrySendError::Disconnected(_) => SubmitVerdict::Shedding,
+                }
+            }
+        }
+    }
+
+    /// Blocks until every enqueued command has been processed (a condvar
+    /// handshake — submissions arriving concurrently extend the wait).
+    pub fn quiesce(&self) {
+        for shard in &self.shards {
+            shard.pending.wait_zero();
+        }
+    }
+
+    /// Drains every currently available output event into `out`, returning
+    /// how many were appended. Never blocks.
+    pub fn try_events(&self, out: &mut Vec<ServeEvent>) -> usize {
+        let rx = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        let before = out.len();
+        while let Ok(ev) = rx.try_recv() {
+            out.push(ev);
+        }
+        out.len() - before
+    }
+
+    /// The manager's metric registry.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// Sessions currently live across all shards.
+    pub fn live_sessions(&self) -> usize {
+        self.admission.live()
+    }
+
+    /// Whether the admission controller is currently shedding new opens.
+    pub fn is_shedding(&self) -> bool {
+        self.admission.is_shedding()
+    }
+
+    /// The configured backlog deadline, if any.
+    pub fn deadline_chunks(&self) -> Option<u64> {
+        self.deadline_chunks
+    }
+
+    /// Drains the queues, stops every shard worker, and returns the final
+    /// metrics snapshot.
+    pub fn shutdown(self) -> crate::metrics::MetricsSnapshot {
+        self.quiesce();
+        let snapshot = self.metrics.snapshot();
+        drop(self);
+        snapshot
+    }
+}
+
+impl Drop for SessionManager {
+    fn drop(&mut self) {
+        // Closing the senders ends each worker's recv loop; then join.
+        for shard in &mut self.shards {
+            shard.tx = None;
+        }
+        for shard in &mut self.shards {
+            if let Some(join) = shard.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+/// One live session owned by a shard.
+struct Slot {
+    session: StreamingSession,
+    /// Shard logical-clock stamp (samples processed) of the last command.
+    last_active: u64,
+}
+
+/// A shard worker's whole state; `run` consumes it on its own thread.
+struct Worker {
+    engine: Arc<EchoWrite>,
+    rx: Receiver<Cmd>,
+    events: Sender<ServeEvent>,
+    admission: Arc<AdmissionController>,
+    metrics: Arc<ServeMetrics>,
+    depth: Arc<AtomicUsize>,
+    pushes_enqueued: Arc<AtomicU64>,
+    pending: Arc<Pending>,
+    deadline_chunks: Option<u64>,
+    idle_timeout_samples: Option<u64>,
+    /// Live sessions pinned to this shard (ordered map: deterministic
+    /// iteration for the reaper).
+    sessions: BTreeMap<u64, Slot>,
+    /// Finished/reaped session state kept for reuse — the arena that makes
+    /// open/close cheap (a reset touches counters, not allocations).
+    pool: Vec<StreamingSession>,
+    /// Per-shard scratch for segment events.
+    scratch: Vec<SegmentEvent>,
+    /// Logical clock: total samples this shard has processed.
+    clock_samples: u64,
+    commands_done: u64,
+}
+
+impl Worker {
+    fn run(mut self) {
+        while let Ok(cmd) = self.rx.recv() {
+            self.depth.fetch_sub(1, Ordering::AcqRel);
+            self.metrics.queue_depth.dec();
+            match cmd {
+                Cmd::Open { id } => self.handle_open(id),
+                Cmd::Push { id, chunk, seq, timer } => self.handle_push(id, &chunk, seq, timer),
+                Cmd::Finish { id } => self.handle_finish(id),
+            }
+            self.commands_done += 1;
+            if self.commands_done.is_multiple_of(REAP_SCAN_EVERY) {
+                self.reap_idle();
+            }
+            self.pending.dec();
+        }
+    }
+
+    fn handle_open(&mut self, id: u64) {
+        if let Some(slot) = self.sessions.get_mut(&id) {
+            // Re-open of a live id: restart it in place; the duplicate
+            // admission slot reserved by submit() is returned.
+            slot.session.reset(&self.engine);
+            slot.last_active = self.clock_samples;
+            self.admission.release();
+            self.metrics.sessions_live.dec();
+            return;
+        }
+        let session = match self.pool.pop() {
+            Some(mut s) => {
+                s.reset(&self.engine);
+                s
+            }
+            None => StreamingSession::new(&self.engine),
+        };
+        self.sessions.insert(id, Slot { session, last_active: self.clock_samples });
+        self.metrics.sessions_opened.inc();
+    }
+
+    fn handle_push(&mut self, id: u64, chunk: &[f64], seq: u64, timer: Stopwatch) {
+        let Some(slot) = self.sessions.get_mut(&id) else {
+            self.metrics.orphan_commands.inc();
+            return;
+        };
+        // Backlog lag: pushes enqueued to this shard after this one was.
+        let lag = self
+            .pushes_enqueued
+            .load(Ordering::Acquire)
+            .saturating_sub(seq.saturating_add(1));
+        let degraded = self.deadline_chunks.is_some_and(|d| lag > d);
+        self.scratch.clear();
+        slot.session.push_events(&self.engine, chunk, !degraded, &mut self.scratch);
+        self.clock_samples += chunk.len() as u64;
+        slot.last_active = self.clock_samples;
+        self.metrics.pushes.inc();
+        if degraded {
+            self.metrics.pushes_degraded.inc();
+        }
+        self.metrics.events.add(self.scratch.len() as u64);
+        for segment in self.scratch.drain(..) {
+            let _ = self.events.send(ServeEvent::Segment { session: SessionId(id), segment });
+        }
+        self.metrics.push_latency_us.observe((timer.elapsed_ms() * 1_000.0) as u64);
+    }
+
+    fn handle_finish(&mut self, id: u64) {
+        let Some(mut slot) = self.sessions.remove(&id) else {
+            self.metrics.orphan_commands.inc();
+            return;
+        };
+        self.scratch.clear();
+        slot.session.finish_events(&self.engine, true, &mut self.scratch);
+        self.metrics.events.add(self.scratch.len() as u64);
+        for segment in self.scratch.drain(..) {
+            let _ = self.events.send(ServeEvent::Segment { session: SessionId(id), segment });
+        }
+        let _ = self.events.send(ServeEvent::Finished { session: SessionId(id) });
+        self.pool.push(slot.session);
+        self.admission.release();
+        self.metrics.sessions_finished.inc();
+        self.metrics.sessions_live.dec();
+    }
+
+    /// Reclaims sessions whose last command is older than the idle
+    /// timeout on this shard's sample clock.
+    fn reap_idle(&mut self) {
+        let Some(timeout) = self.idle_timeout_samples else {
+            return;
+        };
+        let clock = self.clock_samples;
+        let stale: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, slot)| clock.saturating_sub(slot.last_active) > timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in stale {
+            if let Some(slot) = self.sessions.remove(&id) {
+                self.pool.push(slot.session);
+                let _ = self.events.send(ServeEvent::Reaped { session: SessionId(id) });
+                self.admission.release();
+                self.metrics.sessions_reaped.inc();
+                self.metrics.sessions_live.dec();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use echowrite::{EchoWriteConfig, Parallelism};
+
+    fn manager(cfg: ServeConfig) -> SessionManager {
+        let engine = EchoWrite::with_config(EchoWriteConfig::streaming());
+        SessionManager::new(engine, cfg).expect("valid test config")
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let engine = EchoWrite::with_config(EchoWriteConfig::streaming());
+        let bad = ServeConfig { shards: Parallelism::Threads(0), ..ServeConfig::default() };
+        assert!(SessionManager::new(engine, bad).is_err());
+    }
+
+    #[test]
+    fn open_push_finish_round_trip() {
+        let m = manager(ServeConfig {
+            shards: Parallelism::Threads(2),
+            ..ServeConfig::default()
+        });
+        let id = SessionId(42);
+        assert_eq!(m.open(id), SubmitVerdict::Enqueued);
+        assert_eq!(m.push(id, &vec![0.0; 44_100]), SubmitVerdict::Enqueued);
+        assert_eq!(m.finish(id), SubmitVerdict::Enqueued);
+        m.quiesce();
+        let mut events = Vec::new();
+        m.try_events(&mut events);
+        assert!(
+            matches!(events.last(), Some(ServeEvent::Finished { session }) if *session == id),
+            "expected Finished, got {events:?}"
+        );
+        let snap = m.shutdown();
+        assert_eq!(snap.sessions_opened, 1);
+        assert_eq!(snap.sessions_finished, 1);
+        assert_eq!(snap.sessions_live, 0);
+        assert_eq!(snap.pushes, 1);
+        assert_eq!(snap.push_latency_count, 1);
+    }
+
+    #[test]
+    fn admission_sheds_past_high_water() {
+        let m = manager(ServeConfig {
+            shards: Parallelism::Threads(1),
+            max_sessions: 4,
+            high_water: 2,
+            ..ServeConfig::default()
+        });
+        assert_eq!(m.open(SessionId(1)), SubmitVerdict::Enqueued);
+        assert_eq!(m.open(SessionId(2)), SubmitVerdict::Enqueued);
+        assert_eq!(m.open(SessionId(3)), SubmitVerdict::Shedding);
+        assert!(m.is_shedding());
+        m.quiesce();
+        assert_eq!(m.finish(SessionId(1)), SubmitVerdict::Enqueued);
+        m.quiesce();
+        // Hysteresis: low water for high_water=2 is 1, and 1 ≤ 1 clears it.
+        assert_eq!(m.open(SessionId(3)), SubmitVerdict::Enqueued);
+        assert_eq!(m.metrics().sessions_shed.get(), 1);
+    }
+
+    #[test]
+    fn full_queue_returns_queue_full_not_block() {
+        let m = manager(ServeConfig {
+            shards: Parallelism::Threads(1),
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        });
+        let id = SessionId(5);
+        let _ = m.open(id);
+        // Saturate the queue with a burst; at least one verdict must be
+        // QueueFull (the worker cannot drain a 0.5 s chunk instantly).
+        let chunk = vec![0.0; 22_050];
+        let mut saw_full = false;
+        for _ in 0..64 {
+            match m.push(id, &chunk) {
+                SubmitVerdict::QueueFull { retry_after_chunks } => {
+                    assert!(retry_after_chunks >= 1);
+                    saw_full = true;
+                    break;
+                }
+                SubmitVerdict::Enqueued => {}
+                SubmitVerdict::Shedding => panic!("push must not shed"),
+            }
+        }
+        assert!(saw_full, "a capacity-2 queue must report QueueFull under a burst");
+        assert!(m.metrics().queue_full.get() >= 1);
+        m.quiesce();
+    }
+
+    #[test]
+    fn orphan_commands_are_counted_not_fatal() {
+        let m = manager(ServeConfig {
+            shards: Parallelism::Threads(1),
+            ..ServeConfig::default()
+        });
+        let _ = m.push(SessionId(99), &[0.0; 1024]);
+        let _ = m.finish(SessionId(99));
+        m.quiesce();
+        assert_eq!(m.metrics().orphan_commands.get(), 2);
+    }
+
+    #[test]
+    fn idle_reaper_reclaims_abandoned_sessions() {
+        let m = manager(ServeConfig {
+            shards: Parallelism::Threads(1),
+            idle_timeout_samples: Some(10_000),
+            ..ServeConfig::default()
+        });
+        let idle = SessionId(1);
+        let busy = SessionId(2);
+        let _ = m.open(idle);
+        let _ = m.open(busy);
+        let _ = m.push(idle, &[0.0; 1024]);
+        // Push enough traffic through `busy` to trip a reap scan and age
+        // `idle` past the timeout on the shard's sample clock.
+        for _ in 0..(REAP_SCAN_EVERY + 8) {
+            let _ = m.push(busy, &[0.0; 1024]);
+            m.quiesce();
+        }
+        let mut events = Vec::new();
+        m.try_events(&mut events);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, ServeEvent::Reaped { session } if *session == idle)),
+            "idle session must be reaped; events: {events:?}"
+        );
+        assert_eq!(m.metrics().sessions_reaped.get(), 1);
+        assert_eq!(m.live_sessions(), 1, "busy session must survive");
+    }
+
+    #[test]
+    fn reopen_of_live_id_restarts_in_place() {
+        let m = manager(ServeConfig {
+            shards: Parallelism::Threads(1),
+            ..ServeConfig::default()
+        });
+        let id = SessionId(8);
+        let _ = m.open(id);
+        let _ = m.push(id, &[0.0; 4096]);
+        let _ = m.open(id); // restart
+        m.quiesce();
+        assert_eq!(m.live_sessions(), 1, "re-open must not leak an admission slot");
+        let _ = m.finish(id);
+        m.quiesce();
+        assert_eq!(m.live_sessions(), 0);
+    }
+}

@@ -1,0 +1,386 @@
+//! Lock-free serving metrics: counters, gauges, and a fixed-bucket
+//! latency histogram, all plain atomics so the ingress path and the shard
+//! workers never contend on a lock to record an observation.
+//!
+//! This module is the serving layer's *only* sanctioned wall-clock
+//! quarantine, mirroring `crates/profile::timing`: the uptime gauge below
+//! reads `std::time::Instant` behind reasoned `echolint: allow` markers.
+//! Everything that can influence a recognition result — queue order,
+//! deadlines, the idle reaper — runs on logical clocks (enqueue sequence
+//! numbers and pushed-sample counts) and never touches this clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+// echolint: allow(determinism) -- metrics-only uptime clock, quarantined like crates/profile::timing; never feeds recognition results
+use std::time::Instant;
+
+/// Upper bounds (µs) of the push-latency histogram buckets; observations
+/// above the last bound land in the implicit overflow bucket.
+pub const LATENCY_BUCKETS_US: [u64; 12] =
+    [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000];
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that moves both ways (stored non-negative; `dec` saturates at
+/// zero rather than wrapping, so a racy transient can never explode the
+/// reported depth).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one, saturating at zero.
+    pub fn dec(&self) {
+        let _ = self.0.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
+    }
+
+    /// Sets the value outright.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram (cumulative-bucket semantics at snapshot time,
+/// Prometheus style) over [`LATENCY_BUCKETS_US`] plus an overflow bucket.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation (µs).
+    pub fn observe(&self, us: u64) {
+        let idx = LATENCY_BUCKETS_US.iter().position(|&b| us <= b).unwrap_or(LATENCY_BUCKETS_US.len());
+        if let Some(b) = self.buckets.get(idx) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        self.sum.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (µs).
+    pub fn sum_us(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (non-cumulative), overflow bucket last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Upper bound (µs) of the bucket containing the `q`-quantile
+    /// observation, or `None` when empty. The overflow bucket reports
+    /// `u64::MAX`. `q` is clamped to [0, 1].
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let rank = rank.max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(LATENCY_BUCKETS_US.get(i).copied().unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// The serving layer's metric registry: one instance per
+/// [`SessionManager`](crate::SessionManager), shared by the ingress path
+/// and every shard worker.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// Sessions admitted and opened.
+    pub sessions_opened: Counter,
+    /// Sessions ended by an explicit finish.
+    pub sessions_finished: Counter,
+    /// Sessions reclaimed by the idle reaper.
+    pub sessions_reaped: Counter,
+    /// Open attempts rejected by the admission controller.
+    pub sessions_shed: Counter,
+    /// Sessions currently live across all shards.
+    pub sessions_live: Gauge,
+    /// Audio chunks processed by shard workers.
+    pub pushes: Counter,
+    /// Pushes degraded to segment-only output by a missed deadline.
+    pub pushes_degraded: Counter,
+    /// Submissions rejected because the shard queue was full.
+    pub queue_full: Counter,
+    /// Commands addressed to a session no shard knows (never opened, shed,
+    /// already finished, or reaped).
+    pub orphan_commands: Counter,
+    /// Segment events emitted across all sessions.
+    pub events: Counter,
+    /// Commands currently sitting in shard queues.
+    pub queue_depth: Gauge,
+    /// End-to-end push latency (enqueue to processed), µs.
+    pub push_latency_us: Histogram,
+    started: Instant,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeMetrics {
+    /// Creates a zeroed registry.
+    pub fn new() -> Self {
+        ServeMetrics {
+            sessions_opened: Counter::default(),
+            sessions_finished: Counter::default(),
+            sessions_reaped: Counter::default(),
+            sessions_shed: Counter::default(),
+            sessions_live: Gauge::default(),
+            pushes: Counter::default(),
+            pushes_degraded: Counter::default(),
+            queue_full: Counter::default(),
+            orphan_commands: Counter::default(),
+            events: Counter::default(),
+            queue_depth: Gauge::default(),
+            push_latency_us: Histogram::default(),
+            // echolint: allow(determinism) -- observability-only uptime stamp; nothing downstream branches on it
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds since the registry was created (wall clock; observability
+    /// only).
+    pub fn uptime_seconds(&self) -> f64 {
+        // echolint: allow(determinism) -- observability-only uptime read, quarantined in this module
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            sessions_opened: self.sessions_opened.get(),
+            sessions_finished: self.sessions_finished.get(),
+            sessions_reaped: self.sessions_reaped.get(),
+            sessions_shed: self.sessions_shed.get(),
+            sessions_live: self.sessions_live.get(),
+            pushes: self.pushes.get(),
+            pushes_degraded: self.pushes_degraded.get(),
+            queue_full: self.queue_full.get(),
+            orphan_commands: self.orphan_commands.get(),
+            events: self.events.get(),
+            queue_depth: self.queue_depth.get(),
+            push_latency_count: self.push_latency_us.count(),
+            push_latency_sum_us: self.push_latency_us.sum_us(),
+            push_latency_buckets: self.push_latency_us.bucket_counts(),
+            push_latency_p99_us: self.push_latency_us.quantile_upper_bound(0.99),
+            uptime_seconds: self.uptime_seconds(),
+        }
+    }
+
+    /// Prometheus-style text exposition of the whole registry.
+    pub fn to_prometheus(&self) -> String {
+        self.snapshot().to_prometheus()
+    }
+}
+
+/// A point-in-time copy of [`ServeMetrics`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Sessions admitted and opened.
+    pub sessions_opened: u64,
+    /// Sessions ended by an explicit finish.
+    pub sessions_finished: u64,
+    /// Sessions reclaimed by the idle reaper.
+    pub sessions_reaped: u64,
+    /// Open attempts rejected by the admission controller.
+    pub sessions_shed: u64,
+    /// Sessions currently live across all shards.
+    pub sessions_live: u64,
+    /// Audio chunks processed by shard workers.
+    pub pushes: u64,
+    /// Pushes degraded to segment-only output by a missed deadline.
+    pub pushes_degraded: u64,
+    /// Submissions rejected because the shard queue was full.
+    pub queue_full: u64,
+    /// Commands addressed to a session no shard knows.
+    pub orphan_commands: u64,
+    /// Segment events emitted across all sessions.
+    pub events: u64,
+    /// Commands currently sitting in shard queues.
+    pub queue_depth: u64,
+    /// Push-latency observation count.
+    pub push_latency_count: u64,
+    /// Push-latency sum, µs.
+    pub push_latency_sum_us: u64,
+    /// Push-latency per-bucket counts (non-cumulative, overflow last).
+    pub push_latency_buckets: Vec<u64>,
+    /// Upper bound (µs) of the bucket holding the p99 push latency.
+    pub push_latency_p99_us: Option<u64>,
+    /// Seconds since the registry was created.
+    pub uptime_seconds: f64,
+}
+
+impl MetricsSnapshot {
+    /// Prometheus-style text exposition: `# TYPE` lines, counters/gauges,
+    /// and the latency histogram with cumulative `le` buckets.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let counters: [(&str, u64); 9] = [
+            ("echowrite_serve_sessions_opened_total", self.sessions_opened),
+            ("echowrite_serve_sessions_finished_total", self.sessions_finished),
+            ("echowrite_serve_sessions_reaped_total", self.sessions_reaped),
+            ("echowrite_serve_sessions_shed_total", self.sessions_shed),
+            ("echowrite_serve_pushes_total", self.pushes),
+            ("echowrite_serve_pushes_degraded_total", self.pushes_degraded),
+            ("echowrite_serve_queue_full_total", self.queue_full),
+            ("echowrite_serve_orphan_commands_total", self.orphan_commands),
+            ("echowrite_serve_events_total", self.events),
+        ];
+        for (name, v) in counters {
+            let _ = writeln!(s, "# TYPE {name} counter");
+            let _ = writeln!(s, "{name} {v}");
+        }
+        let gauges: [(&str, u64); 2] = [
+            ("echowrite_serve_sessions_live", self.sessions_live),
+            ("echowrite_serve_queue_depth", self.queue_depth),
+        ];
+        for (name, v) in gauges {
+            let _ = writeln!(s, "# TYPE {name} gauge");
+            let _ = writeln!(s, "{name} {v}");
+        }
+        let _ = writeln!(s, "# TYPE echowrite_serve_uptime_seconds gauge");
+        let _ = writeln!(s, "echowrite_serve_uptime_seconds {:.3}", self.uptime_seconds);
+        let _ = writeln!(s, "# TYPE echowrite_serve_push_latency_us histogram");
+        let mut cumulative = 0u64;
+        for (i, n) in self.push_latency_buckets.iter().enumerate() {
+            cumulative += n;
+            match LATENCY_BUCKETS_US.get(i) {
+                Some(le) => {
+                    let _ = writeln!(
+                        s,
+                        "echowrite_serve_push_latency_us_bucket{{le=\"{le}\"}} {cumulative}"
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        s,
+                        "echowrite_serve_push_latency_us_bucket{{le=\"+Inf\"}} {cumulative}"
+                    );
+                }
+            }
+        }
+        let _ = writeln!(s, "echowrite_serve_push_latency_us_sum {}", self.push_latency_sum_us);
+        let _ = writeln!(s, "echowrite_serve_push_latency_us_count {}", self.push_latency_count);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::default();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.dec();
+        g.dec(); // saturates, no wrap
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_p99() {
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.observe(40); // first bucket (le 50)
+        }
+        h.observe(200_000); // second-to-last bucket
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_upper_bound(0.5), Some(50));
+        assert_eq!(h.quantile_upper_bound(0.99), Some(50));
+        assert_eq!(h.quantile_upper_bound(1.0), Some(250_000));
+        let h2 = Histogram::default();
+        assert_eq!(h2.quantile_upper_bound(0.99), None);
+        h2.observe(u64::MAX); // overflow bucket
+        assert_eq!(h2.quantile_upper_bound(0.99), Some(u64::MAX));
+    }
+
+    #[test]
+    fn prometheus_dump_has_every_family() {
+        let m = ServeMetrics::new();
+        m.pushes.inc();
+        m.push_latency_us.observe(123);
+        m.queue_depth.set(7);
+        let text = m.to_prometheus();
+        for family in [
+            "echowrite_serve_sessions_opened_total",
+            "echowrite_serve_sessions_shed_total",
+            "echowrite_serve_pushes_total 1",
+            "echowrite_serve_queue_depth 7",
+            "echowrite_serve_push_latency_us_bucket{le=\"250\"} 1",
+            "echowrite_serve_push_latency_us_bucket{le=\"+Inf\"} 1",
+            "echowrite_serve_push_latency_us_count 1",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn snapshot_reflects_registry() {
+        let m = ServeMetrics::new();
+        m.sessions_opened.add(3);
+        m.sessions_live.set(2);
+        m.push_latency_us.observe(60);
+        let snap = m.snapshot();
+        assert_eq!(snap.sessions_opened, 3);
+        assert_eq!(snap.sessions_live, 2);
+        assert_eq!(snap.push_latency_count, 1);
+        assert_eq!(snap.push_latency_p99_us, Some(100));
+        assert!(snap.uptime_seconds >= 0.0);
+    }
+}

@@ -124,6 +124,36 @@ impl IncrementalEnhancer {
         self.raw_n
     }
 
+    /// Whether the static background has been frozen (the lead-in has
+    /// completed or a warm reset carried one over).
+    pub fn background_frozen(&self) -> bool {
+        self.background.is_some()
+    }
+
+    /// Restores the enhancer to its fresh state in place, reusing every
+    /// allocation. The next session re-estimates the static background from
+    /// its own opening frames.
+    pub fn reset(&mut self) {
+        self.background = None;
+        self.reset_keeping_background();
+    }
+
+    /// Like [`IncrementalEnhancer::reset`], but retains the frozen static
+    /// background so the next session skips the `static_frames` lead-in:
+    /// its opening columns are subtracted against the carried-over
+    /// background immediately instead of being buffered for estimation.
+    pub fn reset_keeping_background(&mut self) {
+        self.raw.clear();
+        self.raw_n = 0;
+        self.med_n = 0;
+        self.pre_bg.clear();
+        self.thr.clear();
+        self.thr_n = 0;
+        self.h_n = 0;
+        self.holes.reset();
+        self.finished = false;
+    }
+
     /// Binary columns emitted so far.
     pub fn columns_out(&self) -> usize {
         self.holes.next_emit
@@ -321,6 +351,11 @@ impl ColStore {
             self.base += 1;
         }
     }
+
+    fn clear(&mut self) {
+        self.cols.clear();
+        self.base = 0;
+    }
 }
 
 /// Incremental hole filling: union-find over per-column background runs.
@@ -364,6 +399,17 @@ impl HoleFiller {
             pushed: 0,
             next_emit: 0,
         }
+    }
+
+    /// Clears every component and pending column, reusing the allocations.
+    fn reset(&mut self) {
+        self.parent.clear();
+        self.border.clear();
+        self.last_col.clear();
+        self.frontier.clear();
+        self.pending.clear();
+        self.pushed = 0;
+        self.next_emit = 0;
     }
 
     fn find(&mut self, mut x: usize) -> usize {
@@ -669,6 +715,55 @@ mod tests {
             "union-find arena grew to {}",
             filler.parent.len()
         );
+    }
+
+    #[test]
+    fn reset_replays_bitwise_and_warm_reset_keeps_background() {
+        let cfg = EnhanceConfig::streaming();
+        let spec = synthetic(24, 30, 77);
+        let fresh = enhance_incrementally(cfg, &spec);
+
+        let mut inc = IncrementalEnhancer::new(cfg, spec.rows());
+        let mut sink_null = |_: usize, _: &[f64]| {};
+        for c in 0..spec.cols() {
+            inc.push_column(&spec.column(c), &mut sink_null);
+        }
+        inc.finish(&mut sink_null);
+        assert!(inc.background_frozen());
+
+        // Cold reset: a second session through the same enhancer is bitwise
+        // the fresh run.
+        inc.reset();
+        assert!(!inc.background_frozen());
+        let mut cols: Vec<Vec<f64>> = Vec::new();
+        let mut sink = |_: usize, col: &[f64]| cols.push(col.to_vec());
+        for c in 0..spec.cols() {
+            inc.push_column(&spec.column(c), &mut sink);
+        }
+        inc.finish(&mut sink);
+        assert_eq!(cols.len(), fresh.cols());
+        for (c, col) in cols.iter().enumerate() {
+            for (r, &v) in col.iter().enumerate() {
+                assert!(v == fresh.get(r, c), "cold reset diverges at ({r}, {c})");
+            }
+        }
+
+        // Warm reset: the background survives, so the same audio replays
+        // bitwise (the frozen estimate equals what a fresh lead-in computes).
+        inc.reset_keeping_background();
+        assert!(inc.background_frozen(), "warm reset must keep the background");
+        let mut cols: Vec<Vec<f64>> = Vec::new();
+        let mut sink = |_: usize, col: &[f64]| cols.push(col.to_vec());
+        for c in 0..spec.cols() {
+            inc.push_column(&spec.column(c), &mut sink);
+        }
+        inc.finish(&mut sink);
+        assert_eq!(cols.len(), fresh.cols());
+        for (c, col) in cols.iter().enumerate() {
+            for (r, &v) in col.iter().enumerate() {
+                assert!(v == fresh.get(r, c), "warm reset diverges at ({r}, {c})");
+            }
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@ fn main() {
         .collect();
     let mut writer = Writer::new(WriterParams::nominal(), 9);
     let perf = writer.write_phrase(&seqs, 3.0);
-    let mut traj = perf.trajectory.clone();
+    let mut traj = perf.trajectory;
     let rest = *traj.points().last().expect("non-empty phrase");
     traj.hold(rest, 3.5);
     let mic = Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), 9)

@@ -1,0 +1,115 @@
+//! The serving layer end to end: a sharded `SessionManager` multiplexing
+//! several concurrent writers, with backpressure verdicts, per-session
+//! transcripts, and the Prometheus metrics dump.
+//!
+//! ```sh
+//! cargo run --release --example serve_demo
+//! ```
+
+use echowrite::{EchoWrite, EchoWriteConfig, Parallelism};
+use echowrite_gesture::{stroke::format_sequence, Stroke, Writer, WriterParams};
+use echowrite_serve::{ServeConfig, ServeEvent, SessionId, SessionManager, SubmitVerdict};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+use std::collections::BTreeMap;
+
+fn render(strokes: &[Stroke], seed: u64) -> Vec<f64> {
+    let perf = Writer::new(WriterParams::nominal(), seed).write_sequence(strokes);
+    let mut traj = perf.trajectory;
+    let last = *traj.points().last().expect("non-empty trajectory");
+    traj.hold(last, 1.0);
+    Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), seed).render(&traj)
+}
+
+fn main() {
+    // Four writers, four different stroke sequences.
+    let writers: Vec<(SessionId, Vec<Stroke>)> = vec![
+        (SessionId(1), vec![Stroke::S2, Stroke::S5]),
+        (SessionId(2), vec![Stroke::S4, Stroke::S1]),
+        (SessionId(3), vec![Stroke::S3]),
+        (SessionId(4), vec![Stroke::S6, Stroke::S2, Stroke::S1]),
+    ];
+    let audios: Vec<(SessionId, Vec<f64>)> = writers
+        .iter()
+        .map(|(id, strokes)| (*id, render(strokes, id.0)))
+        .collect();
+
+    let engine = EchoWrite::with_config(EchoWriteConfig::streaming());
+    let manager = SessionManager::new(
+        engine,
+        ServeConfig {
+            shards: Parallelism::Threads(2),
+            queue_capacity: 64,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("valid serve config");
+
+    for (id, _) in &audios {
+        assert_eq!(manager.open(*id), SubmitVerdict::Enqueued);
+    }
+
+    // Interleave everyone's chunks round-robin, as a gateway thread would.
+    let chunk = 5 * 1024;
+    let mut cursors: Vec<usize> = vec![0; audios.len()];
+    loop {
+        let mut progressed = false;
+        for (slot, (id, audio)) in audios.iter().enumerate() {
+            let pos = cursors[slot];
+            if pos >= audio.len() {
+                continue;
+            }
+            let end = (pos + chunk).min(audio.len());
+            match manager.push(*id, &audio[pos..end]) {
+                SubmitVerdict::Enqueued => {
+                    cursors[slot] = end;
+                    progressed = true;
+                    if end == audio.len() {
+                        let _ = manager.finish(*id);
+                    }
+                }
+                SubmitVerdict::QueueFull { retry_after_chunks } => {
+                    println!(
+                        "backpressure: session {} queue full, retry after ~{} chunks",
+                        id.0, retry_after_chunks
+                    );
+                    manager.quiesce();
+                }
+                SubmitVerdict::Shedding => {
+                    println!("session {} shed — overloaded", id.0);
+                    cursors[slot] = audio.len();
+                }
+            }
+        }
+        if !progressed && cursors.iter().zip(&audios).all(|(&c, (_, a))| c >= a.len()) {
+            break;
+        }
+    }
+    manager.quiesce();
+
+    let mut events = Vec::new();
+    manager.try_events(&mut events);
+    let mut transcripts: BTreeMap<u64, Vec<Stroke>> = BTreeMap::new();
+    for ev in &events {
+        match ev {
+            ServeEvent::Segment { session, segment } => {
+                if let Some(cls) = &segment.classification {
+                    transcripts.entry(session.0).or_default().push(cls.stroke);
+                }
+            }
+            ServeEvent::Finished { session } => println!("session {} finished", session.0),
+            ServeEvent::Reaped { session } => println!("session {} reaped", session.0),
+        }
+    }
+    println!();
+    for (id, wrote) in &writers {
+        let got = transcripts.get(&id.0).cloned().unwrap_or_default();
+        println!(
+            "session {}: wrote [{}]  recognized [{}]",
+            id.0,
+            format_sequence(wrote),
+            format_sequence(&got)
+        );
+    }
+
+    println!("\n--- metrics ---\n{}", manager.metrics().to_prometheus());
+}

@@ -19,7 +19,7 @@ fn main() {
 
     // Render the performance plus a rest tail so the last stroke stabilizes.
     let perf = Writer::new(WriterParams::nominal(), 11).write_sequence(&strokes);
-    let mut traj = perf.trajectory.clone();
+    let mut traj = perf.trajectory;
     let last = *traj.points().last().expect("non-empty trajectory");
     traj.hold(last, 1.0);
     let mic = Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), 11)

@@ -1,0 +1,210 @@
+//! The serving-layer determinism guarantee (DESIGN.md §6.4): pushing K
+//! sessions' chunks through a sharded [`SessionManager`] — in *any*
+//! interleaving, on any shard count — yields per-session transcripts
+//! bitwise identical to K isolated [`StreamingRecognizer`]s, because every
+//! session's DSP state is pinned to exactly one shard and processed in
+//! submission order.
+
+use echowrite::{EchoWrite, EchoWriteConfig, Parallelism, StreamingRecognizer};
+use echowrite_gesture::{Stroke, Writer, WriterParams};
+use echowrite_serve::{ServeConfig, ServeEvent, SessionId, SessionManager, SubmitVerdict};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Chunk size for every push: the Android app's 5-frame buffer.
+const CHUNK: usize = 5 * 1024;
+/// Concurrent sessions per scenario.
+const K: usize = 4;
+
+/// A transcript row: `(start, end, stroke, scores)` — scores compared
+/// bitwise.
+type Row = (usize, usize, Stroke, [f64; 6]);
+
+fn engine() -> &'static EchoWrite {
+    static E: OnceLock<EchoWrite> = OnceLock::new();
+    E.get_or_init(|| EchoWrite::with_config(EchoWriteConfig::streaming()))
+}
+
+fn render(strokes: &[Stroke], seed: u64, tail: f64) -> Vec<f64> {
+    let perf = Writer::new(WriterParams::nominal(), seed).write_sequence(strokes);
+    let mut traj = perf.trajectory;
+    if tail > 0.0 {
+        let last = *traj.points().last().expect("non-empty trajectory");
+        traj.hold(last, tail);
+    }
+    Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), seed).render(&traj)
+}
+
+/// K session audios plus their isolated-recognizer oracle transcripts.
+fn sessions() -> &'static Vec<(Vec<f64>, Vec<Row>)> {
+    static S: OnceLock<Vec<(Vec<f64>, Vec<Row>)>> = OnceLock::new();
+    S.get_or_init(|| {
+        let audios = [
+            render(&[Stroke::S2, Stroke::S5], 101, 1.2),
+            render(&[Stroke::S4], 37, 1.0),
+            // No tail: last stroke decidable only at finish.
+            render(&[Stroke::S3, Stroke::S6], 59, 0.0),
+            render(&[Stroke::S1, Stroke::S2, Stroke::S4], 73, 1.1),
+        ];
+        audios
+            .into_iter()
+            .map(|audio| {
+                let mut rec = StreamingRecognizer::new(engine());
+                let mut rows: Vec<Row> = Vec::new();
+                for chunk in audio.chunks(CHUNK) {
+                    for ev in rec.push(chunk) {
+                        rows.push((
+                            ev.start_frame,
+                            ev.end_frame,
+                            ev.classification.stroke,
+                            ev.classification.scores,
+                        ));
+                    }
+                }
+                for ev in rec.finish() {
+                    rows.push((
+                        ev.start_frame,
+                        ev.end_frame,
+                        ev.classification.stroke,
+                        ev.classification.scores,
+                    ));
+                }
+                (audio, rows)
+            })
+            .collect()
+    })
+}
+
+/// Submits with bounded retries: `submit()` itself never blocks, so on
+/// QueueFull the test quiesces the shards (drains the queues) and retries.
+fn must_enqueue(m: &SessionManager, mut attempt: impl FnMut() -> SubmitVerdict) {
+    for _ in 0..1000 {
+        match attempt() {
+            SubmitVerdict::Enqueued => return,
+            SubmitVerdict::QueueFull { retry_after_chunks } => {
+                assert!(retry_after_chunks >= 1);
+                m.quiesce();
+            }
+            SubmitVerdict::Shedding => panic!("admission must not shed in this scenario"),
+        }
+    }
+    panic!("queue never drained");
+}
+
+/// Runs the K sessions through a manager with `shards` shards, feeding
+/// chunks in the order given by `interleave` (indices into the sessions,
+/// cycled past exhausted ones), and returns the per-session transcripts.
+fn run_interleaved(shards: usize, interleave: &[usize]) -> Vec<Vec<Row>> {
+    let manager = SessionManager::new(
+        engine().clone(),
+        ServeConfig {
+            shards: Parallelism::Threads(shards),
+            queue_capacity: 64,
+            // Degradation must be off for bitwise-deterministic output.
+            deadline_chunks: None,
+            idle_timeout_samples: None,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("valid serve config");
+
+    for k in 0..K {
+        must_enqueue(&manager, || manager.open(SessionId(k as u64)));
+    }
+    let mut cursors = [0usize; K];
+    let mut pending: Vec<usize> = (0..K).collect();
+    let mut step = 0usize;
+    while !pending.is_empty() {
+        // Pick the next session the interleaving names that still has audio.
+        let pick = interleave[step % interleave.len()] % pending.len();
+        step += 1;
+        let k = pending[pick];
+        let audio = &sessions()[k].0;
+        let pos = cursors[k];
+        let end = (pos + CHUNK).min(audio.len());
+        must_enqueue(&manager, || manager.push(SessionId(k as u64), &audio[pos..end]));
+        cursors[k] = end;
+        if end == audio.len() {
+            must_enqueue(&manager, || manager.finish(SessionId(k as u64)));
+            pending.remove(pick);
+        }
+    }
+    manager.quiesce();
+
+    let mut events = Vec::new();
+    manager.try_events(&mut events);
+    let mut transcripts: Vec<Vec<Row>> = vec![Vec::new(); K];
+    let mut finished = 0usize;
+    for ev in events {
+        match ev {
+            ServeEvent::Segment { session, segment } => {
+                let cls = segment.classification.expect("no degradation configured");
+                transcripts[session.0 as usize].push((
+                    segment.start_frame,
+                    segment.end_frame,
+                    cls.stroke,
+                    cls.scores,
+                ));
+            }
+            ServeEvent::Finished { .. } => finished += 1,
+            ServeEvent::Reaped { .. } => panic!("reaper is disabled"),
+        }
+    }
+    assert_eq!(finished, K, "every session must emit Finished");
+    let snapshot = manager.shutdown();
+    assert_eq!(snapshot.sessions_opened as usize, K);
+    assert_eq!(snapshot.sessions_finished as usize, K);
+    assert_eq!(snapshot.sessions_live, 0);
+    transcripts
+}
+
+fn assert_matches_oracle(transcripts: &[Vec<Row>], shards: usize) {
+    for (k, got) in transcripts.iter().enumerate() {
+        let want = &sessions()[k].1;
+        assert_eq!(
+            got, want,
+            "session {k} on {shards} shard(s): transcript diverged from isolated recognizer"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random interleavings of the K sessions' chunks, 1 and 4 shards:
+    /// per-session transcripts must equal the isolated oracles bitwise.
+    #[test]
+    fn interleaved_sessions_match_isolated_recognizers(
+        interleave in prop::collection::vec(0usize..K, 8..64),
+    ) {
+        for shards in [1usize, 4] {
+            let transcripts = run_interleaved(shards, &interleave);
+            assert_matches_oracle(&transcripts, shards);
+        }
+    }
+}
+
+/// Deterministic edge interleavings random sampling is unlikely to hit:
+/// strict round-robin, one-session-at-a-time, and a skewed pattern that
+/// starves one session until the end.
+#[test]
+fn edge_interleavings_match_isolated_recognizers() {
+    let round_robin: Vec<usize> = (0..K).collect();
+    let sequential = vec![0usize];
+    let skewed = vec![0usize, 1, 1, 2, 2, 2, 3, 3, 3, 3];
+    for interleave in [round_robin, sequential, skewed] {
+        for shards in [1usize, 4] {
+            let transcripts = run_interleaved(shards, &interleave);
+            assert_matches_oracle(&transcripts, shards);
+        }
+    }
+}
+
+/// At least one scenario must produce a non-trivial transcript, or the
+/// bitwise comparison proves nothing.
+#[test]
+fn oracles_are_nontrivial() {
+    let total: usize = sessions().iter().map(|(_, rows)| rows.len()).sum();
+    assert!(total >= 6, "oracle transcripts too sparse: {total} strokes");
+}
