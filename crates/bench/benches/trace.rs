@@ -1,0 +1,96 @@
+//! Tracing overhead benchmarks (DESIGN.md §6.5): the same steady-state
+//! streaming push measured with tracing disabled, with the discarding
+//! no-op sink, and with the bounded recording sink.
+//!
+//! The contract being measured: the disabled path costs one relaxed
+//! atomic load per instrumentation site (indistinguishable from the
+//! pre-observability build), and the recording sink stays within the 5%
+//! per-push overhead budget enforced by the `trace_gate` CI job.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use echowrite::{EchoWrite, EchoWriteConfig, StreamingRecognizer};
+use echowrite_gesture::{Stroke, Writer, WriterParams};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+use echowrite_trace::ScopedMode;
+use std::sync::OnceLock;
+
+const SAMPLE_RATE: usize = 44_100;
+const SESSION_SECONDS: usize = 12;
+/// Five STFT hops per push — the chunk an audio callback would hand over.
+const CHUNK: usize = 5 * 1024;
+
+/// A 12 s writing session: four strokes, then held still to the 12 s mark.
+fn session_audio() -> &'static Vec<f64> {
+    static A: OnceLock<Vec<f64>> = OnceLock::new();
+    A.get_or_init(|| {
+        let strokes = [Stroke::S2, Stroke::S4, Stroke::S1, Stroke::S3];
+        let perf = Writer::new(WriterParams::nominal(), 7).write_sequence(&strokes);
+        let mut audio = Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), 7)
+            .render(&perf.trajectory);
+        audio.resize(SESSION_SECONDS * SAMPLE_RATE, 0.0);
+        audio
+    })
+}
+
+fn engine() -> &'static EchoWrite {
+    static E: OnceLock<EchoWrite> = OnceLock::new();
+    E.get_or_init(|| EchoWrite::with_config(EchoWriteConfig::streaming()))
+}
+
+/// Steady-state pushes (6 s prefill) under one sink mode.
+fn bench_mode(g: &mut criterion::BenchmarkGroup<'_>, name: &str, mode: ScopedMode) {
+    g.bench_function(BenchmarkId::new(name, "push"), |b| {
+        let _scope = echowrite_trace::scoped(mode);
+        let audio = session_audio();
+        let mut stream = StreamingRecognizer::new(engine());
+        let mut pos = 0;
+        while pos < 6 * SAMPLE_RATE {
+            let end = (pos + CHUNK).min(audio.len());
+            black_box(stream.push(&audio[pos..end]));
+            pos = end;
+        }
+        b.iter(|| {
+            if pos + CHUNK > audio.len() {
+                pos = 0; // keep streaming: cycle the session audio
+            }
+            let events = stream.push(black_box(&audio[pos..pos + CHUNK])).len();
+            pos += CHUNK;
+            events
+        })
+    });
+}
+
+/// Whole sessions under one sink mode (includes finish + decode-free tail).
+fn bench_session_mode(g: &mut criterion::BenchmarkGroup<'_>, name: &str, mode: ScopedMode) {
+    g.bench_function(BenchmarkId::new(name, "12s"), |b| {
+        let _scope = echowrite_trace::scoped(mode);
+        b.iter(|| {
+            let mut stream = StreamingRecognizer::new(engine());
+            let mut events = 0;
+            for chunk in session_audio().chunks(CHUNK) {
+                events += stream.push(black_box(chunk)).len();
+            }
+            events + stream.finish().len()
+        })
+    });
+}
+
+fn bench_push_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_push");
+    g.sample_size(10);
+    bench_mode(&mut g, "disabled", ScopedMode::Disabled);
+    bench_mode(&mut g, "noop", ScopedMode::Noop);
+    bench_mode(&mut g, "recording", ScopedMode::Recording(1 << 16));
+    g.finish();
+}
+
+fn bench_session_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_session");
+    g.sample_size(10);
+    bench_session_mode(&mut g, "disabled", ScopedMode::Disabled);
+    bench_session_mode(&mut g, "recording", ScopedMode::Recording(1 << 16));
+    g.finish();
+}
+
+criterion_group!(benches, bench_push_overhead, bench_session_overhead);
+criterion_main!(benches);

@@ -168,6 +168,15 @@ impl EchoWrite {
             })
             .collect();
         timing.dtw_ms = t.elapsed_ms();
+        if echowrite_trace::enabled() {
+            echowrite_trace::span(
+                echowrite_trace::Stage::Dtw,
+                "offline_dtw",
+                echowrite_trace::TICK_UNSET,
+                (timing.dtw_ms * 1_000.0) as u64,
+                classifications.len() as f64,
+            );
+        }
         StrokeRecognition { segments: analysis.segments, classifications, timing }
     }
 
@@ -184,13 +193,33 @@ impl EchoWrite {
             self.decoder.decode_soft(&observed, &scores)
         };
         strokes.timing.decode_ms = t.elapsed_ms();
+        if echowrite_trace::enabled() {
+            echowrite_trace::span(
+                echowrite_trace::Stage::Lang,
+                "offline_decode",
+                echowrite_trace::TICK_UNSET,
+                (strokes.timing.decode_ms * 1_000.0) as u64,
+                candidates.len() as f64,
+            );
+        }
         WordRecognition { strokes, candidates }
     }
 
     /// Decodes an already-recognized stroke sequence (no audio), using the
     /// confusion-matrix likelihoods.
     pub fn decode_sequence(&self, observed: &[Stroke]) -> Vec<Candidate> {
-        self.decoder.decode(observed)
+        let timer = echowrite_trace::enabled().then(Stopwatch::start);
+        let candidates = self.decoder.decode(observed);
+        if let Some(t) = timer {
+            echowrite_trace::span(
+                echowrite_trace::Stage::Lang,
+                "decode_sequence",
+                echowrite_trace::TICK_UNSET,
+                (t.elapsed_ms() * 1_000.0) as u64,
+                candidates.len() as f64,
+            );
+        }
+        candidates
     }
 }
 

@@ -252,6 +252,35 @@ impl Pipeline {
             "segmentation produced an out-of-range or empty segment"
         );
 
+        if echowrite_trace::enabled() {
+            use echowrite_trace::Stage;
+            let tick =
+                echowrite_trace::samples_to_us(audio.len() as u64, self.config.stft.sample_rate);
+            let ms_to_us = |ms: f64| (ms * 1_000.0) as u64;
+            echowrite_trace::span(Stage::Stft, "offline_stft", tick, ms_to_us(timing.stft_ms), 0.0);
+            echowrite_trace::span(
+                Stage::Enhance,
+                "offline_enhance",
+                tick,
+                ms_to_us(timing.enhance_ms),
+                0.0,
+            );
+            echowrite_trace::span(
+                Stage::Profile,
+                "offline_profile",
+                tick,
+                ms_to_us(timing.profile_ms),
+                profile.len() as f64,
+            );
+            echowrite_trace::span(
+                Stage::Segment,
+                "offline_segment",
+                tick,
+                ms_to_us(timing.segment_ms),
+                segments.len() as f64,
+            );
+        }
+
         Analysis { binary, profile, segments, timing }
     }
 

@@ -188,6 +188,24 @@ impl<'a> StreamingRecognizer<'a> {
     }
 }
 
+/// Classifies one stroke's shift profile, wrapping the DTW match in a
+/// [`Stage::Dtw`](echowrite_trace::Stage) span (wall time from a caller-side
+/// stopwatch; the dtw crate itself never reads a clock).
+fn classify_traced(engine: &EchoWrite, shifts: &[f64]) -> Classification {
+    let timer = echowrite_trace::enabled().then(echowrite_profile::Stopwatch::start);
+    let classification = engine.classifier().classify(shifts);
+    if let Some(t) = timer {
+        echowrite_trace::span(
+            echowrite_trace::Stage::Dtw,
+            "classify_stroke",
+            echowrite_trace::TICK_UNSET,
+            (t.elapsed_ms() * 1_000.0) as u64,
+            shifts.len() as f64,
+        );
+    }
+    classification
+}
+
 /// Maps classified segment events to [`StrokeEvent`]s (events without a
 /// classification are impossible when `classify` was true and are skipped).
 fn collect_stroke_events(events: &mut Vec<SegmentEvent>) -> Vec<StrokeEvent> {
@@ -215,6 +233,9 @@ fn collect_stroke_events(events: &mut Vec<SegmentEvent>) -> Vec<StrokeEvent> {
 pub struct StreamingSession {
     inner: Inner,
     finished: bool,
+    /// Total input samples pushed — the session's logical clock for trace
+    /// timestamps (audio time, not wall time).
+    samples_in: u64,
 }
 
 #[derive(Debug)]
@@ -233,7 +254,7 @@ impl StreamingSession {
         } else {
             Inner::Replay(Replay::new(engine))
         };
-        StreamingSession { inner, finished: false }
+        StreamingSession { inner, finished: false, samples_in: 0 }
     }
 
     /// Whether this session runs the incremental path.
@@ -279,12 +300,24 @@ impl StreamingSession {
         if self.finished {
             return;
         }
+        let before = events.len();
+        let timer = echowrite_trace::enabled().then(echowrite_profile::Stopwatch::start);
         match &mut self.inner {
             Inner::Replay(r) => r.push(engine, chunk, classify, events),
             Inner::Incremental(inc) => {
                 inc.push_audio(chunk);
                 inc.drain_events(engine, classify, events);
             }
+        }
+        self.samples_in += chunk.len() as u64;
+        if let Some(t) = timer {
+            echowrite_trace::span(
+                echowrite_trace::Stage::Stream,
+                "push",
+                echowrite_trace::samples_to_us(self.samples_in, engine.config().stft.sample_rate),
+                (t.elapsed_ms() * 1_000.0) as u64,
+                (events.len() - before) as f64,
+            );
         }
     }
 
@@ -300,9 +333,20 @@ impl StreamingSession {
             return;
         }
         self.finished = true;
+        let before = events.len();
+        let timer = echowrite_trace::enabled().then(echowrite_profile::Stopwatch::start);
         match &mut self.inner {
             Inner::Replay(r) => r.finish(engine, classify, events),
             Inner::Incremental(inc) => inc.finish(engine, classify, events),
+        }
+        if let Some(t) = timer {
+            echowrite_trace::span(
+                echowrite_trace::Stage::Stream,
+                "finish",
+                echowrite_trace::samples_to_us(self.samples_in, engine.config().stft.sample_rate),
+                (t.elapsed_ms() * 1_000.0) as u64,
+                (events.len() - before) as f64,
+            );
         }
     }
 
@@ -389,6 +433,7 @@ impl StreamingSession {
                 Inner::Replay(r)
             };
             self.finished = false;
+            self.samples_in = 0;
             return;
         }
         match &mut self.inner {
@@ -396,6 +441,7 @@ impl StreamingSession {
             Inner::Incremental(inc) => inc.reset_in_place(keep_background),
         }
         self.finished = false;
+        self.samples_in = 0;
     }
 }
 
@@ -495,7 +541,7 @@ impl Replay {
             }
             let classification = classify.then(|| {
                 let sub = analysis.profile.slice(seg.start, seg.end);
-                engine.classifier().classify(sub.shifts())
+                classify_traced(engine, sub.shifts())
             });
             events.push(SegmentEvent {
                 classification,
@@ -544,7 +590,7 @@ impl Replay {
             }
             let classification = classify.then(|| {
                 let sub = analysis.profile.slice(seg.start, seg.end);
-                engine.classifier().classify(sub.shifts())
+                classify_traced(engine, sub.shifts())
             });
             events.push(SegmentEvent {
                 classification,
@@ -773,7 +819,7 @@ impl Incremental {
         self.seg_scratch.clear();
         self.chain.segmenter.poll(&mut self.seg_scratch);
         for stroke in self.seg_scratch.drain(..) {
-            let classification = classify.then(|| engine.classifier().classify(&stroke.shifts));
+            let classification = classify.then(|| classify_traced(engine, &stroke.shifts));
             self.emitted_until = self.emitted_until.max(stroke.segment.end);
             events.push(SegmentEvent {
                 classification,
@@ -795,7 +841,7 @@ impl Incremental {
         self.seg_scratch.clear();
         self.chain.segmenter.finish(&mut self.seg_scratch);
         for stroke in self.seg_scratch.drain(..) {
-            let classification = classify.then(|| engine.classifier().classify(&stroke.shifts));
+            let classification = classify.then(|| classify_traced(engine, &stroke.shifts));
             self.emitted_until = self.emitted_until.max(stroke.segment.end);
             events.push(SegmentEvent {
                 classification,

@@ -175,8 +175,18 @@ impl StreamingDownconverter {
         self.buffer.extend_from_slice(samples);
         self.total_in += samples.len();
         // Output k needs input samples up to k·factor + half inclusive.
+        let before = self.k;
         while self.k * self.dc.factor + self.dc.half < self.total_in {
             self.emit_one(out);
+        }
+        if echowrite_trace::enabled() {
+            let tick = echowrite_trace::samples_to_us(self.total_in as u64, self.dc.sample_rate);
+            echowrite_trace::counter(
+                echowrite_trace::Stage::Downconvert,
+                "baseband_emitted",
+                tick,
+                (self.k - before) as f64,
+            );
         }
         // Compact once the dead prefix dominates the live tail.
         let keep = (self.k * self.dc.factor).saturating_sub(self.dc.half);

@@ -313,13 +313,16 @@ pub struct StreamingStft {
     scratch: StftScratch,
     /// Persistent output row handed to `push_band_into` callbacks.
     band: Vec<f64>,
+    /// Absolute samples received since creation/reset (the logical clock
+    /// behind trace timestamps).
+    total_in: u64,
 }
 
 impl StreamingStft {
     /// Creates a streaming wrapper around a planned STFT.
     pub fn new(stft: Stft) -> Self {
         let scratch = stft.make_scratch();
-        StreamingStft { stft, buffer: Vec::new(), start: 0, scratch, band: Vec::new() }
+        StreamingStft { stft, buffer: Vec::new(), start: 0, scratch, band: Vec::new(), total_in: 0 }
     }
 
     /// The STFT plan driving this stream.
@@ -346,8 +349,10 @@ impl StreamingStft {
         mut on_frame: impl FnMut(&[f64]),
     ) {
         self.buffer.extend_from_slice(samples);
+        self.total_in += samples.len() as u64;
         let (size, hop) = (self.stft.config.fft_size, self.stft.config.hop);
         self.band.resize(hi_bin.saturating_sub(lo_bin) + 1, 0.0);
+        let mut frames = 0u32;
         while self.buffer.len() - self.start >= size {
             self.stft.frame_band_into(
                 &self.buffer[self.start..self.start + size],
@@ -356,8 +361,18 @@ impl StreamingStft {
                 &mut self.scratch,
                 &mut self.band,
             );
+            frames += 1;
             on_frame(&self.band);
             self.start += hop;
+        }
+        if echowrite_trace::enabled() {
+            let tick = echowrite_trace::samples_to_us(self.total_in, self.stft.config.sample_rate);
+            echowrite_trace::counter(
+                echowrite_trace::Stage::Stft,
+                "frames_emitted",
+                tick,
+                f64::from(frames),
+            );
         }
         // Compact once the dead prefix dominates the live tail.
         if self.start > size.max(self.buffer.len() - self.start) {
@@ -385,10 +400,12 @@ impl StreamingStft {
         self.buffer.len() - self.start
     }
 
-    /// Clears the internal buffer (e.g. between text-entry sessions).
+    /// Clears the internal buffer (e.g. between text-entry sessions) and
+    /// rewinds the logical sample clock.
     pub fn reset(&mut self) {
         self.buffer.clear();
         self.start = 0;
+        self.total_in = 0;
     }
 }
 

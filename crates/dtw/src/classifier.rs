@@ -14,6 +14,7 @@
 use crate::dtw::{dtw_distance, dtw_distance_pruned, lb_keogh, z_normalize, DtwConfig};
 use crate::templates::TemplateLibrary;
 use echowrite_gesture::stroke::{Stroke, STROKE_COUNT};
+use echowrite_trace::{SmallStr, Stage, TICK_UNSET};
 
 /// Weights of the composite matching distance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -163,12 +164,20 @@ impl StrokeClassifier {
             // echolint: allow(no-panic-path) -- distances is a non-empty fixed [f64; 6] array
             .expect("six distances");
         let scores = softmin(&distances, self.temperature);
-        Classification {
+        let stroke =
             // echolint: allow(no-panic-path) -- best is an index into [f64; STROKE_COUNT]
-            stroke: Stroke::from_index(best).expect("index < 6"),
-            distances,
-            scores,
+            Stroke::from_index(best).expect("index < 6");
+        if echowrite_trace::enabled() {
+            echowrite_trace::counter(Stage::Dtw, "templates_scored", TICK_UNSET, STROKE_COUNT as f64);
+            echowrite_trace::annotated(
+                Stage::Dtw,
+                "classified",
+                TICK_UNSET,
+                distances.get(best).copied().unwrap_or(f64::INFINITY),
+                SmallStr::from_display(stroke),
+            );
         }
+        Classification { stroke, distances, scores }
     }
 
     /// The composite distance of `profile` (with its pre-computed
@@ -228,8 +237,10 @@ impl StrokeClassifier {
         let mut best = f64::INFINITY;
         // echolint: allow(no-panic-path) -- order is a fixed [_; STROKE_COUNT] array
         let mut best_idx = order[0].0;
+        let (mut lb_skips, mut abandons, mut full_dtws) = (0u32, 0u32, 0u32);
         for &(idx, dur, lb_raw, lb_shape) in &order {
             if dur + lb_raw + lb_shape > best {
+                lb_skips += 1;
                 continue;
             }
             // echolint: allow(no-panic-path) -- idx comes from the fixed six-entry order array
@@ -243,7 +254,10 @@ impl StrokeClassifier {
                 let budget = inflate((best - dur - lb_shape) / w.raw);
                 match dtw_distance_pruned(profile, template, self.config, Some(budget)) {
                     Some(raw) => raw,
-                    None => continue,
+                    None => {
+                        abandons += 1;
+                        continue;
+                    }
                 }
             } else {
                 dtw_distance(profile, template, self.config)
@@ -257,11 +271,15 @@ impl StrokeClassifier {
                     Some(budget),
                 ) {
                     Some(shape) => shape,
-                    None => continue,
+                    None => {
+                        abandons += 1;
+                        continue;
+                    }
                 }
             } else {
                 0.0
             };
+            full_dtws += 1;
             // Accumulate in `classify`'s exact order (raw, then shape, then
             // duration) so the surviving distance is bit-identical to it.
             let mut d = w.raw * raw;
@@ -274,8 +292,22 @@ impl StrokeClassifier {
                 best_idx = idx;
             }
         }
-        // echolint: allow(no-panic-path) -- best_idx comes from the fixed six-entry order array
-        (Stroke::from_index(best_idx).expect("index < 6"), best)
+        let winner =
+            // echolint: allow(no-panic-path) -- best_idx comes from the fixed six-entry order array
+            Stroke::from_index(best_idx).expect("index < 6");
+        if echowrite_trace::enabled() {
+            echowrite_trace::counter(Stage::Dtw, "lb_skips", TICK_UNSET, f64::from(lb_skips));
+            echowrite_trace::counter(Stage::Dtw, "early_abandons", TICK_UNSET, f64::from(abandons));
+            echowrite_trace::counter(Stage::Dtw, "full_dtws", TICK_UNSET, f64::from(full_dtws));
+            echowrite_trace::annotated(
+                Stage::Dtw,
+                "nearest",
+                TICK_UNSET,
+                best,
+                SmallStr::from_display(winner),
+            );
+        }
+        (winner, best)
     }
 }
 

@@ -1,0 +1,18 @@
+//! Bad fixture: a trace sink that reads the wall clock directly instead of
+//! accepting caller-supplied logical ticks / Stopwatch durations.
+
+/// A sink that stamps events itself — exactly what the tracing layer's
+/// timestamp policy forbids.
+pub struct StampingSink {
+    epoch_us: u64,
+}
+
+impl StampingSink {
+    fn record(&mut self, _name: &str) {
+        let now = std::time::Instant::now();
+        let _ = now;
+        let stamp = std::time::SystemTime::now();
+        let _ = stamp;
+        self.epoch_us += 1;
+    }
+}

@@ -16,7 +16,7 @@ use std::path::{Path, PathBuf};
 /// The Fig. 6 pipeline crates — the scope of the panic-freedom, float-order,
 /// determinism, and pub-doc rules.
 pub const PIPELINE_CRATES: &[&str] =
-    &["dsp", "spectro", "profile", "dtw", "lang", "corpus", "gesture", "core", "serve"];
+    &["dsp", "spectro", "profile", "dtw", "lang", "corpus", "gesture", "core", "serve", "trace"];
 
 /// Crates whose library code may read wall clocks (profiling is their job).
 pub const TIME_EXEMPT_CRATES: &[&str] = &["profile", "bench"];
@@ -135,6 +135,14 @@ mod tests {
         assert!(serve.pipeline && !serve.allow_time);
         let serve_metrics = classify(Path::new("crates/serve/src/metrics.rs"));
         assert!(serve_metrics.pipeline && !serve_metrics.allow_time);
+
+        // The tracing layer is likewise a pipeline crate with NO time
+        // exemption: its timestamps must come from logical clocks or
+        // caller-measured Stopwatch durations, so a raw `std::time` read
+        // inside a trace sink is a determinism diagnostic.
+        let trace = classify(Path::new("crates/trace/src/recording.rs"));
+        assert!(trace.pipeline && !trace.allow_time);
+        assert_eq!(trace.crate_name, "trace");
     }
 
     #[test]

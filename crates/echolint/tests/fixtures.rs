@@ -77,6 +77,28 @@ fn determinism_fixture_fires_at_exact_lines() {
     );
 }
 
+/// A raw `std::time` read inside a trace sink is a determinism finding:
+/// `crates/trace` is a pipeline crate with no time exemption, so sinks must
+/// take logical ticks / caller-measured Stopwatch durations as plain data.
+#[test]
+fn trace_sink_wall_clock_fixture_fires_at_exact_lines() {
+    assert_eq!(
+        lint_fixture("bad/trace_time.rs"),
+        vec![
+            "bad/trace_time.rs:12: determinism: std::time outside crates/profile and benches — wall-clock reads make results environment-dependent",
+            "bad/trace_time.rs:14: determinism: std::time outside crates/profile and benches — wall-clock reads make results environment-dependent",
+        ]
+    );
+    // And the same file under the real `crates/trace` scope (not the generic
+    // pipeline scope) still fires: trace gets no time exemption.
+    let scope = echolint::classify(Path::new("crates/trace/src/recording.rs"));
+    assert!(scope.pipeline && !scope.allow_time);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/bad/trace_time.rs");
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    let diags = lint_source("bad/trace_time.rs", &src, &scope);
+    assert_eq!(diags.len(), 2);
+}
+
 #[test]
 fn pub_doc_fixture_fires_for_undocumented_items_only() {
     assert_eq!(

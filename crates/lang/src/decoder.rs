@@ -165,6 +165,27 @@ impl WordDecoder {
         // All candidates share the observed length (substitution-only), so
         // Algorithm 2's length-then-posterior sort reduces to posterior.
         candidates.sort_by(|a, b| b.posterior.total_cmp(&a.posterior).then_with(|| a.word.cmp(&b.word)));
+        if echowrite_trace::enabled() {
+            use echowrite_trace::{SmallStr, Stage, TICK_UNSET};
+            echowrite_trace::counter(
+                Stage::Lang,
+                "candidate_sequences",
+                TICK_UNSET,
+                sequences.len() as f64,
+            );
+            echowrite_trace::counter(Stage::Lang, "candidates", TICK_UNSET, candidates.len() as f64);
+            // Decision provenance: every surviving hypothesis with its
+            // posterior log-probability, best first.
+            for cand in candidates.iter().take(self.top_k) {
+                echowrite_trace::annotated(
+                    Stage::Lang,
+                    "hypothesis",
+                    TICK_UNSET,
+                    cand.posterior.ln(),
+                    SmallStr::new(&cand.word),
+                );
+            }
+        }
         candidates.truncate(self.top_k);
         candidates
     }

@@ -73,7 +73,7 @@ impl ProfileBuilder {
         // echolint: allow(no-panic-path) -- constant indices into a fixed [f64; 3] array are compile-checked
         self.tail = [self.tail[1], self.tail[2], hz];
         self.m += 1;
-        if self.m >= 2 {
+        let out = if self.m >= 2 {
             // smoothed[i] for i = m−2: window [max(i−1,0), i+2) is fully
             // available and can no longer grow on the right (i+2 = m ≤ n).
             let i = self.m - 2;
@@ -84,7 +84,18 @@ impl ProfileBuilder {
             }
         } else {
             None
+        };
+        if echowrite_trace::enabled() {
+            if let Some(hz) = out {
+                echowrite_trace::counter(
+                    echowrite_trace::Stage::Profile,
+                    "shift_hz",
+                    echowrite_trace::TICK_UNSET,
+                    hz,
+                );
+            }
         }
+        out
     }
 
     /// Resolves the last smoothed value (the shrinking right edge);
@@ -290,6 +301,8 @@ pub struct StreamingSegmenter {
     beta: f64,
     gamma: f64,
     t_gate: usize,
+    /// Column period in µs — converts frame indices to trace ticks.
+    hop_us: f64,
     shifts: Tape,
     acc: Tape,
     state: SegState,
@@ -314,6 +327,7 @@ impl StreamingSegmenter {
             beta,
             gamma: beta * cfg.gamma_ratio,
             t_gate: cfg.min_frames.max(5),
+            hop_us: hop_s * 1_000_000.0,
             cfg,
             shifts: Tape::default(),
             acc: Tape::default(),
@@ -546,10 +560,21 @@ impl StreamingSegmenter {
             .filter(|a| a.abs() > self.gamma)
             .count();
         let peak = self.shifts.range(start, e).iter().fold(0.0f64, |m, s| m.max(s.abs()));
-        if end - start >= self.cfg.min_frames
+        let accepted = end - start >= self.cfg.min_frames
             && active >= self.cfg.min_active
-            && peak >= self.cfg.min_peak_hz
-        {
+            && peak >= self.cfg.min_peak_hz;
+        if echowrite_trace::enabled() {
+            let tick = (e as f64 * self.hop_us) as u64;
+            let name = if accepted { "stroke_emitted" } else { "stroke_filtered" };
+            echowrite_trace::annotated(
+                echowrite_trace::Stage::Segment,
+                name,
+                tick,
+                (end - start) as f64,
+                echowrite_trace::SmallStr::from_display(format_args!("frames {start}..{end}")),
+            );
+        }
+        if accepted {
             out.push(SegmentedStroke {
                 segment: StrokeSegment { start, end },
                 shifts: self.shifts.range(start, e).to_vec(),

@@ -21,6 +21,7 @@ use crate::config::ServeConfig;
 use crate::metrics::ServeMetrics;
 use echowrite::{EchoWrite, SegmentEvent, StreamingSession};
 use echowrite_profile::Stopwatch;
+use echowrite_trace::{SmallStr, Stage, TICK_UNSET};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
@@ -245,6 +246,14 @@ impl SessionManager {
             Request::Open(id) => {
                 if !self.admission.try_admit() {
                     self.metrics.sessions_shed.inc();
+                    if echowrite_trace::enabled() {
+                        echowrite_trace::instant(
+                            Stage::Serve,
+                            "session_shed",
+                            TICK_UNSET,
+                            SmallStr::from_display(id.0),
+                        );
+                    }
                     return SubmitVerdict::Shedding;
                 }
                 let verdict = self.enqueue(id, Cmd::Open { id: id.0 });
@@ -317,6 +326,14 @@ impl SessionManager {
                 match err {
                     TrySendError::Full(_) => {
                         self.metrics.queue_full.inc();
+                        if echowrite_trace::enabled() {
+                            echowrite_trace::instant(
+                                Stage::Serve,
+                                "queue_full",
+                                TICK_UNSET,
+                                SmallStr::from_display(id.0),
+                            );
+                        }
                         SubmitVerdict::QueueFull {
                             retry_after_chunks: shard.depth.load(Ordering::Acquire).max(1),
                         }
@@ -423,6 +440,11 @@ struct Worker {
 }
 
 impl Worker {
+    /// Trace timestamp: the shard's logical sample clock, in audio-time µs.
+    fn tick_us(&self) -> u64 {
+        echowrite_trace::samples_to_us(self.clock_samples, self.engine.config().stft.sample_rate)
+    }
+
     fn run(mut self) {
         while let Ok(cmd) = self.rx.recv() {
             self.depth.fetch_sub(1, Ordering::AcqRel);
@@ -459,6 +481,14 @@ impl Worker {
         };
         self.sessions.insert(id, Slot { session, last_active: self.clock_samples });
         self.metrics.sessions_opened.inc();
+        if echowrite_trace::enabled() {
+            echowrite_trace::instant(
+                Stage::Serve,
+                "session_open",
+                self.tick_us(),
+                SmallStr::from_display(id),
+            );
+        }
     }
 
     fn handle_push(&mut self, id: u64, chunk: &[f64], seq: u64, timer: Stopwatch) {
@@ -481,10 +511,24 @@ impl Worker {
             self.metrics.pushes_degraded.inc();
         }
         self.metrics.events.add(self.scratch.len() as u64);
+        let emitted = self.scratch.len();
         for segment in self.scratch.drain(..) {
             let _ = self.events.send(ServeEvent::Segment { session: SessionId(id), segment });
         }
-        self.metrics.push_latency_us.observe((timer.elapsed_ms() * 1_000.0) as u64);
+        let wall_us = (timer.elapsed_ms() * 1_000.0) as u64;
+        self.metrics.push_latency_us.observe(wall_us);
+        if echowrite_trace::enabled() {
+            // Span over the push's whole queue+process latency; the lag
+            // counter exposes the backlog behind degraded decisions.
+            echowrite_trace::span(
+                Stage::Serve,
+                if degraded { "push_degraded" } else { "push" },
+                self.tick_us(),
+                wall_us,
+                emitted as f64,
+            );
+            echowrite_trace::counter(Stage::Serve, "backlog_chunks", self.tick_us(), lag as f64);
+        }
     }
 
     fn handle_finish(&mut self, id: u64) {
@@ -503,6 +547,14 @@ impl Worker {
         self.admission.release();
         self.metrics.sessions_finished.inc();
         self.metrics.sessions_live.dec();
+        if echowrite_trace::enabled() {
+            echowrite_trace::instant(
+                Stage::Serve,
+                "session_finish",
+                self.tick_us(),
+                SmallStr::from_display(id),
+            );
+        }
     }
 
     /// Reclaims sessions whose last command is older than the idle
@@ -525,6 +577,14 @@ impl Worker {
                 self.admission.release();
                 self.metrics.sessions_reaped.inc();
                 self.metrics.sessions_live.dec();
+                if echowrite_trace::enabled() {
+                    echowrite_trace::instant(
+                        Stage::Serve,
+                        "session_reaped",
+                        self.tick_us(),
+                        SmallStr::from_display(id),
+                    );
+                }
             }
         }
     }

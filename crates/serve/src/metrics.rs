@@ -1,6 +1,9 @@
-//! Lock-free serving metrics: counters, gauges, and a fixed-bucket
-//! latency histogram, all plain atomics so the ingress path and the shard
-//! workers never contend on a lock to record an observation.
+//! Serving metrics on the shared `echowrite_trace::metrics` registry
+//! primitives: lock-free counters, gauges, and a fixed-bucket latency
+//! histogram, so the ingress path and the shard workers never contend on a
+//! lock to record an observation. The same primitives back the offline
+//! evaluation harness (`crates/bench`), keeping the two vocabularies in
+//! sync.
 //!
 //! This module is the serving layer's *only* sanctioned wall-clock
 //! quarantine, mirroring `crates/profile::timing`: the uptime gauge below
@@ -9,121 +12,15 @@
 //! deadlines, the idle reaper — runs on logical clocks (enqueue sequence
 //! numbers and pushed-sample counts) and never touches this clock.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+pub use echowrite_trace::metrics::{Counter, Gauge, Histogram, PromWriter};
 // echolint: allow(determinism) -- metrics-only uptime clock, quarantined like crates/profile::timing; never feeds recognition results
 use std::time::Instant;
 
 /// Upper bounds (µs) of the push-latency histogram buckets; observations
-/// above the last bound land in the implicit overflow bucket.
+/// above the last bound land in the explicit `+Inf` bucket (counted, never
+/// dropped).
 pub const LATENCY_BUCKETS_US: [u64; 12] =
     [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000];
-
-/// A monotonically increasing event count.
-#[derive(Debug, Default)]
-pub struct Counter(AtomicU64);
-
-impl Counter {
-    /// Adds one.
-    pub fn inc(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Adds `n`.
-    pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Current value.
-    pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-}
-
-/// A value that moves both ways (stored non-negative; `dec` saturates at
-/// zero rather than wrapping, so a racy transient can never explode the
-/// reported depth).
-#[derive(Debug, Default)]
-pub struct Gauge(AtomicU64);
-
-impl Gauge {
-    /// Adds one.
-    pub fn inc(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Subtracts one, saturating at zero.
-    pub fn dec(&self) {
-        let _ = self.0.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
-            Some(v.saturating_sub(1))
-        });
-    }
-
-    /// Sets the value outright.
-    pub fn set(&self, v: u64) {
-        self.0.store(v, Ordering::Relaxed);
-    }
-
-    /// Current value.
-    pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-}
-
-/// A fixed-bucket histogram (cumulative-bucket semantics at snapshot time,
-/// Prometheus style) over [`LATENCY_BUCKETS_US`] plus an overflow bucket.
-#[derive(Debug, Default)]
-pub struct Histogram {
-    buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
-    sum: AtomicU64,
-    count: AtomicU64,
-}
-
-impl Histogram {
-    /// Records one observation (µs).
-    pub fn observe(&self, us: u64) {
-        let idx = LATENCY_BUCKETS_US.iter().position(|&b| us <= b).unwrap_or(LATENCY_BUCKETS_US.len());
-        if let Some(b) = self.buckets.get(idx) {
-            b.fetch_add(1, Ordering::Relaxed);
-        }
-        self.sum.fetch_add(us, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total observations.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Sum of all observations (µs).
-    pub fn sum_us(&self) -> u64 {
-        self.sum.load(Ordering::Relaxed)
-    }
-
-    /// Per-bucket counts (non-cumulative), overflow bucket last.
-    pub fn bucket_counts(&self) -> Vec<u64> {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
-    }
-
-    /// Upper bound (µs) of the bucket containing the `q`-quantile
-    /// observation, or `None` when empty. The overflow bucket reports
-    /// `u64::MAX`. `q` is clamped to [0, 1].
-    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
-        let total = self.count();
-        if total == 0 {
-            return None;
-        }
-        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
-        let rank = rank.max(1);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return Some(LATENCY_BUCKETS_US.get(i).copied().unwrap_or(u64::MAX));
-            }
-        }
-        Some(u64::MAX)
-    }
-}
 
 /// The serving layer's metric registry: one instance per
 /// [`SessionManager`](crate::SessionManager), shared by the ingress path
@@ -179,7 +76,7 @@ impl ServeMetrics {
             orphan_commands: Counter::default(),
             events: Counter::default(),
             queue_depth: Gauge::default(),
-            push_latency_us: Histogram::default(),
+            push_latency_us: Histogram::new(&LATENCY_BUCKETS_US),
             // echolint: allow(determinism) -- observability-only uptime stamp; nothing downstream branches on it
             started: Instant::now(),
         }
@@ -207,8 +104,9 @@ impl ServeMetrics {
             events: self.events.get(),
             queue_depth: self.queue_depth.get(),
             push_latency_count: self.push_latency_us.count(),
-            push_latency_sum_us: self.push_latency_us.sum_us(),
+            push_latency_sum_us: self.push_latency_us.sum(),
             push_latency_buckets: self.push_latency_us.bucket_counts(),
+            push_latency_overflow: self.push_latency_us.overflow_count(),
             push_latency_p99_us: self.push_latency_us.quantile_upper_bound(0.99),
             uptime_seconds: self.uptime_seconds(),
         }
@@ -247,10 +145,12 @@ pub struct MetricsSnapshot {
     pub queue_depth: u64,
     /// Push-latency observation count.
     pub push_latency_count: u64,
-    /// Push-latency sum, µs.
+    /// Push-latency sum, µs (saturating).
     pub push_latency_sum_us: u64,
-    /// Push-latency per-bucket counts (non-cumulative, overflow last).
+    /// Push-latency per-bucket counts (non-cumulative, `+Inf` last).
     pub push_latency_buckets: Vec<u64>,
+    /// Observations that exceeded every finite bucket bound.
+    pub push_latency_overflow: u64,
     /// Upper bound (µs) of the bucket holding the p99 push latency.
     pub push_latency_p99_us: Option<u64>,
     /// Seconds since the registry was created.
@@ -258,58 +158,82 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// Prometheus-style text exposition: `# TYPE` lines, counters/gauges,
-    /// and the latency histogram with cumulative `le` buckets.
+    /// Prometheus text exposition: `# HELP`/`# TYPE` preambles for every
+    /// family, escaped label values, and the latency histogram with
+    /// cumulative `le` buckets ending in `+Inf`.
     pub fn to_prometheus(&self) -> String {
-        use std::fmt::Write as _;
-        let mut s = String::new();
-        let counters: [(&str, u64); 9] = [
-            ("echowrite_serve_sessions_opened_total", self.sessions_opened),
-            ("echowrite_serve_sessions_finished_total", self.sessions_finished),
-            ("echowrite_serve_sessions_reaped_total", self.sessions_reaped),
-            ("echowrite_serve_sessions_shed_total", self.sessions_shed),
-            ("echowrite_serve_pushes_total", self.pushes),
-            ("echowrite_serve_pushes_degraded_total", self.pushes_degraded),
-            ("echowrite_serve_queue_full_total", self.queue_full),
-            ("echowrite_serve_orphan_commands_total", self.orphan_commands),
-            ("echowrite_serve_events_total", self.events),
+        let mut w = PromWriter::new();
+        w.info(
+            "echowrite_serve_build_info",
+            "Build metadata for the serving layer.",
+            &[("crate", "echowrite-serve"), ("version", env!("CARGO_PKG_VERSION"))],
+        );
+        let counters: [(&str, &str, u64); 9] = [
+            (
+                "echowrite_serve_sessions_opened_total",
+                "Sessions admitted and opened.",
+                self.sessions_opened,
+            ),
+            (
+                "echowrite_serve_sessions_finished_total",
+                "Sessions ended by an explicit finish.",
+                self.sessions_finished,
+            ),
+            (
+                "echowrite_serve_sessions_reaped_total",
+                "Sessions reclaimed by the idle reaper.",
+                self.sessions_reaped,
+            ),
+            (
+                "echowrite_serve_sessions_shed_total",
+                "Open attempts rejected by the admission controller.",
+                self.sessions_shed,
+            ),
+            ("echowrite_serve_pushes_total", "Audio chunks processed.", self.pushes),
+            (
+                "echowrite_serve_pushes_degraded_total",
+                "Pushes degraded to segment-only output by a missed deadline.",
+                self.pushes_degraded,
+            ),
+            (
+                "echowrite_serve_queue_full_total",
+                "Submissions rejected because the shard queue was full.",
+                self.queue_full,
+            ),
+            (
+                "echowrite_serve_orphan_commands_total",
+                "Commands addressed to a session no shard knows.",
+                self.orphan_commands,
+            ),
+            ("echowrite_serve_events_total", "Segment events emitted.", self.events),
         ];
-        for (name, v) in counters {
-            let _ = writeln!(s, "# TYPE {name} counter");
-            let _ = writeln!(s, "{name} {v}");
+        for (name, help, v) in counters {
+            w.counter(name, help, v);
         }
-        let gauges: [(&str, u64); 2] = [
-            ("echowrite_serve_sessions_live", self.sessions_live),
-            ("echowrite_serve_queue_depth", self.queue_depth),
-        ];
-        for (name, v) in gauges {
-            let _ = writeln!(s, "# TYPE {name} gauge");
-            let _ = writeln!(s, "{name} {v}");
-        }
-        let _ = writeln!(s, "# TYPE echowrite_serve_uptime_seconds gauge");
-        let _ = writeln!(s, "echowrite_serve_uptime_seconds {:.3}", self.uptime_seconds);
-        let _ = writeln!(s, "# TYPE echowrite_serve_push_latency_us histogram");
-        let mut cumulative = 0u64;
-        for (i, n) in self.push_latency_buckets.iter().enumerate() {
-            cumulative += n;
-            match LATENCY_BUCKETS_US.get(i) {
-                Some(le) => {
-                    let _ = writeln!(
-                        s,
-                        "echowrite_serve_push_latency_us_bucket{{le=\"{le}\"}} {cumulative}"
-                    );
-                }
-                None => {
-                    let _ = writeln!(
-                        s,
-                        "echowrite_serve_push_latency_us_bucket{{le=\"+Inf\"}} {cumulative}"
-                    );
-                }
-            }
-        }
-        let _ = writeln!(s, "echowrite_serve_push_latency_us_sum {}", self.push_latency_sum_us);
-        let _ = writeln!(s, "echowrite_serve_push_latency_us_count {}", self.push_latency_count);
-        s
+        w.gauge(
+            "echowrite_serve_sessions_live",
+            "Sessions currently live across all shards.",
+            self.sessions_live,
+        );
+        w.gauge(
+            "echowrite_serve_queue_depth",
+            "Commands currently sitting in shard queues.",
+            self.queue_depth,
+        );
+        w.gauge_f64(
+            "echowrite_serve_uptime_seconds",
+            "Seconds since the metrics registry was created.",
+            self.uptime_seconds,
+        );
+        w.histogram(
+            "echowrite_serve_push_latency_us",
+            "End-to-end push latency (enqueue to processed), microseconds.",
+            &LATENCY_BUCKETS_US,
+            &self.push_latency_buckets,
+            self.push_latency_sum_us,
+            self.push_latency_count,
+        );
+        w.finish()
     }
 }
 
@@ -335,7 +259,7 @@ mod tests {
 
     #[test]
     fn histogram_buckets_and_p99() {
-        let h = Histogram::default();
+        let h = Histogram::new(&LATENCY_BUCKETS_US);
         for _ in 0..99 {
             h.observe(40); // first bucket (le 50)
         }
@@ -344,10 +268,26 @@ mod tests {
         assert_eq!(h.quantile_upper_bound(0.5), Some(50));
         assert_eq!(h.quantile_upper_bound(0.99), Some(50));
         assert_eq!(h.quantile_upper_bound(1.0), Some(250_000));
-        let h2 = Histogram::default();
+        let h2 = Histogram::new(&LATENCY_BUCKETS_US);
         assert_eq!(h2.quantile_upper_bound(0.99), None);
         h2.observe(u64::MAX); // overflow bucket
         assert_eq!(h2.quantile_upper_bound(0.99), Some(u64::MAX));
+    }
+
+    /// Regression: over-range observations land in the `+Inf` bucket and
+    /// the sum saturates — nothing is silently dropped or wrapped.
+    #[test]
+    fn histogram_over_range_is_counted_not_dropped() {
+        let h = Histogram::new(&LATENCY_BUCKETS_US);
+        h.observe(250_001); // one past the last finite bound
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.overflow_count(), 2);
+        assert_eq!(h.sum(), u64::MAX); // saturated, not wrapped
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets.len(), LATENCY_BUCKETS_US.len() + 1);
+        assert_eq!(buckets.last().copied(), Some(2));
+        assert_eq!(buckets.iter().take(LATENCY_BUCKETS_US.len()).sum::<u64>(), 0);
     }
 
     #[test]
@@ -370,6 +310,37 @@ mod tests {
         }
     }
 
+    /// The exposition format satellite: every family carries `# HELP` and
+    /// `# TYPE` preambles, and label values are escaped.
+    #[test]
+    fn prometheus_exposition_format() {
+        let m = ServeMetrics::new();
+        m.push_latency_us.observe(9_999_999); // over-range → +Inf bucket
+        let text = m.to_prometheus();
+        // One HELP and one TYPE line per family, HELP immediately before TYPE.
+        for family in [
+            ("echowrite_serve_sessions_opened_total", "counter"),
+            ("echowrite_serve_pushes_total", "counter"),
+            ("echowrite_serve_sessions_live", "gauge"),
+            ("echowrite_serve_uptime_seconds", "gauge"),
+            ("echowrite_serve_push_latency_us", "histogram"),
+        ] {
+            let (name, kind) = family;
+            assert!(text.contains(&format!("# HELP {name} ")), "no HELP for {name}:\n{text}");
+            assert!(
+                text.contains(&format!("# TYPE {name} {kind}")),
+                "no TYPE {kind} for {name}:\n{text}"
+            );
+        }
+        // Build-info labels present and quoted.
+        assert!(text.contains("echowrite_serve_build_info{crate=\"echowrite-serve\","));
+        // The over-range observation shows up in +Inf but no finite bucket.
+        assert!(text.contains("echowrite_serve_push_latency_us_bucket{le=\"250000\"} 0"));
+        assert!(text.contains("echowrite_serve_push_latency_us_bucket{le=\"+Inf\"} 1"));
+        // Label escaping is exercised directly on the writer.
+        assert_eq!(PromWriter::escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
     #[test]
     fn snapshot_reflects_registry() {
         let m = ServeMetrics::new();
@@ -380,6 +351,7 @@ mod tests {
         assert_eq!(snap.sessions_opened, 3);
         assert_eq!(snap.sessions_live, 2);
         assert_eq!(snap.push_latency_count, 1);
+        assert_eq!(snap.push_latency_overflow, 0);
         assert_eq!(snap.push_latency_p99_us, Some(100));
         assert!(snap.uptime_seconds >= 0.0);
     }

@@ -172,7 +172,25 @@ impl IncrementalEnhancer {
         col.extend_from_slice(raw);
         self.raw.push(col);
         self.raw_n += 1;
+        let (frozen_before, out_before) = (self.background.is_some(), self.columns_out());
         self.advance(None, sink);
+        if echowrite_trace::enabled() {
+            use echowrite_trace::{SmallStr, Stage, TICK_UNSET};
+            if !frozen_before && self.background.is_some() {
+                echowrite_trace::instant(
+                    Stage::Enhance,
+                    "background_frozen",
+                    TICK_UNSET,
+                    SmallStr::empty(),
+                );
+            }
+            echowrite_trace::counter(
+                Stage::Enhance,
+                "columns_out",
+                TICK_UNSET,
+                (self.columns_out() - out_before) as f64,
+            );
+        }
     }
 
     /// Ends the session: flushes edge-clamped columns and closes every open

@@ -1,0 +1,252 @@
+//! The event vocabulary: pipeline stages, event kinds, and the fixed-size
+//! payload every emission carries.
+//!
+//! [`TraceEvent`] is `Copy` and allocation-free by construction — names are
+//! `&'static str` and provenance strings ride in an inline [`SmallStr`] —
+//! so emitting from the per-chunk hot path never touches the heap.
+
+use core::fmt;
+
+/// Sentinel meaning "this event carries no logical timestamp of its own".
+/// Sites without a session clock (e.g. the DTW classifier, which sees one
+/// stroke at a time) emit this; the recording sink stamps such events with
+/// the last tick observed on the stream.
+pub const TICK_UNSET: u64 = u64::MAX;
+
+/// The pipeline stage an event belongs to. Each stage becomes one lane
+/// (`tid`) in the Chrome `trace_event` export and one row in the summary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Short-time Fourier transform over raw audio.
+    Stft,
+    /// Complex down-conversion and decimation front-end.
+    Downconvert,
+    /// Spectrogram enhancement (background subtraction, scaling).
+    Enhance,
+    /// Doppler profile building (MVCE + smoothing).
+    Profile,
+    /// Acceleration-based gesture segmentation.
+    Segment,
+    /// DTW stroke classification.
+    Dtw,
+    /// Bayesian word decoding.
+    Lang,
+    /// Core streaming push path (audio chunk in, segment events out).
+    Stream,
+    /// Serving layer: shard workers, queues, admission control.
+    Serve,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order (the lane order of the export).
+    pub const ALL: [Stage; 9] = [
+        Stage::Stft,
+        Stage::Downconvert,
+        Stage::Enhance,
+        Stage::Profile,
+        Stage::Segment,
+        Stage::Dtw,
+        Stage::Lang,
+        Stage::Stream,
+        Stage::Serve,
+    ];
+
+    /// Stable lower-case name used in exports and summaries.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Stage::Stft => "stft",
+            Stage::Downconvert => "downconvert",
+            Stage::Enhance => "enhance",
+            Stage::Profile => "profile",
+            Stage::Segment => "segment",
+            Stage::Dtw => "dtw",
+            Stage::Lang => "lang",
+            Stage::Stream => "stream",
+            Stage::Serve => "serve",
+        }
+    }
+
+    /// Dense index of the stage (the `tid` lane in the Chrome export).
+    pub const fn index(self) -> usize {
+        match self {
+            Stage::Stft => 0,
+            Stage::Downconvert => 1,
+            Stage::Enhance => 2,
+            Stage::Profile => 3,
+            Stage::Segment => 4,
+            Stage::Dtw => 5,
+            Stage::Lang => 6,
+            Stage::Stream => 7,
+            Stage::Serve => 8,
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What a [`TraceEvent`] describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed unit of work; its duration is the event's `wall_us`.
+    Span,
+    /// A point-in-time marker (stroke opened, background frozen, shed, …).
+    Instant,
+    /// A numeric sample carried in `value` (frames emitted, prune counts,
+    /// queue depth, per-hypothesis posteriors, …).
+    Counter,
+}
+
+/// A fixed-capacity inline string: up to [`SmallStr::CAPACITY`] bytes with
+/// no heap allocation; longer content is truncated at a UTF-8 boundary.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SmallStr {
+    len: u8,
+    buf: [u8; Self::CAPACITY],
+}
+
+impl SmallStr {
+    /// Maximum stored length in bytes.
+    pub const CAPACITY: usize = 31;
+
+    /// The empty string.
+    pub const fn empty() -> Self {
+        SmallStr { len: 0, buf: [0; Self::CAPACITY] }
+    }
+
+    /// Copies `s` in, truncating at a character boundary if it exceeds
+    /// [`Self::CAPACITY`].
+    pub fn new(s: &str) -> Self {
+        let mut out = Self::empty();
+        out.push_truncating(s);
+        out
+    }
+
+    /// Formats any `Display` value into a `SmallStr` (truncating).
+    pub fn from_display(v: impl fmt::Display) -> Self {
+        let mut out = Self::empty();
+        let _ = fmt::write(&mut out, format_args!("{v}"));
+        out
+    }
+
+    /// The stored text.
+    pub fn as_str(&self) -> &str {
+        let len = usize::from(self.len);
+        match self.buf.get(..len) {
+            Some(bytes) => core::str::from_utf8(bytes).unwrap_or(""),
+            None => "",
+        }
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends as much of `s` as fits, respecting UTF-8 boundaries.
+    fn push_truncating(&mut self, s: &str) {
+        let start = usize::from(self.len);
+        let room = Self::CAPACITY.saturating_sub(start);
+        let mut take = s.len().min(room);
+        while take > 0 && !s.is_char_boundary(take) {
+            take -= 1;
+        }
+        if let (Some(dst), Some(src)) =
+            (self.buf.get_mut(start..start + take), s.as_bytes().get(..take))
+        {
+            dst.copy_from_slice(src);
+            self.len = (start + take) as u8;
+        }
+    }
+}
+
+impl fmt::Write for SmallStr {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.push_truncating(s);
+        Ok(())
+    }
+}
+
+impl Default for SmallStr {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl fmt::Debug for SmallStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for SmallStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for SmallStr {
+    fn from(s: &str) -> Self {
+        SmallStr::new(s)
+    }
+}
+
+/// One observation flowing to the installed sink.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Pipeline stage (export lane).
+    pub stage: Stage,
+    /// Static event name, e.g. `"push"` or `"lb_skip"`.
+    pub name: &'static str,
+    /// Span, instant, or counter.
+    pub kind: EventKind,
+    /// Logical timestamp in microseconds of *audio time* (samples pushed or
+    /// frames emitted, converted by the caller), or [`TICK_UNSET`] when the
+    /// emitting site has no session clock.
+    pub tick_us: u64,
+    /// Caller-measured wall-clock duration in µs for spans; zero when not
+    /// measured. Producers obtain this from the quarantined
+    /// `echowrite_profile::Stopwatch` — this crate never reads a clock.
+    pub wall_us: u64,
+    /// Counter value or span payload (frames in a chunk, posterior, …).
+    pub value: f64,
+    /// Short provenance string (decoded word, winning stroke, …).
+    pub detail: SmallStr,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smallstr_roundtrip_and_truncation() {
+        assert_eq!(SmallStr::new("hello").as_str(), "hello");
+        assert!(SmallStr::empty().is_empty());
+        let long = "abcdefghijklmnopqrstuvwxyz0123456789";
+        let s = SmallStr::new(long);
+        assert_eq!(s.as_str().len(), SmallStr::CAPACITY);
+        assert!(long.starts_with(s.as_str()));
+        // Truncation lands on a char boundary, never mid-codepoint.
+        let uni = "ééééééééééééééééééééé"; // 2 bytes each → 42 bytes
+        let t = SmallStr::new(uni);
+        assert_eq!(t.as_str().len(), 30); // 31 would split a codepoint
+        assert!(t.as_str().chars().all(|c| c == 'é'));
+    }
+
+    #[test]
+    fn smallstr_from_display() {
+        assert_eq!(SmallStr::from_display(42u64).as_str(), "42");
+        assert_eq!(SmallStr::from_display(format_args!("s{}", 7)).as_str(), "s7");
+    }
+
+    #[test]
+    fn stage_names_and_indices_are_dense() {
+        for (i, st) in Stage::ALL.iter().enumerate() {
+            assert_eq!(st.index(), i);
+            assert!(!st.as_str().is_empty());
+        }
+    }
+}

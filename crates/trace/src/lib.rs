@@ -1,0 +1,161 @@
+//! `echowrite-trace` — dependency-free deterministic observability for the
+//! whole EchoWrite pipeline (DESIGN.md §6.5).
+//!
+//! Three pieces, one crate, zero dependencies:
+//!
+//! - **Spans and events** ([`span`], [`counter`], [`instant`], [`emit`]):
+//!   every pipeline stage boundary — STFT, down-conversion, enhancement,
+//!   profile building, segmentation, DTW (with prune/early-abandon
+//!   counters), word decoding (candidate sets and per-hypothesis
+//!   posteriors), the core streaming push path, and serve shard/queue
+//!   events — reports through one static-dispatch gate. Disabled, the
+//!   whole thing is a single relaxed atomic load per site (a constant
+//!   `false` under the `off` feature), and recognition output is bitwise
+//!   identical either way.
+//! - **The recording sink** ([`RecordingSink`]): a bounded ring buffer
+//!   exporting Chrome `trace_event` JSON and a per-stage latency/counter
+//!   summary.
+//! - **Metric primitives** ([`metrics`]): the lock-free counters, gauges,
+//!   histograms, and the Prometheus text writer shared by
+//!   `echowrite-serve` and the offline harness.
+//!
+//! # Timestamp policy
+//!
+//! This crate never reads a clock — echolint's determinism rule applies to
+//! it in full, with no time exemption. Event timestamps (`tick_us`) are
+//! *logical audio time*: microseconds derived from samples pushed or
+//! frames emitted, converted by the caller (see [`samples_to_us`]). Span
+//! durations (`wall_us`) are measured by callers that own a quarantined
+//! `echowrite_profile::Stopwatch` and passed in as plain numbers.
+
+pub mod event;
+pub mod metrics;
+pub mod recording;
+pub mod sink;
+
+pub use event::{EventKind, SmallStr, Stage, TraceEvent, TICK_UNSET};
+pub use recording::{RecordingSink, StageSummary, DEFAULT_CAPACITY};
+pub use sink::{
+    disable, emit, enabled, install_custom, install_noop, install_recording, scoped, NoopSink,
+    ScopedMode, ScopedTrace, TraceSink,
+};
+
+/// Converts a sample count at `sample_rate` Hz to microseconds of audio
+/// time — the logical tick axis of every trace.
+#[inline]
+pub fn samples_to_us(samples: u64, sample_rate: f64) -> u64 {
+    if sample_rate <= 0.0 {
+        return 0;
+    }
+    (samples as f64 * 1_000_000.0 / sample_rate) as u64
+}
+
+/// Emits a completed span: `wall_us` is the caller-measured duration
+/// (quarantined `Stopwatch`), `value` an optional payload such as frames
+/// processed.
+#[inline]
+pub fn span(stage: Stage, name: &'static str, tick_us: u64, wall_us: u64, value: f64) {
+    if !enabled() {
+        return;
+    }
+    emit(TraceEvent {
+        stage,
+        name,
+        kind: EventKind::Span,
+        tick_us,
+        wall_us,
+        value,
+        detail: SmallStr::empty(),
+    });
+}
+
+/// Emits a counter sample.
+#[inline]
+pub fn counter(stage: Stage, name: &'static str, tick_us: u64, value: f64) {
+    if !enabled() {
+        return;
+    }
+    emit(TraceEvent {
+        stage,
+        name,
+        kind: EventKind::Counter,
+        tick_us,
+        wall_us: 0,
+        value,
+        detail: SmallStr::empty(),
+    });
+}
+
+/// Emits an instant marker with a provenance string.
+#[inline]
+pub fn instant(stage: Stage, name: &'static str, tick_us: u64, detail: SmallStr) {
+    if !enabled() {
+        return;
+    }
+    emit(TraceEvent {
+        stage,
+        name,
+        kind: EventKind::Instant,
+        tick_us,
+        wall_us: 0,
+        value: 0.0,
+        detail,
+    });
+}
+
+/// Emits an instant carrying both a value and a provenance string — used
+/// for decision provenance such as per-hypothesis decoder posteriors.
+#[inline]
+pub fn annotated(stage: Stage, name: &'static str, tick_us: u64, value: f64, detail: SmallStr) {
+    if !enabled() {
+        return;
+    }
+    emit(TraceEvent {
+        stage,
+        name,
+        kind: EventKind::Instant,
+        tick_us,
+        wall_us: 0,
+        value,
+        detail,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_to_us_conversion() {
+        assert_eq!(samples_to_us(44_100, 44_100.0), 1_000_000);
+        assert_eq!(samples_to_us(0, 44_100.0), 0);
+        assert_eq!(samples_to_us(100, 0.0), 0);
+        assert_eq!(samples_to_us(22_050, 44_100.0), 500_000);
+    }
+
+    #[test]
+    #[cfg(not(feature = "off"))]
+    fn helpers_emit_into_scoped_recording() {
+        let guard = scoped(ScopedMode::Recording(64));
+        span(Stage::Stream, "push", 1_000, 250, 5.0);
+        counter(Stage::Dtw, "lb_skip", TICK_UNSET, 3.0);
+        instant(Stage::Segment, "stroke_open", 2_000, SmallStr::empty());
+        annotated(Stage::Lang, "hypothesis", TICK_UNSET, -4.2, SmallStr::new("cat"));
+        let sink = guard.recording().expect("recording sink");
+        let events = sink.events();
+        assert_eq!(events.len(), 4);
+        // Tickless events inherited the last explicit tick.
+        assert_eq!(events.get(1).map(|e| e.tick_us), Some(1_000));
+        assert_eq!(events.get(3).map(|e| e.detail.as_str()), Some("cat"));
+    }
+
+    #[test]
+    fn helpers_are_inert_when_disabled() {
+        let _guard = scoped(ScopedMode::Disabled);
+        // No sink installed: these must simply return.
+        span(Stage::Stft, "x", 0, 0, 0.0);
+        counter(Stage::Stft, "x", 0, 1.0);
+        instant(Stage::Stft, "x", 0, SmallStr::empty());
+        annotated(Stage::Stft, "x", 0, 1.0, SmallStr::empty());
+    }
+}

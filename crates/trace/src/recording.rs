@@ -1,0 +1,375 @@
+//! The bounded in-memory recording sink: a ring buffer of events with a
+//! Chrome `trace_event` JSON export and a per-stage latency/counter
+//! summary.
+//!
+//! Timestamp policy: the `ts` axis of the export is *logical audio time*
+//! (microseconds derived from samples pushed / frames emitted), and span
+//! durations are the caller-measured `wall_us` from the quarantined
+//! `Stopwatch`. This module never reads a clock, so echolint's determinism
+//! rule holds for the whole crate.
+
+use crate::event::{EventKind, Stage, TraceEvent, TICK_UNSET};
+use crate::sink::TraceSink;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default ring capacity in events (~4 MiB of `TraceEvent`).
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    last_tick_us: u64,
+}
+
+/// Keeps the newest `capacity` events, counts what it evicts, and stamps
+/// tickless events ([`TICK_UNSET`]) with the last tick seen on the stream.
+pub struct RecordingSink {
+    ring: Mutex<Ring>,
+    dropped: AtomicU64,
+}
+
+impl RecordingSink {
+    /// Creates a sink holding at most `capacity` events (floored at 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RecordingSink {
+            ring: Mutex::new(Ring {
+                events: VecDeque::with_capacity(capacity.min(DEFAULT_CAPACITY)),
+                capacity,
+                last_tick_us: 0,
+            }),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).events.len()
+    }
+
+    /// True when nothing has been recorded (or everything was cleared).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Discards all buffered events (the drop counter is kept).
+    pub fn clear(&self) {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).events.clear();
+    }
+
+    /// A copy of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).events.iter().copied().collect()
+    }
+
+    /// Serializes the buffer as Chrome `trace_event` JSON (open with
+    /// `chrome://tracing` or <https://ui.perfetto.dev>). Spans become `ph:"X"`
+    /// complete events, instants `ph:"i"`, counters `ph:"C"`; each pipeline
+    /// stage is its own named lane.
+    pub fn to_chrome_json(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(events.len() * 96 + 1024);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        for stage in Stage::ALL {
+            push_sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                stage.index(),
+                stage.as_str()
+            );
+        }
+        for ev in &events {
+            push_sep(&mut out, &mut first);
+            let ts = if ev.tick_us == TICK_UNSET { 0 } else { ev.tick_us };
+            let _ = write!(out, "{{\"name\":");
+            escape_json(&mut out, ev.name);
+            let _ = write!(
+                out,
+                ",\"cat\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{}",
+                ev.stage.as_str(),
+                ev.stage.index(),
+                ts
+            );
+            match ev.kind {
+                EventKind::Span => {
+                    let _ = write!(out, ",\"ph\":\"X\",\"dur\":{}", ev.wall_us);
+                    out.push_str(",\"args\":{");
+                    let mut first_arg = true;
+                    if ev.value != 0.0 {
+                        out.push_str("\"value\":");
+                        push_json_f64(&mut out, ev.value);
+                        first_arg = false;
+                    }
+                    push_detail_arg(&mut out, ev, first_arg);
+                    out.push('}');
+                }
+                EventKind::Instant => {
+                    out.push_str(",\"ph\":\"i\",\"s\":\"t\",\"args\":{");
+                    let mut first_arg = true;
+                    if ev.value != 0.0 {
+                        out.push_str("\"value\":");
+                        push_json_f64(&mut out, ev.value);
+                        first_arg = false;
+                    }
+                    push_detail_arg(&mut out, ev, first_arg);
+                    out.push('}');
+                }
+                EventKind::Counter => {
+                    out.push_str(",\"ph\":\"C\",\"args\":{");
+                    escape_json(&mut out, ev.name);
+                    out.push(':');
+                    push_json_f64(&mut out, ev.value);
+                    out.push('}');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Per-stage aggregates over the buffered events, in pipeline order
+    /// (all nine stages, including those that saw nothing).
+    pub fn summary(&self) -> Vec<StageSummary> {
+        let mut rows: Vec<StageSummary> =
+            Stage::ALL.iter().map(|&stage| StageSummary::empty(stage)).collect();
+        for ev in self.events() {
+            if let Some(row) = rows.get_mut(ev.stage.index()) {
+                match ev.kind {
+                    EventKind::Span => {
+                        row.spans += 1;
+                        row.wall_us_total = row.wall_us_total.saturating_add(ev.wall_us);
+                        row.wall_us_max = row.wall_us_max.max(ev.wall_us);
+                    }
+                    EventKind::Instant => row.instants += 1,
+                    EventKind::Counter => {
+                        row.counters += 1;
+                        row.counter_sum += ev.value;
+                    }
+                }
+            }
+        }
+        rows
+    }
+
+    /// The summary rendered as an aligned text table (stages with no
+    /// events are omitted).
+    pub fn summary_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<12} {:>7} {:>12} {:>10} {:>8} {:>9} {:>14}",
+            "stage", "spans", "wall_us_sum", "wall_us_max", "instants", "counters", "counter_sum"
+        );
+        for row in self.summary() {
+            if row.spans == 0 && row.instants == 0 && row.counters == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<12} {:>7} {:>12} {:>10} {:>8} {:>9} {:>14.1}",
+                row.stage.as_str(),
+                row.spans,
+                row.wall_us_total,
+                row.wall_us_max,
+                row.instants,
+                row.counters,
+                row.counter_sum
+            );
+        }
+        out
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        let mut ev = *event;
+        if ev.tick_us == TICK_UNSET {
+            ev.tick_us = ring.last_tick_us;
+        } else {
+            ring.last_tick_us = ev.tick_us;
+        }
+        if ring.events.len() >= ring.capacity {
+            ring.events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.events.push_back(ev);
+    }
+}
+
+/// Aggregates for one stage over a recording.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSummary {
+    /// Stage these aggregates describe.
+    pub stage: Stage,
+    /// Completed spans seen.
+    pub spans: u64,
+    /// Total caller-measured wall time across spans, µs.
+    pub wall_us_total: u64,
+    /// Largest single-span wall time, µs.
+    pub wall_us_max: u64,
+    /// Instant markers seen.
+    pub instants: u64,
+    /// Counter samples seen.
+    pub counters: u64,
+    /// Sum of counter values.
+    pub counter_sum: f64,
+}
+
+impl StageSummary {
+    fn empty(stage: Stage) -> Self {
+        StageSummary {
+            stage,
+            spans: 0,
+            wall_us_total: 0,
+            wall_us_max: 0,
+            instants: 0,
+            counters: 0,
+            counter_sum: 0.0,
+        }
+    }
+}
+
+fn push_sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+fn push_detail_arg(out: &mut String, ev: &TraceEvent, first_arg: bool) {
+    if ev.detail.is_empty() {
+        return;
+    }
+    if !first_arg {
+        out.push(',');
+    }
+    out.push_str("\"detail\":");
+    escape_json(out, ev.detail.as_str());
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped).
+fn escape_json(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number (non-finite values become 0).
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push('0');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SmallStr;
+
+    fn ev(kind: EventKind, stage: Stage, tick: u64, wall: u64, value: f64) -> TraceEvent {
+        TraceEvent {
+            stage,
+            name: "t",
+            kind,
+            tick_us: tick,
+            wall_us: wall,
+            value,
+            detail: SmallStr::empty(),
+        }
+    }
+
+    #[test]
+    fn ring_bounds_and_drop_count() {
+        let sink = RecordingSink::new(3);
+        for i in 0..5 {
+            sink.record(&ev(EventKind::Instant, Stage::Stft, i, 0, 0.0));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        let ticks: Vec<u64> = sink.events().iter().map(|e| e.tick_us).collect();
+        assert_eq!(ticks, vec![2, 3, 4]); // oldest evicted first
+        sink.clear();
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 2);
+    }
+
+    #[test]
+    fn tickless_events_inherit_last_tick() {
+        let sink = RecordingSink::new(8);
+        sink.record(&ev(EventKind::Instant, Stage::Stream, 500, 0, 0.0));
+        sink.record(&ev(EventKind::Counter, Stage::Dtw, TICK_UNSET, 0, 3.0));
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events.get(1).map(|e| e.tick_us), Some(500));
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let sink = RecordingSink::new(8);
+        sink.record(&ev(EventKind::Span, Stage::Stft, 100, 42, 0.0));
+        sink.record(&ev(EventKind::Counter, Stage::Dtw, 100, 0, 2.0));
+        let mut inst = ev(EventKind::Instant, Stage::Serve, 200, 0, 0.0);
+        inst.detail = SmallStr::new("needs\"escape\\here");
+        sink.record(&inst);
+        let json = sink.to_chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"X\",\"dur\":42"));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("needs\\\"escape\\\\here"));
+        // Every stage lane is named via metadata events.
+        for stage in Stage::ALL {
+            assert!(json.contains(&format!("\"args\":{{\"name\":\"{}\"}}", stage.as_str())));
+        }
+        // Balanced braces/brackets (cheap well-formedness check).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn summary_aggregates_per_stage() {
+        let sink = RecordingSink::new(16);
+        sink.record(&ev(EventKind::Span, Stage::Stream, 0, 10, 0.0));
+        sink.record(&ev(EventKind::Span, Stage::Stream, 1, 30, 0.0));
+        sink.record(&ev(EventKind::Counter, Stage::Dtw, 1, 0, 4.0));
+        sink.record(&ev(EventKind::Instant, Stage::Segment, 2, 0, 0.0));
+        let rows = sink.summary();
+        let stream = rows.get(Stage::Stream.index()).expect("stream row");
+        assert_eq!((stream.spans, stream.wall_us_total, stream.wall_us_max), (2, 40, 30));
+        let dtw = rows.get(Stage::Dtw.index()).expect("dtw row");
+        assert_eq!((dtw.counters, dtw.counter_sum), (1, 4.0));
+        let text = sink.summary_text();
+        assert!(text.contains("stream") && text.contains("dtw") && text.contains("segment"));
+        assert!(!text.contains("downconvert")); // silent stages omitted
+    }
+}

@@ -4,6 +4,8 @@
 //!
 //! ```sh
 //! cargo run --release --example serve_demo
+//! # capture a Chrome trace (open in chrome://tracing or ui.perfetto.dev):
+//! cargo run --release --example serve_demo -- --trace trace.json
 //! ```
 
 use echowrite::{EchoWrite, EchoWriteConfig, Parallelism};
@@ -20,7 +22,23 @@ fn render(strokes: &[Stroke], seed: u64) -> Vec<f64> {
     Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), seed).render(&traj)
 }
 
+/// Parses `--trace <path>` from the command line, if present.
+fn trace_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            return Some(args.next().expect("--trace requires a file path"));
+        }
+    }
+    None
+}
+
 fn main() {
+    let trace_path = trace_path();
+    let recorder = trace_path
+        .as_ref()
+        .map(|_| echowrite_trace::install_recording(echowrite_trace::DEFAULT_CAPACITY));
+
     // Four writers, four different stroke sequences.
     let writers: Vec<(SessionId, Vec<Stroke>)> = vec![
         (SessionId(1), vec![Stroke::S2, Stroke::S5]),
@@ -34,6 +52,8 @@ fn main() {
         .collect();
 
     let engine = EchoWrite::with_config(EchoWriteConfig::streaming());
+    // A gateway-side copy for word decoding once transcripts arrive.
+    let decoder = engine.clone();
     let manager = SessionManager::new(
         engine,
         ServeConfig {
@@ -103,8 +123,13 @@ fn main() {
     println!();
     for (id, wrote) in &writers {
         let got = transcripts.get(&id.0).cloned().unwrap_or_default();
+        let word = decoder
+            .decode_sequence(&got)
+            .first()
+            .map(|c| c.word.clone())
+            .unwrap_or_else(|| "(no candidate)".to_string());
         println!(
-            "session {}: wrote [{}]  recognized [{}]",
+            "session {}: wrote [{}]  recognized [{}]  top word: {word}",
             id.0,
             format_sequence(wrote),
             format_sequence(&got)
@@ -112,4 +137,16 @@ fn main() {
     }
 
     println!("\n--- metrics ---\n{}", manager.metrics().to_prometheus());
+
+    if let (Some(path), Some(rec)) = (trace_path, recorder) {
+        echowrite_trace::disable();
+        std::fs::write(&path, rec.to_chrome_json()).expect("write trace file");
+        println!("--- trace ---");
+        println!("{}", rec.summary_text());
+        println!(
+            "wrote {} events to {path} ({} dropped); open in chrome://tracing",
+            rec.len(),
+            rec.dropped()
+        );
+    }
 }
