@@ -15,6 +15,7 @@ use echowrite_synth::EnvironmentProfile;
 use std::hint::black_box;
 
 fn bench_frontends(c: &mut Criterion) {
+    echowrite_bench::print_bench_environment();
     let audio = stroke_trace(Stroke::S3, EnvironmentProfile::meeting_room(), 7);
 
     let mut g = c.benchmark_group("ablation_frontend");

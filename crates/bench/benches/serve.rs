@@ -62,6 +62,7 @@ fn bench_point(g: &mut criterion::BenchmarkGroup<'_>, sessions: usize, shards: u
             high_water: 4096,
             deadline_chunks: None,
             idle_timeout_samples: None,
+            batch_max: 8,
         },
     )
     .expect("valid bench config");
@@ -98,16 +99,18 @@ fn bench_point(g: &mut criterion::BenchmarkGroup<'_>, sessions: usize, shards: u
 
     let snapshot = manager.shutdown();
     println!(
-        "serve_meta sessions={sessions} shards={shards} pushes={} p99_us={} events={} queue_full={} shed={}",
+        "serve_meta sessions={sessions} shards={shards} pushes={} p99_us={} events={} queue_full={} shed={} batch_drains={}",
         snapshot.pushes,
         snapshot.push_latency_p99_us.map_or_else(|| "n/a".to_string(), |v| v.to_string()),
         snapshot.events,
         snapshot.queue_full,
         snapshot.sessions_shed,
+        snapshot.batch_drains,
     );
 }
 
 fn bench_serve(c: &mut Criterion) {
+    echowrite_bench::print_bench_environment();
     let mut g = c.benchmark_group("serve_push_round");
     g.sample_size(10);
     for sessions in [1usize, 64, 1024] {

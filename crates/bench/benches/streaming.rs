@@ -64,6 +64,7 @@ fn run_session(engine: &EchoWrite) -> usize {
 }
 
 fn bench_session(c: &mut Criterion) {
+    echowrite_bench::print_bench_environment();
     let mut g = c.benchmark_group("streaming_session");
     g.sample_size(10);
     g.bench_function(BenchmarkId::new("incremental", "12s"), |b| {

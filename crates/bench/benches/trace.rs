@@ -76,6 +76,7 @@ fn bench_session_mode(g: &mut criterion::BenchmarkGroup<'_>, name: &str, mode: S
 }
 
 fn bench_push_overhead(c: &mut Criterion) {
+    echowrite_bench::print_bench_environment();
     let mut g = c.benchmark_group("trace_push");
     g.sample_size(10);
     bench_mode(&mut g, "disabled", ScopedMode::Disabled);

@@ -16,6 +16,57 @@ pub fn engine() -> &'static EchoWrite {
     E.get_or_init(EchoWrite::new)
 }
 
+/// Snapshot of the benchmark host: hardware threads, the worker count
+/// [`Parallelism::Auto`](echowrite::Parallelism) resolves to, and the
+/// runtime-dispatched SIMD backend with every feature the dispatcher
+/// detected. Recorded in each `BENCH_*.json` environment block so a number
+/// can never be compared across hosts (or `ECHOWRITE_SIMD` overrides)
+/// without noticing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchEnvironment {
+    /// Hardware threads reported by the OS.
+    pub cpus: usize,
+    /// Workers `Parallelism::Auto` resolves to for an unbounded workload.
+    pub effective_parallelism: usize,
+    /// The SIMD backend the kernel dispatcher selected (honours the
+    /// `ECHOWRITE_SIMD` override, so a forced-scalar run records `scalar`).
+    pub simd_backend: &'static str,
+    /// Every SIMD feature detected on the host, selected or not.
+    pub simd_features: &'static [&'static str],
+}
+
+impl std::fmt::Display for BenchEnvironment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cpus={} effective_parallelism={} simd_backend={} simd_features={}",
+            self.cpus,
+            self.effective_parallelism,
+            self.simd_backend,
+            self.simd_features.join(",")
+        )
+    }
+}
+
+/// Probes the current process's benchmark environment.
+pub fn bench_environment() -> BenchEnvironment {
+    BenchEnvironment {
+        cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        effective_parallelism: echowrite::Parallelism::Auto.workers(usize::MAX),
+        simd_backend: echowrite_dsp::kernels::backend().name(),
+        simd_features: echowrite_dsp::kernels::detected_features(),
+    }
+}
+
+/// Prints the environment line once per process — every bench target calls
+/// this so each run's log states what the numbers were measured with.
+pub fn print_bench_environment() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        println!("bench_environment {}", bench_environment());
+    });
+}
+
 /// Renders a single-stroke trace in the given environment.
 pub fn stroke_trace(stroke: Stroke, env: EnvironmentProfile, seed: u64) -> Vec<f64> {
     let perf = Writer::new(WriterParams::nominal(), seed).write_stroke(stroke);
@@ -37,6 +88,17 @@ pub fn word_trace(word: &str, seed: u64) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn environment_probe_is_sane() {
+        let env = bench_environment();
+        assert!(env.cpus >= 1);
+        assert!(env.effective_parallelism >= 1);
+        assert!(!env.simd_backend.is_empty());
+        let line = env.to_string();
+        assert!(line.contains("cpus="));
+        assert!(line.contains("simd_backend="));
+    }
 
     #[test]
     fn fixtures_render() {

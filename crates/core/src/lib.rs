@@ -54,5 +54,7 @@ pub mod text_session;
 pub use config::{EchoWriteConfig, Frontend, Parallelism, StreamingMode};
 pub use engine::{EchoWrite, StrokeRecognition, WordRecognition};
 pub use pipeline::{Pipeline, StageTiming};
-pub use streaming::{SegmentEvent, StreamingRecognizer, StreamingSession, StrokeEvent};
+pub use streaming::{
+    SegmentEvent, SharedDspScratch, StreamingRecognizer, StreamingSession, StrokeEvent,
+};
 pub use text_session::{SessionEvent, TextSession};

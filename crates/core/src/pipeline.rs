@@ -76,7 +76,10 @@ pub struct Analysis {
 #[derive(Debug, Clone)]
 pub struct Pipeline {
     config: EchoWriteConfig,
-    stft: Stft,
+    /// The STFT plan, shared (via [`Pipeline::shared_stft`]) with every
+    /// streaming session built on this engine so twiddle tables and window
+    /// coefficients are planned once per configuration, not per session.
+    stft: std::sync::Arc<Stft>,
     /// The decimating front-end, present for `Frontend::Downconverted`.
     downconvert: Option<(Downconverter, BasebandStft)>,
     enhancer: Enhancer,
@@ -94,7 +97,7 @@ impl Pipeline {
             // echolint: allow(no-panic-path) -- documented `# Panics` contract of Pipeline::new
             panic!("invalid EchoWrite config: {msg}");
         }
-        let stft = Stft::new(config.stft);
+        let stft = std::sync::Arc::new(Stft::new(config.stft));
         let enhancer = Enhancer::new(config.enhance);
         let segmenter = Segmenter::new(config.segment);
         let downconvert = match config.frontend {
@@ -102,6 +105,13 @@ impl Pipeline {
             Frontend::Downconverted { factor } => Some(make_downconvert(&config, factor)),
         };
         Pipeline { config, stft, downconvert, enhancer, segmenter }
+    }
+
+    /// A handle to the shared STFT plan, for streaming sessions that want
+    /// to reuse this engine's twiddle tables and window instead of planning
+    /// their own (the plan is immutable, so sharing is output-neutral).
+    pub fn shared_stft(&self) -> std::sync::Arc<Stft> {
+        std::sync::Arc::clone(&self.stft)
     }
 
     /// Builds the ROI spectrogram through the configured front-end.

@@ -38,8 +38,8 @@ use crate::config::Frontend;
 use crate::engine::EchoWrite;
 use crate::pipeline::{make_downconvert, roi_bins};
 use echowrite_dsp::downconvert::{BasebandScratch, BasebandStft, StreamingDownconverter};
-use echowrite_dsp::stft::StreamingStft;
-use echowrite_dsp::{Complex, Stft};
+use echowrite_dsp::stft::{StftScratch, StreamingStft};
+use echowrite_dsp::Complex;
 use echowrite_dtw::Classification;
 use echowrite_profile::{IncrementalDiff, ProfileBuilder, SegmentedStroke, StreamingSegmenter};
 use echowrite_spectro::IncrementalEnhancer;
@@ -73,6 +73,31 @@ pub struct SegmentEvent {
 /// emitted one: boundaries may wobble slightly after a buffer trim because
 /// the replay path's normalization and backtrack windows change.
 const DEDUP_TOLERANCE_FRAMES: usize = 3;
+
+/// Shard-shared DSP workspace for batched session pushes.
+///
+/// A serve shard that drains several sessions' pushes in one batch hands
+/// every session the same scratch via
+/// [`StreamingSession::push_events_shared`]: the windowed-frame, packed-FFT,
+/// and spectrum buffers stay hot in cache across the batch instead of
+/// ping-ponging between per-session arenas. The scratch is pure workspace —
+/// it carries no state between frames or sessions — so the shared path is
+/// bitwise identical to the per-session one.
+///
+/// Buffers are sized lazily from the first pushing session's plan, so every
+/// session sharing one scratch must run the same engine configuration (true
+/// by construction for a serve shard, which owns exactly one engine).
+#[derive(Debug, Default)]
+pub struct SharedDspScratch {
+    stft: Option<StftScratch>,
+}
+
+impl SharedDspScratch {
+    /// Creates an empty scratch; buffers are allocated on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// A streaming wrapper around an [`EchoWrite`] engine.
 ///
@@ -297,6 +322,34 @@ impl StreamingSession {
         classify: bool,
         events: &mut Vec<SegmentEvent>,
     ) {
+        self.push_events_impl(engine, chunk, classify, None, events);
+    }
+
+    /// Like [`StreamingSession::push_events`], but STFT frames run through
+    /// a caller-owned [`SharedDspScratch`] instead of the session's embedded
+    /// arena — the batched-shard entry point. Output is bitwise identical to
+    /// [`StreamingSession::push_events`]; sessions whose front-end has no
+    /// shared-scratch path (the replay oracle, the decimating front-end)
+    /// fall back to their per-session state transparently.
+    pub fn push_events_shared(
+        &mut self,
+        engine: &EchoWrite,
+        chunk: &[f64],
+        classify: bool,
+        scratch: &mut SharedDspScratch,
+        events: &mut Vec<SegmentEvent>,
+    ) {
+        self.push_events_impl(engine, chunk, classify, Some(scratch), events);
+    }
+
+    fn push_events_impl(
+        &mut self,
+        engine: &EchoWrite,
+        chunk: &[f64],
+        classify: bool,
+        shared: Option<&mut SharedDspScratch>,
+        events: &mut Vec<SegmentEvent>,
+    ) {
         if self.finished {
             return;
         }
@@ -305,7 +358,7 @@ impl StreamingSession {
         match &mut self.inner {
             Inner::Replay(r) => r.push(engine, chunk, classify, events),
             Inner::Incremental(inc) => {
-                inc.push_audio(chunk);
+                inc.push_audio(chunk, shared);
                 inc.drain_events(engine, classify, events);
             }
         }
@@ -730,9 +783,13 @@ impl Incremental {
             acc: Vec::new(),
         };
         let front = match cfg.frontend {
-            Frontend::FullStft => {
-                Front::Full { sstft: Box::new(StreamingStft::new(Stft::new(cfg.stft))), lo, hi }
-            }
+            Frontend::FullStft => Front::Full {
+                // Sessions share the engine's plan: twiddle tables and the
+                // window are built once per configuration, not per session.
+                sstft: Box::new(StreamingStft::with_shared_plan(engine.pipeline().shared_stft())),
+                lo,
+                hi,
+            },
             Frontend::Downconverted { factor } => {
                 let (dc, bb) = make_downconvert(cfg, factor);
                 // Same row geometry as Pipeline::roi_spectrogram.
@@ -772,18 +829,28 @@ impl Incremental {
         self.seg_scratch.clear();
     }
 
-    fn push_audio(&mut self, chunk: &[f64]) {
+    fn push_audio(&mut self, chunk: &[f64], shared: Option<&mut SharedDspScratch>) {
         let chain = &mut self.chain;
         let frames = &mut self.frames_in;
         match &mut self.front {
             Front::Full { sstft, lo, hi } => {
                 let (lo, hi) = (*lo, *hi);
-                sstft.push_band_into(chunk, lo, hi, |row| {
+                let mut on_frame = |row: &[f64]| {
                     *frames += 1;
                     chain.consume_column(row);
-                });
+                };
+                match shared {
+                    Some(sh) => {
+                        let scratch =
+                            sh.stft.get_or_insert_with(|| sstft.stft().make_scratch());
+                        sstft.push_band_into_with_scratch(chunk, lo, hi, scratch, &mut on_frame);
+                    }
+                    None => sstft.push_band_into(chunk, lo, hi, &mut on_frame),
+                }
             }
             Front::Down(d) => {
+                // Straggler path: the decimating front-end keeps its
+                // per-session scratch (its baseband geometry is per-stream).
                 d.sdc.push(chunk, &mut d.baseband);
                 Self::drain_down(d, frames, chain);
             }
@@ -1226,6 +1293,60 @@ mod tests {
             assert_eq!(warm.emitted_until(), 0);
             let got = full_stream(&mut warm, &audio);
             assert_bitwise_equal(&got, &want);
+        }
+    }
+
+    /// The batched-shard entry point: interleaved sessions pushed through
+    /// one [`SharedDspScratch`] are bitwise identical to sessions running on
+    /// their embedded per-session arenas.
+    #[test]
+    fn shared_scratch_sessions_are_bitwise_equal() {
+        let e = streaming_engine();
+        let a = render_with_tail(&[Stroke::S2, Stroke::S5], 41, 1.2);
+        let b = render_with_tail(&[Stroke::S3, Stroke::S1], 43, 1.2);
+
+        let reference = |audio: &[f64]| {
+            let mut s = StreamingSession::new(e);
+            let mut ev = Vec::new();
+            for chunk in audio.chunks(5 * 1024) {
+                s.push_events(e, chunk, true, &mut ev);
+            }
+            s.finish_events(e, true, &mut ev);
+            ev
+        };
+        let want_a = reference(&a);
+        let want_b = reference(&b);
+        assert!(!want_a.is_empty() && !want_b.is_empty(), "scenarios must produce strokes");
+
+        let mut shared = SharedDspScratch::new();
+        let mut sa = StreamingSession::new(e);
+        let mut sb = StreamingSession::new(e);
+        let (mut got_a, mut got_b) = (Vec::new(), Vec::new());
+        let (mut ca, mut cb) = (a.chunks(5 * 1024), b.chunks(5 * 1024));
+        loop {
+            let (x, y) = (ca.next(), cb.next());
+            if x.is_none() && y.is_none() {
+                break;
+            }
+            if let Some(c) = x {
+                sa.push_events_shared(e, c, true, &mut shared, &mut got_a);
+            }
+            if let Some(c) = y {
+                sb.push_events_shared(e, c, true, &mut shared, &mut got_b);
+            }
+        }
+        sa.finish_events(e, true, &mut got_a);
+        sb.finish_events(e, true, &mut got_b);
+        for (got, want) in [(&got_a, &want_a), (&got_b, &want_b)] {
+            assert_eq!(got.len(), want.len(), "event counts differ");
+            for (g, w) in got.iter().zip(want.iter()) {
+                assert_eq!(g.start_frame, w.start_frame);
+                assert_eq!(g.end_frame, w.end_frame);
+                let gc = g.classification.as_ref().expect("classified run");
+                let wc = w.classification.as_ref().expect("classified run");
+                assert_eq!(gc.stroke, wc.stroke);
+                assert_eq!(gc.scores, wc.scores, "DTW scores must be bitwise equal");
+            }
         }
     }
 

@@ -15,7 +15,12 @@ use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 /// let z = Complex::new(3.0, 4.0);
 /// assert_eq!(z.norm(), 5.0);
 /// ```
+///
+/// The layout is `repr(C)` — `re` then `im`, no padding — so a `[Complex]`
+/// slice is an interleaved `[f64]` sequence the SIMD kernels in
+/// [`crate::kernels`] can load directly.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Complex {
     /// Real component.
     pub re: f64,

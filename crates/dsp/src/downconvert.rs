@@ -99,16 +99,26 @@ impl Downconverter {
             if k % 1024 == 0 {
                 rotator = Complex::from_angle(-w * centre as f64);
             }
-            let mut acc = Complex::ZERO;
             // Causal-centred FIR evaluated at the output instant only.
+            // Interior windows (no clipping at either stream edge) run
+            // through the SIMD-dispatched dot kernel; edge windows keep the
+            // scalar skip loop. The streaming path applies the *same*
+            // interior criterion so the two stay bitwise identical.
             let lo = centre as isize - self.half as isize;
-            for (t, &ct) in self.ctaps.iter().enumerate() {
-                let idx = lo + t as isize;
-                if idx < 0 || idx as usize >= audio.len() {
-                    continue;
+            let acc = if lo >= 0 && lo as usize + self.ctaps.len() <= audio.len() {
+                let start = lo as usize;
+                crate::kernels::fir_complex_dot(&self.ctaps, &audio[start..start + self.ctaps.len()])
+            } else {
+                let mut acc = Complex::ZERO;
+                for (t, &ct) in self.ctaps.iter().enumerate() {
+                    let idx = lo + t as isize;
+                    if idx < 0 || idx as usize >= audio.len() {
+                        continue;
+                    }
+                    acc += ct.scale(audio[idx as usize]);
                 }
-                acc += ct.scale(audio[idx as usize]);
-            }
+                acc
+            };
             out.push(acc * rotator);
             rotator *= step;
         }
@@ -222,15 +232,26 @@ impl StreamingDownconverter {
         if self.k.is_multiple_of(1024) {
             self.rotator = Complex::from_angle(-self.w * centre as f64);
         }
-        let mut acc = Complex::ZERO;
+        // Same interior/edge split as [`Downconverter::process`] — the
+        // criterion is expressed against the absolute stream bounds so the
+        // kernel sees the exact slice the offline path would, keeping the
+        // concatenated output bitwise identical.
         let lo = centre as isize - self.dc.half as isize;
-        for (t, &ct) in self.dc.ctaps.iter().enumerate() {
-            let idx = lo + t as isize;
-            if idx < 0 || idx as usize >= self.total_in {
-                continue;
+        let num_taps = self.dc.ctaps.len();
+        let acc = if lo >= 0 && lo as usize + num_taps <= self.total_in {
+            let start = lo as usize - self.base;
+            crate::kernels::fir_complex_dot(&self.dc.ctaps, &self.buffer[start..start + num_taps])
+        } else {
+            let mut acc = Complex::ZERO;
+            for (t, &ct) in self.dc.ctaps.iter().enumerate() {
+                let idx = lo + t as isize;
+                if idx < 0 || idx as usize >= self.total_in {
+                    continue;
+                }
+                acc += ct.scale(self.buffer[idx as usize - self.base]);
             }
-            acc += ct.scale(self.buffer[idx as usize - self.base]);
-        }
+            acc
+        };
         out.push(acc * self.rotator);
         self.rotator *= self.step;
         self.k += 1;
@@ -339,9 +360,7 @@ impl BasebandStft {
         assert!(row_hi < size, "row_hi {row_hi} beyond fft size {size}");
         assert_eq!(out.len(), row_hi - row_lo + 1, "row output length mismatch");
         scratch.buf.resize(size, Complex::ZERO);
-        for ((b, z), &w) in scratch.buf.iter_mut().zip(frame).zip(&self.window) {
-            *b = z.scale(w);
-        }
+        crate::kernels::scale_complex_into(&mut scratch.buf, frame, &self.window);
         self.fft.forward(&mut scratch.buf);
         // fft-shift indexing: shifted row r reads FFT bin (r + size/2) % size.
         for (o, r) in out.iter_mut().zip(row_lo..=row_hi) {

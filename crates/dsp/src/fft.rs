@@ -107,22 +107,17 @@ impl Fft {
                 buf.swap(i, j);
             }
         }
-        // Iterative butterflies.
+        // Iterative butterflies. Each block of `m` splits into an upper and
+        // lower half driven through the SIMD-dispatched butterfly kernel,
+        // which is pinned bitwise to the scalar recurrence it replaced.
         let mut m = 2;
         let mut toff = 0; // offset into the twiddle table for this stage
         while m <= self.size {
             let half = m / 2;
-            for start in (0..self.size).step_by(m) {
-                for k in 0..half {
-                    let mut w = self.twiddles[toff + k];
-                    if inverse {
-                        w = w.conj();
-                    }
-                    let t = w * buf[start + k + half];
-                    let u = buf[start + k];
-                    buf[start + k] = u + t;
-                    buf[start + k + half] = u - t;
-                }
+            let tw = &self.twiddles[toff..toff + half];
+            for chunk in buf.chunks_exact_mut(m) {
+                let (u, v) = chunk.split_at_mut(half);
+                crate::kernels::butterfly_pass(u, v, tw, inverse);
             }
             toff += half;
             m <<= 1;

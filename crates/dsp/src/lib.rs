@@ -11,7 +11,9 @@
 //! - one-dimensional [`filters`] (median, Gaussian, simple moving average)
 //!   and the Holoborodko noise-robust differentiator used by the paper's
 //!   acceleration-based stroke segmentation (Eq. 2),
-//! - small numeric [`util`] helpers (dB conversion, normalization, argmax).
+//! - small numeric [`util`] helpers (dB conversion, normalization, argmax),
+//! - runtime-dispatched SIMD [`kernels`] (AVX2/SSE2/NEON with a scalar
+//!   fallback) behind safe wrappers, each pinned to its scalar reference.
 //!
 //! # Example
 //!
@@ -29,6 +31,7 @@ pub mod complex;
 pub mod downconvert;
 pub mod fft;
 pub mod filters;
+pub mod kernels;
 pub mod realfft;
 pub mod stft;
 pub mod util;

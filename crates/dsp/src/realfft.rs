@@ -127,15 +127,10 @@ impl RealFft {
         out[0] = Complex::new(packed[0].re + packed[0].im, 0.0);
         // echolint: allow(no-panic-path) -- out.len() == m+1 asserted at entry
         out[m] = Complex::new(packed[0].re - packed[0].im, 0.0);
-        for k in 1..m {
-            let zk = packed[k];
-            let zc = packed[m - k].conj();
-            let even = (zk + zc).scale(0.5);
-            let diff = zk - zc;
-            // odd = diff / 2i = (diff.im - i·diff.re) / 2
-            let odd = Complex::new(diff.im * 0.5, -diff.re * 0.5);
-            out[k] = even + self.twiddles[k] * odd;
-        }
+        // Interior bins 1..m run through the SIMD-dispatched split kernel,
+        // pinned bitwise to the scalar loop it replaced:
+        //   odd = diff / 2i = (diff.im - i·diff.re) / 2
+        crate::kernels::realfft_split(out, packed, &self.twiddles);
     }
 
     /// Computes the lower half-spectrum of `signal`, allocating the result.

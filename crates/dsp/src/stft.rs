@@ -161,9 +161,7 @@ impl Stft {
         );
         assert_eq!(out.len(), hi_bin - lo_bin + 1, "band output length mismatch");
         scratch.windowed.resize(self.config.fft_size, 0.0);
-        for ((w, &s), &c) in scratch.windowed.iter_mut().zip(frame).zip(&self.window) {
-            *w = s * c;
-        }
+        crate::kernels::mul_into(&mut scratch.windowed, frame, &self.window);
         scratch.spectrum.resize(self.fft.output_len(), Complex::ZERO);
         self.fft
             .forward_into(&scratch.windowed, &mut scratch.fft, &mut scratch.spectrum);
@@ -306,7 +304,10 @@ impl Stft {
 /// a persistent [`StftScratch`] keeps per-frame FFT work allocation-free.
 #[derive(Debug, Clone)]
 pub struct StreamingStft {
-    stft: Stft,
+    /// The immutable plan, behind an [`Arc`](std::sync::Arc) so many
+    /// streams (e.g. every session of a serve shard) can share one twiddle
+    /// table and window instead of planning per session.
+    stft: std::sync::Arc<Stft>,
     buffer: Vec<f64>,
     /// Index of the first unconsumed sample in `buffer`.
     start: usize,
@@ -321,6 +322,13 @@ pub struct StreamingStft {
 impl StreamingStft {
     /// Creates a streaming wrapper around a planned STFT.
     pub fn new(stft: Stft) -> Self {
+        Self::with_shared_plan(std::sync::Arc::new(stft))
+    }
+
+    /// Creates a streaming wrapper over an already shared plan, so N
+    /// streams amortize one twiddle table and window (the plan is
+    /// immutable; sharing cannot change any output bit).
+    pub fn with_shared_plan(stft: std::sync::Arc<Stft>) -> Self {
         let scratch = stft.make_scratch();
         StreamingStft { stft, buffer: Vec::new(), start: 0, scratch, band: Vec::new(), total_in: 0 }
     }
@@ -348,38 +356,47 @@ impl StreamingStft {
         hi_bin: usize,
         mut on_frame: impl FnMut(&[f64]),
     ) {
-        self.buffer.extend_from_slice(samples);
-        self.total_in += samples.len() as u64;
-        let (size, hop) = (self.stft.config.fft_size, self.stft.config.hop);
-        self.band.resize(hi_bin.saturating_sub(lo_bin) + 1, 0.0);
-        let mut frames = 0u32;
-        while self.buffer.len() - self.start >= size {
-            self.stft.frame_band_into(
-                &self.buffer[self.start..self.start + size],
-                lo_bin,
-                hi_bin,
-                &mut self.scratch,
-                &mut self.band,
-            );
-            frames += 1;
-            on_frame(&self.band);
-            self.start += hop;
-        }
-        if echowrite_trace::enabled() {
-            let tick = echowrite_trace::samples_to_us(self.total_in, self.stft.config.sample_rate);
-            echowrite_trace::counter(
-                echowrite_trace::Stage::Stft,
-                "frames_emitted",
-                tick,
-                f64::from(frames),
-            );
-        }
-        // Compact once the dead prefix dominates the live tail.
-        if self.start > size.max(self.buffer.len() - self.start) {
-            self.buffer.copy_within(self.start.., 0);
-            self.buffer.truncate(self.buffer.len() - self.start);
-            self.start = 0;
-        }
+        let scratch = &mut self.scratch;
+        let band = &mut self.band;
+        let buffer = &mut self.buffer;
+        let start = &mut self.start;
+        let total_in = &mut self.total_in;
+        drain_frames(
+            &self.stft, buffer, start, total_in, band, scratch, samples, lo_bin, hi_bin,
+            &mut on_frame,
+        );
+    }
+
+    /// Like [`StreamingStft::push_band_into`], but frames run through an
+    /// externally owned scratch arena instead of the embedded one.
+    ///
+    /// This is the batched-shard entry point: a serve shard that drains
+    /// several sessions' pushes in one pass hands every session the same
+    /// scratch, so the windowed-frame, packed-FFT, and spectrum buffers stay
+    /// hot in cache across sessions instead of ping-ponging between per-
+    /// session arenas. The emitted rows are bitwise identical to
+    /// [`StreamingStft::push_band_into`] — the scratch is pure workspace and
+    /// carries no state between frames.
+    pub fn push_band_into_with_scratch(
+        &mut self,
+        samples: &[f64],
+        lo_bin: usize,
+        hi_bin: usize,
+        scratch: &mut StftScratch,
+        mut on_frame: impl FnMut(&[f64]),
+    ) {
+        drain_frames(
+            &self.stft,
+            &mut self.buffer,
+            &mut self.start,
+            &mut self.total_in,
+            &mut self.band,
+            scratch,
+            samples,
+            lo_bin,
+            hi_bin,
+            &mut on_frame,
+        );
     }
 
     /// Appends samples and returns magnitude spectra for every frame that
@@ -406,6 +423,50 @@ impl StreamingStft {
         self.buffer.clear();
         self.start = 0;
         self.total_in = 0;
+    }
+}
+
+/// Shared frame loop behind both [`StreamingStft`] push entry points, split
+/// out as a free function so the embedded-scratch and shared-scratch paths
+/// borrow disjoint fields without duplicating the drain logic.
+#[allow(clippy::too_many_arguments)]
+fn drain_frames(
+    stft: &Stft,
+    buffer: &mut Vec<f64>,
+    start: &mut usize,
+    total_in: &mut u64,
+    band: &mut Vec<f64>,
+    scratch: &mut StftScratch,
+    samples: &[f64],
+    lo_bin: usize,
+    hi_bin: usize,
+    on_frame: &mut impl FnMut(&[f64]),
+) {
+    buffer.extend_from_slice(samples);
+    *total_in += samples.len() as u64;
+    let (size, hop) = (stft.config.fft_size, stft.config.hop);
+    band.resize(hi_bin.saturating_sub(lo_bin) + 1, 0.0);
+    let mut frames = 0u32;
+    while buffer.len() - *start >= size {
+        stft.frame_band_into(&buffer[*start..*start + size], lo_bin, hi_bin, scratch, band);
+        frames += 1;
+        on_frame(band);
+        *start += hop;
+    }
+    if echowrite_trace::enabled() {
+        let tick = echowrite_trace::samples_to_us(*total_in, stft.config.sample_rate);
+        echowrite_trace::counter(
+            echowrite_trace::Stage::Stft,
+            "frames_emitted",
+            tick,
+            f64::from(frames),
+        );
+    }
+    // Compact once the dead prefix dominates the live tail.
+    if *start > size.max(buffer.len() - *start) {
+        buffer.copy_within(*start.., 0);
+        buffer.truncate(buffer.len() - *start);
+        *start = 0;
     }
 }
 
@@ -614,6 +675,43 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn shared_scratch_push_matches_embedded_scratch_bitwise() {
+        let cfg = StftConfig {
+            fft_size: 256,
+            hop: 64,
+            window: WindowKind::Hann,
+            sample_rate: 8000.0,
+        };
+        let sig = tone(1700.0, 8000.0, 1999);
+        let (lo, hi) = (20usize, 45usize);
+
+        let mut embedded = StreamingStft::new(Stft::new(cfg));
+        let mut want: Vec<Vec<f64>> = Vec::new();
+        for chunk in sig.chunks(91) {
+            embedded.push_band_into(chunk, lo, hi, |row| want.push(row.to_vec()));
+        }
+
+        // One external scratch shared across two interleaved sessions, as the
+        // batched serve shard does.
+        let plan = Stft::new(cfg);
+        let mut shared = plan.make_scratch();
+        let mut a = StreamingStft::new(Stft::new(cfg));
+        let mut b = StreamingStft::new(Stft::new(cfg));
+        let mut got_a: Vec<Vec<f64>> = Vec::new();
+        let mut got_b: Vec<Vec<f64>> = Vec::new();
+        for chunk in sig.chunks(91) {
+            a.push_band_into_with_scratch(chunk, lo, hi, &mut shared, |row| {
+                got_a.push(row.to_vec());
+            });
+            b.push_band_into_with_scratch(chunk, lo, hi, &mut shared, |row| {
+                got_b.push(row.to_vec());
+            });
+        }
+        assert_eq!(want, got_a);
+        assert_eq!(want, got_b);
     }
 
     #[test]

@@ -81,6 +81,9 @@ pub fn dtw_distance_pruned(
     let mut cur_cost = vec![inf; m + 1];
     let mut prev_len = vec![0usize; m + 1];
     let mut cur_len = vec![0usize; m + 1];
+    // Local-cost row |a[i−1] − b[j−1]|, precomputed per row by the SIMD
+    // kernel so the recurrence below only chases dependencies.
+    let mut local = vec![0.0; m];
     // echolint: allow(no-panic-path) -- rows allocated with m + 1 >= 1 elements above
     prev_cost[0] = 0.0; // cell (0, 0)
 
@@ -88,14 +91,18 @@ pub fn dtw_distance_pruned(
         let j_lo = if band == usize::MAX { 1 } else { i.saturating_sub(band).max(1) };
         let j_hi = if band == usize::MAX { m } else { (i + band).min(m) };
         cur_cost.fill(inf);
-        let mut row_min = inf;
+        echowrite_dsp::kernels::abs_diff_broadcast_into(
+            &mut local[j_lo - 1..j_hi],
+            a[i - 1],
+            &b[j_lo - 1..j_hi],
+        );
         for j in j_lo..=j_hi {
             let diag = prev_cost[j - 1];
             let up = prev_cost[j];
             let left = cur_cost[j - 1];
             let best = diag.min(up).min(left);
             if best < inf {
-                cur_cost[j] = (a[i - 1] - b[j - 1]).abs() + best;
+                cur_cost[j] = local[j - 1] + best;
                 // Identical tie-break to the backtrack in `dtw_with_path`:
                 // diagonal first, then up, then left.
                 cur_len[j] = 1 + if diag <= up && diag <= left {
@@ -105,10 +112,11 @@ pub fn dtw_distance_pruned(
                 } else {
                     cur_len[j - 1]
                 };
-                row_min = row_min.min(cur_cost[j]);
             }
         }
         if let Some(thr) = abandon_above {
+            // Unreached cells stay +∞ and drop out of the fold naturally.
+            let row_min = echowrite_dsp::kernels::fold_min(&cur_cost[j_lo..=j_hi]);
             let bound = if config.normalize { row_min / max_plen } else { row_min };
             if bound > thr {
                 return None;
@@ -148,15 +156,12 @@ pub fn lb_keogh(a: &[f64], b: &[f64], config: DtwConfig) -> f64 {
         .unwrap_or(usize::MAX);
     let mut total = 0.0;
     if band >= m {
-        // Window always spans all of `b`: one global envelope.
-        let (lo, hi) = (inf_fold_min(b), inf_fold_max(b));
-        for &v in a {
-            if v > hi {
-                total += v - hi;
-            } else if v < lo {
-                total += lo - v;
-            }
-        }
+        // Window always spans all of `b`: one global envelope, folded and
+        // charged by the SIMD kernels (the charge reassociates the sum —
+        // 1e-9 class, still a valid lower bound).
+        let lo = echowrite_dsp::kernels::fold_min(b);
+        let hi = echowrite_dsp::kernels::fold_max(b);
+        total += echowrite_dsp::kernels::envelope_charge(a, lo, hi);
     } else {
         // Sliding min/max over the window [i − band, i + band] of `b`,
         // maintained with monotonic deques.
@@ -200,14 +205,6 @@ pub fn lb_keogh(a: &[f64], b: &[f64], config: DtwConfig) -> f64 {
     } else {
         total
     }
-}
-
-fn inf_fold_min(x: &[f64]) -> f64 {
-    x.iter().copied().fold(f64::INFINITY, f64::min)
-}
-
-fn inf_fold_max(x: &[f64]) -> f64 {
-    x.iter().copied().fold(f64::NEG_INFINITY, f64::max)
 }
 
 /// DTW distance together with the optimal alignment path (pairs of indices

@@ -1,0 +1,12 @@
+//! Bad fixture: raw SIMD surface outside `crates/dsp/src/kernels`.
+
+use std::arch::x86_64::_mm256_add_pd;
+
+fn probe() -> bool {
+    is_x86_feature_detected!("avx2")
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn sum_lanes(a: __m256d, b: __m256d) -> __m256d {
+    _mm256_add_pd(a, b)
+}

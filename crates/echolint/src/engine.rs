@@ -35,7 +35,11 @@ pub fn classify(path: &Path) -> FileScope {
         || path.file_name().is_some_and(|f| f == "build.rs");
     let pipeline = PIPELINE_CRATES.contains(&crate_name.as_str());
     let allow_time = test_file || TIME_EXEMPT_CRATES.contains(&crate_name.as_str());
-    FileScope { crate_name, pipeline, test_file, allow_time }
+    // The one module sanctioned to hold raw `std::arch` SIMD.
+    let simd_kernels = comps.len() >= 4
+        && comps[..3] == ["crates".to_string(), "dsp".to_string(), "src".to_string()]
+        && (comps[3] == "kernels" || comps[3] == "kernels.rs");
+    FileScope { crate_name, pipeline, test_file, allow_time, simd_kernels }
 }
 
 /// Lints one source string under an explicit scope. `name` is used verbatim
@@ -143,6 +147,18 @@ mod tests {
         let trace = classify(Path::new("crates/trace/src/recording.rs"));
         assert!(trace.pipeline && !trace.allow_time);
         assert_eq!(trace.crate_name, "trace");
+    }
+
+    #[test]
+    fn classify_simd_kernel_sanctuary() {
+        let kern = classify(Path::new("crates/dsp/src/kernels/mod.rs"));
+        assert!(kern.simd_kernels && kern.pipeline);
+        assert!(classify(Path::new("crates/dsp/src/kernels/x86.rs")).simd_kernels);
+        assert!(classify(Path::new("crates/dsp/src/kernels/neon.rs")).simd_kernels);
+        // The rest of dsp — and every other crate — is outside the boundary.
+        assert!(!classify(Path::new("crates/dsp/src/fft.rs")).simd_kernels);
+        assert!(!classify(Path::new("crates/spectro/src/image.rs")).simd_kernels);
+        assert!(!classify(Path::new("src/bin/repro.rs")).simd_kernels);
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub enum Rule {
     Determinism,
     /// `pub` items in pipeline library crates must carry doc comments.
     PubDoc,
+    /// Raw SIMD surface (`std::arch`/`core::arch`, `_mm*` intrinsics,
+    /// feature-detect macros, `target_feature` attributes) outside
+    /// `crates/dsp/src/kernels` — the one module sanctioned to hold
+    /// architecture-specific code behind the safe dispatch wrappers.
+    SimdBoundary,
     /// Malformed or unknown `// echolint:` marker.
     Marker,
 }
@@ -44,6 +49,7 @@ impl Rule {
             Rule::FloatOrder => "float-order",
             Rule::Determinism => "determinism",
             Rule::PubDoc => "pub-doc",
+            Rule::SimdBoundary => "simd-boundary",
             Rule::Marker => "marker",
         }
     }
@@ -56,6 +62,7 @@ impl Rule {
             "float-order" => Some(Rule::FloatOrder),
             "determinism" => Some(Rule::Determinism),
             "pub-doc" => Some(Rule::PubDoc),
+            "simd-boundary" => Some(Rule::SimdBoundary),
             _ => None,
         }
     }
@@ -98,6 +105,9 @@ pub struct FileScope {
     pub test_file: bool,
     /// Wall-clock reads are permitted (crates/profile, benches, tests).
     pub allow_time: bool,
+    /// The file lives in `crates/dsp/src/kernels` — the sanctioned home of
+    /// raw `std::arch` SIMD; the `simd-boundary` rule is off here.
+    pub simd_kernels: bool,
 }
 
 /// A parsed `// echolint: allow(…) -- reason` marker.
@@ -187,6 +197,9 @@ pub fn check(file: &str, lexed: &Lexed, scan: &Scan, scope: &FileScope) -> Vec<D
             pub_doc(file, scan, &mut diags);
         }
         no_alloc_hot(file, lexed, scan, &mut diags);
+        if !scope.simd_kernels {
+            simd_boundary(file, lexed, scan, &mut diags);
+        }
     }
 
     // Apply suppressions: a marker on the same line or the line above.
@@ -449,6 +462,78 @@ fn determinism(
     }
 }
 
+/// Rule 6 — `simd-boundary`.
+///
+/// Raw architecture-specific SIMD belongs in `crates/dsp/src/kernels`
+/// behind the dispatcher's safe wrappers; anywhere else it fragments the
+/// scalar-equivalence guarantee (there is exactly one place to audit for
+/// `unsafe` lane code and exactly one `ECHOWRITE_SIMD` knob to force it
+/// off). Fires on `std::arch`/`core::arch` paths, `_mm*` intrinsic idents,
+/// the feature-detect macros, and `target_feature` attributes.
+fn simd_boundary(file: &str, lexed: &Lexed, scan: &Scan, diags: &mut Vec<Diagnostic>) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if scan.is_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `std::arch` / `core::arch` paths (use, call, or cfg position).
+        if t.text == "arch"
+            && i >= 3
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && (toks[i - 3].is_ident("std") || toks[i - 3].is_ident("core"))
+        {
+            push(
+                diags,
+                file,
+                t.line,
+                Rule::SimdBoundary,
+                format!(
+                    "{}::arch outside dsp::kernels — raw SIMD lives behind the kernel dispatch layer",
+                    toks[i - 3].text
+                ),
+            );
+        }
+        // Intel intrinsic idents (`_mm_…`, `_mm256_…`) even when imported.
+        if t.text.starts_with("_mm") {
+            push(
+                diags,
+                file,
+                t.line,
+                Rule::SimdBoundary,
+                format!("intrinsic `{}` outside dsp::kernels", t.text),
+            );
+        }
+        // Runtime feature probes: the dispatcher is the single source of
+        // truth for what the host supports.
+        if (t.text == "is_x86_feature_detected" || t.text == "is_aarch64_feature_detected")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            push(
+                diags,
+                file,
+                t.line,
+                Rule::SimdBoundary,
+                format!("{}! outside dsp::kernels — query kernels::backend() instead", t.text),
+            );
+        }
+        // `#[target_feature(…)]` attributes imply unsafe lane code.
+        if t.text == "target_feature" && i >= 1 && toks[i - 1].is_punct('[') {
+            push(
+                diags,
+                file,
+                t.line,
+                Rule::SimdBoundary,
+                "#[target_feature] outside dsp::kernels".to_string(),
+            );
+        }
+    }
+}
+
 /// Rule 5 — `pub-doc`.
 fn pub_doc(file: &str, scan: &Scan, diags: &mut Vec<Diagnostic>) {
     for u in &scan.undoc_pubs {
@@ -474,6 +559,7 @@ mod tests {
             pipeline: true,
             test_file: false,
             allow_time: false,
+            simd_kernels: false,
         }
     }
 
@@ -540,6 +626,7 @@ mod tests {
             pipeline: true,
             test_file: false,
             allow_time: true,
+            simd_kernels: false,
         };
         let d = check("mem.rs", &l, &s, &scope);
         assert!(d.is_empty(), "{d:?}");
@@ -549,6 +636,34 @@ mod tests {
     fn test_code_is_exempt() {
         let d = run("#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); let m: HashMap<u8, u8>; }\n}");
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn simd_surface_fires_outside_kernels() {
+        let d = run("use std::arch::x86_64::_mm256_add_pd;\nfn f() { unsafe { _mm256_add_pd(a, b) }; }");
+        assert!(d.iter().filter(|d| d.rule == Rule::SimdBoundary).count() >= 2, "{d:?}");
+        let d = run("fn f() -> bool { is_x86_feature_detected!(\"avx2\") }");
+        assert_eq!(d.iter().filter(|d| d.rule == Rule::SimdBoundary).count(), 1);
+        let d = run("#[target_feature(enable = \"avx2\")]\nunsafe fn g() {}");
+        assert_eq!(d.iter().filter(|d| d.rule == Rule::SimdBoundary).count(), 1);
+    }
+
+    #[test]
+    fn simd_surface_is_sanctioned_inside_kernels_scope() {
+        let src = "use core::arch::x86_64::_mm256_add_pd;\n#[target_feature(enable = \"avx2\")]\nunsafe fn g() { is_x86_feature_detected!(\"avx2\"); }";
+        let l = lex(src);
+        let s = scan(&l);
+        let scope = FileScope { simd_kernels: true, ..pipeline_scope() };
+        let d = check("mem.rs", &l, &s, &scope);
+        assert!(d.iter().all(|d| d.rule != Rule::SimdBoundary), "{d:?}");
+    }
+
+    #[test]
+    fn simd_boundary_suppressed_by_reasoned_allow() {
+        let d = run(
+            "fn f() -> bool {\n// echolint: allow(simd-boundary) -- probing for a diagnostics banner only\nis_x86_feature_detected!(\"avx2\")\n}",
+        );
+        assert!(d.iter().all(|d| d.rule != Rule::SimdBoundary), "{d:?}");
     }
 
     #[test]

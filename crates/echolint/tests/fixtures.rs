@@ -12,6 +12,7 @@ fn pipeline_scope() -> FileScope {
         pipeline: true,
         test_file: false,
         allow_time: false,
+        simd_kernels: false,
     }
 }
 
@@ -108,6 +109,30 @@ fn pub_doc_fixture_fires_for_undocumented_items_only() {
             "bad/pub_doc.rs:5: pub-doc: public fn `hann` has no doc comment",
         ]
     );
+}
+
+/// Raw `std::arch` usage outside the sanctioned `crates/dsp/src/kernels`
+/// module fires `simd-boundary`; the identical source under the kernels
+/// scope is clean — intrinsics are confined to the dispatch layer.
+#[test]
+fn simd_boundary_fixture_fires_outside_kernels_only() {
+    assert_eq!(
+        lint_fixture("bad/simd_boundary.rs"),
+        vec![
+            "bad/simd_boundary.rs:3: simd-boundary: std::arch outside dsp::kernels — raw SIMD lives behind the kernel dispatch layer",
+            "bad/simd_boundary.rs:3: simd-boundary: intrinsic `_mm256_add_pd` outside dsp::kernels",
+            "bad/simd_boundary.rs:6: simd-boundary: is_x86_feature_detected! outside dsp::kernels — query kernels::backend() instead",
+            "bad/simd_boundary.rs:9: simd-boundary: #[target_feature] outside dsp::kernels",
+            "bad/simd_boundary.rs:11: simd-boundary: intrinsic `_mm256_add_pd` outside dsp::kernels",
+        ]
+    );
+    // Same source, kernels scope: the boundary rule is off by construction.
+    let scope = echolint::classify(Path::new("crates/dsp/src/kernels/x86.rs"));
+    assert!(scope.simd_kernels);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/bad/simd_boundary.rs");
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    let diags = lint_source("bad/simd_boundary.rs", &src, &scope);
+    assert!(diags.is_empty(), "{diags:?}");
 }
 
 #[test]

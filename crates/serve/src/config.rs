@@ -30,6 +30,12 @@ pub struct ServeConfig {
     /// the shard has processed): a session whose last command is older
     /// than this many samples is reclaimed. `None` disables the reaper.
     pub idle_timeout_samples: Option<u64>,
+    /// Maximum commands a shard worker drains from its queue per batch.
+    /// Pushes in one batch run through a single shard-shared DSP scratch
+    /// (the windowed-frame/FFT/spectrum buffers stay hot across sessions);
+    /// commands still execute strictly in queue order, so output is
+    /// independent of the batch size. `1` disables batching.
+    pub batch_max: usize,
 }
 
 impl Default for ServeConfig {
@@ -41,6 +47,7 @@ impl Default for ServeConfig {
             high_water: 3072,
             deadline_chunks: None,
             idle_timeout_samples: None,
+            batch_max: 8,
         }
     }
 }
@@ -78,6 +85,9 @@ impl ServeConfig {
         if self.idle_timeout_samples == Some(0) {
             return Err("idle_timeout_samples of 0 would reap every session instantly".to_string());
         }
+        if self.batch_max == 0 {
+            return Err("batch_max must be at least 1 (1 disables batching)".to_string());
+        }
         Ok(())
     }
 }
@@ -113,6 +123,10 @@ mod tests {
         assert!(hw.validate().is_err());
         let reap0 = ServeConfig { idle_timeout_samples: Some(0), ..ServeConfig::default() };
         assert!(reap0.validate().is_err());
+        let batch0 = ServeConfig { batch_max: 0, ..ServeConfig::default() };
+        assert!(batch0.validate().is_err());
+        let batch1 = ServeConfig { batch_max: 1, ..ServeConfig::default() };
+        assert!(batch1.validate().is_ok(), "batch_max of 1 (batching off) is valid");
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //! isolated [`StreamingRecognizer`](echowrite::StreamingRecognizer) no
 //! matter how many shards run or how sessions interleave.
 //!
+//! Workers drain their queue in batches (up to [`ServeConfig::batch_max`]
+//! commands per round), running every push of a batch through one
+//! shard-shared DSP scratch so the FFT workspace stays hot across sessions;
+//! commands execute strictly in queue order, so the batch size never
+//! changes any output bit.
+//!
 //! Ingress is a bounded MPSC queue per shard and **never blocks**:
 //! [`SessionManager::submit`] returns a [`SubmitVerdict`] — enqueued, queue
 //! full (with a drain hint), or shed by the admission controller. A push
@@ -19,7 +25,7 @@
 use crate::admission::AdmissionController;
 use crate::config::ServeConfig;
 use crate::metrics::ServeMetrics;
-use echowrite::{EchoWrite, SegmentEvent, StreamingSession};
+use echowrite::{EchoWrite, SegmentEvent, SharedDspScratch, StreamingSession};
 use echowrite_profile::Stopwatch;
 use echowrite_trace::{SmallStr, Stage, TICK_UNSET};
 use std::collections::BTreeMap;
@@ -209,9 +215,11 @@ impl SessionManager {
                 pending: pending.clone(),
                 deadline_chunks: config.deadline_chunks,
                 idle_timeout_samples: config.idle_timeout_samples,
+                batch_max: config.batch_max,
                 sessions: BTreeMap::new(),
                 pool: Vec::new(),
                 scratch: Vec::new(),
+                dsp_scratch: SharedDspScratch::new(),
                 clock_samples: 0,
                 commands_done: 0,
             };
@@ -426,6 +434,8 @@ struct Worker {
     pending: Arc<Pending>,
     deadline_chunks: Option<u64>,
     idle_timeout_samples: Option<u64>,
+    /// Commands drained from the queue per batch round (1 = no batching).
+    batch_max: usize,
     /// Live sessions pinned to this shard (ordered map: deterministic
     /// iteration for the reaper).
     sessions: BTreeMap<u64, Slot>,
@@ -434,6 +444,10 @@ struct Worker {
     pool: Vec<StreamingSession>,
     /// Per-shard scratch for segment events.
     scratch: Vec<SegmentEvent>,
+    /// Shard-shared DSP workspace: every push of a batch runs its STFT
+    /// frames through this one arena, keeping the windowed-frame, FFT, and
+    /// spectrum buffers hot across sessions.
+    dsp_scratch: SharedDspScratch,
     /// Logical clock: total samples this shard has processed.
     clock_samples: u64,
     commands_done: u64,
@@ -446,19 +460,35 @@ impl Worker {
     }
 
     fn run(mut self) {
-        while let Ok(cmd) = self.rx.recv() {
-            self.depth.fetch_sub(1, Ordering::AcqRel);
-            self.metrics.queue_depth.dec();
-            match cmd {
-                Cmd::Open { id } => self.handle_open(id),
-                Cmd::Push { id, chunk, seq, timer } => self.handle_push(id, &chunk, seq, timer),
-                Cmd::Finish { id } => self.handle_finish(id),
+        // Batched drain: block for the first command, then greedily pull up
+        // to `batch_max − 1` more that are already queued. Commands execute
+        // strictly in queue order with per-command accounting, so batching
+        // changes cache behaviour (one shared DSP scratch pass over N
+        // sessions' pushes) but never the output or the quiesce contract.
+        let mut batch: Vec<Cmd> = Vec::with_capacity(self.batch_max);
+        while let Ok(first) = self.rx.recv() {
+            batch.push(first);
+            while batch.len() < self.batch_max {
+                match self.rx.try_recv() {
+                    Ok(cmd) => batch.push(cmd),
+                    Err(_) => break,
+                }
             }
-            self.commands_done += 1;
-            if self.commands_done.is_multiple_of(REAP_SCAN_EVERY) {
-                self.reap_idle();
+            self.metrics.batch_drains.inc();
+            for cmd in batch.drain(..) {
+                self.depth.fetch_sub(1, Ordering::AcqRel);
+                self.metrics.queue_depth.dec();
+                match cmd {
+                    Cmd::Open { id } => self.handle_open(id),
+                    Cmd::Push { id, chunk, seq, timer } => self.handle_push(id, &chunk, seq, timer),
+                    Cmd::Finish { id } => self.handle_finish(id),
+                }
+                self.commands_done += 1;
+                if self.commands_done.is_multiple_of(REAP_SCAN_EVERY) {
+                    self.reap_idle();
+                }
+                self.pending.dec();
             }
-            self.pending.dec();
         }
     }
 
@@ -503,7 +533,13 @@ impl Worker {
             .saturating_sub(seq.saturating_add(1));
         let degraded = self.deadline_chunks.is_some_and(|d| lag > d);
         self.scratch.clear();
-        slot.session.push_events(&self.engine, chunk, !degraded, &mut self.scratch);
+        slot.session.push_events_shared(
+            &self.engine,
+            chunk,
+            !degraded,
+            &mut self.dsp_scratch,
+            &mut self.scratch,
+        );
         self.clock_samples += chunk.len() as u64;
         slot.last_active = self.clock_samples;
         self.metrics.pushes.inc();

@@ -19,8 +19,15 @@ use std::time::Instant;
 /// Upper bounds (µs) of the push-latency histogram buckets; observations
 /// above the last bound land in the explicit `+Inf` bucket (counted, never
 /// dropped).
-pub const LATENCY_BUCKETS_US: [u64; 12] =
-    [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000];
+///
+/// The ladder extends to 2.5 s: under multi-session queueing a push's
+/// end-to-end latency (enqueue to processed) routinely exceeds the old
+/// 250 ms ceiling, which pinned every loaded p99 readout at the `+Inf`
+/// bucket instead of resolving a real tail.
+pub const LATENCY_BUCKETS_US: [u64; 15] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000,
+];
 
 /// The serving layer's metric registry: one instance per
 /// [`SessionManager`](crate::SessionManager), shared by the ingress path
@@ -41,6 +48,9 @@ pub struct ServeMetrics {
     pub pushes: Counter,
     /// Pushes degraded to segment-only output by a missed deadline.
     pub pushes_degraded: Counter,
+    /// Batched drain rounds executed by shard workers (each round runs up
+    /// to `batch_max` queued commands through one shared DSP scratch).
+    pub batch_drains: Counter,
     /// Submissions rejected because the shard queue was full.
     pub queue_full: Counter,
     /// Commands addressed to a session no shard knows (never opened, shed,
@@ -72,6 +82,7 @@ impl ServeMetrics {
             sessions_live: Gauge::default(),
             pushes: Counter::default(),
             pushes_degraded: Counter::default(),
+            batch_drains: Counter::default(),
             queue_full: Counter::default(),
             orphan_commands: Counter::default(),
             events: Counter::default(),
@@ -99,6 +110,7 @@ impl ServeMetrics {
             sessions_live: self.sessions_live.get(),
             pushes: self.pushes.get(),
             pushes_degraded: self.pushes_degraded.get(),
+            batch_drains: self.batch_drains.get(),
             queue_full: self.queue_full.get(),
             orphan_commands: self.orphan_commands.get(),
             events: self.events.get(),
@@ -135,6 +147,8 @@ pub struct MetricsSnapshot {
     pub pushes: u64,
     /// Pushes degraded to segment-only output by a missed deadline.
     pub pushes_degraded: u64,
+    /// Batched drain rounds executed by shard workers.
+    pub batch_drains: u64,
     /// Submissions rejected because the shard queue was full.
     pub queue_full: u64,
     /// Commands addressed to a session no shard knows.
@@ -168,7 +182,7 @@ impl MetricsSnapshot {
             "Build metadata for the serving layer.",
             &[("crate", "echowrite-serve"), ("version", env!("CARGO_PKG_VERSION"))],
         );
-        let counters: [(&str, &str, u64); 9] = [
+        let counters: [(&str, &str, u64); 10] = [
             (
                 "echowrite_serve_sessions_opened_total",
                 "Sessions admitted and opened.",
@@ -194,6 +208,11 @@ impl MetricsSnapshot {
                 "echowrite_serve_pushes_degraded_total",
                 "Pushes degraded to segment-only output by a missed deadline.",
                 self.pushes_degraded,
+            ),
+            (
+                "echowrite_serve_batch_drains_total",
+                "Batched drain rounds executed by shard workers.",
+                self.batch_drains,
             ),
             (
                 "echowrite_serve_queue_full_total",
@@ -279,7 +298,7 @@ mod tests {
     #[test]
     fn histogram_over_range_is_counted_not_dropped() {
         let h = Histogram::new(&LATENCY_BUCKETS_US);
-        h.observe(250_001); // one past the last finite bound
+        h.observe(2_500_001); // one past the last finite bound
         h.observe(u64::MAX);
         assert_eq!(h.count(), 2);
         assert_eq!(h.overflow_count(), 2);
@@ -288,6 +307,30 @@ mod tests {
         assert_eq!(buckets.len(), LATENCY_BUCKETS_US.len() + 1);
         assert_eq!(buckets.last().copied(), Some(2));
         assert_eq!(buckets.iter().take(LATENCY_BUCKETS_US.len()).sum::<u64>(), 0);
+    }
+
+    /// Regression for the bucket-ladder extension: a queueing-shaped load
+    /// (most pushes fast, the backlogged tail between 250 ms and 2.5 s)
+    /// must resolve a real finite p99 instead of saturating at the old
+    /// 250 ms ceiling's `+Inf` bucket.
+    #[test]
+    fn queueing_tail_resolves_finite_p99() {
+        assert_eq!(
+            &LATENCY_BUCKETS_US[12..],
+            &[500_000, 1_000_000, 2_500_000],
+            "the ladder must extend past 250 ms to cover queueing tails"
+        );
+        let h = Histogram::new(&LATENCY_BUCKETS_US);
+        for _ in 0..90 {
+            h.observe(400); // uncontended pushes
+        }
+        for _ in 0..9 {
+            h.observe(180_000); // mild backlog
+        }
+        h.observe(800_000); // deep multi-session backlog: 0.8 s
+        assert_eq!(h.overflow_count(), 0, "a 0.8 s push must land in a finite bucket");
+        assert_eq!(h.quantile_upper_bound(0.99), Some(250_000));
+        assert_eq!(h.quantile_upper_bound(1.0), Some(1_000_000), "tail resolves, not +Inf");
     }
 
     #[test]
@@ -336,6 +379,7 @@ mod tests {
         assert!(text.contains("echowrite_serve_build_info{crate=\"echowrite-serve\","));
         // The over-range observation shows up in +Inf but no finite bucket.
         assert!(text.contains("echowrite_serve_push_latency_us_bucket{le=\"250000\"} 0"));
+        assert!(text.contains("echowrite_serve_push_latency_us_bucket{le=\"2500000\"} 0"));
         assert!(text.contains("echowrite_serve_push_latency_us_bucket{le=\"+Inf\"} 1"));
         // Label escaping is exercised directly on the writer.
         assert_eq!(PromWriter::escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");

@@ -78,39 +78,29 @@ pub fn gaussian_filter_2d(src: &Spectrogram, size: usize) -> Spectrogram {
 /// Panics if `size` is even or zero.
 pub fn gaussian_filter_2d_in_place(s: &mut Spectrogram, size: usize) {
     let kernel = gaussian_kernel(size, None);
-    let half = (kernel.len() / 2) as isize;
     let (rows, cols) = (s.rows(), s.cols());
     if cols == 0 {
         return;
     }
     let data = s.data_mut();
     let mut line = vec![0.0f64; cols.max(rows)];
+    let mut conv = vec![0.0f64; cols.max(rows)];
 
-    // Horizontal pass, one row at a time.
+    // Horizontal pass, one row at a time, through the SIMD-dispatched
+    // clamped convolution (edge clamping matches the old scalar loop).
     for r in 0..rows {
         let row = &data[r * cols..(r + 1) * cols];
-        for (c, l) in line[..cols].iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for (k, &kv) in kernel.iter().enumerate() {
-                let cc = (c as isize + k as isize - half).clamp(0, cols as isize - 1) as usize;
-                acc += kv * row[cc];
-            }
-            *l = acc;
-        }
-        data[r * cols..(r + 1) * cols].copy_from_slice(&line[..cols]);
+        echowrite_dsp::kernels::conv1d_clamped_into(&mut conv[..cols], row, &kernel);
+        data[r * cols..(r + 1) * cols].copy_from_slice(&conv[..cols]);
     }
     // Vertical pass, one column at a time.
     for c in 0..cols {
         for (r, l) in line[..rows].iter_mut().enumerate() {
             *l = data[r * cols + c];
         }
-        for r in 0..rows {
-            let mut acc = 0.0;
-            for (k, &kv) in kernel.iter().enumerate() {
-                let rr = (r as isize + k as isize - half).clamp(0, rows as isize - 1) as usize;
-                acc += kv * line[rr];
-            }
-            data[r * cols + c] = acc;
+        echowrite_dsp::kernels::conv1d_clamped_into(&mut conv[..rows], &line[..rows], &kernel);
+        for (r, &v) in conv[..rows].iter().enumerate() {
+            data[r * cols + c] = v;
         }
     }
 }
@@ -143,9 +133,7 @@ pub fn subtract_static_in_place(s: &mut Spectrogram, static_frames: usize) {
     let cols = s.cols();
     for row in s.data_mut().chunks_exact_mut(cols) {
         let mean: f64 = row[..static_frames].iter().sum::<f64>() / static_frames as f64;
-        for v in row {
-            *v = (*v - mean).max(0.0);
-        }
+        echowrite_dsp::kernels::subtract_clamp(row, mean);
     }
 }
 
@@ -174,9 +162,7 @@ pub fn subtract_background_in_place(s: &mut Spectrogram, background: &[f64]) {
         return;
     }
     for (row, &bg) in s.data_mut().chunks_exact_mut(cols).zip(background) {
-        for v in row {
-            *v = (*v - bg).max(0.0);
-        }
+        echowrite_dsp::kernels::subtract_clamp(row, bg);
     }
 }
 
@@ -207,11 +193,7 @@ pub fn threshold(src: &Spectrogram, alpha: f64) -> Spectrogram {
 
 /// In-place variant of [`threshold`].
 pub fn threshold_in_place(s: &mut Spectrogram, alpha: f64) {
-    for v in s.data_mut() {
-        if *v < alpha {
-            *v = 0.0;
-        }
-    }
+    echowrite_dsp::kernels::threshold_zero(s.data_mut(), alpha);
 }
 
 /// Rescales the whole matrix into `[0, 1]` (paper's "zero-one
@@ -231,9 +213,7 @@ pub fn binarize(src: &Spectrogram, t: f64) -> Spectrogram {
 
 /// In-place variant of [`binarize`].
 pub fn binarize_in_place(s: &mut Spectrogram, t: f64) {
-    for v in s.data_mut() {
-        *v = if *v >= t { 1.0 } else { 0.0 };
-    }
+    echowrite_dsp::kernels::binarize(s.data_mut(), t);
 }
 
 /// Fills holes in a binary image: zero-regions not 4-connected to the image

@@ -307,10 +307,8 @@ impl IncrementalEnhancer {
     fn accept_median(&mut self, mut col: Vec<f64>) {
         debug_assert!(self.background.is_some());
         if let Some(bg) = &self.background {
-            for (v, &b) in col.iter_mut().zip(bg) {
-                let d = (*v - b).max(0.0);
-                *v = if d < self.cfg.alpha { 0.0 } else { d };
-            }
+            echowrite_dsp::kernels::subtract_clamp_bg(&mut col, bg);
+            echowrite_dsp::kernels::threshold_zero(&mut col, self.cfg.alpha);
         }
         self.thr.push(col);
         self.thr_n += 1;
@@ -322,27 +320,22 @@ impl IncrementalEnhancer {
     fn smooth_binarize_column(&mut self, c: usize, total: Option<usize>) -> Vec<f64> {
         let half = self.ghalf as isize;
         let hi_col = total.map(|t| t as isize - 1);
-        let mut hcol = Vec::with_capacity(self.rows);
-        for r in 0..self.rows {
-            let mut acc = 0.0;
-            for (k, &kv) in self.kernel.iter().enumerate() {
-                let mut cc = (c as isize + k as isize - half).max(0);
-                if let Some(hi) = hi_col {
-                    cc = cc.min(hi);
-                }
-                acc += kv * self.thr.get(cc as usize)[r];
+        // Horizontal pass as one axpy per tap: each element accumulates its
+        // taps in ascending k from zero, exactly like the scalar per-row loop
+        // (and the offline pass), so the result is bitwise identical.
+        let mut hcol = vec![0.0; self.rows];
+        for (k, &kv) in self.kernel.iter().enumerate() {
+            let mut cc = (c as isize + k as isize - half).max(0);
+            if let Some(hi) = hi_col {
+                cc = cc.min(hi);
             }
-            hcol.push(acc);
+            echowrite_dsp::kernels::axpy(&mut hcol, self.thr.get(cc as usize), kv);
         }
-        let mut out = Vec::with_capacity(self.rows);
-        for r in 0..self.rows {
-            let mut acc = 0.0;
-            for (k, &kv) in self.kernel.iter().enumerate() {
-                let rr = (r as isize + k as isize - half).clamp(0, self.rows as isize - 1) as usize;
-                acc += kv * hcol[rr];
-            }
-            out.push(if acc >= self.binarize_at { 1.0 } else { 0.0 });
-        }
+        // Vertical pass: clamped convolution down the column, then the
+        // fixed-scale binarization, both SIMD-dispatched.
+        let mut out = vec![0.0; self.rows];
+        echowrite_dsp::kernels::conv1d_clamped_into(&mut out, &hcol, &self.kernel);
+        echowrite_dsp::kernels::binarize(&mut out, self.binarize_at);
         out
     }
 }

@@ -92,10 +92,11 @@ fn must_enqueue(m: &SessionManager, mut attempt: impl FnMut() -> SubmitVerdict) 
     panic!("queue never drained");
 }
 
-/// Runs the K sessions through a manager with `shards` shards, feeding
-/// chunks in the order given by `interleave` (indices into the sessions,
-/// cycled past exhausted ones), and returns the per-session transcripts.
-fn run_interleaved(shards: usize, interleave: &[usize]) -> Vec<Vec<Row>> {
+/// Runs the K sessions through a manager with `shards` shards and the given
+/// worker batch size, feeding chunks in the order given by `interleave`
+/// (indices into the sessions, cycled past exhausted ones), and returns the
+/// per-session transcripts.
+fn run_interleaved(shards: usize, batch_max: usize, interleave: &[usize]) -> Vec<Vec<Row>> {
     let manager = SessionManager::new(
         engine().clone(),
         ServeConfig {
@@ -104,6 +105,7 @@ fn run_interleaved(shards: usize, interleave: &[usize]) -> Vec<Vec<Row>> {
             // Degradation must be off for bitwise-deterministic output.
             deadline_chunks: None,
             idle_timeout_samples: None,
+            batch_max,
             ..ServeConfig::default()
         },
     )
@@ -156,15 +158,17 @@ fn run_interleaved(shards: usize, interleave: &[usize]) -> Vec<Vec<Row>> {
     assert_eq!(snapshot.sessions_opened as usize, K);
     assert_eq!(snapshot.sessions_finished as usize, K);
     assert_eq!(snapshot.sessions_live, 0);
+    assert!(snapshot.batch_drains >= 1, "workers must account their drain rounds");
     transcripts
 }
 
-fn assert_matches_oracle(transcripts: &[Vec<Row>], shards: usize) {
+fn assert_matches_oracle(transcripts: &[Vec<Row>], shards: usize, batch_max: usize) {
     for (k, got) in transcripts.iter().enumerate() {
         let want = &sessions()[k].1;
         assert_eq!(
             got, want,
-            "session {k} on {shards} shard(s): transcript diverged from isolated recognizer"
+            "session {k} on {shards} shard(s) with batch_max {batch_max}: \
+             transcript diverged from isolated recognizer"
         );
     }
 }
@@ -172,15 +176,17 @@ fn assert_matches_oracle(transcripts: &[Vec<Row>], shards: usize) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// Random interleavings of the K sessions' chunks, 1 and 4 shards:
-    /// per-session transcripts must equal the isolated oracles bitwise.
+    /// Random interleavings of the K sessions' chunks across shard counts
+    /// and worker batch sizes (1 = unbatched, 8 = the batched drain running
+    /// N sessions' pushes through one shared DSP scratch): per-session
+    /// transcripts must equal the isolated oracles bitwise.
     #[test]
     fn interleaved_sessions_match_isolated_recognizers(
         interleave in prop::collection::vec(0usize..K, 8..64),
     ) {
-        for shards in [1usize, 4] {
-            let transcripts = run_interleaved(shards, &interleave);
-            assert_matches_oracle(&transcripts, shards);
+        for (shards, batch_max) in [(1usize, 8usize), (4, 1), (4, 8)] {
+            let transcripts = run_interleaved(shards, batch_max, &interleave);
+            assert_matches_oracle(&transcripts, shards, batch_max);
         }
     }
 }
@@ -194,9 +200,9 @@ fn edge_interleavings_match_isolated_recognizers() {
     let sequential = vec![0usize];
     let skewed = vec![0usize, 1, 1, 2, 2, 2, 3, 3, 3, 3];
     for interleave in [round_robin, sequential, skewed] {
-        for shards in [1usize, 4] {
-            let transcripts = run_interleaved(shards, &interleave);
-            assert_matches_oracle(&transcripts, shards);
+        for (shards, batch_max) in [(1usize, 1usize), (4, 8)] {
+            let transcripts = run_interleaved(shards, batch_max, &interleave);
+            assert_matches_oracle(&transcripts, shards, batch_max);
         }
     }
 }
