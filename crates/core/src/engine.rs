@@ -155,6 +155,7 @@ impl EchoWrite {
     }
 
     /// Recognizes all strokes in an audio trace.
+    // echolint: entry
     pub fn recognize_strokes(&self, audio: &[f64]) -> StrokeRecognition {
         let analysis = self.pipeline.analyze(audio);
         let mut timing = analysis.timing;

@@ -122,6 +122,7 @@ impl Pipeline {
     /// the result is bitwise identical for every worker count.
     ///
     /// Returns `None` when the audio is shorter than one analysis frame.
+    // echolint: entry
     pub fn roi_spectrogram(&self, audio: &[f64]) -> Option<Spectrogram> {
         let cfg = self.stft.config();
         let (lo, hi, carrier_bin) = roi_bins(&self.config);

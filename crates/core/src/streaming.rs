@@ -154,6 +154,7 @@ impl<'a> StreamingRecognizer<'a> {
     /// Appends audio and returns any newly decided strokes. After
     /// [`StreamingRecognizer::finish`] this is a no-op until
     /// [`StreamingRecognizer::reset`].
+    // echolint: entry
     pub fn push(&mut self, chunk: &[f64]) -> Vec<StrokeEvent> {
         self.scratch.clear();
         self.session.push_events(self.engine, chunk, true, &mut self.scratch);
@@ -315,6 +316,7 @@ impl StreamingSession {
     /// With `classify` false the DTW matching is skipped and events carry
     /// boundaries only (the serving layer's degraded mode). A no-op after
     /// [`StreamingSession::finish_events`] until [`StreamingSession::reset`].
+    // echolint: entry
     pub fn push_events(
         &mut self,
         engine: &EchoWrite,
@@ -331,6 +333,7 @@ impl StreamingSession {
     /// [`StreamingSession::push_events`]; sessions whose front-end has no
     /// shared-scratch path (the replay oracle, the decimating front-end)
     /// fall back to their per-session state transparently.
+    // echolint: entry
     pub fn push_events_shared(
         &mut self,
         engine: &EchoWrite,

@@ -154,10 +154,14 @@ pub fn backend() -> Backend {
 // ---------------------------------------------------------------------------
 
 /// `dst[i] = a[i] * b[i]` — the STFT windowed multiply. Bitwise.
-// echolint: hot
+// echolint: hot entry
 pub fn mul_into(dst: &mut [f64], a: &[f64], b: &[f64]) {
     assert_eq!(dst.len(), a.len());
     assert_eq!(dst.len(), b.len());
+    // SAFETY: each arm runs only when backend() has verified the matching
+    // CPU feature at runtime — exactly the contract the #[target_feature]
+    // lane functions require; the slices pass through unchanged, so the
+    // length assertions above keep every lane access in bounds.
     #[cfg(target_arch = "x86_64")]
     match backend() {
         Backend::Avx2 => return unsafe { x86::mul_into_avx2(dst, a, b) },
@@ -172,7 +176,7 @@ pub fn mul_into(dst: &mut [f64], a: &[f64], b: &[f64]) {
 }
 
 /// Scalar reference for [`mul_into`].
-// echolint: hot
+// echolint: hot entry
 pub fn mul_into_ref(dst: &mut [f64], a: &[f64], b: &[f64]) {
     for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
         *d = x * y;
@@ -181,10 +185,14 @@ pub fn mul_into_ref(dst: &mut [f64], a: &[f64], b: &[f64]) {
 
 /// `dst[i] = src[i].scale(w[i])` — the baseband windowed multiply
 /// (complex-by-real). Bitwise.
-// echolint: hot
+// echolint: hot entry
 pub fn scale_complex_into(dst: &mut [Complex], src: &[Complex], w: &[f64]) {
     assert_eq!(dst.len(), src.len());
     assert_eq!(dst.len(), w.len());
+    // SAFETY: each arm runs only when backend() has verified the matching
+    // CPU feature at runtime — exactly the contract the #[target_feature]
+    // lane functions require; the slices pass through unchanged, so the
+    // length assertions above keep every lane access in bounds.
     #[cfg(target_arch = "x86_64")]
     match backend() {
         Backend::Avx2 => return unsafe { x86::scale_complex_into_avx2(dst, src, w) },
@@ -199,7 +207,7 @@ pub fn scale_complex_into(dst: &mut [Complex], src: &[Complex], w: &[f64]) {
 }
 
 /// Scalar reference for [`scale_complex_into`].
-// echolint: hot
+// echolint: hot entry
 pub fn scale_complex_into_ref(dst: &mut [Complex], src: &[Complex], w: &[f64]) {
     for ((d, &z), &k) in dst.iter_mut().zip(src).zip(w) {
         *d = z.scale(k);
@@ -209,6 +217,10 @@ pub fn scale_complex_into_ref(dst: &mut [Complex], src: &[Complex], w: &[f64]) {
 /// `dst[i] = (dst[i] - sub).max(0.0)` — static-background subtraction with
 /// a per-row scalar. Bitwise (the clamp is a select, not an arithmetic op).
 pub fn subtract_clamp(dst: &mut [f64], sub: f64) {
+    // SAFETY: each arm runs only when backend() has verified the matching
+    // CPU feature at runtime — exactly the contract the #[target_feature]
+    // lane functions require; the slices pass through unchanged, so the
+    // length assertions above keep every lane access in bounds.
     #[cfg(target_arch = "x86_64")]
     match backend() {
         Backend::Avx2 => return unsafe { x86::subtract_clamp_avx2(dst, sub) },
@@ -231,9 +243,13 @@ pub fn subtract_clamp_ref(dst: &mut [f64], sub: f64) {
 
 /// `dst[i] = (dst[i] - bg[i]).max(0.0)` — per-element background
 /// subtraction (streaming enhancement columns). Bitwise.
-// echolint: hot
+// echolint: hot entry
 pub fn subtract_clamp_bg(dst: &mut [f64], bg: &[f64]) {
     assert_eq!(dst.len(), bg.len());
+    // SAFETY: each arm runs only when backend() has verified the matching
+    // CPU feature at runtime — exactly the contract the #[target_feature]
+    // lane functions require; the slices pass through unchanged, so the
+    // length assertions above keep every lane access in bounds.
     #[cfg(target_arch = "x86_64")]
     match backend() {
         Backend::Avx2 => return unsafe { x86::subtract_clamp_bg_avx2(dst, bg) },
@@ -248,7 +264,7 @@ pub fn subtract_clamp_bg(dst: &mut [f64], bg: &[f64]) {
 }
 
 /// Scalar reference for [`subtract_clamp_bg`].
-// echolint: hot
+// echolint: hot entry
 pub fn subtract_clamp_bg_ref(dst: &mut [f64], bg: &[f64]) {
     for (v, &b) in dst.iter_mut().zip(bg) {
         *v = (*v - b).max(0.0);
@@ -257,6 +273,10 @@ pub fn subtract_clamp_bg_ref(dst: &mut [f64], bg: &[f64]) {
 
 /// `dst[i] = 0.0 if dst[i] < alpha` — the enhancement noise gate. Bitwise.
 pub fn threshold_zero(dst: &mut [f64], alpha: f64) {
+    // SAFETY: each arm runs only when backend() has verified the matching
+    // CPU feature at runtime — exactly the contract the #[target_feature]
+    // lane functions require; the slices pass through unchanged, so the
+    // length assertions above keep every lane access in bounds.
     #[cfg(target_arch = "x86_64")]
     match backend() {
         Backend::Avx2 => return unsafe { x86::threshold_zero_avx2(dst, alpha) },
@@ -281,6 +301,10 @@ pub fn threshold_zero_ref(dst: &mut [f64], alpha: f64) {
 
 /// `dst[i] = if dst[i] >= t { 1.0 } else { 0.0 }` — binarization. Bitwise.
 pub fn binarize(dst: &mut [f64], t: f64) {
+    // SAFETY: each arm runs only when backend() has verified the matching
+    // CPU feature at runtime — exactly the contract the #[target_feature]
+    // lane functions require; the slices pass through unchanged, so the
+    // length assertions above keep every lane access in bounds.
     #[cfg(target_arch = "x86_64")]
     match backend() {
         Backend::Avx2 => return unsafe { x86::binarize_avx2(dst, t) },
@@ -303,9 +327,13 @@ pub fn binarize_ref(dst: &mut [f64], t: f64) {
 
 /// `out[j] = (x - b[j]).abs()` — the DTW local-cost row against one query
 /// sample. Bitwise (`abs` clears the sign bit; no rounding).
-// echolint: hot
+// echolint: hot entry
 pub fn abs_diff_broadcast_into(out: &mut [f64], x: f64, b: &[f64]) {
     assert_eq!(out.len(), b.len());
+    // SAFETY: each arm runs only when backend() has verified the matching
+    // CPU feature at runtime — exactly the contract the #[target_feature]
+    // lane functions require; the slices pass through unchanged, so the
+    // length assertions above keep every lane access in bounds.
     #[cfg(target_arch = "x86_64")]
     match backend() {
         Backend::Avx2 => return unsafe { x86::abs_diff_broadcast_into_avx2(out, x, b) },
@@ -320,7 +348,7 @@ pub fn abs_diff_broadcast_into(out: &mut [f64], x: f64, b: &[f64]) {
 }
 
 /// Scalar reference for [`abs_diff_broadcast_into`].
-// echolint: hot
+// echolint: hot entry
 pub fn abs_diff_broadcast_into_ref(out: &mut [f64], x: f64, b: &[f64]) {
     for (o, &y) in out.iter_mut().zip(b) {
         *o = (x - y).abs();
@@ -330,9 +358,13 @@ pub fn abs_diff_broadcast_into_ref(out: &mut [f64], x: f64, b: &[f64]) {
 /// `acc[i] += w * src[i]` — one tap of a separable convolution accumulated
 /// across stored columns. Bitwise (same per-element multiply-add order as
 /// the reference; no FMA contraction).
-// echolint: hot
+// echolint: hot entry
 pub fn axpy(acc: &mut [f64], src: &[f64], w: f64) {
     assert_eq!(acc.len(), src.len());
+    // SAFETY: each arm runs only when backend() has verified the matching
+    // CPU feature at runtime — exactly the contract the #[target_feature]
+    // lane functions require; the slices pass through unchanged, so the
+    // length assertions above keep every lane access in bounds.
     #[cfg(target_arch = "x86_64")]
     match backend() {
         Backend::Avx2 => return unsafe { x86::axpy_avx2(acc, src, w) },
@@ -347,7 +379,7 @@ pub fn axpy(acc: &mut [f64], src: &[f64], w: f64) {
 }
 
 /// Scalar reference for [`axpy`].
-// echolint: hot
+// echolint: hot entry
 pub fn axpy_ref(acc: &mut [f64], src: &[f64], w: f64) {
     for (a, &s) in acc.iter_mut().zip(src) {
         *a += w * s;
@@ -362,10 +394,14 @@ pub fn axpy_ref(acc: &mut [f64], src: &[f64], w: f64) {
 /// with `w = tw[k]` (conjugated when `inverse`). `u` and `v` are the two
 /// halves of one FFT block. Bitwise: the complex multiply keeps the scalar
 /// operand order and rounding (no FMA).
-// echolint: hot
+// echolint: hot entry
 pub fn butterfly_pass(u: &mut [Complex], v: &mut [Complex], tw: &[Complex], inverse: bool) {
     assert_eq!(u.len(), v.len());
     assert_eq!(u.len(), tw.len());
+    // SAFETY: each arm runs only when backend() has verified the matching
+    // CPU feature at runtime — exactly the contract the #[target_feature]
+    // lane functions require; the slices pass through unchanged, so the
+    // length assertions above keep every lane access in bounds.
     #[cfg(target_arch = "x86_64")]
     match backend() {
         Backend::Avx2 => return unsafe { x86::butterfly_pass_avx2(u, v, tw, inverse) },
@@ -380,7 +416,7 @@ pub fn butterfly_pass(u: &mut [Complex], v: &mut [Complex], tw: &[Complex], inve
 }
 
 /// Scalar reference for [`butterfly_pass`].
-// echolint: hot
+// echolint: hot entry
 pub fn butterfly_pass_ref(u: &mut [Complex], v: &mut [Complex], tw: &[Complex], inverse: bool) {
     for ((a, b), &w) in u.iter_mut().zip(v).zip(tw) {
         let w = if inverse { w.conj() } else { w };
@@ -396,11 +432,15 @@ pub fn butterfly_pass_ref(u: &mut [Complex], v: &mut [Complex], tw: &[Complex], 
 /// `odd_k = (diff.im/2, −diff.re/2)`, `diff = z_k − conj(z_{m−k})`.
 /// `packed` holds the `m` half-size complex bins; DC and Nyquist are the
 /// caller's business. Bitwise: per-`k` independent, operand order preserved.
-// echolint: hot
+// echolint: hot entry
 pub fn realfft_split(out: &mut [Complex], packed: &[Complex], tw: &[Complex]) {
     let m = packed.len();
     assert!(out.len() >= m);
     assert!(tw.len() >= m);
+    // SAFETY: each arm runs only when backend() has verified the matching
+    // CPU feature at runtime — exactly the contract the #[target_feature]
+    // lane functions require; the slices pass through unchanged, so the
+    // length assertions above keep every lane access in bounds.
     #[cfg(target_arch = "x86_64")]
     match backend() {
         Backend::Avx2 => return unsafe { x86::realfft_split_avx2(out, packed, tw) },
@@ -415,7 +455,7 @@ pub fn realfft_split(out: &mut [Complex], packed: &[Complex], tw: &[Complex]) {
 }
 
 /// Scalar reference for [`realfft_split`].
-// echolint: hot
+// echolint: hot entry
 pub fn realfft_split_ref(out: &mut [Complex], packed: &[Complex], tw: &[Complex]) {
     let m = packed.len();
     for k in 1..m {
@@ -432,10 +472,14 @@ pub fn realfft_split_ref(out: &mut [Complex], packed: &[Complex], tw: &[Complex]
 /// `out[i] = Σ_k taps[k] · src[clamp(i + k − taps.len()/2)]`. The interior
 /// is vectorized across output positions with a sequential tap loop per
 /// lane, so each output keeps the reference's accumulation order — bitwise.
-// echolint: hot
+// echolint: hot entry
 pub fn conv1d_clamped_into(out: &mut [f64], src: &[f64], taps: &[f64]) {
     assert_eq!(out.len(), src.len());
     assert!(!taps.is_empty());
+    // SAFETY: each arm runs only when backend() has verified the matching
+    // CPU feature at runtime — exactly the contract the #[target_feature]
+    // lane functions require; the slices pass through unchanged, so the
+    // length assertions above keep every lane access in bounds.
     #[cfg(target_arch = "x86_64")]
     match backend() {
         Backend::Avx2 => return unsafe { x86::conv1d_clamped_into_avx2(out, src, taps) },
@@ -450,14 +494,14 @@ pub fn conv1d_clamped_into(out: &mut [f64], src: &[f64], taps: &[f64]) {
 }
 
 /// Scalar reference for [`conv1d_clamped_into`].
-// echolint: hot
+// echolint: hot entry
 pub fn conv1d_clamped_into_ref(out: &mut [f64], src: &[f64], taps: &[f64]) {
     conv1d_clamped_range(out, src, taps, 0, src.len());
 }
 
 /// The clamped convolution over output positions `[from, to)` only — the
 /// SIMD implementations reuse it for the boundary columns.
-// echolint: hot
+// echolint: hot entry
 pub(crate) fn conv1d_clamped_range(
     out: &mut [f64],
     src: &[f64],
@@ -486,6 +530,10 @@ pub(crate) fn conv1d_clamped_range(
 /// accumulators reassociate the sum.
 pub fn fir_complex_dot(taps: &[Complex], x: &[f64]) -> Complex {
     assert_eq!(taps.len(), x.len());
+    // SAFETY: each arm runs only when backend() has verified the matching
+    // CPU feature at runtime — exactly the contract the #[target_feature]
+    // lane functions require; the slices pass through unchanged, so the
+    // length assertions above keep every lane access in bounds.
     #[cfg(target_arch = "x86_64")]
     match backend() {
         Backend::Avx2 => return unsafe { x86::fir_complex_dot_avx2(taps, x) },
@@ -511,6 +559,10 @@ pub fn fir_complex_dot_ref(taps: &[Complex], x: &[f64]) -> Complex {
 /// Minimum over `xs` (identity `+∞`). Min is a selection — no rounding —
 /// so any association yields the same value: bitwise for finite inputs.
 pub fn fold_min(xs: &[f64]) -> f64 {
+    // SAFETY: each arm runs only when backend() has verified the matching
+    // CPU feature at runtime — exactly the contract the #[target_feature]
+    // lane functions require; the slices pass through unchanged, so the
+    // length assertions above keep every lane access in bounds.
     #[cfg(target_arch = "x86_64")]
     match backend() {
         Backend::Avx2 => return unsafe { x86::fold_min_avx2(xs) },
@@ -535,6 +587,10 @@ pub fn fold_min_ref(xs: &[f64]) -> f64 {
 
 /// Maximum over `xs` (identity `−∞`); see [`fold_min`].
 pub fn fold_max(xs: &[f64]) -> f64 {
+    // SAFETY: each arm runs only when backend() has verified the matching
+    // CPU feature at runtime — exactly the contract the #[target_feature]
+    // lane functions require; the slices pass through unchanged, so the
+    // length assertions above keep every lane access in bounds.
     #[cfg(target_arch = "x86_64")]
     match backend() {
         Backend::Avx2 => return unsafe { x86::fold_max_avx2(xs) },
@@ -561,6 +617,10 @@ pub fn fold_max_ref(xs: &[f64]) -> f64 {
 /// 0)`. **1e-9 class**: lane accumulators reassociate the sum (each term is
 /// identical to the reference's branch arithmetic).
 pub fn envelope_charge(xs: &[f64], lo: f64, hi: f64) -> f64 {
+    // SAFETY: each arm runs only when backend() has verified the matching
+    // CPU feature at runtime — exactly the contract the #[target_feature]
+    // lane functions require; the slices pass through unchanged, so the
+    // length assertions above keep every lane access in bounds.
     #[cfg(target_arch = "x86_64")]
     match backend() {
         Backend::Avx2 => return unsafe { x86::envelope_charge_avx2(xs, lo, hi) },

@@ -84,6 +84,7 @@ impl RealFft {
 
     /// Allocates a scratch buffer sized for this plan.
     pub fn make_scratch(&self) -> RealFftScratch {
+        // echolint: allow(alloc-reach) -- deliberate one-time plan allocation; hot paths reuse the scratch
         RealFftScratch { packed: vec![Complex::ZERO; self.size / 2] }
     }
 
@@ -140,6 +141,7 @@ impl RealFft {
     /// Panics if `signal.len() != size`.
     pub fn forward(&self, signal: &[f64]) -> Vec<Complex> {
         let mut scratch = self.make_scratch();
+        // echolint: allow(alloc-reach) -- allocating convenience wrapper; hot callers use forward_into
         let mut out = vec![Complex::ZERO; self.output_len()];
         self.forward_into(signal, &mut scratch, &mut out);
         out

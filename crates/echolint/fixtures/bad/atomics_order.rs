@@ -1,0 +1,23 @@
+//! Fixture: atomic orderings without rationale comments, covered sites,
+//! and a Relaxed store that survives only behind an explicit allow.
+
+fn publish(flag: &AtomicBool, n: &AtomicUsize) -> usize {
+    flag.store(true, Ordering::Release);
+    n.load(Ordering::Acquire)
+}
+
+fn covered(n: &AtomicUsize) -> usize {
+    // ordering: Acquire pairs with the Release store in publish().
+    n.load(Ordering::Acquire)
+}
+
+fn lossy(hint: &AtomicUsize) {
+    // ordering: Relaxed — a monotonic hint; nothing is gated by it.
+    hint.store(1, Ordering::Relaxed);
+}
+
+fn sanctioned(hint: &AtomicUsize) {
+    // ordering: Relaxed — a standalone hint counter.
+    // echolint: allow(atomics-order) -- publishes nothing; pure statistic
+    hint.store(2, Ordering::Relaxed);
+}

@@ -1,0 +1,20 @@
+//! Fixture: every `unsafe` here fires outside the kernels scope; under the
+//! kernels scope only the uncovered site at the bottom fires.
+
+fn read_raw(ptr: *const f64) -> f64 {
+    // SAFETY: caller guarantees `ptr` is valid and aligned.
+    unsafe { *ptr }
+}
+
+fn dispatch(a: &[f64]) -> f64 {
+    // SAFETY: the backend probe verified the CPU feature for every arm
+    // below; the slices pass through unchanged.
+    if probe() {
+        return unsafe { lane_a(a) };
+    }
+    unsafe { lane_b(a) }
+}
+
+fn naked(a: &[f64]) -> f64 {
+    unsafe { lane_b(a) }
+}

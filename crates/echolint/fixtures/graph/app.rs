@@ -1,0 +1,39 @@
+//! Graph fixture: the `app` crate — an entry point, a recursion cycle, and
+//! a trait-object dispatch onto shadowed method names.
+
+/// A pipeline stage behind a trait object.
+pub trait Stage {
+    /// Applies the stage to one sample.
+    fn apply(&self, x: f64) -> f64;
+}
+
+/// The identity stage — its `apply` never panics.
+pub struct Echo;
+
+impl Stage for Echo {
+    fn apply(&self, x: f64) -> f64 {
+        x
+    }
+}
+
+/// Declared entry point: seeds from `util`, dispatches through the trait
+/// object, then descends into the recursive pair.
+// echolint: entry
+pub fn run(stage: &dyn Stage, input: &[f64]) -> f64 {
+    let seeded = util::prepare(input);
+    descend(stage.apply(seeded))
+}
+
+/// Half of a mutual recursion — the cycle the BFS must terminate through.
+fn descend(x: f64) -> f64 {
+    if x > 1.0 {
+        rebound(x - 1.0)
+    } else {
+        util::finish(x)
+    }
+}
+
+/// The other half of the cycle.
+fn rebound(x: f64) -> f64 {
+    descend(x * 0.5)
+}

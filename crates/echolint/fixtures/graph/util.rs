@@ -1,0 +1,49 @@
+//! Graph fixture: the `util` crate — cross-crate callees, the shadowing
+//! `Gain::apply`, and a hot kernel whose helper allocates.
+
+/// Seeds the pipeline (called cross-crate as `util::prepare`).
+pub fn prepare(input: &[f64]) -> f64 {
+    input.iter().sum()
+}
+
+/// Tail of the pipeline — the panic the reachability sweep must surface.
+pub fn finish(x: f64) -> f64 {
+    checked(x).unwrap()
+}
+
+fn checked(x: f64) -> Option<f64> {
+    Some(x)
+}
+
+/// A gain stage whose `apply` shadows `app::Echo::apply`.
+pub struct Gain {
+    /// Optional multiplier.
+    pub k: Option<f64>,
+}
+
+impl Gain {
+    /// Applies the gain — reached through the trait-object union.
+    pub fn apply(&self, x: f64) -> f64 {
+        self.scale(x)
+    }
+
+    fn scale(&self, x: f64) -> f64 {
+        x * self.k.expect("gain multiplier set")
+    }
+}
+
+/// Hot kernel: blends through a helper chain that ends in an allocation.
+pub fn mix_into(out: &mut [f64], x: f64) {
+    for o in out.iter_mut() {
+        *o = blend(*o, x);
+    }
+}
+
+fn blend(a: f64, b: f64) -> f64 {
+    let lut = grow();
+    lut[0] * a + b
+}
+
+fn grow() -> Vec<f64> {
+    vec![0.25, 0.75]
+}

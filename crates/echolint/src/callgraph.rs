@@ -1,0 +1,290 @@
+//! The conservative workspace call graph.
+//!
+//! Nodes are the non-test functions of every scanned file; edges follow the
+//! calls recorded by [`crate::symbols`]. Resolution is *conservative by
+//! construction* — whenever the token-level evidence is ambiguous the graph
+//! takes the union of every workspace candidate ("unresolved → assume
+//! worst"), so the reachability rules over-approximate and never miss a
+//! path. Calls that match no workspace symbol at all are treated as trusted
+//! leaves (std/core surface): their panics are the *caller's* direct sites
+//! (`.unwrap()`, literal indexing, …), which the token rules already see.
+//!
+//! Resolution policy, in order:
+//!
+//! | call shape | candidates |
+//! |------------|-----------|
+//! | `self.m(…)` | the enclosing impl type's `m` if defined, else every workspace method `m` |
+//! | `recv.m(…)` | every workspace method named `m` (trait objects and shadowed names resolve to all impls) |
+//! | `Type::f(…)` | `Type`'s methods/assoc fns; `Self::` maps to the enclosing type |
+//! | `module::f(…)` | free fns `f` whose crate or module tail matches `module` |
+//! | `f(…)` | free fns `f` — same file first, then same crate, then workspace |
+//!
+//! `--graph dot` renders the resolved graph for debugging.
+
+use crate::symbols::{CallTarget, FileSymbols, FnSym};
+use std::collections::BTreeMap;
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Callee node index.
+    pub callee: usize,
+    /// 1-based line of the call site in the caller's file.
+    pub line: u32,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All non-test functions, in path-sorted file order then source order.
+    pub nodes: Vec<FnSym>,
+    /// Forward adjacency, parallel to `nodes`; each list is sorted and
+    /// deduplicated by callee (first call line kept).
+    pub edges: Vec<Vec<Edge>>,
+    /// Reverse adjacency (caller indices), sorted.
+    pub callers: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph over per-file symbol tables. `files` must already be
+    /// in deterministic (path-sorted) order — node indices follow it.
+    pub fn build(files: &[FileSymbols]) -> CallGraph {
+        let mut nodes: Vec<FnSym> = Vec::new();
+        for f in files {
+            nodes.extend(f.fns.iter().cloned());
+        }
+
+        // Name indices. BTreeMap keeps candidate iteration deterministic.
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut typed: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            match &n.type_ctx {
+                Some(ty) => {
+                    methods.entry(&n.name).or_default().push(i);
+                    typed.entry((ty.as_str(), &n.name)).or_default().push(i);
+                }
+                None => free.entry(&n.name).or_default().push(i),
+            }
+        }
+
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); nodes.len()];
+        for (i, n) in nodes.iter().enumerate() {
+            let mut out: BTreeMap<usize, u32> = BTreeMap::new();
+            for call in &n.calls {
+                for &callee in resolve(n, &call.target, &nodes, &methods, &typed, &free).iter() {
+                    if callee != i {
+                        out.entry(callee).or_insert(call.line);
+                    }
+                }
+            }
+            edges[i] = out.into_iter().map(|(callee, line)| Edge { callee, line }).collect();
+        }
+
+        let mut callers: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for (i, es) in edges.iter().enumerate() {
+            for e in es {
+                callers[e.callee].push(i);
+            }
+        }
+
+        CallGraph { nodes, edges, callers }
+    }
+
+    /// Node indices declared as reachability entry points, in node order.
+    pub fn entries(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].entry).collect()
+    }
+
+    /// Node indices of hot kernels, in node order.
+    pub fn hot_roots(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].hot).collect()
+    }
+
+    /// Renders the graph as Graphviz DOT: entry points are doubled octagons,
+    /// hot kernels are boxes, functions with unsanctioned panic sites are
+    /// filled red.
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph echolint {\n  rankdir=LR;\n  node [fontsize=10];\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let mut attrs = vec![format!("label=\"{}\"", n.qual)];
+            if n.entry {
+                attrs.push("shape=doubleoctagon".to_string());
+            } else if n.hot {
+                attrs.push("shape=box".to_string());
+            }
+            if !n.panic_sites.is_empty() {
+                attrs.push("style=filled".to_string());
+                attrs.push("fillcolor=\"#ffb3b3\"".to_string());
+            }
+            s.push_str(&format!("  n{} [{}];\n", i, attrs.join(", ")));
+        }
+        for (i, es) in self.edges.iter().enumerate() {
+            for e in es {
+                s.push_str(&format!("  n{} -> n{};\n", i, e.callee));
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Resolves one call target to its workspace candidate set.
+fn resolve(
+    caller: &FnSym,
+    target: &CallTarget,
+    nodes: &[FnSym],
+    methods: &BTreeMap<&str, Vec<usize>>,
+    typed: &BTreeMap<(&str, &str), Vec<usize>>,
+    free: &BTreeMap<&str, Vec<usize>>,
+) -> Vec<usize> {
+    match target {
+        CallTarget::Method { name, self_receiver } => {
+            if *self_receiver {
+                if let Some(ty) = &caller.type_ctx {
+                    if let Some(c) = typed.get(&(ty.as_str(), name.as_str())) {
+                        return c.clone();
+                    }
+                }
+            }
+            // Unresolved receiver: assume worst — every method of that name
+            // (covers trait-object dispatch and shadowed method names).
+            methods.get(name.as_str()).cloned().unwrap_or_default()
+        }
+        CallTarget::Path { qualifier: Some(q), name } => {
+            let q = if q == "Self" {
+                match &caller.type_ctx {
+                    Some(ty) => ty.as_str(),
+                    None => return Vec::new(),
+                }
+            } else {
+                q.as_str()
+            };
+            if let Some(c) = typed.get(&(q, name.as_str())) {
+                return c.clone();
+            }
+            // Module- or crate-qualified free fn.
+            if let Some(cands) = free.get(name.as_str()) {
+                let modular: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        nodes[i].crate_name == q
+                            || nodes[i].module == q
+                            || nodes[i].module.ends_with(&format!("::{q}"))
+                    })
+                    .collect();
+                if !modular.is_empty() {
+                    return modular;
+                }
+            }
+            // The qualifier names no workspace type, module, or crate: the
+            // call is explicit evidence of an external owner (`OnceLock::new`,
+            // `f64::from_bits`, …) — an external leaf, not a worst-case union.
+            // Unlike bare method calls, a path call tells us who owns the fn.
+            Vec::new()
+        }
+        CallTarget::Path { qualifier: None, name } => {
+            let Some(cands) = free.get(name.as_str()) else {
+                return Vec::new();
+            };
+            let same_file: Vec<usize> =
+                cands.iter().copied().filter(|&i| nodes[i].file == caller.file).collect();
+            if !same_file.is_empty() {
+                return same_file;
+            }
+            let same_crate: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&i| nodes[i].crate_name == caller.crate_name)
+                .collect();
+            if !same_crate.is_empty() {
+                return same_crate;
+            }
+            cands.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::classify;
+    use crate::symbols::file_symbols;
+    use std::path::Path;
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        let syms: Vec<_> = files
+            .iter()
+            .map(|(rel, src)| file_symbols(rel, src, &classify(Path::new(rel))))
+            .collect();
+        CallGraph::build(&syms)
+    }
+
+    fn idx(g: &CallGraph, qual: &str) -> usize {
+        g.nodes.iter().position(|n| n.qual == qual).unwrap_or_else(|| {
+            panic!("no node {qual}; have {:?}", g.nodes.iter().map(|n| &n.qual).collect::<Vec<_>>())
+        })
+    }
+
+    fn has_edge(g: &CallGraph, from: &str, to: &str) -> bool {
+        let (f, t) = (idx(g, from), idx(g, to));
+        g.edges[f].iter().any(|e| e.callee == t)
+    }
+
+    #[test]
+    fn self_method_resolves_to_enclosing_type_only() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "impl A { fn go(&self) { self.step(); } fn step(&self) {} }\nimpl B { fn step(&self) {} }\n",
+        )]);
+        assert!(has_edge(&g, "core::A::go", "core::A::step"));
+        assert!(!has_edge(&g, "core::A::go", "core::B::step"));
+    }
+
+    #[test]
+    fn unresolved_receiver_takes_every_candidate() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "fn go(x: &dyn S) { x.step(); }\nimpl A { fn step(&self) {} }\nimpl B { fn step(&self) {} }\n",
+        )]);
+        assert!(has_edge(&g, "core::a::go", "core::A::step"));
+        assert!(has_edge(&g, "core::a::go", "core::B::step"));
+    }
+
+    #[test]
+    fn cross_crate_path_calls_resolve() {
+        let g = graph(&[
+            ("crates/core/src/a.rs", "fn go() { dsp::util::norm(); }\n"),
+            ("crates/dsp/src/util.rs", "fn norm() {}\n"),
+        ]);
+        assert!(has_edge(&g, "core::a::go", "dsp::util::norm"));
+    }
+
+    #[test]
+    fn plain_call_prefers_same_file_then_crate() {
+        let g = graph(&[
+            ("crates/core/src/a.rs", "fn go() { helper(); }\nfn helper() {}\n"),
+            ("crates/dsp/src/b.rs", "fn helper() {}\n"),
+        ]);
+        assert!(has_edge(&g, "core::a::go", "core::a::helper"));
+        assert!(!has_edge(&g, "core::a::go", "dsp::b::helper"));
+    }
+
+    #[test]
+    fn cycles_are_representable() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "fn ping() { pong(); }\nfn pong() { ping(); }\n",
+        )]);
+        assert!(has_edge(&g, "core::a::ping", "core::a::pong"));
+        assert!(has_edge(&g, "core::a::pong", "core::a::ping"));
+    }
+
+    #[test]
+    fn dot_dump_names_every_node() {
+        let g = graph(&[("crates/core/src/a.rs", "fn ping() { pong(); }\nfn pong() {}\n")]);
+        let dot = g.to_dot();
+        assert!(dot.contains("core::a::ping") && dot.contains("->"));
+    }
+}

@@ -6,9 +6,12 @@
 //! metadata: it works from directory layout alone, so it runs identically
 //! in CI, in tests, and offline.
 
+use crate::callgraph::CallGraph;
 use crate::lexer::lex;
+use crate::reach::graph_rules;
 use crate::rules::{check, Diagnostic, FileScope};
 use crate::scanner::scan;
+use crate::symbols::{file_symbols_lexed, FileSymbols};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -61,15 +64,71 @@ pub fn lint_file(root: &Path, rel: &Path) -> io::Result<Vec<Diagnostic>> {
     Ok(lint_source(&rel.display().to_string(), &source, &scope))
 }
 
+/// How many worker threads the workspace scan uses. Mirrors the shape of
+/// the runtime's `echowrite::config::Parallelism` knob; echolint keeps its
+/// own copy so the linter stays dependency-free (it must lint the workspace
+/// even when the workspace does not build).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One worker per available core.
+    Auto,
+    /// An explicit worker count (`Threads(1)` forces a serial scan).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Resolves to a concrete worker count for `n_files` work items.
+    fn workers(self, n_files: usize) -> usize {
+        let raw = match self {
+            Parallelism::Auto => {
+                std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+            }
+            Parallelism::Threads(n) => n,
+        };
+        raw.clamp(1, n_files.max(1))
+    }
+}
+
+/// The output of a full workspace analysis: per-file diagnostics, the
+/// graph-rule diagnostics, and the call graph itself (for `--graph dot`).
+#[derive(Debug)]
+pub struct Analysis {
+    /// All diagnostics, sorted by (file, line, rule).
+    pub diags: Vec<Diagnostic>,
+    /// The resolved workspace call graph.
+    pub graph: CallGraph,
+}
+
+/// Per-file output of the scan phase, merged in path order.
+struct FileResult {
+    diags: Vec<Diagnostic>,
+    symbols: FileSymbols,
+}
+
+/// Lexes, scans, rule-checks, and symbol-extracts one file.
+fn process_file(rel: &str, source: &str) -> FileResult {
+    let scope = classify(Path::new(rel));
+    let lexed = lex(source);
+    let scanned = scan(&lexed);
+    let diags = check(rel, &lexed, &scanned, &scope);
+    let symbols = file_symbols_lexed(rel, &lexed, &scanned, &scope);
+    FileResult { diags, symbols }
+}
+
 /// Lints every `.rs` file of the workspace at `root`: all of `crates/*/src`
 /// plus the suite's root `src/`. Vendored stand-ins (`vendor/`), integration
 /// tests, benches, and examples are skipped — they are either third-party
 /// idiom or test code by definition.
 ///
+/// Runs the per-file pass in parallel across `par` workers, then the graph
+/// pass (panic-reach, alloc-reach, lane wrapper-reachability) over the
+/// stitched symbol tables. Diagnostics are merged in path-sorted order, so
+/// the output is bitwise-identical for every worker count.
+///
 /// # Errors
 ///
 /// Propagates directory-walk and file-read errors.
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+pub fn analyze_workspace(root: &Path, par: Parallelism) -> io::Result<Analysis> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
@@ -90,11 +149,74 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
         .filter_map(|f| f.strip_prefix(root).ok().map(Path::to_path_buf))
         .collect();
     rels.sort();
-    let mut diags = Vec::new();
-    for rel in rels {
-        diags.extend(lint_file(root, &rel)?);
+
+    // I/O stays serial (ordering and error propagation are simpler and the
+    // reads are a small fraction of the scan); the CPU-bound lex/scan/rule
+    // work fans out below.
+    let inputs: Vec<(String, String)> = rels
+        .iter()
+        .map(|rel| {
+            let source = fs::read_to_string(root.join(rel))?;
+            Ok((rel.display().to_string(), source))
+        })
+        .collect::<io::Result<_>>()?;
+
+    let workers = par.workers(inputs.len());
+    let results: Vec<FileResult> = if workers <= 1 {
+        inputs.iter().map(|(rel, src)| process_file(rel, src)).collect()
+    } else {
+        // Strided assignment over an indexed slot table: worker w takes
+        // files w, w+workers, … and each result lands back in its path-order
+        // slot, so the merge is deterministic regardless of thread timing.
+        let mut slots: Vec<Option<FileResult>> = Vec::new();
+        slots.resize_with(inputs.len(), || None);
+        std::thread::scope(|scope| {
+            let inputs = &inputs;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut i = w;
+                        while i < inputs.len() {
+                            let (rel, src) = &inputs[i];
+                            out.push((i, process_file(rel, src)));
+                            i += workers;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                // echolint: allow(no-panic-path) -- a panicked scan worker is unrecoverable; re-raise it
+                for (i, r) in h.join().expect("echolint scan worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        slots.into_iter().flatten().collect()
+    };
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut symbols: Vec<FileSymbols> = Vec::with_capacity(results.len());
+    for r in results {
+        diags.extend(r.diags);
+        symbols.push(r.symbols);
     }
-    Ok(diags)
+    let graph = CallGraph::build(&symbols);
+    diags.extend(graph_rules(&symbols, &graph));
+    diags.sort_by(|a, b| {
+        a.file.cmp(&b.file).then(a.line.cmp(&b.line)).then(a.rule.cmp(&b.rule)).then(a.message.cmp(&b.message))
+    });
+    Ok(Analysis { diags, graph })
+}
+
+/// [`analyze_workspace`] with auto parallelism, returning diagnostics only.
+///
+/// # Errors
+///
+/// Propagates directory-walk and file-read errors.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    analyze_workspace(root, Parallelism::Auto).map(|a| a.diags)
 }
 
 /// Recursively collects `.rs` files under `dir`, sorted for determinism.

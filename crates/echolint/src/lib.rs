@@ -11,6 +11,16 @@
 //! | `float-order`   | no NaN-sensitive ordering (`partial_cmp`, `f64::max`) where `total_cmp` is required |
 //! | `determinism`   | no `HashMap`/`HashSet` in result paths; no `std::time`/`thread::current()` outside `crates/profile` and benches |
 //! | `pub-doc`       | `pub` items in pipeline library crates carry doc comments |
+//! | `simd-boundary` | raw `std::arch` SIMD surface confined to `crates/dsp/src/kernels` |
+//! | `unsafe-boundary` | `unsafe` confined to the kernels module, SAFETY-commented, lane fns reached only via safe wrappers |
+//! | `atomics-order` | every `Ordering::*` site carries a reasoned `// ordering:` comment; Relaxed stores need explicit rationale |
+//! | `panic-reach`   | graph rule: no panic site transitively reachable from a `// echolint: entry` point (diagnostic carries the call chain) |
+//! | `alloc-reach`   | graph rule: no allocation transitively reachable from a hot kernel |
+//!
+//! The last three families run over a workspace-wide conservative call graph
+//! ([`symbols`] → [`callgraph`] → [`reach`]); everything else is per-file.
+//! `--format sarif` emits SARIF 2.1.0 for CI annotation, `--graph dot`
+//! dumps the resolved graph.
 //!
 //! Each rule is suppressible only via an auditable marker on the offending
 //! line or the line above:
@@ -26,10 +36,18 @@
 //! Run it locally with `cargo run -p echolint -- --workspace`; the tier-1
 //! integration test `tests/lint.rs` keeps the live tree lint-clean.
 
+pub mod callgraph;
 pub mod engine;
 pub mod lexer;
+pub mod reach;
 pub mod rules;
+pub mod sarif;
 pub mod scanner;
+pub mod symbols;
 
-pub use engine::{classify, lint_file, lint_source, lint_workspace, PIPELINE_CRATES};
+pub use engine::{
+    analyze_workspace, classify, lint_file, lint_source, lint_workspace, Analysis, Parallelism,
+    PIPELINE_CRATES,
+};
 pub use rules::{Diagnostic, FileScope, Rule};
+pub use sarif::{to_json, to_sarif};

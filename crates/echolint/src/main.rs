@@ -1,20 +1,34 @@
 //! The `echolint` CLI.
 //!
 //! ```text
-//! cargo run -p echolint -- --workspace            # lint the whole tree
-//! cargo run -p echolint -- --root /path --workspace
-//! cargo run -p echolint -- crates/dsp/src/fft.rs  # lint specific files
+//! cargo run -p echolint -- --workspace                 # lint the whole tree
+//! cargo run -p echolint -- --workspace --format sarif  # SARIF 2.1.0 to stdout
+//! cargo run -p echolint -- --workspace --graph dot     # call-graph dump
+//! cargo run -p echolint -- --workspace --jobs 1        # force a serial scan
+//! cargo run -p echolint -- crates/dsp/src/fft.rs       # lint specific files
 //! ```
 //!
 //! Exits 0 when clean, 1 when any diagnostic fires, 2 on usage/I/O errors.
+//! `--format json|sarif` prints the machine-readable document either way —
+//! the exit code is the pass/fail signal, the document is the payload.
 
+use echolint::{analyze_workspace, Parallelism};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root = PathBuf::from(".");
     let mut workspace = false;
+    let mut format = Format::Text;
+    let mut graph_dot = false;
+    let mut par = Parallelism::Auto;
     let mut files: Vec<PathBuf> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -27,9 +41,32 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                other => {
+                    eprintln!("echolint: --format needs text|json|sarif, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--graph" => match it.next().map(String::as_str) {
+                Some("dot") => graph_dot = true,
+                other => {
+                    eprintln!("echolint: --graph needs `dot`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--jobs" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => par = Parallelism::Threads(n),
+                _ => {
+                    eprintln!("echolint: --jobs needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: echolint [--root DIR] --workspace\n       echolint [--root DIR] FILE.rs…"
+                    "usage: echolint [--root DIR] --workspace [--format text|json|sarif] [--graph dot] [--jobs N]\n       echolint [--root DIR] FILE.rs…"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -45,29 +82,49 @@ fn main() -> ExitCode {
         }
     }
 
+    if graph_dot && !workspace {
+        eprintln!("echolint: --graph dot needs --workspace (the graph is workspace-wide)");
+        return ExitCode::from(2);
+    }
+
     let result = if workspace {
-        echolint::lint_workspace(&root)
+        analyze_workspace(&root, par)
     } else if files.is_empty() {
         eprintln!("echolint: pass --workspace or one or more .rs files (see --help)");
         return ExitCode::from(2);
     } else {
-        files.iter().try_fold(Vec::new(), |mut acc, f| {
-            acc.extend(echolint::lint_file(&root, f)?);
-            Ok(acc)
-        })
+        files
+            .iter()
+            .try_fold(Vec::new(), |mut acc, f| {
+                acc.extend(echolint::lint_file(&root, f)?);
+                Ok(acc)
+            })
+            .map(|diags| echolint::Analysis { diags, graph: Default::default() })
     };
 
     match result {
-        Ok(diags) if diags.is_empty() => {
-            println!("echolint: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(diags) => {
-            for d in &diags {
-                println!("{d}");
+        Ok(analysis) => {
+            if graph_dot {
+                print!("{}", analysis.graph.to_dot());
+                return ExitCode::SUCCESS;
             }
-            println!("echolint: {} diagnostic(s)", diags.len());
-            ExitCode::FAILURE
+            let diags = &analysis.diags;
+            match format {
+                Format::Text if diags.is_empty() => println!("echolint: clean"),
+                Format::Text => {
+                    for d in diags {
+                        println!("{d}");
+                    }
+                    println!("echolint: {} diagnostic(s)", diags.len());
+                }
+                Format::Json => print!("{}", echolint::to_json(diags)),
+                Format::Sarif => print!("{}", echolint::to_sarif(diags)),
+            }
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("echolint: {e}");

@@ -1,0 +1,253 @@
+//! Graph-powered reachability rules.
+//!
+//! Three rule families run over the [`crate::callgraph::CallGraph`]:
+//!
+//! - **panic-reach** — a breadth-first sweep from every declared
+//!   `// echolint: entry` function; any unsanctioned panic site in a
+//!   reachable function is reported *with the full call chain* from the
+//!   entry point, so the diagnostic explains why a panic three calls below
+//!   `Worker::drain` matters.
+//! - **alloc-reach** — the same sweep from every hot kernel (`*_into` or
+//!   `// echolint: hot`), reporting allocation sites in reachable *non-hot*
+//!   functions (a hot function's own sites are the per-file `no-alloc-hot`
+//!   rule's job — the graph rule adds the transitive closure, not a copy).
+//! - **unsafe-boundary** (wrapper-reachability half) — a kernel *lane*
+//!   function (defined in `crates/dsp/src/kernels/` outside `mod.rs`) called
+//!   from outside the kernels module bypasses the safe dispatch wrappers and
+//!   is reported at the call site.
+//!
+//! Because the graph is conservative ("unresolved → assume worst"), chains
+//! are shortest witnesses, not unique ones: BFS parents give one minimal
+//! path per reachable function, rendered as `a → b → c`.
+
+use crate::callgraph::CallGraph;
+use crate::rules::{Diagnostic, Rule};
+use crate::symbols::FileSymbols;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Sentinel parent for BFS sources.
+const ROOT: usize = usize::MAX;
+
+/// Multi-source BFS; returns per-node parent indices (`ROOT` for sources,
+/// `usize::MAX - 1` for unreached). Sources are visited in the given order
+/// and edges in sorted callee order, so parents — and therefore the chains
+/// in diagnostics — are deterministic.
+fn bfs(g: &CallGraph, sources: &[usize]) -> Vec<usize> {
+    const UNREACHED: usize = usize::MAX - 1;
+    let mut parent = vec![UNREACHED; g.nodes.len()];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for &s in sources {
+        if parent[s] == UNREACHED {
+            parent[s] = ROOT;
+            queue.push_back(s);
+        }
+    }
+    while let Some(i) = queue.pop_front() {
+        for e in &g.edges[i] {
+            if parent[e.callee] == UNREACHED {
+                parent[e.callee] = i;
+                queue.push_back(e.callee);
+            }
+        }
+    }
+    parent
+}
+
+/// Whether `node` was reached by [`bfs`].
+fn reached(parent: &[usize], node: usize) -> bool {
+    parent[node] != usize::MAX - 1
+}
+
+/// The shortest witness chain from a BFS source to `node`, rendered as
+/// `source → … → node` over qualified names.
+fn chain(g: &CallGraph, parent: &[usize], node: usize) -> String {
+    let mut quals: Vec<&str> = Vec::new();
+    let mut i = node;
+    loop {
+        quals.push(&g.nodes[i].qual);
+        if parent[i] == ROOT {
+            break;
+        }
+        i = parent[i];
+    }
+    quals.reverse();
+    quals.join(" → ")
+}
+
+/// Runs the three graph rule families. `files` must be the same tables the
+/// graph was built from (used for allow-marker lookup at call sites).
+pub fn graph_rules(files: &[FileSymbols], g: &CallGraph) -> Vec<Diagnostic> {
+    let by_file: BTreeMap<&str, &FileSymbols> =
+        files.iter().map(|f| (f.file.as_str(), f)).collect();
+    let mut diags = Vec::new();
+
+    // panic-reach: entry points → every unsanctioned panic site in reach.
+    let from_entries = bfs(g, &g.entries());
+    for (i, n) in g.nodes.iter().enumerate() {
+        if !reached(&from_entries, i) || n.panic_sites.is_empty() {
+            continue;
+        }
+        let chain = chain(g, &from_entries, i);
+        for site in &n.panic_sites {
+            diags.push(Diagnostic {
+                file: n.file.clone(),
+                line: site.line,
+                rule: Rule::PanicReach,
+                message: format!("{}; call chain: {}", site.what, chain),
+            });
+        }
+    }
+
+    // alloc-reach: hot kernels → allocation sites in reachable non-hot fns.
+    // (A hot fn's own body is the per-file no-alloc-hot rule's territory.)
+    let from_hot = bfs(g, &g.hot_roots());
+    for (i, n) in g.nodes.iter().enumerate() {
+        if n.hot || !reached(&from_hot, i) || n.alloc_sites.is_empty() {
+            continue;
+        }
+        let chain = chain(g, &from_hot, i);
+        for site in &n.alloc_sites {
+            diags.push(Diagnostic {
+                file: n.file.clone(),
+                line: site.line,
+                rule: Rule::AllocReach,
+                message: format!("{} reachable from hot kernel; call chain: {}", site.what, chain),
+            });
+        }
+    }
+
+    // unsafe-boundary: lane fns must be reached only through the kernels
+    // module's safe wrappers — a direct call from outside is a bypass.
+    for (i, n) in g.nodes.iter().enumerate() {
+        if n.simd_kernels {
+            continue;
+        }
+        for e in &g.edges[i] {
+            let callee = &g.nodes[e.callee];
+            if !callee.simd_lane {
+                continue;
+            }
+            let allowed = by_file
+                .get(n.file.as_str())
+                .is_some_and(|f| f.allows_at(Rule::UnsafeBoundary, e.line));
+            if !allowed {
+                diags.push(Diagnostic {
+                    file: n.file.clone(),
+                    line: e.line,
+                    rule: Rule::UnsafeBoundary,
+                    message: format!(
+                        "kernel lane `{}` called from outside crates/dsp/src/kernels — go through the safe dispatch wrapper",
+                        callee.qual
+                    ),
+                });
+            }
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::classify;
+    use crate::symbols::file_symbols;
+    use std::path::Path;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let syms: Vec<_> = files
+            .iter()
+            .map(|(rel, src)| file_symbols(rel, src, &classify(Path::new(rel))))
+            .collect();
+        let g = CallGraph::build(&syms);
+        graph_rules(&syms, &g)
+    }
+
+    #[test]
+    fn panic_three_calls_below_entry_reports_the_chain() {
+        let d = run(&[(
+            "crates/core/src/a.rs",
+            "// echolint: entry\nfn top() { mid(); }\nfn mid() { low(); }\nfn low() { x.unwrap(); }\n",
+        )]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::PanicReach);
+        assert_eq!(d[0].line, 4);
+        assert!(
+            d[0].message.contains("core::a::top → core::a::mid → core::a::low"),
+            "{}",
+            d[0].message
+        );
+    }
+
+    #[test]
+    fn unreachable_panics_are_silent() {
+        let d = run(&[(
+            "crates/core/src/a.rs",
+            "// echolint: entry\nfn top() {}\nfn orphan() { x.unwrap(); }\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn alloc_reach_skips_the_hot_body_itself() {
+        let d = run(&[(
+            "crates/dsp/src/a.rs",
+            "fn fill_into(o: &mut [f64]) { let v = vec![0.0]; helper(); }\nfn helper() { let v = vec![1.0]; }\n",
+        )]);
+        // The vec! inside fill_into is no-alloc-hot's job; only helper's
+        // allocation is a graph finding.
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::AllocReach);
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains("fill_into → dsp::a::helper"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn lane_called_from_outside_kernels_is_a_bypass() {
+        let d = run(&[
+            ("crates/core/src/a.rs", "fn go() { x86::mul_lane(); }\n"),
+            ("crates/dsp/src/kernels/x86.rs", "fn mul_lane() {}\n"),
+        ]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::UnsafeBoundary);
+        assert_eq!(d[0].file, "crates/core/src/a.rs");
+        assert!(d[0].message.contains("dsp::kernels::x86::mul_lane"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn lane_called_from_kernels_mod_is_sanctioned() {
+        let d = run(&[
+            ("crates/dsp/src/kernels/mod.rs", "fn wrap() { x86::mul_lane(); }\n"),
+            ("crates/dsp/src/kernels/x86.rs", "fn mul_lane() {}\n"),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_marker_sanctions_sites_and_call_sites() {
+        let d = run(&[(
+            "crates/core/src/a.rs",
+            "// echolint: entry\nfn top() {\n// echolint: allow(panic-reach) -- input validated at the boundary\nx.unwrap();\n}\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+        let d = run(&[
+            (
+                "crates/core/src/a.rs",
+                "fn go() {\n// echolint: allow(unsafe-boundary) -- scalar lane is safe by construction\nx86::mul_lane();\n}\n",
+            ),
+            ("crates/dsp/src/kernels/x86.rs", "fn mul_lane() {}\n"),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn cycles_terminate_and_still_report() {
+        let d = run(&[(
+            "crates/core/src/a.rs",
+            "// echolint: entry\nfn ping() { pong(); }\nfn pong() { ping(); boom(); }\nfn boom() { panic!(\"x\"); }\n",
+        )]);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("ping → core::a::pong → core::a::boom"), "{}", d[0].message);
+    }
+}

@@ -36,6 +36,22 @@ pub enum Rule {
     /// `crates/dsp/src/kernels` — the one module sanctioned to hold
     /// architecture-specific code behind the safe dispatch wrappers.
     SimdBoundary,
+    /// `unsafe` outside `crates/dsp/src/kernels`, an `unsafe` block/fn
+    /// inside the kernels module without a covering `// SAFETY:` comment,
+    /// or a kernel lane function called from outside the kernels module
+    /// (bypassing its safe wrapper).
+    UnsafeBoundary,
+    /// An `Ordering::*` atomic-memory-ordering site without a reasoned
+    /// `// ordering:` comment, or a `Relaxed` store that may publish a flag
+    /// gating non-atomic data.
+    AtomicsOrder,
+    /// A panic site transitively reachable from a declared
+    /// `// echolint: entry` hot entry point (graph-powered; the diagnostic
+    /// carries the full call chain).
+    PanicReach,
+    /// An allocation site transitively reachable from a hot kernel
+    /// (`*_into` / `// echolint: hot`) through the call graph.
+    AllocReach,
     /// Malformed or unknown `// echolint:` marker.
     Marker,
 }
@@ -50,6 +66,10 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::PubDoc => "pub-doc",
             Rule::SimdBoundary => "simd-boundary",
+            Rule::UnsafeBoundary => "unsafe-boundary",
+            Rule::AtomicsOrder => "atomics-order",
+            Rule::PanicReach => "panic-reach",
+            Rule::AllocReach => "alloc-reach",
             Rule::Marker => "marker",
         }
     }
@@ -63,7 +83,58 @@ impl Rule {
             "determinism" => Some(Rule::Determinism),
             "pub-doc" => Some(Rule::PubDoc),
             "simd-boundary" => Some(Rule::SimdBoundary),
+            "unsafe-boundary" => Some(Rule::UnsafeBoundary),
+            "atomics-order" => Some(Rule::AtomicsOrder),
+            "panic-reach" => Some(Rule::PanicReach),
+            "alloc-reach" => Some(Rule::AllocReach),
             _ => None,
+        }
+    }
+
+    /// Every suppressible rule, in stable id order (drives SARIF rule
+    /// metadata and `--help` listings).
+    pub const ALL: &'static [Rule] = &[
+        Rule::NoPanicPath,
+        Rule::NoAllocHot,
+        Rule::FloatOrder,
+        Rule::Determinism,
+        Rule::PubDoc,
+        Rule::SimdBoundary,
+        Rule::UnsafeBoundary,
+        Rule::AtomicsOrder,
+        Rule::PanicReach,
+        Rule::AllocReach,
+        Rule::Marker,
+    ];
+
+    /// One-line description of what the rule enforces (SARIF rule metadata).
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::NoPanicPath => {
+                "no unwrap/expect/panic!/unreachable!/literal slice indexing in non-test pipeline code"
+            }
+            Rule::NoAllocHot => "hot kernels write into caller-owned buffers and never allocate",
+            Rule::FloatOrder => "float ordering must be NaN-total (total_cmp), never partial_cmp/f64::max",
+            Rule::Determinism => {
+                "no hash-ordered collections in result paths; no wall-clock or thread-identity reads outside crates/profile and benches"
+            }
+            Rule::PubDoc => "pub items in pipeline library crates carry doc comments",
+            Rule::SimdBoundary => {
+                "raw std::arch SIMD surface is confined to crates/dsp/src/kernels behind the dispatch wrappers"
+            }
+            Rule::UnsafeBoundary => {
+                "unsafe is confined to crates/dsp/src/kernels, SAFETY-commented, and lane fns are reachable only via their safe wrappers"
+            }
+            Rule::AtomicsOrder => {
+                "every atomic Ordering site carries a reasoned `// ordering:` comment; Relaxed stores that may gate non-atomic data are flagged"
+            }
+            Rule::PanicReach => {
+                "no panic site is transitively reachable from a declared `// echolint: entry` hot entry point"
+            }
+            Rule::AllocReach => {
+                "no allocation site is transitively reachable from a hot kernel through the call graph"
+            }
+            Rule::Marker => "echolint markers are well-formed, reasoned, and name known rules",
         }
     }
 }
@@ -112,14 +183,24 @@ pub struct FileScope {
 
 /// A parsed `// echolint: allow(…) -- reason` marker.
 #[derive(Debug, Clone)]
-struct AllowMarker {
-    line: u32,
-    rules: Vec<Rule>,
+pub(crate) struct AllowMarker {
+    pub(crate) line: u32,
+    pub(crate) rules: Vec<Rule>,
+}
+
+/// Whether an allow marker at one of the parsed `allows` sanctions `rule`
+/// on `line` (marker on the same line or the line directly above).
+pub(crate) fn site_allowed(allows: &[AllowMarker], rule: Rule, line: u32) -> bool {
+    allows.iter().any(|a| a.rules.contains(&rule) && (a.line == line || a.line + 1 == line))
 }
 
 /// Parses markers out of the comment list; malformed markers become
 /// diagnostics immediately.
-fn parse_markers(comments: &[Comment], file: &str, diags: &mut Vec<Diagnostic>) -> Vec<AllowMarker> {
+pub(crate) fn parse_markers(
+    comments: &[Comment],
+    file: &str,
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<AllowMarker> {
     let mut allows = Vec::new();
     for c in comments {
         let body = c.text.trim_start_matches('/').trim_start_matches('!').trim();
@@ -127,8 +208,9 @@ fn parse_markers(comments: &[Comment], file: &str, diags: &mut Vec<Diagnostic>) 
             continue;
         };
         let rest = rest.trim();
-        if rest == "hot" || rest.starts_with("hot ") {
-            continue; // handled by the scanner
+        let words: Vec<&str> = rest.split_whitespace().collect();
+        if !words.is_empty() && words.iter().all(|w| *w == "hot" || *w == "entry") {
+            continue; // `hot` / `entry` function markers — handled by the scanner
         }
         let Some(after_kw) = rest.strip_prefix("allow") else {
             diags.push(Diagnostic {
@@ -195,11 +277,13 @@ pub fn check(file: &str, lexed: &Lexed, scan: &Scan, scope: &FileScope) -> Vec<D
             float_order(file, lexed, scan, &mut diags);
             determinism(file, lexed, scan, scope, &mut diags);
             pub_doc(file, scan, &mut diags);
+            atomics_order(file, lexed, scan, &mut diags);
         }
         no_alloc_hot(file, lexed, scan, &mut diags);
         if !scope.simd_kernels {
             simd_boundary(file, lexed, scan, &mut diags);
         }
+        unsafe_boundary(file, lexed, scan, scope, &mut diags);
     }
 
     // Apply suppressions: a marker on the same line or the line above.
@@ -217,6 +301,43 @@ fn push(diags: &mut Vec<Diagnostic>, file: &str, line: u32, rule: Rule, message:
     diags.push(Diagnostic { file: file.to_string(), line, rule, message });
 }
 
+/// Whether the token at `i` is a panic site; returns the diagnostic message.
+/// Shared between the per-file `no-panic-path` rule and the symbol pass that
+/// feeds the graph-powered `panic-reach` rule.
+pub(crate) fn panic_site_at(toks: &[Token], i: usize) -> Option<String> {
+    let t = &toks[i];
+    // `.unwrap()` / `.expect(`.
+    if t.kind == TokKind::Ident
+        && (t.text == "unwrap" || t.text == "expect")
+        && i > 0
+        && toks[i - 1].is_punct('.')
+        && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+    {
+        return Some(format!(".{}() can panic — return a typed error instead", t.text));
+    }
+    // Panic macros.
+    if t.kind == TokKind::Ident
+        && matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+        && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+    {
+        return Some(format!("{}! in non-test pipeline code", t.text));
+    }
+    // Slice-index-by-literal: `expr[0]`, `expr[0..4]`, `expr[..4]`,
+    // `expr[4..]` where expr ends with an identifier, `)`, or `]`.
+    if t.is_punct('[') && i > 0 {
+        let prev = &toks[i - 1];
+        let indexable = prev.kind == TokKind::Ident || prev.is_punct(')') || prev.is_punct(']');
+        // Exclude attribute openers `#[…]` and struct-ish contexts.
+        if indexable && literal_index_inside(toks, i) {
+            return Some(
+                "slice index by literal can panic — use get()/split_first() or a checked range"
+                    .to_string(),
+            );
+        }
+    }
+    None
+}
+
 /// Rule 1 — `no-panic-path`.
 fn no_panic_path(file: &str, lexed: &Lexed, scan: &Scan, diags: &mut Vec<Diagnostic>) {
     let toks = &lexed.tokens;
@@ -224,52 +345,8 @@ fn no_panic_path(file: &str, lexed: &Lexed, scan: &Scan, diags: &mut Vec<Diagnos
         if scan.is_test(i) {
             continue;
         }
-        let t = &toks[i];
-        // `.unwrap()` / `.expect(`.
-        if t.kind == TokKind::Ident
-            && (t.text == "unwrap" || t.text == "expect")
-            && i > 0
-            && toks[i - 1].is_punct('.')
-            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
-        {
-            push(
-                diags,
-                file,
-                t.line,
-                Rule::NoPanicPath,
-                format!(".{}() can panic — return a typed error instead", t.text),
-            );
-        }
-        // Panic macros.
-        if t.kind == TokKind::Ident
-            && matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
-            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
-        {
-            push(
-                diags,
-                file,
-                t.line,
-                Rule::NoPanicPath,
-                format!("{}! in non-test pipeline code", t.text),
-            );
-        }
-        // Slice-index-by-literal: `expr[0]`, `expr[0..4]`, `expr[..4]`,
-        // `expr[4..]` where expr ends with an identifier, `)`, or `]`.
-        if t.is_punct('[') && i > 0 {
-            let prev = &toks[i - 1];
-            let indexable =
-                prev.kind == TokKind::Ident || prev.is_punct(')') || prev.is_punct(']');
-            // Exclude attribute openers `#[…]` and struct-ish contexts.
-            if indexable && literal_index_inside(toks, i) {
-                push(
-                    diags,
-                    file,
-                    t.line,
-                    Rule::NoPanicPath,
-                    "slice index by literal can panic — use get()/split_first() or a checked range"
-                        .to_string(),
-                );
-            }
+        if let Some(msg) = panic_site_at(toks, i) {
+            push(diags, file, toks[i].line, Rule::NoPanicPath, msg);
         }
     }
 }
@@ -295,6 +372,35 @@ fn literal_index_inside(toks: &[Token], open: usize) -> bool {
     structure_ok && saw_int && j < toks.len()
 }
 
+/// Whether the token at `i` is an allocation/copy site; returns a short
+/// description of what allocates. Shared between the per-file
+/// `no-alloc-hot` rule and the graph-powered `alloc-reach` rule.
+pub(crate) fn alloc_site_at(toks: &[Token], i: usize) -> Option<String> {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let next_is = |c: char| toks.get(i + 1).is_some_and(|n| n.is_punct(c));
+    let prev_is_dot = i > 0 && toks[i - 1].is_punct('.');
+    if (t.text == "Vec" || t.text == "Box" || t.text == "String") && next_is(':') {
+        // `Vec::new`, `Vec::with_capacity`, `Box::new`, `String::from`…
+        Some(format!("{}::… constructor", t.text))
+    } else if t.text == "vec" && next_is('!') {
+        Some("vec! allocation".to_string())
+    } else if prev_is_dot
+        && matches!(
+            t.text.as_str(),
+            "to_vec" | "clone" | "collect" | "push" | "to_owned" | "to_string"
+        )
+    {
+        Some(format!(".{}()", t.text))
+    } else if t.text == "format" && next_is('!') {
+        Some("format! allocation".to_string())
+    } else {
+        None
+    }
+}
+
 /// Rule 2 — `no-alloc-hot`.
 fn no_alloc_hot(file: &str, lexed: &Lexed, scan: &Scan, diags: &mut Vec<Diagnostic>) {
     let toks = &lexed.tokens;
@@ -309,30 +415,7 @@ fn no_alloc_hot(file: &str, lexed: &Lexed, scan: &Scan, diags: &mut Vec<Diagnost
                 continue;
             }
             let t = &toks[i];
-            let next_is = |c: char| toks.get(i + 1).is_some_and(|n| n.is_punct(c));
-            let prev_is_dot = i > 0 && toks[i - 1].is_punct('.');
-            let hit = if t.kind != TokKind::Ident {
-                None
-            } else if (t.text == "Vec" || t.text == "Box" || t.text == "String")
-                && next_is(':')
-            {
-                // `Vec::new`, `Vec::with_capacity`, `Box::new`, `String::from`…
-                Some(format!("{}::… constructor", t.text))
-            } else if t.text == "vec" && next_is('!') {
-                Some("vec! allocation".to_string())
-            } else if prev_is_dot
-                && matches!(
-                    t.text.as_str(),
-                    "to_vec" | "clone" | "collect" | "push" | "to_owned" | "to_string"
-                )
-            {
-                Some(format!(".{}()", t.text))
-            } else if t.text == "format" && next_is('!') {
-                Some("format! allocation".to_string())
-            } else {
-                None
-            };
-            if let Some(what) = hit {
+            if let Some(what) = alloc_site_at(toks, i) {
                 push(
                     diags,
                     file,
@@ -529,6 +612,159 @@ fn simd_boundary(file: &str, lexed: &Lexed, scan: &Scan, diags: &mut Vec<Diagnos
                 t.line,
                 Rule::SimdBoundary,
                 "#[target_feature] outside dsp::kernels".to_string(),
+            );
+        }
+    }
+}
+
+/// Line of the `fn` keyword of the function whose body encloses token `i`,
+/// if any. Used to scope `// SAFETY:` and `// ordering:` rationale comments:
+/// one comment anywhere between the `fn` line and the site covers it, so a
+/// single stated invariant covers every dispatch arm below it (the `fn`
+/// line, not the first body token's line, because a comment opening the body
+/// precedes any token).
+fn enclosing_body_start(scan: &Scan, toks: &[Token], i: usize) -> Option<u32> {
+    scan.fns
+        .iter()
+        .find(|f| i >= f.body.0 && i < f.body.1 && f.body.0 < toks.len())
+        .map(|f| f.line)
+}
+
+/// Rule 7 — `unsafe-boundary` (per-file half; the wrapper-reachability half
+/// lives in the graph pass, [`crate::reach`]).
+///
+/// Outside `crates/dsp/src/kernels`, any `unsafe` token fires: the kernels
+/// module is the single sanctioned unsafe surface (the workspace lint wall
+/// already denies `unsafe_code` elsewhere; this keeps the invariant visible
+/// to the linter's own fixtures and to SARIF consumers). Inside the kernels
+/// module, every `unsafe` block or fn must be covered by a `// SAFETY:`
+/// comment — on the same line, the line directly above, or anywhere earlier
+/// in the same function body (one stated invariant covers the dispatch arms
+/// below it).
+fn unsafe_boundary(
+    file: &str,
+    lexed: &Lexed,
+    scan: &Scan,
+    scope: &FileScope,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if scan.is_test(i) || !toks[i].is_ident("unsafe") {
+            continue;
+        }
+        let line = toks[i].line;
+        if !scope.simd_kernels {
+            push(
+                diags,
+                file,
+                line,
+                Rule::UnsafeBoundary,
+                "`unsafe` outside crates/dsp/src/kernels — the kernel dispatch module is the only sanctioned unsafe surface".to_string(),
+            );
+            continue;
+        }
+        let body_start = enclosing_body_start(scan, toks, i);
+        let covered = lexed.comments.iter().any(|c| {
+            c.text.contains("SAFETY:")
+                && (c.line == line
+                    || c.line + 1 == line
+                    || body_start.is_some_and(|s| c.line >= s && c.line <= line))
+        });
+        if !covered {
+            push(
+                diags,
+                file,
+                line,
+                Rule::UnsafeBoundary,
+                "`unsafe` without a covering `// SAFETY:` comment — state the invariant that makes it sound".to_string(),
+            );
+        }
+    }
+}
+
+/// Whether the `Ordering` path at token `i` (the variant ident) is the
+/// ordering argument of a `.store(…)` call: walk back to the enclosing call
+/// opener and check it is preceded by `.store`.
+fn in_store_call(toks: &[Token], i: usize) -> bool {
+    if i < 4 {
+        return false;
+    }
+    let mut depth = 0i32;
+    let mut j = i - 4; // skip the `Ordering` `:` `:` prefix
+    loop {
+        let t = &toks[j];
+        if t.is_punct(')') || t.is_punct(']') {
+            depth += 1;
+        } else if t.is_punct('(') || t.is_punct('[') {
+            if depth == 0 {
+                return j >= 2 && toks[j - 1].is_ident("store") && toks[j - 2].is_punct('.');
+            }
+            depth -= 1;
+        } else if depth == 0 && (t.is_punct(';') || t.is_punct('{')) {
+            return false;
+        }
+        if j == 0 {
+            return false;
+        }
+        j -= 1;
+    }
+}
+
+/// Rule 8 — `atomics-order`.
+///
+/// Every `Ordering::*` site must sit under a reasoned `// ordering:`
+/// comment — on the same line, the line directly above, or earlier in the
+/// same function body (one rationale covers the whole operation, including
+/// a `compare_exchange` pair). Additionally, a `Relaxed` *store* is flagged
+/// unconditionally: the admission-shed-latch pattern (a flag atomic gating
+/// non-atomic shard data) needs `Release`, so a Relaxed store survives only
+/// behind an explicit `// echolint: allow(atomics-order) -- …` rationale.
+fn atomics_order(file: &str, lexed: &Lexed, scan: &Scan, diags: &mut Vec<Diagnostic>) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if scan.is_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        let is_variant = t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "Relaxed" | "Acquire" | "Release" | "AcqRel" | "SeqCst")
+            && i >= 3
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks[i - 3].is_ident("Ordering");
+        if !is_variant {
+            continue;
+        }
+        let line = t.line;
+        let body_start = enclosing_body_start(scan, toks, i);
+        let covered = lexed.comments.iter().any(|c| {
+            let body = c.text.trim_start_matches('/').trim_start_matches('!').trim();
+            body.len() >= 9
+                && body.as_bytes()[..9].eq_ignore_ascii_case(b"ordering:")
+                && (c.line == line
+                    || c.line + 1 == line
+                    || body_start.is_some_and(|s| c.line >= s && c.line <= line))
+        });
+        if !covered {
+            push(
+                diags,
+                file,
+                line,
+                Rule::AtomicsOrder,
+                format!(
+                    "Ordering::{} without a reasoned `// ordering:` comment in scope",
+                    t.text
+                ),
+            );
+        }
+        if t.text == "Relaxed" && in_store_call(toks, i) {
+            push(
+                diags,
+                file,
+                line,
+                Rule::AtomicsOrder,
+                "Relaxed store — a flag that gates non-atomic data needs Release; allow-mark with rationale if nothing is published".to_string(),
             );
         }
     }

@@ -1,0 +1,205 @@
+//! Machine-readable diagnostic output: SARIF 2.1.0 and a stable JSON form.
+//!
+//! Both writers are hand-rolled (the build environment is offline; echolint
+//! stays dependency-free) and byte-deterministic: same diagnostics in, same
+//! bytes out, so CI can diff runs and the fixture tests can pin output.
+//!
+//! The SARIF document carries one `run` whose driver lists every rule (id +
+//! short description from [`Rule::describe`]) and one `result` per
+//! diagnostic with a `physicalLocation` at file:line — exactly the shape
+//! GitHub code scanning ingests to render PR annotations.
+
+use crate::rules::{Diagnostic, Rule};
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal (no surrounding quotes).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders diagnostics as a SARIF 2.1.0 document.
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"$schema\": \"https://docs.oasis-open.org/sarif/sarif/v2.1.0/os/schemas/sarif-schema-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"echolint\",\n");
+    s.push_str(&format!(
+        "          \"version\": \"{}\",\n",
+        esc(env!("CARGO_PKG_VERSION"))
+    ));
+    s.push_str("          \"informationUri\": \"https://example.invalid/echowrite/echolint\",\n");
+    s.push_str("          \"rules\": [\n");
+    for (k, r) in Rule::ALL.iter().enumerate() {
+        s.push_str(&format!(
+            "            {{ \"id\": \"{}\", \"shortDescription\": {{ \"text\": \"{}\" }} }}{}\n",
+            esc(r.id()),
+            esc(r.describe()),
+            if k + 1 < Rule::ALL.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [\n");
+    for (k, d) in diags.iter().enumerate() {
+        let rule_index = Rule::ALL.iter().position(|r| *r == d.rule).unwrap_or(0);
+        s.push_str("        {\n");
+        s.push_str(&format!("          \"ruleId\": \"{}\",\n", esc(d.rule.id())));
+        s.push_str(&format!("          \"ruleIndex\": {rule_index},\n"));
+        s.push_str("          \"level\": \"error\",\n");
+        s.push_str(&format!(
+            "          \"message\": {{ \"text\": \"{}\" }},\n",
+            esc(&d.message)
+        ));
+        s.push_str("          \"locations\": [\n            {\n");
+        s.push_str("              \"physicalLocation\": {\n");
+        s.push_str(&format!(
+            "                \"artifactLocation\": {{ \"uri\": \"{}\" }},\n",
+            esc(&d.file)
+        ));
+        s.push_str(&format!(
+            "                \"region\": {{ \"startLine\": {} }}\n",
+            d.line.max(1)
+        ));
+        s.push_str("              }\n            }\n          ]\n");
+        s.push_str(&format!("        }}{}\n", if k + 1 < diags.len() { "," } else { "" }));
+    }
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    s
+}
+
+/// Renders diagnostics as the stable JSON form consumed by repo tooling:
+/// a flat `diagnostics` array plus a `count`, nothing SARIF-shaped.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut s = String::from("{\n  \"diagnostics\": [\n");
+    for (k, d) in diags.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{ \"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\" }}{}\n",
+            esc(&d.file),
+            d.line,
+            esc(d.rule.id()),
+            esc(&d.message),
+            if k + 1 < diags.len() { "," } else { "" }
+        ));
+    }
+    s.push_str(&format!("  ],\n  \"count\": {}\n}}\n", diags.len()));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic {
+                file: "crates/dsp/src/wav.rs".into(),
+                line: 12,
+                rule: Rule::PanicReach,
+                message: ".unwrap() can panic — return a typed error instead; call chain: a → b".into(),
+            },
+            Diagnostic {
+                file: "crates/serve/src/manager.rs".into(),
+                line: 3,
+                rule: Rule::AtomicsOrder,
+                message: "Ordering::Relaxed without a reasoned `// ordering:` comment in scope".into(),
+            },
+        ]
+    }
+
+    /// A tiny structural JSON check: quotes balanced outside escapes, braces
+    /// and brackets balanced outside strings. Not a parser — enough to catch
+    /// writer regressions without a JSON dependency.
+    fn assert_balanced(s: &str) {
+        let (mut brace, mut bracket) = (0i64, 0i64);
+        let mut in_str = false;
+        let mut esc = false;
+        for c in s.chars() {
+            if in_str {
+                if esc {
+                    esc = false;
+                } else if c == '\\' {
+                    esc = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' => brace += 1,
+                '}' => brace -= 1,
+                '[' => bracket += 1,
+                ']' => bracket -= 1,
+                _ => {}
+            }
+            assert!(brace >= 0 && bracket >= 0, "negative nesting");
+        }
+        assert!(!in_str && brace == 0 && bracket == 0, "unbalanced document");
+    }
+
+    #[test]
+    fn sarif_has_schema_version_rules_and_locations() {
+        let s = to_sarif(&sample());
+        assert_balanced(&s);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("sarif-schema-2.1.0.json"));
+        assert!(s.contains("\"name\": \"echolint\""));
+        for r in Rule::ALL {
+            assert!(s.contains(&format!("\"id\": \"{}\"", r.id())), "missing rule {}", r.id());
+        }
+        assert!(s.contains("\"uri\": \"crates/dsp/src/wav.rs\""));
+        assert!(s.contains("\"startLine\": 12"));
+        assert!(s.contains("\"ruleId\": \"panic-reach\""));
+    }
+
+    #[test]
+    fn sarif_of_empty_run_is_still_a_valid_document() {
+        let s = to_sarif(&[]);
+        assert_balanced(&s);
+        assert!(s.contains("\"results\": [\n      ]"));
+    }
+
+    #[test]
+    fn json_is_flat_and_counts() {
+        let s = to_json(&sample());
+        assert_balanced(&s);
+        assert!(s.contains("\"count\": 2"));
+        assert!(s.contains("\"rule\": \"atomics-order\""));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let d = sample();
+        assert_eq!(to_sarif(&d), to_sarif(&d));
+        assert_eq!(to_json(&d), to_json(&d));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let d = vec![Diagnostic {
+            file: "a\"b.rs".into(),
+            line: 1,
+            rule: Rule::Marker,
+            message: "tab\there\nline".into(),
+        }];
+        let s = to_json(&d);
+        assert_balanced(&s);
+        assert!(s.contains("a\\\"b.rs") && s.contains("tab\\there\\nline"));
+    }
+}

@@ -20,6 +20,14 @@ pub struct FnSpan {
     pub body: (usize, usize),
     /// Whether a `// echolint: hot` marker precedes the function.
     pub marked_hot: bool,
+    /// Whether a `// echolint: entry` marker precedes the function — the
+    /// function is a declared hot entry point for the reachability analyses.
+    pub marked_entry: bool,
+    /// Enclosing `impl` / `trait` type name (`Worker` for a method declared
+    /// inside `impl Worker { … }`), or `None` for free functions.
+    pub type_ctx: Option<String>,
+    /// Whether the function itself is declared `unsafe fn`.
+    pub is_unsafe: bool,
 }
 
 /// A `pub` item with no doc comment.
@@ -51,26 +59,35 @@ impl Scan {
     }
 }
 
-/// Lines carrying a `// echolint: hot` marker (the function on the next
-/// line — or same line — is a hot kernel).
-fn hot_marker_lines(comments: &[Comment]) -> Vec<u32> {
+/// Lines carrying `// echolint: hot` / `// echolint: entry` markers. Both
+/// words may share one marker (`// echolint: hot entry`): `hot` makes the
+/// next function a hot kernel, `entry` declares it a reachability root.
+fn fn_marker_lines(comments: &[Comment]) -> Vec<(u32, bool, bool)> {
     comments
         .iter()
-        .filter(|c| {
+        .filter_map(|c| {
             let body = c.text.trim_start_matches('/').trim_start_matches('!').trim();
-            body.strip_prefix("echolint:")
-                .map(|rest| rest.trim() == "hot" || rest.trim().starts_with("hot "))
-                .unwrap_or(false)
+            let rest = body.strip_prefix("echolint:")?.trim();
+            let words: Vec<&str> = rest.split_whitespace().collect();
+            if words.is_empty() || !words.iter().all(|w| *w == "hot" || *w == "entry") {
+                return None;
+            }
+            Some((c.line, words.contains(&"hot"), words.contains(&"entry")))
         })
-        .map(|c| c.line)
         .collect()
 }
 
 /// Runs the item scan.
 pub fn scan(lexed: &Lexed) -> Scan {
     let mut out = Scan::default();
-    let hot_lines = hot_marker_lines(&lexed.comments);
-    let mut cx = Cx { toks: &lexed.tokens, comments: &lexed.comments, hot_lines, out: &mut out };
+    let marker_lines = fn_marker_lines(&lexed.comments);
+    let mut cx = Cx {
+        toks: &lexed.tokens,
+        comments: &lexed.comments,
+        marker_lines,
+        type_ctx: Vec::new(),
+        out: &mut out,
+    };
     let end = lexed.tokens.len();
     cx.items(0, end);
     out
@@ -79,7 +96,9 @@ pub fn scan(lexed: &Lexed) -> Scan {
 struct Cx<'a> {
     toks: &'a [Token],
     comments: &'a [Comment],
-    hot_lines: Vec<u32>,
+    marker_lines: Vec<(u32, bool, bool)>,
+    /// Stack of enclosing `impl` / `trait` type names.
+    type_ctx: Vec<String>,
     out: &'a mut Scan,
 }
 
@@ -136,6 +155,7 @@ impl Cx<'_> {
         }
 
         // Qualifiers before the item keyword.
+        let mut is_unsafe = false;
         while i < end
             && (self.toks[i].is_ident("unsafe")
                 || self.toks[i].is_ident("async")
@@ -147,6 +167,9 @@ impl Cx<'_> {
                     && i + 1 < end
                     && self.toks[i + 1].is_ident("fn")))
         {
+            if self.toks[i].is_ident("unsafe") {
+                is_unsafe = true;
+            }
             if self.toks[i].is_ident("extern") {
                 i += 2;
             } else {
@@ -171,12 +194,15 @@ impl Cx<'_> {
                 let e = match body_open {
                     Some(open) => {
                         let close = self.match_delim(open, end, '{', '}');
-                        let marked_hot = self.has_hot_marker(start, kw_line);
+                        let (marked_hot, marked_entry) = self.fn_markers(start, kw_line);
                         self.out.fns.push(FnSpan {
                             name: name.clone(),
                             line: kw_line,
                             body: (open + 1, close.saturating_sub(1)),
                             marked_hot,
+                            marked_entry,
+                            type_ctx: self.type_ctx.last().cloned(),
+                            is_unsafe,
                         });
                         close
                     }
@@ -223,7 +249,22 @@ impl Cx<'_> {
                 match self.find_body_open(i, end) {
                     Some(open) => {
                         let close = self.match_delim(open, end, '{', '}');
+                        let ctx = if kw == "impl" {
+                            self.impl_self_type(i + 1, open)
+                        } else {
+                            self.toks
+                                .get(i + 1)
+                                .filter(|t| t.kind == TokKind::Ident)
+                                .map(|t| t.text.clone())
+                        };
+                        let pushed = ctx.is_some();
+                        if let Some(name) = ctx {
+                            self.type_ctx.push(name);
+                        }
                         self.items(open + 1, close.saturating_sub(1));
+                        if pushed {
+                            self.type_ctx.pop();
+                        }
                         close
                     }
                     None => self.skip_to_semi(i, end),
@@ -305,12 +346,71 @@ impl Cx<'_> {
         }
     }
 
-    /// Whether a `// echolint: hot` marker line immediately precedes the
-    /// item (between the previous code token and the `fn` keyword line).
-    fn has_hot_marker(&self, item_start: usize, kw_line: u32) -> bool {
+    /// The `(hot, entry)` markers immediately preceding the item (between
+    /// the previous code token and the `fn` keyword line).
+    fn fn_markers(&self, item_start: usize, kw_line: u32) -> (bool, bool) {
         let prev_line = if item_start == 0 { 0 } else { self.toks[item_start - 1].line };
         let first_line = self.toks[item_start].line.min(kw_line);
-        self.hot_lines.iter().any(|&l| l > prev_line && l < first_line)
+        let mut hot = false;
+        let mut entry = false;
+        for &(l, h, e) in &self.marker_lines {
+            if l > prev_line && l < first_line {
+                hot |= h;
+                entry |= e;
+            }
+        }
+        (hot, entry)
+    }
+
+    /// The `Self` type name of an `impl` item whose tokens span
+    /// `[after_impl, body_open)`: the last path segment before the body for
+    /// an inherent impl, or the last segment after `for` in a trait impl
+    /// (`impl<T> Trait for Type<T>` → `Type`). Generic arguments, references,
+    /// and `where` clauses are skipped; `None` when no plain segment is found
+    /// (e.g. `impl Trait for &[u8]`).
+    fn impl_self_type(&self, after_impl: usize, body_open: usize) -> Option<String> {
+        let mut i = after_impl;
+        // Leading generic parameter list `<…>`.
+        if i < body_open && self.toks[i].is_punct('<') {
+            let mut depth = 0i32;
+            while i < body_open {
+                if self.toks[i].is_punct('<') {
+                    depth += 1;
+                } else if self.toks[i].is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+        }
+        let mut last_segment: Option<String> = None;
+        let mut angle_depth = 0i32;
+        let mut j = i;
+        while j < body_open {
+            let t = &self.toks[j];
+            if t.is_punct('<') {
+                angle_depth += 1;
+            } else if t.is_punct('>') {
+                angle_depth -= 1;
+            } else if angle_depth == 0 {
+                if t.is_ident("where") {
+                    break;
+                }
+                if t.is_ident("for") {
+                    // Trait impl: the self type is what follows `for`.
+                    last_segment = None;
+                } else if t.kind == TokKind::Ident
+                    && !matches!(t.text.as_str(), "dyn" | "mut" | "const")
+                {
+                    last_segment = Some(t.text.clone());
+                }
+            }
+            j += 1;
+        }
+        last_segment
     }
 
     /// Finds the opening `{` of a body, stopping at a terminating `;`.

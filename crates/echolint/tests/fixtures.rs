@@ -112,8 +112,9 @@ fn pub_doc_fixture_fires_for_undocumented_items_only() {
 }
 
 /// Raw `std::arch` usage outside the sanctioned `crates/dsp/src/kernels`
-/// module fires `simd-boundary`; the identical source under the kernels
-/// scope is clean — intrinsics are confined to the dispatch layer.
+/// module fires `simd-boundary` (and the `unsafe fn` fires
+/// `unsafe-boundary`); the identical source under the kernels scope drops
+/// the boundary findings but still demands a `// SAFETY:` comment.
 #[test]
 fn simd_boundary_fixture_fires_outside_kernels_only() {
     assert_eq!(
@@ -123,16 +124,68 @@ fn simd_boundary_fixture_fires_outside_kernels_only() {
             "bad/simd_boundary.rs:3: simd-boundary: intrinsic `_mm256_add_pd` outside dsp::kernels",
             "bad/simd_boundary.rs:6: simd-boundary: is_x86_feature_detected! outside dsp::kernels — query kernels::backend() instead",
             "bad/simd_boundary.rs:9: simd-boundary: #[target_feature] outside dsp::kernels",
+            "bad/simd_boundary.rs:10: unsafe-boundary: `unsafe` outside crates/dsp/src/kernels — the kernel dispatch module is the only sanctioned unsafe surface",
             "bad/simd_boundary.rs:11: simd-boundary: intrinsic `_mm256_add_pd` outside dsp::kernels",
         ]
     );
-    // Same source, kernels scope: the boundary rule is off by construction.
+    // Same source, kernels scope: the SIMD surface is sanctioned, but the
+    // naked `unsafe fn` still owes a SAFETY comment.
     let scope = echolint::classify(Path::new("crates/dsp/src/kernels/x86.rs"));
     assert!(scope.simd_kernels);
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/bad/simd_boundary.rs");
     let src = std::fs::read_to_string(&path).expect("fixture readable");
-    let diags = lint_source("bad/simd_boundary.rs", &src, &scope);
-    assert!(diags.is_empty(), "{diags:?}");
+    let diags: Vec<String> =
+        lint_source("bad/simd_boundary.rs", &src, &scope).iter().map(ToString::to_string).collect();
+    assert_eq!(
+        diags,
+        vec![
+            "bad/simd_boundary.rs:10: unsafe-boundary: `unsafe` without a covering `// SAFETY:` comment — state the invariant that makes it sound",
+        ]
+    );
+}
+
+/// Outside the kernels module every `unsafe` token fires; under the
+/// kernels scope `// SAFETY:` comments cover sites on the same line, the
+/// line above, or anywhere earlier in the same fn body (one invariant
+/// covers all dispatch arms below it) — only the naked site fires.
+#[test]
+fn unsafe_boundary_fixture_requires_safety_coverage_in_kernels() {
+    assert_eq!(
+        lint_fixture("bad/unsafe_boundary.rs"),
+        vec![
+            "bad/unsafe_boundary.rs:6: unsafe-boundary: `unsafe` outside crates/dsp/src/kernels — the kernel dispatch module is the only sanctioned unsafe surface",
+            "bad/unsafe_boundary.rs:13: unsafe-boundary: `unsafe` outside crates/dsp/src/kernels — the kernel dispatch module is the only sanctioned unsafe surface",
+            "bad/unsafe_boundary.rs:15: unsafe-boundary: `unsafe` outside crates/dsp/src/kernels — the kernel dispatch module is the only sanctioned unsafe surface",
+            "bad/unsafe_boundary.rs:19: unsafe-boundary: `unsafe` outside crates/dsp/src/kernels — the kernel dispatch module is the only sanctioned unsafe surface",
+        ]
+    );
+    let scope = echolint::classify(Path::new("crates/dsp/src/kernels/x86.rs"));
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/bad/unsafe_boundary.rs");
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    let diags: Vec<String> = lint_source("bad/unsafe_boundary.rs", &src, &scope)
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    assert_eq!(
+        diags,
+        vec![
+            "bad/unsafe_boundary.rs:19: unsafe-boundary: `unsafe` without a covering `// SAFETY:` comment — state the invariant that makes it sound",
+        ]
+    );
+}
+
+/// `Ordering::*` sites need a reasoned `// ordering:` comment in scope, and
+/// a Relaxed store additionally needs an explicit allow marker.
+#[test]
+fn atomics_order_fixture_requires_reasoned_comments() {
+    assert_eq!(
+        lint_fixture("bad/atomics_order.rs"),
+        vec![
+            "bad/atomics_order.rs:5: atomics-order: Ordering::Release without a reasoned `// ordering:` comment in scope",
+            "bad/atomics_order.rs:6: atomics-order: Ordering::Acquire without a reasoned `// ordering:` comment in scope",
+            "bad/atomics_order.rs:16: atomics-order: Relaxed store — a flag that gates non-atomic data needs Release; allow-mark with rationale if nothing is published",
+        ]
+    );
 }
 
 #[test]

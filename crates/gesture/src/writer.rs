@@ -277,8 +277,9 @@ impl Writer {
                 Some(&next) => embed(StrokePath::for_stroke(next, amp).point(0.0)),
                 None => embed(Vec3::ZERO),
             };
-            // echolint: allow(no-panic-path) -- lead-in hold guarantees the trajectory is non-empty
-            let here = *traj.points().last().expect("stroke samples exist");
+            // The lead-in hold guarantees samples exist; fall back to the
+            // target itself (a zero-length move) rather than panicking.
+            let here = traj.points().last().copied().unwrap_or(next_start);
             let dist = here.distance(next_start);
             let dur = (dist / p.withdraw_speed).max(p.withdraw_duration);
             traj.move_to(next_start, dur);
@@ -303,18 +304,17 @@ impl Writer {
             match &mut out {
                 None => out = Some(perf),
                 Some(acc) => {
-                    let here = *acc
-                        .trajectory
-                        .points()
-                        .last()
-                        // echolint: allow(no-panic-path) -- write_sequence always emits the lead-in hold
-                        .expect("previous word has samples");
-                    // echolint: allow(no-panic-path) -- same lead-in-hold invariant
-                    let target = *perf.trajectory.points().first().expect("word has samples");
-                    let dist = here.distance(target);
-                    let dur = (dist / self.params.withdraw_speed).max(0.5);
-                    acc.trajectory.move_to(target, dur);
-                    acc.trajectory.hold(target, word_pause);
+                    // write_sequence always emits the lead-in hold, so both
+                    // endpoints exist; if either is ever empty the stitch is
+                    // skipped instead of panicking.
+                    if let (Some(&here), Some(&target)) =
+                        (acc.trajectory.points().last(), perf.trajectory.points().first())
+                    {
+                        let dist = here.distance(target);
+                        let dur = (dist / self.params.withdraw_speed).max(0.5);
+                        acc.trajectory.move_to(target, dur);
+                        acc.trajectory.hold(target, word_pause);
+                    }
                     let offset = acc.trajectory.duration();
                     for &p in perf.trajectory.points() {
                         acc.trajectory.push(p);
@@ -344,12 +344,12 @@ impl Writer {
         let dt = traj.dt();
         let a = self.params.tremor;
         let mut out = Trajectory::new(dt);
+        let [freq0, freq1] = self.tremor_freq;
+        let [phase0, phase1] = self.tremor_phase;
         for (i, &pt) in traj.points().iter().enumerate() {
             let t = i as f64 * dt;
-            // echolint: allow(no-panic-path) -- tremor_freq/tremor_phase are fixed [f64; 2] fields
-            let w0 = std::f64::consts::TAU * self.tremor_freq[0] * t + self.tremor_phase[0];
-            // echolint: allow(no-panic-path) -- same fixed-size field access
-            let w1 = std::f64::consts::TAU * self.tremor_freq[1] * t + self.tremor_phase[1];
+            let w0 = std::f64::consts::TAU * freq0 * t + phase0;
+            let w1 = std::f64::consts::TAU * freq1 * t + phase1;
             out.push(pt + Vec3::new(a * w0.sin(), a * w1.sin(), 0.5 * a * (w0 + w1).cos()));
         }
         out

@@ -150,8 +150,9 @@ fn edit_distance_bounded(a: &[Stroke], b: &[Stroke], bound: usize) -> Option<usi
     for i in 1..=n {
         let lo = i.saturating_sub(bound);
         let hi = (i + bound).min(m);
-        // echolint: allow(no-panic-path) -- cur has m+1 >= 1 elements by construction
-        cur[0] = if i <= bound { i } else { big };
+        if let Some(edge) = cur.first_mut() {
+            *edge = if i <= bound { i } else { big };
+        }
         for j in lo.max(1)..=hi {
             let sub = prev[j - 1] + usize::from(a[i - 1] != b[j - 1]);
             let del = prev[j] + 1;

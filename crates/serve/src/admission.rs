@@ -38,6 +38,10 @@ impl AdmissionController {
     /// Tries to reserve one live-session slot. Returns `false` (shed) when
     /// the hard cap is hit, or while the hysteresis band is draining.
     pub fn try_admit(&self) -> bool {
+        // ordering: Acquire loads pair with the Release latch stores below, so
+        // every admit decision sees the newest shed latch and live count; the
+        // AcqRel compare_exchange both claims the slot and publishes it to
+        // release()'s AcqRel decrement.
         let mut live = self.live.load(Ordering::Acquire);
         loop {
             if live >= self.max_sessions {
@@ -69,6 +73,8 @@ impl AdmissionController {
     /// clearing the shedding latch once the population is at or below the
     /// low-water mark.
     pub fn release(&self) {
+        // ordering: AcqRel on the decrement pairs with try_admit's claim; the
+        // Release store publishes the cleared latch to its Acquire readers.
         let before = self.live.fetch_sub(1, Ordering::AcqRel);
         if before.saturating_sub(1) <= self.low_water {
             self.shedding.store(false, Ordering::Release);
@@ -77,11 +83,15 @@ impl AdmissionController {
 
     /// Sessions currently admitted.
     pub fn live(&self) -> usize {
+        // ordering: Acquire pairs with the AcqRel slot claims, so the count
+        // reflects every completed admit and release.
         self.live.load(Ordering::Acquire)
     }
 
     /// Whether new opens are currently being shed.
     pub fn is_shedding(&self) -> bool {
+        // ordering: Acquire pairs with the Release latch stores in try_admit
+        // and release.
         self.shedding.load(Ordering::Acquire)
     }
 }

@@ -151,6 +151,7 @@ struct ShardHandle {
 impl std::fmt::Debug for ShardHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardHandle")
+            // ordering: Relaxed — a debug snapshot; nothing is gated on it.
             .field("depth", &self.depth.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
@@ -276,6 +277,9 @@ impl SessionManager {
             }
             Request::Push(id, chunk) => {
                 let shard = self.shard_of(id);
+                // ordering: the Acquire load pairs with the AcqRel increment below,
+                // so a push's deadline snapshot never runs ahead of the enqueue
+                // counter another submitter just published.
                 let seq = match self.shards.get(shard) {
                     Some(s) => s.pushes_enqueued.load(Ordering::Acquire),
                     None => 0,
@@ -304,6 +308,7 @@ impl SessionManager {
     }
 
     /// [`Request::Push`] shorthand.
+    // echolint: entry
     pub fn push(&self, id: SessionId, chunk: &[f64]) -> SubmitVerdict {
         self.submit(Request::Push(id, chunk))
     }
@@ -323,6 +328,9 @@ impl SessionManager {
         // Count before sending so the worker can never observe a drain
         // below zero; undo on rejection.
         shard.pending.inc();
+        // ordering: AcqRel keeps the depth add/sub pairs totally ordered with
+        // the worker's drain decrement, and the Acquire load below reports a
+        // retry hint no older than this rejected send.
         shard.depth.fetch_add(1, Ordering::AcqRel);
         self.metrics.queue_depth.inc();
         match tx.try_send(cmd) {
@@ -459,6 +467,7 @@ impl Worker {
         echowrite_trace::samples_to_us(self.clock_samples, self.engine.config().stft.sample_rate)
     }
 
+    // echolint: entry
     fn run(mut self) {
         // Batched drain: block for the first command, then greedily pull up
         // to `batch_max − 1` more that are already queued. Commands execute
@@ -476,6 +485,8 @@ impl Worker {
             }
             self.metrics.batch_drains.inc();
             for cmd in batch.drain(..) {
+                // ordering: AcqRel pairs with the manager's enqueue increment, so the
+                // observed depth never dips below zero mid-handoff.
                 self.depth.fetch_sub(1, Ordering::AcqRel);
                 self.metrics.queue_depth.dec();
                 match cmd {
@@ -527,6 +538,8 @@ impl Worker {
             return;
         };
         // Backlog lag: pushes enqueued to this shard after this one was.
+        // ordering: Acquire pairs with the manager's AcqRel enqueue counter,
+        // so lag counts every push enqueued before this command was sent.
         let lag = self
             .pushes_enqueued
             .load(Ordering::Acquire)

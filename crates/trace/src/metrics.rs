@@ -16,16 +16,22 @@ pub struct Counter(AtomicU64);
 impl Counter {
     /// Adds one.
     pub fn inc(&self) {
+        // ordering: Relaxed — an independent statistic; no other data is
+        // synchronized through it, and snapshot skew across metrics is fine.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
+        // ordering: Relaxed — an independent statistic; no other data is
+        // synchronized through it, and snapshot skew across metrics is fine.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed — an independent statistic; no other data is
+        // synchronized through it, and snapshot skew across metrics is fine.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -39,11 +45,15 @@ pub struct Gauge(AtomicU64);
 impl Gauge {
     /// Adds one.
     pub fn inc(&self) {
+        // ordering: Relaxed — an independent statistic; no other data is
+        // synchronized through it, and snapshot skew across metrics is fine.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Subtracts one, saturating at zero.
     pub fn dec(&self) {
+        // ordering: Relaxed — an independent statistic; no other data is
+        // synchronized through it, and snapshot skew across metrics is fine.
         let _ = self.0.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
             Some(v.saturating_sub(1))
         });
@@ -51,11 +61,16 @@ impl Gauge {
 
     /// Sets the value outright.
     pub fn set(&self, v: u64) {
+        // ordering: Relaxed — an independent statistic; no other data is
+        // synchronized through it, and snapshot skew across metrics is fine.
+        // echolint: allow(atomics-order) -- Relaxed store publishes a standalone gauge value; it gates no other data
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed — an independent statistic; no other data is
+        // synchronized through it, and snapshot skew across metrics is fine.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -98,31 +113,45 @@ impl Histogram {
     pub fn observe(&self, v: u64) {
         let idx = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
         if let Some(b) = self.buckets.get(idx) {
+            // ordering: Relaxed — an independent statistic; no other data is
+            // synchronized through it, and snapshot skew across metrics is fine.
             b.fetch_add(1, Ordering::Relaxed);
         }
         let _ = self
             .sum
+            // ordering: Relaxed — an independent statistic; no other data is
+            // synchronized through it, and snapshot skew across metrics is fine.
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| Some(s.saturating_add(v)));
+        // ordering: Relaxed — an independent statistic; no other data is
+        // synchronized through it, and snapshot skew across metrics is fine.
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total observations.
     pub fn count(&self) -> u64 {
+        // ordering: Relaxed — an independent statistic; no other data is
+        // synchronized through it, and snapshot skew across metrics is fine.
         self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all observations (saturating).
     pub fn sum(&self) -> u64 {
+        // ordering: Relaxed — an independent statistic; no other data is
+        // synchronized through it, and snapshot skew across metrics is fine.
         self.sum.load(Ordering::Relaxed)
     }
 
     /// Per-bucket counts (non-cumulative), the `+Inf` bucket last.
     pub fn bucket_counts(&self) -> Vec<u64> {
+        // ordering: Relaxed — an independent statistic; no other data is
+        // synchronized through it, and snapshot skew across metrics is fine.
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
     }
 
     /// Observations that exceeded every finite bound (the `+Inf` bucket).
     pub fn overflow_count(&self) -> u64 {
+        // ordering: Relaxed — an independent statistic; no other data is
+        // synchronized through it, and snapshot skew across metrics is fine.
         self.buckets.last().map_or(0, |b| b.load(Ordering::Relaxed))
     }
 
@@ -138,6 +167,8 @@ impl Histogram {
         let rank = rank.max(1);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
+            // ordering: Relaxed — an independent statistic; no other data is
+            // synchronized through it, and snapshot skew across metrics is fine.
             seen += b.load(Ordering::Relaxed);
             if seen >= rank {
                 return Some(self.bounds.get(i).copied().unwrap_or(u64::MAX));

@@ -57,6 +57,8 @@ impl RecordingSink {
 
     /// Events evicted because the ring was full.
     pub fn dropped(&self) -> u64 {
+        // ordering: Relaxed — a monotone statistic; the ring mutex orders the
+        // event data itself.
         self.dropped.load(Ordering::Relaxed)
     }
 
@@ -203,6 +205,8 @@ impl TraceSink for RecordingSink {
         }
         if ring.events.len() >= ring.capacity {
             ring.events.pop_front();
+            // ordering: Relaxed — counter only; the ring mutex already orders the
+            // eviction it describes.
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         ring.events.push_back(ev);

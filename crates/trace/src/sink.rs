@@ -49,6 +49,9 @@ pub fn enabled() -> bool {
     if cfg!(feature = "off") {
         return false;
     }
+    // ordering: Relaxed — the gate is a fast hint; dispatch re-reads the
+    // sink under the RwLock, whose release/acquire edge is the real
+    // synchronization.
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -73,6 +76,9 @@ fn dispatch(event: &TraceEvent) {
 fn set(state: SinkState, on: bool) {
     let mut guard = SINK.write().unwrap_or_else(|e| e.into_inner());
     *guard = state;
+    // ordering: SeqCst store after the sink swap under the write lock; a
+    // reader that sees the gate on takes the read lock and observes the
+    // new sink via the lock edge.
     ENABLED.store(on, Ordering::SeqCst);
 }
 
