@@ -97,7 +97,7 @@ fn bench_point(g: &mut criterion::BenchmarkGroup<'_>, sessions: usize, shards: u
         },
     );
 
-    let snapshot = manager.shutdown();
+    let snapshot = manager.shutdown().metrics;
     println!(
         "serve_meta sessions={sessions} shards={shards} pushes={} p99_us={} events={} queue_full={} shed={} batch_drains={}",
         snapshot.pushes,

@@ -1,0 +1,458 @@
+//! The loopback client fleet (DESIGN.md §6.9): replays N synthetic
+//! recognition sessions over C real TCP connections against a
+//! [`WireServer`], checks every wire transcript bitwise against the
+//! isolated in-process recognizer, and reports aggregate realtime factor
+//! plus request round-trip percentiles — the numbers in `BENCH_wire.json`.
+//!
+//! ```text
+//! cargo run --release -p echowrite-bench --bin wire_fleet -- \
+//!     --sessions 512 --conns 16 --shards 4 [--smoke] [--json out.json]
+//! ```
+//!
+//! Each connection multiplexes `sessions / conns` sessions, driving them
+//! round-robin one chunk at a time with at most one request outstanding
+//! per connection (the server answers verdicts in request order, so the
+//! next verdict always resolves the RTT of the request just sent). A
+//! `QueueFull` verdict re-submits the same chunk after draining buffered
+//! events; `Shedding` aborts the run — admission is configured to accept
+//! the whole fleet, so a shed is a bug worth failing on.
+
+use echowrite::{EchoWrite, EchoWriteConfig, Parallelism, StreamingRecognizer};
+use echowrite_gesture::{Stroke, Writer, WriterParams};
+use echowrite_profile::Stopwatch;
+use echowrite_serve::{ServeConfig, SessionManager};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+use echowrite_wire::{Request, Response, WireClient, WireServer};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::sync::OnceLock;
+
+/// The Android app's 5-frame push size.
+const CHUNK: usize = 5 * 1024;
+
+/// A transcript row, scores compared bitwise.
+type Row = (u64, u64, Stroke, [f64; 6]);
+
+struct Args {
+    sessions: usize,
+    conns: usize,
+    shards: usize,
+    json: Option<String>,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { sessions: 512, conns: 16, shards: 4, json: None, smoke: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--sessions" => {
+                let v = it.next().ok_or("--sessions needs a value")?;
+                args.sessions = v.parse().map_err(|e| format!("--sessions: {e}"))?;
+            }
+            "--conns" => {
+                let v = it.next().ok_or("--conns needs a value")?;
+                args.conns = v.parse().map_err(|e| format!("--conns: {e}"))?;
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                args.shards = v.parse().map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--json" => args.json = Some(it.next().ok_or("--json needs a path")?),
+            "--smoke" => args.smoke = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.smoke {
+        args.sessions = args.sessions.min(64);
+        args.conns = args.conns.min(8);
+    }
+    if args.sessions == 0 || args.conns == 0 || args.conns > args.sessions {
+        return Err("need sessions >= conns >= 1".into());
+    }
+    Ok(args)
+}
+
+/// The down-converted serving engine every fleet session runs.
+fn engine() -> &'static EchoWrite {
+    static E: OnceLock<EchoWrite> = OnceLock::new();
+    E.get_or_init(|| EchoWrite::with_config(EchoWriteConfig::streaming_downsampled(32)))
+}
+
+fn render(strokes: &[Stroke], seed: u64, tail: f64) -> Vec<f64> {
+    let perf = Writer::new(WriterParams::nominal(), seed).write_sequence(strokes);
+    let mut traj = perf.trajectory;
+    if tail > 0.0 {
+        let last = *traj.points().last().expect("non-empty trajectory");
+        traj.hold(last, tail);
+    }
+    Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), seed).render(&traj)
+}
+
+/// The base audios sessions cycle through (session k plays base k % 4),
+/// each with its isolated in-process oracle transcript.
+fn bases() -> &'static Vec<(Vec<f64>, Vec<Row>)> {
+    static B: OnceLock<Vec<(Vec<f64>, Vec<Row>)>> = OnceLock::new();
+    B.get_or_init(|| {
+        let audios = [
+            render(&[Stroke::S2, Stroke::S5], 11, 1.2),
+            render(&[Stroke::S4], 23, 1.0),
+            render(&[Stroke::S3, Stroke::S6], 31, 0.0),
+            render(&[Stroke::S1, Stroke::S2], 47, 1.1),
+        ];
+        audios
+            .into_iter()
+            .map(|audio| {
+                let mut rec = StreamingRecognizer::new(engine());
+                let mut rows: Vec<Row> = Vec::new();
+                for chunk in audio.chunks(CHUNK) {
+                    for ev in rec.push(chunk) {
+                        rows.push((
+                            ev.start_frame as u64,
+                            ev.end_frame as u64,
+                            ev.classification.stroke,
+                            ev.classification.scores,
+                        ));
+                    }
+                }
+                for ev in rec.finish() {
+                    rows.push((
+                        ev.start_frame as u64,
+                        ev.end_frame as u64,
+                        ev.classification.stroke,
+                        ev.classification.scores,
+                    ));
+                }
+                (audio, rows)
+            })
+            .collect()
+    })
+}
+
+/// What one connection thread brings home.
+struct ConnReport {
+    /// Round-trip times, one per request, in microseconds.
+    rtts_us: Vec<u64>,
+    /// `QueueFull` verdicts absorbed (each retried until enqueued).
+    queue_full: u64,
+    /// Wire transcripts per session id.
+    transcripts: BTreeMap<u64, Vec<Row>>,
+    /// Fatal error description, if the connection died.
+    error: Option<String>,
+}
+
+/// Drives this connection's sessions round-robin, one chunk per turn,
+/// then drains events until every owned session has finished.
+fn run_connection(addr: std::net::SocketAddr, ids: Vec<u64>) -> ConnReport {
+    let mut report = ConnReport {
+        rtts_us: Vec::new(),
+        queue_full: 0,
+        transcripts: ids.iter().map(|&id| (id, Vec::new())).collect(),
+        error: None,
+    };
+    let mut client = match WireClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            report.error = Some(format!("connect: {e}"));
+            return report;
+        }
+    };
+    // One request outstanding at a time: send, block for the verdict,
+    // retry on QueueFull. RTT covers send → verdict.
+    let ask = |client: &mut WireClient, req: &Request, report: &mut ConnReport| -> bool {
+        loop {
+            let timer = Stopwatch::start();
+            match client.request(req) {
+                Ok(Response::Enqueued { .. }) => {
+                    report.rtts_us.push((timer.elapsed_ms() * 1_000.0) as u64);
+                    return true;
+                }
+                Ok(Response::QueueFull { .. }) => {
+                    report.rtts_us.push((timer.elapsed_ms() * 1_000.0) as u64);
+                    report.queue_full += 1;
+                    // Back off briefly so retries don't saturate the wire
+                    // while the shard drains (bench crate is time-exempt).
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                Ok(other) => {
+                    report.error = Some(format!("unexpected verdict {other:?}"));
+                    return false;
+                }
+                Err(e) => {
+                    report.error = Some(format!("request: {e}"));
+                    return false;
+                }
+            }
+        }
+    };
+
+    for &id in &ids {
+        if !ask(&mut client, &Request::Open { session: id }, &mut report) {
+            return report;
+        }
+    }
+    let mut cursors: BTreeMap<u64, usize> = ids.iter().map(|&id| (id, 0)).collect();
+    let mut live: Vec<u64> = ids.clone();
+    while !live.is_empty() {
+        let mut still = Vec::with_capacity(live.len());
+        for &id in &live {
+            let audio = &bases()[(id as usize) % bases().len()].0;
+            let pos = cursors[&id];
+            let end = (pos + CHUNK).min(audio.len());
+            let req = Request::Push { session: id, samples: audio[pos..end].to_vec() };
+            if !ask(&mut client, &req, &mut report) {
+                return report;
+            }
+            cursors.insert(id, end);
+            if end == audio.len() {
+                if !ask(&mut client, &Request::Finish { session: id }, &mut report) {
+                    return report;
+                }
+            } else {
+                still.push(id);
+            }
+        }
+        live = still;
+    }
+
+    let mut finished = 0usize;
+    while finished < ids.len() {
+        match client.next_event() {
+            Ok(Response::Segment { session, start_frame, end_frame, classification }) => {
+                let Some(cls) = classification else {
+                    report.error = Some(format!("degraded segment on session {session}"));
+                    return report;
+                };
+                if let Some(rows) = report.transcripts.get_mut(&session) {
+                    rows.push((start_frame, end_frame, cls.stroke, cls.scores));
+                }
+            }
+            Ok(Response::Finished { .. }) => finished += 1,
+            Ok(other) => {
+                report.error = Some(format!("unexpected event {other:?}"));
+                return report;
+            }
+            Err(e) => {
+                report.error = Some(format!("event stream: {e}"));
+                return report;
+            }
+        }
+    }
+    report
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("wire_fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    echowrite_bench::print_bench_environment();
+    eprintln!(
+        "wire_fleet: sessions={} conns={} shards={} smoke={}",
+        args.sessions, args.conns, args.shards, args.smoke
+    );
+
+    // Render audio + oracles before the clock starts.
+    let total_audio_samples: u64 = (0..args.sessions)
+        .map(|k| bases()[k % bases().len()].0.len() as u64)
+        .sum();
+    let sample_rate = engine().config().stft.sample_rate;
+
+    let manager = SessionManager::new(
+        engine().clone(),
+        ServeConfig {
+            shards: Parallelism::Threads(args.shards),
+            // Shallow queues keep enqueue→processed latency bounded; the
+            // fleet absorbs the extra QueueFull verdicts with backoff.
+            queue_capacity: 256,
+            max_sessions: args.sessions + 8,
+            high_water: args.sessions + 8,
+            deadline_chunks: None,
+            idle_timeout_samples: None,
+            batch_max: 8,
+        },
+    )
+    .expect("valid serve config");
+    let server = WireServer::bind("127.0.0.1:0", manager).expect("loopback bind");
+    let addr = server.local_addr();
+
+    // Partition sessions across connections and replay.
+    let wall = Stopwatch::start();
+    let reports: Vec<ConnReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.conns)
+            .map(|c| {
+                let ids: Vec<u64> =
+                    (0..args.sessions).filter(|k| k % args.conns == c).map(|k| k as u64).collect();
+                scope.spawn(move || run_connection(addr, ids))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("connection thread")).collect()
+    });
+    let wall_s = wall.elapsed_ms() / 1e3;
+
+    let report = server.shutdown();
+    let m = &report.metrics;
+
+    // Verify every wire transcript bitwise against its in-process oracle.
+    let mut mismatches = 0usize;
+    let mut checked = 0usize;
+    let mut errors = Vec::new();
+    let mut rtts: Vec<u64> = Vec::new();
+    let mut queue_full_retries = 0u64;
+    for r in &reports {
+        if let Some(e) = &r.error {
+            errors.push(e.clone());
+        }
+        queue_full_retries += r.queue_full;
+        rtts.extend_from_slice(&r.rtts_us);
+        for (&id, rows) in &r.transcripts {
+            let want = &bases()[(id as usize) % bases().len()].1;
+            checked += 1;
+            if rows != want {
+                mismatches += 1;
+                if mismatches <= 3 {
+                    eprintln!("wire_fleet: session {id} transcript diverged from in-process oracle");
+                }
+            }
+        }
+    }
+    rtts.sort_unstable();
+    let p50 = percentile(&rtts, 0.50);
+    let p99 = percentile(&rtts, 0.99);
+    let audio_s = total_audio_samples as f64 / sample_rate;
+    let realtime_factor = if wall_s > 0.0 { audio_s / wall_s } else { 0.0 };
+
+    let env = echowrite_bench::bench_environment();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"crates/bench/src/bin/wire_fleet.rs\",\n",
+            "  \"command\": \"cargo run --release -p echowrite-bench --bin wire_fleet -- ",
+            "--sessions {sessions} --conns {conns} --shards {shards}\",\n",
+            "  \"environment\": {{\n",
+            "    \"cpus\": {cpus},\n",
+            "    \"effective_parallelism\": {par},\n",
+            "    \"simd_backend\": \"{simd}\",\n",
+            "    \"simd_features\": [{features}]\n",
+            "  }},\n",
+            "  \"fleet\": {{\n",
+            "    \"sessions\": {sessions},\n",
+            "    \"connections\": {conns},\n",
+            "    \"shards\": {shards},\n",
+            "    \"chunk_samples\": {chunk},\n",
+            "    \"audio_seconds_total\": {audio_s:.3},\n",
+            "    \"wall_seconds\": {wall_s:.3},\n",
+            "    \"aggregate_realtime_factor\": {rtf:.2},\n",
+            "    \"rtt_p50_us\": {p50},\n",
+            "    \"rtt_p99_us\": {p99},\n",
+            "    \"requests\": {requests},\n",
+            "    \"queue_full_retries\": {qf},\n",
+            "    \"transcripts_checked\": {checked},\n",
+            "    \"transcript_mismatches\": {mismatches}\n",
+            "  }},\n",
+            "  \"server_metrics\": {{\n",
+            "    \"sessions_opened\": {opened},\n",
+            "    \"sessions_finished\": {finished},\n",
+            "    \"sessions_shed\": {shed},\n",
+            "    \"pushes\": {pushes},\n",
+            "    \"queue_full\": {queue_full},\n",
+            "    \"wire_connections\": {wconns},\n",
+            "    \"wire_frames_read\": {wread},\n",
+            "    \"wire_frames_written\": {wwritten},\n",
+            "    \"wire_malformed_frames\": {wmal},\n",
+            "    \"wire_write_stalls\": {wstall},\n",
+            "    \"push_latency_p99_us\": {push_p99}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        sessions = args.sessions,
+        conns = args.conns,
+        shards = args.shards,
+        cpus = env.cpus,
+        par = env.effective_parallelism,
+        simd = env.simd_backend,
+        features = env
+            .simd_features
+            .iter()
+            .map(|f| format!("\"{f}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        chunk = CHUNK,
+        audio_s = audio_s,
+        wall_s = wall_s,
+        rtf = realtime_factor,
+        p50 = p50,
+        p99 = p99,
+        requests = rtts.len(),
+        qf = queue_full_retries,
+        checked = checked,
+        mismatches = mismatches,
+        opened = m.sessions_opened,
+        finished = m.sessions_finished,
+        shed = m.sessions_shed,
+        pushes = m.pushes,
+        queue_full = m.queue_full,
+        wconns = m.wire_connections,
+        wread = m.wire_frames_read,
+        wwritten = m.wire_frames_written,
+        wmal = m.wire_malformed_frames,
+        wstall = m.wire_write_stalls,
+        push_p99 = m.push_latency_p99_us.map_or_else(|| "null".to_string(), |v| v.to_string()),
+    );
+    match &args.json {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("wire_fleet: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wire_fleet: wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+
+    let mut ok = true;
+    for e in &errors {
+        eprintln!("wire_fleet: connection error: {e}");
+        ok = false;
+    }
+    if mismatches > 0 {
+        eprintln!("wire_fleet: {mismatches}/{checked} transcripts diverged");
+        ok = false;
+    }
+    if checked != args.sessions {
+        eprintln!("wire_fleet: only {checked}/{} transcripts collected", args.sessions);
+        ok = false;
+    }
+    if m.wire_malformed_frames != 0 {
+        eprintln!("wire_fleet: {} malformed frames on a clean fleet", m.wire_malformed_frames);
+        ok = false;
+    }
+    if m.sessions_finished != args.sessions as u64 {
+        eprintln!(
+            "wire_fleet: {}/{} sessions finished",
+            m.sessions_finished, args.sessions
+        );
+        ok = false;
+    }
+    eprintln!(
+        "wire_fleet: realtime_factor={realtime_factor:.2} rtt_p50_us={p50} rtt_p99_us={p99} \
+         queue_full_retries={queue_full_retries} ok={ok}"
+    );
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

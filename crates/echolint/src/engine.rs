@@ -18,8 +18,10 @@ use std::path::{Path, PathBuf};
 
 /// The Fig. 6 pipeline crates — the scope of the panic-freedom, float-order,
 /// determinism, and pub-doc rules.
-pub const PIPELINE_CRATES: &[&str] =
-    &["dsp", "spectro", "profile", "dtw", "lang", "corpus", "gesture", "core", "serve", "trace"];
+pub const PIPELINE_CRATES: &[&str] = &[
+    "dsp", "spectro", "profile", "dtw", "lang", "corpus", "gesture", "core", "serve", "trace",
+    "wire",
+];
 
 /// Crates whose library code may read wall clocks (profiling is their job).
 pub const TIME_EXEMPT_CRATES: &[&str] = &["profile", "bench"];

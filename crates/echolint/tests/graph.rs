@@ -156,6 +156,10 @@ fn live_workspace_entry_manifest_contains_the_declared_roots() {
         "core::StreamingSession::push_events_shared",
         "serve::SessionManager::push",
         "serve::Worker::run",
+        "wire::server::accept_loop",
+        "wire::server::read_loop",
+        "wire::server::write_loop",
+        "wire::server::route_events",
         "dsp::kernels::mul_into",
         "dsp::kernels::subtract_clamp_bg",
         "dsp::kernels::butterfly_pass",

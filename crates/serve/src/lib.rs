@@ -33,5 +33,7 @@ pub mod metrics;
 
 pub use admission::AdmissionController;
 pub use config::ServeConfig;
-pub use manager::{Request, ServeEvent, SessionId, SessionManager, SubmitVerdict};
+pub use manager::{
+    EventStream, Request, ServeEvent, SessionId, SessionManager, ShutdownReport, SubmitVerdict,
+};
 pub use metrics::{MetricsSnapshot, ServeMetrics};

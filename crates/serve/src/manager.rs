@@ -146,6 +146,10 @@ struct ShardHandle {
     pushes_enqueued: Arc<AtomicU64>,
     pending: Arc<Pending>,
     join: Option<JoinHandle<()>>,
+    /// Audit log of every push seq the shard worker observed, for the
+    /// unique-seq regression test (compiled out of release builds).
+    #[cfg(test)]
+    seq_log: Arc<Mutex<Vec<u64>>>,
 }
 
 impl std::fmt::Debug for ShardHandle {
@@ -180,8 +184,48 @@ pub struct SessionManager {
     shards: Vec<ShardHandle>,
     admission: Arc<AdmissionController>,
     metrics: Arc<ServeMetrics>,
-    events: Mutex<Receiver<ServeEvent>>,
+    /// The output side of the event channel; `None` after
+    /// [`SessionManager::detach_events`] hands it to an external consumer.
+    events: Mutex<Option<Receiver<ServeEvent>>>,
     deadline_chunks: Option<u64>,
+}
+
+/// The detached output side of a manager's event channel (see
+/// [`SessionManager::detach_events`]): a *blocking* event consumer for a
+/// dedicated dispatcher thread, e.g. the wire front-end's router. Holds no
+/// reference to the manager, so the manager can be shut down while a
+/// dispatcher still drains the stream — `recv` returns `None` once every
+/// shard worker has exited and the channel is empty.
+#[derive(Debug)]
+pub struct EventStream {
+    rx: Receiver<ServeEvent>,
+}
+
+impl EventStream {
+    /// Blocks for the next event; `None` means the manager has shut down
+    /// and every remaining event has been delivered.
+    pub fn recv(&self) -> Option<ServeEvent> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking variant of [`EventStream::recv`].
+    pub fn try_recv(&self) -> Option<ServeEvent> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Everything [`SessionManager::shutdown`] hands back: the final metrics
+/// snapshot plus every [`ServeEvent`] still sitting undrained in the
+/// channel, so a caller that skipped [`SessionManager::try_events`] loses
+/// nothing across shutdown.
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// Final point-in-time copy of every metric.
+    pub metrics: crate::metrics::MetricsSnapshot,
+    /// Events that were still queued when the manager stopped (empty when
+    /// the event receiver was detached — the [`EventStream`] holder owns
+    /// the tail in that case).
+    pub events: Vec<ServeEvent>,
 }
 
 impl SessionManager {
@@ -205,6 +249,8 @@ impl SessionManager {
             let depth = Arc::new(AtomicUsize::new(0));
             let pushes_enqueued = Arc::new(AtomicU64::new(0));
             let pending = Arc::new(Pending::default());
+            #[cfg(test)]
+            let seq_log = Arc::new(Mutex::new(Vec::new()));
             let worker = Worker {
                 engine: engine.clone(),
                 rx,
@@ -223,6 +269,8 @@ impl SessionManager {
                 dsp_scratch: SharedDspScratch::new(),
                 clock_samples: 0,
                 commands_done: 0,
+                #[cfg(test)]
+                seq_log: seq_log.clone(),
             };
             let join = std::thread::spawn(move || worker.run());
             shards.push(ShardHandle {
@@ -231,13 +279,15 @@ impl SessionManager {
                 pushes_enqueued,
                 pending,
                 join: Some(join),
+                #[cfg(test)]
+                seq_log,
             });
         }
         Ok(SessionManager {
             shards,
             admission,
             metrics,
-            events: Mutex::new(evt_rx),
+            events: Mutex::new(Some(evt_rx)),
             deadline_chunks: config.deadline_chunks,
         })
     }
@@ -277,11 +327,16 @@ impl SessionManager {
             }
             Request::Push(id, chunk) => {
                 let shard = self.shard_of(id);
-                // ordering: the Acquire load pairs with the AcqRel increment below,
-                // so a push's deadline snapshot never runs ahead of the enqueue
-                // counter another submitter just published.
+                // Reserve the seq *before* the send (mirroring the `depth`
+                // accounting in `enqueue`): a load-then-increment here would
+                // let two concurrent submitters observe the same counter
+                // value and stamp duplicate seqs, skewing the backlog `lag`
+                // the deadline policy degrades on.
+                // ordering: AcqRel — the reservation is both the publish
+                // (a later submitter's reservation sees it) and the acquire
+                // edge the worker's lag load pairs with.
                 let seq = match self.shards.get(shard) {
-                    Some(s) => s.pushes_enqueued.load(Ordering::Acquire),
+                    Some(s) => s.pushes_enqueued.fetch_add(1, Ordering::AcqRel),
                     None => 0,
                 };
                 let cmd = Cmd::Push {
@@ -291,9 +346,12 @@ impl SessionManager {
                     timer: Stopwatch::start(),
                 };
                 let verdict = self.enqueue(id, cmd);
-                if verdict == SubmitVerdict::Enqueued {
+                if verdict != SubmitVerdict::Enqueued {
+                    // The reservation was never enqueued; return it so the
+                    // backlog clock does not drift on rejected submissions.
+                    // ordering: AcqRel — pairs with the reservation above.
                     if let Some(s) = self.shards.get(shard) {
-                        s.pushes_enqueued.fetch_add(1, Ordering::AcqRel);
+                        s.pushes_enqueued.fetch_sub(1, Ordering::AcqRel);
                     }
                 }
                 verdict
@@ -369,14 +427,29 @@ impl SessionManager {
     }
 
     /// Drains every currently available output event into `out`, returning
-    /// how many were appended. Never blocks.
+    /// how many were appended. Never blocks. Returns 0 after
+    /// [`SessionManager::detach_events`] (the stream owner gets them).
     pub fn try_events(&self, out: &mut Vec<ServeEvent>) -> usize {
-        let rx = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        let guard = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(rx) = guard.as_ref() else {
+            return 0;
+        };
         let before = out.len();
         while let Ok(ev) = rx.try_recv() {
             out.push(ev);
         }
         out.len() - before
+    }
+
+    /// Moves the event receiver out of the manager, for a dedicated
+    /// dispatcher thread that wants *blocking* receives (e.g. the wire
+    /// front-end's event router). After this, [`SessionManager::try_events`]
+    /// always returns 0 and [`SessionManager::shutdown`] reports no
+    /// residual events — the stream owner is responsible for the tail.
+    /// Returns `None` if the stream was already detached.
+    pub fn detach_events(&self) -> Option<EventStream> {
+        let mut guard = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        guard.take().map(|rx| EventStream { rx })
     }
 
     /// The manager's metric registry.
@@ -400,12 +473,19 @@ impl SessionManager {
     }
 
     /// Drains the queues, stops every shard worker, and returns the final
-    /// metrics snapshot.
-    pub fn shutdown(self) -> crate::metrics::MetricsSnapshot {
+    /// metrics snapshot together with every event still undrained in the
+    /// channel. Workers send a command's events *before* acknowledging it
+    /// to [`SessionManager::quiesce`], so after the quiesce every event of
+    /// every processed command is in the channel — draining here means a
+    /// caller that never polled [`SessionManager::try_events`] still loses
+    /// no `Segment`/`Finished` across shutdown.
+    pub fn shutdown(self) -> ShutdownReport {
         self.quiesce();
-        let snapshot = self.metrics.snapshot();
+        let metrics = self.metrics.snapshot();
+        let mut events = Vec::new();
+        self.try_events(&mut events);
         drop(self);
-        snapshot
+        ShutdownReport { metrics, events }
     }
 }
 
@@ -459,6 +539,10 @@ struct Worker {
     /// Logical clock: total samples this shard has processed.
     clock_samples: u64,
     commands_done: u64,
+    /// Mirror of [`ShardHandle::seq_log`] for the unique-seq regression
+    /// test.
+    #[cfg(test)]
+    seq_log: Arc<Mutex<Vec<u64>>>,
 }
 
 impl Worker {
@@ -505,12 +589,23 @@ impl Worker {
 
     fn handle_open(&mut self, id: u64) {
         if let Some(slot) = self.sessions.get_mut(&id) {
-            // Re-open of a live id: restart it in place; the duplicate
-            // admission slot reserved by submit() is returned.
-            slot.session.reset(&self.engine);
+            // Re-open of a live id is idempotent: a wire client retrying an
+            // `Open` whose ack was lost must not destroy its own in-flight
+            // state (the old `reset()` here wiped the session). Touch the
+            // idle clock, keep every buffer, and return the duplicate
+            // admission slot reserved by submit().
             slot.last_active = self.clock_samples;
             self.admission.release();
             self.metrics.sessions_live.dec();
+            self.metrics.sessions_reopened.inc();
+            if echowrite_trace::enabled() {
+                echowrite_trace::instant(
+                    Stage::Serve,
+                    "session_reopen",
+                    self.tick_us(),
+                    SmallStr::from_display(id),
+                );
+            }
             return;
         }
         let session = match self.pool.pop() {
@@ -533,6 +628,8 @@ impl Worker {
     }
 
     fn handle_push(&mut self, id: u64, chunk: &[f64], seq: u64, timer: Stopwatch) {
+        #[cfg(test)]
+        self.seq_log.lock().unwrap_or_else(|e| e.into_inner()).push(seq);
         let Some(slot) = self.sessions.get_mut(&id) else {
             self.metrics.orphan_commands.inc();
             return;
@@ -673,7 +770,7 @@ mod tests {
             matches!(events.last(), Some(ServeEvent::Finished { session }) if *session == id),
             "expected Finished, got {events:?}"
         );
-        let snap = m.shutdown();
+        let snap = m.shutdown().metrics;
         assert_eq!(snap.sessions_opened, 1);
         assert_eq!(snap.sessions_finished, 1);
         assert_eq!(snap.sessions_live, 0);
@@ -773,7 +870,7 @@ mod tests {
     }
 
     #[test]
-    fn reopen_of_live_id_restarts_in_place() {
+    fn reopen_of_live_id_is_idempotent() {
         let m = manager(ServeConfig {
             shards: Parallelism::Threads(1),
             ..ServeConfig::default()
@@ -781,11 +878,170 @@ mod tests {
         let id = SessionId(8);
         let _ = m.open(id);
         let _ = m.push(id, &[0.0; 4096]);
-        let _ = m.open(id); // restart
+        let _ = m.open(id); // duplicate open: a retry, not a restart
         m.quiesce();
         assert_eq!(m.live_sessions(), 1, "re-open must not leak an admission slot");
+        assert_eq!(m.metrics().sessions_reopened.get(), 1);
+        assert_eq!(m.metrics().sessions_opened.get(), 1, "a re-open is not a fresh open");
         let _ = m.finish(id);
         m.quiesce();
         assert_eq!(m.live_sessions(), 0);
+    }
+
+    /// Satellite regression (duplicate-`Open` semantics): a client that
+    /// retries an `Open` after losing the ack must keep its in-flight
+    /// recognition state — the transcript after `push → re-open → push →
+    /// finish` must equal one continuous session's, bitwise.
+    #[test]
+    fn reopen_after_lost_ack_keeps_inflight_state() {
+        use echowrite::StreamingRecognizer;
+        // A deterministic non-silent signal long enough to freeze the
+        // background and segment at least the session lead-in state.
+        let audio: Vec<f64> = (0..6 * 4096)
+            .map(|i| (f64::from(i as u32) * 0.013).sin() * 0.02)
+            .collect();
+        let (a, b) = audio.split_at(audio.len() / 2);
+
+        // Oracle: one continuous recognizer over both halves.
+        let engine = EchoWrite::with_config(EchoWriteConfig::streaming());
+        let mut rec = StreamingRecognizer::new(&engine);
+        let mut oracle: Vec<(usize, usize)> = Vec::new();
+        for ev in rec.push(a) {
+            oracle.push((ev.start_frame, ev.end_frame));
+        }
+        for ev in rec.push(b) {
+            oracle.push((ev.start_frame, ev.end_frame));
+        }
+        for ev in rec.finish() {
+            oracle.push((ev.start_frame, ev.end_frame));
+        }
+
+        let m = manager(ServeConfig {
+            shards: Parallelism::Threads(1),
+            ..ServeConfig::default()
+        });
+        let id = SessionId(3);
+        assert_eq!(m.open(id), SubmitVerdict::Enqueued);
+        assert_eq!(m.push(id, a), SubmitVerdict::Enqueued);
+        // The ack was "lost": the client re-opens, then resumes pushing.
+        assert_eq!(m.open(id), SubmitVerdict::Enqueued);
+        assert_eq!(m.push(id, b), SubmitVerdict::Enqueued);
+        assert_eq!(m.finish(id), SubmitVerdict::Enqueued);
+        m.quiesce();
+        let mut events = Vec::new();
+        m.try_events(&mut events);
+        let got: Vec<(usize, usize)> = events
+            .iter()
+            .filter_map(|e| match e {
+                ServeEvent::Segment { segment, .. } => {
+                    Some((segment.start_frame, segment.end_frame))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(got, oracle, "re-open wiped in-flight session state");
+        assert_eq!(m.metrics().sessions_reopened.get(), 1);
+    }
+
+    /// Satellite regression (push `seq` race): submitters racing on one
+    /// shard must never stamp two pushes with the same sequence number —
+    /// a load-then-increment let both read the counter before either
+    /// published, skewing the backlog lag the deadline policy degrades on.
+    #[test]
+    fn concurrent_pushes_reserve_unique_seqs_per_shard() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 64;
+        let m = manager(ServeConfig {
+            shards: Parallelism::Threads(1),
+            // Deep enough that no push is rejected: the undo path is not
+            // under test here, uniqueness of accepted reservations is.
+            queue_capacity: THREADS * PER_THREAD + 8,
+            ..ServeConfig::default()
+        });
+        let id = SessionId(1);
+        assert_eq!(m.open(id), SubmitVerdict::Enqueued);
+        m.quiesce();
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..PER_THREAD {
+                        assert_eq!(m.push(id, &[0.0; 16]), SubmitVerdict::Enqueued);
+                    }
+                });
+            }
+        });
+        m.quiesce();
+        let mut seqs: Vec<u64> =
+            m.shards[0].seq_log.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        seqs.sort_unstable();
+        let want: Vec<u64> = (0..(THREADS * PER_THREAD) as u64).collect();
+        assert_eq!(seqs, want, "duplicate or skipped push seqs on the shard");
+    }
+
+    /// Satellite regression (lossless shutdown): a caller that finishes a
+    /// session and never polls `try_events` must still receive every
+    /// `Segment` and `Finished` event from `shutdown()`.
+    #[test]
+    fn shutdown_returns_undrained_events() {
+        let audio: Vec<f64> = (0..6 * 4096)
+            .map(|i| (f64::from(i as u32) * 0.013).sin() * 0.02)
+            .collect();
+        let m = manager(ServeConfig {
+            shards: Parallelism::Threads(2),
+            ..ServeConfig::default()
+        });
+        let id = SessionId(11);
+        assert_eq!(m.open(id), SubmitVerdict::Enqueued);
+        assert_eq!(m.push(id, &audio), SubmitVerdict::Enqueued);
+        assert_eq!(m.finish(id), SubmitVerdict::Enqueued);
+        // Deliberately no try_events: everything must survive shutdown.
+        let report = m.shutdown();
+        assert!(
+            report
+                .events
+                .iter()
+                .any(|e| matches!(e, ServeEvent::Finished { session } if *session == id)),
+            "Finished event lost across shutdown: {:?}",
+            report.events
+        );
+        let emitted = report
+            .events
+            .iter()
+            .filter(|e| matches!(e, ServeEvent::Segment { .. }))
+            .count() as u64;
+        assert_eq!(
+            emitted, report.metrics.events,
+            "every counted segment event must be returned by shutdown"
+        );
+    }
+
+    /// `detach_events` hands the tail to the stream owner: `try_events`
+    /// goes quiet, the blocking stream sees every event, and it
+    /// disconnects (returns `None`) once the manager is gone.
+    #[test]
+    fn detached_event_stream_outlives_the_manager() {
+        let m = manager(ServeConfig {
+            shards: Parallelism::Threads(1),
+            ..ServeConfig::default()
+        });
+        let stream = m.detach_events().expect("first detach succeeds");
+        assert!(m.detach_events().is_none(), "second detach must fail");
+        let id = SessionId(2);
+        let _ = m.open(id);
+        let _ = m.push(id, &[0.0; 4096]);
+        let _ = m.finish(id);
+        m.quiesce();
+        let mut drained = Vec::new();
+        assert_eq!(m.try_events(&mut drained), 0, "detached manager yields no events");
+        let report = m.shutdown();
+        assert!(report.events.is_empty(), "detached manager reports no residual events");
+        // The stream still delivers the whole tail, then disconnects.
+        let mut finished = false;
+        while let Some(ev) = stream.recv() {
+            if matches!(ev, ServeEvent::Finished { session } if session == id) {
+                finished = true;
+            }
+        }
+        assert!(finished, "detached stream must deliver the Finished event");
     }
 }

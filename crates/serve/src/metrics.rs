@@ -40,6 +40,9 @@ pub struct ServeMetrics {
     pub sessions_finished: Counter,
     /// Sessions reclaimed by the idle reaper.
     pub sessions_reaped: Counter,
+    /// Idempotent re-opens of an already-live session id (a retrying
+    /// client re-sending an `Open` whose ack it lost).
+    pub sessions_reopened: Counter,
     /// Open attempts rejected by the admission controller.
     pub sessions_shed: Counter,
     /// Sessions currently live across all shards.
@@ -60,6 +63,18 @@ pub struct ServeMetrics {
     pub events: Counter,
     /// Commands currently sitting in shard queues.
     pub queue_depth: Gauge,
+    /// TCP connections accepted by the wire front-end.
+    pub wire_connections: Counter,
+    /// Request frames decoded off wire sockets.
+    pub wire_frames_read: Counter,
+    /// Response frames written to wire sockets.
+    pub wire_frames_written: Counter,
+    /// Wire frames rejected as malformed (bad length, unknown kind,
+    /// truncated payload); each one closes its connection.
+    pub wire_malformed_frames: Counter,
+    /// Times a wire response had to wait because its connection's write
+    /// queue was full (a slow-reading client).
+    pub wire_write_stalls: Counter,
     /// End-to-end push latency (enqueue to processed), µs.
     pub push_latency_us: Histogram,
     started: Instant,
@@ -78,6 +93,7 @@ impl ServeMetrics {
             sessions_opened: Counter::default(),
             sessions_finished: Counter::default(),
             sessions_reaped: Counter::default(),
+            sessions_reopened: Counter::default(),
             sessions_shed: Counter::default(),
             sessions_live: Gauge::default(),
             pushes: Counter::default(),
@@ -87,6 +103,11 @@ impl ServeMetrics {
             orphan_commands: Counter::default(),
             events: Counter::default(),
             queue_depth: Gauge::default(),
+            wire_connections: Counter::default(),
+            wire_frames_read: Counter::default(),
+            wire_frames_written: Counter::default(),
+            wire_malformed_frames: Counter::default(),
+            wire_write_stalls: Counter::default(),
             push_latency_us: Histogram::new(&LATENCY_BUCKETS_US),
             // echolint: allow(determinism) -- observability-only uptime stamp; nothing downstream branches on it
             started: Instant::now(),
@@ -106,6 +127,7 @@ impl ServeMetrics {
             sessions_opened: self.sessions_opened.get(),
             sessions_finished: self.sessions_finished.get(),
             sessions_reaped: self.sessions_reaped.get(),
+            sessions_reopened: self.sessions_reopened.get(),
             sessions_shed: self.sessions_shed.get(),
             sessions_live: self.sessions_live.get(),
             pushes: self.pushes.get(),
@@ -115,6 +137,11 @@ impl ServeMetrics {
             orphan_commands: self.orphan_commands.get(),
             events: self.events.get(),
             queue_depth: self.queue_depth.get(),
+            wire_connections: self.wire_connections.get(),
+            wire_frames_read: self.wire_frames_read.get(),
+            wire_frames_written: self.wire_frames_written.get(),
+            wire_malformed_frames: self.wire_malformed_frames.get(),
+            wire_write_stalls: self.wire_write_stalls.get(),
             push_latency_count: self.push_latency_us.count(),
             push_latency_sum_us: self.push_latency_us.sum(),
             push_latency_buckets: self.push_latency_us.bucket_counts(),
@@ -139,6 +166,8 @@ pub struct MetricsSnapshot {
     pub sessions_finished: u64,
     /// Sessions reclaimed by the idle reaper.
     pub sessions_reaped: u64,
+    /// Idempotent re-opens of an already-live session id.
+    pub sessions_reopened: u64,
     /// Open attempts rejected by the admission controller.
     pub sessions_shed: u64,
     /// Sessions currently live across all shards.
@@ -157,6 +186,16 @@ pub struct MetricsSnapshot {
     pub events: u64,
     /// Commands currently sitting in shard queues.
     pub queue_depth: u64,
+    /// TCP connections accepted by the wire front-end.
+    pub wire_connections: u64,
+    /// Request frames decoded off wire sockets.
+    pub wire_frames_read: u64,
+    /// Response frames written to wire sockets.
+    pub wire_frames_written: u64,
+    /// Wire frames rejected as malformed.
+    pub wire_malformed_frames: u64,
+    /// Wire responses that waited on a full connection write queue.
+    pub wire_write_stalls: u64,
     /// Push-latency observation count.
     pub push_latency_count: u64,
     /// Push-latency sum, µs (saturating).
@@ -182,7 +221,7 @@ impl MetricsSnapshot {
             "Build metadata for the serving layer.",
             &[("crate", "echowrite-serve"), ("version", env!("CARGO_PKG_VERSION"))],
         );
-        let counters: [(&str, &str, u64); 10] = [
+        let counters: [(&str, &str, u64); 16] = [
             (
                 "echowrite_serve_sessions_opened_total",
                 "Sessions admitted and opened.",
@@ -197,6 +236,11 @@ impl MetricsSnapshot {
                 "echowrite_serve_sessions_reaped_total",
                 "Sessions reclaimed by the idle reaper.",
                 self.sessions_reaped,
+            ),
+            (
+                "echowrite_serve_sessions_reopened_total",
+                "Idempotent re-opens of an already-live session id.",
+                self.sessions_reopened,
             ),
             (
                 "echowrite_serve_sessions_shed_total",
@@ -225,6 +269,31 @@ impl MetricsSnapshot {
                 self.orphan_commands,
             ),
             ("echowrite_serve_events_total", "Segment events emitted.", self.events),
+            (
+                "echowrite_serve_wire_connections_total",
+                "TCP connections accepted by the wire front-end.",
+                self.wire_connections,
+            ),
+            (
+                "echowrite_serve_wire_frames_read_total",
+                "Request frames decoded off wire sockets.",
+                self.wire_frames_read,
+            ),
+            (
+                "echowrite_serve_wire_frames_written_total",
+                "Response frames written to wire sockets.",
+                self.wire_frames_written,
+            ),
+            (
+                "echowrite_serve_wire_malformed_frames_total",
+                "Wire frames rejected as malformed.",
+                self.wire_malformed_frames,
+            ),
+            (
+                "echowrite_serve_wire_write_stalls_total",
+                "Wire responses that waited on a full connection write queue.",
+                self.wire_write_stalls,
+            ),
         ];
         for (name, help, v) in counters {
             w.counter(name, help, v);
@@ -342,7 +411,11 @@ mod tests {
         let text = m.to_prometheus();
         for family in [
             "echowrite_serve_sessions_opened_total",
+            "echowrite_serve_sessions_reopened_total",
             "echowrite_serve_sessions_shed_total",
+            "echowrite_serve_wire_connections_total",
+            "echowrite_serve_wire_malformed_frames_total",
+            "echowrite_serve_wire_write_stalls_total",
             "echowrite_serve_pushes_total 1",
             "echowrite_serve_queue_depth 7",
             "echowrite_serve_push_latency_us_bucket{le=\"250\"} 1",

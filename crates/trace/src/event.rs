@@ -35,11 +35,13 @@ pub enum Stage {
     Stream,
     /// Serving layer: shard workers, queues, admission control.
     Serve,
+    /// Wire front-end: socket accept/read/write and frame decode.
+    Wire,
 }
 
 impl Stage {
     /// Every stage, in pipeline order (the lane order of the export).
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 10] = [
         Stage::Stft,
         Stage::Downconvert,
         Stage::Enhance,
@@ -49,6 +51,7 @@ impl Stage {
         Stage::Lang,
         Stage::Stream,
         Stage::Serve,
+        Stage::Wire,
     ];
 
     /// Stable lower-case name used in exports and summaries.
@@ -63,6 +66,7 @@ impl Stage {
             Stage::Lang => "lang",
             Stage::Stream => "stream",
             Stage::Serve => "serve",
+            Stage::Wire => "wire",
         }
     }
 
@@ -78,6 +82,7 @@ impl Stage {
             Stage::Lang => 6,
             Stage::Stream => 7,
             Stage::Serve => 8,
+            Stage::Wire => 9,
         }
     }
 }

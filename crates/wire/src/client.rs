@@ -1,0 +1,176 @@
+//! A blocking TCP client for the wire protocol — used by tests, the demo,
+//! and the `wire_fleet` bench harness.
+//!
+//! The client is deliberately thin: one socket, one [`FrameDecoder`], no
+//! threads. Callers choose their own concurrency (the fleet harness
+//! multiplexes many sessions over one client per connection).
+
+use crate::frame::{encode_request, FrameDecoder, FrameError, Request, Response};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed or closed mid-frame.
+    Io(std::io::Error),
+    /// The server sent bytes violating the frame grammar.
+    Frame(FrameError),
+    /// The server closed the connection cleanly between frames.
+    Closed,
+    /// A verdict frame arrived when no request was outstanding.
+    UnexpectedVerdict,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Frame(e) => write!(f, "protocol error: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::UnexpectedVerdict => {
+                write!(f, "verdict frame arrived with no request outstanding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// A blocking wire-protocol client over one TCP connection.
+pub struct WireClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    /// Event frames received while waiting for a verdict; drained by
+    /// [`WireClient::next_event`] / [`WireClient::try_event`].
+    buffered_events: VecDeque<Response>,
+}
+
+impl WireClient {
+    /// Connects to a [`crate::server::WireServer`] at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Socket connect failures.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<WireClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(WireClient {
+            stream,
+            decoder: FrameDecoder::new(),
+            read_buf: vec![0u8; 64 * 1024],
+            write_buf: Vec::with_capacity(4096),
+            buffered_events: VecDeque::new(),
+        })
+    }
+
+    /// Sends one request frame without waiting for anything back
+    /// (pipelining building block).
+    ///
+    /// # Errors
+    ///
+    /// Socket write failures.
+    pub fn send(&mut self, request: &Request) -> std::io::Result<()> {
+        self.write_buf.clear();
+        encode_request(&mut self.write_buf, request);
+        self.stream.write_all(&self.write_buf)
+    }
+
+    /// Receives the next frame of any kind, blocking until one decodes.
+    /// Buffered events are returned first, in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, grammar violations, or a clean server close.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        if let Some(ev) = self.buffered_events.pop_front() {
+            return Ok(ev);
+        }
+        self.recv_from_wire()
+    }
+
+    /// Receives the next frame directly off the wire, ignoring the
+    /// buffered-event queue.
+    fn recv_from_wire(&mut self) -> Result<Response, ClientError> {
+        loop {
+            if let Some(resp) = self.decoder.next_response()? {
+                return Ok(resp);
+            }
+            let n = self.stream.read(&mut self.read_buf)?;
+            if n == 0 {
+                return Err(ClientError::Closed);
+            }
+            let Some(bytes) = self.read_buf.get(..n) else {
+                return Err(ClientError::Closed);
+            };
+            self.decoder.extend(bytes);
+        }
+    }
+
+    /// Sends `request` and blocks until its verdict frame arrives,
+    /// buffering any event frames that land in between. The server
+    /// guarantees verdicts come back in request order, so with one
+    /// request outstanding the next verdict is this request's.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, grammar violations, or a clean server close.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.send(request)?;
+        loop {
+            let resp = self.recv_from_wire()?;
+            if resp.is_verdict() {
+                return Ok(resp);
+            }
+            self.buffered_events.push_back(resp);
+        }
+    }
+
+    /// Blocks until the next *event* frame (`Segment`/`Finished`/
+    /// `Reaped`), draining the buffer first.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, grammar violations, a clean server close, or a
+    /// verdict frame arriving while no request is outstanding.
+    pub fn next_event(&mut self) -> Result<Response, ClientError> {
+        if let Some(ev) = self.buffered_events.pop_front() {
+            return Ok(ev);
+        }
+        let resp = self.recv_from_wire()?;
+        if resp.is_verdict() {
+            return Err(ClientError::UnexpectedVerdict);
+        }
+        Ok(resp)
+    }
+
+    /// Pops a buffered event without touching the socket.
+    pub fn try_event(&mut self) -> Option<Response> {
+        self.buffered_events.pop_front()
+    }
+
+    /// Half-closes the write side, telling the server this client is done
+    /// sending (the server keeps streaming events until the client drops).
+    ///
+    /// # Errors
+    ///
+    /// Socket failures.
+    pub fn finish_writes(&mut self) -> std::io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+}

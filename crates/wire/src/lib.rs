@@ -1,0 +1,32 @@
+//! `echowrite-wire` — a dependency-free TCP front-end over the
+//! [`echowrite_serve::SessionManager`] (DESIGN.md §6.9).
+//!
+//! Three modules:
+//!
+//! - [`frame`] — the length-prefixed binary grammar: `Open`/`Push`/
+//!   `Finish` requests; `Enqueued`/`QueueFull`/`Shedding` verdicts and
+//!   `Segment`/`Finished`/`Reaped` events as responses, with audio and
+//!   DTW scores carried as raw IEEE-754 bits so wire transcripts are
+//!   bitwise identical to in-process [`echowrite_serve::SessionManager::submit`]
+//!   transcripts.
+//! - [`server`] — [`server::WireServer`]: accept/reader/writer/router
+//!   threads over only `std::net` + `std::thread`, propagating every
+//!   [`echowrite_serve::SubmitVerdict`] back to the socket in request
+//!   order and shedding backpressure through bounded per-connection
+//!   write queues.
+//! - [`client`] — [`client::WireClient`]: the blocking client used by
+//!   tests, the loopback demo, and the `wire_fleet` bench harness.
+//!
+//! The crate is part of the echolint pipeline scope: no panic paths, no
+//! wall-clock reads outside the quarantined `Stopwatch`, deterministic
+//! collections only.
+
+pub mod client;
+pub mod frame;
+pub mod server;
+
+pub use client::{ClientError, WireClient};
+pub use frame::{
+    encode_request, encode_response, FrameDecoder, FrameError, Request, Response, MAX_FRAME_LEN,
+};
+pub use server::WireServer;

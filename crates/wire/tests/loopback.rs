@@ -1,0 +1,294 @@
+//! Loopback round-trips through a real [`WireServer`]: wire transcripts
+//! must be bitwise identical to isolated in-process recognizers, the
+//! idempotent re-open contract must hold across a lost-ack retry, shedding
+//! verdicts must propagate to the socket, and malformed bytes must close
+//! the connection and count.
+
+use echowrite::{EchoWrite, EchoWriteConfig, Parallelism, StreamingRecognizer};
+use echowrite_gesture::{Stroke, Writer, WriterParams};
+use echowrite_serve::{ServeConfig, SessionManager};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+use echowrite_wire::{Request, Response, WireClient, WireServer};
+use std::io::{Read, Write as _};
+use std::sync::OnceLock;
+
+/// The Android app's 5-frame push size at the 32× downsampled rate is
+/// still 5 * 1024 input samples per push.
+const CHUNK: usize = 5 * 1024;
+
+/// A transcript row, scores compared bitwise.
+type Row = (u64, u64, Stroke, [f64; 6]);
+
+/// The down-converted serving engine (cheap enough for many sessions).
+fn engine() -> &'static EchoWrite {
+    static E: OnceLock<EchoWrite> = OnceLock::new();
+    E.get_or_init(|| EchoWrite::with_config(EchoWriteConfig::streaming_downsampled(32)))
+}
+
+fn render(strokes: &[Stroke], seed: u64, tail: f64) -> Vec<f64> {
+    let perf = Writer::new(WriterParams::nominal(), seed).write_sequence(strokes);
+    let mut traj = perf.trajectory;
+    if tail > 0.0 {
+        let last = *traj.points().last().expect("non-empty trajectory");
+        traj.hold(last, tail);
+    }
+    Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), seed).render(&traj)
+}
+
+/// Session audios plus their isolated-recognizer oracle transcripts.
+fn sessions() -> &'static Vec<(Vec<f64>, Vec<Row>)> {
+    static S: OnceLock<Vec<(Vec<f64>, Vec<Row>)>> = OnceLock::new();
+    S.get_or_init(|| {
+        let audios = [
+            render(&[Stroke::S2, Stroke::S5], 11, 1.2),
+            render(&[Stroke::S4], 23, 1.0),
+            render(&[Stroke::S3, Stroke::S6], 31, 0.0),
+            render(&[Stroke::S1, Stroke::S2], 47, 1.1),
+        ];
+        audios.into_iter().map(|audio| {
+            let rows = oracle_rows(&audio);
+            (audio, rows)
+        }).collect()
+    })
+}
+
+/// The in-process oracle: one isolated streaming recognizer over the
+/// whole audio in CHUNK pushes.
+fn oracle_rows(audio: &[f64]) -> Vec<Row> {
+    let mut rec = StreamingRecognizer::new(engine());
+    let mut rows = Vec::new();
+    for chunk in audio.chunks(CHUNK) {
+        for ev in rec.push(chunk) {
+            rows.push((
+                ev.start_frame as u64,
+                ev.end_frame as u64,
+                ev.classification.stroke,
+                ev.classification.scores,
+            ));
+        }
+    }
+    for ev in rec.finish() {
+        rows.push((
+            ev.start_frame as u64,
+            ev.end_frame as u64,
+            ev.classification.stroke,
+            ev.classification.scores,
+        ));
+    }
+    rows
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        shards: Parallelism::Threads(2),
+        queue_capacity: 256,
+        deadline_chunks: None,
+        idle_timeout_samples: None,
+        ..ServeConfig::default()
+    }
+}
+
+fn start_server() -> WireServer {
+    let manager =
+        SessionManager::new(engine().clone(), serve_config()).expect("valid serve config");
+    WireServer::bind("127.0.0.1:0", manager).expect("loopback bind")
+}
+
+fn must_enqueue(client: &mut WireClient, req: &Request) {
+    for _ in 0..1000 {
+        match client.request(req).expect("verdict") {
+            Response::Enqueued { .. } => return,
+            Response::QueueFull { retry_after_chunks, .. } => {
+                assert!(retry_after_chunks >= 1);
+            }
+            other => panic!("unexpected verdict {other:?}"),
+        }
+    }
+    panic!("queue never drained");
+}
+
+/// Drives `sessions` ids over one client connection, round-robin by
+/// chunk, and returns per-session transcripts built from wire events.
+fn run_over_wire(client: &mut WireClient, ids: &[u64]) -> Vec<Vec<Row>> {
+    for (&id, _) in ids.iter().zip(sessions()) {
+        must_enqueue(client, &Request::Open { session: id });
+    }
+    let mut cursors = vec![0usize; ids.len()];
+    let mut done = vec![false; ids.len()];
+    while done.iter().any(|d| !d) {
+        for (k, &id) in ids.iter().enumerate() {
+            if done[k] {
+                continue;
+            }
+            let audio = &sessions()[k].0;
+            let pos = cursors[k];
+            let end = (pos + CHUNK).min(audio.len());
+            must_enqueue(
+                client,
+                &Request::Push { session: id, samples: audio[pos..end].to_vec() },
+            );
+            cursors[k] = end;
+            if end == audio.len() {
+                must_enqueue(client, &Request::Finish { session: id });
+                done[k] = true;
+            }
+        }
+    }
+
+    let mut transcripts: Vec<Vec<Row>> = vec![Vec::new(); ids.len()];
+    let mut finished = 0usize;
+    while finished < ids.len() {
+        match client.next_event().expect("event stream") {
+            Response::Segment { session, start_frame, end_frame, classification } => {
+                let k = ids.iter().position(|&id| id == session).expect("known session");
+                let cls = classification.expect("no degradation configured");
+                transcripts[k].push((start_frame, end_frame, cls.stroke, cls.scores));
+            }
+            Response::Finished { .. } => finished += 1,
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    transcripts
+}
+
+/// Four sessions multiplexed over one connection: every wire transcript
+/// must equal the isolated in-process recognizer bitwise.
+#[test]
+fn wire_transcripts_match_in_process_recognizers() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let mut client = WireClient::connect(addr).expect("loopback connect");
+    let ids: Vec<u64> = vec![900, 901, 902, 903];
+    let transcripts = run_over_wire(&mut client, &ids);
+    for (k, got) in transcripts.iter().enumerate() {
+        assert_eq!(got, &sessions()[k].1, "session {k}: wire transcript diverged");
+    }
+    drop(client);
+    let report = server.shutdown();
+    assert_eq!(report.metrics.sessions_finished, 4);
+    assert!(report.metrics.wire_connections >= 1);
+    assert!(report.metrics.wire_frames_read > 0);
+    assert!(report.metrics.wire_frames_written > 0);
+    assert_eq!(report.metrics.wire_malformed_frames, 0);
+}
+
+/// The lost-ack retry over the wire: a client that re-sends `Open` after
+/// pushing (because it never saw the first ack) must keep the session's
+/// in-flight DSP state — the final transcript still matches the
+/// continuous oracle, and the re-open is counted.
+#[test]
+fn reopen_after_lost_ack_over_wire_keeps_state() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let mut client = WireClient::connect(addr).expect("loopback connect");
+    let (audio, want) = &sessions()[0];
+    let id = 77u64;
+
+    must_enqueue(&mut client, &Request::Open { session: id });
+    let half = (audio.len() / 2 / CHUNK) * CHUNK;
+    for chunk in audio[..half].chunks(CHUNK) {
+        must_enqueue(&mut client, &Request::Push { session: id, samples: chunk.to_vec() });
+    }
+    // The retry: the client never saw the first Open's ack and sends it
+    // again. The server must treat it as a touch, not a reset.
+    must_enqueue(&mut client, &Request::Open { session: id });
+    for chunk in audio[half..].chunks(CHUNK) {
+        must_enqueue(&mut client, &Request::Push { session: id, samples: chunk.to_vec() });
+    }
+    must_enqueue(&mut client, &Request::Finish { session: id });
+
+    let mut rows: Vec<Row> = Vec::new();
+    loop {
+        match client.next_event().expect("event stream") {
+            Response::Segment { session, start_frame, end_frame, classification } => {
+                assert_eq!(session, id);
+                let cls = classification.expect("no degradation configured");
+                rows.push((start_frame, end_frame, cls.stroke, cls.scores));
+            }
+            Response::Finished { session } => {
+                assert_eq!(session, id);
+                break;
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    assert_eq!(&rows, want, "re-open reset in-flight session state");
+    drop(client);
+    let report = server.shutdown();
+    assert_eq!(report.metrics.sessions_reopened, 1);
+    assert_eq!(report.metrics.sessions_opened, 1);
+    assert_eq!(report.metrics.sessions_finished, 1);
+}
+
+/// Admission control propagates to the socket: opens past the session cap
+/// come back as `Shedding` frames.
+#[test]
+fn shedding_verdict_propagates_over_wire() {
+    let manager = SessionManager::new(
+        engine().clone(),
+        ServeConfig {
+            shards: Parallelism::Threads(1),
+            max_sessions: 2,
+            high_water: 2,
+            deadline_chunks: None,
+            idle_timeout_samples: None,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("valid serve config");
+    let server = WireServer::bind("127.0.0.1:0", manager).expect("loopback bind");
+    let mut client = WireClient::connect(server.local_addr()).expect("loopback connect");
+    must_enqueue(&mut client, &Request::Open { session: 1 });
+    must_enqueue(&mut client, &Request::Open { session: 2 });
+    match client.request(&Request::Open { session: 3 }).expect("verdict") {
+        Response::Shedding { session } => assert_eq!(session, 3),
+        other => panic!("expected Shedding, got {other:?}"),
+    }
+    drop(client);
+    let report = server.shutdown();
+    assert_eq!(report.metrics.sessions_shed, 1);
+}
+
+/// Garbage bytes close the connection and count as a malformed frame;
+/// other connections keep working.
+#[test]
+fn malformed_bytes_close_only_their_connection() {
+    let server = start_server();
+    let addr = server.local_addr();
+
+    let mut good = WireClient::connect(addr).expect("loopback connect");
+    must_enqueue(&mut good, &Request::Open { session: 5 });
+
+    let mut evil = std::net::TcpStream::connect(addr).expect("loopback connect");
+    // A length prefix far past MAX_FRAME_LEN.
+    evil.write_all(&u32::MAX.to_le_bytes()).expect("write garbage");
+    evil.write_all(&[0u8; 16]).expect("write garbage");
+    let mut sink = Vec::new();
+    // The server closes the stream; read drains to EOF.
+    let closed = evil.read_to_end(&mut sink);
+    assert!(closed.map_or(true, |_| true));
+
+    // The well-behaved connection is unaffected.
+    must_enqueue(&mut good, &Request::Finish { session: 5 });
+    match good.next_event().expect("event stream") {
+        Response::Finished { session } => assert_eq!(session, 5),
+        other => panic!("unexpected event {other:?}"),
+    }
+    drop(good);
+    let report = server.shutdown();
+    assert_eq!(report.metrics.wire_malformed_frames, 1);
+    assert!(report.metrics.wire_connections >= 2);
+}
+
+/// Shutdown with live connections neither hangs nor loses the report.
+#[test]
+fn shutdown_with_live_connections_is_clean() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let mut client = WireClient::connect(addr).expect("loopback connect");
+    must_enqueue(&mut client, &Request::Open { session: 8 });
+    // Client left open on purpose: shutdown must kick it off its socket.
+    let report = server.shutdown();
+    assert_eq!(report.metrics.sessions_opened, 1);
+    assert!(client.next_event().is_err(), "socket must be closed by shutdown");
+}

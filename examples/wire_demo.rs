@@ -1,0 +1,154 @@
+//! The TCP wire front-end end to end: a `WireServer` on an ephemeral
+//! loopback port, three client connections streaming stroke audio through
+//! real sockets, backpressure verdicts surfaced to the clients, and the
+//! server's Prometheus dump (including the `wire_*` counters) at the end.
+//!
+//! ```sh
+//! cargo run --release --example wire_demo
+//! # capture a Chrome trace with the wire lanes:
+//! cargo run --release --example wire_demo -- --trace trace.json
+//! ```
+
+use echowrite::{EchoWrite, EchoWriteConfig, Parallelism};
+use echowrite_gesture::{stroke::format_sequence, Stroke, Writer, WriterParams};
+use echowrite_serve::{ServeConfig, SessionManager};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+use echowrite_wire::{Request, Response, WireClient, WireServer};
+
+fn render(strokes: &[Stroke], seed: u64) -> Vec<f64> {
+    let perf = Writer::new(WriterParams::nominal(), seed).write_sequence(strokes);
+    let mut traj = perf.trajectory;
+    let last = *traj.points().last().expect("non-empty trajectory");
+    traj.hold(last, 1.0);
+    Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), seed).render(&traj)
+}
+
+/// Parses `--trace <path>` from the command line, if present.
+fn trace_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            return Some(args.next().expect("--trace requires a file path"));
+        }
+    }
+    None
+}
+
+/// One client: connects, streams its audio in 5120-sample chunks with at
+/// most one request outstanding, then drains events until `Finished`.
+fn run_client(
+    addr: std::net::SocketAddr,
+    session: u64,
+    audio: &[f64],
+) -> (Vec<Stroke>, u64) {
+    let mut client = WireClient::connect(addr).expect("loopback connect");
+    let mut queue_full = 0u64;
+    let mut ask = |client: &mut WireClient, req: &Request| loop {
+        match client.request(req).expect("verdict") {
+            Response::Enqueued { .. } => return,
+            Response::QueueFull { retry_after_chunks, .. } => {
+                queue_full += 1;
+                println!(
+                    "session {session}: backpressure, retry after ~{retry_after_chunks} chunks"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            Response::Shedding { .. } => panic!("demo fleet must not be shed"),
+            other => panic!("request() returns only verdicts, got {other:?}"),
+        }
+    };
+    ask(&mut client, &Request::Open { session });
+    for chunk in audio.chunks(5 * 1024) {
+        ask(&mut client, &Request::Push { session, samples: chunk.to_vec() });
+    }
+    ask(&mut client, &Request::Finish { session });
+
+    let mut strokes = Vec::new();
+    loop {
+        match client.next_event().expect("event stream") {
+            Response::Segment { classification, .. } => {
+                if let Some(cls) = classification {
+                    strokes.push(cls.stroke);
+                }
+            }
+            Response::Finished { .. } => break,
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    (strokes, queue_full)
+}
+
+fn main() {
+    let trace_path = trace_path();
+    let recorder = trace_path
+        .as_ref()
+        .map(|_| echowrite_trace::install_recording(echowrite_trace::DEFAULT_CAPACITY));
+
+    let writers: Vec<(u64, Vec<Stroke>)> = vec![
+        (1, vec![Stroke::S2, Stroke::S5]),
+        (2, vec![Stroke::S4, Stroke::S1]),
+        (3, vec![Stroke::S6, Stroke::S2, Stroke::S1]),
+    ];
+    let audios: Vec<(u64, Vec<f64>)> =
+        writers.iter().map(|(id, strokes)| (*id, render(strokes, *id))).collect();
+
+    let engine = EchoWrite::with_config(EchoWriteConfig::streaming());
+    let decoder = engine.clone();
+    let manager = SessionManager::new(
+        engine,
+        ServeConfig {
+            shards: Parallelism::Threads(2),
+            queue_capacity: 64,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("valid serve config");
+    let server = WireServer::bind("127.0.0.1:0", manager).expect("loopback bind");
+    let addr = server.local_addr();
+    println!("wire server listening on {addr}\n");
+
+    // One real TCP connection per writer, all concurrent.
+    let results: Vec<(u64, Vec<Stroke>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = audios
+            .iter()
+            .map(|(id, audio)| {
+                let (id, audio) = (*id, audio.as_slice());
+                scope.spawn(move || {
+                    let (strokes, queue_full) = run_client(addr, id, audio);
+                    (id, strokes, queue_full)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    for (id, got, queue_full) in &results {
+        let wrote = &writers.iter().find(|(w, _)| w == id).expect("known writer").1;
+        let word = decoder
+            .decode_sequence(got)
+            .first()
+            .map(|c| c.word.clone())
+            .unwrap_or_else(|| "(no candidate)".to_string());
+        println!(
+            "session {id}: wrote [{}]  recognized over TCP [{}]  top word: {word}  \
+             (queue-full retries: {queue_full})",
+            format_sequence(wrote),
+            format_sequence(got)
+        );
+    }
+
+    let report = server.shutdown();
+    println!("\n--- metrics ---\n{}", report.metrics.to_prometheus());
+
+    if let (Some(path), Some(rec)) = (trace_path, recorder) {
+        echowrite_trace::disable();
+        std::fs::write(&path, rec.to_chrome_json()).expect("write trace file");
+        println!("--- trace ---");
+        println!("{}", rec.summary_text());
+        println!(
+            "wrote {} events to {path} ({} dropped); open in chrome://tracing",
+            rec.len(),
+            rec.dropped()
+        );
+    }
+}

@@ -154,7 +154,7 @@ fn run_interleaved(shards: usize, batch_max: usize, interleave: &[usize]) -> Vec
         }
     }
     assert_eq!(finished, K, "every session must emit Finished");
-    let snapshot = manager.shutdown();
+    let snapshot = manager.shutdown().metrics;
     assert_eq!(snapshot.sessions_opened as usize, K);
     assert_eq!(snapshot.sessions_finished as usize, K);
     assert_eq!(snapshot.sessions_live, 0);
@@ -205,6 +205,174 @@ fn edge_interleavings_match_isolated_recognizers() {
             assert_matches_oracle(&transcripts, shards, batch_max);
         }
     }
+}
+
+/// A duplicate `Open` mid-stream — the retry a wire client sends when an
+/// ack is lost — must be idempotent: every session gets re-opened after
+/// its first chunk and every transcript still matches the isolated oracle
+/// bitwise, with the re-opens counted instead of state destroyed.
+#[test]
+fn duplicate_open_mid_stream_keeps_transcripts_bitwise() {
+    let manager = SessionManager::new(
+        engine().clone(),
+        ServeConfig {
+            shards: Parallelism::Threads(4),
+            queue_capacity: 64,
+            deadline_chunks: None,
+            idle_timeout_samples: None,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("valid serve config");
+
+    for k in 0..K {
+        must_enqueue(&manager, || manager.open(SessionId(k as u64)));
+    }
+    let mut cursors = [0usize; K];
+    let mut reopened = [false; K];
+    let mut pending: Vec<usize> = (0..K).collect();
+    while !pending.is_empty() {
+        let mut still = Vec::with_capacity(pending.len());
+        for &k in &pending {
+            let audio = &sessions()[k].0;
+            let pos = cursors[k];
+            let end = (pos + CHUNK).min(audio.len());
+            must_enqueue(&manager, || manager.push(SessionId(k as u64), &audio[pos..end]));
+            cursors[k] = end;
+            if !reopened[k] {
+                // The lost-ack retry, mid-stream.
+                must_enqueue(&manager, || manager.open(SessionId(k as u64)));
+                reopened[k] = true;
+            }
+            if end == audio.len() {
+                must_enqueue(&manager, || manager.finish(SessionId(k as u64)));
+            } else {
+                still.push(k);
+            }
+        }
+        pending = still;
+    }
+    manager.quiesce();
+
+    let mut events = Vec::new();
+    manager.try_events(&mut events);
+    let mut transcripts: Vec<Vec<Row>> = vec![Vec::new(); K];
+    for ev in events {
+        if let ServeEvent::Segment { session, segment } = ev {
+            let cls = segment.classification.expect("no degradation configured");
+            transcripts[session.0 as usize].push((
+                segment.start_frame,
+                segment.end_frame,
+                cls.stroke,
+                cls.scores,
+            ));
+        }
+    }
+    assert_matches_oracle(&transcripts, 4, ServeConfig::default().batch_max);
+    let snapshot = manager.shutdown().metrics;
+    assert_eq!(snapshot.sessions_opened as usize, K, "re-opens must not count as opens");
+    assert_eq!(snapshot.sessions_reopened as usize, K);
+    assert_eq!(snapshot.sessions_finished as usize, K);
+}
+
+/// A `Finish` that loses the race with the idle reaper is an orphan
+/// command — counted, never fatal, and never a second terminal event for
+/// the session.
+#[test]
+fn finish_after_reap_is_orphaned_not_fatal() {
+    let manager = SessionManager::new(
+        engine().clone(),
+        ServeConfig {
+            shards: Parallelism::Threads(1),
+            queue_capacity: 256,
+            deadline_chunks: None,
+            // The reaper's clock is samples pushed through the shard.
+            idle_timeout_samples: Some(30_000),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("valid serve config");
+
+    let idle = SessionId(0);
+    let busy = SessionId(1);
+    must_enqueue(&manager, || manager.open(idle));
+    must_enqueue(&manager, || manager.open(busy));
+    must_enqueue(&manager, || manager.push(idle, &[0.0; 1024]));
+    // Advance the shard clock far past the idle session's timeout and
+    // through at least one reap scan (every 64 commands).
+    let silence = vec![0.0; 5 * 1024];
+    for _ in 0..70 {
+        must_enqueue(&manager, || manager.push(busy, &silence));
+    }
+    manager.quiesce();
+    // The race: finish the session the reaper already reclaimed.
+    must_enqueue(&manager, || manager.finish(idle));
+    must_enqueue(&manager, || manager.finish(busy));
+    manager.quiesce();
+
+    let mut events = Vec::new();
+    manager.try_events(&mut events);
+    let mut reaped = Vec::new();
+    let mut finished = Vec::new();
+    for ev in &events {
+        match ev {
+            ServeEvent::Reaped { session } => reaped.push(session.0),
+            ServeEvent::Finished { session } => finished.push(session.0),
+            ServeEvent::Segment { .. } => {}
+        }
+    }
+    assert_eq!(reaped, vec![0], "only the idle session may be reaped");
+    assert_eq!(finished, vec![1], "the reaped session must not also finish");
+    let snapshot = manager.shutdown().metrics;
+    assert_eq!(snapshot.sessions_reaped, 1);
+    assert_eq!(snapshot.sessions_finished, 1);
+    assert!(snapshot.orphan_commands >= 1, "the late finish must count as an orphan");
+    assert_eq!(snapshot.sessions_live, 0);
+}
+
+/// Queue-full-and-retry sequences keep the transcript bitwise: a rejected
+/// push never enters the shard queue, so the retried submission order is
+/// the processed order.
+#[test]
+fn queue_full_retry_preserves_bitwise_transcript() {
+    let manager = SessionManager::new(
+        engine().clone(),
+        ServeConfig {
+            shards: Parallelism::Threads(1),
+            // A two-deep queue guarantees rejections under a burst.
+            queue_capacity: 2,
+            deadline_chunks: None,
+            idle_timeout_samples: None,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("valid serve config");
+
+    let (audio, want) = &sessions()[0];
+    let id = SessionId(7);
+    must_enqueue(&manager, || manager.open(id));
+    for chunk in audio.chunks(CHUNK) {
+        must_enqueue(&manager, || manager.push(id, chunk));
+    }
+    must_enqueue(&manager, || manager.finish(id));
+    manager.quiesce();
+
+    let mut events = Vec::new();
+    manager.try_events(&mut events);
+    let mut rows: Vec<Row> = Vec::new();
+    for ev in events {
+        if let ServeEvent::Segment { session, segment } = ev {
+            assert_eq!(session, id);
+            let cls = segment.classification.expect("no degradation configured");
+            rows.push((segment.start_frame, segment.end_frame, cls.stroke, cls.scores));
+        }
+    }
+    assert_eq!(&rows, want, "retried pushes must not reorder or drop chunks");
+    let snapshot = manager.shutdown().metrics;
+    assert!(
+        snapshot.queue_full >= 1,
+        "a capacity-2 queue must reject at least once under this burst"
+    );
 }
 
 /// At least one scenario must produce a non-trivial transcript, or the
