@@ -14,7 +14,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use echowrite::{EchoWrite, EchoWriteConfig, Parallelism};
 use echowrite_gesture::{Stroke, Writer, WriterParams};
-use echowrite_serve::{ServeConfig, SessionId, SessionManager, SubmitVerdict};
+use echowrite_serve::{ReapPolicy, ServeConfig, SessionId, SessionManager, SubmitVerdict};
 use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
 use std::sync::OnceLock;
 
@@ -63,6 +63,7 @@ fn bench_point(g: &mut criterion::BenchmarkGroup<'_>, sessions: usize, shards: u
             deadline_chunks: None,
             idle_timeout_samples: None,
             batch_max: 8,
+            reap_policy: ReapPolicy::Drop,
         },
     )
     .expect("valid bench config");

@@ -16,19 +16,45 @@
 //! `QueueFull` verdict re-submits the same chunk after draining buffered
 //! events; `Shedding` aborts the run — admission is configured to accept
 //! the whole fleet, so a shed is a bug worth failing on.
+//!
+//! After the plain fleet, a second **suspend/resume** phase (DESIGN.md
+//! §6.10) replays the same fleet against a `SuspendToStore` manager: every
+//! odd session pauses mid-word, pump traffic ages it past the reap
+//! threshold so the reaper suspends it into the snapshot store, and a bare
+//! late `Push` thaws it. Transcripts must still match the oracle bitwise;
+//! the numbers land in `BENCH_snapshot.json` together with in-process
+//! snapshot/restore latency and bytes-per-session.
 
-use echowrite::{EchoWrite, EchoWriteConfig, Parallelism, StreamingRecognizer};
+use echowrite::{EchoWrite, EchoWriteConfig, Parallelism, StreamingRecognizer, StreamingSession};
 use echowrite_gesture::{Stroke, Writer, WriterParams};
 use echowrite_profile::Stopwatch;
-use echowrite_serve::{ServeConfig, SessionManager};
+use echowrite_serve::{ReapPolicy, ServeConfig, SessionManager};
+use echowrite_snapshot::{restore_session, snapshot_session, MemoryStore, SnapshotStore};
 use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
 use echowrite_wire::{Request, Response, WireClient, WireServer};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
-use std::sync::OnceLock;
+use std::sync::{Arc, Barrier, OnceLock};
 
 /// The Android app's 5-frame push size.
 const CHUNK: usize = 5 * 1024;
+
+/// Idle threshold for the suspend phase, on the shard's logical sample
+/// clock. Large enough that round-robin resume traffic (≈ sessions/shard
+/// × CHUNK samples between a session's consecutive pushes) never re-reaps
+/// a session mid-resume, small against the pump phase's aging traffic.
+const SUSPEND_IDLE_TIMEOUT: u64 = 1_000_000;
+
+/// Throwaway sessions that push silence after the fleet's even half
+/// finishes, advancing every shard's logical clock past
+/// [`SUSPEND_IDLE_TIMEOUT`] so the reaper provably visits the idle half.
+/// Spread across shards by the same id hash as real sessions.
+const PUMP_SESSIONS: usize = 64;
+
+/// Silence chunks each pump session pushes: per shard this is far more
+/// than `SUSPEND_IDLE_TIMEOUT / CHUNK` commands and clock samples even if
+/// the id hash distributes pump sessions unevenly.
+const PUMP_PUSHES: usize = 80;
 
 /// A transcript row, scores compared bitwise.
 type Row = (u64, u64, Stroke, [f64; 6]);
@@ -38,12 +64,19 @@ struct Args {
     conns: usize,
     shards: usize,
     json: Option<String>,
+    snapshot_json: Option<String>,
     smoke: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { sessions: 512, conns: 16, shards: 4, json: None, smoke: false };
+    let mut args = Args {
+        sessions: 512,
+        conns: 16,
+        shards: 4,
+        json: None,
+        snapshot_json: None,
+        smoke: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -60,6 +93,9 @@ fn parse_args() -> Result<Args, String> {
                 args.shards = v.parse().map_err(|e| format!("--shards: {e}"))?;
             }
             "--json" => args.json = Some(it.next().ok_or("--json needs a path")?),
+            "--snapshot-json" => {
+                args.snapshot_json = Some(it.next().ok_or("--snapshot-json needs a path")?);
+            }
             "--smoke" => args.smoke = true,
             other => return Err(format!("unknown flag {other}")),
         }
@@ -142,6 +178,35 @@ struct ConnReport {
     error: Option<String>,
 }
 
+/// One request outstanding at a time: send, block for the verdict,
+/// retry on QueueFull. RTT covers send → verdict.
+fn ask(client: &mut WireClient, req: &Request, report: &mut ConnReport) -> bool {
+    loop {
+        let timer = Stopwatch::start();
+        match client.request(req) {
+            Ok(Response::Enqueued { .. }) => {
+                report.rtts_us.push((timer.elapsed_ms() * 1_000.0) as u64);
+                return true;
+            }
+            Ok(Response::QueueFull { .. }) => {
+                report.rtts_us.push((timer.elapsed_ms() * 1_000.0) as u64);
+                report.queue_full += 1;
+                // Back off briefly so retries don't saturate the wire
+                // while the shard drains (bench crate is time-exempt).
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            Ok(other) => {
+                report.error = Some(format!("unexpected verdict {other:?}"));
+                return false;
+            }
+            Err(e) => {
+                report.error = Some(format!("request: {e}"));
+                return false;
+            }
+        }
+    }
+}
+
 /// Drives this connection's sessions round-robin, one chunk per turn,
 /// then drains events until every owned session has finished.
 fn run_connection(addr: std::net::SocketAddr, ids: Vec<u64>) -> ConnReport {
@@ -158,35 +223,6 @@ fn run_connection(addr: std::net::SocketAddr, ids: Vec<u64>) -> ConnReport {
             return report;
         }
     };
-    // One request outstanding at a time: send, block for the verdict,
-    // retry on QueueFull. RTT covers send → verdict.
-    let ask = |client: &mut WireClient, req: &Request, report: &mut ConnReport| -> bool {
-        loop {
-            let timer = Stopwatch::start();
-            match client.request(req) {
-                Ok(Response::Enqueued { .. }) => {
-                    report.rtts_us.push((timer.elapsed_ms() * 1_000.0) as u64);
-                    return true;
-                }
-                Ok(Response::QueueFull { .. }) => {
-                    report.rtts_us.push((timer.elapsed_ms() * 1_000.0) as u64);
-                    report.queue_full += 1;
-                    // Back off briefly so retries don't saturate the wire
-                    // while the shard drains (bench crate is time-exempt).
-                    std::thread::sleep(std::time::Duration::from_millis(2));
-                }
-                Ok(other) => {
-                    report.error = Some(format!("unexpected verdict {other:?}"));
-                    return false;
-                }
-                Err(e) => {
-                    report.error = Some(format!("request: {e}"));
-                    return false;
-                }
-            }
-        }
-    };
-
     for &id in &ids {
         if !ask(&mut client, &Request::Open { session: id }, &mut report) {
             return report;
@@ -242,12 +278,381 @@ fn run_connection(addr: std::net::SocketAddr, ids: Vec<u64>) -> ConnReport {
     report
 }
 
+/// Pushes `ids` round-robin, one chunk per turn, from each id's cursor up
+/// to its end position, finishing each as it drains. Returns false (with
+/// `report.error` set) on any wire failure.
+fn drive(
+    client: &mut WireClient,
+    report: &mut ConnReport,
+    cursors: &mut BTreeMap<u64, usize>,
+    ends: &BTreeMap<u64, usize>,
+    finish: bool,
+    ids: &[u64],
+) -> bool {
+    let mut live: Vec<u64> = ids.iter().copied().filter(|id| cursors[id] < ends[id]).collect();
+    // An id already at its end still gets its Finish below.
+    let mut done: Vec<u64> = ids.iter().copied().filter(|id| cursors[id] >= ends[id]).collect();
+    while !live.is_empty() {
+        let mut still = Vec::with_capacity(live.len());
+        for &id in &live {
+            let audio = &bases()[(id as usize) % bases().len()].0;
+            let pos = cursors[&id];
+            let end = (pos + CHUNK).min(ends[&id]);
+            let req = Request::Push { session: id, samples: audio[pos..end].to_vec() };
+            if !ask(client, &req, report) {
+                return false;
+            }
+            cursors.insert(id, end);
+            if end == ends[&id] {
+                done.push(id);
+            } else {
+                still.push(id);
+            }
+        }
+        live = still;
+    }
+    if finish {
+        for id in done {
+            if !ask(client, &Request::Finish { session: id }, report) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Blocks until `expected` sessions have finished, recording segment rows
+/// for ids present in `report.transcripts` (pump sessions are not).
+fn drain_events(client: &mut WireClient, report: &mut ConnReport, expected: usize) -> bool {
+    let mut finished = 0usize;
+    while finished < expected {
+        match client.next_event() {
+            Ok(Response::Segment { session, start_frame, end_frame, classification }) => {
+                let Some(cls) = classification else {
+                    report.error = Some(format!("degraded segment on session {session}"));
+                    return false;
+                };
+                if let Some(rows) = report.transcripts.get_mut(&session) {
+                    rows.push((start_frame, end_frame, cls.stroke, cls.scores));
+                }
+            }
+            Ok(Response::Finished { .. }) => finished += 1,
+            Ok(other) => {
+                report.error = Some(format!("unexpected event {other:?}"));
+                return false;
+            }
+            Err(e) => {
+                report.error = Some(format!("event stream: {e}"));
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The suspend-phase connection driver. Even fleet ids run to completion;
+/// odd ids pause at a mid-word push boundary and only resume after the
+/// pump traffic has aged them past the reap threshold, so their resume
+/// `Push` lands on a suspended session and must thaw it. The two barriers
+/// order the phases *across* connections: all idle sessions quiet before
+/// any pumping, all pumping done before any resume.
+fn run_suspend_connection(
+    addr: std::net::SocketAddr,
+    ids: Vec<u64>,
+    pump_ids: Vec<u64>,
+    barrier: &Barrier,
+) -> ConnReport {
+    let mut report = ConnReport {
+        rtts_us: Vec::new(),
+        queue_full: 0,
+        transcripts: ids.iter().map(|&id| (id, Vec::new())).collect(),
+        error: None,
+    };
+    let mut client = match WireClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            report.error = Some(format!("connect: {e}"));
+            // Hold up our end of both barriers so healthy peers proceed.
+            barrier.wait();
+            barrier.wait();
+            return report;
+        }
+    };
+    let audio_len = |id: u64| bases()[(id as usize) % bases().len()].0.len();
+    // Every odd session pauses at the last whole-chunk boundary before the
+    // midpoint — mid-word, and mid-stroke for most of the base audios.
+    let pause: BTreeMap<u64, usize> =
+        ids.iter().map(|&id| (id, (audio_len(id) / 2 / CHUNK) * CHUNK)).collect();
+    let full: BTreeMap<u64, usize> = ids.iter().map(|&id| (id, audio_len(id))).collect();
+    let mut cursors: BTreeMap<u64, usize> = ids.iter().map(|&id| (id, 0)).collect();
+    let busy: Vec<u64> = ids.iter().copied().filter(|id| id % 2 == 0).collect();
+    let idle: Vec<u64> = ids.iter().copied().filter(|id| id % 2 == 1).collect();
+
+    let mut ok = ids.iter().chain(&pump_ids).all(|&id| {
+        ask(&mut client, &Request::Open { session: id }, &mut report)
+    });
+    // First half for everyone (the idle half's last activity), then the
+    // busy half straight through to Finish.
+    ok = ok && drive(&mut client, &mut report, &mut cursors, &pause, false, &ids);
+    ok = ok && drive(&mut client, &mut report, &mut cursors, &full, true, &busy);
+    barrier.wait();
+
+    // Aging: silence through the pump sessions advances every shard's
+    // logical clock and command count past the reap threshold while the
+    // idle half stays quiet, so the reaper suspends it to the store.
+    if ok {
+        let silence = vec![0.0f64; CHUNK];
+        'pump: for _ in 0..PUMP_PUSHES {
+            for &id in &pump_ids {
+                let req = Request::Push { session: id, samples: silence.clone() };
+                if !ask(&mut client, &req, &mut report) {
+                    ok = false;
+                    break 'pump;
+                }
+            }
+        }
+        for &id in &pump_ids {
+            if !(ok && ask(&mut client, &Request::Finish { session: id }, &mut report)) {
+                ok = false;
+                break;
+            }
+        }
+    }
+    barrier.wait();
+
+    // Resume: a bare Push on a suspended id must thaw it transparently —
+    // no re-Open, no replay of the first half.
+    ok = ok && drive(&mut client, &mut report, &mut cursors, &full, true, &idle);
+    if ok {
+        drain_events(&mut client, &mut report, ids.len() + pump_ids.len());
+    }
+    report
+}
+
+/// In-process snapshot/restore micro-measurement: each base audio's
+/// session is frozen at its mid-word pause point and checkpointed
+/// repeatedly, timing `snapshot_session` and `restore_session` and
+/// recording the encoded size.
+fn checkpoint_micro() -> (Vec<f64>, Vec<f64>, Vec<usize>) {
+    let engine = engine();
+    let (mut snap_us, mut rest_us, mut sizes) = (Vec::new(), Vec::new(), Vec::new());
+    for (audio, _) in bases() {
+        let mut session = StreamingSession::new(engine);
+        let mut sink = Vec::new();
+        let pause = (audio.len() / 2 / CHUNK) * CHUNK;
+        for chunk in audio[..pause].chunks(CHUNK) {
+            session.push_events(engine, chunk, true, &mut sink);
+        }
+        for _ in 0..50 {
+            let timer = Stopwatch::start();
+            let bytes = snapshot_session(&session, engine);
+            snap_us.push(timer.elapsed_ms() * 1_000.0);
+            sizes.push(bytes.len());
+            let timer = Stopwatch::start();
+            let restored = restore_session(&bytes, engine).expect("own snapshot restores");
+            rest_us.push(timer.elapsed_ms() * 1_000.0);
+            drop(restored);
+        }
+    }
+    (snap_us, rest_us, sizes)
+}
+
+fn percentile_f64(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
 fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
     let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
     sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs the suspend/resume fleet plus the checkpoint micro-measurement
+/// and renders `BENCH_snapshot.json`. Returns `(json, ok)`.
+fn run_suspend_phase(args: &Args) -> (String, bool) {
+    let store = Arc::new(MemoryStore::new());
+    let manager = SessionManager::with_snapshot_store(
+        engine().clone(),
+        ServeConfig {
+            shards: Parallelism::Threads(args.shards),
+            queue_capacity: 256,
+            max_sessions: args.sessions + PUMP_SESSIONS + 8,
+            high_water: args.sessions + PUMP_SESSIONS + 8,
+            deadline_chunks: None,
+            idle_timeout_samples: Some(SUSPEND_IDLE_TIMEOUT),
+            batch_max: 8,
+            reap_policy: ReapPolicy::SuspendToStore,
+        },
+        store.clone(),
+    )
+    .expect("valid serve config");
+    let server = WireServer::bind("127.0.0.1:0", manager).expect("loopback bind");
+    let addr = server.local_addr();
+
+    let barrier = Barrier::new(args.conns);
+    let wall = Stopwatch::start();
+    let reports: Vec<ConnReport> = std::thread::scope(|scope| {
+        let barrier = &barrier;
+        let handles: Vec<_> = (0..args.conns)
+            .map(|c| {
+                let ids: Vec<u64> =
+                    (0..args.sessions).filter(|k| k % args.conns == c).map(|k| k as u64).collect();
+                let pump_ids: Vec<u64> = (0..PUMP_SESSIONS)
+                    .filter(|k| k % args.conns == c)
+                    .map(|k| (args.sessions + k) as u64)
+                    .collect();
+                scope.spawn(move || run_suspend_connection(addr, ids, pump_ids, barrier))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("connection thread")).collect()
+    });
+    let wall_s = wall.elapsed_ms() / 1e3;
+    let report = server.shutdown();
+    let m = &report.metrics;
+    let residual = store.sessions().map(|s| s.len()).unwrap_or(usize::MAX);
+
+    let mut ok = true;
+    let mut mismatches = 0usize;
+    let mut checked = 0usize;
+    let mut requests = 0usize;
+    let mut queue_full_retries = 0u64;
+    for r in &reports {
+        if let Some(e) = &r.error {
+            eprintln!("wire_fleet[suspend]: connection error: {e}");
+            ok = false;
+        }
+        requests += r.rtts_us.len();
+        queue_full_retries += r.queue_full;
+        for (&id, rows) in &r.transcripts {
+            checked += 1;
+            if rows != &bases()[(id as usize) % bases().len()].1 {
+                mismatches += 1;
+                if mismatches <= 3 {
+                    eprintln!(
+                        "wire_fleet[suspend]: session {id} transcript diverged across suspend/resume"
+                    );
+                }
+            }
+        }
+    }
+    let idle_half = args.sessions / 2;
+    if mismatches > 0 || checked != args.sessions {
+        ok = false;
+    }
+    // Every idle session must actually have been suspended and thawed —
+    // otherwise the phase silently measured nothing.
+    if m.sessions_suspended < idle_half as u64 || m.sessions_resumed < idle_half as u64 {
+        eprintln!(
+            "wire_fleet[suspend]: only {}/{idle_half} suspended, {} resumed",
+            m.sessions_suspended, m.sessions_resumed
+        );
+        ok = false;
+    }
+    if m.orphan_commands != 0 || residual != 0 {
+        eprintln!(
+            "wire_fleet[suspend]: {} orphan commands, {residual} snapshots left in the store",
+            m.orphan_commands
+        );
+        ok = false;
+    }
+
+    let (mut snap_us, mut rest_us, mut sizes) = checkpoint_micro();
+    snap_us.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    rest_us.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    sizes.sort_unstable();
+    let bytes_mean = sizes.iter().sum::<usize>() as f64 / sizes.len().max(1) as f64;
+
+    let env = echowrite_bench::bench_environment();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"crates/bench/src/bin/wire_fleet.rs\",\n",
+            "  \"command\": \"cargo run --release -p echowrite-bench --bin wire_fleet -- ",
+            "--sessions {sessions} --conns {conns} --shards {shards} ",
+            "--snapshot-json BENCH_snapshot.json\",\n",
+            "  \"environment\": {{\n",
+            "    \"cpus\": {cpus},\n",
+            "    \"effective_parallelism\": {par},\n",
+            "    \"simd_backend\": \"{simd}\",\n",
+            "    \"simd_features\": [{features}]\n",
+            "  }},\n",
+            "  \"suspend_fleet\": {{\n",
+            "    \"sessions\": {sessions},\n",
+            "    \"suspend_candidates\": {idle_half},\n",
+            "    \"connections\": {conns},\n",
+            "    \"shards\": {shards},\n",
+            "    \"pump_sessions\": {pump},\n",
+            "    \"chunk_samples\": {chunk},\n",
+            "    \"idle_timeout_samples\": {timeout},\n",
+            "    \"wall_seconds\": {wall_s:.3},\n",
+            "    \"requests\": {requests},\n",
+            "    \"queue_full_retries\": {qf},\n",
+            "    \"transcripts_checked\": {checked},\n",
+            "    \"transcript_mismatches\": {mismatches},\n",
+            "    \"sessions_suspended\": {suspended},\n",
+            "    \"sessions_resumed\": {resumed},\n",
+            "    \"sessions_reaped\": {reaped},\n",
+            "    \"orphan_commands\": {orphans},\n",
+            "    \"store_residual_snapshots\": {residual}\n",
+            "  }},\n",
+            "  \"checkpoint\": {{\n",
+            "    \"iterations\": {iters},\n",
+            "    \"snapshot_p50_us\": {sp50:.1},\n",
+            "    \"snapshot_p99_us\": {sp99:.1},\n",
+            "    \"restore_p50_us\": {rp50:.1},\n",
+            "    \"restore_p99_us\": {rp99:.1},\n",
+            "    \"bytes_per_session_min\": {bmin},\n",
+            "    \"bytes_per_session_mean\": {bmean:.0},\n",
+            "    \"bytes_per_session_max\": {bmax}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        sessions = args.sessions,
+        conns = args.conns,
+        shards = args.shards,
+        cpus = env.cpus,
+        par = env.effective_parallelism,
+        simd = env.simd_backend,
+        features = env
+            .simd_features
+            .iter()
+            .map(|f| format!("\"{f}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        idle_half = idle_half,
+        pump = PUMP_SESSIONS,
+        chunk = CHUNK,
+        timeout = SUSPEND_IDLE_TIMEOUT,
+        wall_s = wall_s,
+        requests = requests,
+        qf = queue_full_retries,
+        checked = checked,
+        mismatches = mismatches,
+        suspended = m.sessions_suspended,
+        resumed = m.sessions_resumed,
+        reaped = m.sessions_reaped,
+        orphans = m.orphan_commands,
+        residual = residual,
+        iters = snap_us.len(),
+        sp50 = percentile_f64(&snap_us, 0.50),
+        sp99 = percentile_f64(&snap_us, 0.99),
+        rp50 = percentile_f64(&rest_us, 0.50),
+        rp99 = percentile_f64(&rest_us, 0.99),
+        bmin = sizes.first().copied().unwrap_or(0),
+        bmean = bytes_mean,
+        bmax = sizes.last().copied().unwrap_or(0),
+    );
+    eprintln!(
+        "wire_fleet[suspend]: suspended={} resumed={} mismatches={mismatches}/{checked} ok={ok}",
+        m.sessions_suspended, m.sessions_resumed
+    );
+    (json, ok)
 }
 
 fn main() -> ExitCode {
@@ -282,6 +687,7 @@ fn main() -> ExitCode {
             deadline_chunks: None,
             idle_timeout_samples: None,
             batch_max: 8,
+            reap_policy: ReapPolicy::Drop,
         },
     )
     .expect("valid serve config");
@@ -450,6 +856,21 @@ fn main() -> ExitCode {
         "wire_fleet: realtime_factor={realtime_factor:.2} rtt_p50_us={p50} rtt_p99_us={p99} \
          queue_full_retries={queue_full_retries} ok={ok}"
     );
+
+    // Second pass: the same fleet with suspension enabled (BENCH_snapshot).
+    let (snapshot_json, suspend_ok) = run_suspend_phase(&args);
+    ok &= suspend_ok;
+    match &args.snapshot_json {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &snapshot_json) {
+                eprintln!("wire_fleet: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wire_fleet: wrote {path}");
+        }
+        None => print!("{snapshot_json}"),
+    }
+
     if ok {
         ExitCode::SUCCESS
     } else {

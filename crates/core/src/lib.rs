@@ -47,6 +47,7 @@
 pub mod config;
 pub mod engine;
 pub mod pipeline;
+pub mod session_state;
 pub mod streaming;
 pub mod templates;
 pub mod text_session;
@@ -54,6 +55,10 @@ pub mod text_session;
 pub use config::{EchoWriteConfig, Frontend, Parallelism, StreamingMode};
 pub use engine::{EchoWrite, StrokeRecognition, WordRecognition};
 pub use pipeline::{Pipeline, StageTiming};
+pub use session_state::{
+    ChainState, DownState, FrontState, IncrementalState, ReplayState, RestoreError, SessionBody,
+    SessionState, SnapshotState,
+};
 pub use streaming::{
     SegmentEvent, SharedDspScratch, StreamingRecognizer, StreamingSession, StrokeEvent,
 };

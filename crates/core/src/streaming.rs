@@ -37,6 +37,10 @@
 use crate::config::Frontend;
 use crate::engine::EchoWrite;
 use crate::pipeline::{make_downconvert, roi_bins};
+use crate::session_state::{
+    ChainState, DownState, FrontState, IncrementalState, ReplayState, RestoreError, SessionBody,
+    SessionState, SnapshotState,
+};
 use echowrite_dsp::downconvert::{BasebandScratch, BasebandStft, StreamingDownconverter};
 use echowrite_dsp::stft::{StftScratch, StreamingStft};
 use echowrite_dsp::Complex;
@@ -499,6 +503,93 @@ impl StreamingSession {
         self.finished = false;
         self.samples_in = 0;
     }
+
+    /// Rebuilds a session from a previously exported [`SessionState`] — the
+    /// suspend/resume entry point. Equivalent to restoring onto a fresh
+    /// [`StreamingSession::new`]; see [`StreamingSession::restore_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RestoreError`] when the state disagrees with the engine's
+    /// configuration or violates a structural invariant.
+    pub fn from_state(engine: &EchoWrite, state: &SessionState) -> Result<Self, RestoreError> {
+        let mut session = StreamingSession::new(engine);
+        session.restore_state(engine, state)?;
+        Ok(session)
+    }
+
+    /// Overwrites this session's dynamic state with a previously exported
+    /// one, in place (allocations and plans are reused — the pooled-slot
+    /// thaw path). The engine must be configured identically to the one the
+    /// state was exported under; further pushes then emit bitwise the same
+    /// events an uninterrupted session would.
+    ///
+    /// Every structural invariant of the state is validated before use, so
+    /// a corrupted or hand-built state is rejected instead of panicking
+    /// later. Validation is not a substitute for the config pairing: a
+    /// state restored under a *different-but-compatible-looking* config
+    /// yields well-defined but meaningless output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RestoreError`]; on error the session is left in an
+    /// unspecified (but memory-safe) state and must be
+    /// [`reset`](StreamingSession::reset) before reuse.
+    pub fn restore_state(
+        &mut self,
+        engine: &EchoWrite,
+        state: &SessionState,
+    ) -> Result<(), RestoreError> {
+        let want_incremental = matches!(state.body, SessionBody::Incremental(_));
+        if want_incremental != engine.config().streaming_is_incremental() {
+            return Err(RestoreError::ModeMismatch);
+        }
+        match &state.body {
+            SessionBody::Replay(rs) => {
+                if let Inner::Replay(r) = &mut self.inner {
+                    r.restore_state(engine, rs)?;
+                } else {
+                    let mut r = Replay::new(engine);
+                    r.restore_state(engine, rs)?;
+                    self.inner = Inner::Replay(r);
+                }
+            }
+            SessionBody::Incremental(is) => {
+                if let Inner::Incremental(inc) = &mut self.inner {
+                    inc.restore_state(is)?;
+                } else {
+                    let mut inc = Box::new(Incremental::new(engine));
+                    inc.restore_state(is)?;
+                    self.inner = Inner::Incremental(inc);
+                }
+            }
+        }
+        self.finished = state.finished;
+        self.samples_in = state.samples_in;
+        Ok(())
+    }
+}
+
+impl SnapshotState for StreamingSession {
+    type State = SessionState;
+
+    fn export_state(&self) -> SessionState {
+        let body = match &self.inner {
+            Inner::Replay(r) => SessionBody::Replay(r.export_state()),
+            Inner::Incremental(inc) => SessionBody::Incremental(inc.export_state()),
+        };
+        SessionState { finished: self.finished, samples_in: self.samples_in, body }
+    }
+}
+
+/// Converts a `u64` state field back to the in-memory `usize`, rejecting
+/// values that cannot round-trip (32-bit hosts) or that are so large that
+/// downstream index arithmetic could overflow.
+fn restore_usize(v: u64, what: &'static str) -> Result<usize, RestoreError> {
+    match usize::try_from(v) {
+        Ok(u) if u <= usize::MAX / 4 => Ok(u),
+        _ => Err(RestoreError::Invalid(what)),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -549,6 +640,51 @@ impl Replay {
         self.dropped_frames = 0;
         self.emitted.clear();
         self.emitted_until = 0;
+    }
+
+    /// Captures every dynamic field (the stability margin is config-derived
+    /// and rebuilt at restore).
+    fn export_state(&self) -> ReplayState {
+        ReplayState {
+            buffer: self.buffer.clone(),
+            background: self.background.clone(),
+            dropped_frames: self.dropped_frames as u64,
+            emitted: self.emitted.iter().map(|&(s, e)| (s as u64, e as u64)).collect(),
+            emitted_until: self.emitted_until as u64,
+            max_samples: self.max_samples as u64,
+        }
+    }
+
+    /// Validating counterpart of [`Replay::export_state`].
+    fn restore_state(&mut self, engine: &EchoWrite, state: &ReplayState) -> Result<(), RestoreError> {
+        let cfg = engine.config();
+        if let Some(bg) = &state.background {
+            let (lo, hi, _) = roi_bins(cfg);
+            if bg.len() != hi - lo + 1 {
+                return Err(RestoreError::Invalid("replay background row count"));
+            }
+        }
+        let max_samples = restore_usize(state.max_samples, "replay window out of range")?;
+        let lead_in = cfg.stft.fft_size + (cfg.enhance.static_frames - 1) * cfg.stft.hop;
+        if max_samples < lead_in {
+            return Err(RestoreError::Invalid("replay window below the background lead-in"));
+        }
+        let dropped = restore_usize(state.dropped_frames, "replay dropped_frames out of range")?;
+        self.buffer.clear();
+        self.buffer.extend_from_slice(&state.buffer);
+        self.background = state.background.clone();
+        self.dropped_frames = dropped;
+        self.emitted.clear();
+        for &(s, e) in &state.emitted {
+            self.emitted.push((
+                restore_usize(s, "replay emitted interval out of range")?,
+                restore_usize(e, "replay emitted interval out of range")?,
+            ));
+        }
+        self.emitted_until = restore_usize(state.emitted_until, "replay emitted_until out of range")?;
+        self.stability_margin = cfg.segment.end_run + 2;
+        self.max_samples = max_samples;
+        Ok(())
     }
 
     /// Whether `[start, end)` matches a stroke that was already emitted,
@@ -830,6 +966,96 @@ impl Incremental {
         self.frames_in = 0;
         self.emitted_until = 0;
         self.seg_scratch.clear();
+    }
+
+    /// Captures every dynamic field of the front-end and the chain.
+    fn export_state(&self) -> IncrementalState {
+        let front = match &self.front {
+            Front::Full { sstft, .. } => FrontState::Full(sstft.export_state()),
+            Front::Down(d) => FrontState::Down(DownState {
+                sdc: d.sdc.export_state(),
+                baseband: d.baseband.clone(),
+                base: d.base as u64,
+                next_frame: d.next_frame as u64,
+            }),
+        };
+        IncrementalState {
+            front,
+            chain: ChainState {
+                enhancer: self.chain.enhancer.export_state(),
+                builder: self.chain.builder.export_state(),
+                diff: self.chain.diff.export_state(),
+                segmenter: self.chain.segmenter.export_state(),
+            },
+            frames_in: self.frames_in as u64,
+            emitted_until: self.emitted_until as u64,
+        }
+    }
+
+    /// Validating counterpart of [`Incremental::export_state`]: the stage
+    /// crates validate their own sections where their restore is fallible;
+    /// this layer validates the front-end cursors (whose stage-level
+    /// restores are infallible) and the cross-stage column accounting.
+    fn restore_state(&mut self, state: &IncrementalState) -> Result<(), RestoreError> {
+        match (&mut self.front, &state.front) {
+            (Front::Full { sstft, .. }, FrontState::Full(fs)) => sstft.restore_state(fs),
+            (Front::Down(d), FrontState::Down(ds)) => {
+                Self::validate_down(d, ds)?;
+                d.sdc.restore_state(&ds.sdc);
+                d.baseband.clear();
+                d.baseband.extend_from_slice(&ds.baseband);
+                d.base = restore_usize(ds.base, "baseband base out of range")?;
+                d.next_frame = restore_usize(ds.next_frame, "baseband frame cursor out of range")?;
+            }
+            _ => return Err(RestoreError::FrontendMismatch),
+        }
+        self.chain
+            .enhancer
+            .restore_state(&state.chain.enhancer)
+            .map_err(RestoreError::Invalid)?;
+        self.chain.builder.restore_state(&state.chain.builder);
+        self.chain.diff.restore_state(&state.chain.diff);
+        self.chain
+            .segmenter
+            .restore_state(&state.chain.segmenter)
+            .map_err(RestoreError::Invalid)?;
+        self.chain.acc.clear();
+        let frames_in = restore_usize(state.frames_in, "frame counter out of range")?;
+        if frames_in != state.chain.enhancer.raw_n {
+            return Err(RestoreError::Invalid("frame counter disagrees with enhancer columns"));
+        }
+        self.frames_in = frames_in;
+        self.emitted_until = restore_usize(state.emitted_until, "emitted_until out of range")?;
+        self.seg_scratch.clear();
+        Ok(())
+    }
+
+    /// Structural checks for the decimating front-end: the stage-level
+    /// down-converter restore is infallible, so the index invariants its
+    /// push path relies on (absolute cursors never behind the retained
+    /// buffers, counters that add up) are enforced here.
+    fn validate_down(d: &Down, ds: &DownState) -> Result<(), RestoreError> {
+        let factor = d.sdc.inner().factor() as u128;
+        let half = d.sdc.inner().half_taps() as u128;
+        let hop = d.bb.hop() as u128;
+        let sdc = &ds.sdc;
+        if sdc.total_in != sdc.base + sdc.buffer.len() as u64 {
+            return Err(RestoreError::Invalid("down-converter buffer does not cover its input"));
+        }
+        let emit_floor = (sdc.k as u128 * factor).saturating_sub(half);
+        if sdc.base as u128 > emit_floor {
+            return Err(RestoreError::Invalid("down-converter buffer behind the emit cursor"));
+        }
+        if ds.base + ds.baseband.len() as u64 != sdc.k {
+            return Err(RestoreError::Invalid("baseband buffer does not cover emitted samples"));
+        }
+        let frame_pos = ds.next_frame as u128 * hop;
+        if frame_pos < ds.base as u128 || frame_pos > ds.base as u128 + ds.baseband.len() as u128 {
+            return Err(RestoreError::Invalid("baseband frame cursor outside the buffer"));
+        }
+        restore_usize(sdc.total_in, "down-converter input counter out of range")?;
+        restore_usize(sdc.k, "down-converter output counter out of range")?;
+        Ok(())
     }
 
     fn push_audio(&mut self, chunk: &[f64], shared: Option<&mut SharedDspScratch>) {
@@ -1351,6 +1577,177 @@ mod tests {
                 assert_eq!(gc.scores, wc.scores, "DTW scores must be bitwise equal");
             }
         }
+    }
+
+    /// Streams a session over `audio` in fixed chunks, with an optional
+    /// suspend (export → drop → [`StreamingSession::from_state`]) at chunk
+    /// boundary `cut_chunk`.
+    fn session_events_with_cut(
+        e: &EchoWrite,
+        audio: &[f64],
+        chunk: usize,
+        cut_chunk: Option<usize>,
+    ) -> Vec<SegmentEvent> {
+        let mut s = StreamingSession::new(e);
+        let mut ev = Vec::new();
+        for (i, c) in audio.chunks(chunk).enumerate() {
+            if cut_chunk == Some(i) {
+                let state = s.export_state();
+                s = StreamingSession::from_state(e, &state).expect("restore must succeed");
+            }
+            s.push_events(e, c, true, &mut ev);
+        }
+        s.finish_events(e, true, &mut ev);
+        ev
+    }
+
+    fn assert_segment_events_bitwise(got: &[SegmentEvent], want: &[SegmentEvent]) {
+        assert_eq!(got.len(), want.len(), "event counts differ");
+        for (g, w) in got.iter().zip(want) {
+            assert_eq!(g.start_frame, w.start_frame);
+            assert_eq!(g.end_frame, w.end_frame);
+            let (gc, wc) = match (&g.classification, &w.classification) {
+                (Some(gc), Some(wc)) => (gc, wc),
+                _ => panic!("classified runs must classify every event"),
+            };
+            assert_eq!(gc.stroke, wc.stroke);
+            assert_eq!(gc.distances, wc.distances, "DTW distances must be bitwise equal");
+            assert_eq!(gc.scores, wc.scores, "DTW scores must be bitwise equal");
+        }
+    }
+
+    /// The tentpole guarantee of the snapshot layer: suspending a session at
+    /// any push boundary (including mid-stroke) and resuming from the
+    /// exported state yields bitwise the transcript of the uninterrupted
+    /// session — on the incremental path for both front-ends, and on the
+    /// replay oracle.
+    #[test]
+    fn session_state_roundtrip_resumes_bitwise() {
+        let down = EchoWrite::with_config(EchoWriteConfig::streaming_downsampled(32));
+        for e in [streaming_engine(), engine(), &down] {
+            let audio = render_with_tail(&[Stroke::S2, Stroke::S5], 29, 1.2);
+            let want = session_events_with_cut(e, &audio, 5 * 1024, None);
+            assert!(!want.is_empty(), "scenario must produce strokes");
+            let n_chunks = audio.len().div_ceil(5 * 1024);
+            for cut in [1, n_chunks / 2, n_chunks - 1] {
+                let got = session_events_with_cut(e, &audio, 5 * 1024, Some(cut));
+                assert_segment_events_bitwise(&got, &want);
+            }
+        }
+    }
+
+    /// On the incremental path the resumed session is chunking-invariant:
+    /// the cut may fall anywhere, not only on a reference chunk boundary.
+    #[test]
+    fn incremental_roundtrip_survives_misaligned_cut() {
+        let e = streaming_engine();
+        let audio = render_with_tail(&[Stroke::S4, Stroke::S1], 11, 1.2);
+        let want = session_events_with_cut(e, &audio, 5 * 1024, None);
+        assert!(!want.is_empty());
+        for cut in [997usize, audio.len() / 2 + 13, audio.len() - 777] {
+            let mut first = StreamingSession::new(e);
+            let mut ev = Vec::new();
+            for c in audio[..cut].chunks(3 * 1024 + 7) {
+                first.push_events(e, c, true, &mut ev);
+            }
+            let state = first.export_state();
+            drop(first);
+            let mut resumed = StreamingSession::from_state(e, &state).expect("restore");
+            for c in audio[cut..].chunks(2 * 1024 + 1) {
+                resumed.push_events(e, c, true, &mut ev);
+            }
+            resumed.finish_events(e, true, &mut ev);
+            assert_segment_events_bitwise(&ev, &want);
+        }
+    }
+
+    /// Restore also works in place onto a dirty pooled session (the serve
+    /// thaw path), overwriting whatever the slot held before.
+    #[test]
+    fn restore_overwrites_dirty_pooled_session() {
+        let e = streaming_engine();
+        let audio = render_with_tail(&[Stroke::S3, Stroke::S6], 5, 1.2);
+        let want = session_events_with_cut(e, &audio, 4096, None);
+        assert!(!want.is_empty());
+
+        let cut = 5 * 4096;
+        let mut first = StreamingSession::new(e);
+        let mut ev = Vec::new();
+        for c in audio[..cut].chunks(4096) {
+            first.push_events(e, c, true, &mut ev);
+        }
+        let state = first.export_state();
+
+        // Dirty a different session with unrelated audio, then thaw into it.
+        let mut pooled = StreamingSession::new(e);
+        let mut junk = Vec::new();
+        pooled.push_events(e, &render(&[Stroke::S2], 3), true, &mut junk);
+        pooled.restore_state(e, &state).expect("in-place restore");
+        for c in audio[cut..].chunks(4096) {
+            pooled.push_events(e, c, true, &mut ev);
+        }
+        pooled.finish_events(e, true, &mut ev);
+        assert_segment_events_bitwise(&ev, &want);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_engine() {
+        let state = StreamingSession::new(streaming_engine()).export_state();
+        assert_eq!(
+            StreamingSession::from_state(engine(), &state).unwrap_err(),
+            RestoreError::ModeMismatch,
+            "incremental state must not restore under a replay engine"
+        );
+        let down = EchoWrite::with_config(EchoWriteConfig::streaming_downsampled(32));
+        assert_eq!(
+            StreamingSession::from_state(&down, &state).unwrap_err(),
+            RestoreError::FrontendMismatch,
+            "full-STFT state must not restore onto the decimating front-end"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_state() {
+        let e = streaming_engine();
+        let mut s = StreamingSession::new(e);
+        let mut ev = Vec::new();
+        s.push_events(e, &render(&[Stroke::S2], 3), true, &mut ev);
+        let good = s.export_state();
+
+        // Frame counter disagreeing with the enhancer's column count.
+        let mut bad = good.clone();
+        if let SessionBody::Incremental(is) = &mut bad.body {
+            is.frames_in += 1;
+        }
+        assert!(matches!(StreamingSession::from_state(e, &bad), Err(RestoreError::Invalid(_))));
+
+        // Down-converter cursors that do not add up.
+        let down_e = EchoWrite::with_config(EchoWriteConfig::streaming_downsampled(32));
+        let mut ds = StreamingSession::new(&down_e);
+        ds.push_events(&down_e, &render(&[Stroke::S2], 3), true, &mut ev);
+        let good = ds.export_state();
+        let mut bad = good.clone();
+        if let SessionBody::Incremental(is) = &mut bad.body {
+            if let FrontState::Down(d) = &mut is.front {
+                d.sdc.total_in += 7;
+            }
+        }
+        assert!(matches!(
+            StreamingSession::from_state(&down_e, &bad),
+            Err(RestoreError::Invalid(_))
+        ));
+
+        // Replay: a frozen background with the wrong row count.
+        let e = engine();
+        let mut r = StreamingSession::new(e);
+        r.push_events(e, &render_with_tail(&[Stroke::S2], 3, 1.2), true, &mut ev);
+        let good = r.export_state();
+        let mut bad = good.clone();
+        if let SessionBody::Replay(rs) = &mut bad.body {
+            let bg = rs.background.as_mut().expect("background must be frozen");
+            bg.pop();
+        }
+        assert!(matches!(StreamingSession::from_state(e, &bad), Err(RestoreError::Invalid(_))));
     }
 
     /// The serving layer's degraded mode: with `classify` false a session

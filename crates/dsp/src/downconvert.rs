@@ -80,6 +80,13 @@ impl Downconverter {
         self.factor
     }
 
+    /// Half the FIR length — the causal-centred window's look-back, in
+    /// input samples. Output `k` reads input samples
+    /// `k·factor − half_taps ..= k·factor + half_taps`.
+    pub fn half_taps(&self) -> usize {
+        self.half
+    }
+
     /// Down-converts and decimates `audio`, returning complex baseband
     /// samples at [`Downconverter::output_rate`].
     ///
@@ -227,6 +234,37 @@ impl StreamingDownconverter {
         self.rotator = Complex::ONE;
     }
 
+    /// Captures the dynamic state of this stream, detached from the
+    /// down-converter plan (taps, factor, carrier are all config-derived).
+    ///
+    /// The buffer tail is copied verbatim together with its absolute base
+    /// offset: the edge FIR path indexes the buffer by absolute stream
+    /// position, so the offset must survive the round trip exactly for the
+    /// resumed output to stay bitwise identical.
+    pub fn export_state(&self) -> StreamingDownconverterState {
+        StreamingDownconverterState {
+            buffer: self.buffer.clone(),
+            base: self.base as u64,
+            total_in: self.total_in as u64,
+            k: self.k as u64,
+            rotator: self.rotator,
+        }
+    }
+
+    /// Overwrites this stream's dynamic state with a previously exported
+    /// one. The plan must match the one the state was exported under; the
+    /// caller is responsible for that pairing. The rotator recurrence
+    /// resumes from the exact saved value, so the periodic exact re-seeding
+    /// replays in the same order as an uninterrupted stream.
+    pub fn restore_state(&mut self, state: &StreamingDownconverterState) {
+        self.buffer.clear();
+        self.buffer.extend_from_slice(&state.buffer);
+        self.base = state.base as usize;
+        self.total_in = state.total_in as usize;
+        self.k = state.k as usize;
+        self.rotator = state.rotator;
+    }
+
     fn emit_one(&mut self, out: &mut Vec<Complex>) {
         let centre = self.k * self.dc.factor;
         if self.k.is_multiple_of(1024) {
@@ -256,6 +294,25 @@ impl StreamingDownconverter {
         self.rotator *= self.step;
         self.k += 1;
     }
+}
+
+/// Plan-independent dynamic state of a [`StreamingDownconverter`]:
+/// everything a suspended stream needs to resume bitwise-identically once
+/// paired with an identically configured plan. `step` and `w` are
+/// config-derived and rebuilt at restore; the rotator is dynamic (its value
+/// depends on how many outputs have been emitted since the last re-seed).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StreamingDownconverterState {
+    /// Retained input samples (`buffer[0]` is absolute sample `base`).
+    pub buffer: Vec<f64>,
+    /// Absolute input index of `buffer[0]`.
+    pub base: u64,
+    /// Absolute input samples received so far.
+    pub total_in: u64,
+    /// Next output index to emit.
+    pub k: u64,
+    /// Current mixer rotator value.
+    pub rotator: Complex,
 }
 
 /// Windowed-sinc (Hann) low-pass taps with normalized cutoff `fc` (cycles
@@ -685,6 +742,38 @@ mod tests {
         assert_eq!(out.len(), offline.len());
         for (s, o) in out.iter().zip(&offline) {
             assert!(s.re == o.re && s.im == o.im);
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_bitwise() {
+        let audio = chirp(70_001);
+        let dc = Downconverter::paper(32);
+        let offline = dc.process(&audio);
+
+        // Suspend/restore at points that straddle compaction and rotator
+        // re-seed boundaries.
+        for cut in [1_000usize, 33_000, 65_537] {
+            let mut first = StreamingDownconverter::new(dc.clone());
+            let mut out = Vec::new();
+            for chunk in audio[..cut].chunks(997) {
+                first.push(chunk, &mut out);
+            }
+            let state = first.export_state();
+            drop(first);
+            let mut resumed = StreamingDownconverter::new(dc.clone());
+            resumed.restore_state(&state);
+            for chunk in audio[cut..].chunks(997) {
+                resumed.push(chunk, &mut out);
+            }
+            resumed.finish(&mut out);
+            assert_eq!(out.len(), offline.len(), "cut {cut}");
+            for (i, (s, o)) in out.iter().zip(&offline).enumerate() {
+                assert!(
+                    s.re == o.re && s.im == o.im,
+                    "cut {cut} sample {i} diverges: {s:?} vs {o:?}"
+                );
+            }
         }
     }
 

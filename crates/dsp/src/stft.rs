@@ -424,6 +424,43 @@ impl StreamingStft {
         self.start = 0;
         self.total_in = 0;
     }
+
+    /// Captures the dynamic state of this stream — the not-yet-framed
+    /// sample tail and the logical sample clock — detached from the plan.
+    ///
+    /// Frame emission depends only on the pending window content, so a
+    /// stream rebuilt from this state over an identical plan emits bitwise
+    /// the same frames for any future pushes (see
+    /// [`StreamingStft::restore_state`]).
+    pub fn export_state(&self) -> StreamingStftState {
+        StreamingStftState {
+            pending: self.buffer[self.start..].to_vec(),
+            total_in: self.total_in,
+        }
+    }
+
+    /// Overwrites this stream's dynamic state with a previously exported
+    /// one. The plan (FFT size, hop, window, sample rate) must match the
+    /// plan the state was exported under for the resumed output to be
+    /// meaningful; the caller is responsible for that pairing.
+    pub fn restore_state(&mut self, state: &StreamingStftState) {
+        self.buffer.clear();
+        self.buffer.extend_from_slice(&state.pending);
+        self.start = 0;
+        self.total_in = state.total_in;
+    }
+}
+
+/// Plan-independent dynamic state of a [`StreamingStft`]: everything a
+/// suspended stream needs to resume bitwise-identically once paired with an
+/// identical plan. Scratch arenas are intentionally absent — they carry no
+/// state between frames.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StreamingStftState {
+    /// Samples buffered but not yet consumed by a completed frame.
+    pub pending: Vec<f64>,
+    /// Absolute samples received since creation/reset (the logical clock).
+    pub total_in: u64,
 }
 
 /// Shared frame loop behind both [`StreamingStft`] push entry points, split
@@ -728,6 +765,44 @@ mod tests {
         s.reset();
         assert_eq!(s.pending(), 0);
         assert!(s.push(&vec![0.1; 100]).is_empty());
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_bitwise() {
+        let cfg = StftConfig {
+            fft_size: 256,
+            hop: 64,
+            window: WindowKind::Hann,
+            sample_rate: 8000.0,
+        };
+        let sig = tone(1234.0, 8000.0, 2500);
+        let (lo, hi) = (10usize, 40usize);
+        // Uninterrupted reference.
+        let mut oracle = StreamingStft::new(Stft::new(cfg));
+        let mut want: Vec<Vec<f64>> = Vec::new();
+        for chunk in sig.chunks(77) {
+            oracle.push_band_into(chunk, lo, hi, |row| want.push(row.to_vec()));
+        }
+        // Suspend mid-stream at an awkward point, restore into a fresh
+        // stream, finish: the emitted frames must be bitwise identical.
+        let cut = 1003;
+        let mut first = StreamingStft::new(Stft::new(cfg));
+        let mut got: Vec<Vec<f64>> = Vec::new();
+        for chunk in sig[..cut].chunks(77) {
+            first.push_band_into(chunk, lo, hi, |row| got.push(row.to_vec()));
+        }
+        let state = first.export_state();
+        assert_eq!(state.total_in, cut as u64);
+        drop(first);
+        let mut resumed = StreamingStft::new(Stft::new(cfg));
+        resumed.restore_state(&state);
+        for chunk in sig[cut..].chunks(77) {
+            resumed.push_band_into(chunk, lo, hi, |row| got.push(row.to_vec()));
+        }
+        assert_eq!(want.len(), got.len());
+        for (f, (a, b)) in want.iter().zip(&got).enumerate() {
+            assert_eq!(a, b, "frame {f} diverged after restore");
+        }
     }
 
     #[test]

@@ -123,6 +123,32 @@ impl ProfileBuilder {
         }
         sum / count as f64
     }
+
+    /// Captures the dynamic state (retained tail, column count, finish
+    /// flag); the carrier geometry and bin scale are config-derived and not
+    /// included.
+    pub fn export_state(&self) -> ProfileBuilderState {
+        ProfileBuilderState { tail: self.tail, m: self.m, finished: self.finished }
+    }
+
+    /// Overwrites the dynamic state with a previously exported one. Every
+    /// field combination is memory-safe, so this cannot fail.
+    pub fn restore_state(&mut self, state: &ProfileBuilderState) {
+        self.tail = state.tail;
+        self.m = state.m;
+        self.finished = state.finished;
+    }
+}
+
+/// Plan-independent dynamic state of a [`ProfileBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ProfileBuilderState {
+    /// Last raw (deadzoned) contour values, newest last.
+    pub tail: [f64; 3],
+    /// Raw contour values received.
+    pub m: usize,
+    /// Whether `finish` has run.
+    pub finished: bool,
 }
 
 /// Incremental Holoborodko first difference, bitwise equal to
@@ -203,6 +229,39 @@ impl IncrementalDiff {
         self.emitted += 2;
         debug_assert_eq!(self.emitted, self.m);
     }
+
+    /// Captures the dynamic state (retained tail, input/output counts,
+    /// finish flag).
+    pub fn export_state(&self) -> IncrementalDiffState {
+        IncrementalDiffState {
+            tail: self.tail,
+            m: self.m,
+            emitted: self.emitted,
+            finished: self.finished,
+        }
+    }
+
+    /// Overwrites the dynamic state with a previously exported one. Every
+    /// field combination is memory-safe, so this cannot fail.
+    pub fn restore_state(&mut self, state: &IncrementalDiffState) {
+        self.tail = state.tail;
+        self.m = state.m;
+        self.emitted = state.emitted;
+        self.finished = state.finished;
+    }
+}
+
+/// Dynamic state of an [`IncrementalDiff`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IncrementalDiffState {
+    /// Last five inputs, newest last.
+    pub tail: [f64; 5],
+    /// Inputs received.
+    pub m: usize,
+    /// Outputs emitted.
+    pub emitted: usize,
+    /// Whether `finish` has run.
+    pub finished: bool,
 }
 
 impl Default for IncrementalDiff {
@@ -549,6 +608,71 @@ impl StreamingSegmenter {
         }
     }
 
+    /// Captures the dynamic state of this segmenter (both tapes with their
+    /// absolute bases, the interpreter position, and the finish flag); the
+    /// thresholds are config-derived and not included.
+    pub fn export_state(&self) -> StreamingSegmenterState {
+        StreamingSegmenterState {
+            shifts_base: self.shifts.base,
+            shifts: self.shifts.data.clone(),
+            acc_base: self.acc.base,
+            acc: self.acc.data.clone(),
+            phase: match self.state {
+                SegState::Scan { i } => SegmenterPhase::Scan { i },
+                SegState::Forward { i, start, k } => SegmenterPhase::Forward { i, start, k },
+                SegState::Gap { end } => SegmenterPhase::Gap { end },
+            },
+            finished: self.finished,
+        }
+    }
+
+    /// Overwrites this segmenter's dynamic state with a previously exported
+    /// one, validating the interpreter position against the tapes first so
+    /// a corrupted state is rejected instead of panicking on a later poll.
+    /// The segmenter must have been built with the same config and hop the
+    /// state was exported under.
+    pub fn restore_state(&mut self, state: &StreamingSegmenterState) -> Result<(), &'static str> {
+        let n_sh = state.shifts_base + state.shifts.len();
+        let n_ac = state.acc_base + state.acc.len();
+        if n_ac > n_sh {
+            return Err("segmenter state: acceleration tape ahead of shifts");
+        }
+        let bases_ok = |limit: usize| state.shifts_base <= limit && state.acc_base <= limit;
+        match state.phase {
+            SegmenterPhase::Scan { i } => {
+                if !bases_ok(i.saturating_sub(self.cfg.max_backtrack)) {
+                    return Err("segmenter state: tapes trimmed past the scan window");
+                }
+            }
+            SegmenterPhase::Forward { i, start, k } => {
+                if start > i || k <= i || k > n_ac {
+                    return Err("segmenter state: inconsistent forward-search position");
+                }
+                if !bases_ok(start.min(i.saturating_sub(self.cfg.max_backtrack))) {
+                    return Err("segmenter state: tapes trimmed past the armed stroke");
+                }
+            }
+            SegmenterPhase::Gap { end } => {
+                if end > n_sh || !bases_ok(end.saturating_sub(self.cfg.max_backtrack)) {
+                    return Err("segmenter state: inconsistent gap position");
+                }
+            }
+        }
+        self.shifts.data.clear();
+        self.shifts.data.extend_from_slice(&state.shifts);
+        self.shifts.base = state.shifts_base;
+        self.acc.data.clear();
+        self.acc.data.extend_from_slice(&state.acc);
+        self.acc.base = state.acc_base;
+        self.state = match state.phase {
+            SegmenterPhase::Scan { i } => SegState::Scan { i },
+            SegmenterPhase::Forward { i, start, k } => SegState::Forward { i, start, k },
+            SegmenterPhase::Gap { end } => SegState::Gap { end },
+        };
+        self.finished = state.finished;
+        Ok(())
+    }
+
     /// The batch acceptance filters; pushes the segment (with its shifts)
     /// when they pass.
     fn emit(&mut self, start: usize, end: usize, out: &mut Vec<SegmentedStroke>) {
@@ -581,6 +705,57 @@ impl StreamingSegmenter {
             });
         }
     }
+}
+
+/// The streaming segmenter's interpreter position, mirrored into a public
+/// shape for state export (see [`StreamingSegmenter::export_state`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmenterPhase {
+    /// Outer loop at index `i`, not armed.
+    Scan {
+        /// Current scan index.
+        i: usize,
+    },
+    /// Armed at `i` with backtracked `start`; forward end search at `k`.
+    Forward {
+        /// Arm index.
+        i: usize,
+        /// Backtracked stroke start.
+        start: usize,
+        /// Forward search position.
+        k: usize,
+    },
+    /// Segment ended at `end`; waiting to learn the resume index.
+    Gap {
+        /// Frame the stroke ended at.
+        end: usize,
+    },
+}
+
+impl Default for SegmenterPhase {
+    fn default() -> Self {
+        SegmenterPhase::Scan { i: 0 }
+    }
+}
+
+/// Plan-independent dynamic state of a [`StreamingSegmenter`]: both tapes
+/// captured verbatim with their absolute base offsets (trimming is lazy, so
+/// the physical window shape matters for bitwise replay), plus the
+/// interpreter position.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StreamingSegmenterState {
+    /// Absolute frame index of the first retained shift.
+    pub shifts_base: usize,
+    /// Retained smoothed shift frames.
+    pub shifts: Vec<f64>,
+    /// Absolute frame index of the first retained acceleration frame.
+    pub acc_base: usize,
+    /// Retained acceleration frames.
+    pub acc: Vec<f64>,
+    /// Interpreter position inside the scan loop.
+    pub phase: SegmenterPhase,
+    /// Whether `finish` has run.
+    pub finished: bool,
 }
 
 #[cfg(test)]
@@ -825,6 +1000,93 @@ mod tests {
         let second = run(&mut seg, &mut diff);
         assert_eq!(first, second, "reset segmenter/diff must replay bitwise");
         assert_eq!(first.len(), 2);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_bitwise() {
+        let mut p = vec![0.0; 260];
+        add_stroke(&mut p, 30, 14, 55.0);
+        add_stroke(&mut p, 110, 14, -65.0);
+        add_stroke(&mut p, 200, 14, 60.0);
+        let (we, wl) = run_streaming(&p);
+        let want: Vec<SegmentedStroke> = we.into_iter().chain(wl).collect();
+
+        // Suspend while scanning, mid-stroke (armed), and inside the gap.
+        for cut in [10usize, 36, 118, 205, 255] {
+            let mut seg = StreamingSegmenter::new(SegmentConfig::paper(), HOP);
+            let mut diff = IncrementalDiff::new();
+            let mut builder_out = Vec::new();
+            let mut accs = Vec::new();
+            let mut feed = |seg: &mut StreamingSegmenter,
+                            diff: &mut IncrementalDiff,
+                            out: &mut Vec<SegmentedStroke>,
+                            s: f64| {
+                seg.push_shift(s);
+                accs.clear();
+                diff.push(s, &mut accs);
+                for &a in &accs {
+                    seg.push_acc(a);
+                }
+                seg.poll(out);
+            };
+            for &s in &p[..cut] {
+                feed(&mut seg, &mut diff, &mut builder_out, s);
+            }
+            let seg_state = seg.export_state();
+            let diff_state = diff.export_state();
+            drop(seg);
+            drop(diff);
+            let mut seg = StreamingSegmenter::new(SegmentConfig::paper(), HOP);
+            seg.restore_state(&seg_state).expect("valid exported state");
+            let mut diff = IncrementalDiff::new();
+            diff.restore_state(&diff_state);
+            for &s in &p[cut..] {
+                feed(&mut seg, &mut diff, &mut builder_out, s);
+            }
+            accs.clear();
+            diff.finish(&mut accs);
+            for &a in &accs {
+                seg.push_acc(a);
+            }
+            seg.finish(&mut builder_out);
+            assert_eq!(builder_out, want, "cut {cut} diverged after restore");
+        }
+    }
+
+    #[test]
+    fn segmenter_restore_rejects_corrupt_state() {
+        let mut p = vec![0.0; 120];
+        add_stroke(&mut p, 30, 14, 55.0);
+        let mut seg = StreamingSegmenter::new(SegmentConfig::paper(), HOP);
+        let mut diff = IncrementalDiff::new();
+        let mut accs = Vec::new();
+        let mut out = Vec::new();
+        for &s in &p {
+            seg.push_shift(s);
+            accs.clear();
+            diff.push(s, &mut accs);
+            for &a in &accs {
+                seg.push_acc(a);
+            }
+            seg.poll(&mut out);
+        }
+        let good = seg.export_state();
+        let mut fresh = StreamingSegmenter::new(SegmentConfig::paper(), HOP);
+        assert!(fresh.restore_state(&good).is_ok());
+
+        let mut bad = good.clone();
+        for _ in 0..4 {
+            bad.acc.push(0.0);
+        }
+        assert!(fresh.restore_state(&bad).is_err(), "acc ahead of shifts accepted");
+
+        let mut bad = good.clone();
+        bad.shifts_base = usize::MAX / 2;
+        assert!(fresh.restore_state(&bad).is_err(), "wild tape base accepted");
+
+        let mut bad = good;
+        bad.phase = SegmenterPhase::Forward { i: 5, start: 9, k: 6 };
+        assert!(fresh.restore_state(&bad).is_err(), "start past arm accepted");
     }
 
     #[test]

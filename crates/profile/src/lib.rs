@@ -22,7 +22,10 @@ pub mod profile;
 pub mod segment;
 pub mod timing;
 
-pub use incremental::{IncrementalDiff, ProfileBuilder, SegmentedStroke, StreamingSegmenter};
+pub use incremental::{
+    IncrementalDiff, IncrementalDiffState, ProfileBuilder, ProfileBuilderState, SegmentedStroke,
+    SegmenterPhase, StreamingSegmenter, StreamingSegmenterState,
+};
 pub use mvce::{column_contour_row, deadzone_hz, extract_profile};
 pub use profile::DopplerProfile;
 pub use segment::{SegmentConfig, Segmenter, StrokeSegment};

@@ -2,6 +2,23 @@
 
 use echowrite::Parallelism;
 
+/// What the idle reaper does with a session it reclaims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReapPolicy {
+    /// Discard the session's recognition state (the pre-snapshot
+    /// behaviour): a client returning after a reap starts over, and its
+    /// late pushes count as orphan commands.
+    #[default]
+    Drop,
+    /// Suspend the session into the manager's
+    /// [`SnapshotStore`](echowrite_snapshot::SnapshotStore) instead of
+    /// discarding it; the next `Open`/`Push`/`Finish` for the id thaws it
+    /// transparently and the session resumes bitwise where it left off.
+    /// Requires construction via
+    /// [`SessionManager::with_snapshot_store`](crate::SessionManager::with_snapshot_store).
+    SuspendToStore,
+}
+
 /// Tuning knobs for a [`SessionManager`](crate::SessionManager).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
@@ -36,6 +53,10 @@ pub struct ServeConfig {
     /// commands still execute strictly in queue order, so output is
     /// independent of the batch size. `1` disables batching.
     pub batch_max: usize,
+    /// What the idle reaper does with sessions it reclaims: drop them
+    /// (default) or suspend them into the snapshot store for transparent
+    /// resumption.
+    pub reap_policy: ReapPolicy,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +69,7 @@ impl Default for ServeConfig {
             deadline_chunks: None,
             idle_timeout_samples: None,
             batch_max: 8,
+            reap_policy: ReapPolicy::Drop,
         }
     }
 }

@@ -6,8 +6,11 @@
 //! explicit backpressure instead of blocking, an admission controller
 //! sheds opens past a high-water mark, a deadline ladder degrades late
 //! pushes to segment-only output, and a logical-clock reaper reclaims
-//! abandoned sessions. A lock-free [`metrics`] registry observes all of
-//! it, with wall-clock reads quarantined to that module alone.
+//! abandoned sessions — dropping them, or (under
+//! [`ReapPolicy::SuspendToStore`]) suspending them into an
+//! `echowrite-snapshot` store from which the next command transparently
+//! thaws them, bitwise-resumed. A lock-free [`metrics`] registry observes
+//! all of it, with wall-clock reads quarantined to that module alone.
 //!
 //! Dependency-free by construction: std threads and channels only, plus
 //! the workspace's own crates.
@@ -32,7 +35,7 @@ pub mod manager;
 pub mod metrics;
 
 pub use admission::AdmissionController;
-pub use config::ServeConfig;
+pub use config::{ReapPolicy, ServeConfig};
 pub use manager::{
     EventStream, Request, ServeEvent, SessionId, SessionManager, ShutdownReport, SubmitVerdict,
 };

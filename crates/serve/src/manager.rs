@@ -23,13 +23,14 @@
 //! is read anywhere on the result path.
 
 use crate::admission::AdmissionController;
-use crate::config::ServeConfig;
+use crate::config::{ReapPolicy, ServeConfig};
 use crate::metrics::ServeMetrics;
 use echowrite::{EchoWrite, SegmentEvent, SharedDspScratch, StreamingSession};
 use echowrite_profile::Stopwatch;
+use echowrite_snapshot::{restore_in_place, snapshot_session, SnapshotStore};
 use echowrite_trace::{SmallStr, Stage, TICK_UNSET};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -103,6 +104,10 @@ enum Cmd {
     Open { id: u64 },
     Push { id: u64, chunk: Vec<f64>, seq: u64, timer: Stopwatch },
     Finish { id: u64 },
+    /// Remove the session and reply with its encoded snapshot (migration).
+    Export { id: u64, reply: SyncSender<Option<Vec<u8>>> },
+    /// Install an exported snapshot under `id`; replies whether it stuck.
+    Import { id: u64, bytes: Vec<u8>, reply: SyncSender<bool> },
 }
 
 /// Outstanding-command counter backing [`SessionManager::quiesce`] —
@@ -188,6 +193,13 @@ pub struct SessionManager {
     /// [`SessionManager::detach_events`] hands it to an external consumer.
     events: Mutex<Option<Receiver<ServeEvent>>>,
     deadline_chunks: Option<u64>,
+    /// Snapshot store shared with every shard worker (suspend/thaw,
+    /// export of suspended sessions, shutdown drain).
+    store: Option<Arc<dyn SnapshotStore>>,
+    /// When set before the workers stop, each worker suspends its
+    /// remaining live sessions into the store on exit (crash-recovery
+    /// drain; see [`SessionManager::shutdown_to_store`]).
+    drain_on_exit: Arc<AtomicBool>,
 }
 
 /// The detached output side of a manager's event channel (see
@@ -234,15 +246,54 @@ impl SessionManager {
     /// # Errors
     ///
     /// Returns the [`ServeConfig::validate`] message when the
-    /// configuration is invalid.
+    /// configuration is invalid, including a
+    /// [`ReapPolicy::SuspendToStore`] with no store (use
+    /// [`SessionManager::with_snapshot_store`]).
     pub fn new(engine: EchoWrite, config: ServeConfig) -> Result<Self, String> {
+        Self::build(engine, config, None)
+    }
+
+    /// Like [`SessionManager::new`], with a snapshot store shared by every
+    /// shard: enables [`ReapPolicy::SuspendToStore`] eviction, transparent
+    /// thaw of suspended sessions on their next `Open`/`Push`/`Finish`,
+    /// export of suspended sessions, and the
+    /// [`SessionManager::shutdown_to_store`] crash-recovery drain. A store
+    /// outliving the manager (e.g. an
+    /// [`echowrite_snapshot::FileStore`]) carries the suspended sessions
+    /// to the next manager built over it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ServeConfig::validate`] message when the
+    /// configuration is invalid.
+    pub fn with_snapshot_store(
+        engine: EchoWrite,
+        config: ServeConfig,
+        store: Arc<dyn SnapshotStore>,
+    ) -> Result<Self, String> {
+        Self::build(engine, config, Some(store))
+    }
+
+    fn build(
+        engine: EchoWrite,
+        config: ServeConfig,
+        store: Option<Arc<dyn SnapshotStore>>,
+    ) -> Result<Self, String> {
         config.validate()?;
         engine.config().validate()?;
+        if config.reap_policy == ReapPolicy::SuspendToStore && store.is_none() {
+            return Err(
+                "ReapPolicy::SuspendToStore needs a snapshot store; \
+                 construct the manager with with_snapshot_store"
+                    .to_string(),
+            );
+        }
         let engine = Arc::new(engine);
         let admission =
             Arc::new(AdmissionController::new(config.max_sessions, config.high_water));
         let metrics = Arc::new(ServeMetrics::new());
         let (evt_tx, evt_rx) = mpsc::channel();
+        let drain_on_exit = Arc::new(AtomicBool::new(false));
         let mut shards = Vec::with_capacity(config.shard_count());
         for _ in 0..config.shard_count() {
             let (tx, rx) = mpsc::sync_channel(config.queue_capacity);
@@ -263,6 +314,9 @@ impl SessionManager {
                 deadline_chunks: config.deadline_chunks,
                 idle_timeout_samples: config.idle_timeout_samples,
                 batch_max: config.batch_max,
+                reap_policy: config.reap_policy,
+                store: store.clone(),
+                drain_on_exit: drain_on_exit.clone(),
                 sessions: BTreeMap::new(),
                 pool: Vec::new(),
                 scratch: Vec::new(),
@@ -289,6 +343,8 @@ impl SessionManager {
             metrics,
             events: Mutex::new(Some(evt_rx)),
             deadline_chunks: config.deadline_chunks,
+            store,
+            drain_on_exit,
         })
     }
 
@@ -374,6 +430,34 @@ impl SessionManager {
     /// [`Request::Finish`] shorthand.
     pub fn finish(&self, id: SessionId) -> SubmitVerdict {
         self.submit(Request::Finish(id))
+    }
+
+    /// Removes the session from its shard and returns its encoded
+    /// snapshot, for migration to another shard, process, or manager.
+    /// Also exports a session currently *suspended* in the snapshot store.
+    /// Returns `None` when the id is unknown (or the manager is shutting
+    /// down). Blocks until the owning shard reaches the command in queue
+    /// order, so the bytes reflect every previously enqueued push.
+    pub fn export_session(&self, id: SessionId) -> Option<Vec<u8>> {
+        let (reply, rx) = mpsc::sync_channel(1);
+        if self.enqueue(id, Cmd::Export { id: id.0, reply }) != SubmitVerdict::Enqueued {
+            return None;
+        }
+        rx.recv().ok().flatten()
+    }
+
+    /// Installs an exported session snapshot under `id` (on this manager's
+    /// shard for the id — the engine configurations must match, which the
+    /// snapshot's config fingerprint enforces). Admission-controlled like
+    /// an open. Returns `false` when the id is already live, admission
+    /// sheds it, or the bytes fail to decode/restore. Blocks until the
+    /// owning shard processes the command.
+    pub fn import_session(&self, id: SessionId, bytes: Vec<u8>) -> bool {
+        let (reply, rx) = mpsc::sync_channel(1);
+        if self.enqueue(id, Cmd::Import { id: id.0, bytes, reply }) != SubmitVerdict::Enqueued {
+            return false;
+        }
+        rx.recv().unwrap_or(false)
     }
 
     fn enqueue(&self, id: SessionId, cmd: Cmd) -> SubmitVerdict {
@@ -472,6 +556,13 @@ impl SessionManager {
         self.deadline_chunks
     }
 
+    /// The snapshot store this manager was built over (see
+    /// [`SessionManager::with_snapshot_store`]), e.g. to enumerate
+    /// suspended sessions. `None` for a storeless manager.
+    pub fn snapshot_store(&self) -> Option<&Arc<dyn SnapshotStore>> {
+        self.store.as_ref()
+    }
+
     /// Drains the queues, stops every shard worker, and returns the final
     /// metrics snapshot together with every event still undrained in the
     /// channel. Workers send a command's events *before* acknowledging it
@@ -481,11 +572,33 @@ impl SessionManager {
     /// no `Segment`/`Finished` across shutdown.
     pub fn shutdown(self) -> ShutdownReport {
         self.quiesce();
-        let metrics = self.metrics.snapshot();
-        let mut events = Vec::new();
-        self.try_events(&mut events);
+        let metrics = Arc::clone(&self.metrics);
+        let rx = self.events.lock().unwrap_or_else(|e| e.into_inner()).take();
+        // Dropping joins the workers, so events they emit while exiting
+        // (none today, but the drain path reserves the right) and their
+        // final metric updates are visible below.
         drop(self);
-        ShutdownReport { metrics, events }
+        let mut events = Vec::new();
+        if let Some(rx) = rx {
+            while let Ok(ev) = rx.try_recv() {
+                events.push(ev);
+            }
+        }
+        ShutdownReport { metrics: metrics.snapshot(), events }
+    }
+
+    /// Crash-recovery variant of [`SessionManager::shutdown`]: every
+    /// session still live when the workers stop is suspended into the
+    /// snapshot store (counted in `sessions_suspended`), so a fresh
+    /// manager built over the same store with
+    /// [`SessionManager::with_snapshot_store`] thaws them transparently on
+    /// their next command and clients resume mid-word, bitwise. Without a
+    /// store this is exactly [`SessionManager::shutdown`].
+    pub fn shutdown_to_store(self) -> ShutdownReport {
+        // ordering: Release pairs with the worker's Acquire load on exit;
+        // the quiesce/join inside shutdown() sequences everything else.
+        self.drain_on_exit.store(true, Ordering::Release);
+        self.shutdown()
     }
 }
 
@@ -524,6 +637,13 @@ struct Worker {
     idle_timeout_samples: Option<u64>,
     /// Commands drained from the queue per batch round (1 = no batching).
     batch_max: usize,
+    /// Reaper disposition: drop reclaimed sessions or suspend them.
+    reap_policy: ReapPolicy,
+    /// Snapshot store for suspend/thaw/export; shared across shards.
+    store: Option<Arc<dyn SnapshotStore>>,
+    /// Set by [`SessionManager::shutdown_to_store`]: suspend every
+    /// remaining live session into the store when the queue closes.
+    drain_on_exit: Arc<AtomicBool>,
     /// Live sessions pinned to this shard (ordered map: deterministic
     /// iteration for the reaper).
     sessions: BTreeMap<u64, Slot>,
@@ -577,6 +697,8 @@ impl Worker {
                     Cmd::Open { id } => self.handle_open(id),
                     Cmd::Push { id, chunk, seq, timer } => self.handle_push(id, &chunk, seq, timer),
                     Cmd::Finish { id } => self.handle_finish(id),
+                    Cmd::Export { id, reply } => self.handle_export(id, &reply),
+                    Cmd::Import { id, bytes, reply } => self.handle_import(id, &bytes, &reply),
                 }
                 self.commands_done += 1;
                 if self.commands_done.is_multiple_of(REAP_SCAN_EVERY) {
@@ -585,6 +707,200 @@ impl Worker {
                 self.pending.dec();
             }
         }
+        // Crash-recovery drain: the queue closed with the drain flag set,
+        // so suspend every remaining live session into the store — a fresh
+        // manager over the same store thaws them on their next command.
+        // ordering: Acquire pairs with shutdown_to_store's Release store.
+        if self.drain_on_exit.load(Ordering::Acquire) && self.store.is_some() {
+            let ids: Vec<u64> = self.sessions.keys().copied().collect();
+            for id in ids {
+                self.suspend_session(id);
+            }
+        }
+    }
+
+    /// Tries to resurrect a suspended session from the snapshot store.
+    ///
+    /// `admit` is true on the `Push`/`Finish` path, where no admission slot
+    /// is reserved yet; the `Open` path passes false because
+    /// [`SessionManager::submit`] already admitted the id. Returns whether
+    /// the session is now live. On a decode/restore failure the bytes are
+    /// discarded (they cannot become a session under this engine) and the
+    /// caller falls through to its unknown-id behaviour.
+    fn thaw(&mut self, id: u64, admit: bool) -> bool {
+        let Some(store) = self.store.as_ref() else {
+            return false;
+        };
+        let Ok(Some(bytes)) = store.remove(id) else {
+            return false;
+        };
+        if admit && !self.admission.try_admit() {
+            // Shed exactly like an over-water open; park the bytes back so
+            // the session can still thaw once the population drains.
+            let _ = store.put(id, bytes);
+            self.metrics.sessions_shed.inc();
+            return false;
+        }
+        let mut session = match self.pool.pop() {
+            Some(mut s) => {
+                s.reset(&self.engine);
+                s
+            }
+            None => StreamingSession::new(&self.engine),
+        };
+        match restore_in_place(&mut session, &bytes, &self.engine) {
+            Ok(()) => {
+                self.sessions.insert(id, Slot { session, last_active: self.clock_samples });
+                if admit {
+                    self.metrics.sessions_live.inc();
+                }
+                self.metrics.sessions_resumed.inc();
+                if echowrite_trace::enabled() {
+                    echowrite_trace::instant(
+                        Stage::Snapshot,
+                        "session_resume",
+                        self.tick_us(),
+                        SmallStr::from_display(id),
+                    );
+                }
+                true
+            }
+            Err(_) => {
+                // After a failed restore the session is unspecified: reset
+                // before returning it to the pool.
+                session.reset(&self.engine);
+                self.pool.push(session);
+                if admit {
+                    self.admission.release();
+                }
+                false
+            }
+        }
+    }
+
+    /// Suspends one live session into the snapshot store (reaper eviction
+    /// and the shutdown drain). Falls back to a plain reap when the store
+    /// write fails — the session is then gone, exactly as under
+    /// [`ReapPolicy::Drop`], and the `Reaped` event says so.
+    fn suspend_session(&mut self, id: u64) {
+        let Some(mut slot) = self.sessions.remove(&id) else {
+            return;
+        };
+        let Some(store) = self.store.as_ref() else {
+            // No store: behave as a plain reap (callers gate on the store,
+            // so this is a defensive arm, not a reachable policy).
+            self.pool.push(slot.session);
+            let _ = self.events.send(ServeEvent::Reaped { session: SessionId(id) });
+            self.admission.release();
+            self.metrics.sessions_reaped.inc();
+            self.metrics.sessions_live.dec();
+            return;
+        };
+        let bytes = snapshot_session(&slot.session, &self.engine);
+        let stored = store.put(id, bytes).is_ok();
+        slot.session.reset(&self.engine);
+        self.pool.push(slot.session);
+        self.admission.release();
+        self.metrics.sessions_live.dec();
+        if stored {
+            self.metrics.sessions_suspended.inc();
+            if echowrite_trace::enabled() {
+                echowrite_trace::instant(
+                    Stage::Snapshot,
+                    "session_suspend",
+                    self.tick_us(),
+                    SmallStr::from_display(id),
+                );
+            }
+        } else {
+            let _ = self.events.send(ServeEvent::Reaped { session: SessionId(id) });
+            self.metrics.sessions_reaped.inc();
+            if echowrite_trace::enabled() {
+                echowrite_trace::instant(
+                    Stage::Serve,
+                    "session_reaped",
+                    self.tick_us(),
+                    SmallStr::from_display(id),
+                );
+            }
+        }
+    }
+
+    /// [`Cmd::Export`]: hand the session's snapshot to the caller and
+    /// forget it — live sessions are serialized and released, suspended
+    /// ones are pulled straight out of the store.
+    fn handle_export(&mut self, id: u64, reply: &SyncSender<Option<Vec<u8>>>) {
+        let out = if let Some(mut slot) = self.sessions.remove(&id) {
+            let bytes = snapshot_session(&slot.session, &self.engine);
+            slot.session.reset(&self.engine);
+            self.pool.push(slot.session);
+            self.admission.release();
+            self.metrics.sessions_live.dec();
+            self.metrics.sessions_suspended.inc();
+            if echowrite_trace::enabled() {
+                echowrite_trace::instant(
+                    Stage::Snapshot,
+                    "session_export",
+                    self.tick_us(),
+                    SmallStr::from_display(id),
+                );
+            }
+            Some(bytes)
+        } else if let Some(bytes) =
+            self.store.as_ref().and_then(|s| s.remove(id).ok().flatten())
+        {
+            // Already suspended: its live-count bookkeeping happened at
+            // suspend time, so the bytes just change owners.
+            Some(bytes)
+        } else {
+            self.metrics.orphan_commands.inc();
+            None
+        };
+        let _ = reply.send(out);
+    }
+
+    /// [`Cmd::Import`]: install an exported snapshot as a live session,
+    /// admission-controlled like an open.
+    fn handle_import(&mut self, id: u64, bytes: &[u8], reply: &SyncSender<bool>) {
+        if self.sessions.contains_key(&id) {
+            let _ = reply.send(false);
+            return;
+        }
+        if !self.admission.try_admit() {
+            self.metrics.sessions_shed.inc();
+            let _ = reply.send(false);
+            return;
+        }
+        let mut session = match self.pool.pop() {
+            Some(mut s) => {
+                s.reset(&self.engine);
+                s
+            }
+            None => StreamingSession::new(&self.engine),
+        };
+        let ok = match restore_in_place(&mut session, bytes, &self.engine) {
+            Ok(()) => {
+                self.sessions.insert(id, Slot { session, last_active: self.clock_samples });
+                self.metrics.sessions_live.inc();
+                self.metrics.sessions_resumed.inc();
+                if echowrite_trace::enabled() {
+                    echowrite_trace::instant(
+                        Stage::Snapshot,
+                        "session_import",
+                        self.tick_us(),
+                        SmallStr::from_display(id),
+                    );
+                }
+                true
+            }
+            Err(_) => {
+                session.reset(&self.engine);
+                self.pool.push(session);
+                self.admission.release();
+                false
+            }
+        };
+        let _ = reply.send(ok);
     }
 
     fn handle_open(&mut self, id: u64) {
@@ -606,6 +922,11 @@ impl Worker {
                     SmallStr::from_display(id),
                 );
             }
+            return;
+        }
+        // A suspended session thaws on re-open instead of starting over;
+        // submit() already reserved this open's admission slot.
+        if self.thaw(id, false) {
             return;
         }
         let session = match self.pool.pop() {
@@ -630,6 +951,13 @@ impl Worker {
     fn handle_push(&mut self, id: u64, chunk: &[f64], seq: u64, timer: Stopwatch) {
         #[cfg(test)]
         self.seq_log.lock().unwrap_or_else(|e| e.into_inner()).push(seq);
+        // A push racing the reaper: under SuspendToStore the session was
+        // parked, not destroyed — thaw it and the push lands as if the
+        // reap never happened.
+        if !self.sessions.contains_key(&id) && !self.thaw(id, true) {
+            self.metrics.orphan_commands.inc();
+            return;
+        }
         let Some(slot) = self.sessions.get_mut(&id) else {
             self.metrics.orphan_commands.inc();
             return;
@@ -678,6 +1006,12 @@ impl Worker {
     }
 
     fn handle_finish(&mut self, id: u64) {
+        // Like the push path: a finish for a suspended session thaws it
+        // first so the tail segments flush instead of being orphaned.
+        if !self.sessions.contains_key(&id) && !self.thaw(id, true) {
+            self.metrics.orphan_commands.inc();
+            return;
+        }
         let Some(mut slot) = self.sessions.remove(&id) else {
             self.metrics.orphan_commands.inc();
             return;
@@ -716,7 +1050,12 @@ impl Worker {
             .filter(|(_, slot)| clock.saturating_sub(slot.last_active) > timeout)
             .map(|(&id, _)| id)
             .collect();
+        let suspend = self.reap_policy == ReapPolicy::SuspendToStore && self.store.is_some();
         for id in stale {
+            if suspend {
+                self.suspend_session(id);
+                continue;
+            }
             if let Some(slot) = self.sessions.remove(&id) {
                 self.pool.push(slot.session);
                 let _ = self.events.send(ServeEvent::Reaped { session: SessionId(id) });
@@ -1043,5 +1382,240 @@ mod tests {
             }
         }
         assert!(finished, "detached stream must deliver the Finished event");
+    }
+
+    // ---- suspend/resume (echowrite-snapshot integration) ----
+
+    use echowrite::StreamingRecognizer;
+    use echowrite_gesture::{Stroke, Writer, WriterParams};
+    use echowrite_snapshot::MemoryStore;
+    use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+
+    /// A transcript row, DTW score bits included.
+    type Row = (usize, usize, Stroke, [f64; 6], [f64; 6]);
+
+    /// The cheap down-converted engine the wire tests also serve with.
+    fn snap_engine() -> EchoWrite {
+        EchoWrite::with_config(echowrite::EchoWriteConfig::streaming_downsampled(32))
+    }
+
+    fn render(strokes: &[Stroke], seed: u64, tail: f64) -> Vec<f64> {
+        let perf = Writer::new(WriterParams::nominal(), seed).write_sequence(strokes);
+        let mut traj = perf.trajectory;
+        if tail > 0.0 {
+            let last = *traj.points().last().expect("non-empty trajectory");
+            traj.hold(last, tail);
+        }
+        Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), seed).render(&traj)
+    }
+
+    /// Oracle: one uninterrupted recognizer over `parts` in order.
+    fn oracle_rows(engine: &EchoWrite, parts: &[&[f64]]) -> Vec<Row> {
+        let mut rec = StreamingRecognizer::new(engine);
+        let mut rows = Vec::new();
+        for part in parts {
+            for ev in rec.push(part) {
+                rows.push((
+                    ev.start_frame,
+                    ev.end_frame,
+                    ev.classification.stroke,
+                    ev.classification.distances,
+                    ev.classification.scores,
+                ));
+            }
+        }
+        for ev in rec.finish() {
+            rows.push((
+                ev.start_frame,
+                ev.end_frame,
+                ev.classification.stroke,
+                ev.classification.distances,
+                ev.classification.scores,
+            ));
+        }
+        rows
+    }
+
+    fn rows_of(events: &[ServeEvent], id: SessionId) -> Vec<Row> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                ServeEvent::Segment { session, segment } if *session == id => {
+                    let c = segment.classification.as_ref().expect("classified segment");
+                    Some((segment.start_frame, segment.end_frame, c.stroke, c.distances, c.scores))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Ages `idle` past the reap timeout by pushing silence through `busy`
+    /// on the same (single) shard until the reaper has scanned.
+    fn age_past_reap(m: &SessionManager, busy: SessionId) {
+        for _ in 0..(REAP_SCAN_EVERY + 8) {
+            assert_eq!(m.push(busy, &[0.0; 1024]), SubmitVerdict::Enqueued);
+            m.quiesce();
+        }
+    }
+
+    /// Satellite regression (reaper/late-push race, `Drop` policy): a push
+    /// that loses the race against the reaper lands on a dead id and must
+    /// be counted as an orphan, not crash or resurrect state.
+    #[test]
+    fn drop_policy_counts_late_push_as_orphan() {
+        let m = manager(ServeConfig {
+            shards: Parallelism::Threads(1),
+            idle_timeout_samples: Some(10_000),
+            ..ServeConfig::default()
+        });
+        let idle = SessionId(1);
+        let busy = SessionId(2);
+        let _ = m.open(idle);
+        let _ = m.open(busy);
+        let _ = m.push(idle, &[0.0; 1024]);
+        age_past_reap(&m, busy);
+        assert_eq!(m.metrics().sessions_reaped.get(), 1);
+        // The late push arrives after the reap: orphaned under Drop.
+        let _ = m.push(idle, &[0.0; 1024]);
+        m.quiesce();
+        assert_eq!(m.metrics().orphan_commands.get(), 1);
+        assert_eq!(m.metrics().sessions_resumed.get(), 0);
+    }
+
+    /// Tentpole: under `SuspendToStore` the same race thaws the session
+    /// instead — zero orphans, and the resumed transcript is bitwise
+    /// identical (frames, stroke, DTW distance and score bits) to a
+    /// session that was never suspended.
+    #[test]
+    fn suspend_policy_thaws_late_push_bitwise() {
+        let engine = snap_engine();
+        let audio = render(&[Stroke::S2, Stroke::S5], 11, 1.2);
+        let (a, b) = audio.split_at(audio.len() / 2);
+        let oracle = oracle_rows(&engine, &[a, b]);
+        assert!(!oracle.is_empty(), "test audio must produce segments");
+
+        let store = Arc::new(MemoryStore::new());
+        let m = SessionManager::with_snapshot_store(
+            engine,
+            ServeConfig {
+                shards: Parallelism::Threads(1),
+                idle_timeout_samples: Some(10_000),
+                reap_policy: ReapPolicy::SuspendToStore,
+                ..ServeConfig::default()
+            },
+            store.clone(),
+        )
+        .expect("valid suspend config");
+        let id = SessionId(1);
+        let busy = SessionId(2);
+        let _ = m.open(id);
+        let _ = m.open(busy);
+        assert_eq!(m.push(id, a), SubmitVerdict::Enqueued);
+        age_past_reap(&m, busy);
+        m.quiesce();
+        assert_eq!(m.metrics().sessions_suspended.get(), 1, "idle session must suspend");
+        assert!(store.contains(id.0).expect("store read"), "snapshot parked in the store");
+        assert_eq!(m.metrics().sessions_reaped.get(), 0, "suspend is not a reap");
+        // The late push thaws the session transparently.
+        assert_eq!(m.push(id, b), SubmitVerdict::Enqueued);
+        assert_eq!(m.finish(id), SubmitVerdict::Enqueued);
+        m.quiesce();
+        let mut events = Vec::new();
+        m.try_events(&mut events);
+        assert_eq!(rows_of(&events, id), oracle, "resumed transcript must be bitwise");
+        assert_eq!(m.metrics().orphan_commands.get(), 0);
+        assert_eq!(m.metrics().sessions_resumed.get(), 1);
+        assert!(!store.contains(id.0).expect("store read"), "thaw consumes the snapshot");
+        let _ = m.finish(busy);
+        m.quiesce();
+        assert_eq!(m.live_sessions(), 0, "admission accounting balanced across suspend/thaw");
+    }
+
+    /// Tentpole: `export_session`/`import_session` migrate a mid-word
+    /// session across managers (processes, in production) bitwise.
+    #[test]
+    fn export_import_migrates_mid_word_bitwise() {
+        let audio = render(&[Stroke::S3, Stroke::S6], 31, 1.0);
+        let (a, b) = audio.split_at(audio.len() / 2);
+        let oracle = oracle_rows(&snap_engine(), &[a, b]);
+        assert!(!oracle.is_empty(), "test audio must produce segments");
+
+        let cfg = ServeConfig { shards: Parallelism::Threads(2), ..ServeConfig::default() };
+        let src = SessionManager::new(snap_engine(), cfg.clone()).expect("src manager");
+        let id = SessionId(77);
+        let _ = src.open(id);
+        assert_eq!(src.push(id, a), SubmitVerdict::Enqueued);
+        let bytes = src.export_session(id).expect("live session exports");
+        assert_eq!(src.live_sessions(), 0, "export releases the session");
+        assert!(src.export_session(id).is_none(), "second export finds nothing");
+        let mut events = Vec::new();
+        src.try_events(&mut events);
+        let head = rows_of(&events, id);
+        drop(src.shutdown());
+
+        let dst = SessionManager::new(snap_engine(), cfg).expect("dst manager");
+        assert!(!dst.import_session(id, b"garbage".to_vec()), "garbage must not import");
+        assert!(dst.import_session(id, bytes.clone()), "exported bytes import");
+        assert!(!dst.import_session(id, bytes), "double import of a live id refused");
+        assert_eq!(dst.push(id, b), SubmitVerdict::Enqueued);
+        assert_eq!(dst.finish(id), SubmitVerdict::Enqueued);
+        dst.quiesce();
+        let mut tail_events = Vec::new();
+        dst.try_events(&mut tail_events);
+        let mut got = head;
+        got.extend(rows_of(&tail_events, id));
+        assert_eq!(got, oracle, "migrated transcript must be bitwise");
+        assert_eq!(dst.live_sessions(), 0);
+    }
+
+    /// Tentpole: `shutdown_to_store` drains live sessions into the store;
+    /// a fresh manager over the same store thaws them on the next push and
+    /// the client finishes its word bitwise.
+    #[test]
+    fn shutdown_to_store_survives_manager_restart() {
+        let audio = render(&[Stroke::S1, Stroke::S2], 47, 1.1);
+        let (a, b) = audio.split_at(audio.len() / 2);
+        let oracle = oracle_rows(&snap_engine(), &[a, b]);
+        assert!(!oracle.is_empty(), "test audio must produce segments");
+
+        let store = Arc::new(MemoryStore::new());
+        let cfg = ServeConfig { shards: Parallelism::Threads(2), ..ServeConfig::default() };
+        let id = SessionId(9);
+        let first =
+            SessionManager::with_snapshot_store(snap_engine(), cfg.clone(), store.clone())
+                .expect("first manager");
+        let _ = first.open(id);
+        assert_eq!(first.push(id, a), SubmitVerdict::Enqueued);
+        first.quiesce();
+        let mut events = Vec::new();
+        first.try_events(&mut events);
+        let head = rows_of(&events, id);
+        let report = first.shutdown_to_store();
+        assert_eq!(report.metrics.sessions_suspended, 1, "drain suspends the live session");
+        assert_eq!(store.sessions().expect("store list"), vec![id.0]);
+
+        let second = SessionManager::with_snapshot_store(snap_engine(), cfg, store.clone())
+            .expect("second manager");
+        // No re-open: the bare push must thaw the drained session.
+        assert_eq!(second.push(id, b), SubmitVerdict::Enqueued);
+        assert_eq!(second.finish(id), SubmitVerdict::Enqueued);
+        second.quiesce();
+        let mut tail_events = Vec::new();
+        second.try_events(&mut tail_events);
+        let mut got = head;
+        got.extend(rows_of(&tail_events, id));
+        assert_eq!(got, oracle, "restart transcript must be bitwise");
+        assert_eq!(second.metrics().sessions_resumed.get(), 1);
+        assert_eq!(second.metrics().orphan_commands.get(), 0);
+        assert_eq!(second.live_sessions(), 0);
+    }
+
+    /// `SuspendToStore` without a store is a construction error, not a
+    /// silent fallback.
+    #[test]
+    fn suspend_policy_requires_a_store() {
+        let cfg =
+            ServeConfig { reap_policy: ReapPolicy::SuspendToStore, ..ServeConfig::default() };
+        assert!(SessionManager::new(snap_engine(), cfg).is_err());
     }
 }

@@ -40,6 +40,12 @@ pub struct ServeMetrics {
     pub sessions_finished: Counter,
     /// Sessions reclaimed by the idle reaper.
     pub sessions_reaped: Counter,
+    /// Sessions suspended into the snapshot store (reaper eviction,
+    /// explicit export, or a shutdown drain).
+    pub sessions_suspended: Counter,
+    /// Sessions resumed from the snapshot store (a thaw on `Open`/`Push`/
+    /// `Finish`, or an explicit import).
+    pub sessions_resumed: Counter,
     /// Idempotent re-opens of an already-live session id (a retrying
     /// client re-sending an `Open` whose ack it lost).
     pub sessions_reopened: Counter,
@@ -93,6 +99,8 @@ impl ServeMetrics {
             sessions_opened: Counter::default(),
             sessions_finished: Counter::default(),
             sessions_reaped: Counter::default(),
+            sessions_suspended: Counter::default(),
+            sessions_resumed: Counter::default(),
             sessions_reopened: Counter::default(),
             sessions_shed: Counter::default(),
             sessions_live: Gauge::default(),
@@ -127,6 +135,8 @@ impl ServeMetrics {
             sessions_opened: self.sessions_opened.get(),
             sessions_finished: self.sessions_finished.get(),
             sessions_reaped: self.sessions_reaped.get(),
+            sessions_suspended: self.sessions_suspended.get(),
+            sessions_resumed: self.sessions_resumed.get(),
             sessions_reopened: self.sessions_reopened.get(),
             sessions_shed: self.sessions_shed.get(),
             sessions_live: self.sessions_live.get(),
@@ -166,6 +176,10 @@ pub struct MetricsSnapshot {
     pub sessions_finished: u64,
     /// Sessions reclaimed by the idle reaper.
     pub sessions_reaped: u64,
+    /// Sessions suspended into the snapshot store.
+    pub sessions_suspended: u64,
+    /// Sessions resumed from the snapshot store.
+    pub sessions_resumed: u64,
     /// Idempotent re-opens of an already-live session id.
     pub sessions_reopened: u64,
     /// Open attempts rejected by the admission controller.
@@ -221,7 +235,7 @@ impl MetricsSnapshot {
             "Build metadata for the serving layer.",
             &[("crate", "echowrite-serve"), ("version", env!("CARGO_PKG_VERSION"))],
         );
-        let counters: [(&str, &str, u64); 16] = [
+        let counters: [(&str, &str, u64); 18] = [
             (
                 "echowrite_serve_sessions_opened_total",
                 "Sessions admitted and opened.",
@@ -236,6 +250,16 @@ impl MetricsSnapshot {
                 "echowrite_serve_sessions_reaped_total",
                 "Sessions reclaimed by the idle reaper.",
                 self.sessions_reaped,
+            ),
+            (
+                "echowrite_serve_sessions_suspended_total",
+                "Sessions suspended into the snapshot store.",
+                self.sessions_suspended,
+            ),
+            (
+                "echowrite_serve_sessions_resumed_total",
+                "Sessions resumed from the snapshot store.",
+                self.sessions_resumed,
             ),
             (
                 "echowrite_serve_sessions_reopened_total",
@@ -411,6 +435,8 @@ mod tests {
         let text = m.to_prometheus();
         for family in [
             "echowrite_serve_sessions_opened_total",
+            "echowrite_serve_sessions_suspended_total",
+            "echowrite_serve_sessions_resumed_total",
             "echowrite_serve_sessions_reopened_total",
             "echowrite_serve_sessions_shed_total",
             "echowrite_serve_wire_connections_total",

@@ -1,0 +1,986 @@
+//! The versioned binary snapshot codec.
+//!
+//! # Wire grammar
+//!
+//! All integers are little-endian; `f64` values are their IEEE-754 bit
+//! patterns as `u64` (bitwise, not lossy-printed); `usize` counters travel
+//! as `u64`. A `vec` is a `u64` element count followed by that many
+//! elements; decode pre-checks the count against the remaining payload
+//! before allocating, so a forged count cannot balloon memory.
+//!
+//! ```text
+//! snapshot    := header body
+//! header      := magic:"EWSN" version:u16 fingerprint:u64
+//!                flavor:u8 finished:u8 samples_in:u64
+//! body        := replay | incremental          -- selected by flavor
+//!
+//! replay      := buffer:vec<f64> background:opt<vec<f64>> dropped:u64
+//!                emitted:vec<(u64,u64)> emitted_until:u64 max_samples:u64
+//!
+//! incremental := front chain frames_in:u64 emitted_until:u64
+//! front       := 0x01 stft | 0x02 down
+//! stft        := pending:vec<f64> total_in:u64
+//! down        := sdc baseband:vec<complex> base:u64 next_frame:u64
+//! sdc         := buffer:vec<f64> base:u64 total_in:u64 k:u64 rotator:complex
+//! chain       := enhancer builder diff segmenter
+//! enhancer    := raw_base:u64 raw_cols:vec<vec<f64>> raw_n:u64 med_n:u64
+//!                pre_bg:vec<vec<f64>> background:opt<vec<f64>>
+//!                thr_base:u64 thr_cols:vec<vec<f64>> thr_n:u64 h_n:u64
+//!                holes finished:bool
+//! holes       := parent:vec<u64> border:vec<bool> last_col:vec<u64>
+//!                frontier:vec<(u64,u64,u64)>
+//!                pending:vec<(vec<f64>, vec<(u64,u64,u64)>)>
+//!                pushed:u64 next_emit:u64
+//! builder     := tail:f64[3] m:u64 finished:bool
+//! diff        := tail:f64[5] m:u64 emitted:u64 finished:bool
+//! segmenter   := shifts_base:u64 shifts:vec<f64> acc_base:u64 acc:vec<f64>
+//!                phase finished:bool
+//! phase       := 0x01 i:u64 | 0x02 i:u64 start:u64 k:u64 | 0x03 end:u64
+//! complex     := re:f64 im:f64
+//! opt<T>      := 0x00 | 0x01 T
+//! bool        := 0x00 | 0x01
+//! ```
+//!
+//! # Version and compatibility policy
+//!
+//! The header carries a format [`VERSION`] and a fingerprint of the engine
+//! configuration that produced the state ([`config_fingerprint`]). Decoding
+//! refuses any version other than the current one
+//! ([`SnapshotError::UnsupportedVersion`]) and any fingerprint that
+//! disagrees with the restoring engine's
+//! ([`SnapshotError::ConfigMismatch`]): a snapshot only guarantees bitwise
+//! resumption under the exact configuration that produced it, so silently
+//! restoring across configs would trade a loud error for wrong output. The
+//! format has no forward- or backward-compat shims by design — a version
+//! bump is a migration event, not a negotiation.
+//!
+//! Decoding is strict: every section length-checks before reading, trailing
+//! bytes are an error, and no input — truncated, bit-flipped, or
+//! adversarial — panics. Structural invariants (cursor monotonicity,
+//! window geometry, cross-stage accounting) are then re-validated by
+//! [`StreamingSession::restore_state`], whose refusals surface as
+//! [`SnapshotError::Restore`].
+
+use echowrite::{
+    ChainState, DownState, EchoWrite, EchoWriteConfig, FrontState, IncrementalState, ReplayState,
+    RestoreError, SessionBody, SessionState, SnapshotState, StreamingSession,
+};
+use echowrite_dsp::downconvert::StreamingDownconverterState;
+use echowrite_dsp::stft::StreamingStftState;
+use echowrite_dsp::Complex;
+use echowrite_profile::{
+    IncrementalDiffState, ProfileBuilderState, SegmenterPhase, StreamingSegmenterState,
+};
+use echowrite_spectro::{EnhancerState, HoleFillerState};
+use echowrite_trace::{samples_to_us, span, Stage};
+use std::fmt;
+
+/// The four magic bytes opening every snapshot: `"EWSN"`.
+pub const MAGIC: [u8; 4] = *b"EWSN";
+
+/// Current snapshot format version. Bumped on any grammar change; decode
+/// accepts exactly this version.
+pub const VERSION: u16 = 1;
+
+const FLAVOR_REPLAY: u8 = 0x01;
+const FLAVOR_INCREMENTAL: u8 = 0x02;
+const FRONT_FULL: u8 = 0x01;
+const FRONT_DOWN: u8 = 0x02;
+const PHASE_SCAN: u8 = 0x01;
+const PHASE_FORWARD: u8 = 0x02;
+const PHASE_GAP: u8 = 0x03;
+
+/// Why a snapshot could not be decoded or restored.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The payload does not start with [`MAGIC`].
+    BadMagic,
+    /// The header's format version is not [`VERSION`].
+    UnsupportedVersion(u16),
+    /// The header's configuration fingerprint disagrees with the restoring
+    /// engine's — the snapshot was taken under a different configuration.
+    ConfigMismatch {
+        /// Fingerprint of the restoring engine's configuration.
+        expected: u64,
+        /// Fingerprint recorded in the snapshot header.
+        found: u64,
+    },
+    /// The header's flavor byte is neither replay nor incremental.
+    BadFlavor(u8),
+    /// The payload ended before a section was complete, or a length prefix
+    /// exceeded the remaining payload.
+    Truncated,
+    /// A section decoded but carried an ill-formed value; the message names
+    /// the offending field.
+    Malformed(&'static str),
+    /// The state decoded cleanly but the session refused to restore it.
+    Restore(RestoreError),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a snapshot: bad magic"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (expected {VERSION})")
+            }
+            SnapshotError::ConfigMismatch { expected, found } => write!(
+                f,
+                "snapshot was taken under a different configuration \
+                 (fingerprint {found:#018x}, engine has {expected:#018x})"
+            ),
+            SnapshotError::BadFlavor(b) => write!(f, "unknown snapshot flavor byte {b:#04x}"),
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::Malformed(what) => write!(f, "malformed snapshot field: {what}"),
+            SnapshotError::Restore(e) => write!(f, "snapshot refused by session: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Restore(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RestoreError> for SnapshotError {
+    fn from(e: RestoreError) -> Self {
+        SnapshotError::Restore(e)
+    }
+}
+
+/// FNV-1a 64 fingerprint of an engine configuration's `Debug` rendering.
+///
+/// Every field of [`EchoWriteConfig`] (including nested sub-configs)
+/// participates via `#[derive(Debug)]`, so any configuration change — even
+/// one added after this crate was written — perturbs the fingerprint
+/// without this function knowing the field exists. The rendering is
+/// deterministic (no pointers, no hash iteration) and `f64` fields print
+/// with round-trip precision, so equal configs always fingerprint equally.
+pub fn config_fingerprint(config: &EchoWriteConfig) -> u64 {
+    let repr = format!("{config:?}");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in repr.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    put_u8(out, u8::from(v));
+}
+
+fn put_complex(out: &mut Vec<u8>, c: Complex) {
+    put_f64(out, c.re);
+    put_f64(out, c.im);
+}
+
+fn put_f64s(out: &mut Vec<u8>, v: &[f64]) {
+    put_u64(out, v.len() as u64);
+    for &x in v {
+        put_f64(out, x);
+    }
+}
+
+fn put_usizes(out: &mut Vec<u8>, v: &[usize]) {
+    put_u64(out, v.len() as u64);
+    for &x in v {
+        put_usize(out, x);
+    }
+}
+
+fn put_cols(out: &mut Vec<u8>, cols: &[Vec<f64>]) {
+    put_u64(out, cols.len() as u64);
+    for col in cols {
+        put_f64s(out, col);
+    }
+}
+
+fn put_opt_f64s(out: &mut Vec<u8>, v: Option<&Vec<f64>>) {
+    match v {
+        None => put_u8(out, 0),
+        Some(xs) => {
+            put_u8(out, 1);
+            put_f64s(out, xs);
+        }
+    }
+}
+
+fn put_triples(out: &mut Vec<u8>, v: &[(usize, usize, usize)]) {
+    put_u64(out, v.len() as u64);
+    for &(a, b, c) in v {
+        put_usize(out, a);
+        put_usize(out, b);
+        put_usize(out, c);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+/// Length-checked sequential reader over the snapshot payload. Every read
+/// validates bounds first; no method panics on any input.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(SnapshotError::Truncated)?;
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        let b = self.take(1)?;
+        b.first().copied().ok_or(SnapshotError::Truncated)
+    }
+
+    fn u16(&mut self) -> Result<u16, SnapshotError> {
+        let b = <[u8; 2]>::try_from(self.take(2)?).map_err(|_| SnapshotError::Truncated)?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = <[u8; 8]>::try_from(self.take(8)?).map_err(|_| SnapshotError::Truncated)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn usize_(&mut self, what: &'static str) -> Result<usize, SnapshotError> {
+        usize::try_from(self.u64()?).map_err(|_| SnapshotError::Malformed(what))
+    }
+
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool_(&mut self, what: &'static str) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::Malformed(what)),
+        }
+    }
+
+    fn complex(&mut self) -> Result<Complex, SnapshotError> {
+        let re = self.f64()?;
+        let im = self.f64()?;
+        Ok(Complex { re, im })
+    }
+
+    /// Reads a length prefix and checks `n * elem_size` fits in the
+    /// remaining payload, so the caller can `Vec::with_capacity(n)` safely.
+    fn len(&mut self, elem_size: usize, what: &'static str) -> Result<usize, SnapshotError> {
+        let n = self.usize_(what)?;
+        match n.checked_mul(elem_size) {
+            Some(bytes) if bytes <= self.remaining() => Ok(n),
+            _ => Err(SnapshotError::Truncated),
+        }
+    }
+
+    fn f64s(&mut self, what: &'static str) -> Result<Vec<f64>, SnapshotError> {
+        let n = self.len(8, what)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.f64()?);
+        }
+        Ok(v)
+    }
+
+    fn usizes(&mut self, what: &'static str) -> Result<Vec<usize>, SnapshotError> {
+        let n = self.len(8, what)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.usize_(what)?);
+        }
+        Ok(v)
+    }
+
+    fn bools(&mut self, what: &'static str) -> Result<Vec<bool>, SnapshotError> {
+        let n = self.len(1, what)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.bool_(what)?);
+        }
+        Ok(v)
+    }
+
+    fn cols(&mut self, what: &'static str) -> Result<Vec<Vec<f64>>, SnapshotError> {
+        // Each column costs at least its own 8-byte length prefix.
+        let n = self.len(8, what)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.f64s(what)?);
+        }
+        Ok(v)
+    }
+
+    fn opt_f64s(&mut self, what: &'static str) -> Result<Option<Vec<f64>>, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64s(what)?)),
+            _ => Err(SnapshotError::Malformed(what)),
+        }
+    }
+
+    fn triples(
+        &mut self,
+        what: &'static str,
+    ) -> Result<Vec<(usize, usize, usize)>, SnapshotError> {
+        let n = self.len(24, what)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = self.usize_(what)?;
+            let b = self.usize_(what)?;
+            let c = self.usize_(what)?;
+            v.push((a, b, c));
+        }
+        Ok(v)
+    }
+
+    fn done(&self) -> Result<(), SnapshotError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(SnapshotError::Malformed("trailing bytes after body"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section encoders
+
+fn encode_replay(out: &mut Vec<u8>, s: &ReplayState) {
+    put_f64s(out, &s.buffer);
+    put_opt_f64s(out, s.background.as_ref());
+    put_u64(out, s.dropped_frames);
+    put_u64(out, s.emitted.len() as u64);
+    for &(a, b) in &s.emitted {
+        put_u64(out, a);
+        put_u64(out, b);
+    }
+    put_u64(out, s.emitted_until);
+    put_u64(out, s.max_samples);
+}
+
+fn encode_stft(out: &mut Vec<u8>, s: &StreamingStftState) {
+    put_f64s(out, &s.pending);
+    put_u64(out, s.total_in);
+}
+
+fn encode_sdc(out: &mut Vec<u8>, s: &StreamingDownconverterState) {
+    put_f64s(out, &s.buffer);
+    put_u64(out, s.base);
+    put_u64(out, s.total_in);
+    put_u64(out, s.k);
+    put_complex(out, s.rotator);
+}
+
+fn encode_down(out: &mut Vec<u8>, s: &DownState) {
+    encode_sdc(out, &s.sdc);
+    put_u64(out, s.baseband.len() as u64);
+    for &c in &s.baseband {
+        put_complex(out, c);
+    }
+    put_u64(out, s.base);
+    put_u64(out, s.next_frame);
+}
+
+fn encode_holes(out: &mut Vec<u8>, s: &HoleFillerState) {
+    put_usizes(out, &s.parent);
+    put_u64(out, s.border.len() as u64);
+    for &b in &s.border {
+        put_bool(out, b);
+    }
+    put_usizes(out, &s.last_col);
+    put_triples(out, &s.frontier);
+    put_u64(out, s.pending.len() as u64);
+    for (col, runs) in &s.pending {
+        put_f64s(out, col);
+        put_triples(out, runs);
+    }
+    put_usize(out, s.pushed);
+    put_usize(out, s.next_emit);
+}
+
+fn encode_enhancer(out: &mut Vec<u8>, s: &EnhancerState) {
+    put_usize(out, s.raw_base);
+    put_cols(out, &s.raw_cols);
+    put_usize(out, s.raw_n);
+    put_usize(out, s.med_n);
+    put_cols(out, &s.pre_bg);
+    put_opt_f64s(out, s.background.as_ref());
+    put_usize(out, s.thr_base);
+    put_cols(out, &s.thr_cols);
+    put_usize(out, s.thr_n);
+    put_usize(out, s.h_n);
+    encode_holes(out, &s.holes);
+    put_bool(out, s.finished);
+}
+
+fn encode_builder(out: &mut Vec<u8>, s: &ProfileBuilderState) {
+    for &x in &s.tail {
+        put_f64(out, x);
+    }
+    put_usize(out, s.m);
+    put_bool(out, s.finished);
+}
+
+fn encode_diff(out: &mut Vec<u8>, s: &IncrementalDiffState) {
+    for &x in &s.tail {
+        put_f64(out, x);
+    }
+    put_usize(out, s.m);
+    put_usize(out, s.emitted);
+    put_bool(out, s.finished);
+}
+
+fn encode_segmenter(out: &mut Vec<u8>, s: &StreamingSegmenterState) {
+    put_usize(out, s.shifts_base);
+    put_f64s(out, &s.shifts);
+    put_usize(out, s.acc_base);
+    put_f64s(out, &s.acc);
+    match s.phase {
+        SegmenterPhase::Scan { i } => {
+            put_u8(out, PHASE_SCAN);
+            put_usize(out, i);
+        }
+        SegmenterPhase::Forward { i, start, k } => {
+            put_u8(out, PHASE_FORWARD);
+            put_usize(out, i);
+            put_usize(out, start);
+            put_usize(out, k);
+        }
+        SegmenterPhase::Gap { end } => {
+            put_u8(out, PHASE_GAP);
+            put_usize(out, end);
+        }
+    }
+    put_bool(out, s.finished);
+}
+
+fn encode_incremental(out: &mut Vec<u8>, s: &IncrementalState) {
+    match &s.front {
+        FrontState::Full(stft) => {
+            put_u8(out, FRONT_FULL);
+            encode_stft(out, stft);
+        }
+        FrontState::Down(down) => {
+            put_u8(out, FRONT_DOWN);
+            encode_down(out, down);
+        }
+    }
+    encode_enhancer(out, &s.chain.enhancer);
+    encode_builder(out, &s.chain.builder);
+    encode_diff(out, &s.chain.diff);
+    encode_segmenter(out, &s.chain.segmenter);
+    put_u64(out, s.frames_in);
+    put_u64(out, s.emitted_until);
+}
+
+/// Encodes a session state into the versioned binary snapshot form, stamped
+/// with the fingerprint of `config`.
+pub fn encode(state: &SessionState, config: &EchoWriteConfig) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4096);
+    out.extend_from_slice(&MAGIC);
+    put_u16(&mut out, VERSION);
+    put_u64(&mut out, config_fingerprint(config));
+    let flavor = match &state.body {
+        SessionBody::Replay(_) => FLAVOR_REPLAY,
+        SessionBody::Incremental(_) => FLAVOR_INCREMENTAL,
+    };
+    put_u8(&mut out, flavor);
+    put_bool(&mut out, state.finished);
+    put_u64(&mut out, state.samples_in);
+    match &state.body {
+        SessionBody::Replay(r) => encode_replay(&mut out, r),
+        SessionBody::Incremental(i) => encode_incremental(&mut out, i),
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Section decoders
+
+fn decode_replay(r: &mut Reader<'_>) -> Result<ReplayState, SnapshotError> {
+    let buffer = r.f64s("replay.buffer")?;
+    let background = r.opt_f64s("replay.background")?;
+    let dropped_frames = r.u64()?;
+    let n = r.len(16, "replay.emitted")?;
+    let mut emitted = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a = r.u64()?;
+        let b = r.u64()?;
+        emitted.push((a, b));
+    }
+    let emitted_until = r.u64()?;
+    let max_samples = r.u64()?;
+    Ok(ReplayState { buffer, background, dropped_frames, emitted, emitted_until, max_samples })
+}
+
+fn decode_stft(r: &mut Reader<'_>) -> Result<StreamingStftState, SnapshotError> {
+    let pending = r.f64s("stft.pending")?;
+    let total_in = r.u64()?;
+    Ok(StreamingStftState { pending, total_in })
+}
+
+fn decode_sdc(r: &mut Reader<'_>) -> Result<StreamingDownconverterState, SnapshotError> {
+    let buffer = r.f64s("sdc.buffer")?;
+    let base = r.u64()?;
+    let total_in = r.u64()?;
+    let k = r.u64()?;
+    let rotator = r.complex()?;
+    Ok(StreamingDownconverterState { buffer, base, total_in, k, rotator })
+}
+
+fn decode_down(r: &mut Reader<'_>) -> Result<DownState, SnapshotError> {
+    let sdc = decode_sdc(r)?;
+    let n = r.len(16, "down.baseband")?;
+    let mut baseband = Vec::with_capacity(n);
+    for _ in 0..n {
+        baseband.push(r.complex()?);
+    }
+    let base = r.u64()?;
+    let next_frame = r.u64()?;
+    Ok(DownState { sdc, baseband, base, next_frame })
+}
+
+fn decode_holes(r: &mut Reader<'_>) -> Result<HoleFillerState, SnapshotError> {
+    let parent = r.usizes("holes.parent")?;
+    let border = r.bools("holes.border")?;
+    let last_col = r.usizes("holes.last_col")?;
+    let frontier = r.triples("holes.frontier")?;
+    // Each pending entry costs at least two 8-byte length prefixes.
+    let n = r.len(16, "holes.pending")?;
+    let mut pending = Vec::with_capacity(n);
+    for _ in 0..n {
+        let col = r.f64s("holes.pending.col")?;
+        let runs = r.triples("holes.pending.runs")?;
+        pending.push((col, runs));
+    }
+    let pushed = r.usize_("holes.pushed")?;
+    let next_emit = r.usize_("holes.next_emit")?;
+    Ok(HoleFillerState { parent, border, last_col, frontier, pending, pushed, next_emit })
+}
+
+fn decode_enhancer(r: &mut Reader<'_>) -> Result<EnhancerState, SnapshotError> {
+    let raw_base = r.usize_("enhancer.raw_base")?;
+    let raw_cols = r.cols("enhancer.raw_cols")?;
+    let raw_n = r.usize_("enhancer.raw_n")?;
+    let med_n = r.usize_("enhancer.med_n")?;
+    let pre_bg = r.cols("enhancer.pre_bg")?;
+    let background = r.opt_f64s("enhancer.background")?;
+    let thr_base = r.usize_("enhancer.thr_base")?;
+    let thr_cols = r.cols("enhancer.thr_cols")?;
+    let thr_n = r.usize_("enhancer.thr_n")?;
+    let h_n = r.usize_("enhancer.h_n")?;
+    let holes = decode_holes(r)?;
+    let finished = r.bool_("enhancer.finished")?;
+    Ok(EnhancerState {
+        raw_base,
+        raw_cols,
+        raw_n,
+        med_n,
+        pre_bg,
+        background,
+        thr_base,
+        thr_cols,
+        thr_n,
+        h_n,
+        holes,
+        finished,
+    })
+}
+
+fn decode_builder(r: &mut Reader<'_>) -> Result<ProfileBuilderState, SnapshotError> {
+    let mut tail = [0.0; 3];
+    for t in &mut tail {
+        *t = r.f64()?;
+    }
+    let m = r.usize_("builder.m")?;
+    let finished = r.bool_("builder.finished")?;
+    Ok(ProfileBuilderState { tail, m, finished })
+}
+
+fn decode_diff(r: &mut Reader<'_>) -> Result<IncrementalDiffState, SnapshotError> {
+    let mut tail = [0.0; 5];
+    for t in &mut tail {
+        *t = r.f64()?;
+    }
+    let m = r.usize_("diff.m")?;
+    let emitted = r.usize_("diff.emitted")?;
+    let finished = r.bool_("diff.finished")?;
+    Ok(IncrementalDiffState { tail, m, emitted, finished })
+}
+
+fn decode_segmenter(r: &mut Reader<'_>) -> Result<StreamingSegmenterState, SnapshotError> {
+    let shifts_base = r.usize_("segmenter.shifts_base")?;
+    let shifts = r.f64s("segmenter.shifts")?;
+    let acc_base = r.usize_("segmenter.acc_base")?;
+    let acc = r.f64s("segmenter.acc")?;
+    let phase = match r.u8()? {
+        PHASE_SCAN => SegmenterPhase::Scan { i: r.usize_("segmenter.phase.i")? },
+        PHASE_FORWARD => {
+            let i = r.usize_("segmenter.phase.i")?;
+            let start = r.usize_("segmenter.phase.start")?;
+            let k = r.usize_("segmenter.phase.k")?;
+            SegmenterPhase::Forward { i, start, k }
+        }
+        PHASE_GAP => SegmenterPhase::Gap { end: r.usize_("segmenter.phase.end")? },
+        _ => return Err(SnapshotError::Malformed("segmenter.phase tag")),
+    };
+    let finished = r.bool_("segmenter.finished")?;
+    Ok(StreamingSegmenterState { shifts_base, shifts, acc_base, acc, phase, finished })
+}
+
+fn decode_incremental(r: &mut Reader<'_>) -> Result<IncrementalState, SnapshotError> {
+    let front = match r.u8()? {
+        FRONT_FULL => FrontState::Full(decode_stft(r)?),
+        FRONT_DOWN => FrontState::Down(decode_down(r)?),
+        _ => return Err(SnapshotError::Malformed("front tag")),
+    };
+    let enhancer = decode_enhancer(r)?;
+    let builder = decode_builder(r)?;
+    let diff = decode_diff(r)?;
+    let segmenter = decode_segmenter(r)?;
+    let frames_in = r.u64()?;
+    let emitted_until = r.u64()?;
+    Ok(IncrementalState {
+        front,
+        chain: ChainState { enhancer, builder, diff, segmenter },
+        frames_in,
+        emitted_until,
+    })
+}
+
+/// Decodes a snapshot back into a session state, verifying the header
+/// against `config` (the configuration of the engine that will restore it).
+///
+/// Strict on every axis: wrong magic, version, fingerprint, flavor,
+/// truncation, ill-formed values, and trailing bytes each produce their
+/// own [`SnapshotError`]; no input panics.
+pub fn decode(bytes: &[u8], config: &EchoWriteConfig) -> Result<SessionState, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)? != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let found = r.u64()?;
+    let expected = config_fingerprint(config);
+    if found != expected {
+        return Err(SnapshotError::ConfigMismatch { expected, found });
+    }
+    let flavor = r.u8()?;
+    let finished = r.bool_("header.finished")?;
+    let samples_in = r.u64()?;
+    let body = match flavor {
+        FLAVOR_REPLAY => SessionBody::Replay(decode_replay(&mut r)?),
+        FLAVOR_INCREMENTAL => SessionBody::Incremental(decode_incremental(&mut r)?),
+        other => return Err(SnapshotError::BadFlavor(other)),
+    };
+    r.done()?;
+    Ok(SessionState { finished, samples_in, body })
+}
+
+// ---------------------------------------------------------------------------
+// Session conveniences
+
+/// Captures `session`'s complete dynamic state and encodes it under
+/// `engine`'s configuration fingerprint.
+pub fn snapshot_session(session: &StreamingSession, engine: &EchoWrite) -> Vec<u8> {
+    let state = session.export_state();
+    let bytes = encode(&state, engine.config());
+    span(
+        Stage::Snapshot,
+        "encode",
+        samples_to_us(state.samples_in, engine.config().stft.sample_rate),
+        0,
+        bytes.len() as f64,
+    );
+    bytes
+}
+
+/// Decodes `bytes` and builds a fresh session that resumes bitwise where
+/// the snapshotted one left off.
+pub fn restore_session(bytes: &[u8], engine: &EchoWrite) -> Result<StreamingSession, SnapshotError> {
+    let state = decode(bytes, engine.config())?;
+    let session = StreamingSession::from_state(engine, &state)?;
+    span(
+        Stage::Snapshot,
+        "restore",
+        samples_to_us(state.samples_in, engine.config().stft.sample_rate),
+        0,
+        bytes.len() as f64,
+    );
+    Ok(session)
+}
+
+/// Decodes `bytes` into an existing (e.g. pooled) session, overwriting its
+/// state in place. On error the session is unspecified and must be reset
+/// before reuse.
+pub fn restore_in_place(
+    session: &mut StreamingSession,
+    bytes: &[u8],
+    engine: &EchoWrite,
+) -> Result<(), SnapshotError> {
+    let state = decode(bytes, engine.config())?;
+    session.restore_state(engine, &state)?;
+    span(
+        Stage::Snapshot,
+        "restore",
+        samples_to_us(state.samples_in, engine.config().stft.sample_rate),
+        0,
+        bytes.len() as f64,
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use echowrite::SegmentEvent;
+    use echowrite_gesture::{Stroke, Writer, WriterParams};
+    use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+
+    fn render(strokes: &[Stroke], seed: u64) -> Vec<f64> {
+        let perf = Writer::new(WriterParams::nominal(), seed).write_sequence(strokes);
+        Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), seed)
+            .render(&perf.trajectory)
+    }
+
+    fn engines() -> Vec<EchoWrite> {
+        vec![
+            EchoWrite::with_config(EchoWriteConfig::streaming()),
+            EchoWrite::new(),
+            EchoWrite::with_config(EchoWriteConfig::streaming_downsampled(32)),
+        ]
+    }
+
+    fn mid_session_state(engine: &EchoWrite, audio: &[f64]) -> SessionState {
+        let mut s = StreamingSession::new(engine);
+        let mut ev = Vec::new();
+        // Stop mid-stream so the captured state is as "live" as possible.
+        for chunk in audio[..2 * audio.len() / 3].chunks(5 * 1024) {
+            s.push_events(engine, chunk, true, &mut ev);
+        }
+        s.export_state()
+    }
+
+    fn assert_events_bitwise(got: &[SegmentEvent], want: &[SegmentEvent]) {
+        assert_eq!(got.len(), want.len(), "event counts differ");
+        for (g, w) in got.iter().zip(want) {
+            assert_eq!(g.start_frame, w.start_frame);
+            assert_eq!(g.end_frame, w.end_frame);
+            let (gc, wc) = match (&g.classification, &w.classification) {
+                (Some(gc), Some(wc)) => (gc, wc),
+                _ => panic!("classified runs must classify every event"),
+            };
+            assert_eq!(gc.stroke, wc.stroke);
+            assert_eq!(gc.distances, wc.distances, "DTW distances must be bitwise equal");
+            assert_eq!(gc.scores, wc.scores, "DTW scores must be bitwise equal");
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity_for_all_engine_flavors() {
+        let audio = render(&[Stroke::S2, Stroke::S6], 7);
+        for engine in engines() {
+            let state = mid_session_state(&engine, &audio);
+            let bytes = encode(&state, engine.config());
+            let back = decode(&bytes, engine.config()).expect("decode");
+            assert_eq!(back, state);
+        }
+    }
+
+    #[test]
+    fn roundtrip_of_fresh_and_finished_sessions() {
+        let audio = render(&[Stroke::S1], 3);
+        let engine = EchoWrite::with_config(EchoWriteConfig::streaming());
+        let fresh = StreamingSession::new(&engine).export_state();
+        let bytes = encode(&fresh, engine.config());
+        assert_eq!(decode(&bytes, engine.config()).expect("fresh"), fresh);
+
+        let mut s = StreamingSession::new(&engine);
+        let mut ev = Vec::new();
+        s.push_events(&engine, &audio, true, &mut ev);
+        s.finish_events(&engine, true, &mut ev);
+        let done = s.export_state();
+        let bytes = encode(&done, engine.config());
+        let back = decode(&bytes, engine.config()).expect("finished");
+        assert!(back.finished);
+        assert_eq!(back, done);
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_a_typed_error() {
+        let audio = render(&[Stroke::S4], 11);
+        for engine in engines() {
+            let state = mid_session_state(&engine, &audio);
+            let bytes = encode(&state, engine.config());
+            // Every strict prefix must fail loudly — never panic, never
+            // succeed (no section is self-delimiting short of the full
+            // payload).
+            let step = (bytes.len() / 257).max(1);
+            for cut in (0..bytes.len()).step_by(step) {
+                let err = decode(&bytes[..cut], engine.config())
+                    .expect_err("truncated prefix decoded");
+                assert!(
+                    matches!(
+                        err,
+                        SnapshotError::Truncated
+                            | SnapshotError::Malformed(_)
+                            | SnapshotError::BadMagic
+                    ),
+                    "unexpected error at cut {cut}: {err:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn header_corruption_is_rejected() {
+        let engine = EchoWrite::with_config(EchoWriteConfig::streaming());
+        let state = StreamingSession::new(&engine).export_state();
+        let good = encode(&state, engine.config());
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode(&bad, engine.config()), Err(SnapshotError::BadMagic)));
+
+        let mut bad = good.clone();
+        bad[4] = 0xFF; // version
+        assert!(matches!(
+            decode(&bad, engine.config()),
+            Err(SnapshotError::UnsupportedVersion(_))
+        ));
+
+        let mut bad = good.clone();
+        bad[6] ^= 0x01; // fingerprint
+        assert!(matches!(
+            decode(&bad, engine.config()),
+            Err(SnapshotError::ConfigMismatch { .. })
+        ));
+
+        let mut bad = good.clone();
+        bad[14] = 0x7F; // flavor
+        assert!(matches!(decode(&bad, engine.config()), Err(SnapshotError::BadFlavor(0x7F))));
+
+        let mut bad = good.clone();
+        bad[15] = 9; // finished must be 0/1
+        assert!(matches!(decode(&bad, engine.config()), Err(SnapshotError::Malformed(_))));
+
+        let mut bad = good;
+        bad.push(0);
+        assert!(matches!(decode(&bad, engine.config()), Err(SnapshotError::Malformed(_))));
+    }
+
+    #[test]
+    fn forged_length_prefix_cannot_balloon_memory() {
+        let engine = EchoWrite::with_config(EchoWriteConfig::streaming());
+        let state = StreamingSession::new(&engine).export_state();
+        let mut bytes = encode(&state, engine.config());
+        // The streaming() flavor body is front tag (byte 24) then the
+        // STFT pending-vec length; forge that length to an absurd count
+        // and require a loud, allocation-free error.
+        let forged = u64::MAX / 2;
+        bytes[25..33].copy_from_slice(&forged.to_le_bytes());
+        assert!(matches!(
+            decode(&bytes, engine.config()),
+            Err(SnapshotError::Truncated | SnapshotError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn config_mismatch_is_detected_across_engines() {
+        let a = EchoWrite::with_config(EchoWriteConfig::streaming());
+        let b = EchoWrite::with_config(EchoWriteConfig::streaming_downsampled(32));
+        assert_ne!(config_fingerprint(a.config()), config_fingerprint(b.config()));
+        let bytes = encode(&StreamingSession::new(&a).export_state(), a.config());
+        assert!(matches!(
+            decode(&bytes, b.config()),
+            Err(SnapshotError::ConfigMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn session_convenience_roundtrip_resumes_bitwise() {
+        let audio = render(&[Stroke::S3, Stroke::S5], 21);
+        let engine = EchoWrite::with_config(EchoWriteConfig::streaming());
+
+        let mut oracle = StreamingSession::new(&engine);
+        let mut live = StreamingSession::new(&engine);
+        let mut ev_o = Vec::new();
+        let mut ev_r = Vec::new();
+        let cut = audio.len() / 2 + 13; // deliberately frame-misaligned
+        for chunk in audio[..cut].chunks(997) {
+            oracle.push_events(&engine, chunk, true, &mut ev_o);
+            live.push_events(&engine, chunk, true, &mut ev_r);
+        }
+        let bytes = snapshot_session(&live, &engine);
+        drop(live);
+        let mut resumed = restore_session(&bytes, &engine).expect("restore");
+        for chunk in audio[cut..].chunks(501) {
+            oracle.push_events(&engine, chunk, true, &mut ev_o);
+            resumed.push_events(&engine, chunk, true, &mut ev_r);
+        }
+        oracle.finish_events(&engine, true, &mut ev_o);
+        resumed.finish_events(&engine, true, &mut ev_r);
+        assert!(!ev_o.is_empty(), "scenario must produce strokes");
+        assert_events_bitwise(&ev_r, &ev_o);
+    }
+
+    #[test]
+    fn restore_in_place_overwrites_a_dirty_session() {
+        let audio = render(&[Stroke::S2], 5);
+        let engine = EchoWrite::with_config(EchoWriteConfig::streaming());
+        let mut ev = Vec::new();
+        let mut clean = StreamingSession::new(&engine);
+        clean.push_events(&engine, &audio[..audio.len() / 3], true, &mut ev);
+        let bytes = snapshot_session(&clean, &engine);
+
+        let mut dirty = StreamingSession::new(&engine);
+        dirty.push_events(&engine, &audio, true, &mut ev); // unrelated state
+        restore_in_place(&mut dirty, &bytes, &engine).expect("restore_in_place");
+        assert_eq!(dirty.export_state(), clean.export_state());
+    }
+}

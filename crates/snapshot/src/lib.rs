@@ -1,0 +1,39 @@
+//! # echowrite-snapshot
+//!
+//! Versioned checkpoint/restore for EchoWrite streaming sessions.
+//!
+//! A [`StreamingSession`](echowrite::StreamingSession) carries every bit of
+//! state its pipeline needs — pending front-end samples, enhancement
+//! windows, profile/differentiation tails, the segmenter's interpreter
+//! position, the dedup set, and the per-session sample clock — and nothing
+//! ambient: no wall clocks, no thread identity, no allocator addresses.
+//! This crate exploits that: [`snapshot_session`] serializes a session into
+//! a compact self-describing byte string, and [`restore_session`] rebuilds
+//! a session that resumes **bitwise identically** to one that was never
+//! suspended, under the engine configuration that produced the snapshot.
+//!
+//! Three serving-layer capabilities ride on this primitive:
+//!
+//! - **Evict-to-disk** — the serve reaper can suspend idle sessions into a
+//!   [`SnapshotStore`] instead of dropping them, and transparently thaw
+//!   them when the client pushes again.
+//! - **Shard migration** — a session exported on one shard (or process)
+//!   imports on another, because the bytes carry no process-local state.
+//! - **Crash recovery** — shutdown drains live sessions into a
+//!   [`FileStore`]; a fresh manager restores them and clients continue
+//!   mid-word.
+//!
+//! The codec ([`encode`]/[`decode`]) is dependency-free, little-endian,
+//! length-checked at every section, and strict: truncated, bit-flipped, or
+//! version/config-mismatched input yields a typed [`SnapshotError`], never
+//! a panic or a silently wrong session. See [`codec`] for the full wire
+//! grammar and the version/compatibility policy.
+
+pub mod codec;
+pub mod store;
+
+pub use codec::{
+    config_fingerprint, decode, encode, restore_in_place, restore_session, snapshot_session,
+    SnapshotError, MAGIC, VERSION,
+};
+pub use store::{FileStore, MemoryStore, SnapshotStore, StoreError};

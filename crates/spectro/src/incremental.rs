@@ -338,6 +338,146 @@ impl IncrementalEnhancer {
         echowrite_dsp::kernels::binarize(&mut out, self.binarize_at);
         out
     }
+
+    /// Captures the dynamic state of this enhancer, detached from its
+    /// config-derived plan (kernel, thresholds, scratch). Paired with an
+    /// identically configured enhancer via
+    /// [`IncrementalEnhancer::restore_state`], further pushes emit bitwise
+    /// the same columns an uninterrupted enhancer would.
+    pub fn export_state(&self) -> EnhancerState {
+        EnhancerState {
+            raw_base: self.raw.base,
+            raw_cols: self.raw.cols.iter().cloned().collect(),
+            raw_n: self.raw_n,
+            med_n: self.med_n,
+            pre_bg: self.pre_bg.clone(),
+            background: self.background.clone(),
+            thr_base: self.thr.base,
+            thr_cols: self.thr.cols.iter().cloned().collect(),
+            thr_n: self.thr_n,
+            h_n: self.h_n,
+            holes: self.holes.export_state(),
+            finished: self.finished,
+        }
+    }
+
+    /// Overwrites this enhancer's dynamic state with a previously exported
+    /// one, validating every internal invariant first so a corrupted or
+    /// hand-built state is rejected with an error instead of panicking (or
+    /// looping) later. The enhancer must have been built with the same
+    /// config and row count the state was exported under.
+    pub fn restore_state(&mut self, state: &EnhancerState) -> Result<(), &'static str> {
+        let rows = self.rows;
+        let col_ok = |cols: &[Vec<f64>]| cols.iter().all(|c| c.len() == rows);
+        if !col_ok(&state.raw_cols) || !col_ok(&state.pre_bg) || !col_ok(&state.thr_cols) {
+            return Err("enhancer state: column length differs from row count");
+        }
+        if let Some(bg) = &state.background {
+            if bg.len() != rows {
+                return Err("enhancer state: background length differs from row count");
+            }
+            if !state.pre_bg.is_empty() {
+                return Err("enhancer state: frozen background with buffered lead-in");
+            }
+        } else {
+            if state.thr_n != 0 || state.h_n != 0 {
+                return Err("enhancer state: thresholded columns before background froze");
+            }
+            if state.pre_bg.len() >= self.cfg.static_frames {
+                return Err("enhancer state: lead-in buffer at or past the freeze point");
+            }
+        }
+        if state.raw_base + state.raw_cols.len() != state.raw_n
+            || state.med_n > state.raw_n
+            || state.raw_base > state.med_n.saturating_sub(self.mhalf)
+        {
+            return Err("enhancer state: inconsistent raw column window");
+        }
+        if state.thr_base + state.thr_cols.len() != state.thr_n
+            || state.h_n > state.thr_n
+            || state.thr_base > state.h_n.saturating_sub(self.ghalf)
+        {
+            return Err("enhancer state: inconsistent thresholded column window");
+        }
+        if state.h_n != state.holes.pushed {
+            return Err("enhancer state: hole-filler input count mismatch");
+        }
+        self.holes.restore_state(&state.holes, rows)?;
+        self.raw.restore(state.raw_base, &state.raw_cols);
+        self.raw_n = state.raw_n;
+        self.med_n = state.med_n;
+        self.pre_bg = state.pre_bg.clone();
+        self.background = state.background.clone();
+        self.thr.restore(state.thr_base, &state.thr_cols);
+        self.thr_n = state.thr_n;
+        self.h_n = state.h_n;
+        self.finished = state.finished;
+        Ok(())
+    }
+}
+
+/// Plan-independent dynamic state of an [`IncrementalEnhancer`]: retained
+/// column windows with their absolute base offsets, the (possibly frozen)
+/// static background, per-stage column counters, and the hole filler's
+/// union-find arena, captured verbatim so a restored enhancer replays
+/// bitwise. Config-derived fields (kernel, thresholds, scratch) are absent
+/// and rebuilt from the receiving enhancer's configuration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EnhancerState {
+    /// Absolute index of the first retained raw column.
+    pub raw_base: usize,
+    /// Raw columns retained for the median window.
+    pub raw_cols: Vec<Vec<f64>>,
+    /// Raw columns received.
+    pub raw_n: usize,
+    /// Median columns finalized.
+    pub med_n: usize,
+    /// Median columns buffered until the background freezes.
+    pub pre_bg: Vec<Vec<f64>>,
+    /// The frozen per-row static background, once estimated.
+    pub background: Option<Vec<f64>>,
+    /// Absolute index of the first retained thresholded column.
+    pub thr_base: usize,
+    /// Subtracted + thresholded columns retained for the Gaussian window.
+    pub thr_cols: Vec<Vec<f64>>,
+    /// Thresholded columns produced.
+    pub thr_n: usize,
+    /// Columns handed to hole filling.
+    pub h_n: usize,
+    /// Hole-filler union-find state.
+    pub holes: HoleFillerState,
+    /// Whether `finish` has run.
+    pub finished: bool,
+}
+
+/// Background runs `(r0, r1, node)` of one spectrogram column.
+pub type ColumnRuns = Vec<(usize, usize, usize)>;
+
+/// An undecided column held back by the hole filler: its pixel data plus
+/// its background runs.
+pub type PendingColumn = (Vec<f64>, ColumnRuns);
+
+/// Dynamic state of the incremental hole filler: the union-find arena
+/// (captured verbatim — compaction only runs on push, so the arena shape is
+/// part of the bitwise-replay contract), the newest column's runs, and the
+/// undecided column queue.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HoleFillerState {
+    /// Union-find parent array (entries always point at equal or higher
+    /// ids, so lookups terminate).
+    pub parent: Vec<usize>,
+    /// Root-indexed: component touches the border.
+    pub border: Vec<bool>,
+    /// Root-indexed: newest column holding one of the component's runs.
+    pub last_col: Vec<usize>,
+    /// Background runs `(r0, r1, node)` of the newest pushed column.
+    pub frontier: ColumnRuns,
+    /// Undecided columns awaiting emission, oldest first.
+    pub pending: Vec<PendingColumn>,
+    /// Columns pushed so far.
+    pub pushed: usize,
+    /// Next output column index.
+    pub next_emit: usize,
 }
 
 /// Absolute-indexed window of retained columns.
@@ -366,6 +506,12 @@ impl ColStore {
     fn clear(&mut self) {
         self.cols.clear();
         self.base = 0;
+    }
+
+    fn restore(&mut self, base: usize, cols: &[Vec<f64>]) {
+        self.cols.clear();
+        self.cols.extend(cols.iter().cloned());
+        self.base = base;
     }
 }
 
@@ -531,6 +677,66 @@ impl HoleFiller {
         }
         self.drain(true, sink);
         debug_assert!(self.pending.is_empty());
+    }
+
+    fn export_state(&self) -> HoleFillerState {
+        HoleFillerState {
+            parent: self.parent.clone(),
+            border: self.border.clone(),
+            last_col: self.last_col.clone(),
+            frontier: self.frontier.clone(),
+            pending: self
+                .pending
+                .iter()
+                .map(|p| (p.data.clone(), p.runs.clone()))
+                .collect(),
+            pushed: self.pushed,
+            next_emit: self.next_emit,
+        }
+    }
+
+    /// Validating restore: rejects arenas whose parent pointers could make
+    /// `find` loop or index out of bounds, runs outside `[0, rows)`, and
+    /// column counters that disagree with the pending queue.
+    fn restore_state(&mut self, state: &HoleFillerState, rows: usize) -> Result<(), &'static str> {
+        let n = state.parent.len();
+        if state.border.len() != n || state.last_col.len() != n {
+            return Err("hole filler state: arena array lengths disagree");
+        }
+        // Live arenas only ever point at equal-or-higher ids (unions root
+        // older components under the newest node), which is also exactly
+        // what makes the path-halving `find` terminate.
+        if state.parent.iter().enumerate().any(|(i, &p)| p < i || p >= n) {
+            return Err("hole filler state: parent pointer out of range");
+        }
+        let runs_ok = |runs: &[(usize, usize, usize)]| {
+            runs.iter().all(|&(r0, r1, node)| r0 <= r1 && r1 < rows && node < n)
+        };
+        if !runs_ok(&state.frontier) {
+            return Err("hole filler state: frontier run out of range");
+        }
+        for (data, runs) in &state.pending {
+            if data.len() != rows || !runs_ok(runs) {
+                return Err("hole filler state: pending column out of range");
+            }
+        }
+        if state.next_emit + state.pending.len() != state.pushed {
+            return Err("hole filler state: column counters disagree");
+        }
+        self.parent = state.parent.clone();
+        self.border = state.border.clone();
+        self.last_col = state.last_col.clone();
+        self.frontier = state.frontier.clone();
+        self.pending.clear();
+        self.pending.extend(
+            state
+                .pending
+                .iter()
+                .map(|(data, runs)| PendingCol { data: data.clone(), runs: runs.clone() }),
+        );
+        self.pushed = state.pushed;
+        self.next_emit = state.next_emit;
+        Ok(())
     }
 
     /// Rebuilds the union-find arena once nothing but the frontier is live,
@@ -775,6 +981,71 @@ mod tests {
                 assert!(v == fresh.get(r, c), "warm reset diverges at ({r}, {c})");
             }
         }
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_bitwise() {
+        let cfg = EnhanceConfig::streaming();
+        let spec = synthetic(24, 60, 99);
+        let fresh = enhance_incrementally(cfg, &spec);
+
+        // Suspend at points before and after the background freezes and
+        // while holes are pending, restore into a fresh enhancer, finish:
+        // the concatenated output must be bitwise the uninterrupted run.
+        for cut in [1usize, 5, 12, 30, 55] {
+            let mut first = IncrementalEnhancer::new(cfg, spec.rows());
+            let mut cols: Vec<Vec<f64>> = Vec::new();
+            let mut sink = |_: usize, col: &[f64]| cols.push(col.to_vec());
+            for c in 0..cut {
+                first.push_column(&spec.column(c), &mut sink);
+            }
+            let state = first.export_state();
+            drop(first);
+            let mut resumed = IncrementalEnhancer::new(cfg, spec.rows());
+            resumed.restore_state(&state).expect("valid exported state");
+            for c in cut..spec.cols() {
+                resumed.push_column(&spec.column(c), &mut sink);
+            }
+            resumed.finish(&mut sink);
+            assert_eq!(cols.len(), fresh.cols(), "cut {cut}");
+            for (c, col) in cols.iter().enumerate() {
+                for (r, &v) in col.iter().enumerate() {
+                    assert!(v == fresh.get(r, c), "cut {cut} diverges at ({r}, {c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_state() {
+        let cfg = EnhanceConfig::streaming();
+        let spec = synthetic(24, 30, 7);
+        let mut inc = IncrementalEnhancer::new(cfg, spec.rows());
+        let mut sink = |_: usize, _: &[f64]| {};
+        for c in 0..20 {
+            inc.push_column(&spec.column(c), &mut sink);
+        }
+        let good = inc.export_state();
+        let mut fresh = IncrementalEnhancer::new(cfg, spec.rows());
+        assert!(fresh.restore_state(&good).is_ok());
+
+        let mut bad = good.clone();
+        bad.raw_cols[0].pop();
+        assert!(fresh.restore_state(&bad).is_err(), "short column accepted");
+
+        let mut bad = good.clone();
+        bad.med_n = bad.raw_n + 1;
+        assert!(fresh.restore_state(&bad).is_err(), "counter overrun accepted");
+
+        let mut bad = good.clone();
+        if !bad.holes.parent.is_empty() {
+            bad.holes.parent[0] = usize::MAX;
+            assert!(fresh.restore_state(&bad).is_err(), "wild parent accepted");
+        }
+
+        let mut bad = good;
+        bad.holes.pushed += 1;
+        assert!(fresh.restore_state(&bad).is_err(), "queue mismatch accepted");
     }
 
     #[test]

@@ -24,5 +24,5 @@ pub mod spectrogram;
 
 pub use burst::BurstConfig;
 pub use enhance::{EnhanceConfig, EnhanceStages, Enhancer, Normalization};
-pub use incremental::IncrementalEnhancer;
+pub use incremental::{EnhancerState, HoleFillerState, IncrementalEnhancer};
 pub use spectrogram::Spectrogram;

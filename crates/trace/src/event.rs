@@ -37,11 +37,13 @@ pub enum Stage {
     Serve,
     /// Wire front-end: socket accept/read/write and frame decode.
     Wire,
+    /// Session snapshot codec: suspend/resume encode, decode, and store IO.
+    Snapshot,
 }
 
 impl Stage {
     /// Every stage, in pipeline order (the lane order of the export).
-    pub const ALL: [Stage; 10] = [
+    pub const ALL: [Stage; 11] = [
         Stage::Stft,
         Stage::Downconvert,
         Stage::Enhance,
@@ -52,6 +54,7 @@ impl Stage {
         Stage::Stream,
         Stage::Serve,
         Stage::Wire,
+        Stage::Snapshot,
     ];
 
     /// Stable lower-case name used in exports and summaries.
@@ -67,6 +70,7 @@ impl Stage {
             Stage::Stream => "stream",
             Stage::Serve => "serve",
             Stage::Wire => "wire",
+            Stage::Snapshot => "snapshot",
         }
     }
 
@@ -83,6 +87,7 @@ impl Stage {
             Stage::Stream => 7,
             Stage::Serve => 8,
             Stage::Wire => 9,
+            Stage::Snapshot => 10,
         }
     }
 }

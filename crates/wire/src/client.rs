@@ -164,6 +164,35 @@ impl WireClient {
         self.buffered_events.pop_front()
     }
 
+    /// Exports `session` off the server: the session is removed there and
+    /// its `echowrite-snapshot` checkpoint returned, `None` for an
+    /// unknown id. Events arriving while waiting are buffered as usual.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, grammar violations, a clean server close, or a
+    /// non-`Exported` verdict answering the request.
+    pub fn export(&mut self, session: u64) -> Result<Option<Vec<u8>>, ClientError> {
+        match self.request(&Request::Export { session })? {
+            Response::Exported { snapshot, .. } => Ok(snapshot),
+            _ => Err(ClientError::UnexpectedVerdict),
+        }
+    }
+
+    /// Installs an exported checkpoint under `session` on the server,
+    /// returning whether it stuck (see [`Response::Imported`]).
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, grammar violations, a clean server close, or a
+    /// non-`Imported` verdict answering the request.
+    pub fn import(&mut self, session: u64, snapshot: Vec<u8>) -> Result<bool, ClientError> {
+        match self.request(&Request::Import { session, snapshot })? {
+            Response::Imported { ok, .. } => Ok(ok),
+            _ => Err(ClientError::UnexpectedVerdict),
+        }
+    }
+
     /// Half-closes the write side, telling the server this client is done
     /// sending (the server keeps streaming events until the client drops).
     ///

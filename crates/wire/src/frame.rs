@@ -16,6 +16,8 @@
 //! 0x01 Open      session:u64
 //! 0x02 Push      session:u64  n:u32  samples:f64[n]
 //! 0x03 Finish    session:u64
+//! 0x04 Export    session:u64
+//! 0x05 Import    session:u64  n:u32  snapshot:u8[n]
 //! ```
 //!
 //! Response payloads (server → client):
@@ -28,13 +30,23 @@
 //!                 [stroke:u8  distances:f64[6]  scores:f64[6]]  (flag = 1)
 //! 0x85 Finished   session:u64
 //! 0x86 Reaped     session:u64
+//! 0x87 Exported   session:u64  flag:u8  [n:u32  snapshot:u8[n]]  (flag = 1)
+//! 0x88 Imported   session:u64  ok:u8
 //! ```
 //!
-//! `Enqueued`/`QueueFull`/`Shedding` are *verdict* frames: exactly one is
-//! written per request, in request order, so a client can correlate them
-//! positionally. `Segment`/`Finished`/`Reaped` are *event* frames routed
-//! from the serve event channel; they interleave arbitrarily with verdicts
-//! but carry their session id.
+//! `Enqueued`/`QueueFull`/`Shedding`/`Exported`/`Imported` are *verdict*
+//! frames: exactly one is written per request, in request order, so a
+//! client can correlate them positionally. `Segment`/`Finished`/`Reaped`
+//! are *event* frames routed from the serve event channel; they interleave
+//! arbitrarily with verdicts but carry their session id.
+//!
+//! `Export`/`Import` carry `echowrite-snapshot` session checkpoints for
+//! cross-process migration: an `Export` removes the session from the
+//! serving manager and returns its encoded snapshot (flag = 0 when the id
+//! is unknown); an `Import` installs previously exported bytes under the
+//! id (ok = 0 when the id is live, admission sheds it, or the bytes fail
+//! to decode under the server's engine). Snapshots are a few hundred KiB
+//! at most, comfortably under [`MAX_FRAME_LEN`].
 //!
 //! Anything that violates the grammar — a length past [`MAX_FRAME_LEN`], an
 //! unknown kind byte, a payload whose size disagrees with its kind — is a
@@ -72,6 +84,20 @@ pub enum Request {
         /// The session to finish.
         session: u64,
     },
+    /// Remove the session from the server and return its encoded
+    /// `echowrite-snapshot` checkpoint (migration source side).
+    Export {
+        /// The session to export.
+        session: u64,
+    },
+    /// Install a previously exported checkpoint under the session id
+    /// (migration destination side).
+    Import {
+        /// The session to install.
+        session: u64,
+        /// The exported snapshot bytes.
+        snapshot: Vec<u8>,
+    },
 }
 
 impl Request {
@@ -80,7 +106,9 @@ impl Request {
         match self {
             Request::Open { session }
             | Request::Push { session, .. }
-            | Request::Finish { session } => *session,
+            | Request::Finish { session }
+            | Request::Export { session }
+            | Request::Import { session, .. } => *session,
         }
     }
 }
@@ -129,6 +157,23 @@ pub enum Response {
         /// The reaped session.
         session: u64,
     },
+    /// Verdict for [`Request::Export`]: the session's snapshot bytes, or
+    /// `None` when the id was unknown to the server.
+    Exported {
+        /// Session the verdict answers for.
+        session: u64,
+        /// The encoded snapshot; `None` for an unknown id.
+        snapshot: Option<Vec<u8>>,
+    },
+    /// Verdict for [`Request::Import`]: whether the snapshot was
+    /// installed.
+    Imported {
+        /// Session the verdict answers for.
+        session: u64,
+        /// `false` when the id is live, admission sheds it, or the bytes
+        /// fail to decode under the server's engine.
+        ok: bool,
+    },
 }
 
 impl Response {
@@ -137,7 +182,11 @@ impl Response {
     pub fn is_verdict(&self) -> bool {
         matches!(
             self,
-            Response::Enqueued { .. } | Response::QueueFull { .. } | Response::Shedding { .. }
+            Response::Enqueued { .. }
+                | Response::QueueFull { .. }
+                | Response::Shedding { .. }
+                | Response::Exported { .. }
+                | Response::Imported { .. }
         )
     }
 
@@ -176,7 +225,9 @@ impl Response {
             | Response::Shedding { session }
             | Response::Segment { session, .. }
             | Response::Finished { session }
-            | Response::Reaped { session } => SessionId(*session),
+            | Response::Reaped { session }
+            | Response::Exported { session, .. }
+            | Response::Imported { session, .. } => SessionId(*session),
         }
     }
 }
@@ -218,12 +269,16 @@ impl std::error::Error for FrameError {}
 const KIND_OPEN: u8 = 0x01;
 const KIND_PUSH: u8 = 0x02;
 const KIND_FINISH: u8 = 0x03;
+const KIND_EXPORT: u8 = 0x04;
+const KIND_IMPORT: u8 = 0x05;
 const KIND_ENQUEUED: u8 = 0x81;
 const KIND_QUEUE_FULL: u8 = 0x82;
 const KIND_SHEDDING: u8 = 0x83;
 const KIND_SEGMENT: u8 = 0x84;
 const KIND_FINISHED: u8 = 0x85;
 const KIND_REAPED: u8 = 0x86;
+const KIND_EXPORTED: u8 = 0x87;
+const KIND_IMPORTED: u8 = 0x88;
 
 /// Little-endian payload writer over a growable byte buffer.
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -318,6 +373,12 @@ pub fn encode_request(out: &mut Vec<u8>, request: &Request) {
             }
         }),
         Request::Finish { session } => encode_frame(out, KIND_FINISH, |p| put_u64(p, *session)),
+        Request::Export { session } => encode_frame(out, KIND_EXPORT, |p| put_u64(p, *session)),
+        Request::Import { session, snapshot } => encode_frame(out, KIND_IMPORT, |p| {
+            put_u64(p, *session);
+            put_u32(p, snapshot.len() as u32);
+            p.extend_from_slice(snapshot);
+        }),
     }
 }
 
@@ -360,6 +421,25 @@ pub fn encode_response(out: &mut Vec<u8>, response: &Response) {
             encode_frame(out, KIND_FINISHED, |p| put_u64(p, *session));
         }
         Response::Reaped { session } => encode_frame(out, KIND_REAPED, |p| put_u64(p, *session)),
+        Response::Exported { session, snapshot } => {
+            encode_frame(out, KIND_EXPORTED, |p| {
+                put_u64(p, *session);
+                match snapshot {
+                    Some(bytes) => {
+                        p.push(1);
+                        put_u32(p, bytes.len() as u32);
+                        p.extend_from_slice(bytes);
+                    }
+                    None => p.push(0),
+                }
+            });
+        }
+        Response::Imported { session, ok } => {
+            encode_frame(out, KIND_IMPORTED, |p| {
+                put_u64(p, *session);
+                p.push(u8::from(*ok));
+            });
+        }
     }
 }
 
@@ -382,6 +462,18 @@ fn decode_request(kind: u8, payload: &[u8]) -> Result<Request, FrameError> {
             Request::Push { session, samples }
         }
         KIND_FINISH => Request::Finish { session: c.u64()? },
+        KIND_EXPORT => Request::Export { session: c.u64()? },
+        KIND_IMPORT => {
+            let session = c.u64()?;
+            let n = c.u32()? as usize;
+            // Like Push: the byte count must agree with the remaining
+            // payload size before anything is allocated for it.
+            if payload.len() != 8 + 4 + n {
+                return Err(FrameError::Truncated { kind });
+            }
+            let snapshot = c.take(n)?.to_vec();
+            Request::Import { session, snapshot }
+        }
         other => return Err(FrameError::UnknownKind(other)),
     };
     c.done()?;
@@ -423,6 +515,30 @@ fn decode_response(kind: u8, payload: &[u8]) -> Result<Response, FrameError> {
         }
         KIND_FINISHED => Response::Finished { session: c.u64()? },
         KIND_REAPED => Response::Reaped { session: c.u64()? },
+        KIND_EXPORTED => {
+            let session = c.u64()?;
+            let snapshot = match c.u8()? {
+                0 => None,
+                1 => {
+                    let n = c.u32()? as usize;
+                    if payload.len() != 8 + 1 + 4 + n {
+                        return Err(FrameError::Truncated { kind });
+                    }
+                    Some(c.take(n)?.to_vec())
+                }
+                other => return Err(FrameError::BadFlag(other)),
+            };
+            Response::Exported { session, snapshot }
+        }
+        KIND_IMPORTED => {
+            let session = c.u64()?;
+            let ok = match c.u8()? {
+                0 => false,
+                1 => true,
+                other => return Err(FrameError::BadFlag(other)),
+            };
+            Response::Imported { session, ok }
+        }
         other => return Err(FrameError::UnknownKind(other)),
     };
     c.done()?;
@@ -552,6 +668,9 @@ mod tests {
             Request::Push { session: u64::MAX, samples: vec![0.0, -1.5, f64::MIN_POSITIVE] },
             Request::Push { session: 0, samples: Vec::new() },
             Request::Finish { session: 42 },
+            Request::Export { session: 17 },
+            Request::Import { session: 17, snapshot: vec![0x45, 0x57, 0x53, 0x4e, 0x01] },
+            Request::Import { session: 0, snapshot: Vec::new() },
         ] {
             assert_eq!(roundtrip_request(&req), req);
         }
@@ -577,9 +696,69 @@ mod tests {
             Response::Segment { session: 5, start_frame: 0, end_frame: 1, classification: None },
             Response::Finished { session: 6 },
             Response::Reaped { session: 7 },
+            Response::Exported { session: 8, snapshot: Some(vec![1, 2, 3, 255]) },
+            Response::Exported { session: 9, snapshot: None },
+            Response::Imported { session: 10, ok: true },
+            Response::Imported { session: 11, ok: false },
         ] {
             assert_eq!(roundtrip_response(&resp), resp);
         }
+    }
+
+    #[test]
+    fn snapshot_frames_are_verdicts() {
+        assert!(Response::Exported { session: 1, snapshot: None }.is_verdict());
+        assert!(Response::Imported { session: 1, ok: false }.is_verdict());
+        assert!(!Response::Reaped { session: 1 }.is_verdict());
+    }
+
+    #[test]
+    fn malformed_snapshot_frames_are_rejected() {
+        // Import whose byte count disagrees with the payload size.
+        let mut payload = Vec::new();
+        payload.push(KIND_IMPORT);
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&1000u32.to_le_bytes()); // claims 1000 bytes
+        payload.push(0xab); // carries 1
+        let mut dec = FrameDecoder::new();
+        dec.extend(&(payload.len() as u32).to_le_bytes());
+        dec.extend(&payload);
+        assert!(matches!(dec.next_request(), Err(FrameError::Truncated { kind: KIND_IMPORT })));
+
+        // Exported with a flag byte outside {0, 1}.
+        let mut payload = Vec::new();
+        payload.push(KIND_EXPORTED);
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.push(7);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&(payload.len() as u32).to_le_bytes());
+        dec.extend(&payload);
+        assert!(matches!(dec.next_response(), Err(FrameError::BadFlag(7))));
+
+        // Exported whose byte count disagrees with the payload size.
+        let mut payload = Vec::new();
+        payload.push(KIND_EXPORTED);
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.push(1);
+        payload.extend_from_slice(&9u32.to_le_bytes()); // claims 9 bytes
+        payload.push(0xcd); // carries 1
+        let mut dec = FrameDecoder::new();
+        dec.extend(&(payload.len() as u32).to_le_bytes());
+        dec.extend(&payload);
+        assert!(matches!(
+            dec.next_response(),
+            Err(FrameError::Truncated { kind: KIND_EXPORTED })
+        ));
+
+        // Imported with an ok byte outside {0, 1}.
+        let mut payload = Vec::new();
+        payload.push(KIND_IMPORTED);
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.push(2);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&(payload.len() as u32).to_le_bytes());
+        dec.extend(&payload);
+        assert!(matches!(dec.next_response(), Err(FrameError::BadFlag(2))));
     }
 
     #[test]

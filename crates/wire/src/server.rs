@@ -310,20 +310,40 @@ fn read_loop(
                 );
             }
             let session = req.session();
-            if matches!(req, WireRequest::Open { .. }) {
+            if matches!(req, WireRequest::Open { .. } | WireRequest::Import { .. }) {
                 // Register before submitting: events for this session may
-                // arrive as soon as the shard processes the open.
+                // arrive as soon as the shard processes the open (an
+                // imported session emits events the same way).
                 owned.insert(session);
                 lock(&shared.registry).insert(session, (conn_id, tx.clone()));
             }
-            let verdict = match &req {
-                WireRequest::Open { .. } => manager.submit(Request::Open(SessionId(session))),
-                WireRequest::Push { samples, .. } => {
-                    manager.submit(Request::Push(SessionId(session), samples))
-                }
-                WireRequest::Finish { .. } => manager.submit(Request::Finish(SessionId(session))),
+            let response = match req {
+                WireRequest::Open { .. } => Response::from_verdict(
+                    session,
+                    manager.submit(Request::Open(SessionId(session))),
+                ),
+                WireRequest::Push { ref samples, .. } => Response::from_verdict(
+                    session,
+                    manager.submit(Request::Push(SessionId(session), samples)),
+                ),
+                WireRequest::Finish { .. } => Response::from_verdict(
+                    session,
+                    manager.submit(Request::Finish(SessionId(session))),
+                ),
+                // Export/Import block this connection's reader until the
+                // owning shard processes them — the snapshot must reflect
+                // every previously enqueued push — without stalling any
+                // other connection.
+                WireRequest::Export { .. } => Response::Exported {
+                    session,
+                    snapshot: manager.export_session(SessionId(session)),
+                },
+                WireRequest::Import { snapshot, .. } => Response::Imported {
+                    session,
+                    ok: manager.import_session(SessionId(session), snapshot),
+                },
             };
-            if !send_counted(tx, Response::from_verdict(session, verdict), || {
+            if !send_counted(tx, response, || {
                 metrics.wire_write_stalls.inc();
             }) {
                 break 'conn;

@@ -280,6 +280,70 @@ fn malformed_bytes_close_only_their_connection() {
     assert!(report.metrics.wire_connections >= 2);
 }
 
+/// Snapshot migration over the wire: a session exported mid-word from one
+/// server imports into another (fresh manager, same engine config) and
+/// finishes there with a transcript bitwise equal to the continuous
+/// oracle — the `Export`/`Import` frames carry everything the session is.
+#[test]
+fn export_import_migrates_session_between_servers() {
+    let (audio, want) = &sessions()[1];
+    let id = 640u64;
+    let half = (audio.len() / 2 / CHUNK) * CHUNK;
+
+    let src = start_server();
+    let mut src_client = WireClient::connect(src.local_addr()).expect("loopback connect");
+    must_enqueue(&mut src_client, &Request::Open { session: id });
+    for chunk in audio[..half].chunks(CHUNK) {
+        must_enqueue(&mut src_client, &Request::Push { session: id, samples: chunk.to_vec() });
+    }
+    let snapshot = src_client.export(id).expect("export verdict").expect("live session");
+    assert!(src_client.export(id).expect("export verdict").is_none(), "export removed it");
+    // Events produced before the export still belong to the source server.
+    let mut rows: Vec<Row> = Vec::new();
+    while let Some(ev) = src_client.try_event() {
+        if let Response::Segment { session, start_frame, end_frame, classification } = ev {
+            assert_eq!(session, id);
+            let cls = classification.expect("no degradation configured");
+            rows.push((start_frame, end_frame, cls.stroke, cls.scores));
+        }
+    }
+    drop(src_client);
+    let src_report = src.shutdown();
+    assert_eq!(src_report.metrics.sessions_live, 0, "export released the session");
+
+    let dst = start_server();
+    let mut dst_client = WireClient::connect(dst.local_addr()).expect("loopback connect");
+    assert!(
+        !dst_client.import(id, b"not a snapshot".to_vec()).expect("import verdict"),
+        "garbage bytes must be refused"
+    );
+    assert!(dst_client.import(id, snapshot).expect("import verdict"), "snapshot imports");
+    for chunk in audio[half..].chunks(CHUNK) {
+        must_enqueue(&mut dst_client, &Request::Push { session: id, samples: chunk.to_vec() });
+    }
+    must_enqueue(&mut dst_client, &Request::Finish { session: id });
+    loop {
+        match dst_client.next_event().expect("event stream") {
+            Response::Segment { session, start_frame, end_frame, classification } => {
+                assert_eq!(session, id);
+                let cls = classification.expect("no degradation configured");
+                rows.push((start_frame, end_frame, cls.stroke, cls.scores));
+            }
+            Response::Finished { session } => {
+                assert_eq!(session, id);
+                break;
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    assert_eq!(&rows, want, "migrated wire transcript diverged");
+    drop(dst_client);
+    let dst_report = dst.shutdown();
+    assert_eq!(dst_report.metrics.sessions_resumed, 1);
+    assert_eq!(dst_report.metrics.sessions_finished, 1);
+    assert_eq!(dst_report.metrics.wire_malformed_frames, 0);
+}
+
 /// Shutdown with live connections neither hangs nor loses the report.
 #[test]
 fn shutdown_with_live_connections_is_clean() {

@@ -1,0 +1,129 @@
+//! Session suspend/resume end to end (DESIGN.md §6.10): a writer gets
+//! halfway through a word, the manager drains the live session into an
+//! on-disk [`FileStore`] and shuts down, a *fresh* manager over the same
+//! directory thaws the session on a bare `push`, and the finished word
+//! decodes as if nothing happened — the transcript is bitwise the one an
+//! uninterrupted session would have produced.
+//!
+//! ```sh
+//! cargo run --release --example suspend_demo
+//! ```
+
+use echowrite::{EchoWrite, EchoWriteConfig, Parallelism};
+use echowrite_gesture::{stroke::format_sequence, Stroke, Writer, WriterParams};
+use echowrite_serve::{
+    ReapPolicy, ServeConfig, ServeEvent, SessionId, SessionManager, SubmitVerdict,
+};
+use echowrite_snapshot::{FileStore, SnapshotStore};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+use std::sync::Arc;
+
+/// The Android app's 5-frame push size.
+const CHUNK: usize = 5 * 1024;
+
+fn render(strokes: &[Stroke], seed: u64) -> Vec<f64> {
+    let perf = Writer::new(WriterParams::nominal(), seed).write_sequence(strokes);
+    let mut traj = perf.trajectory;
+    let last = *traj.points().last().expect("non-empty trajectory");
+    traj.hold(last, 1.0);
+    Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), seed).render(&traj)
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        shards: Parallelism::Threads(1),
+        queue_capacity: 64,
+        reap_policy: ReapPolicy::SuspendToStore,
+        ..ServeConfig::default()
+    }
+}
+
+/// Pushes `audio[range]` chunk by chunk, quiesces, and appends the
+/// session's recognized strokes to `transcript`.
+fn play(
+    manager: &SessionManager,
+    id: SessionId,
+    audio: &[f64],
+    range: std::ops::Range<usize>,
+    transcript: &mut Vec<Stroke>,
+) {
+    let mut pos = range.start;
+    while pos < range.end {
+        let end = (pos + CHUNK).min(range.end);
+        match manager.push(id, &audio[pos..end]) {
+            SubmitVerdict::Enqueued => pos = end,
+            // One writer against an idle manager: backpressure just means
+            // "let the shard catch up".
+            SubmitVerdict::QueueFull { .. } => manager.quiesce(),
+            SubmitVerdict::Shedding => panic!("demo session shed"),
+        }
+    }
+    manager.quiesce();
+    let mut events = Vec::new();
+    manager.try_events(&mut events);
+    for ev in events {
+        match ev {
+            ServeEvent::Segment { segment, .. } => {
+                if let Some(cls) = segment.classification {
+                    transcript.push(cls.stroke);
+                }
+            }
+            ServeEvent::Finished { session } => println!("  session {} finished", session.0),
+            ServeEvent::Reaped { session } => println!("  session {} reaped?!", session.0),
+        }
+    }
+}
+
+fn main() {
+    // "my" in the letter→stroke scheme: m → S4, y → S2.
+    let strokes = [Stroke::S4, Stroke::S2];
+    let id = SessionId(7);
+    let audio = render(&strokes, 7);
+    let half = (audio.len() / 2 / CHUNK) * CHUNK;
+
+    let engine = EchoWrite::with_config(EchoWriteConfig::streaming());
+    let decoder = engine.clone();
+    let dir = std::env::temp_dir().join(format!("echowrite-suspend-demo-{}", std::process::id()));
+    let store = Arc::new(FileStore::new(&dir).expect("snapshot directory"));
+    let mut transcript = Vec::new();
+
+    println!("writing [{}], pausing mid-word after {half} samples", format_sequence(&strokes));
+
+    // First life: half the word, then drain to disk and shut down.
+    let manager = SessionManager::with_snapshot_store(engine.clone(), serve_config(), store.clone())
+        .expect("valid serve config");
+    assert_eq!(manager.open(id), SubmitVerdict::Enqueued);
+    play(&manager, id, &audio, 0..half, &mut transcript);
+    let report = manager.shutdown_to_store();
+    println!(
+        "manager gone: {} session suspended into {}",
+        report.metrics.sessions_suspended,
+        dir.display()
+    );
+    for file in store.sessions().expect("store listing") {
+        println!("  on disk: session {file:#018x}");
+    }
+
+    // Second life: a fresh manager over the same directory. No re-open,
+    // no replay — the first push for the id thaws it from the store.
+    let manager = SessionManager::with_snapshot_store(engine, serve_config(), store)
+        .expect("valid serve config");
+    play(&manager, id, &audio, half..audio.len(), &mut transcript);
+    assert_eq!(manager.finish(id), SubmitVerdict::Enqueued);
+    play(&manager, id, &audio, audio.len()..audio.len(), &mut transcript);
+    let report = manager.shutdown();
+    println!("resumed: {} session thawed from disk", report.metrics.sessions_resumed);
+
+    let word = decoder
+        .decode_sequence(&transcript)
+        .first()
+        .map(|c| c.word.clone())
+        .unwrap_or_else(|| "(no candidate)".to_string());
+    println!(
+        "\nwrote [{}]  recognized [{}]  top word across the restart: {word}",
+        format_sequence(&strokes),
+        format_sequence(&transcript)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,214 @@
+//! The checkpoint/restore guarantee (DESIGN.md §6.10), as a property: a
+//! session suspended with `echowrite-snapshot` at an *arbitrary* push
+//! boundary — including mid-stroke — and restored (optionally through a
+//! [`FileStore`] on disk) continues bitwise identically to a session that
+//! was never interrupted, for arbitrary chunkings, on the replay engine
+//! and both incremental front-ends. Corrupted bytes decode to typed
+//! errors, never panics or silently wrong sessions.
+
+use echowrite::{EchoWrite, EchoWriteConfig, SegmentEvent, StreamingSession};
+use echowrite_gesture::{Stroke, Writer, WriterParams};
+use echowrite_snapshot::{
+    decode, restore_session, snapshot_session, FileStore, SnapshotError, SnapshotStore,
+};
+use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Replay engine plus both incremental front-ends (full-rate and 32×
+/// down-converted): every session body flavor in the snapshot grammar.
+fn engines() -> &'static [EchoWrite; 3] {
+    static E: OnceLock<[EchoWrite; 3]> = OnceLock::new();
+    E.get_or_init(|| {
+        [
+            EchoWrite::new(),
+            EchoWrite::with_config(EchoWriteConfig::streaming()),
+            EchoWrite::with_config(EchoWriteConfig::streaming_downsampled(32)),
+        ]
+    })
+}
+
+fn render(strokes: &[Stroke], seed: u64, tail: f64) -> Vec<f64> {
+    let perf = Writer::new(WriterParams::nominal(), seed).write_sequence(strokes);
+    let mut traj = perf.trajectory;
+    if tail > 0.0 {
+        let last = *traj.points().last().expect("non-empty trajectory");
+        traj.hold(last, tail);
+    }
+    Scene::new(DeviceProfile::mate9(), EnvironmentProfile::meeting_room(), seed).render(&traj)
+}
+
+fn audios() -> &'static Vec<Vec<f64>> {
+    static A: OnceLock<Vec<Vec<f64>>> = OnceLock::new();
+    A.get_or_init(|| {
+        vec![
+            render(&[Stroke::S2, Stroke::S5], 7, 1.1),
+            // No rest tail: the last stroke is only decidable at finish,
+            // so the dedup set and segmenter phase are non-trivial at
+            // every candidate snapshot point.
+            render(&[Stroke::S4, Stroke::S1, Stroke::S6], 19, 0.0),
+        ]
+    })
+}
+
+/// A transcript row: boundaries, label, and the raw DTW distance/score
+/// bits (compared with `==` on f64, i.e. bitwise for non-NaN values).
+type Row = (usize, usize, Stroke, [f64; 6], [f64; 6]);
+
+fn rows(events: &[SegmentEvent]) -> Vec<Row> {
+    events
+        .iter()
+        .map(|ev| {
+            let c = ev.classification.as_ref().expect("classified segment");
+            (ev.start_frame, ev.end_frame, c.stroke, c.distances, c.scores)
+        })
+        .collect()
+}
+
+/// Splits `audio` into the cycled chunk-length pattern; the replay
+/// engine's output is chunking-sensitive, so the interrupted and
+/// uninterrupted runs must share these exact boundaries.
+fn chunk_plan(audio_len: usize, pattern: &[usize]) -> Vec<std::ops::Range<usize>> {
+    let mut plan = Vec::new();
+    let mut pos = 0;
+    let mut i = 0;
+    while pos < audio_len {
+        let len = pattern[i % pattern.len()].min(audio_len - pos);
+        plan.push(pos..pos + len);
+        pos += len;
+        i += 1;
+    }
+    plan
+}
+
+/// One uninterrupted session over the whole plan.
+fn continuous_rows(engine: &EchoWrite, audio: &[f64], plan: &[std::ops::Range<usize>]) -> Vec<Row> {
+    let mut session = StreamingSession::new(engine);
+    let mut events = Vec::new();
+    for r in plan {
+        session.push_events(engine, &audio[r.clone()], true, &mut events);
+    }
+    session.finish_events(engine, true, &mut events);
+    rows(&events)
+}
+
+/// The same plan with a snapshot/restore inserted after `cut` chunks,
+/// optionally bouncing the bytes through a [`FileStore`] on disk.
+fn interrupted_rows(
+    engine: &EchoWrite,
+    audio: &[f64],
+    plan: &[std::ops::Range<usize>],
+    cut: usize,
+    via_disk: bool,
+) -> Vec<Row> {
+    let mut session = StreamingSession::new(engine);
+    let mut events = Vec::new();
+    for r in &plan[..cut] {
+        session.push_events(engine, &audio[r.clone()], true, &mut events);
+    }
+    let mut bytes = snapshot_session(&session, engine);
+    drop(session); // the original is gone; only the bytes remain
+    if via_disk {
+        let dir = std::env::temp_dir()
+            .join(format!("ewsn-roundtrip-{}", std::process::id()));
+        let store = FileStore::new(&dir).expect("file store");
+        store.put(42, bytes).expect("store put");
+        // A second handle over the same directory models the restart.
+        let reopened = FileStore::new(&dir).expect("file store reopen");
+        bytes = reopened.remove(42).expect("store remove").expect("stored snapshot");
+    }
+    let mut session = restore_session(&bytes, engine).expect("snapshot restores");
+    for r in &plan[cut..] {
+        session.push_events(engine, &audio[r.clone()], true, &mut events);
+    }
+    session.finish_events(engine, true, &mut events);
+    rows(&events)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary chunkings, arbitrary snapshot point (any push boundary,
+    /// mid-stroke included), every engine flavor: suspend/resume must be
+    /// invisible in the output bits.
+    #[test]
+    fn restore_resumes_bitwise_at_any_push_boundary(
+        pattern in prop::collection::vec(256usize..20_000, 1..8),
+        cut_frac in 0.0f64..1.0,
+        audio_idx in 0usize..2,
+        engine_idx in 0usize..3,
+    ) {
+        let engine = &engines()[engine_idx];
+        let audio = &audios()[audio_idx];
+        let plan = chunk_plan(audio.len(), &pattern);
+        let cut = ((plan.len() as f64) * cut_frac) as usize;
+        let oracle = continuous_rows(engine, audio, &plan);
+        let got = interrupted_rows(engine, audio, &plan, cut.min(plan.len()), false);
+        prop_assert_eq!(got, oracle);
+    }
+
+    /// Any slice of a valid snapshot — truncation at an arbitrary point —
+    /// is a typed error, never a panic; a byte flipped anywhere in the
+    /// header is always rejected.
+    #[test]
+    fn corrupt_snapshots_decode_to_typed_errors(
+        trunc_frac in 0.0f64..1.0,
+        flip_at in 0usize..14,
+        flip_mask in 1usize..256,
+        engine_idx in 0usize..3,
+    ) {
+        let engine = &engines()[engine_idx];
+        let mut session = StreamingSession::new(engine);
+        let mut sink = Vec::new();
+        session.push_events(engine, &audios()[0][..24_000], true, &mut sink);
+        let bytes = snapshot_session(&session, engine);
+
+        let cut = ((bytes.len() as f64) * trunc_frac) as usize;
+        match decode(&bytes[..cut.min(bytes.len() - 1)], engine.config()) {
+            Err(_) => {}
+            Ok(_) => prop_assert!(false, "a strict prefix must never decode"),
+        }
+
+        // Header corruption: magic, version, or config fingerprint.
+        let mut flipped = bytes.clone();
+        flipped[flip_at] ^= flip_mask as u8;
+        match decode(&flipped, engine.config()) {
+            Err(
+                SnapshotError::BadMagic
+                | SnapshotError::UnsupportedVersion(_)
+                | SnapshotError::ConfigMismatch { .. },
+            ) => {}
+            other => prop_assert!(false, "corrupt header accepted: {:?}", other),
+        }
+    }
+}
+
+/// The disk round-trip (FileStore put → reopen → remove → restore) at a
+/// deterministic mid-stroke boundary, every engine flavor.
+#[test]
+fn file_store_round_trip_resumes_bitwise() {
+    let audio = &audios()[1];
+    for engine in engines() {
+        let plan = chunk_plan(audio.len(), &[5 * 1024]);
+        let cut = plan.len() / 2;
+        let oracle = continuous_rows(engine, audio, &plan);
+        assert!(!oracle.is_empty(), "test audio must produce segments");
+        let got = interrupted_rows(engine, audio, &plan, cut, true);
+        assert_eq!(got, oracle, "disk round-trip diverged");
+    }
+}
+
+/// A snapshot taken under one engine must refuse to restore under
+/// another: the config fingerprint is part of the header.
+#[test]
+fn snapshots_do_not_cross_engine_configs() {
+    let [replay, full, down] = engines();
+    let session = StreamingSession::new(full);
+    let bytes = snapshot_session(&session, full);
+    for other in [replay, down] {
+        match restore_session(&bytes, other) {
+            Err(SnapshotError::ConfigMismatch { .. }) => {}
+            other => panic!("expected ConfigMismatch, got {other:?}"),
+        }
+    }
+}
