@@ -64,6 +64,7 @@ fn bench_point(g: &mut criterion::BenchmarkGroup<'_>, sessions: usize, shards: u
             idle_timeout_samples: None,
             batch_max: 8,
             reap_policy: ReapPolicy::Drop,
+            ..ServeConfig::default()
         },
     )
     .expect("valid bench config");

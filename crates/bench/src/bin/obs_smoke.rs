@@ -1,0 +1,302 @@
+//! `obs_smoke` — the CI admin-plane smoke (DESIGN.md §6.11).
+//!
+//! Boots a serving manager with the flight recorder pointed at a real
+//! artifact directory, mounts the [`ObsServer`] beside it, and then does
+//! exactly what the `obs-smoke` CI job promises:
+//!
+//! 1. curls all five endpoint groups (`/healthz`, `/readyz`, `/metrics`,
+//!    `/sessions`, `/flight`) plus the `/trace/start|stop|dump`
+//!    lifecycle over real loopback sockets;
+//! 2. validates the `/metrics` body against the Prometheus
+//!    text-exposition contract (every family preceded by `# HELP` +
+//!    `# TYPE`, histograms carrying the full cumulative ladder up to
+//!    `+Inf` with `_sum`/`_count`, the interpolated quantile gauges
+//!    present once observations exist) and writes it to disk for the
+//!    job log;
+//! 3. forces a shed through a deliberately tiny admission limit and
+//!    waits for the flight recorder's Chrome-trace postmortem artifact
+//!    to appear in the artifact directory, which CI then uploads.
+//!
+//! Exits non-zero on the first violated expectation, so a green run is
+//! the whole live-introspection contract.
+
+use echowrite::{EchoWrite, EchoWriteConfig, Parallelism};
+use echowrite_obs::ObsServer;
+use echowrite_serve::{
+    FlightOptions, Request, ServeConfig, SessionId, SessionManager, SubmitVerdict,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Five STFT hops per push — the chunk an audio callback hands over.
+const CHUNK: usize = 5 * 1024;
+
+struct Args {
+    /// Where flight-recorder postmortems land (uploaded by CI).
+    artifact_dir: PathBuf,
+    /// Where the validated `/metrics` body is written.
+    metrics_out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        artifact_dir: PathBuf::from("flight-artifacts"),
+        metrics_out: PathBuf::from("metrics.prom"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--artifact-dir" => args.artifact_dir = PathBuf::from(value("--artifact-dir")?),
+            "--metrics-out" => args.metrics_out = PathBuf::from(value("--metrics-out")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// One blocking request against the admin plane; returns (status, body).
+fn http(addr: SocketAddr, method: &str, path: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let head = match method {
+        "GET" => format!("GET {path} HTTP/1.1\r\nHost: smoke\r\n\r\n"),
+        _ => format!("{method} {path} HTTP/1.1\r\nHost: smoke\r\nContent-Length: 0\r\n\r\n"),
+    };
+    stream.write_all(head.as_bytes()).map_err(|e| format!("{method} {path}: {e}"))?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(|e| format!("read {path}: {e}"))?;
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("{path}: unparseable status line"))?;
+    let body = response.split("\r\n\r\n").nth(1).unwrap_or_default().to_string();
+    eprintln!("obs_smoke: {method} {path} {status}");
+    Ok((status, body))
+}
+
+fn get(addr: SocketAddr, path: &str) -> Result<(u16, String), String> {
+    http(addr, "GET", path)
+}
+
+/// The Prometheus text-exposition checker: every sample's family must
+/// have been announced by `# HELP` and `# TYPE` lines, and histogram
+/// families must carry the full cumulative ladder (`+Inf` terminal
+/// bucket, `_sum`, `_count`) even at zero observations.
+fn validate_exposition(text: &str) -> Result<(), String> {
+    use std::collections::BTreeSet;
+    let mut helped = BTreeSet::new();
+    let mut typed = BTreeSet::new();
+    let mut histograms = BTreeSet::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or_default();
+            helped.insert(name.to_string());
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap_or_default().to_string();
+            if !helped.contains(&name) {
+                return Err(format!("`# TYPE {name}` without a preceding `# HELP`"));
+            }
+            if parts.next() == Some("histogram") {
+                histograms.insert(name.clone());
+            }
+            typed.insert(name);
+        } else if !line.is_empty() {
+            let raw = line.split([' ', '{']).next().unwrap_or_default();
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|s| raw.strip_suffix(s))
+                .filter(|f| histograms.contains(*f))
+                .unwrap_or(raw);
+            if !typed.contains(family) {
+                return Err(format!("sample `{raw}` has no `# TYPE` announcement"));
+            }
+        }
+    }
+    for h in &histograms {
+        for part in ["_bucket{le=\"+Inf\"}", "_sum", "_count"] {
+            if !text.contains(&format!("{h}{part}")) {
+                return Err(format!("histogram {h} lacks {part} (zero-observation ladder bug?)"));
+            }
+        }
+    }
+    for required in [
+        "echowrite_serve_pushes_total",
+        "echowrite_serve_obs_requests_total",
+        "echowrite_serve_obs_malformed_requests_total",
+        "echowrite_serve_flight_dumps_total",
+        "echowrite_serve_push_latency_us",
+        "echowrite_serve_push_latency_p50_us",
+        "echowrite_serve_push_latency_p95_us",
+        "echowrite_serve_push_latency_p99_us",
+    ] {
+        if !typed.contains(required) {
+            return Err(format!("required family {required} missing from exposition"));
+        }
+    }
+    Ok(())
+}
+
+fn expect_status(
+    which: &str,
+    got: (u16, String),
+    want: u16,
+) -> Result<String, String> {
+    if got.0 != want {
+        return Err(format!("{which}: status {} (want {want}): {:?}", got.0, got.1));
+    }
+    Ok(got.1)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    std::fs::create_dir_all(&args.artifact_dir)
+        .map_err(|e| format!("create {}: {e}", args.artifact_dir.display()))?;
+
+    let engine = EchoWrite::with_config(EchoWriteConfig::streaming_downsampled(32));
+    let manager = Arc::new(
+        SessionManager::new(
+            engine,
+            ServeConfig {
+                shards: Parallelism::Threads(1),
+                max_sessions: 1,
+                high_water: 1,
+                flight: FlightOptions {
+                    artifact_dir: Some(args.artifact_dir.clone()),
+                    ..FlightOptions::default()
+                },
+                ..ServeConfig::default()
+            },
+        )
+        .map_err(|e| format!("serve config: {e}"))?,
+    );
+    let obs =
+        ObsServer::bind("127.0.0.1:0", Arc::downgrade(&manager)).map_err(|e| format!("bind: {e}"))?;
+    let addr = obs.local_addr();
+    eprintln!("obs_smoke: admin plane on http://{addr}");
+
+    // Tagged traffic so the session table, latency histogram, and flight
+    // ring all have something to show.
+    let chunk = vec![0.0f64; CHUNK];
+    match manager.submit_tagged(Request::Open(SessionId(1)), 9_001) {
+        SubmitVerdict::Enqueued => {}
+        v => return Err(format!("open rejected: {v:?}")),
+    }
+    // On-demand trace capture brackets the pushes, proving the lifecycle
+    // works against live traffic without a restart.
+    expect_status("/trace/dump before start", get(addr, "/trace/dump")?, 404)?;
+    expect_status("POST /trace/start", http(addr, "POST", "/trace/start")?, 200)?;
+    for i in 0..8u64 {
+        let _ = manager.submit_tagged(Request::Push(SessionId(1), &chunk), 9_002 + i);
+        manager.quiesce();
+    }
+    expect_status("POST /trace/stop", http(addr, "POST", "/trace/stop")?, 200)?;
+    let dump = expect_status("GET /trace/dump", get(addr, "/trace/dump")?, 200)?;
+    if !dump.contains("\"traceEvents\"") || !dump.contains("push") {
+        return Err(format!("/trace/dump: no push spans captured: {dump:?}"));
+    }
+
+    // The five endpoint groups.
+    let body = expect_status("/healthz", get(addr, "/healthz")?, 200)?;
+    if body != "ok\n" {
+        return Err(format!("/healthz body: {body:?}"));
+    }
+    expect_status("/readyz", get(addr, "/readyz")?, 200)?;
+    let sessions = expect_status("/sessions", get(addr, "/sessions")?, 200)?;
+    if !sessions.contains("\"session\":1") || !sessions.contains("\"suspended\":false") {
+        return Err(format!("/sessions: live session missing: {sessions}"));
+    }
+    let flight = expect_status("/flight", get(addr, "/flight")?, 200)?;
+    if !flight.starts_with("{\"displayTimeUnit\"") || !flight.contains("\"req\":9002") {
+        return Err(format!("/flight: tagged push spans missing: {flight}"));
+    }
+    let metrics = expect_status("/metrics", get(addr, "/metrics")?, 200)?;
+    validate_exposition(&metrics)?;
+    std::fs::write(&args.metrics_out, &metrics)
+        .map_err(|e| format!("write {}: {e}", args.metrics_out.display()))?;
+    eprintln!(
+        "obs_smoke: /metrics exposition valid ({} families), wrote {}",
+        metrics.lines().filter(|l| l.starts_with("# TYPE")).count(),
+        args.metrics_out.display()
+    );
+
+    // Force a shed: the one-session admission limit rejects the second
+    // open, latches the shed state, and the latch dumps the flight rings.
+    match manager.submit_tagged(Request::Open(SessionId(2)), 9_100) {
+        SubmitVerdict::Shedding => {}
+        v => return Err(format!("second open must shed, got {v:?}")),
+    }
+    let body = expect_status("/readyz under shed", get(addr, "/readyz")?, 503)?;
+    if body != "shedding\n" {
+        return Err(format!("/readyz shed body: {body:?}"));
+    }
+    // One more push makes the shard worker poll the trigger.
+    let _ = manager.submit_tagged(Request::Push(SessionId(1), &chunk), 9_101);
+    manager.quiesce();
+    let shed_artifact = wait_for_artifact(&args.artifact_dir, "-shed-")?;
+    eprintln!("obs_smoke: flight artifact {}", shed_artifact.display());
+    let dump = std::fs::read_to_string(&shed_artifact)
+        .map_err(|e| format!("read {}: {e}", shed_artifact.display()))?;
+    if !dump.starts_with("{\"displayTimeUnit\"")
+        || dump.matches('{').count() != dump.matches('}').count()
+    {
+        return Err(format!("{}: not a Chrome trace", shed_artifact.display()));
+    }
+
+    obs.shutdown();
+    // Shutdown is itself an anomaly trigger: the manager's final act
+    // dumps one more postmortem beside the shed artifact.
+    let report = Arc::try_unwrap(manager)
+        .map_err(|_| "manager still referenced at shutdown".to_string())?
+        .shutdown();
+    if report.metrics.obs_malformed_requests != 0 {
+        return Err(format!(
+            "{} malformed admin requests in a clean smoke",
+            report.metrics.obs_malformed_requests
+        ));
+    }
+    wait_for_artifact(&args.artifact_dir, "-shutdown-")?;
+    eprintln!(
+        "obs_smoke: pushes={} flight_dumps={} obs_requests={} ok=true",
+        report.metrics.pushes, report.metrics.flight_dumps, report.metrics.obs_requests
+    );
+    Ok(())
+}
+
+/// Polls the artifact directory for a flight dump whose name carries the
+/// given trigger slug.
+fn wait_for_artifact(dir: &std::path::Path, slug: &str) -> Result<PathBuf, String> {
+    for _ in 0..500 {
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().to_string();
+                if name.starts_with("flight-") && name.contains(slug) {
+                    return Ok(entry.path());
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    Err(format!("no flight artifact matching {slug} appeared in {}", dir.display()))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("obs_smoke: {e}");
+            eprintln!("usage: obs_smoke [--artifact-dir DIR] [--metrics-out FILE]");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("obs_smoke: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

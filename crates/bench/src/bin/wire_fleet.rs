@@ -26,13 +26,16 @@
 //! snapshot/restore latency and bytes-per-session.
 
 use echowrite::{EchoWrite, EchoWriteConfig, Parallelism, StreamingRecognizer, StreamingSession};
+use echowrite_bench::stitch::{self, ClientTrace};
 use echowrite_gesture::{Stroke, Writer, WriterParams};
+use echowrite_obs::ObsServer;
 use echowrite_profile::Stopwatch;
-use echowrite_serve::{ReapPolicy, ServeConfig, SessionManager};
+use echowrite_serve::{FlightOptions, ReapPolicy, ServeConfig, SessionManager};
 use echowrite_snapshot::{restore_session, snapshot_session, MemoryStore, SnapshotStore};
 use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};
 use echowrite_wire::{Request, Response, WireClient, WireServer};
 use std::collections::BTreeMap;
+use std::io::{Read, Write};
 use std::process::ExitCode;
 use std::sync::{Arc, Barrier, OnceLock};
 
@@ -488,6 +491,7 @@ fn run_suspend_phase(args: &Args) -> (String, bool) {
             idle_timeout_samples: Some(SUSPEND_IDLE_TIMEOUT),
             batch_max: 8,
             reap_policy: ReapPolicy::SuspendToStore,
+            ..ServeConfig::default()
         },
         store.clone(),
     )
@@ -655,6 +659,206 @@ fn run_suspend_phase(args: &Args) -> (String, bool) {
     (json, ok)
 }
 
+/// One blocking HTTP GET against the admin plane; returns (status, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> Result<(u16, String), String> {
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: fleet\r\n\r\n").as_bytes())
+        .map_err(|e| format!("GET {path}: {e}"))?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(|e| format!("read {path}: {e}"))?;
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("{path}: unparseable status line"))?;
+    let body = response.split("\r\n\r\n").nth(1).unwrap_or_default().to_string();
+    Ok((status, body))
+}
+
+/// Hits every admin endpoint against a live fleet and sanity-checks the
+/// bodies. Returns an error description on the first failure.
+fn check_obs_endpoints(addr: std::net::SocketAddr, sessions: usize) -> Result<(), String> {
+    let (status, body) = http_get(addr, "/healthz")?;
+    if status != 200 || body != "ok\n" {
+        return Err(format!("/healthz: {status} {body:?}"));
+    }
+    let (status, _) = http_get(addr, "/readyz")?;
+    if status != 200 {
+        return Err(format!("/readyz: {status} (fleet admission must not be shedding)"));
+    }
+    let (status, body) = http_get(addr, "/metrics")?;
+    if status != 200
+        || !body.contains("# TYPE echowrite_serve_pushes_total counter")
+        || !body.contains("echowrite_serve_obs_requests_total")
+    {
+        return Err(format!("/metrics: {status}, exposition incomplete"));
+    }
+    let (status, body) = http_get(addr, "/sessions")?;
+    if status != 200 || !body.starts_with('[') || !body.ends_with(']') {
+        return Err(format!("/sessions: {status} {body:?}"));
+    }
+    // The fleet has finished every session by the time this runs, so the
+    // table may be empty — but it must list no more than the fleet drove.
+    let rows = body.matches("\"session\":").count();
+    if rows > sessions {
+        return Err(format!("/sessions: {rows} rows for a {sessions}-session fleet"));
+    }
+    let (status, body) = http_get(addr, "/flight")?;
+    if status != 200 || !body.starts_with("{\"displayTimeUnit\"") {
+        return Err(format!("/flight: {status}, not a Chrome trace"));
+    }
+    Ok(())
+}
+
+/// The stitched-trace acceptance phase: a deliberately tiny admission
+/// limit forces a shed, the shed latch dumps the flight rings as a
+/// Chrome-trace artifact, and every nonzero server-side request id in
+/// that artifact must stitch 1:1 against the ids the client assigned.
+fn run_obs_stitch_phase() -> bool {
+    let dir = std::env::temp_dir().join(format!("ewsn-fleet-flight-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let manager = SessionManager::new(
+        engine().clone(),
+        ServeConfig {
+            shards: Parallelism::Threads(1),
+            max_sessions: 1,
+            high_water: 1,
+            flight: FlightOptions { artifact_dir: Some(dir.clone()), ..FlightOptions::default() },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("valid serve config");
+    let server = WireServer::bind("127.0.0.1:0", manager).expect("loopback bind");
+    let obs = ObsServer::bind("127.0.0.1:0", server.manager_handle()).expect("obs bind");
+    let addr = server.local_addr();
+
+    let mut trace = ClientTrace::new();
+    let mut client = match WireClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("wire_fleet[obs]: connect: {e}");
+            return false;
+        }
+    };
+    client.set_next_request_id(9_000);
+    let audio = &bases()[0].0;
+    let mut ts_us = 0u64;
+    let mut ok = true;
+    // Open + two pushes on the admitted session, then an open that must
+    // shed, then one more push so the shard polls the dump trigger.
+    let chunk_at = |k: usize| {
+        let pos = (k * CHUNK).min(audio.len());
+        let end = (pos + CHUNK).min(audio.len());
+        audio[pos..end].to_vec()
+    };
+    let script: Vec<(&str, Request)> = vec![
+        ("open", Request::Open { session: 71 }),
+        ("push", Request::Push { session: 71, samples: chunk_at(0) }),
+        ("push", Request::Push { session: 71, samples: chunk_at(1) }),
+        ("open_shed", Request::Open { session: 72 }),
+        ("push", Request::Push { session: 71, samples: chunk_at(2) }),
+        ("finish", Request::Finish { session: 71 }),
+    ];
+    for (name, req) in &script {
+        let id = client.peek_next_request_id();
+        let timer = Stopwatch::start();
+        match client.request(req) {
+            Ok(Response::Shedding { request_id, .. }) => {
+                trace.instant("shed_verdict", request_id, ts_us);
+                if *name != "open_shed" {
+                    eprintln!("wire_fleet[obs]: unexpected shed on {name}");
+                    ok = false;
+                }
+            }
+            Ok(_) => trace.span(name, id, ts_us, (timer.elapsed_ms() * 1_000.0) as u64),
+            Err(e) => {
+                eprintln!("wire_fleet[obs]: {name}: {e}");
+                ok = false;
+            }
+        }
+        ts_us += 1_000;
+    }
+    // Drain until the admitted session finishes so its spans are in the
+    // rings before shutdown.
+    while ok {
+        match client.next_event() {
+            Ok(Response::Finished { .. }) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("wire_fleet[obs]: event stream: {e}");
+                ok = false;
+            }
+        }
+    }
+    // The shed artifact lands asynchronously (the worker polls between
+    // batches); wait for it (bench crate is time-exempt).
+    let shed_artifact = |dir: &std::path::Path| -> Option<std::path::PathBuf> {
+        std::fs::read_dir(dir).ok()?.flatten().map(|e| e.path()).find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("flight-") && n.contains("-shed-"))
+        })
+    };
+    let mut artifact = None;
+    for _ in 0..500 {
+        artifact = shed_artifact(&dir);
+        if artifact.is_some() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    // The admin plane serves the same rings live.
+    if let Err(e) = http_get(obs.local_addr(), "/flight")
+        .and_then(|(status, body)| match status {
+            200 if body.contains("\"req\":") => Ok(()),
+            _ => Err(format!("/flight: {status}, no correlation args")),
+        })
+    {
+        eprintln!("wire_fleet[obs]: {e}");
+        ok = false;
+    }
+    obs.shutdown();
+    let _ = server.shutdown();
+
+    let Some(artifact) = artifact else {
+        eprintln!("wire_fleet[obs]: no shed flight artifact in {}", dir.display());
+        let _ = std::fs::remove_dir_all(&dir);
+        return false;
+    };
+    let server_json = std::fs::read_to_string(&artifact).unwrap_or_default();
+    let client_json = trace.to_chrome_json();
+    let merged = match stitch::stitch_traces(&client_json, &server_json) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("wire_fleet[obs]: stitch: {e}");
+            let _ = std::fs::remove_dir_all(&dir);
+            return false;
+        }
+    };
+    if merged.matches('{').count() != merged.matches('}').count() {
+        eprintln!("wire_fleet[obs]: merged trace is not well-formed");
+        ok = false;
+    }
+    let report = stitch::correlate(&client_json, &server_json);
+    if !report.is_one_to_one() {
+        eprintln!(
+            "wire_fleet[obs]: stitch not 1:1 — {} matched, server-only ids {:?}",
+            report.matched, report.server_only
+        );
+        ok = false;
+    }
+    eprintln!(
+        "wire_fleet[obs]: shed artifact {} stitched {}/{} client ids ok={ok}",
+        artifact.file_name().and_then(|n| n.to_str()).unwrap_or("?"),
+        report.matched,
+        report.client_total
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    ok
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -688,11 +892,15 @@ fn main() -> ExitCode {
             idle_timeout_samples: None,
             batch_max: 8,
             reap_policy: ReapPolicy::Drop,
+            ..ServeConfig::default()
         },
     )
     .expect("valid serve config");
     let server = WireServer::bind("127.0.0.1:0", manager).expect("loopback bind");
     let addr = server.local_addr();
+    // The admin plane rides beside the wire listener for the whole run,
+    // observing the manager through a weak handle.
+    let obs = ObsServer::bind("127.0.0.1:0", server.manager_handle()).expect("obs bind");
 
     // Partition sessions across connections and replay.
     let wall = Stopwatch::start();
@@ -707,6 +915,17 @@ fn main() -> ExitCode {
         handles.into_iter().map(|h| h.join().expect("connection thread")).collect()
     });
     let wall_s = wall.elapsed_ms() / 1e3;
+
+    // With the fleet complete but the server still live, every admin
+    // endpoint must answer.
+    let obs_endpoints_ok = match check_obs_endpoints(obs.local_addr(), args.sessions) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("wire_fleet: obs endpoint check: {e}");
+            false
+        }
+    };
+    obs.shutdown();
 
     let report = server.shutdown();
     let m = &report.metrics;
@@ -828,7 +1047,7 @@ fn main() -> ExitCode {
         None => print!("{json}"),
     }
 
-    let mut ok = true;
+    let mut ok = obs_endpoints_ok;
     for e in &errors {
         eprintln!("wire_fleet: connection error: {e}");
         ok = false;
@@ -856,6 +1075,10 @@ fn main() -> ExitCode {
         "wire_fleet: realtime_factor={realtime_factor:.2} rtt_p50_us={p50} rtt_p99_us={p99} \
          queue_full_retries={queue_full_retries} ok={ok}"
     );
+
+    // Observability acceptance: forced shed → flight artifact → stitched
+    // 1:1 against the client-assigned request ids.
+    ok &= run_obs_stitch_phase();
 
     // Second pass: the same fleet with suspension enabled (BENCH_snapshot).
     let (snapshot_json, suspend_ok) = run_suspend_phase(&args);

@@ -5,6 +5,8 @@
 //! render deterministic audio traces once so the benches measure the
 //! pipeline, not the synthesizer.
 
+pub mod stitch;
+
 use echowrite::EchoWrite;
 use echowrite_gesture::{Stroke, Writer, WriterParams};
 use echowrite_synth::{DeviceProfile, EnvironmentProfile, Scene};

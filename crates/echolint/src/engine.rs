@@ -20,7 +20,7 @@ use std::path::{Path, PathBuf};
 /// determinism, and pub-doc rules.
 pub const PIPELINE_CRATES: &[&str] = &[
     "dsp", "spectro", "profile", "dtw", "lang", "corpus", "gesture", "core", "serve", "trace",
-    "wire", "snapshot",
+    "wire", "snapshot", "obs",
 ];
 
 /// Crates whose library code may read wall clocks (profiling is their job).

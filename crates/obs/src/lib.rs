@@ -1,0 +1,36 @@
+//! `echowrite-obs` — the live introspection plane (DESIGN.md §6.11).
+//!
+//! A dependency-free HTTP/1.1 admin server that runs beside the wire
+//! listener and exposes the serving layer's internals without stopping
+//! it: Prometheus metrics, liveness/readiness probes that reflect the
+//! admission controller's shed state, the per-shard live session table,
+//! on-demand Chrome-trace recording (start/stop/dump without a restart),
+//! and targeted dumps of the always-on flight recorder.
+//!
+//! The plane holds only a [`Weak`](std::sync::Weak) reference to the
+//! [`SessionManager`](echowrite_serve::SessionManager): it can never
+//! keep the serving layer alive, and every manager-backed endpoint
+//! degrades to `503` after the manager shuts down while `/healthz`
+//! keeps answering — liveness and readiness stay distinguishable
+//! through the whole shutdown sequence.
+//!
+//! ```no_run
+//! use echowrite::{EchoWrite, EchoWriteConfig};
+//! use echowrite_obs::ObsServer;
+//! use echowrite_serve::{ServeConfig, SessionManager};
+//! use std::sync::Arc;
+//!
+//! let engine = EchoWrite::with_config(EchoWriteConfig::streaming());
+//! let manager =
+//!     Arc::new(SessionManager::new(engine, ServeConfig::default()).expect("valid config"));
+//! let obs = ObsServer::bind("127.0.0.1:0", Arc::downgrade(&manager)).expect("bind");
+//! println!("admin plane at http://{}", obs.local_addr());
+//! // ... curl http://<addr>/metrics, /sessions, /flight ...
+//! obs.shutdown();
+//! ```
+
+pub mod http;
+pub mod server;
+
+pub use http::{HttpRequest, Method, RequestError};
+pub use server::ObsServer;

@@ -19,6 +19,34 @@ pub enum ReapPolicy {
     SuspendToStore,
 }
 
+/// Flight-recorder knobs (DESIGN.md §6.11): every shard worker owns an
+/// always-on bounded ring of recent trace events; anomalies (shed latch,
+/// deadline degradation, malformed wire frames, reap/thaw churn, shutdown)
+/// dump the rings as Chrome-trace postmortem artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightOptions {
+    /// Per-shard ring capacity, in recorded events.
+    pub capacity: usize,
+    /// Directory anomaly dumps are written to. `None` keeps the rings
+    /// purely in-memory — snapshots are still served on demand via
+    /// [`SessionManager::flight_snapshot`](crate::SessionManager::flight_snapshot),
+    /// but anomalies leave no artifact.
+    pub artifact_dir: Option<std::path::PathBuf>,
+    /// Reap/suspend/thaw events within one reaper scan window that count
+    /// as churn and trigger a dump; `0` disables the churn trigger.
+    pub churn_threshold: u64,
+}
+
+impl Default for FlightOptions {
+    fn default() -> Self {
+        FlightOptions {
+            capacity: echowrite_trace::DEFAULT_FLIGHT_CAPACITY,
+            artifact_dir: None,
+            churn_threshold: 32,
+        }
+    }
+}
+
 /// Tuning knobs for a [`SessionManager`](crate::SessionManager).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
@@ -57,6 +85,9 @@ pub struct ServeConfig {
     /// (default) or suspend them into the snapshot store for transparent
     /// resumption.
     pub reap_policy: ReapPolicy,
+    /// Flight-recorder configuration (always-on per-shard event rings and
+    /// their anomaly dump triggers).
+    pub flight: FlightOptions,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +101,7 @@ impl Default for ServeConfig {
             idle_timeout_samples: None,
             batch_max: 8,
             reap_policy: ReapPolicy::Drop,
+            flight: FlightOptions::default(),
         }
     }
 }
@@ -110,6 +142,9 @@ impl ServeConfig {
         if self.batch_max == 0 {
             return Err("batch_max must be at least 1 (1 disables batching)".to_string());
         }
+        if self.flight.capacity == 0 {
+            return Err("flight ring capacity must be positive".to_string());
+        }
         Ok(())
     }
 }
@@ -149,6 +184,11 @@ mod tests {
         assert!(batch0.validate().is_err());
         let batch1 = ServeConfig { batch_max: 1, ..ServeConfig::default() };
         assert!(batch1.validate().is_ok(), "batch_max of 1 (batching off) is valid");
+        let flight0 = ServeConfig {
+            flight: FlightOptions { capacity: 0, ..FlightOptions::default() },
+            ..ServeConfig::default()
+        };
+        assert!(flight0.validate().is_err());
     }
 
     #[test]

@@ -35,8 +35,12 @@ pub mod manager;
 pub mod metrics;
 
 pub use admission::AdmissionController;
-pub use config::{ReapPolicy, ServeConfig};
+pub use config::{FlightOptions, ReapPolicy, ServeConfig};
 pub use manager::{
-    EventStream, Request, ServeEvent, SessionId, SessionManager, ShutdownReport, SubmitVerdict,
+    EventStream, FlightReason, Request, ServeEvent, SessionId, SessionInfo, SessionManager,
+    ShutdownReport, SubmitVerdict,
 };
 pub use metrics::{MetricsSnapshot, ServeMetrics};
+// The flight recorder's data types live in `echowrite-trace`; re-exported
+// so serve/obs callers need no direct trace dependency to consume dumps.
+pub use echowrite_trace::{flight_to_chrome_json, FlightEntry, FlightRing};

@@ -28,8 +28,12 @@ use crate::metrics::ServeMetrics;
 use echowrite::{EchoWrite, SegmentEvent, SharedDspScratch, StreamingSession};
 use echowrite_profile::Stopwatch;
 use echowrite_snapshot::{restore_in_place, snapshot_session, SnapshotStore};
-use echowrite_trace::{SmallStr, Stage, TICK_UNSET};
+use echowrite_trace::{
+    flight_to_chrome_json, EventKind, FlightEntry, FlightRing, SmallStr, Stage, TraceEvent,
+    TICK_UNSET,
+};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
@@ -99,15 +103,126 @@ pub enum ServeEvent {
     },
 }
 
-/// A command in flight to a shard worker.
+/// A command in flight to a shard worker. `req` is the wire-level
+/// correlation id the command was submitted under (0 = untagged), threaded
+/// through so push spans and flight-ring entries stitch against
+/// client-side traces.
 enum Cmd {
-    Open { id: u64 },
-    Push { id: u64, chunk: Vec<f64>, seq: u64, timer: Stopwatch },
-    Finish { id: u64 },
+    Open { id: u64, req: u64 },
+    Push { id: u64, chunk: Vec<f64>, seq: u64, req: u64, timer: Stopwatch },
+    Finish { id: u64, req: u64 },
     /// Remove the session and reply with its encoded snapshot (migration).
     Export { id: u64, reply: SyncSender<Option<Vec<u8>>> },
     /// Install an exported snapshot under `id`; replies whether it stuck.
     Import { id: u64, bytes: Vec<u8>, reply: SyncSender<bool> },
+    /// Snapshot the shard's live-session table (the obs plane's
+    /// `/sessions` endpoint).
+    Introspect { reply: SyncSender<Vec<SessionInfo>> },
+    /// Snapshot the shard's flight ring, optionally one session's rows.
+    FlightDump { session: Option<u64>, reply: SyncSender<Vec<FlightEntry>> },
+}
+
+/// Why a flight-recorder dump was triggered (DESIGN.md §6.11). The reason
+/// names the artifact, so a postmortem directory reads as an anomaly log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightReason {
+    /// The admission controller latched into shedding.
+    Shed,
+    /// A push missed its backlog deadline and was degraded.
+    DeadlineDegradation,
+    /// The wire front-end rejected a malformed frame.
+    MalformedFrame,
+    /// Reap/suspend/thaw churn reached the configured threshold within one
+    /// reaper scan window.
+    ReapChurn,
+    /// The manager is shutting down (final dump).
+    Shutdown,
+    /// An operator asked for a dump (obs plane or tests).
+    Manual,
+}
+
+impl FlightReason {
+    /// Stable artifact-name slug.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FlightReason::Shed => "shed",
+            FlightReason::DeadlineDegradation => "deadline",
+            FlightReason::MalformedFrame => "malformed-frame",
+            FlightReason::ReapChurn => "reap-churn",
+            FlightReason::Shutdown => "shutdown",
+            FlightReason::Manual => "manual",
+        }
+    }
+
+    fn as_u64(self) -> u64 {
+        match self {
+            FlightReason::Shed => 0,
+            FlightReason::DeadlineDegradation => 1,
+            FlightReason::MalformedFrame => 2,
+            FlightReason::ReapChurn => 3,
+            FlightReason::Shutdown => 4,
+            FlightReason::Manual => 5,
+        }
+    }
+
+    fn from_u64(v: u64) -> FlightReason {
+        match v {
+            0 => FlightReason::Shed,
+            1 => FlightReason::DeadlineDegradation,
+            2 => FlightReason::MalformedFrame,
+            3 => FlightReason::ReapChurn,
+            4 => FlightReason::Shutdown,
+            _ => FlightReason::Manual,
+        }
+    }
+}
+
+/// Manager→worker flight-dump trigger: a monotone epoch plus the latest
+/// reason. Workers poll the epoch once per drained batch (a single load)
+/// and dump their ring when it moved; triggers arriving between polls
+/// coalesce into one dump.
+#[derive(Debug, Default)]
+struct FlightControl {
+    epoch: AtomicU64,
+    reason: AtomicU64,
+}
+
+impl FlightControl {
+    fn trigger(&self, reason: FlightReason) {
+        // ordering: Relaxed — published by the Release bump below.
+        // echolint: allow(atomics-order) -- the epoch fetch_add below is the Release edge; the reason rides it
+        self.reason.store(reason.as_u64(), Ordering::Relaxed);
+        // ordering: Release pairs with the worker's Acquire epoch load, so
+        // a worker that sees the new epoch also sees the reason store.
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    fn read(&self) -> (u64, FlightReason) {
+        // ordering: Acquire pairs with trigger's Release bump.
+        let epoch = self.epoch.load(Ordering::Acquire);
+        // ordering: Relaxed — made visible by the Acquire load above.
+        (epoch, FlightReason::from_u64(self.reason.load(Ordering::Relaxed)))
+    }
+}
+
+/// One row of [`SessionManager::introspect`]: a live or suspended session
+/// as its owning shard sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// The session id.
+    pub session: u64,
+    /// The shard the session is pinned to.
+    pub shard: usize,
+    /// Audio samples pushed since the session was opened or last resumed
+    /// on this shard (0 for suspended sessions — their state lives in the
+    /// store, not a shard).
+    pub samples_in: u64,
+    /// Commands queued on the owning shard when the row was snapshotted.
+    pub backlog: usize,
+    /// Whether the session is suspended in the snapshot store.
+    pub suspended: bool,
+    /// Shard logical clock (audio-time µs) of the session's last command.
+    pub last_active_tick_us: u64,
 }
 
 /// Outstanding-command counter backing [`SessionManager::quiesce`] —
@@ -200,6 +315,11 @@ pub struct SessionManager {
     /// remaining live sessions into the store on exit (crash-recovery
     /// drain; see [`SessionManager::shutdown_to_store`]).
     drain_on_exit: Arc<AtomicBool>,
+    /// Flight-dump trigger shared with every shard worker.
+    flight_ctl: Arc<FlightControl>,
+    /// Edge detector for the shed trigger: set on the first shed, cleared
+    /// once admission stops shedding, so a shed storm dumps once.
+    shed_latched: AtomicBool,
 }
 
 /// The detached output side of a manager's event channel (see
@@ -294,8 +414,10 @@ impl SessionManager {
         let metrics = Arc::new(ServeMetrics::new());
         let (evt_tx, evt_rx) = mpsc::channel();
         let drain_on_exit = Arc::new(AtomicBool::new(false));
+        let flight_ctl = Arc::new(FlightControl::default());
+        let flight_dir: Option<Arc<PathBuf>> = config.flight.artifact_dir.clone().map(Arc::new);
         let mut shards = Vec::with_capacity(config.shard_count());
-        for _ in 0..config.shard_count() {
+        for shard_index in 0..config.shard_count() {
             let (tx, rx) = mpsc::sync_channel(config.queue_capacity);
             let depth = Arc::new(AtomicUsize::new(0));
             let pushes_enqueued = Arc::new(AtomicU64::new(0));
@@ -323,6 +445,15 @@ impl SessionManager {
                 dsp_scratch: SharedDspScratch::new(),
                 clock_samples: 0,
                 commands_done: 0,
+                shard_index,
+                flight: FlightRing::new(config.flight.capacity),
+                flight_ctl: flight_ctl.clone(),
+                flight_seen: 0,
+                flight_dir: flight_dir.clone(),
+                flight_artifacts: 0,
+                churn_threshold: config.flight.churn_threshold,
+                churn_window: 0,
+                was_degraded: false,
                 #[cfg(test)]
                 seq_log: seq_log.clone(),
             };
@@ -345,6 +476,8 @@ impl SessionManager {
             deadline_chunks: config.deadline_chunks,
             store,
             drain_on_exit,
+            flight_ctl,
+            shed_latched: AtomicBool::new(false),
         })
     }
 
@@ -357,10 +490,19 @@ impl SessionManager {
     /// Submits one request; never blocks. Opens pass admission control;
     /// pushes and finishes go straight to the session's shard queue.
     pub fn submit(&self, request: Request<'_>) -> SubmitVerdict {
+        self.submit_tagged(request, 0)
+    }
+
+    /// Like [`SessionManager::submit`], tagging the command with a
+    /// wire-level correlation id (0 = untagged). The id flows into the
+    /// shard's push spans and flight-ring entries, so server-side traces
+    /// stitch 1:1 against the client trace that assigned the id.
+    pub fn submit_tagged(&self, request: Request<'_>, request_id: u64) -> SubmitVerdict {
         match request {
             Request::Open(id) => {
                 if !self.admission.try_admit() {
                     self.metrics.sessions_shed.inc();
+                    self.note_shed();
                     if echowrite_trace::enabled() {
                         echowrite_trace::instant(
                             Stage::Serve,
@@ -371,7 +513,13 @@ impl SessionManager {
                     }
                     return SubmitVerdict::Shedding;
                 }
-                let verdict = self.enqueue(id, Cmd::Open { id: id.0 });
+                if !self.admission.is_shedding() {
+                    // ordering: Relaxed — edge bookkeeping only; a stale
+                    // read at worst delays the next shed dump by one open.
+                    // echolint: allow(atomics-order) -- gates no data; the latch only dedups dump triggers
+                    self.shed_latched.store(false, Ordering::Relaxed);
+                }
+                let verdict = self.enqueue(id, Cmd::Open { id: id.0, req: request_id });
                 if verdict != SubmitVerdict::Enqueued {
                     // The slot reserved above was never used.
                     self.admission.release();
@@ -399,6 +547,7 @@ impl SessionManager {
                     id: id.0,
                     chunk: chunk.to_vec(),
                     seq,
+                    req: request_id,
                     timer: Stopwatch::start(),
                 };
                 let verdict = self.enqueue(id, cmd);
@@ -412,8 +561,30 @@ impl SessionManager {
                 }
                 verdict
             }
-            Request::Finish(id) => self.enqueue(id, Cmd::Finish { id: id.0 }),
+            Request::Finish(id) => self.enqueue(id, Cmd::Finish { id: id.0, req: request_id }),
         }
+    }
+
+    /// First shed after a clean period latches and triggers a flight dump;
+    /// the latch clears once admission stops shedding, so a shed storm
+    /// produces one postmortem, not thousands.
+    fn note_shed(&self) {
+        // ordering: AcqRel on success orders the trigger after the latch
+        // edge; Acquire on failure just observes an already-set latch.
+        if self
+            .shed_latched
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.trigger_flight_dump(FlightReason::Shed);
+        }
+    }
+
+    /// Asks every shard worker to dump its flight ring at its next drain
+    /// (DESIGN.md §6.11). Used by the serve layer's own anomaly triggers,
+    /// the wire front-end (malformed frames), and the obs plane.
+    pub fn trigger_flight_dump(&self, reason: FlightReason) {
+        self.flight_ctl.trigger(reason);
     }
 
     /// [`Request::Open`] shorthand.
@@ -500,6 +671,88 @@ impl SessionManager {
                 }
             }
         }
+    }
+
+    /// Enqueues an admin command on a specific shard, mirroring
+    /// [`SessionManager::enqueue`]'s depth/pending accounting. Returns
+    /// `false` when the queue is full or closed — admin scans skip a
+    /// saturated shard instead of blocking ingress behind it.
+    fn enqueue_on(&self, shard: &ShardHandle, cmd: Cmd) -> bool {
+        let Some(tx) = shard.tx.as_ref() else {
+            return false;
+        };
+        shard.pending.inc();
+        // ordering: AcqRel — the same pairing as `enqueue`, so the worker's
+        // drain decrement never observes a depth below zero.
+        shard.depth.fetch_add(1, Ordering::AcqRel);
+        self.metrics.queue_depth.inc();
+        if tx.try_send(cmd).is_ok() {
+            return true;
+        }
+        shard.pending.dec();
+        shard.depth.fetch_sub(1, Ordering::AcqRel);
+        self.metrics.queue_depth.dec();
+        false
+    }
+
+    /// A point-in-time table of every session the manager knows: live
+    /// sessions as their owning shards see them, plus sessions suspended
+    /// in the snapshot store. Rows come back ordered by session id.
+    /// Best-effort: a shard whose queue is full at scan time is skipped
+    /// rather than blocked on, so the admin plane never adds backpressure.
+    pub fn introspect(&self) -> Vec<SessionInfo> {
+        let mut rxs = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (reply, rx) = mpsc::sync_channel(1);
+            if self.enqueue_on(shard, Cmd::Introspect { reply }) {
+                rxs.push(rx);
+            }
+        }
+        let mut out: Vec<SessionInfo> = Vec::new();
+        for rx in rxs {
+            if let Ok(rows) = rx.recv() {
+                out.extend(rows);
+            }
+        }
+        if let Some(store) = self.store.as_ref() {
+            if let Ok(ids) = store.sessions() {
+                for id in ids {
+                    out.push(SessionInfo {
+                        session: id,
+                        shard: self.shard_of(SessionId(id)),
+                        samples_in: 0,
+                        backlog: 0,
+                        suspended: true,
+                        last_active_tick_us: 0,
+                    });
+                }
+            }
+        }
+        // Live beats suspended when a session raced a thaw mid-scan.
+        out.sort_by_key(|row| (row.session, row.suspended));
+        out.dedup_by_key(|row| row.session);
+        out
+    }
+
+    /// Merges every shard's flight-ring snapshot, optionally filtered to
+    /// one session, ordered by logical tick. The rings are always on, so
+    /// this works with tracing disabled and needs no restart.
+    pub fn flight_snapshot(&self, session: Option<u64>) -> Vec<FlightEntry> {
+        let mut rxs = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (reply, rx) = mpsc::sync_channel(1);
+            if self.enqueue_on(shard, Cmd::FlightDump { session, reply }) {
+                rxs.push(rx);
+            }
+        }
+        let mut out: Vec<FlightEntry> = Vec::new();
+        for rx in rxs {
+            if let Ok(entries) = rx.recv() {
+                out.extend(entries);
+            }
+        }
+        out.sort_by_key(|e| e.event.tick_us);
+        out
     }
 
     /// Blocks until every enqueued command has been processed (a condvar
@@ -621,6 +874,8 @@ struct Slot {
     session: StreamingSession,
     /// Shard logical-clock stamp (samples processed) of the last command.
     last_active: u64,
+    /// Samples pushed since this slot went live (open, thaw, or import).
+    samples_in: u64,
 }
 
 /// A shard worker's whole state; `run` consumes it on its own thread.
@@ -659,6 +914,28 @@ struct Worker {
     /// Logical clock: total samples this shard has processed.
     clock_samples: u64,
     commands_done: u64,
+    /// This worker's shard number, for artifact names and introspection.
+    shard_index: usize,
+    /// Always-on flight recorder: a bounded ring of recent events owned
+    /// outright by this worker — recording is a plain array store, no
+    /// atomics, no locks, independent of the global trace gate.
+    flight: FlightRing,
+    /// Manager-side dump trigger (shed latch, malformed frames, manual).
+    flight_ctl: Arc<FlightControl>,
+    /// Last trigger epoch this worker acted on.
+    flight_seen: u64,
+    /// Where anomaly dumps go; `None` keeps the ring in-memory only.
+    flight_dir: Option<Arc<PathBuf>>,
+    /// Per-worker dump ordinal, for unique artifact names.
+    flight_artifacts: u64,
+    /// Reap/suspend/thaw events per scan window that count as churn
+    /// (0 disables the churn trigger).
+    churn_threshold: u64,
+    /// Reap/suspend/thaw events since the last reaper scan.
+    churn_window: u64,
+    /// Previous push's degraded flag, so the deadline trigger fires on the
+    /// rising edge instead of once per degraded push.
+    was_degraded: bool,
     /// Mirror of [`ShardHandle::seq_log`] for the unique-seq regression
     /// test.
     #[cfg(test)]
@@ -694,11 +971,17 @@ impl Worker {
                 self.depth.fetch_sub(1, Ordering::AcqRel);
                 self.metrics.queue_depth.dec();
                 match cmd {
-                    Cmd::Open { id } => self.handle_open(id),
-                    Cmd::Push { id, chunk, seq, timer } => self.handle_push(id, &chunk, seq, timer),
-                    Cmd::Finish { id } => self.handle_finish(id),
+                    Cmd::Open { id, req } => self.handle_open(id, req),
+                    Cmd::Push { id, chunk, seq, req, timer } => {
+                        self.handle_push(id, &chunk, seq, req, timer);
+                    }
+                    Cmd::Finish { id, req } => self.handle_finish(id, req),
                     Cmd::Export { id, reply } => self.handle_export(id, &reply),
                     Cmd::Import { id, bytes, reply } => self.handle_import(id, &bytes, &reply),
+                    Cmd::Introspect { reply } => self.handle_introspect(&reply),
+                    Cmd::FlightDump { session, reply } => {
+                        self.handle_flight_dump(session, &reply);
+                    }
                 }
                 self.commands_done += 1;
                 if self.commands_done.is_multiple_of(REAP_SCAN_EVERY) {
@@ -706,6 +989,7 @@ impl Worker {
                 }
                 self.pending.dec();
             }
+            self.check_flight();
         }
         // Crash-recovery drain: the queue closed with the drain flag set,
         // so suspend every remaining live session into the store — a fresh
@@ -717,6 +1001,98 @@ impl Worker {
                 self.suspend_session(id);
             }
         }
+        // Final postmortem: shutdown always leaves a flight artifact when
+        // a dump directory is configured.
+        self.dump_flight(FlightReason::Shutdown);
+    }
+
+    /// Records one event into the always-on flight ring. Runs regardless
+    /// of the global trace gate — the ring is the postmortem of last
+    /// resort, and a single array store fits the 5 % per-push budget.
+    fn record_flight(
+        &mut self,
+        session: u64,
+        req: u64,
+        name: &'static str,
+        kind: EventKind,
+        wall_us: u64,
+        value: f64,
+    ) {
+        let event = TraceEvent {
+            stage: Stage::Serve,
+            name,
+            kind,
+            tick_us: self.tick_us(),
+            wall_us,
+            value,
+            detail: SmallStr::empty(),
+        };
+        self.flight.record(session, req, event);
+    }
+
+    /// Polls the manager-side trigger; dumps when the epoch moved.
+    fn check_flight(&mut self) {
+        let (epoch, reason) = self.flight_ctl.read();
+        if epoch != self.flight_seen {
+            self.flight_seen = epoch;
+            self.dump_flight(reason);
+        }
+    }
+
+    /// Writes the ring as a Chrome-trace artifact
+    /// `flight-<uptime_ms>ms-<reason>-shard<k>-<n>.json` into the
+    /// configured directory. The name uses the metrics registry's
+    /// quarantined uptime clock — no new wall-clock read — plus a
+    /// per-worker ordinal for uniqueness. No directory, no artifact (the
+    /// ring still serves live snapshots through
+    /// [`SessionManager::flight_snapshot`]).
+    fn dump_flight(&mut self, reason: FlightReason) {
+        let Some(dir) = self.flight_dir.as_ref() else {
+            return;
+        };
+        let uptime_ms = (self.metrics.uptime_seconds() * 1_000.0) as u64;
+        let name = format!(
+            "flight-{uptime_ms}ms-{}-shard{}-{}.json",
+            reason.as_str(),
+            self.shard_index,
+            self.flight_artifacts
+        );
+        self.flight_artifacts += 1;
+        let json = flight_to_chrome_json(&self.flight.snapshot());
+        if std::fs::create_dir_all(dir.as_ref()).is_ok()
+            && std::fs::write(dir.join(name), json).is_ok()
+        {
+            self.metrics.flight_dumps.inc();
+        }
+    }
+
+    /// [`Cmd::Introspect`]: the live-session table as this shard sees it.
+    fn handle_introspect(&self, reply: &SyncSender<Vec<SessionInfo>>) {
+        // ordering: Relaxed — a monitoring snapshot; nothing branches on it.
+        let backlog = self.depth.load(Ordering::Relaxed);
+        let sample_rate = self.engine.config().stft.sample_rate;
+        let rows = self
+            .sessions
+            .iter()
+            .map(|(&id, slot)| SessionInfo {
+                session: id,
+                shard: self.shard_index,
+                samples_in: slot.samples_in,
+                backlog,
+                suspended: false,
+                last_active_tick_us: echowrite_trace::samples_to_us(slot.last_active, sample_rate),
+            })
+            .collect();
+        let _ = reply.send(rows);
+    }
+
+    /// [`Cmd::FlightDump`]: a copy of the ring, optionally one session's.
+    fn handle_flight_dump(&self, session: Option<u64>, reply: &SyncSender<Vec<FlightEntry>>) {
+        let mut entries = self.flight.snapshot();
+        if let Some(id) = session {
+            entries.retain(|e| e.session == id);
+        }
+        let _ = reply.send(entries);
     }
 
     /// Tries to resurrect a suspended session from the snapshot store.
@@ -750,11 +1126,16 @@ impl Worker {
         };
         match restore_in_place(&mut session, &bytes, &self.engine) {
             Ok(()) => {
-                self.sessions.insert(id, Slot { session, last_active: self.clock_samples });
+                self.sessions.insert(
+                    id,
+                    Slot { session, last_active: self.clock_samples, samples_in: 0 },
+                );
                 if admit {
                     self.metrics.sessions_live.inc();
                 }
                 self.metrics.sessions_resumed.inc();
+                self.churn_window += 1;
+                self.record_flight(id, 0, "session_resume", EventKind::Instant, 0, 0.0);
                 if echowrite_trace::enabled() {
                     echowrite_trace::instant(
                         Stage::Snapshot,
@@ -794,6 +1175,7 @@ impl Worker {
             self.admission.release();
             self.metrics.sessions_reaped.inc();
             self.metrics.sessions_live.dec();
+            self.churn_window += 1;
             return;
         };
         let bytes = snapshot_session(&slot.session, &self.engine);
@@ -802,6 +1184,15 @@ impl Worker {
         self.pool.push(slot.session);
         self.admission.release();
         self.metrics.sessions_live.dec();
+        self.churn_window += 1;
+        self.record_flight(
+            id,
+            0,
+            if stored { "session_suspend" } else { "session_reaped" },
+            EventKind::Instant,
+            0,
+            0.0,
+        );
         if stored {
             self.metrics.sessions_suspended.inc();
             if echowrite_trace::enabled() {
@@ -880,9 +1271,13 @@ impl Worker {
         };
         let ok = match restore_in_place(&mut session, bytes, &self.engine) {
             Ok(()) => {
-                self.sessions.insert(id, Slot { session, last_active: self.clock_samples });
+                self.sessions.insert(
+                    id,
+                    Slot { session, last_active: self.clock_samples, samples_in: 0 },
+                );
                 self.metrics.sessions_live.inc();
                 self.metrics.sessions_resumed.inc();
+                self.record_flight(id, 0, "session_import", EventKind::Instant, 0, 0.0);
                 if echowrite_trace::enabled() {
                     echowrite_trace::instant(
                         Stage::Snapshot,
@@ -903,7 +1298,7 @@ impl Worker {
         let _ = reply.send(ok);
     }
 
-    fn handle_open(&mut self, id: u64) {
+    fn handle_open(&mut self, id: u64, req: u64) {
         if let Some(slot) = self.sessions.get_mut(&id) {
             // Re-open of a live id is idempotent: a wire client retrying an
             // `Open` whose ack was lost must not destroy its own in-flight
@@ -914,6 +1309,7 @@ impl Worker {
             self.admission.release();
             self.metrics.sessions_live.dec();
             self.metrics.sessions_reopened.inc();
+            self.record_flight(id, req, "session_reopen", EventKind::Instant, 0, 0.0);
             if echowrite_trace::enabled() {
                 echowrite_trace::instant(
                     Stage::Serve,
@@ -936,8 +1332,10 @@ impl Worker {
             }
             None => StreamingSession::new(&self.engine),
         };
-        self.sessions.insert(id, Slot { session, last_active: self.clock_samples });
+        self.sessions
+            .insert(id, Slot { session, last_active: self.clock_samples, samples_in: 0 });
         self.metrics.sessions_opened.inc();
+        self.record_flight(id, req, "session_open", EventKind::Instant, 0, 0.0);
         if echowrite_trace::enabled() {
             echowrite_trace::instant(
                 Stage::Serve,
@@ -948,7 +1346,7 @@ impl Worker {
         }
     }
 
-    fn handle_push(&mut self, id: u64, chunk: &[f64], seq: u64, timer: Stopwatch) {
+    fn handle_push(&mut self, id: u64, chunk: &[f64], seq: u64, req: u64, timer: Stopwatch) {
         #[cfg(test)]
         self.seq_log.lock().unwrap_or_else(|e| e.into_inner()).push(seq);
         // A push racing the reaper: under SuspendToStore the session was
@@ -980,6 +1378,7 @@ impl Worker {
         );
         self.clock_samples += chunk.len() as u64;
         slot.last_active = self.clock_samples;
+        slot.samples_in += chunk.len() as u64;
         self.metrics.pushes.inc();
         if degraded {
             self.metrics.pushes_degraded.inc();
@@ -991,21 +1390,36 @@ impl Worker {
         }
         let wall_us = (timer.elapsed_ms() * 1_000.0) as u64;
         self.metrics.push_latency_us.observe(wall_us);
+        let span_name = if degraded { "push_degraded" } else { "push" };
+        self.record_flight(id, req, span_name, EventKind::Span, wall_us, emitted as f64);
+        if degraded && !self.was_degraded {
+            // Rising edge of deadline degradation: dump the recent context
+            // that led into the backlog, once per degradation episode.
+            self.dump_flight(FlightReason::DeadlineDegradation);
+        }
+        self.was_degraded = degraded;
         if echowrite_trace::enabled() {
-            // Span over the push's whole queue+process latency; the lag
-            // counter exposes the backlog behind degraded decisions.
-            echowrite_trace::span(
+            // Span over the push's whole queue+process latency, tagged with
+            // the wire correlation id so it stitches against the client
+            // trace; the lag counter exposes the backlog behind degraded
+            // decisions.
+            echowrite_trace::span_detailed(
                 Stage::Serve,
-                if degraded { "push_degraded" } else { "push" },
+                span_name,
                 self.tick_us(),
                 wall_us,
                 emitted as f64,
+                if req == 0 {
+                    SmallStr::empty()
+                } else {
+                    SmallStr::from_display(format_args!("req {req}"))
+                },
             );
             echowrite_trace::counter(Stage::Serve, "backlog_chunks", self.tick_us(), lag as f64);
         }
     }
 
-    fn handle_finish(&mut self, id: u64) {
+    fn handle_finish(&mut self, id: u64, req: u64) {
         // Like the push path: a finish for a suspended session thaws it
         // first so the tail segments flush instead of being orphaned.
         if !self.sessions.contains_key(&id) && !self.thaw(id, true) {
@@ -1027,6 +1441,7 @@ impl Worker {
         self.admission.release();
         self.metrics.sessions_finished.inc();
         self.metrics.sessions_live.dec();
+        self.record_flight(id, req, "session_finish", EventKind::Instant, 0, 0.0);
         if echowrite_trace::enabled() {
             echowrite_trace::instant(
                 Stage::Serve,
@@ -1062,6 +1477,8 @@ impl Worker {
                 self.admission.release();
                 self.metrics.sessions_reaped.inc();
                 self.metrics.sessions_live.dec();
+                self.churn_window += 1;
+                self.record_flight(id, 0, "session_reaped", EventKind::Instant, 0, 0.0);
                 if echowrite_trace::enabled() {
                     echowrite_trace::instant(
                         Stage::Serve,
@@ -1072,6 +1489,12 @@ impl Worker {
                 }
             }
         }
+        if self.churn_threshold > 0 && self.churn_window >= self.churn_threshold {
+            // Reap/thaw churn: sessions are thrashing in and out of the
+            // store faster than the threshold allows — dump the context.
+            self.dump_flight(FlightReason::ReapChurn);
+        }
+        self.churn_window = 0;
     }
 }
 

@@ -13,6 +13,7 @@
 //! numbers and pushed-sample counts) and never touches this clock.
 
 pub use echowrite_trace::metrics::{Counter, Gauge, Histogram, PromWriter};
+use echowrite_trace::metrics::quantile_from_buckets;
 // echolint: allow(determinism) -- metrics-only uptime clock, quarantined like crates/profile::timing; never feeds recognition results
 use std::time::Instant;
 
@@ -81,6 +82,13 @@ pub struct ServeMetrics {
     /// Times a wire response had to wait because its connection's write
     /// queue was full (a slow-reading client).
     pub wire_write_stalls: Counter,
+    /// HTTP requests served by the `echowrite-obs` introspection plane.
+    pub obs_requests: Counter,
+    /// HTTP requests the introspection plane rejected as malformed; each
+    /// one closes only its own connection.
+    pub obs_malformed_requests: Counter,
+    /// Flight-recorder dump artifacts written by shard workers.
+    pub flight_dumps: Counter,
     /// End-to-end push latency (enqueue to processed), µs.
     pub push_latency_us: Histogram,
     started: Instant,
@@ -116,6 +124,9 @@ impl ServeMetrics {
             wire_frames_written: Counter::default(),
             wire_malformed_frames: Counter::default(),
             wire_write_stalls: Counter::default(),
+            obs_requests: Counter::default(),
+            obs_malformed_requests: Counter::default(),
+            flight_dumps: Counter::default(),
             push_latency_us: Histogram::new(&LATENCY_BUCKETS_US),
             // echolint: allow(determinism) -- observability-only uptime stamp; nothing downstream branches on it
             started: Instant::now(),
@@ -152,6 +163,9 @@ impl ServeMetrics {
             wire_frames_written: self.wire_frames_written.get(),
             wire_malformed_frames: self.wire_malformed_frames.get(),
             wire_write_stalls: self.wire_write_stalls.get(),
+            obs_requests: self.obs_requests.get(),
+            obs_malformed_requests: self.obs_malformed_requests.get(),
+            flight_dumps: self.flight_dumps.get(),
             push_latency_count: self.push_latency_us.count(),
             push_latency_sum_us: self.push_latency_us.sum(),
             push_latency_buckets: self.push_latency_us.bucket_counts(),
@@ -210,6 +224,12 @@ pub struct MetricsSnapshot {
     pub wire_malformed_frames: u64,
     /// Wire responses that waited on a full connection write queue.
     pub wire_write_stalls: u64,
+    /// HTTP requests served by the introspection plane.
+    pub obs_requests: u64,
+    /// HTTP requests the introspection plane rejected as malformed.
+    pub obs_malformed_requests: u64,
+    /// Flight-recorder dump artifacts written by shard workers.
+    pub flight_dumps: u64,
     /// Push-latency observation count.
     pub push_latency_count: u64,
     /// Push-latency sum, µs (saturating).
@@ -235,7 +255,7 @@ impl MetricsSnapshot {
             "Build metadata for the serving layer.",
             &[("crate", "echowrite-serve"), ("version", env!("CARGO_PKG_VERSION"))],
         );
-        let counters: [(&str, &str, u64); 18] = [
+        let counters: [(&str, &str, u64); 21] = [
             (
                 "echowrite_serve_sessions_opened_total",
                 "Sessions admitted and opened.",
@@ -318,6 +338,21 @@ impl MetricsSnapshot {
                 "Wire responses that waited on a full connection write queue.",
                 self.wire_write_stalls,
             ),
+            (
+                "echowrite_serve_obs_requests_total",
+                "HTTP requests served by the introspection plane.",
+                self.obs_requests,
+            ),
+            (
+                "echowrite_serve_obs_malformed_requests_total",
+                "HTTP requests the introspection plane rejected as malformed.",
+                self.obs_malformed_requests,
+            ),
+            (
+                "echowrite_serve_flight_dumps_total",
+                "Flight-recorder dump artifacts written by shard workers.",
+                self.flight_dumps,
+            ),
         ];
         for (name, help, v) in counters {
             w.counter(name, help, v);
@@ -337,6 +372,26 @@ impl MetricsSnapshot {
             "Seconds since the metrics registry was created.",
             self.uptime_seconds,
         );
+        // Interpolated latency quantiles: estimated inside the histogram's
+        // buckets by linear interpolation (quantile_from_buckets), so a
+        // scrape gets a usable p50/p95/p99 without PromQL. Omitted until
+        // the first observation lands — an absent gauge is honest, a fake
+        // zero is not.
+        let quantiles: [(f64, &str, &str); 3] = [
+            (0.50, "echowrite_serve_push_latency_p50_us", "Estimated p50"),
+            (0.95, "echowrite_serve_push_latency_p95_us", "Estimated p95"),
+            (0.99, "echowrite_serve_push_latency_p99_us", "Estimated p99"),
+        ];
+        for (q, name, which) in quantiles {
+            if let Some(v) =
+                quantile_from_buckets(&LATENCY_BUCKETS_US, &self.push_latency_buckets, q)
+            {
+                let help = format!(
+                    "{which} push latency in microseconds, interpolated from histogram buckets."
+                );
+                w.gauge_f64(name, &help, v);
+            }
+        }
         w.histogram(
             "echowrite_serve_push_latency_us",
             "End-to-end push latency (enqueue to processed), microseconds.",
@@ -482,6 +537,42 @@ mod tests {
         assert!(text.contains("echowrite_serve_push_latency_us_bucket{le=\"+Inf\"} 1"));
         // Label escaping is exercised directly on the writer.
         assert_eq!(PromWriter::escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    /// Satellite regression (interpolated quantiles): once observations
+    /// land, `/metrics` carries p50/p95/p99 gauges estimated inside the
+    /// histogram buckets; with no observations the gauges are absent
+    /// rather than a misleading zero.
+    #[test]
+    fn interpolated_quantile_gauges_exposed() {
+        let empty = ServeMetrics::new();
+        assert!(
+            !empty.to_prometheus().contains("echowrite_serve_push_latency_p95_us"),
+            "quantile gauges must be absent before the first observation"
+        );
+        let m = ServeMetrics::new();
+        for _ in 0..95 {
+            m.push_latency_us.observe(40); // le=50 bucket
+        }
+        for _ in 0..5 {
+            m.push_latency_us.observe(2_000); // le=2500 bucket
+        }
+        let text = m.to_prometheus();
+        for name in [
+            "echowrite_serve_push_latency_p50_us",
+            "echowrite_serve_push_latency_p95_us",
+            "echowrite_serve_push_latency_p99_us",
+        ] {
+            assert!(text.contains(&format!("# TYPE {name} gauge")), "missing {name}:\n{text}");
+        }
+        // p50 sits inside the first bucket (interpolated below its 50 µs
+        // bound), p99 inside the 1000..2500 bucket — not pinned at bounds.
+        let p50 = quantile_from_buckets(&LATENCY_BUCKETS_US, &m.push_latency_us.bucket_counts(), 0.5)
+            .expect("p50");
+        assert!(p50 > 0.0 && p50 <= 50.0, "p50 {p50} outside its bucket");
+        let p99 = quantile_from_buckets(&LATENCY_BUCKETS_US, &m.push_latency_us.bucket_counts(), 0.99)
+            .expect("p99");
+        assert!((1_000.0..=2_500.0).contains(&p99), "p99 {p99} outside its bucket");
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! The flight recorder's data plane: a fixed-capacity, single-writer ring
+//! of recent [`TraceEvent`]s that is *always on*, independent of the
+//! global sink gate (DESIGN.md §6.11).
+//!
+//! Unlike [`crate::RecordingSink`] — a process-global sink behind a mutex,
+//! installed on demand — a [`FlightRing`] is owned outright by exactly one
+//! writer (in practice a serve shard worker), so recording is a plain
+//! array store: no atomics, no locks, no allocation after construction.
+//! Readers never touch the ring directly; the owner snapshots it on
+//! request (the serve layer routes snapshot requests through the shard's
+//! own command queue, preserving single-writer discipline).
+//!
+//! Each entry pairs the event with the session and client-assigned
+//! request id it belonged to, so a postmortem dump can be filtered per
+//! session and stitched 1:1 against a client-side trace.
+//!
+//! Timestamp policy: identical to the rest of the crate — `tick_us` is
+//! logical audio time, and this module never reads a clock.
+
+use crate::event::{EventKind, Stage, TraceEvent, TICK_UNSET};
+use crate::recording::{escape_json, push_detail_arg, push_json_f64, push_sep};
+use std::fmt::Write as _;
+
+/// Default per-shard ring capacity in entries (~360 KiB per shard).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 4_096;
+
+/// One recorded observation: the trace event plus the serve-layer
+/// correlation keys it was emitted under.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlightEntry {
+    /// Session the event belongs to (0 for shard-global events).
+    pub session: u64,
+    /// Client-assigned wire request id (0 when not request-scoped).
+    pub request_id: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+/// A bounded ring of [`FlightEntry`]s with exactly one writer.
+///
+/// `record` is O(1) and allocation-free once the ring has filled (the
+/// backing `Vec` grows push-by-push up to `capacity` and is never resized
+/// again); eviction overwrites the oldest slot in place.
+#[derive(Debug)]
+pub struct FlightRing {
+    entries: Vec<FlightEntry>,
+    /// Next slot to overwrite once the ring is full.
+    head: usize,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl FlightRing {
+    /// Creates a ring holding at most `capacity` entries (floored at 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRing {
+            entries: Vec::with_capacity(capacity.min(DEFAULT_FLIGHT_CAPACITY)),
+            head: 0,
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Entries currently buffered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The fixed capacity this ring was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records one entry, overwriting the oldest when full.
+    #[inline]
+    pub fn record(&mut self, session: u64, request_id: u64, event: TraceEvent) {
+        let entry = FlightEntry { session, request_id, event };
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+            return;
+        }
+        if let Some(slot) = self.entries.get_mut(self.head) {
+            *slot = entry;
+        }
+        self.head = (self.head + 1) % self.capacity;
+        self.dropped += 1;
+    }
+
+    /// A copy of the buffered entries, oldest first.
+    pub fn snapshot(&self) -> Vec<FlightEntry> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        out.extend_from_slice(self.entries.get(self.head..).unwrap_or(&[]));
+        out.extend_from_slice(self.entries.get(..self.head).unwrap_or(&[]));
+        out
+    }
+}
+
+/// Serializes flight entries as Chrome `trace_event` JSON — the same
+/// export shape as [`crate::RecordingSink::to_chrome_json`], with each
+/// event additionally carrying `sid` (session) and `req` (request id)
+/// args so dumps stitch against client-side traces. Events render under
+/// `pid` 1 (the server side of a stitched timeline); the per-stage lane
+/// metadata is emitted once up front.
+pub fn flight_to_chrome_json(entries: &[FlightEntry]) -> String {
+    let mut out = String::with_capacity(entries.len() * 112 + 1024);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for stage in Stage::ALL {
+        push_sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            stage.index(),
+            stage.as_str()
+        );
+    }
+    for entry in entries {
+        let ev = &entry.event;
+        push_sep(&mut out, &mut first);
+        let ts = if ev.tick_us == TICK_UNSET { 0 } else { ev.tick_us };
+        out.push_str("{\"name\":");
+        escape_json(&mut out, ev.name);
+        let _ = write!(
+            out,
+            ",\"cat\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{}",
+            ev.stage.as_str(),
+            ev.stage.index(),
+            ts
+        );
+        match ev.kind {
+            EventKind::Span => {
+                let _ = write!(out, ",\"ph\":\"X\",\"dur\":{}", ev.wall_us);
+            }
+            EventKind::Instant => out.push_str(",\"ph\":\"i\",\"s\":\"t\""),
+            EventKind::Counter => out.push_str(",\"ph\":\"C\""),
+        }
+        out.push_str(",\"args\":{");
+        let _ = write!(out, "\"sid\":{},\"req\":{}", entry.session, entry.request_id);
+        if ev.value != 0.0 {
+            out.push_str(",\"value\":");
+            push_json_f64(&mut out, ev.value);
+        }
+        push_detail_arg(&mut out, ev, false);
+        out.push('}');
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SmallStr;
+
+    fn ev(name: &'static str, tick: u64) -> TraceEvent {
+        TraceEvent {
+            stage: Stage::Serve,
+            name,
+            kind: EventKind::Span,
+            tick_us: tick,
+            wall_us: 7,
+            value: 0.0,
+            detail: SmallStr::empty(),
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_snapshots_in_order() {
+        let mut ring = FlightRing::new(3);
+        assert!(ring.is_empty());
+        for i in 0..5u64 {
+            ring.record(i, 100 + i, ev("push", i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let snap = ring.snapshot();
+        let sessions: Vec<u64> = snap.iter().map(|e| e.session).collect();
+        assert_eq!(sessions, vec![2, 3, 4]); // oldest first, oldest evicted
+        assert_eq!(snap.first().map(|e| e.request_id), Some(102));
+    }
+
+    #[test]
+    fn ring_capacity_floor_and_exact_fill() {
+        let mut ring = FlightRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.record(1, 1, ev("a", 0));
+        ring.record(2, 2, ev("b", 1));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.snapshot().first().map(|e| e.session), Some(2));
+    }
+
+    #[test]
+    fn chrome_export_carries_correlation_args() {
+        let mut ring = FlightRing::new(8);
+        ring.record(42, 9001, ev("push", 1_000));
+        let mut inst = ev("shed", 2_000);
+        inst.kind = EventKind::Instant;
+        inst.detail = SmallStr::new("latched");
+        ring.record(0, 0, inst);
+        let json = flight_to_chrome_json(&ring.snapshot());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"sid\":42,\"req\":9001"));
+        assert!(json.contains("\"ph\":\"X\",\"dur\":7"));
+        assert!(json.contains("\"detail\":\"latched\""));
+        // Balanced braces (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

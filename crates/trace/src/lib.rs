@@ -29,11 +29,13 @@
 //! `echowrite_profile::Stopwatch` and passed in as plain numbers.
 
 pub mod event;
+pub mod flight;
 pub mod metrics;
 pub mod recording;
 pub mod sink;
 
 pub use event::{EventKind, SmallStr, Stage, TraceEvent, TICK_UNSET};
+pub use flight::{flight_to_chrome_json, FlightEntry, FlightRing, DEFAULT_FLIGHT_CAPACITY};
 pub use recording::{RecordingSink, StageSummary, DEFAULT_CAPACITY};
 pub use sink::{
     disable, emit, enabled, install_custom, install_noop, install_recording, scoped, NoopSink,
@@ -67,6 +69,24 @@ pub fn span(stage: Stage, name: &'static str, tick_us: u64, wall_us: u64, value:
         value,
         detail: SmallStr::empty(),
     });
+}
+
+/// Emits a completed span carrying a provenance string — used where the
+/// span's identity matters downstream, e.g. serve push spans tagged with
+/// the wire request id they answer.
+#[inline]
+pub fn span_detailed(
+    stage: Stage,
+    name: &'static str,
+    tick_us: u64,
+    wall_us: u64,
+    value: f64,
+    detail: SmallStr,
+) {
+    if !enabled() {
+        return;
+    }
+    emit(TraceEvent { stage, name, kind: EventKind::Span, tick_us, wall_us, value, detail });
 }
 
 /// Emits a counter sample.

@@ -176,6 +176,49 @@ impl Histogram {
         }
         Some(u64::MAX)
     }
+
+    /// Linear-interpolated `q`-quantile estimate from the bucket counts,
+    /// or `None` when empty — the classic Prometheus `histogram_quantile`
+    /// estimator. The rank is located in its bucket and the estimate
+    /// interpolated between the bucket's lower and upper bound by the
+    /// rank's fractional position inside it. Observations in the `+Inf`
+    /// bucket clamp to the last finite bound (there is nothing to
+    /// interpolate toward). `q` is clamped to [0, 1].
+    pub fn quantile_interpolated(&self, q: f64) -> Option<f64> {
+        quantile_from_buckets(self.bounds, &self.bucket_counts(), q)
+    }
+}
+
+/// Linear-interpolated quantile over non-cumulative `bucket_counts`
+/// (layout [`Histogram::bucket_counts`]: one count per finite bound plus
+/// the trailing `+Inf` bucket). `None` when the counts sum to zero.
+/// Shared by [`Histogram::quantile_interpolated`] and snapshot consumers
+/// that hold only the copied-out counts.
+pub fn quantile_from_buckets(bounds: &[u64], bucket_counts: &[u64], q: f64) -> Option<f64> {
+    let total: u64 = bucket_counts.iter().take(bounds.len() + 1).sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+    let mut seen = 0u64;
+    for i in 0..=bounds.len() {
+        let n = bucket_counts.get(i).copied().unwrap_or(0);
+        if n == 0 {
+            continue;
+        }
+        let lower = if i == 0 { 0 } else { bounds.get(i - 1).copied().unwrap_or(0) };
+        if (seen + n) as f64 >= rank {
+            let upper = match bounds.get(i) {
+                Some(&b) => b,
+                // +Inf bucket: clamp to the last finite bound.
+                None => return Some(lower as f64),
+            };
+            let into = (rank - seen as f64) / n as f64;
+            return Some(lower as f64 + (upper - lower) as f64 * into);
+        }
+        seen += n;
+    }
+    Some(bounds.last().copied().unwrap_or(0) as f64)
 }
 
 /// Incremental Prometheus text-exposition writer: every family gets its
@@ -255,8 +298,11 @@ impl PromWriter {
     /// A full histogram family: cumulative `le` buckets (the last bucket
     /// count is the `+Inf` bucket), then `_sum` and `_count`.
     ///
-    /// `bucket_counts` must have `bounds.len() + 1` entries (the layout
-    /// [`Histogram::bucket_counts`] produces); extra entries are ignored.
+    /// `bucket_counts` normally has `bounds.len() + 1` entries (the layout
+    /// [`Histogram::bucket_counts`] produces). Extra entries are ignored,
+    /// and — so scrapers see every series from the very first scrape — a
+    /// *short* or empty slice still renders the complete ladder, with the
+    /// missing buckets counted as zero.
     pub fn histogram(
         &mut self,
         name: &str,
@@ -268,8 +314,8 @@ impl PromWriter {
     ) {
         self.preamble(name, help, "histogram");
         let mut cumulative = 0u64;
-        for (i, n) in bucket_counts.iter().take(bounds.len() + 1).enumerate() {
-            cumulative = cumulative.saturating_add(*n);
+        for i in 0..=bounds.len() {
+            cumulative = cumulative.saturating_add(bucket_counts.get(i).copied().unwrap_or(0));
             match bounds.get(i) {
                 Some(le) => {
                     let _ = writeln!(self.out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
@@ -343,6 +389,66 @@ mod tests {
         assert_eq!(empty.quantile_upper_bound(0.99), None);
         empty.observe(u64::MAX);
         assert_eq!(empty.quantile_upper_bound(0.99), Some(u64::MAX));
+    }
+
+    #[test]
+    fn interpolated_quantiles_match_exact_on_synthetic_ladder() {
+        // 1000 observations spread uniformly through (0, 1000]: exact
+        // quantile q is q*1000, and with bounds every 100 the interpolated
+        // estimate must land within one observation's spacing of it.
+        const LADDER: [u64; 10] = [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000];
+        let h = Histogram::new(&LADDER);
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        for &(q, exact) in &[(0.50, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let est = h.quantile_interpolated(q).expect("non-empty");
+            assert!(
+                (est - exact).abs() <= 1.0,
+                "q={q}: interpolated {est} vs exact {exact}"
+            );
+        }
+        // Degenerate cases: empty → None; all-overflow clamps to the last
+        // finite bound; a single bucket interpolates inside that bucket.
+        let empty = Histogram::new(&LADDER);
+        assert_eq!(empty.quantile_interpolated(0.5), None);
+        let over = Histogram::new(&LADDER);
+        over.observe(5_000);
+        assert_eq!(over.quantile_interpolated(0.99), Some(1000.0));
+        let one = Histogram::new(&LADDER);
+        for _ in 0..4 {
+            one.observe(150); // all in (100, 200]
+        }
+        let p50 = one.quantile_interpolated(0.5).expect("non-empty");
+        assert!((100.0..=200.0).contains(&p50), "p50 {p50} inside its bucket");
+    }
+
+    #[test]
+    fn quantile_from_buckets_handles_short_slices() {
+        assert_eq!(quantile_from_buckets(&BOUNDS, &[], 0.5), None);
+        // Short slice (no +Inf entry) still resolves inside known buckets.
+        let est = quantile_from_buckets(&BOUNDS, &[4], 0.5).expect("non-empty");
+        assert!((0.0..=10.0).contains(&est));
+    }
+
+    #[test]
+    fn prom_writer_emits_full_ladder_for_zero_observation_histogram() {
+        // Regression: a histogram nobody has observed into yet must still
+        // expose its complete bucket ladder (all zeros), so scrapers see
+        // stable series from the first scrape — even when the caller hands
+        // over an empty counts slice.
+        for counts in [vec![], vec![0, 0, 0, 0]] {
+            let mut w = PromWriter::new();
+            w.histogram("lat_us", "Latency.", &BOUNDS, &counts, 0, 0);
+            let text = w.finish();
+            assert!(text.contains("# TYPE lat_us histogram"), "{text}");
+            assert!(text.contains("lat_us_bucket{le=\"10\"} 0"), "{text}");
+            assert!(text.contains("lat_us_bucket{le=\"100\"} 0"), "{text}");
+            assert!(text.contains("lat_us_bucket{le=\"1000\"} 0"), "{text}");
+            assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 0"), "{text}");
+            assert!(text.contains("lat_us_sum 0"), "{text}");
+            assert!(text.contains("lat_us_count 0"), "{text}");
+        }
     }
 
     #[test]

@@ -246,7 +246,7 @@ impl StageSummary {
     }
 }
 
-fn push_sep(out: &mut String, first: &mut bool) {
+pub(crate) fn push_sep(out: &mut String, first: &mut bool) {
     if *first {
         *first = false;
     } else {
@@ -254,7 +254,7 @@ fn push_sep(out: &mut String, first: &mut bool) {
     }
 }
 
-fn push_detail_arg(out: &mut String, ev: &TraceEvent, first_arg: bool) {
+pub(crate) fn push_detail_arg(out: &mut String, ev: &TraceEvent, first_arg: bool) {
     if ev.detail.is_empty() {
         return;
     }
@@ -266,7 +266,7 @@ fn push_detail_arg(out: &mut String, ev: &TraceEvent, first_arg: bool) {
 }
 
 /// Appends `s` as a JSON string literal (quoted, escaped).
-fn escape_json(out: &mut String, s: &str) {
+pub(crate) fn escape_json(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -285,7 +285,7 @@ fn escape_json(out: &mut String, s: &str) {
 }
 
 /// Appends `v` as a JSON number (non-finite values become 0).
-fn push_json_f64(out: &mut String, v: f64) {
+pub(crate) fn push_json_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         let _ = write!(out, "{v}");
     } else {

@@ -59,6 +59,9 @@ pub struct WireClient {
     /// Event frames received while waiting for a verdict; drained by
     /// [`WireClient::next_event`] / [`WireClient::try_event`].
     buffered_events: VecDeque<Response>,
+    /// The next auto-assigned correlation id (see
+    /// [`WireClient::set_next_request_id`]).
+    next_request_id: u64,
 }
 
 impl WireClient {
@@ -76,18 +79,45 @@ impl WireClient {
             read_buf: vec![0u8; 64 * 1024],
             write_buf: Vec::with_capacity(4096),
             buffered_events: VecDeque::new(),
+            next_request_id: 1,
         })
     }
 
+    /// Overrides the next auto-assigned correlation id. Ids are client
+    /// chosen and only echoed by the server, so callers multiplexing many
+    /// connections (e.g. the fleet harness) can carve out disjoint ranges
+    /// per connection to keep ids globally unique across a run.
+    pub fn set_next_request_id(&mut self, id: u64) {
+        self.next_request_id = id;
+    }
+
+    /// The correlation id the next request frame will carry.
+    pub fn peek_next_request_id(&self) -> u64 {
+        self.next_request_id
+    }
+
     /// Sends one request frame without waiting for anything back
-    /// (pipelining building block).
+    /// (pipelining building block). Returns the auto-assigned correlation
+    /// id the frame carried; the answering verdict echoes it.
     ///
     /// # Errors
     ///
     /// Socket write failures.
-    pub fn send(&mut self, request: &Request) -> std::io::Result<()> {
+    pub fn send(&mut self, request: &Request) -> std::io::Result<u64> {
+        let id = self.next_request_id;
+        self.next_request_id = self.next_request_id.wrapping_add(1);
+        self.send_with_id(request, id)?;
+        Ok(id)
+    }
+
+    /// Sends one request frame under an explicit correlation id.
+    ///
+    /// # Errors
+    ///
+    /// Socket write failures.
+    pub fn send_with_id(&mut self, request: &Request, request_id: u64) -> std::io::Result<()> {
         self.write_buf.clear();
-        encode_request(&mut self.write_buf, request);
+        encode_request(&mut self.write_buf, request, request_id);
         self.stream.write_all(&self.write_buf)
     }
 
@@ -132,6 +162,26 @@ impl WireClient {
     /// Socket failures, grammar violations, or a clean server close.
     pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
         self.send(request)?;
+        loop {
+            let resp = self.recv_from_wire()?;
+            if resp.is_verdict() {
+                return Ok(resp);
+            }
+            self.buffered_events.push_back(resp);
+        }
+    }
+
+    /// Like [`WireClient::request`] but under an explicit correlation id.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, grammar violations, or a clean server close.
+    pub fn request_with_id(
+        &mut self,
+        request: &Request,
+        request_id: u64,
+    ) -> Result<Response, ClientError> {
+        self.send_with_id(request, request_id)?;
         loop {
             let resp = self.recv_from_wire()?;
             if resp.is_verdict() {

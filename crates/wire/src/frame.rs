@@ -10,33 +10,38 @@
 //!           has len = 1); capped at MAX_FRAME_LEN
 //! ```
 //!
-//! Request payloads (client → server):
+//! Request payloads (client → server) all begin with a *client-assigned*
+//! `req:u64` correlation id (layout v2 — the id was added for the
+//! observability plane's trace stitching, DESIGN.md §6.11):
 //!
 //! ```text
-//! 0x01 Open      session:u64
-//! 0x02 Push      session:u64  n:u32  samples:f64[n]
-//! 0x03 Finish    session:u64
-//! 0x04 Export    session:u64
-//! 0x05 Import    session:u64  n:u32  snapshot:u8[n]
+//! 0x01 Open      req:u64  session:u64
+//! 0x02 Push      req:u64  session:u64  n:u32  samples:f64[n]
+//! 0x03 Finish    req:u64  session:u64
+//! 0x04 Export    req:u64  session:u64
+//! 0x05 Import    req:u64  session:u64  n:u32  snapshot:u8[n]
 //! ```
 //!
-//! Response payloads (server → client):
+//! Response payloads (server → client); verdict frames echo the request's
+//! `req`, event frames carry none:
 //!
 //! ```text
-//! 0x81 Enqueued   session:u64
-//! 0x82 QueueFull  session:u64  retry_after_chunks:u64
-//! 0x83 Shedding   session:u64
+//! 0x81 Enqueued   req:u64  session:u64
+//! 0x82 QueueFull  req:u64  session:u64  retry_after_chunks:u64
+//! 0x83 Shedding   req:u64  session:u64
 //! 0x84 Segment    session:u64  start:u64  end:u64  flag:u8
 //!                 [stroke:u8  distances:f64[6]  scores:f64[6]]  (flag = 1)
 //! 0x85 Finished   session:u64
 //! 0x86 Reaped     session:u64
-//! 0x87 Exported   session:u64  flag:u8  [n:u32  snapshot:u8[n]]  (flag = 1)
-//! 0x88 Imported   session:u64  ok:u8
+//! 0x87 Exported   req:u64  session:u64  flag:u8  [n:u32  snapshot:u8[n]]  (flag = 1)
+//! 0x88 Imported   req:u64  session:u64  ok:u8
 //! ```
 //!
 //! `Enqueued`/`QueueFull`/`Shedding`/`Exported`/`Imported` are *verdict*
 //! frames: exactly one is written per request, in request order, so a
-//! client can correlate them positionally. `Segment`/`Finished`/`Reaped`
+//! client can correlate them positionally — the echoed `req` additionally
+//! lets post-hoc tooling (flight-recorder dumps, stitched Chrome traces)
+//! correlate without observing the order. `Segment`/`Finished`/`Reaped`
 //! are *event* frames routed from the serve event channel; they interleave
 //! arbitrarily with verdicts but carry their session id.
 //!
@@ -118,12 +123,16 @@ impl Request {
 pub enum Response {
     /// Verdict: the request was accepted into its shard queue.
     Enqueued {
+        /// Echo of the request's client-assigned correlation id.
+        request_id: u64,
         /// Session the verdict answers for.
         session: u64,
     },
     /// Verdict: the shard queue was full; retry after roughly this many
     /// queued commands have drained.
     QueueFull {
+        /// Echo of the request's client-assigned correlation id.
+        request_id: u64,
         /// Session the verdict answers for.
         session: u64,
         /// Queue depth of the rejecting shard.
@@ -132,6 +141,8 @@ pub enum Response {
     /// Verdict: rejected by admission control (or the server is shutting
     /// down).
     Shedding {
+        /// Echo of the request's client-assigned correlation id.
+        request_id: u64,
         /// Session the verdict answers for.
         session: u64,
     },
@@ -160,6 +171,8 @@ pub enum Response {
     /// Verdict for [`Request::Export`]: the session's snapshot bytes, or
     /// `None` when the id was unknown to the server.
     Exported {
+        /// Echo of the request's client-assigned correlation id.
+        request_id: u64,
         /// Session the verdict answers for.
         session: u64,
         /// The encoded snapshot; `None` for an unknown id.
@@ -168,6 +181,8 @@ pub enum Response {
     /// Verdict for [`Request::Import`]: whether the snapshot was
     /// installed.
     Imported {
+        /// Echo of the request's client-assigned correlation id.
+        request_id: u64,
         /// Session the verdict answers for.
         session: u64,
         /// `false` when the id is live, admission sheds it, or the bytes
@@ -190,15 +205,17 @@ impl Response {
         )
     }
 
-    /// Maps a submit verdict to its wire frame for `session`.
-    pub fn from_verdict(session: u64, verdict: SubmitVerdict) -> Response {
+    /// Maps a submit verdict to its wire frame for `session`, echoing the
+    /// request's correlation id.
+    pub fn from_verdict(request_id: u64, session: u64, verdict: SubmitVerdict) -> Response {
         match verdict {
-            SubmitVerdict::Enqueued => Response::Enqueued { session },
+            SubmitVerdict::Enqueued => Response::Enqueued { request_id, session },
             SubmitVerdict::QueueFull { retry_after_chunks } => Response::QueueFull {
+                request_id,
                 session,
                 retry_after_chunks: retry_after_chunks as u64,
             },
-            SubmitVerdict::Shedding => Response::Shedding { session },
+            SubmitVerdict::Shedding => Response::Shedding { request_id, session },
         }
     }
 
@@ -220,14 +237,26 @@ impl Response {
     /// side.
     pub fn session(&self) -> SessionId {
         match self {
-            Response::Enqueued { session }
+            Response::Enqueued { session, .. }
             | Response::QueueFull { session, .. }
-            | Response::Shedding { session }
+            | Response::Shedding { session, .. }
             | Response::Segment { session, .. }
             | Response::Finished { session }
             | Response::Reaped { session }
             | Response::Exported { session, .. }
             | Response::Imported { session, .. } => SessionId(*session),
+        }
+    }
+
+    /// The echoed correlation id for verdict frames, `None` for events.
+    pub fn request_id(&self) -> Option<u64> {
+        match self {
+            Response::Enqueued { request_id, .. }
+            | Response::QueueFull { request_id, .. }
+            | Response::Shedding { request_id, .. }
+            | Response::Exported { request_id, .. }
+            | Response::Imported { request_id, .. } => Some(*request_id),
+            Response::Segment { .. } | Response::Finished { .. } | Response::Reaped { .. } => None,
         }
     }
 }
@@ -361,20 +390,32 @@ fn encode_frame(out: &mut Vec<u8>, kind: u8, payload: impl FnOnce(&mut Vec<u8>))
     }
 }
 
-/// Appends `request` to `out` in wire encoding.
-pub fn encode_request(out: &mut Vec<u8>, request: &Request) {
+/// Appends `request` to `out` in wire encoding under the client-assigned
+/// correlation id `request_id` (echoed by the answering verdict frame).
+pub fn encode_request(out: &mut Vec<u8>, request: &Request, request_id: u64) {
     match request {
-        Request::Open { session } => encode_frame(out, KIND_OPEN, |p| put_u64(p, *session)),
+        Request::Open { session } => encode_frame(out, KIND_OPEN, |p| {
+            put_u64(p, request_id);
+            put_u64(p, *session);
+        }),
         Request::Push { session, samples } => encode_frame(out, KIND_PUSH, |p| {
+            put_u64(p, request_id);
             put_u64(p, *session);
             put_u32(p, samples.len() as u32);
             for &s in samples {
                 put_f64(p, s);
             }
         }),
-        Request::Finish { session } => encode_frame(out, KIND_FINISH, |p| put_u64(p, *session)),
-        Request::Export { session } => encode_frame(out, KIND_EXPORT, |p| put_u64(p, *session)),
+        Request::Finish { session } => encode_frame(out, KIND_FINISH, |p| {
+            put_u64(p, request_id);
+            put_u64(p, *session);
+        }),
+        Request::Export { session } => encode_frame(out, KIND_EXPORT, |p| {
+            put_u64(p, request_id);
+            put_u64(p, *session);
+        }),
         Request::Import { session, snapshot } => encode_frame(out, KIND_IMPORT, |p| {
+            put_u64(p, request_id);
             put_u64(p, *session);
             put_u32(p, snapshot.len() as u32);
             p.extend_from_slice(snapshot);
@@ -385,17 +426,24 @@ pub fn encode_request(out: &mut Vec<u8>, request: &Request) {
 /// Appends `response` to `out` in wire encoding.
 pub fn encode_response(out: &mut Vec<u8>, response: &Response) {
     match response {
-        Response::Enqueued { session } => {
-            encode_frame(out, KIND_ENQUEUED, |p| put_u64(p, *session));
+        Response::Enqueued { request_id, session } => {
+            encode_frame(out, KIND_ENQUEUED, |p| {
+                put_u64(p, *request_id);
+                put_u64(p, *session);
+            });
         }
-        Response::QueueFull { session, retry_after_chunks } => {
+        Response::QueueFull { request_id, session, retry_after_chunks } => {
             encode_frame(out, KIND_QUEUE_FULL, |p| {
+                put_u64(p, *request_id);
                 put_u64(p, *session);
                 put_u64(p, *retry_after_chunks);
             });
         }
-        Response::Shedding { session } => {
-            encode_frame(out, KIND_SHEDDING, |p| put_u64(p, *session));
+        Response::Shedding { request_id, session } => {
+            encode_frame(out, KIND_SHEDDING, |p| {
+                put_u64(p, *request_id);
+                put_u64(p, *session);
+            });
         }
         Response::Segment { session, start_frame, end_frame, classification } => {
             encode_frame(out, KIND_SEGMENT, |p| {
@@ -421,8 +469,9 @@ pub fn encode_response(out: &mut Vec<u8>, response: &Response) {
             encode_frame(out, KIND_FINISHED, |p| put_u64(p, *session));
         }
         Response::Reaped { session } => encode_frame(out, KIND_REAPED, |p| put_u64(p, *session)),
-        Response::Exported { session, snapshot } => {
+        Response::Exported { request_id, session, snapshot } => {
             encode_frame(out, KIND_EXPORTED, |p| {
+                put_u64(p, *request_id);
                 put_u64(p, *session);
                 match snapshot {
                     Some(bytes) => {
@@ -434,8 +483,9 @@ pub fn encode_response(out: &mut Vec<u8>, response: &Response) {
                 }
             });
         }
-        Response::Imported { session, ok } => {
+        Response::Imported { request_id, session, ok } => {
             encode_frame(out, KIND_IMPORTED, |p| {
+                put_u64(p, *request_id);
                 put_u64(p, *session);
                 p.push(u8::from(*ok));
             });
@@ -443,8 +493,12 @@ pub fn encode_response(out: &mut Vec<u8>, response: &Response) {
     }
 }
 
-fn decode_request(kind: u8, payload: &[u8]) -> Result<Request, FrameError> {
+fn decode_request(kind: u8, payload: &[u8]) -> Result<(u64, Request), FrameError> {
     let mut c = Cursor::new(kind, payload);
+    let request_id = match kind {
+        KIND_OPEN | KIND_PUSH | KIND_FINISH | KIND_EXPORT | KIND_IMPORT => c.u64()?,
+        other => return Err(FrameError::UnknownKind(other)),
+    };
     let req = match kind {
         KIND_OPEN => Request::Open { session: c.u64()? },
         KIND_PUSH => {
@@ -452,7 +506,7 @@ fn decode_request(kind: u8, payload: &[u8]) -> Result<Request, FrameError> {
             let n = c.u32()? as usize;
             // The sample count must agree with the remaining payload size
             // before anything is allocated for it.
-            if payload.len() != 8 + 4 + n * 8 {
+            if payload.len() != 8 + 8 + 4 + n * 8 {
                 return Err(FrameError::Truncated { kind });
             }
             let mut samples = Vec::with_capacity(n);
@@ -468,7 +522,7 @@ fn decode_request(kind: u8, payload: &[u8]) -> Result<Request, FrameError> {
             let n = c.u32()? as usize;
             // Like Push: the byte count must agree with the remaining
             // payload size before anything is allocated for it.
-            if payload.len() != 8 + 4 + n {
+            if payload.len() != 8 + 8 + 4 + n {
                 return Err(FrameError::Truncated { kind });
             }
             let snapshot = c.take(n)?.to_vec();
@@ -477,17 +531,19 @@ fn decode_request(kind: u8, payload: &[u8]) -> Result<Request, FrameError> {
         other => return Err(FrameError::UnknownKind(other)),
     };
     c.done()?;
-    Ok(req)
+    Ok((request_id, req))
 }
 
 fn decode_response(kind: u8, payload: &[u8]) -> Result<Response, FrameError> {
     let mut c = Cursor::new(kind, payload);
     let resp = match kind {
-        KIND_ENQUEUED => Response::Enqueued { session: c.u64()? },
-        KIND_QUEUE_FULL => {
-            Response::QueueFull { session: c.u64()?, retry_after_chunks: c.u64()? }
-        }
-        KIND_SHEDDING => Response::Shedding { session: c.u64()? },
+        KIND_ENQUEUED => Response::Enqueued { request_id: c.u64()?, session: c.u64()? },
+        KIND_QUEUE_FULL => Response::QueueFull {
+            request_id: c.u64()?,
+            session: c.u64()?,
+            retry_after_chunks: c.u64()?,
+        },
+        KIND_SHEDDING => Response::Shedding { request_id: c.u64()?, session: c.u64()? },
         KIND_SEGMENT => {
             let session = c.u64()?;
             let start_frame = c.u64()?;
@@ -516,28 +572,30 @@ fn decode_response(kind: u8, payload: &[u8]) -> Result<Response, FrameError> {
         KIND_FINISHED => Response::Finished { session: c.u64()? },
         KIND_REAPED => Response::Reaped { session: c.u64()? },
         KIND_EXPORTED => {
+            let request_id = c.u64()?;
             let session = c.u64()?;
             let snapshot = match c.u8()? {
                 0 => None,
                 1 => {
                     let n = c.u32()? as usize;
-                    if payload.len() != 8 + 1 + 4 + n {
+                    if payload.len() != 8 + 8 + 1 + 4 + n {
                         return Err(FrameError::Truncated { kind });
                     }
                     Some(c.take(n)?.to_vec())
                 }
                 other => return Err(FrameError::BadFlag(other)),
             };
-            Response::Exported { session, snapshot }
+            Response::Exported { request_id, session, snapshot }
         }
         KIND_IMPORTED => {
+            let request_id = c.u64()?;
             let session = c.u64()?;
             let ok = match c.u8()? {
                 0 => false,
                 1 => true,
                 other => return Err(FrameError::BadFlag(other)),
             };
-            Response::Imported { session, ok }
+            Response::Imported { request_id, session, ok }
         }
         other => return Err(FrameError::UnknownKind(other)),
     };
@@ -604,13 +662,13 @@ impl FrameDecoder {
         Ok(Some((kind, payload)))
     }
 
-    /// Pops the next complete request frame, `Ok(None)` when more bytes
-    /// are needed.
+    /// Pops the next complete request frame as `(request_id, request)`,
+    /// `Ok(None)` when more bytes are needed.
     ///
     /// # Errors
     ///
     /// Any grammar violation; the stream must be abandoned afterwards.
-    pub fn next_request(&mut self) -> Result<Option<Request>, FrameError> {
+    pub fn next_request(&mut self) -> Result<Option<(u64, Request)>, FrameError> {
         match self.next_raw()? {
             Some((kind, payload)) => {
                 let payload = self.buf.get(payload).unwrap_or(&[]);
@@ -641,9 +699,9 @@ impl FrameDecoder {
 mod tests {
     use super::*;
 
-    fn roundtrip_request(req: &Request) -> Request {
+    fn roundtrip_request(req: &Request, request_id: u64) -> (u64, Request) {
         let mut bytes = Vec::new();
-        encode_request(&mut bytes, req);
+        encode_request(&mut bytes, req, request_id);
         let mut dec = FrameDecoder::new();
         dec.extend(&bytes);
         let got = dec.next_request().expect("valid frame").expect("complete frame");
@@ -663,7 +721,7 @@ mod tests {
 
     #[test]
     fn request_frames_round_trip() {
-        for req in [
+        for (i, req) in [
             Request::Open { session: 7 },
             Request::Push { session: u64::MAX, samples: vec![0.0, -1.5, f64::MIN_POSITIVE] },
             Request::Push { session: 0, samples: Vec::new() },
@@ -671,8 +729,14 @@ mod tests {
             Request::Export { session: 17 },
             Request::Import { session: 17, snapshot: vec![0x45, 0x57, 0x53, 0x4e, 0x01] },
             Request::Import { session: 0, snapshot: Vec::new() },
-        ] {
-            assert_eq!(roundtrip_request(&req), req);
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            // The correlation id rides the header untouched, including the
+            // extremes.
+            let id = [0u64, 1, u64::MAX][i % 3];
+            assert_eq!(roundtrip_request(&req, id), (id, req));
         }
     }
 
@@ -684,9 +748,9 @@ mod tests {
             scores: [0.1, 0.2, 0.3, 0.15, 0.15, 0.1],
         };
         for resp in [
-            Response::Enqueued { session: 1 },
-            Response::QueueFull { session: 2, retry_after_chunks: 9 },
-            Response::Shedding { session: 3 },
+            Response::Enqueued { request_id: 901, session: 1 },
+            Response::QueueFull { request_id: 902, session: 2, retry_after_chunks: 9 },
+            Response::Shedding { request_id: u64::MAX, session: 3 },
             Response::Segment {
                 session: 4,
                 start_frame: 100,
@@ -696,19 +760,30 @@ mod tests {
             Response::Segment { session: 5, start_frame: 0, end_frame: 1, classification: None },
             Response::Finished { session: 6 },
             Response::Reaped { session: 7 },
-            Response::Exported { session: 8, snapshot: Some(vec![1, 2, 3, 255]) },
-            Response::Exported { session: 9, snapshot: None },
-            Response::Imported { session: 10, ok: true },
-            Response::Imported { session: 11, ok: false },
+            Response::Exported { request_id: 903, session: 8, snapshot: Some(vec![1, 2, 3, 255]) },
+            Response::Exported { request_id: 0, session: 9, snapshot: None },
+            Response::Imported { request_id: 904, session: 10, ok: true },
+            Response::Imported { request_id: 905, session: 11, ok: false },
         ] {
             assert_eq!(roundtrip_response(&resp), resp);
         }
     }
 
     #[test]
+    fn verdicts_echo_request_ids_and_events_carry_none() {
+        assert_eq!(Response::Enqueued { request_id: 7, session: 1 }.request_id(), Some(7));
+        assert_eq!(
+            Response::Shedding { request_id: 8, session: 1 }.request_id(),
+            Some(8)
+        );
+        assert_eq!(Response::Finished { session: 1 }.request_id(), None);
+        assert_eq!(Response::Reaped { session: 1 }.request_id(), None);
+    }
+
+    #[test]
     fn snapshot_frames_are_verdicts() {
-        assert!(Response::Exported { session: 1, snapshot: None }.is_verdict());
-        assert!(Response::Imported { session: 1, ok: false }.is_verdict());
+        assert!(Response::Exported { request_id: 1, session: 1, snapshot: None }.is_verdict());
+        assert!(Response::Imported { request_id: 2, session: 1, ok: false }.is_verdict());
         assert!(!Response::Reaped { session: 1 }.is_verdict());
     }
 
@@ -717,6 +792,7 @@ mod tests {
         // Import whose byte count disagrees with the payload size.
         let mut payload = Vec::new();
         payload.push(KIND_IMPORT);
+        payload.extend_from_slice(&77u64.to_le_bytes()); // request id
         payload.extend_from_slice(&1u64.to_le_bytes());
         payload.extend_from_slice(&1000u32.to_le_bytes()); // claims 1000 bytes
         payload.push(0xab); // carries 1
@@ -728,6 +804,7 @@ mod tests {
         // Exported with a flag byte outside {0, 1}.
         let mut payload = Vec::new();
         payload.push(KIND_EXPORTED);
+        payload.extend_from_slice(&77u64.to_le_bytes()); // request id
         payload.extend_from_slice(&1u64.to_le_bytes());
         payload.push(7);
         let mut dec = FrameDecoder::new();
@@ -738,6 +815,7 @@ mod tests {
         // Exported whose byte count disagrees with the payload size.
         let mut payload = Vec::new();
         payload.push(KIND_EXPORTED);
+        payload.extend_from_slice(&77u64.to_le_bytes()); // request id
         payload.extend_from_slice(&1u64.to_le_bytes());
         payload.push(1);
         payload.extend_from_slice(&9u32.to_le_bytes()); // claims 9 bytes
@@ -753,6 +831,7 @@ mod tests {
         // Imported with an ok byte outside {0, 1}.
         let mut payload = Vec::new();
         payload.push(KIND_IMPORTED);
+        payload.extend_from_slice(&77u64.to_le_bytes()); // request id
         payload.extend_from_slice(&1u64.to_le_bytes());
         payload.push(2);
         let mut dec = FrameDecoder::new();
@@ -767,10 +846,10 @@ mod tests {
         // contract is on the *bits*.
         let pattern = f64::from_bits(0x7ff8_dead_beef_0001);
         let mut bytes = Vec::new();
-        encode_request(&mut bytes, &Request::Push { session: 1, samples: vec![pattern] });
+        encode_request(&mut bytes, &Request::Push { session: 1, samples: vec![pattern] }, 1);
         let mut dec = FrameDecoder::new();
         dec.extend(&bytes);
-        let Ok(Some(Request::Push { samples, .. })) = dec.next_request() else {
+        let Ok(Some((_, Request::Push { samples, .. }))) = dec.next_request() else {
             panic!("expected a push frame");
         };
         assert_eq!(samples[0].to_bits(), pattern.to_bits());
@@ -779,7 +858,7 @@ mod tests {
     #[test]
     fn partial_frame_waits_for_more_bytes() {
         let mut bytes = Vec::new();
-        encode_request(&mut bytes, &Request::Open { session: 9 });
+        encode_request(&mut bytes, &Request::Open { session: 9 }, 31);
         let mut dec = FrameDecoder::new();
         for &b in &bytes[..bytes.len() - 1] {
             dec.extend(&[b]);
@@ -788,7 +867,7 @@ mod tests {
         dec.extend(&bytes[bytes.len() - 1..]);
         assert_eq!(
             dec.next_request().expect("valid"),
-            Some(Request::Open { session: 9 })
+            Some((31, Request::Open { session: 9 }))
         );
     }
 
@@ -822,6 +901,7 @@ mod tests {
         // Push whose sample count disagrees with the payload size.
         let mut payload = Vec::new();
         payload.push(KIND_PUSH);
+        payload.extend_from_slice(&77u64.to_le_bytes()); // request id
         payload.extend_from_slice(&1u64.to_le_bytes());
         payload.extend_from_slice(&1000u32.to_le_bytes()); // claims 1000 samples
         payload.extend_from_slice(&0f64.to_bits().to_le_bytes()); // carries 1
@@ -854,14 +934,14 @@ mod tests {
     #[test]
     fn pipelined_frames_pop_in_order() {
         let mut bytes = Vec::new();
-        encode_request(&mut bytes, &Request::Open { session: 1 });
-        encode_request(&mut bytes, &Request::Push { session: 1, samples: vec![1.0, 2.0] });
-        encode_request(&mut bytes, &Request::Finish { session: 1 });
+        encode_request(&mut bytes, &Request::Open { session: 1 }, 10);
+        encode_request(&mut bytes, &Request::Push { session: 1, samples: vec![1.0, 2.0] }, 11);
+        encode_request(&mut bytes, &Request::Finish { session: 1 }, 12);
         let mut dec = FrameDecoder::new();
         dec.extend(&bytes);
-        assert!(matches!(dec.next_request(), Ok(Some(Request::Open { session: 1 }))));
-        assert!(matches!(dec.next_request(), Ok(Some(Request::Push { .. }))));
-        assert!(matches!(dec.next_request(), Ok(Some(Request::Finish { session: 1 }))));
+        assert!(matches!(dec.next_request(), Ok(Some((10, Request::Open { session: 1 })))));
+        assert!(matches!(dec.next_request(), Ok(Some((11, Request::Push { .. })))));
+        assert!(matches!(dec.next_request(), Ok(Some((12, Request::Finish { session: 1 })))));
         assert!(matches!(dec.next_request(), Ok(None)));
     }
 }

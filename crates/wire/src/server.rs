@@ -27,7 +27,9 @@
 
 use crate::frame::{FrameDecoder, Request as WireRequest, Response};
 use echowrite_profile::Stopwatch;
-use echowrite_serve::{EventStream, Request, ServeMetrics, SessionId, SessionManager, ShutdownReport};
+use echowrite_serve::{
+    EventStream, FlightReason, Request, ServeMetrics, SessionId, SessionManager, ShutdownReport,
+};
 use echowrite_trace::{SmallStr, Stage, TICK_UNSET};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::{Read, Write};
@@ -137,6 +139,14 @@ impl WireServer {
     /// The underlying manager's metrics (includes the `wire_*` counters).
     pub fn metrics(&self) -> &ServeMetrics {
         self.manager.metrics()
+    }
+
+    /// A weak handle to the underlying manager, for side-car planes such
+    /// as `echowrite-obs` that must observe the manager without keeping it
+    /// alive — [`WireServer::shutdown`] reclaims sole ownership via
+    /// `Arc::try_unwrap`, which a strong clone would defeat.
+    pub fn manager_handle(&self) -> std::sync::Weak<SessionManager> {
+        Arc::downgrade(&self.manager)
     }
 
     /// Stops accepting, closes every connection, shuts the manager down,
@@ -283,11 +293,14 @@ fn read_loop(
         }
         loop {
             let decode_timer = Stopwatch::start();
-            let req = match decoder.next_request() {
+            let (request_id, req) = match decoder.next_request() {
                 Ok(Some(req)) => req,
                 Ok(None) => break,
                 Err(err) => {
                     metrics.wire_malformed_frames.inc();
+                    // A malformed frame is a flight-recorder anomaly: dump
+                    // the recent-event rings for the postmortem.
+                    manager.trigger_flight_dump(FlightReason::MalformedFrame);
                     if echowrite_trace::enabled() {
                         echowrite_trace::instant(
                             Stage::Wire,
@@ -319,26 +332,31 @@ fn read_loop(
             }
             let response = match req {
                 WireRequest::Open { .. } => Response::from_verdict(
+                    request_id,
                     session,
-                    manager.submit(Request::Open(SessionId(session))),
+                    manager.submit_tagged(Request::Open(SessionId(session)), request_id),
                 ),
                 WireRequest::Push { ref samples, .. } => Response::from_verdict(
+                    request_id,
                     session,
-                    manager.submit(Request::Push(SessionId(session), samples)),
+                    manager.submit_tagged(Request::Push(SessionId(session), samples), request_id),
                 ),
                 WireRequest::Finish { .. } => Response::from_verdict(
+                    request_id,
                     session,
-                    manager.submit(Request::Finish(SessionId(session))),
+                    manager.submit_tagged(Request::Finish(SessionId(session)), request_id),
                 ),
                 // Export/Import block this connection's reader until the
                 // owning shard processes them — the snapshot must reflect
                 // every previously enqueued push — without stalling any
                 // other connection.
                 WireRequest::Export { .. } => Response::Exported {
+                    request_id,
                     session,
                     snapshot: manager.export_session(SessionId(session)),
                 },
                 WireRequest::Import { snapshot, .. } => Response::Imported {
+                    request_id,
                     session,
                     ok: manager.import_session(SessionId(session), snapshot),
                 },

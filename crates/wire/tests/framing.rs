@@ -27,12 +27,14 @@ fn request_from_spec(selector: u8, session: u64, n: usize) -> Request {
     }
 }
 
-/// Builds a response from a generated spec.
+/// Builds a response from a generated spec. Verdict variants carry a
+/// request id derived from the spec (events carry none by design).
 fn response_from_spec(selector: u8, session: u64, n: usize) -> Response {
+    let request_id = session.wrapping_mul(31).wrapping_add(n as u64);
     match selector % 6 {
-        0 => Response::Enqueued { session },
-        1 => Response::QueueFull { session, retry_after_chunks: n as u64 },
-        2 => Response::Shedding { session },
+        0 => Response::Enqueued { request_id, session },
+        1 => Response::QueueFull { request_id, session, retry_after_chunks: n as u64 },
+        2 => Response::Shedding { request_id, session },
         3 => {
             let classification = if n % 2 == 0 {
                 let mut distances = [0.0f64; STROKE_COUNT];
@@ -94,11 +96,14 @@ proptest! {
         specs in prop::collection::vec((0u8..255, 0u64..u64::MAX, 0usize..70), 1..24),
         cuts in prop::collection::vec(1usize..96, 1..32),
     ) {
-        let frames: Vec<Request> =
-            specs.iter().map(|&(s, id, n)| request_from_spec(s, id, n)).collect();
+        let frames: Vec<(u64, Request)> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, id, n))| (1_000 + i as u64, request_from_spec(s, id, n)))
+            .collect();
         let mut bytes = Vec::new();
-        for f in &frames {
-            encode_request(&mut bytes, f);
+        for (req_id, f) in &frames {
+            encode_request(&mut bytes, f, *req_id);
         }
         let got = decode_fragmented(&bytes, &cuts, |d| {
             d.next_request().expect("stream is well-formed")
@@ -130,11 +135,14 @@ proptest! {
     fn byte_at_a_time_reads_decode_every_frame(
         specs in prop::collection::vec((0u8..255, 0u64..1000, 0usize..12), 1..8),
     ) {
-        let frames: Vec<Request> =
-            specs.iter().map(|&(s, id, n)| request_from_spec(s, id, n)).collect();
+        let frames: Vec<(u64, Request)> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, id, n))| (i as u64, request_from_spec(s, id, n)))
+            .collect();
         let mut bytes = Vec::new();
-        for f in &frames {
-            encode_request(&mut bytes, f);
+        for (req_id, f) in &frames {
+            encode_request(&mut bytes, f, *req_id);
         }
         let got = decode_fragmented(&bytes, &[1], |d| {
             d.next_request().expect("stream is well-formed")

@@ -241,12 +241,43 @@ fn shedding_verdict_propagates_over_wire() {
     must_enqueue(&mut client, &Request::Open { session: 1 });
     must_enqueue(&mut client, &Request::Open { session: 2 });
     match client.request(&Request::Open { session: 3 }).expect("verdict") {
-        Response::Shedding { session } => assert_eq!(session, 3),
+        Response::Shedding { session, .. } => assert_eq!(session, 3),
         other => panic!("expected Shedding, got {other:?}"),
     }
     drop(client);
     let report = server.shutdown();
     assert_eq!(report.metrics.sessions_shed, 1);
+}
+
+/// Wire trace correlation: every verdict echoes the client-assigned
+/// request id, so client- and server-side traces stitch 1:1.
+#[test]
+fn verdicts_echo_client_assigned_request_ids() {
+    let server = start_server();
+    let mut client = WireClient::connect(server.local_addr()).expect("loopback connect");
+    client.set_next_request_id(5_000);
+    let sent = client.peek_next_request_id();
+    let resp = client.request(&Request::Open { session: 31 }).expect("verdict");
+    assert_eq!(resp.request_id(), Some(sent), "verdict must echo the request id");
+    let resp = client
+        .request_with_id(&Request::Push { session: 31, samples: vec![0.0; 64] }, 9_999)
+        .expect("verdict");
+    assert_eq!(resp.request_id(), Some(9_999));
+    let resp = client.request(&Request::Finish { session: 31 }).expect("verdict");
+    assert_eq!(resp.request_id(), Some(5_001), "auto ids advance by one per send");
+    match client.next_event().expect("event stream") {
+        Response::Finished { session } => {
+            assert_eq!(session, 31);
+        }
+        other => panic!("unexpected event {other:?}"),
+    }
+    assert_eq!(
+        Response::Finished { session: 31 }.request_id(),
+        None,
+        "event frames carry no request id"
+    );
+    drop(client);
+    server.shutdown();
 }
 
 /// Garbage bytes close the connection and count as a malformed frame;
